@@ -1,0 +1,112 @@
+// Ablation: where the crossovers fall.
+//
+// The paper's scenarios sample single points of the environment (bandwidth
+// halved, one background job). This bench sweeps the environment
+// continuously and reports, at each point, the ground-truth best
+// alternative and Spectra's choice — showing both where the crossovers sit
+// in this calibration and how closely the self-tuned models track them.
+//
+//   (a) serial-link bandwidth sweep (speech): remote's large audio payload
+//       loses to hybrid as the link degrades; everything loses to local
+//       when the link is nearly dead.
+//   (b) client background-load sweep (speech): hybrid's local front-end
+//       work hands the win to remote as the client saturates.
+#include <iostream>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+using namespace spectra;           // NOLINT
+using namespace spectra::scenario; // NOLINT
+
+namespace {
+
+using apps::JanusApp;
+
+struct SweepPoint {
+  std::string best;
+  double best_time = 0.0;
+  std::string spectra;
+  double spectra_time = 0.0;
+};
+
+SweepPoint sweep_point(const std::function<void(World&)>& knob) {
+  SpeechExperiment::Config cfg;
+  cfg.seed = 1000;
+  SpeechExperiment exp(cfg);
+
+  SweepPoint out;
+  double best_u = -1.0;
+  for (const auto& alt : SpeechExperiment::alternatives()) {
+    auto world = exp.trained_world();
+    knob(*world);
+    world->settle(12.0);
+    try {
+      const auto usage =
+          world->janus().run_forced(world->spectra(), 2.0, alt);
+      const double fid = alt.fidelity.at("vocab") >= 1.0 ? 1.0 : 0.5;
+      const double u = fid / usage.elapsed;
+      if (u > best_u) {
+        best_u = u;
+        out.best = SpeechExperiment::label(alt);
+        out.best_time = usage.elapsed;
+      }
+    } catch (const util::ContractError&) {
+      // infeasible at this point of the sweep
+    }
+  }
+  {
+    auto world = exp.trained_world();
+    knob(*world);
+    world->settle(12.0);
+    const auto choice = world->spectra().begin_fidelity_op(
+        JanusApp::kOperation, {{"utt_len", 2.0}});
+    world->janus().execute(world->spectra(), 2.0);
+    const auto usage = world->spectra().end_fidelity_op();
+    out.spectra = SpeechExperiment::label(choice.alternative);
+    out.spectra_time = usage.elapsed;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: crossover sweeps (speech testbed, 2 s utterance, "
+               "utility = fidelity/time)\n\n";
+
+  {
+    util::Table table("(a) serial-link bandwidth sweep");
+    table.set_header({"bandwidth (KB/s)", "ground-truth best", "best T (s)",
+                      "Spectra chose", "Spectra T (s)"});
+    for (const double kbps : {2.0, 4.0, 6.0, 9.0, 11.5, 16.0, 24.0, 40.0}) {
+      const auto p = sweep_point([kbps](World& w) {
+        w.network().set_link_bandwidth(kClient, kServerT20, kbps * 1000.0);
+      });
+      table.add_row({util::Table::num(kbps, 1), p.best,
+                     util::Table::num(p.best_time, 2), p.spectra,
+                     util::Table::num(p.spectra_time, 2)});
+    }
+    std::cout << table.to_string() << "\n";
+  }
+
+  {
+    util::Table table("(b) client background-load sweep");
+    table.set_header({"competing procs", "ground-truth best", "best T (s)",
+                      "Spectra chose", "Spectra T (s)"});
+    for (const double procs : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const auto p = sweep_point([procs](World& w) {
+        w.client_machine().set_background_procs(procs);
+      });
+      table.add_row({util::Table::num(procs, 2), p.best,
+                     util::Table::num(p.best_time, 2), p.spectra,
+                     util::Table::num(p.spectra_time, 2)});
+    }
+    std::cout << table.to_string() << "\n";
+  }
+
+  std::cout << "Spectra's choice should track the ground-truth best column "
+               "through each crossover,\npossibly trading a small time loss "
+               "for fidelity (utility is fidelity/time).\n";
+  return 0;
+}

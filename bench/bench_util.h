@@ -1,0 +1,43 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace spectra::bench {
+
+// Number of trials per data point (the paper uses 5 with 90% confidence
+// intervals). Override with SPECTRA_TRIALS for quick runs.
+inline int trial_count() {
+  if (const char* env = std::getenv("SPECTRA_TRIALS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 5;
+}
+
+inline std::vector<std::uint64_t> trial_seeds() {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < trial_count(); ++i) {
+    seeds.push_back(static_cast<std::uint64_t>(1000 + 17 * i));
+  }
+  return seeds;
+}
+
+struct Aggregate {
+  util::OnlineStats stats;
+  bool any_infeasible = false;
+
+  std::string cell(int precision = 2) const {
+    if (any_infeasible || stats.count() == 0) return "unavailable";
+    return util::Table::num_ci(stats.mean(),
+                               stats.confidence_halfwidth(0.90), precision);
+  }
+};
+
+}  // namespace spectra::bench

@@ -1,0 +1,97 @@
+// Scratch diagnostic: Pangloss choice quality for one scenario/sentence.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "scenario/experiment.h"
+
+using namespace spectra;           // NOLINT
+using namespace spectra::scenario; // NOLINT
+
+int main(int argc, char** argv) {
+  PanglossExperiment::Config cfg;
+  cfg.seed = 1000;
+  cfg.test_words = argc > 1 ? std::atoi(argv[1]) : 10;
+  if (argc > 2 && std::string(argv[2]) == "fc")
+    cfg.scenario = PanglossScenario::kFileCache;
+  if (argc > 2 && std::string(argv[2]) == "cpu")
+    cfg.scenario = PanglossScenario::kCpu;
+  PanglossExperiment exp(cfg);
+
+  const auto alts = PanglossExperiment::alternatives();
+  std::cout << alts.size() << " distinct alternatives\n";
+
+  struct Row {
+    std::string label;
+    double time;
+    double utility;
+  };
+  std::vector<Row> rows;
+  std::vector<double> utilities;
+  for (const auto& alt : alts) {
+    const auto run = exp.measure(alt);
+    const double u = PanglossExperiment::achieved_utility(run, alt);
+    rows.push_back({PanglossExperiment::label(alt),
+                    run.feasible ? run.time : -1.0, u});
+    utilities.push_back(u);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.utility > b.utility; });
+  std::cout << "top 8 alternatives by achieved utility:\n";
+  for (std::size_t i = 0; i < 8 && i < rows.size(); ++i) {
+    std::cout << "  " << rows[i].label << "  T=" << rows[i].time
+              << "  U=" << rows[i].utility << "\n";
+  }
+
+  // Predicted metrics for interesting alternatives, from a trained world.
+  {
+    auto world = exp.trained_world();
+    auto& spectra = world->spectra();
+    auto candidates = spectra.server_db().available_servers();
+    auto snapshot = spectra.monitors().build_snapshot(candidates,
+                                                      world->engine().now());
+    solver::AlternativeSpace space;
+    for (int m = 0; m < 16; ++m) space.plans.push_back({"p", m != 0});
+    space.servers = candidates;
+    solver::ExecutionEstimator estimator;
+    solver::EstimatorInputs inputs;
+    inputs.snapshot = &snapshot;
+    std::map<std::string, double> params{
+        {"words", static_cast<double>(cfg.test_words)}};
+    for (const auto& alt : alts) {
+      const std::string label = PanglossExperiment::label(alt);
+      if (label != "ebmt@B+gloss@B+dict@B+lm@B" &&
+          label != "ebmt@B+gloss@L+dict@B+lm@B" &&
+          label != "ebmt@B+gloss@B+dict@L+lm@B")
+        continue;
+      auto demand = spectra.predict_demand(apps::PanglossApp::kOperation,
+                                           params, "", alt);
+      solver::TimeBreakdown tb;
+      auto metrics = estimator.estimate(inputs, space, alt, demand, &tb);
+      std::cout << "pred " << label << ": lc=" << demand.local_cycles / 1e6
+                << "M rc=" << demand.remote_cycles / 1e6
+                << "M tx=" << demand.bytes_sent / 1024
+                << "KB rpcs=" << demand.rpcs
+                << " files=" << demand.files.size();
+      if (metrics) {
+        std::cout << " T=" << metrics->time << " (l=" << tb.local_cpu
+                  << " r=" << tb.remote_cpu << " n=" << tb.network
+                  << " m=" << tb.cache_miss << ")";
+      } else {
+        std::cout << " infeasible";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  const auto s = exp.run_spectra();
+  const double su =
+      PanglossExperiment::achieved_utility(s, s.choice.alternative);
+  std::cout << "Spectra chose: "
+            << PanglossExperiment::label(s.choice.alternative)
+            << "  T=" << s.time << "  U=" << su
+            << "  percentile=" << util::percentile_rank(utilities, su)
+            << "  rel=" << (su / rows.front().utility)
+            << "  evals=" << s.choice.evaluations << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scratch diagnostic: predicted vs measured metrics per speech alternative.
+#include <iostream>
+
+#include "monitor/battery_monitor.h"
+#include "scenario/experiment.h"
+#include "solver/estimator.h"
+
+using namespace spectra;           // NOLINT
+using namespace spectra::scenario; // NOLINT
+
+int main(int argc, char** argv) {
+  SpeechExperiment::Config cfg;
+  cfg.scenario = SpeechScenario::kBaseline;
+  if (argc > 1 && std::string(argv[1]) == "energy")
+    cfg.scenario = SpeechScenario::kEnergy;
+  if (argc > 1 && std::string(argv[1]) == "cpu")
+    cfg.scenario = SpeechScenario::kCpu;
+  cfg.seed = 1000;
+  SpeechExperiment exp(cfg);
+
+  auto world = exp.trained_world();
+  auto& spectra = world->spectra();
+
+  // Reproduce the decision inputs.
+  auto candidates = spectra.server_db().available_servers();
+  auto snapshot =
+      spectra.monitors().build_snapshot(candidates, world->engine().now());
+  std::cout << "local_cpu_hz=" << snapshot.local_cpu_hz / 1e6 << "MHz"
+            << " fetch_rate=" << snapshot.local_fetch_rate / 1024 << "KB/s"
+            << " c=" << snapshot.energy_importance << "\n";
+  for (auto& [id, sa] : snapshot.servers) {
+    std::cout << "server " << id << ": cpu=" << sa.cpu_hz / 1e6
+              << "MHz bw=" << sa.bandwidth / 1024
+              << "KB/s lat=" << sa.latency
+              << " cached=" << sa.cached_files.size()
+              << " fetch=" << sa.fetch_rate / 1024 << "KB/s\n";
+  }
+
+  solver::AlternativeSpace space;
+  space.plans = {{"local", false}, {"hybrid", true}, {"remote", true}};
+  space.servers = candidates;
+  space.fidelities = {{"vocab", {0.0, 1.0}}};
+
+  solver::ExecutionEstimator estimator;
+  solver::EstimatorInputs inputs;
+  inputs.snapshot = &snapshot;
+
+  for (const auto& alt : SpeechExperiment::alternatives()) {
+    std::map<std::string, double> params{{"utt_len", 2.0}};
+    auto demand = spectra.predict_demand(apps::JanusApp::kOperation, params,
+                                         "", alt);
+    solver::TimeBreakdown tb;
+    auto metrics = estimator.estimate(inputs, space, alt, demand, &tb);
+    std::cout << SpeechExperiment::label(alt) << ": lc=" << demand.local_cycles / 1e6
+              << "M rc=" << demand.remote_cycles / 1e6
+              << "M tx=" << demand.bytes_sent / 1024 << "KB rx="
+              << demand.bytes_received / 1024 << "KB rpcs=" << demand.rpcs
+              << " E=" << demand.energy << "J files=" << demand.files.size();
+    if (metrics) {
+      std::cout << " | T=" << metrics->time << " (cpu_l=" << tb.local_cpu
+                << " cpu_r=" << tb.remote_cpu << " net=" << tb.network
+                << " miss=" << tb.cache_miss << " cons=" << tb.consistency
+                << ")";
+    } else {
+      std::cout << " | infeasible";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 4: Speech recognition energy usage (client Joules per utterance).
+//
+// Same scenarios and alternatives as Figure 3; the metric is the energy
+// drawn from the Itsy's battery as reported by its SmartBattery chip. The
+// paper's shape: local execution costs an order of magnitude more energy
+// than the distributed plans (software-FP search on the SA-1100), and
+// remote costs less than hybrid because hybrid keeps the front-end/prescan
+// computation on the client.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+using namespace spectra;           // NOLINT
+using namespace spectra::scenario; // NOLINT
+
+int main() {
+  const auto scenarios = {
+      SpeechScenario::kBaseline, SpeechScenario::kEnergy,
+      SpeechScenario::kNetwork, SpeechScenario::kCpu,
+      SpeechScenario::kFileCache};
+  const auto alternatives = SpeechExperiment::alternatives();
+
+  std::cout << "Figure 4: Speech recognition energy usage (Joules)\n\n";
+
+  for (const auto scenario : scenarios) {
+    std::map<std::string, bench::Aggregate> energy_by_alt;
+    bench::Aggregate spectra_energy;
+    std::map<std::string, int> chosen_count;
+
+    for (const auto seed : bench::trial_seeds()) {
+      SpeechExperiment::Config cfg;
+      cfg.scenario = scenario;
+      cfg.seed = seed;
+      SpeechExperiment experiment(cfg);
+      for (const auto& alt : alternatives) {
+        const auto run = experiment.measure(alt);
+        auto& agg = energy_by_alt[SpeechExperiment::label(alt)];
+        if (run.feasible) {
+          agg.stats.add(run.energy);
+        } else {
+          agg.any_infeasible = true;
+        }
+      }
+      const auto s = experiment.run_spectra();
+      spectra_energy.stats.add(s.energy);
+      ++chosen_count[SpeechExperiment::label(s.choice.alternative)];
+    }
+
+    std::string s_label;
+    int s_count = 0;
+    for (const auto& [label, count] : chosen_count) {
+      if (count > s_count) {
+        s_label = label;
+        s_count = count;
+      }
+    }
+
+    util::Table table("Scenario: " + name(scenario));
+    table.set_header({"alternative", "energy (J)", ""});
+    for (const auto& alt : alternatives) {
+      const std::string label = SpeechExperiment::label(alt);
+      table.add_row({label, energy_by_alt[label].cell(),
+                     label == s_label ? "<-- S (Spectra's choice)" : ""});
+    }
+    table.add_separator();
+    table.add_row({"Spectra (w/ overhead)", spectra_energy.cell(), ""});
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 6: Latex execution time for the large (123-page) document.
+// Scenarios and alternatives as in Figure 5. The paper's shape: server B
+// wins the baseline and reintegrate scenarios (the predicted file set of
+// the large document does not include the modified small-document input,
+// so no reintegration is forced); a cold server B loses to server A.
+#include "latex_common.h"
+
+int main() {
+  spectra::bench::run_latex_figure(
+      "Figure 6: Large document (123 pages) execution time (seconds)",
+      "large",
+      [](const spectra::scenario::MeasuredRun& r) { return r.time; },
+      "time (s)");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 8: Accuracy for Pangloss-Lite.
+//
+// For each scenario and test sentence, every one of the ~97 combinations of
+// location and fidelity is measured; alternatives are ranked by the utility
+// they achieved, and the bar shows the percentile into which Spectra's
+// chosen alternative falls (99 = the best possible choice).
+#include "pangloss_common.h"
+
+using namespace spectra;           // NOLINT
+using namespace spectra::scenario; // NOLINT
+
+int main() {
+  std::cout << "Figure 8: Accuracy for Pangloss-Lite\n"
+            << "(percentile of Spectra's chosen alternative, ranked by "
+               "achieved utility; "
+            << PanglossExperiment::alternatives().size()
+            << " alternatives)\n\n";
+
+  for (const auto sc : {PanglossScenario::kBaseline,
+                        PanglossScenario::kFileCache,
+                        PanglossScenario::kCpu}) {
+    util::Table table("Scenario: " + name(sc));
+    table.set_header({"sentence (words)", "percentile", "Spectra chose"});
+    for (const int words : bench::pangloss_test_sentences()) {
+      const auto cell = bench::run_pangloss_cell(sc, words);
+      std::string mode;
+      int best_count = 0;
+      for (const auto& [label, count] : cell.chosen) {
+        if (count > best_count) {
+          mode = label;
+          best_count = count;
+        }
+      }
+      table.add_row({std::to_string(words), cell.percentile.cell(1), mode});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+  return 0;
+}

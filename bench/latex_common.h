@@ -1,0 +1,76 @@
+// Shared driver for the Latex figures (5, 6: time; 7: energy).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+namespace spectra::bench {
+
+// metric: extracts the reported value from a run (time or energy).
+inline void run_latex_figure(
+    const std::string& title, const std::string& doc,
+    const std::function<double(const scenario::MeasuredRun&)>& metric,
+    const std::string& unit) {
+  using scenario::LatexExperiment;
+  using scenario::LatexScenario;
+
+  const auto scenarios = {LatexScenario::kBaseline,
+                          LatexScenario::kFileCache,
+                          LatexScenario::kReintegrate, LatexScenario::kEnergy};
+  const auto alternatives = LatexExperiment::alternatives();
+
+  std::cout << title << "\n\n";
+  for (const auto scenario : scenarios) {
+    std::map<std::string, Aggregate> by_alt;
+    Aggregate spectra_agg;
+    std::map<std::string, int> chosen_count;
+
+    for (const auto seed : trial_seeds()) {
+      LatexExperiment::Config cfg;
+      cfg.scenario = scenario;
+      cfg.doc = doc;
+      cfg.seed = seed;
+      LatexExperiment experiment(cfg);
+      for (const auto& alt : alternatives) {
+        const auto run = experiment.measure(alt);
+        auto& agg = by_alt[LatexExperiment::label(alt)];
+        if (run.feasible) {
+          agg.stats.add(metric(run));
+        } else {
+          agg.any_infeasible = true;
+        }
+      }
+      const auto s = experiment.run_spectra();
+      spectra_agg.stats.add(metric(s));
+      ++chosen_count[LatexExperiment::label(s.choice.alternative)];
+    }
+
+    std::string s_label;
+    int s_count = 0;
+    for (const auto& [label, count] : chosen_count) {
+      if (count > s_count) {
+        s_label = label;
+        s_count = count;
+      }
+    }
+
+    util::Table table("Scenario: " + scenario::name(scenario) + " — " + doc +
+                      " document");
+    table.set_header({"alternative", unit, ""});
+    for (const auto& alt : alternatives) {
+      const std::string label = LatexExperiment::label(alt);
+      table.add_row({label, by_alt[label].cell(),
+                     label == s_label ? "<-- S (Spectra's choice)" : ""});
+    }
+    table.add_separator();
+    table.add_row({"Spectra (w/ overhead)", spectra_agg.cell(), ""});
+    std::cout << table.to_string() << '\n';
+  }
+}
+
+}  // namespace spectra::bench

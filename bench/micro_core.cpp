@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) for the hot paths of a Spectra
+// decision: predictor updates and queries, snapshot construction, solver
+// search, and the end-to-end begin/end cycle. These bound the per-operation
+// overhead that the Fig-10 table reports.
+#include <benchmark/benchmark.h>
+
+#include "predict/numeric.h"
+#include "predict/operation_model.h"
+#include "scenario/experiment.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+
+using namespace spectra;  // NOLINT
+
+namespace {
+
+predict::FeatureVector make_features(int plan, double len) {
+  predict::FeatureVector f;
+  f.discrete["plan"] = plan;
+  f.discrete["vocab"] = plan % 2;
+  f.continuous["len"] = len;
+  return f;
+}
+
+void BM_PredictorAdd(benchmark::State& state) {
+  predict::NumericPredictor p;
+  util::Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    p.add(make_features(i % 3, rng.uniform(1.0, 4.0)), rng.uniform(0, 1e9));
+    ++i;
+  }
+}
+BENCHMARK(BM_PredictorAdd);
+
+void BM_PredictorQuery(benchmark::State& state) {
+  predict::NumericPredictor p;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    p.add(make_features(i % 3, rng.uniform(1.0, 4.0)), rng.uniform(0, 1e9));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.predict(make_features(1, 2.0)));
+  }
+}
+BENCHMARK(BM_PredictorQuery);
+
+void BM_OperationModelObserve(benchmark::State& state) {
+  predict::OperationModel m;
+  monitor::OperationUsage u;
+  u.local_cycles = 1e8;
+  u.remote_cycles = 2e8;
+  u.bytes_sent = 4096;
+  u.energy = 3.0;
+  u.local_file_accesses.push_back({"f1", 1000.0, false, false});
+  int i = 0;
+  for (auto _ : state) {
+    m.observe(make_features(i % 3, 1.0 + (i % 5)), u);
+    ++i;
+  }
+}
+BENCHMARK(BM_OperationModelObserve);
+
+solver::AlternativeSpace pangloss_like_space() {
+  solver::AlternativeSpace s;
+  for (int i = 0; i < 16; ++i) s.plans.push_back({"p", i != 0});
+  s.servers = {1, 2};
+  s.fidelities = {{"a", {0.0, 1.0}}, {"b", {0.0, 1.0}}, {"c", {0.0, 1.0}}};
+  return s;
+}
+
+void BM_HeuristicSolve(benchmark::State& state) {
+  const auto space = pangloss_like_space();
+  const auto eval = [](const solver::Alternative& a) {
+    return -std::abs(a.plan - 9.0) + a.fidelity.at("a") -
+           0.3 * a.fidelity.at("b");
+  };
+  for (auto _ : state) {
+    solver::HeuristicSolver solver{util::Rng(7)};
+    benchmark::DoNotOptimize(solver.solve(space, eval));
+  }
+}
+BENCHMARK(BM_HeuristicSolve);
+
+void BM_ExhaustiveSolve(benchmark::State& state) {
+  const auto space = pangloss_like_space();
+  const auto eval = [](const solver::Alternative& a) {
+    return -std::abs(a.plan - 9.0) + a.fidelity.at("a");
+  };
+  for (auto _ : state) {
+    solver::ExhaustiveSolver solver;
+    benchmark::DoNotOptimize(solver.solve(space, eval));
+  }
+}
+BENCHMARK(BM_ExhaustiveSolve);
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  scenario::WorldConfig wc;
+  wc.testbed = scenario::Testbed::kThinkpad;
+  scenario::World world(wc);
+  world.warm_all_caches();
+  world.settle(6.0);
+  const auto candidates = world.spectra().server_db().available_servers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.spectra().monitors().build_snapshot(
+        candidates, world.engine().now()));
+  }
+}
+BENCHMARK(BM_SnapshotBuild);
+
+void BM_NullOperationCycle(benchmark::State& state) {
+  scenario::WorldConfig wc;
+  wc.testbed = scenario::Testbed::kOverhead;
+  wc.overhead_servers = static_cast<std::size_t>(state.range(0));
+  scenario::World world(wc);
+  world.spectra().local_server().register_service(
+      "noop", [](const rpc::Request&) {
+        rpc::Response r;
+        r.ok = true;
+        r.payload = 64.0;
+        return r;
+      });
+  core::OperationDesc desc;
+  desc.name = "noop";
+  desc.plans = {{"local", false}};
+  desc.latency_fn = solver::inverse_latency();
+  desc.fidelity_fn = [](const std::map<std::string, double>&) { return 1.0; };
+  world.spectra().register_fidelity(desc);
+  rpc::Request req;
+  req.op_type = "noop";
+  for (auto _ : state) {
+    world.spectra().begin_fidelity_op("noop", {});
+    world.spectra().do_local_op("noop", req);
+    world.spectra().end_fidelity_op();
+  }
+}
+BENCHMARK(BM_NullOperationCycle)->Arg(0)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Shared driver for the Pangloss figures (8: accuracy percentile, 9:
+// relative utility vs a zero-overhead oracle).
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+namespace spectra::bench {
+
+struct PanglossCell {
+  // Percentile of Spectra's chosen alternative among all alternatives
+  // ranked by achieved utility (Fig 8; 99 = best choice).
+  Aggregate percentile;
+  // Spectra's achieved utility / the oracle's best utility (Fig 9).
+  Aggregate relative_utility;
+  std::map<std::string, int> chosen;
+};
+
+inline PanglossCell run_pangloss_cell(scenario::PanglossScenario sc,
+                                      int words) {
+  using scenario::PanglossExperiment;
+  PanglossCell cell;
+  const auto alts = PanglossExperiment::alternatives();
+  for (const auto seed : trial_seeds()) {
+    PanglossExperiment::Config cfg;
+    cfg.scenario = sc;
+    cfg.seed = seed;
+    cfg.test_words = words;
+    PanglossExperiment experiment(cfg);
+
+    std::vector<double> utilities;
+    double best = 0.0;
+    for (const auto& alt : alts) {
+      const auto run = experiment.measure(alt);
+      const double u = PanglossExperiment::achieved_utility(run, alt);
+      utilities.push_back(u);
+      best = std::max(best, u);
+    }
+    const auto s = experiment.run_spectra();
+    const double su =
+        PanglossExperiment::achieved_utility(s, s.choice.alternative);
+    cell.percentile.stats.add(util::percentile_rank(utilities, su));
+    cell.relative_utility.stats.add(best > 0.0 ? su / best : 0.0);
+    ++cell.chosen[PanglossExperiment::label(s.choice.alternative)];
+  }
+  return cell;
+}
+
+inline const std::vector<int>& pangloss_test_sentences() {
+  // Five test sentences; the three smallest should keep all engines, the
+  // two largest should drop the glossary (paper §4.3).
+  static const std::vector<int> kWords = {6, 10, 14, 38, 44};
+  return kWords;
+}
+
+}  // namespace spectra::bench

@@ -1,0 +1,165 @@
+#include "apps/pangloss.h"
+
+#include <memory>
+
+#include "util/assert.h"
+
+namespace spectra::apps {
+
+namespace {
+const std::array<const char*, 4> kComponentNames = {"ebmt", "gloss", "dict",
+                                                    "lm"};
+}  // namespace
+
+void PanglossApp::install_files(fs::FileServer& server) const {
+  for (const auto& c : config_.components) {
+    server.create({c.file_path, c.file_size, config_.volume});
+  }
+}
+
+void PanglossApp::install_services(core::SpectraServer& server,
+                                   util::Rng rng) const {
+  auto noise = std::make_shared<util::Rng>(rng);
+  const PanglossConfig cfg = config_;
+  core::SpectraServer* srv = &server;
+  for (std::size_t i = 0; i < cfg.components.size(); ++i) {
+    const PanglossComponentCost comp = cfg.components[i];
+    server.register_service(
+        "pangloss." + comp.name,
+        [cfg, comp, noise, srv](const rpc::Request& req) {
+          const auto it = req.args.find("words");
+          rpc::Response r;
+          if (it == req.args.end()) {
+            r.ok = false;
+            r.error = "missing words arg";
+            return r;
+          }
+          SPECTRA_REQUIRE(srv->coda() != nullptr,
+                          "pangloss needs Coda for its data files");
+          srv->coda()->read(comp.file_path);
+          srv->machine().run_cycles(
+              (comp.base_cycles + comp.cycles_per_word * it->second) *
+              noise->noise_factor(cfg.noise_cv));
+          r.ok = true;
+          r.payload = cfg.response_bytes_per_word * it->second +
+                      cfg.fixed_bytes;
+          return r;
+        });
+  }
+}
+
+bool PanglossApp::component_enabled(const solver::Alternative& alt, int c) {
+  if (c == kLm) return true;  // the language modeler always runs
+  return alt.fidelity.at(kComponentNames[c]) > 0.5;
+}
+
+bool PanglossApp::component_remote(const solver::Alternative& alt, int c) {
+  return (alt.plan & (1 << c)) != 0;
+}
+
+solver::Alternative PanglossApp::alternative(int remote_mask, bool ebmt,
+                                             bool gloss, bool dict,
+                                             hw::MachineId server) {
+  SPECTRA_REQUIRE(remote_mask >= 0 && remote_mask < kPlanCount,
+                  "placement mask out of range");
+  solver::Alternative a;
+  a.plan = remote_mask;
+  a.server = remote_mask != 0 ? server : -1;
+  a.fidelity["ebmt"] = ebmt ? 1.0 : 0.0;
+  a.fidelity["gloss"] = gloss ? 1.0 : 0.0;
+  a.fidelity["dict"] = dict ? 1.0 : 0.0;
+  return canonical(a);
+}
+
+solver::Alternative PanglossApp::canonical(const solver::Alternative& alt) {
+  solver::Alternative c = alt;
+  for (int i = 0; i < kLm; ++i) {
+    if (!component_enabled(alt, i)) c.plan &= ~(1 << i);
+  }
+  if (c.plan == 0) c.server = -1;
+  return c;
+}
+
+predict::FeatureVector PanglossApp::features(
+    const solver::Alternative& alt, const std::map<std::string, double>& params,
+    const std::string& tag) {
+  const double words = params.at("words");
+  predict::FeatureVector f;
+  f.data_tag = tag;
+  // Discrete: the fidelity subset only — the file predictor needs to know
+  // which engines (and hence which data files) are in play, while demand is
+  // generalized across placements by the continuous features below.
+  for (int c = 0; c < kLm; ++c) {
+    f.discrete[kComponentNames[c]] = alt.fidelity.at(kComponentNames[c]);
+  }
+  for (int c = 0; c <= kLm; ++c) {
+    if (!component_enabled(alt, c)) continue;
+    const std::string name = kComponentNames[c];
+    if (component_remote(alt, c)) {
+      f.continuous[name + "_remote_w"] = words;
+      f.continuous[name + "_remote_i"] = 1.0;
+    } else {
+      f.continuous[name + "_local_w"] = words;
+    }
+  }
+  return f;
+}
+
+void PanglossApp::register_op(core::SpectraClient& client) const {
+  core::OperationDesc desc;
+  desc.name = kOperation;
+  for (int mask = 0; mask < kPlanCount; ++mask) {
+    desc.plans.push_back({"placement" + std::to_string(mask), mask != 0});
+  }
+  desc.fidelities = {
+      {"ebmt", {0.0, 1.0}}, {"gloss", {0.0, 1.0}}, {"dict", {0.0, 1.0}}};
+  desc.input_params = {"words"};
+  const PanglossConfig cfg = config_;
+  desc.latency_fn = solver::deadline_latency(cfg.deadline_lo, cfg.deadline_hi);
+  desc.fidelity_fn = [cfg](const std::map<std::string, double>& f) {
+    double total = 0.0;
+    total += f.at("ebmt") * cfg.components[kEbmt].fidelity;
+    total += f.at("gloss") * cfg.components[kGloss].fidelity;
+    total += f.at("dict") * cfg.components[kDict].fidelity;
+    return total;  // 0 (no engines) => infeasible
+  };
+  desc.feature_fn = &PanglossApp::features;
+  client.register_fidelity(std::move(desc));
+}
+
+void PanglossApp::execute(core::SpectraClient& client, int words) const {
+  SPECTRA_REQUIRE(words > 0, "sentence must have words");
+  const solver::Alternative& alt = client.current_choice().alternative;
+  for (int c = 0; c <= kLm; ++c) {
+    if (!component_enabled(alt, c)) continue;
+    rpc::Request req;
+    req.op_type = "pangloss." + std::string(kComponentNames[c]);
+    req.args["words"] = static_cast<double>(words);
+    req.payload =
+        config_.request_bytes_per_word * words + config_.fixed_bytes;
+    const auto resp = component_remote(alt, c)
+                          ? client.do_remote_op(req.op_type, req)
+                          : client.do_local_op(req.op_type, req);
+    SPECTRA_ENSURE(resp.ok, req.op_type + " failed: " + resp.error);
+  }
+}
+
+monitor::OperationUsage PanglossApp::run(core::SpectraClient& client,
+                                         int words) const {
+  std::map<std::string, double> params{{"words", static_cast<double>(words)}};
+  const auto choice = client.begin_fidelity_op(kOperation, params);
+  SPECTRA_REQUIRE(choice.ok, "Spectra produced no choice for Pangloss");
+  execute(client, words);
+  return client.end_fidelity_op();
+}
+
+monitor::OperationUsage PanglossApp::run_forced(
+    core::SpectraClient& client, int words,
+    const solver::Alternative& alt) const {
+  std::map<std::string, double> params{{"words", static_cast<double>(words)}};
+  client.begin_fidelity_op_forced(kOperation, params, "", canonical(alt));
+  execute(client, words);
+  return client.end_fidelity_op();
+}
+
+}  // namespace spectra::apps

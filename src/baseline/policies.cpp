@@ -1,0 +1,59 @@
+#include "baseline/policies.h"
+
+#include "util/assert.h"
+
+namespace spectra::baseline {
+
+RpfPolicy::RpfPolicy(solver::Alternative local, solver::Alternative remote)
+    : local_(std::move(local)), remote_(std::move(remote)) {}
+
+void RpfPolicy::observe(bool remote, const Outcome& outcome) {
+  if (!outcome.feasible) return;
+  if (remote) {
+    remote_time_.add(outcome.time);
+    remote_energy_.add(outcome.energy);
+  } else {
+    local_time_.add(outcome.time);
+    local_energy_.add(outcome.energy);
+  }
+}
+
+const solver::Alternative& RpfPolicy::choose() const {
+  if (local_time_.count() == 0 || remote_time_.count() == 0) return local_;
+  const bool faster = remote_time_.mean() < local_time_.mean();
+  const bool cheaper = remote_energy_.mean() < local_energy_.mean();
+  return (faster && cheaper) ? remote_ : local_;
+}
+
+void OraclePolicy::add_measurement(const solver::Alternative& alt,
+                                   const Outcome& o) {
+  measurements_.emplace_back(alt, o);
+}
+
+const solver::Alternative& OraclePolicy::choose() const {
+  SPECTRA_REQUIRE(!measurements_.empty(), "oracle has no measurements");
+  const std::pair<solver::Alternative, Outcome>* best = nullptr;
+  double best_u = -1.0;
+  for (const auto& m : measurements_) {
+    if (!m.second.feasible) continue;
+    const double u = utility_(m.first, m.second);
+    if (best == nullptr || u > best_u) {
+      best = &m;
+      best_u = u;
+    }
+  }
+  SPECTRA_REQUIRE(best != nullptr, "oracle has no feasible measurement");
+  return best->first;
+}
+
+double OraclePolicy::best_utility() const {
+  (void)choose();  // validates there is a feasible measurement
+  double best_u = -1.0;
+  for (const auto& m : measurements_) {
+    if (!m.second.feasible) continue;
+    best_u = std::max(best_u, utility_(m.first, m.second));
+  }
+  return best_u;
+}
+
+}  // namespace spectra::baseline

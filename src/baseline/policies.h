@@ -1,0 +1,85 @@
+// Comparison policies from the related-work systems (§5), used by the
+// ablation benches to quantify what Spectra's resource monitoring and
+// utility balancing add.
+//
+//   * StaticPolicy        — always the same alternative (static partitioning,
+//                           the pre-remote-execution default).
+//   * RpfPolicy           — Rudenko et al.'s Remote Processing Framework:
+//                           keeps per-alternative histories of execution time
+//                           and energy, and uses remote execution only when
+//                           BOTH are historically better than local; it does
+//                           not monitor individual resources, so it cannot
+//                           react to environment changes it has not yet
+//                           experienced, and it never trades energy against
+//                           performance.
+//   * OraclePolicy        — zero-overhead argmax of achieved utility over
+//                           ground-truth measurements of every alternative.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "solver/types.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace spectra::baseline {
+
+struct Outcome {
+  util::Seconds time = 0.0;
+  util::Joules energy = 0.0;
+  bool feasible = true;
+};
+
+class StaticPolicy {
+ public:
+  explicit StaticPolicy(solver::Alternative alt) : alt_(std::move(alt)) {}
+  const solver::Alternative& choose() const { return alt_; }
+
+ private:
+  solver::Alternative alt_;
+};
+
+class RpfPolicy {
+ public:
+  // `local` and `remote` are the two alternatives RPF arbitrates between.
+  RpfPolicy(solver::Alternative local, solver::Alternative remote);
+
+  void observe(bool remote, const Outcome& outcome);
+
+  // Remote execution only when both mean time and mean energy improved;
+  // with no history (or no remote history) stays local.
+  const solver::Alternative& choose() const;
+
+  std::size_t local_observations() const { return local_time_.count(); }
+  std::size_t remote_observations() const { return remote_time_.count(); }
+
+ private:
+  solver::Alternative local_;
+  solver::Alternative remote_;
+  util::OnlineStats local_time_, local_energy_;
+  util::OnlineStats remote_time_, remote_energy_;
+};
+
+class OraclePolicy {
+ public:
+  // `utility(alternative, outcome)` scores a ground-truth measurement.
+  using UtilityFn =
+      std::function<double(const solver::Alternative&, const Outcome&)>;
+
+  explicit OraclePolicy(UtilityFn utility) : utility_(std::move(utility)) {}
+
+  void add_measurement(const solver::Alternative& alt, const Outcome& o);
+
+  // Best measured alternative; requires at least one feasible measurement.
+  const solver::Alternative& choose() const;
+  double best_utility() const;
+
+ private:
+  UtilityFn utility_;
+  std::vector<std::pair<solver::Alternative, Outcome>> measurements_;
+};
+
+}  // namespace spectra::baseline

@@ -1,0 +1,364 @@
+// spectra — command-line driver for the Spectra reproduction testbeds.
+//
+//   spectra speech   [--scenario=S] [--utterance=SECS] [--trials=N] [--seed=N]
+//   spectra latex    [--scenario=S] [--doc=small|large] [--trials=N] [--seed=N]
+//   spectra pangloss [--scenario=S] [--words=N] [--trials=N] [--seed=N]
+//   spectra overhead [--servers=N] [--runs=N]
+//   spectra explain (speech|latex|pangloss) [--scenario=S] [...]
+//   spectra scenarios
+//
+// `run` commands print the paper-style table for one scenario: every
+// alternative measured from an identical trained state, plus Spectra's
+// choice. `explain` prints the decision trace — what Spectra predicted for
+// every alternative and why the winner won. Use --verbose for component
+// logs (or set SPECTRA_LOG=info|debug).
+#include <iostream>
+#include <map>
+
+#include "cli/args.h"
+#include "scenario/experiment.h"
+#include "util/assert.h"
+#include "util/log.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace spectra::cli {
+namespace {
+
+using namespace spectra::scenario;  // NOLINT: CLI brevity
+
+int usage() {
+  std::cout <<
+      R"(spectra — self-tuning remote execution (ICDCS 2002 reproduction)
+
+usage:
+  spectra speech   [--scenario=S] [--utterance=SECS] [--trials=N] [--seed=N]
+  spectra latex    [--scenario=S] [--doc=small|large] [--trials=N] [--seed=N]
+  spectra pangloss [--scenario=S] [--words=N] [--trials=N] [--seed=N]
+  spectra overhead [--servers=N] [--runs=N]
+  spectra explain (speech|latex|pangloss) [--scenario=S] [--utterance=SECS]
+                  [--doc=D] [--words=N] [--seed=N]
+  spectra scenarios
+
+flags: --verbose (component logs; SPECTRA_LOG=debug for more)
+scenarios:
+  speech:   baseline energy network cpu file-cache
+  latex:    baseline file-cache reintegrate energy
+  pangloss: baseline file-cache cpu
+)";
+  return 0;
+}
+
+template <typename S>
+S parse_scenario(const std::string& text, const std::vector<S>& all) {
+  for (const S s : all) {
+    if (name(s) == text) return s;
+  }
+  SPECTRA_REQUIRE(false, "unknown scenario: " + text);
+  throw std::logic_error("unreachable");
+}
+
+SpeechScenario speech_scenario(const Args& args) {
+  return parse_scenario<SpeechScenario>(
+      args.get("scenario", "baseline"),
+      {SpeechScenario::kBaseline, SpeechScenario::kEnergy,
+       SpeechScenario::kNetwork, SpeechScenario::kCpu,
+       SpeechScenario::kFileCache});
+}
+
+LatexScenario latex_scenario(const Args& args) {
+  return parse_scenario<LatexScenario>(
+      args.get("scenario", "baseline"),
+      {LatexScenario::kBaseline, LatexScenario::kFileCache,
+       LatexScenario::kReintegrate, LatexScenario::kEnergy});
+}
+
+PanglossScenario pangloss_scenario(const Args& args) {
+  return parse_scenario<PanglossScenario>(
+      args.get("scenario", "baseline"),
+      {PanglossScenario::kBaseline, PanglossScenario::kFileCache,
+       PanglossScenario::kCpu});
+}
+
+// Generic scenario table: measure every alternative over N trials, then let
+// Spectra choose.
+template <typename Experiment, typename MakeExperiment>
+void run_table(const std::string& title, long trials, std::uint64_t seed,
+               MakeExperiment make) {
+  const auto alternatives = Experiment::alternatives();
+  struct Cell {
+    util::OnlineStats time, energy;
+    bool infeasible = false;
+  };
+  std::map<std::string, Cell> cells;
+  util::OnlineStats s_time, s_energy;
+  std::map<std::string, int> chosen;
+
+  for (long t = 0; t < trials; ++t) {
+    Experiment exp = make(seed + static_cast<std::uint64_t>(t) * 17);
+    for (const auto& alt : alternatives) {
+      const auto run = exp.measure(alt);
+      auto& cell = cells[Experiment::label(alt)];
+      if (run.feasible) {
+        cell.time.add(run.time);
+        cell.energy.add(run.energy);
+      } else {
+        cell.infeasible = true;
+      }
+    }
+    const auto s = exp.run_spectra();
+    s_time.add(s.time);
+    s_energy.add(s.energy);
+    ++chosen[Experiment::label(s.choice.alternative)];
+  }
+
+  std::string s_label;
+  int best = 0;
+  for (const auto& [label, count] : chosen) {
+    if (count > best) {
+      s_label = label;
+      best = count;
+    }
+  }
+
+  util::Table table(title);
+  table.set_header({"alternative", "time (s)", "energy (J)", ""});
+  for (const auto& alt : alternatives) {
+    const std::string label = Experiment::label(alt);
+    const auto& cell = cells[label];
+    if (cell.infeasible || cell.time.count() == 0) {
+      table.add_row({label, "unavailable", "-",
+                     label == s_label ? "<== Spectra" : ""});
+    } else {
+      table.add_row(
+          {label,
+           util::Table::num_ci(cell.time.mean(),
+                               cell.time.confidence_halfwidth(0.90), 2),
+           util::Table::num_ci(cell.energy.mean(),
+                               cell.energy.confidence_halfwidth(0.90), 2),
+           label == s_label ? "<== Spectra" : ""});
+    }
+  }
+  table.add_separator();
+  table.add_row({"Spectra (w/ overhead)",
+                 util::Table::num_ci(s_time.mean(),
+                                     s_time.confidence_halfwidth(0.90), 2),
+                 util::Table::num_ci(s_energy.mean(),
+                                     s_energy.confidence_halfwidth(0.90), 2),
+                 ""});
+  std::cout << table.to_string();
+}
+
+int cmd_speech(const Args& args) {
+  const auto sc = speech_scenario(args);
+  run_table<SpeechExperiment>(
+      "Speech recognition — scenario: " + name(sc),
+      args.get_int("trials", 3),
+      static_cast<std::uint64_t>(args.get_int("seed", 1000)),
+      [&](std::uint64_t seed) {
+        SpeechExperiment::Config cfg;
+        cfg.scenario = sc;
+        cfg.seed = seed;
+        cfg.test_utterance_s = args.get_double("utterance", 2.0);
+        return SpeechExperiment(cfg);
+      });
+  return 0;
+}
+
+int cmd_latex(const Args& args) {
+  const auto sc = latex_scenario(args);
+  const std::string doc = args.get("doc", "small");
+  SPECTRA_REQUIRE(doc == "small" || doc == "large",
+                  "--doc must be small or large");
+  run_table<LatexExperiment>(
+      "Latex (" + doc + " document) — scenario: " + name(sc),
+      args.get_int("trials", 3),
+      static_cast<std::uint64_t>(args.get_int("seed", 1000)),
+      [&](std::uint64_t seed) {
+        LatexExperiment::Config cfg;
+        cfg.scenario = sc;
+        cfg.doc = doc;
+        cfg.seed = seed;
+        return LatexExperiment(cfg);
+      });
+  return 0;
+}
+
+int cmd_pangloss(const Args& args) {
+  const auto sc = pangloss_scenario(args);
+  const int words = static_cast<int>(args.get_int("words", 10));
+  const long trials = args.get_int("trials", 1);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1000));
+
+  util::OnlineStats percentile, relative;
+  std::map<std::string, int> chosen;
+  for (long t = 0; t < trials; ++t) {
+    PanglossExperiment::Config cfg;
+    cfg.scenario = sc;
+    cfg.seed = seed + static_cast<std::uint64_t>(t) * 17;
+    cfg.test_words = words;
+    PanglossExperiment exp(cfg);
+    std::vector<double> utilities;
+    double best = 0.0;
+    for (const auto& alt : PanglossExperiment::alternatives()) {
+      const double u =
+          PanglossExperiment::achieved_utility(exp.measure(alt), alt);
+      utilities.push_back(u);
+      best = std::max(best, u);
+    }
+    const auto s = exp.run_spectra();
+    const double su =
+        PanglossExperiment::achieved_utility(s, s.choice.alternative);
+    percentile.add(util::percentile_rank(utilities, su));
+    relative.add(best > 0.0 ? su / best : 0.0);
+    ++chosen[PanglossExperiment::label(s.choice.alternative)];
+  }
+  std::string s_label;
+  int best_count = 0;
+  for (const auto& [label, count] : chosen) {
+    if (count > best_count) {
+      s_label = label;
+      best_count = count;
+    }
+  }
+  util::Table table("Pangloss-Lite (" + std::to_string(words) +
+                    " words) — scenario: " + name(sc));
+  table.set_header({"metric", "value"});
+  table.add_row({"alternatives considered",
+                 std::to_string(PanglossExperiment::alternatives().size())});
+  table.add_row({"Spectra chose", s_label});
+  table.add_row({"accuracy percentile (Fig 8)",
+                 util::Table::num(percentile.mean(), 1)});
+  table.add_row({"relative utility vs oracle (Fig 9)",
+                 util::Table::num(relative.mean(), 3)});
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_overhead(const Args& args) {
+  OverheadExperiment::Config cfg;
+  cfg.servers = static_cast<std::size_t>(args.get_int("servers", 1));
+  cfg.measured_runs = static_cast<int>(args.get_int("runs", 200));
+  const auto r = OverheadExperiment(cfg).run();
+  util::Table table("Null-operation overhead, " +
+                    std::to_string(cfg.servers) + " server(s)");
+  table.set_header({"activity", "wall ms"});
+  table.add_row({"register_fidelity", util::Table::num(r.register_ms, 4)});
+  table.add_row({"begin_fidelity_op", util::Table::num(r.begin_ms, 4)});
+  table.add_row({"  file cache prediction",
+                 util::Table::num(r.cache_prediction_ms, 4)});
+  table.add_row({"  choosing alternative",
+                 util::Table::num(r.choosing_ms, 4)});
+  table.add_row({"do_local_op", util::Table::num(r.do_local_ms, 4)});
+  table.add_row({"end_fidelity_op", util::Table::num(r.end_ms, 4)});
+  table.add_row({"total", util::Table::num(r.total_ms, 4)});
+  table.add_row({"virtual decision cost (ms, simulated)",
+                 util::Table::num(r.virtual_decision_ms, 2)});
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  SPECTRA_REQUIRE(!args.positionals().empty(),
+                  "explain needs an application: speech|latex|pangloss");
+  const std::string app = args.positionals()[0];
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
+
+  std::unique_ptr<World> world;
+  if (app == "speech") {
+    SpeechExperiment::Config cfg;
+    cfg.scenario = speech_scenario(args);
+    cfg.seed = seed;
+    cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
+      c.trace_decisions = true;
+    };
+    world = SpeechExperiment(cfg).trained_world();
+    world->spectra().begin_fidelity_op(
+        apps::JanusApp::kOperation,
+        {{"utt_len", args.get_double("utterance", 2.0)}});
+    world->janus().execute(world->spectra(),
+                           args.get_double("utterance", 2.0));
+  } else if (app == "latex") {
+    LatexExperiment::Config cfg;
+    cfg.scenario = latex_scenario(args);
+    cfg.seed = seed;
+    cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
+      c.trace_decisions = true;
+    };
+    world = LatexExperiment(cfg).trained_world();
+    const std::string doc = args.get("doc", "small");
+    world->spectra().begin_fidelity_op(apps::LatexApp::kOperation, {}, doc);
+    world->latex().execute(world->spectra(), doc);
+  } else if (app == "pangloss") {
+    PanglossExperiment::Config cfg;
+    cfg.scenario = pangloss_scenario(args);
+    cfg.seed = seed;
+    cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
+      c.trace_decisions = true;
+    };
+    world = PanglossExperiment(cfg).trained_world();
+    const int words = static_cast<int>(args.get_int("words", 10));
+    world->spectra().begin_fidelity_op(
+        apps::PanglossApp::kOperation,
+        {{"words", static_cast<double>(words)}});
+    world->pangloss().execute(world->spectra(), words);
+  } else {
+    SPECTRA_REQUIRE(false, "unknown application: " + app);
+  }
+  world->spectra().end_fidelity_op();
+  const auto* trace = world->spectra().last_decision_trace();
+  SPECTRA_REQUIRE(trace != nullptr, "no decision trace captured");
+  std::cout << trace->to_string();
+  return 0;
+}
+
+int cmd_scenarios() {
+  util::Table table("Scenarios (from the paper's evaluation, §4)");
+  table.set_header({"application", "scenario", "varies"});
+  table.add_row({"speech", "baseline", "nothing (wall power, warm caches)"});
+  table.add_row({"speech", "energy", "battery + 10 h lifetime goal"});
+  table.add_row({"speech", "network", "client-server bandwidth halved"});
+  table.add_row({"speech", "cpu", "CPU-bound job on the client"});
+  table.add_row({"speech", "file-cache",
+                 "server partitioned + 277 KB LM flushed"});
+  table.add_row({"latex", "baseline", "nothing"});
+  table.add_row({"latex", "file-cache", "server B cache cold"});
+  table.add_row({"latex", "reintegrate", "70 KB input modified on client"});
+  table.add_row({"latex", "energy", "reintegrate + battery + aggressive goal"});
+  table.add_row({"pangloss", "baseline", "nothing"});
+  table.add_row({"pangloss", "file-cache", "12 MB EBMT corpus evicted from B"});
+  table.add_row({"pangloss", "cpu", "file-cache + 2 jobs on server A"});
+  std::cout << table.to_string();
+  return 0;
+}
+
+int run(int argc, const char* const* argv) {
+  const Args args = Args::parse(argc, argv);
+  if (args.has_flag("verbose")) {
+    util::Logger::instance().set_level(util::LogLevel::kInfo);
+  }
+  const std::string& cmd = args.command();
+  if (cmd.empty() || cmd == "help") return usage();
+  if (cmd == "speech") return cmd_speech(args);
+  if (cmd == "latex") return cmd_latex(args);
+  if (cmd == "pangloss") return cmd_pangloss(args);
+  if (cmd == "overhead") return cmd_overhead(args);
+  if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "scenarios") return cmd_scenarios();
+  std::cerr << "unknown command: " << cmd << "\n\n";
+  usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace spectra::cli
+
+int main(int argc, char** argv) {
+  try {
+    return spectra::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,432 @@
+#include "core/client.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include <algorithm>
+
+#include "monitor/cache_monitor.h"
+#include "monitor/remote_proxy.h"
+#include "util/assert.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace spectra::core {
+
+namespace {
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SpectraClient::SpectraClient(MachineId id, sim::Engine& engine,
+                             hw::Machine& machine, net::Network& network,
+                             fs::CodaClient& coda,
+                             std::unique_ptr<hw::EnergyDriver> energy_driver,
+                             util::Rng rng, SpectraClientConfig config)
+    : id_(id),
+      engine_(engine),
+      machine_(machine),
+      network_(network),
+      coda_(coda),
+      config_(config),
+      endpoint_(id, machine, network, nullptr),
+      local_server_(
+          std::make_unique<SpectraServer>(id, engine, machine, network,
+                                          &coda)),
+      server_db_(engine, endpoint_, monitors_, config.poll_period),
+      consistency_(coda, config.reintegration_threshold),
+      solver_(rng, config.solver) {
+  auto cpu = std::make_unique<monitor::CpuMonitor>(engine, machine);
+  auto net = std::make_unique<monitor::NetworkMonitor>(engine, network, id,
+                                                       config_.network);
+  network_monitor_ = net.get();
+  auto battery = std::make_unique<monitor::BatteryMonitor>(
+      engine, machine, std::move(energy_driver), config_.goal);
+  battery_monitor_ = battery.get();
+  monitors_.add(std::move(cpu));
+  monitors_.add(std::move(net));
+  monitors_.add(std::move(battery));
+  monitors_.add(std::make_unique<monitor::FileCacheMonitor>(
+      coda, config_.incremental_cache_interface));
+  monitors_.add(std::make_unique<monitor::RemoteCpuProxy>(engine));
+  monitors_.add(std::make_unique<monitor::RemoteCacheProxy>(engine));
+
+  if (!config_.usage_log_path.empty() &&
+      std::filesystem::exists(config_.usage_log_path)) {
+    usage_log_.load(config_.usage_log_path);
+  }
+}
+
+SpectraClient::~SpectraClient() = default;
+
+std::string DecisionTrace::to_string(std::size_t max_rows) const {
+  std::vector<const DecisionTraceEntry*> sorted;
+  sorted.reserve(entries.size());
+  for (const auto& e : entries) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DecisionTraceEntry* a, const DecisionTraceEntry* b) {
+              return a->log_utility > b->log_utility;
+            });
+  util::Table table("Decision trace: " + operation + " (c=" +
+                    util::Table::num(energy_importance, 2) + ", " +
+                    std::to_string(entries.size()) + " alternatives)");
+  table.set_header({"alternative", "log-utility", "T (s)", "cpu_l", "cpu_r",
+                    "net", "miss", "consist", "E (J)", ""});
+  std::size_t shown = 0;
+  for (const auto* e : sorted) {
+    if (shown++ >= max_rows) break;
+    if (!e->feasible) {
+      table.add_row({e->alternative.describe(), "infeasible", "-", "-", "-",
+                     "-", "-", "-", "-",
+                     e->alternative == chosen ? "<== chosen" : ""});
+      continue;
+    }
+    table.add_row({e->alternative.describe(),
+                   util::Table::num(e->log_utility, 3),
+                   util::Table::num(e->predicted.time, 3),
+                   util::Table::num(e->breakdown.local_cpu, 2),
+                   util::Table::num(e->breakdown.remote_cpu, 2),
+                   util::Table::num(e->breakdown.network, 2),
+                   util::Table::num(e->breakdown.cache_miss, 2),
+                   util::Table::num(e->breakdown.consistency, 2),
+                   e->predicted.has_energy
+                       ? util::Table::num(e->predicted.energy, 2)
+                       : std::string("-"),
+                   e->alternative == chosen ? "<== chosen" : ""});
+  }
+  return table.to_string();
+}
+
+void SpectraClient::set_battery_lifetime_goal(util::Seconds duration) {
+  battery_monitor_->adaptation().set_goal(duration);
+}
+
+double SpectraClient::energy_importance() const {
+  return battery_monitor_->adaptation().importance();
+}
+
+SpectraClient::RegisteredOp& SpectraClient::registered(const std::string& op) {
+  auto it = ops_.find(op);
+  SPECTRA_REQUIRE(it != ops_.end(), "operation not registered: " + op);
+  return it->second;
+}
+
+const SpectraClient::RegisteredOp& SpectraClient::registered(
+    const std::string& op) const {
+  auto it = ops_.find(op);
+  SPECTRA_REQUIRE(it != ops_.end(), "operation not registered: " + op);
+  return it->second;
+}
+
+void SpectraClient::register_fidelity(OperationDesc desc) {
+  SPECTRA_REQUIRE(!desc.name.empty(), "operation needs a name");
+  SPECTRA_REQUIRE(!desc.plans.empty(), "operation needs at least one plan");
+  SPECTRA_REQUIRE(desc.latency_fn != nullptr,
+                  "operation needs a latency desirability function");
+  SPECTRA_REQUIRE(desc.fidelity_fn != nullptr,
+                  "operation needs a fidelity desirability function");
+  SPECTRA_REQUIRE(ops_.count(desc.name) == 0,
+                  "operation already registered: " + desc.name);
+
+  machine_.run_cycles(config_.register_cycles);
+
+  RegisteredOp op{desc, predict::OperationModel(config_.model), nullptr, 0};
+  op.utility = desc.utility != nullptr
+                   ? desc.utility
+                   : std::make_shared<solver::DefaultUtility>(
+                         desc.latency_fn, desc.fidelity_fn);
+  // Bootstrap the models from the persistent usage log (§3.4).
+  for (const auto& record : usage_log_.for_operation(desc.name)) {
+    op.model.replay(record);
+  }
+  ops_.emplace(desc.name, std::move(op));
+}
+
+predict::FeatureVector SpectraClient::make_features(
+    const OperationDesc& desc, const solver::Alternative& alt,
+    const std::map<std::string, double>& params,
+    const std::string& data_tag) const {
+  if (desc.feature_fn != nullptr) {
+    return desc.feature_fn(alt, params, data_tag);
+  }
+  predict::FeatureVector f;
+  f.discrete["plan"] = static_cast<double>(alt.plan);
+  if (alt.server >= 0) f.discrete["server"] = static_cast<double>(alt.server);
+  for (const auto& [k, v] : alt.fidelity) f.discrete[k] = v;
+  f.continuous = params;
+  f.data_tag = data_tag;
+  return f;
+}
+
+OperationChoice SpectraClient::choose(
+    RegisteredOp& op, const std::map<std::string, double>& params,
+    const std::string& data_tag) {
+  OperationChoice choice;
+  const double wall_t0 = wall_now();
+  const util::Seconds vt0 = engine_.now();
+
+  machine_.run_cycles(config_.begin_base_cycles);
+
+  const std::vector<MachineId> candidates = server_db_.available_servers();
+  choice.candidate_servers = candidates.size();
+  machine_.run_cycles(config_.per_candidate_cycles *
+                      static_cast<double>(candidates.size()));
+
+  // Exploration phase: round-robin over the space until enough history
+  // exists for the models to be meaningful.
+  solver::AlternativeSpace space{op.desc.plans, candidates,
+                                 op.desc.fidelities};
+  if (op.model.observations() < config_.exploration_runs) {
+    const auto alternatives = space.enumerate();
+    // Skip alternatives that need an unavailable server.
+    std::vector<solver::Alternative> feasible;
+    for (const auto& a : alternatives) {
+      if (a.server < 0 || server_db_.server(a.server) != nullptr) {
+        feasible.push_back(a);
+      }
+    }
+    SPECTRA_ENSURE(!feasible.empty(), "no feasible alternative to explore");
+    choice.ok = true;
+    choice.from_model = false;
+    choice.alternative = feasible[op.executions % feasible.size()];
+    choice.wall_total = wall_now() - wall_t0;
+    choice.virtual_decision_time = engine_.now() - vt0;
+    return choice;
+  }
+
+  // Snapshot resource availability (the file-cache monitor's share of this
+  // is the paper's "file cache prediction" overhead line).
+  const double wall_snap0 = wall_now();
+  monitor::ResourceSnapshot snapshot =
+      monitors_.build_snapshot(candidates, engine_.now());
+  const double wall_snap1 = wall_now();
+  {
+    auto it = monitors_.last_predict_wall_times().find("file_cache");
+    choice.wall_cache_prediction =
+        it != monitors_.last_predict_wall_times().end() ? it->second : 0.0;
+  }
+
+  solver::EstimatorInputs inputs;
+  inputs.snapshot = &snapshot;
+  inputs.dirty_files = consistency_.dirty_files();
+  inputs.fileserver_bandwidth =
+      network_monitor_->bandwidth_estimate(coda_.file_server_host());
+  inputs.reintegration_threshold = config_.reintegration_threshold;
+
+  DecisionTrace trace;
+  if (config_.trace_decisions) {
+    trace.operation = op.desc.name;
+    trace.taken_at = engine_.now();
+    trace.energy_importance = snapshot.energy_importance;
+  }
+
+  solver::UserMetrics best_metrics;
+  solver::TimeBreakdown best_breakdown;
+  const auto eval = [&](const solver::Alternative& alt) {
+    const predict::FeatureVector f =
+        make_features(op.desc, alt, params, data_tag);
+    const predict::DemandEstimate demand = op.model.predict(f);
+    solver::TimeBreakdown tb;
+    const auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
+    const double lu =
+        metrics ? op.utility->log_utility(*metrics,
+                                          snapshot.energy_importance)
+                : solver::kInfeasible;
+    if (config_.trace_decisions) {
+      DecisionTraceEntry entry;
+      entry.alternative = alt;
+      entry.feasible = metrics.has_value();
+      if (metrics) entry.predicted = *metrics;
+      entry.breakdown = tb;
+      entry.log_utility = lu;
+      trace.entries.push_back(std::move(entry));
+    }
+    return lu;
+  };
+
+  const double wall_solve0 = wall_now();
+  solver::SolveResult result = solver_.solve(space, eval);
+  const double wall_solve1 = wall_now();
+  machine_.run_cycles(config_.per_eval_cycles *
+                      static_cast<double>(result.evaluations));
+
+  if (!result.found) {
+    // Everything infeasible (e.g. candidate servers lost mid-decision):
+    // fall back to the first local plan at the first fidelity setting.
+    for (const auto& a : space.enumerate()) {
+      if (a.server < 0) {
+        choice.ok = true;
+        choice.from_model = false;
+        choice.alternative = a;
+        break;
+      }
+    }
+  } else {
+    choice.ok = true;
+    choice.from_model = true;
+    choice.alternative = result.best;
+    choice.log_utility = result.log_utility;
+    choice.evaluations = result.evaluations;
+    // Recompute the winner's metrics for reporting.
+    const predict::FeatureVector f =
+        make_features(op.desc, result.best, params, data_tag);
+    const predict::DemandEstimate demand = op.model.predict(f);
+    const auto metrics =
+        estimator_.estimate(inputs, space, result.best, demand,
+                            &best_breakdown);
+    if (metrics) {
+      best_metrics = *metrics;
+      choice.predicted = best_metrics;
+      choice.predicted_breakdown = best_breakdown;
+    }
+  }
+
+  choice.wall_choosing = wall_solve1 - wall_solve0;
+  choice.wall_total = wall_now() - wall_t0;
+  choice.wall_other = choice.wall_total - choice.wall_choosing -
+                      (wall_snap1 - wall_snap0);
+  choice.virtual_decision_time = engine_.now() - vt0;
+
+  if (config_.trace_decisions && choice.ok) {
+    trace.chosen = choice.alternative;
+    last_trace_ = std::move(trace);
+  }
+  SPECTRA_LOG_INFO("client")
+      << op.desc.name << ": chose " << choice.alternative.describe()
+      << " (predicted " << choice.predicted.time << " s, evaluated "
+      << choice.evaluations << " alternatives)";
+  return choice;
+}
+
+void SpectraClient::start_execution(
+    RegisteredOp& op, const std::map<std::string, double>& params,
+    const std::string& data_tag, OperationChoice choice) {
+  SPECTRA_REQUIRE(choice.ok, "cannot start an operation without a choice");
+  ActiveOp active;
+  active.name = op.desc.name;
+  active.features =
+      make_features(op.desc, choice.alternative, params, data_tag);
+  active.choice = choice;
+
+  monitors_.start_op();
+  server_db_.set_suppressed(true);
+  active.started_at = engine_.now();
+
+  // Data consistency (§3.5): before remote execution, reintegrate every
+  // dirty volume the operation is predicted to touch. The time counts as
+  // part of the operation's execution, exactly as in the paper's bars.
+  const bool remote = op.desc.plans[choice.alternative.plan].uses_remote;
+  if (remote && coda_.has_dirty_files()) {
+    if (op.model.trained()) {
+      const auto demand = op.model.predict(active.features);
+      active.choice.reintegration_time =
+          consistency_.ensure_consistency(demand.files);
+    } else {
+      // No access predictions yet: be conservative, push everything.
+      active.choice.reintegration_time = coda_.reintegrate_all();
+    }
+  }
+
+  active_ = std::move(active);
+}
+
+OperationChoice SpectraClient::begin_fidelity_op(
+    const std::string& op_name, const std::map<std::string, double>& params,
+    const std::string& data_tag) {
+  SPECTRA_REQUIRE(!active_, "an operation is already in progress");
+  RegisteredOp& op = registered(op_name);
+  OperationChoice choice = choose(op, params, data_tag);
+  if (choice.ok) start_execution(op, params, data_tag, choice);
+  return active_ ? active_->choice : choice;
+}
+
+OperationChoice SpectraClient::begin_fidelity_op_forced(
+    const std::string& op_name, const std::map<std::string, double>& params,
+    const std::string& data_tag, const solver::Alternative& alternative) {
+  SPECTRA_REQUIRE(!active_, "an operation is already in progress");
+  RegisteredOp& op = registered(op_name);
+  SPECTRA_REQUIRE(alternative.plan >= 0 &&
+                      alternative.plan <
+                          static_cast<int>(op.desc.plans.size()),
+                  "forced plan index out of range");
+  OperationChoice choice;
+  choice.ok = true;
+  choice.from_model = false;
+  choice.alternative = alternative;
+  start_execution(op, params, data_tag, choice);
+  return active_->choice;
+}
+
+rpc::Response SpectraClient::do_local_op(const std::string& service,
+                                         const rpc::Request& request) {
+  SPECTRA_REQUIRE(active_, "do_local_op outside an operation");
+  // Local services run on this machine's Spectra server; their CPU and file
+  // usage is observed directly by the local monitors.
+  return endpoint_.call(local_server_->endpoint(), service, request);
+}
+
+rpc::Response SpectraClient::do_remote_op(const std::string& service,
+                                          const rpc::Request& request) {
+  SPECTRA_REQUIRE(active_, "do_remote_op outside an operation");
+  const MachineId server_id = active_->choice.alternative.server;
+  SPECTRA_REQUIRE(server_id >= 0,
+                  "do_remote_op but the chosen plan has no server");
+  SpectraServer* server = server_db_.server(server_id);
+  SPECTRA_REQUIRE(server != nullptr, "chosen server is not in the database");
+  rpc::CallStats stats;
+  rpc::Response resp =
+      endpoint_.call(server->endpoint(), service, request, &stats);
+  network_monitor_->note_call(stats);
+  if (resp.ok) {
+    monitors_.add_usage(server_id, resp.usage, active_->usage);
+  }
+  return resp;
+}
+
+monitor::OperationUsage SpectraClient::end_fidelity_op() {
+  SPECTRA_REQUIRE(active_, "end_fidelity_op without begin_fidelity_op");
+  server_db_.set_suppressed(false);
+  monitors_.stop_op(active_->usage);
+  active_->usage.elapsed = engine_.now() - active_->started_at;
+  machine_.run_cycles(config_.end_cycles);
+
+  RegisteredOp& op = registered(active_->name);
+  op.model.observe(active_->features, active_->usage);
+  ++op.executions;
+  predict::UsageRecord record = predict::UsageRecord::from_usage(
+      active_->name, active_->features, active_->usage);
+  // Merge accesses as the model sees them.
+  usage_log_.append(std::move(record));
+
+  monitor::OperationUsage usage = active_->usage;
+  active_.reset();
+  return usage;
+}
+
+const OperationChoice& SpectraClient::current_choice() const {
+  SPECTRA_REQUIRE(active_, "no operation in progress");
+  return active_->choice;
+}
+
+const predict::OperationModel& SpectraClient::model(
+    const std::string& op) const {
+  return registered(op).model;
+}
+
+predict::DemandEstimate SpectraClient::predict_demand(
+    const std::string& op, const std::map<std::string, double>& params,
+    const std::string& data_tag, const solver::Alternative& alt) const {
+  const RegisteredOp& r = registered(op);
+  return r.model.predict(make_features(r.desc, alt, params, data_tag));
+}
+
+void SpectraClient::save_usage_log() const {
+  SPECTRA_REQUIRE(!config_.usage_log_path.empty(),
+                  "no usage log path configured");
+  usage_log_.save(config_.usage_log_path);
+}
+
+}  // namespace spectra::core

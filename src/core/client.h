@@ -1,0 +1,276 @@
+// Spectra client: the application-facing API (§3.1, Figure 1) and the glue
+// between monitors, predictors, solver, consistency manager, and servers.
+//
+//   register_fidelity  — describe an operation (plans, fidelities, input
+//                        parameters, latency/fidelity desirability); creates
+//                        the default demand predictors and bootstraps them
+//                        from the persistent usage log.
+//   begin_fidelity_op  — snapshot resource availability, predict demand for
+//                        every (plan, server, fidelity) alternative, search
+//                        with the heuristic solver, pick the best, trigger
+//                        any reintegration remote execution requires, and
+//                        start usage measurement.
+//   do_local_op        — RPC to the Spectra server on this machine.
+//   do_remote_op       — RPC to the chosen remote server; the response's
+//                        usage report is accounted to the operation.
+//   end_fidelity_op    — stop measurement, log usage, update the models.
+//
+// Decision overhead is both charged in virtual time (a deterministic cost
+// model, so simulated results are reproducible) and measured in real wall
+// time (reported for the Fig-10 overhead table).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/consistency.h"
+#include "core/server.h"
+#include "core/server_db.h"
+#include "fs/coda.h"
+#include "hw/energy.h"
+#include "hw/machine.h"
+#include "monitor/battery_monitor.h"
+#include "monitor/cpu_monitor.h"
+#include "monitor/monitor.h"
+#include "monitor/network_monitor.h"
+#include "net/network.h"
+#include "predict/operation_model.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+#include "solver/estimator.h"
+#include "solver/solver.h"
+#include "solver/utility.h"
+#include "util/rng.h"
+
+namespace spectra::core {
+
+struct SpectraClientConfig {
+  // Modeled decision-overhead costs charged to the client CPU (virtual
+  // time); calibrated so the overhead table has the paper's shape.
+  util::Cycles register_cycles = 300e3;
+  util::Cycles begin_base_cycles = 500e3;
+  util::Cycles per_candidate_cycles = 150e3;
+  util::Cycles per_eval_cycles = 25e3;
+  util::Cycles end_cycles = 300e3;
+
+  util::Seconds poll_period = 5.0;
+  // Round-robin exploration until this many executions have been observed
+  // (benches normally train explicitly with forced alternatives instead).
+  std::size_t exploration_runs = 12;
+  // Capture a DecisionTrace for every model-driven decision (adds the cost
+  // of recording each evaluated alternative; off by default).
+  bool trace_decisions = false;
+  // Use Coda's incremental cache-state interface for file-cache prediction
+  // (the efficient replacement the paper plans in §4.4). Off by default so
+  // the overhead table reproduces the paper's dump-everything costs.
+  bool incremental_cache_interface = false;
+  double reintegration_threshold = 0.02;
+
+  predict::OperationModelConfig model;
+  solver::HeuristicSolverConfig solver;
+  monitor::NetworkMonitorConfig network;
+  monitor::GoalAdaptationConfig goal;
+
+  // When non-empty, the usage log is loaded from here at construction (if
+  // the file exists) and can be saved back with save_usage_log().
+  std::string usage_log_path;
+};
+
+// Application-specific feature mapping: how an alternative plus input
+// parameters become predictor features. The default maps the plan, the
+// chosen server, and each fidelity dimension to discrete features and the
+// input parameters to continuous features; applications with compositional
+// structure (Pangloss-Lite's per-engine placement) override this — the
+// paper's application-specific-predictor hook (§3.4).
+using FeatureFn = std::function<predict::FeatureVector(
+    const solver::Alternative&, const std::map<std::string, double>&,
+    const std::string& data_tag)>;
+
+struct OperationDesc {
+  std::string name;
+  std::vector<solver::PlanInfo> plans;
+  std::vector<solver::FidelityDimension> fidelities;
+  // Names of the continuous input parameters (documentation; the values
+  // arrive at begin_fidelity_op).
+  std::vector<std::string> input_params;
+  solver::LatencyFn latency_fn;
+  solver::FidelityFn fidelity_fn;
+  // Optional application-specific utility override (§3.6).
+  std::shared_ptr<solver::UtilityFunction> utility;
+  // Optional application-specific feature mapping (§3.4).
+  FeatureFn feature_fn;
+};
+
+// Per-alternative record of one decision, captured when the client's
+// trace_decisions flag is on: what Spectra predicted for every alternative
+// it evaluated and why the winner won. Invaluable when calibrating
+// applications ("why did it run this remotely?").
+struct DecisionTraceEntry {
+  solver::Alternative alternative;
+  bool feasible = false;
+  solver::UserMetrics predicted;
+  solver::TimeBreakdown breakdown;
+  double log_utility = solver::kInfeasible;
+};
+
+struct DecisionTrace {
+  std::string operation;
+  util::Seconds taken_at = 0.0;
+  double energy_importance = 0.0;
+  std::vector<DecisionTraceEntry> entries;  // in evaluation order
+  solver::Alternative chosen;
+
+  // Render as a table, best alternatives first.
+  std::string to_string(std::size_t max_rows = 16) const;
+};
+
+struct OperationChoice {
+  bool ok = false;
+  // False while the client is still exploring (model untrained).
+  bool from_model = false;
+  solver::Alternative alternative;
+  solver::UserMetrics predicted;
+  solver::TimeBreakdown predicted_breakdown;
+  double log_utility = solver::kInfeasible;
+  std::size_t evaluations = 0;
+  std::size_t candidate_servers = 0;
+
+  // Real wall-clock cost of the decision phases (seconds of host time).
+  double wall_total = 0.0;
+  double wall_cache_prediction = 0.0;
+  double wall_choosing = 0.0;
+  double wall_other = 0.0;
+
+  // Virtual time consumed by the decision and by any reintegration
+  // triggered for consistency.
+  util::Seconds virtual_decision_time = 0.0;
+  util::Seconds reintegration_time = 0.0;
+};
+
+class SpectraClient {
+ public:
+  SpectraClient(MachineId id, sim::Engine& engine, hw::Machine& machine,
+                net::Network& network, fs::CodaClient& coda,
+                std::unique_ptr<hw::EnergyDriver> energy_driver,
+                util::Rng rng, SpectraClientConfig config = {});
+  ~SpectraClient();
+
+  SpectraClient(const SpectraClient&) = delete;
+  SpectraClient& operator=(const SpectraClient&) = delete;
+
+  // ---- wiring -----------------------------------------------------------
+  void add_server(SpectraServer& server) { server_db_.add_server(server); }
+  // The Spectra server co-located with the client (hosts local services).
+  SpectraServer& local_server() { return *local_server_; }
+
+  MachineId id() const { return id_; }
+  monitor::MonitorSet& monitors() { return monitors_; }
+  ServerDatabase& server_db() { return server_db_; }
+  fs::CodaClient& coda() { return coda_; }
+  hw::Machine& machine() { return machine_; }
+
+  // ---- energy goal ------------------------------------------------------
+  void set_battery_lifetime_goal(util::Seconds duration);
+  double energy_importance() const;
+
+  // ---- the Spectra API (§3.1) --------------------------------------------
+  void register_fidelity(OperationDesc desc);
+
+  OperationChoice begin_fidelity_op(
+      const std::string& op, const std::map<std::string, double>& params,
+      const std::string& data_tag = "");
+
+  // Measurement-harness entry: execute a specific alternative. No snapshot
+  // or solver runs (the paper's per-alternative bars carry no decision
+  // overhead), but consistency is still enforced and usage still measured
+  // so the models learn from training runs.
+  OperationChoice begin_fidelity_op_forced(
+      const std::string& op, const std::map<std::string, double>& params,
+      const std::string& data_tag, const solver::Alternative& alternative);
+
+  rpc::Response do_local_op(const std::string& service,
+                            const rpc::Request& request);
+  rpc::Response do_remote_op(const std::string& service,
+                             const rpc::Request& request);
+
+  monitor::OperationUsage end_fidelity_op();
+
+  bool op_in_progress() const { return active_.has_value(); }
+  const OperationChoice& current_choice() const;
+
+  // ---- model access (benches, oracle, tests) ------------------------------
+  bool is_registered(const std::string& op) const {
+    return ops_.count(op) > 0;
+  }
+  const predict::OperationModel& model(const std::string& op) const;
+  predict::DemandEstimate predict_demand(
+      const std::string& op, const std::map<std::string, double>& params,
+      const std::string& data_tag, const solver::Alternative& alt) const;
+
+  const predict::UsageLog& usage_log() const { return usage_log_; }
+  void save_usage_log() const;
+
+  // The trace of the most recent model-driven decision; null when tracing
+  // is disabled or no such decision has been made yet.
+  const DecisionTrace* last_decision_trace() const {
+    return last_trace_ ? &*last_trace_ : nullptr;
+  }
+
+ private:
+  struct RegisteredOp {
+    OperationDesc desc;
+    predict::OperationModel model;
+    std::shared_ptr<solver::UtilityFunction> utility;
+    std::size_t executions = 0;
+  };
+
+  struct ActiveOp {
+    std::string name;
+    predict::FeatureVector features;
+    OperationChoice choice;
+    monitor::OperationUsage usage;
+    util::Seconds started_at = 0.0;
+  };
+
+  RegisteredOp& registered(const std::string& op);
+  const RegisteredOp& registered(const std::string& op) const;
+  predict::FeatureVector make_features(
+      const OperationDesc& desc, const solver::Alternative& alt,
+      const std::map<std::string, double>& params,
+      const std::string& data_tag) const;
+  OperationChoice choose(RegisteredOp& op,
+                         const std::map<std::string, double>& params,
+                         const std::string& data_tag);
+  void start_execution(RegisteredOp& op,
+                       const std::map<std::string, double>& params,
+                       const std::string& data_tag, OperationChoice choice);
+
+  MachineId id_;
+  sim::Engine& engine_;
+  hw::Machine& machine_;
+  net::Network& network_;
+  fs::CodaClient& coda_;
+  SpectraClientConfig config_;
+
+  rpc::RpcEndpoint endpoint_;  // issues polls and remote calls
+  std::unique_ptr<SpectraServer> local_server_;
+
+  monitor::MonitorSet monitors_;
+  monitor::NetworkMonitor* network_monitor_ = nullptr;  // owned by monitors_
+  monitor::BatteryMonitor* battery_monitor_ = nullptr;  // owned by monitors_
+
+  ServerDatabase server_db_;
+  ConsistencyManager consistency_;
+  solver::ExecutionEstimator estimator_;
+  solver::HeuristicSolver solver_;
+
+  std::map<std::string, RegisteredOp> ops_;
+  std::optional<ActiveOp> active_;
+  predict::UsageLog usage_log_;
+  std::optional<DecisionTrace> last_trace_;
+};
+
+}  // namespace spectra::core

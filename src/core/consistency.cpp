@@ -1,0 +1,31 @@
+#include "core/consistency.h"
+
+#include <set>
+
+namespace spectra::core {
+
+std::vector<solver::DirtyFileInfo> ConsistencyManager::dirty_files() const {
+  std::vector<solver::DirtyFileInfo> out;
+  for (const auto& info : coda_.dirty_files()) {
+    out.push_back(solver::DirtyFileInfo{info.path, info.size, info.volume});
+  }
+  return out;
+}
+
+util::Seconds ConsistencyManager::ensure_consistency(
+    const std::vector<predict::FilePrediction>& files) {
+  std::set<std::string> volumes_to_push;
+  for (const auto& df : dirty_files()) {
+    for (const auto& fp : files) {
+      if (fp.path == df.path && fp.likelihood >= threshold_) {
+        volumes_to_push.insert(df.volume);
+        break;
+      }
+    }
+  }
+  util::Seconds total = 0.0;
+  for (const auto& v : volumes_to_push) total += coda_.reintegrate_volume(v);
+  return total;
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,39 @@
+// Data-consistency manager (§3.5).
+//
+// Before an operation executes remotely, every buffered (dirty) modification
+// to a file the operation might read must be visible on the file servers;
+// otherwise the remote machine would compute on stale data. The manager
+// compares the file predictor's access-likelihood list against Coda's dirty
+// set and triggers reintegration — at volume granularity, since that is the
+// unit Coda reintegrates — of every volume containing at least one dirty
+// file with non-zero predicted access likelihood.
+#pragma once
+
+#include <vector>
+
+#include "fs/coda.h"
+#include "predict/file_predictor.h"
+#include "solver/estimator.h"
+
+namespace spectra::core {
+
+class ConsistencyManager {
+ public:
+  explicit ConsistencyManager(fs::CodaClient& coda,
+                              double likelihood_threshold = 0.02)
+      : coda_(coda), threshold_(likelihood_threshold) {}
+
+  // The client's current dirty files, in the estimator's format.
+  std::vector<solver::DirtyFileInfo> dirty_files() const;
+
+  // Ensure consistency for a remote execution predicted to access `files`.
+  // Returns the time spent reintegrating (0 when nothing was needed).
+  util::Seconds ensure_consistency(
+      const std::vector<predict::FilePrediction>& files);
+
+ private:
+  fs::CodaClient& coda_;
+  double threshold_;
+};
+
+}  // namespace spectra::core

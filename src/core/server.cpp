@@ -1,0 +1,44 @@
+#include "core/server.h"
+
+namespace spectra::core {
+
+SpectraServer::SpectraServer(MachineId id, sim::Engine& engine,
+                             hw::Machine& machine, net::Network& network,
+                             fs::CodaClient* coda)
+    : id_(id),
+      engine_(engine),
+      machine_(machine),
+      coda_(coda),
+      endpoint_(id, machine, network, coda) {
+  endpoint_.register_handler(kStatusService, [this](const rpc::Request&) {
+    rpc::Response r;
+    r.ok = true;
+    auto report = status();
+    r.payload = report.wire_size();
+    r.body = report;
+    return r;
+  });
+}
+
+void SpectraServer::register_service(const std::string& name,
+                                     rpc::Handler handler) {
+  endpoint_.register_handler(name, std::move(handler));
+}
+
+monitor::ServerStatusReport SpectraServer::status() {
+  monitor::ServerStatusReport report;
+  report.server = id_;
+  report.generated_at = engine_.now();
+  queue_est_.add(machine_.sample_run_queue());
+  report.run_queue = queue_est_.value();
+  report.cpu_hz = machine_.spec().cpu_hz;
+  if (coda_ != nullptr) {
+    for (const auto& info : coda_->dump_cache_state()) {
+      report.cached_files.emplace(info.path, info.size);
+    }
+    report.fetch_rate = coda_->estimated_fetch_rate();
+  }
+  return report;
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,58 @@
+// Spectra server (§3.2).
+//
+// Runs on every machine willing to host computation (commonly including the
+// client itself). Hosts application *services*, answers the status-polling
+// protocol with a ServerStatusReport (own CPU load, file cache contents,
+// Coda fetch rate), and — through the RPC layer — measures the resources
+// every service invocation consumes so they can be reported back to the
+// client in the RPC response.
+//
+// Each service conceptually executes as a separate process (Figure 2 of the
+// paper); ServiceRegistry in service.h provides the service_getop/retop
+// style dispatch loop adapter applications build against.
+#pragma once
+
+#include <string>
+
+#include "fs/coda.h"
+#include "hw/machine.h"
+#include "monitor/types.h"
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+
+namespace spectra::core {
+
+using hw::MachineId;
+
+inline constexpr const char* kStatusService = "spectra.status";
+
+class SpectraServer {
+ public:
+  // `coda` may be null for servers without a Coda client (no file access).
+  SpectraServer(MachineId id, sim::Engine& engine, hw::Machine& machine,
+                net::Network& network, fs::CodaClient* coda);
+
+  MachineId id() const { return id_; }
+  hw::Machine& machine() { return machine_; }
+  rpc::RpcEndpoint& endpoint() { return endpoint_; }
+  fs::CodaClient* coda() { return coda_; }
+
+  // Register an application service.
+  void register_service(const std::string& name, rpc::Handler handler);
+
+  // Produce a status report reflecting current resources. Samples the run
+  // queue (smoothed), enumerates the Coda cache, and stamps the time.
+  monitor::ServerStatusReport status();
+
+ private:
+  MachineId id_;
+  sim::Engine& engine_;
+  hw::Machine& machine_;
+  fs::CodaClient* coda_;
+  rpc::RpcEndpoint endpoint_;
+  util::Ewma queue_est_{0.4};
+};
+
+}  // namespace spectra::core

@@ -1,0 +1,68 @@
+#include "core/server_db.h"
+
+#include "util/assert.h"
+
+namespace spectra::core {
+
+ServerDatabase::ServerDatabase(sim::Engine& engine,
+                               rpc::RpcEndpoint& client_endpoint,
+                               monitor::MonitorSet& monitors,
+                               util::Seconds poll_period)
+    : engine_(engine),
+      client_endpoint_(client_endpoint),
+      monitors_(monitors) {
+  SPECTRA_REQUIRE(poll_period > 0.0, "poll period must be positive");
+  poller_ = engine_.schedule_periodic(poll_period, [this] {
+    if (!suppressed_) poll_all();
+  });
+}
+
+ServerDatabase::~ServerDatabase() { engine_.cancel(poller_); }
+
+void ServerDatabase::add_server(SpectraServer& server) {
+  entries_[server.id()] = Entry{&server, false};
+  poll(server.id());
+}
+
+bool ServerDatabase::poll(MachineId id) {
+  auto it = entries_.find(id);
+  SPECTRA_REQUIRE(it != entries_.end(), "polling an unknown server");
+  Entry& entry = it->second;
+  rpc::Request req;
+  req.op_type = kStatusService;
+  req.payload = 64.0;
+  rpc::Response resp =
+      client_endpoint_.call(entry.server->endpoint(), kStatusService, req);
+  if (!resp.ok) {
+    entry.available = false;
+    return false;
+  }
+  const auto* report =
+      std::any_cast<monitor::ServerStatusReport>(&resp.body);
+  SPECTRA_ENSURE(report != nullptr, "status response without report body");
+  monitors_.update_preds(*report);
+  entry.available = true;
+  return true;
+}
+
+void ServerDatabase::poll_all() {
+  for (auto& [id, entry] : entries_) {
+    (void)entry;
+    poll(id);
+  }
+}
+
+std::vector<MachineId> ServerDatabase::available_servers() const {
+  std::vector<MachineId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.available) out.push_back(id);
+  }
+  return out;
+}
+
+SpectraServer* ServerDatabase::server(MachineId id) {
+  auto it = entries_.find(id);
+  return it != entries_.end() ? it->second.server : nullptr;
+}
+
+}  // namespace spectra::core

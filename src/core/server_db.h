@@ -1,0 +1,63 @@
+// Server database (§3.2, §3.3.5).
+//
+// Spectra clients maintain a database of servers willing to host
+// computation, statically configured (the paper notes service discovery as
+// future work). The database polls each server periodically over RPC for a
+// status snapshot — availability, CPU load, file cache state — and feeds
+// the reports to the remote proxy monitors via update_preds. Polling
+// traffic is real simulated traffic, which is also what keeps the network
+// monitor's passive estimates current.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/server.h"
+#include "monitor/monitor.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+
+namespace spectra::core {
+
+class ServerDatabase {
+ public:
+  // `client_endpoint` issues the polls; reports are pushed into `monitors`.
+  ServerDatabase(sim::Engine& engine, rpc::RpcEndpoint& client_endpoint,
+                 monitor::MonitorSet& monitors,
+                 util::Seconds poll_period = 5.0);
+  ~ServerDatabase();
+
+  // Static configuration: make a server eligible to host computation.
+  void add_server(SpectraServer& server);
+
+  // Poll one / all servers now. Marks unreachable servers unavailable.
+  bool poll(MachineId id);
+  void poll_all();
+
+  // While suppressed, periodic polls are skipped (the client defers
+  // background status traffic while a foreground operation executes).
+  void set_suppressed(bool suppressed) { suppressed_ = suppressed; }
+  bool suppressed() const { return suppressed_; }
+
+  // Servers currently believed available (successful most-recent poll).
+  std::vector<MachineId> available_servers() const;
+
+  SpectraServer* server(MachineId id);
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SpectraServer* server = nullptr;
+    bool available = false;
+  };
+
+  sim::Engine& engine_;
+  rpc::RpcEndpoint& client_endpoint_;
+  monitor::MonitorSet& monitors_;
+  std::map<MachineId, Entry> entries_;
+  sim::EventId poller_ = 0;
+  bool suppressed_ = false;
+};
+
+}  // namespace spectra::core

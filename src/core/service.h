@@ -1,0 +1,75 @@
+// Service-side application library (§3.2, Figure 2).
+//
+// The paper's service loop is
+//
+//     service_init(&argc, &argv);
+//     while (1) {
+//       service_getop(&otype, &opid, path, &indata, &inlen);
+//       rc = do_operation(indata, inlen, &outdata, &outlen);
+//       service_retop(opid, 0, outdata, outlen);
+//     }
+//
+// In the simulated substrate a service is a handler invoked by the RPC
+// layer, so the loop inverts into a dispatch table: ServiceRegistry
+// multiplexes on the request's op_type exactly as a multi-request service
+// multiplexes on `otype`, and converting a registry into an rpc::Handler is
+// the service_init step.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "rpc/rpc.h"
+#include "util/assert.h"
+
+namespace spectra::core {
+
+class ServiceRegistry {
+ public:
+  using OpFunction = std::function<rpc::Response(const rpc::Request&)>;
+
+  // Register the implementation of one op type.
+  void on(const std::string& op_type, OpFunction fn) {
+    SPECTRA_REQUIRE(!op_type.empty(), "op type must be non-empty");
+    SPECTRA_REQUIRE(fn != nullptr, "op function must be callable");
+    ops_[op_type] = std::move(fn);
+  }
+
+  bool handles(const std::string& op_type) const {
+    return ops_.count(op_type) > 0;
+  }
+
+  // The service main loop body: dispatch one request on its op type.
+  rpc::Response dispatch(const rpc::Request& request) const {
+    auto it = ops_.find(request.op_type);
+    if (it == ops_.end()) {
+      rpc::Response r;
+      r.ok = false;
+      r.error = "service does not handle op type: " + request.op_type;
+      return r;
+    }
+    return it->second(request);
+  }
+
+  // service_init: produce the handler to install on a Spectra server.
+  rpc::Handler as_handler() const {
+    // Copy the table so the registry need not outlive the server.
+    auto ops = ops_;
+    return [ops](const rpc::Request& request) {
+      auto it = ops.find(request.op_type);
+      if (it == ops.end()) {
+        rpc::Response r;
+        r.ok = false;
+        r.error = "service does not handle op type: " + request.op_type;
+        return r;
+      }
+      return it->second(request);
+    };
+  }
+
+ private:
+  std::map<std::string, OpFunction> ops_;
+};
+
+}  // namespace spectra::core

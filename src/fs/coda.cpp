@@ -1,0 +1,313 @@
+#include "fs/coda.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace spectra::fs {
+
+// ---------------------------------------------------------------- FileServer
+
+void FileServer::create(const FileInfo& info) {
+  SPECTRA_REQUIRE(!info.path.empty(), "file path must be non-empty");
+  SPECTRA_REQUIRE(info.size >= 0.0, "file size must be >= 0");
+  SPECTRA_REQUIRE(!info.volume.empty(), "file must belong to a volume");
+  files_[info.path] = Entry{info, 1};
+}
+
+bool FileServer::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+const FileInfo& FileServer::info(const std::string& path) const {
+  auto it = files_.find(path);
+  SPECTRA_REQUIRE(it != files_.end(), "unknown file: " + path);
+  return it->second.info;
+}
+
+std::uint64_t FileServer::version(const std::string& path) const {
+  auto it = files_.find(path);
+  SPECTRA_REQUIRE(it != files_.end(), "unknown file: " + path);
+  return it->second.version;
+}
+
+void FileServer::install(const std::string& path, Bytes size,
+                         std::uint64_t version) {
+  auto it = files_.find(path);
+  SPECTRA_REQUIRE(it != files_.end(), "unknown file: " + path);
+  SPECTRA_REQUIRE(version > it->second.version,
+                  "reintegration must advance the version");
+  it->second.info.size = size;
+  it->second.version = version;
+}
+
+std::vector<FileInfo> FileServer::files_in_volume(
+    const std::string& volume) const {
+  std::vector<FileInfo> out;
+  for (const auto& [path, entry] : files_) {
+    if (entry.info.volume == volume) out.push_back(entry.info);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- CodaClient
+
+CodaClient::CodaClient(MachineId self_id, hw::Machine& machine,
+                       net::Network& network, FileServer& server,
+                       CodaClientConfig config)
+    : self_id_(self_id),
+      machine_(machine),
+      network_(network),
+      server_(server),
+      config_(config) {
+  SPECTRA_REQUIRE(config_.cache_capacity > 0.0, "cache capacity must be > 0");
+}
+
+void CodaClient::touch_lru(const std::string& path) {
+  auto it = cache_.find(path);
+  SPECTRA_DCHECK(it != cache_.end(), "touch of uncached file");
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(path);
+  it->second.lru_it = lru_.begin();
+}
+
+void CodaClient::journal_event(bool removed, const FileInfo& info) {
+  journal_.push_back(CacheEvent{++generation_, removed, info});
+  while (journal_.size() > kMaxJournal) {
+    journal_start_gen_ = journal_.front().generation + 1;
+    journal_.pop_front();
+  }
+}
+
+void CodaClient::insert_entry(const FileInfo& info, std::uint64_t version) {
+  auto it = cache_.find(info.path);
+  if (it != cache_.end()) {
+    cached_bytes_ -= it->second.info.size;
+    it->second.info = info;
+    it->second.version = version;
+    cached_bytes_ += info.size;
+    touch_lru(info.path);
+    journal_event(/*removed=*/false, info);
+    return;
+  }
+  evict_lru_until_fits(info.size);
+  lru_.push_front(info.path);
+  cache_[info.path] = CacheEntry{info, version, lru_.begin()};
+  cached_bytes_ += info.size;
+  journal_event(/*removed=*/false, info);
+}
+
+void CodaClient::evict_lru_until_fits(Bytes incoming) {
+  while (!lru_.empty() && cached_bytes_ + incoming > config_.cache_capacity) {
+    // Never evict dirty files: Coda pins unreintegrated modifications.
+    auto victim = std::find_if(lru_.rbegin(), lru_.rend(),
+                               [&](const std::string& p) {
+                                 return dirty_.count(p) == 0;
+                               });
+    if (victim == lru_.rend()) break;  // everything dirty; overcommit
+    evict(*victim);
+  }
+}
+
+bool CodaClient::is_cached(const std::string& path) const {
+  return cache_.count(path) > 0;
+}
+
+bool CodaClient::is_fresh(const std::string& path) const {
+  auto it = cache_.find(path);
+  if (it == cache_.end()) return false;
+  if (dirty_.count(path)) return true;  // local modifications are newest here
+  return it->second.version >= server_.version(path);
+}
+
+void CodaClient::warm(const std::string& path) {
+  const FileInfo& info = server_.info(path);
+  insert_entry(info, server_.version(path));
+}
+
+void CodaClient::evict(const std::string& path) {
+  auto it = cache_.find(path);
+  if (it == cache_.end()) return;
+  SPECTRA_REQUIRE(dirty_.count(path) == 0,
+                  "cannot evict a file with buffered modifications: " + path);
+  cached_bytes_ -= it->second.info.size;
+  lru_.erase(it->second.lru_it);
+  journal_event(/*removed=*/true, it->second.info);
+  cache_.erase(it);
+}
+
+void CodaClient::evict_all() {
+  std::vector<std::string> paths;
+  for (const auto& [p, e] : cache_) {
+    if (dirty_.count(p) == 0) paths.push_back(p);
+  }
+  for (const auto& p : paths) evict(p);
+}
+
+std::vector<FileInfo> CodaClient::dump_cache_state() {
+  // Coda writes the entire cache state through a temp file; model that as
+  // client CPU time proportional to occupancy.
+  const Seconds cost = config_.cache_dump_base +
+                       config_.cache_dump_per_entry *
+                           static_cast<double>(cache_.size());
+  machine_.run_cycles(cost * machine_.spec().cpu_hz);
+  std::vector<FileInfo> out;
+  out.reserve(cache_.size());
+  for (const auto& [p, e] : cache_) out.push_back(e.info);
+  return out;
+}
+
+CodaClient::CacheDelta CodaClient::dump_cache_state_delta(
+    std::uint64_t since) {
+  CacheDelta delta;
+  delta.generation = generation_;
+  // The journal covers generations [journal_start_gen_, generation_]; a
+  // caller can be served incrementally iff it has seen everything up to
+  // journal_start_gen_ - 1.
+  if (since + 1 < journal_start_gen_) {
+    // The journal no longer reaches back to `since`: full resync at the
+    // cost of the old interface.
+    const Seconds cost = config_.cache_dump_base +
+                         config_.cache_dump_per_entry *
+                             static_cast<double>(cache_.size());
+    machine_.run_cycles(cost * machine_.spec().cpu_hz);
+    delta.full_resync = true;
+    for (const auto& [p, e] : cache_) delta.added_or_updated.push_back(e.info);
+    return delta;
+  }
+  // Collapse journal entries newer than `since` into one change set, most
+  // recent state winning.
+  std::map<std::string, const CacheEvent*> latest;
+  std::size_t scanned = 0;
+  for (const auto& ev : journal_) {
+    if (ev.generation <= since) continue;
+    latest[ev.info.path] = &ev;
+    ++scanned;
+  }
+  const Seconds cost = config_.cache_dump_base +
+                       config_.cache_dump_per_entry *
+                           static_cast<double>(scanned);
+  machine_.run_cycles(cost * machine_.spec().cpu_hz);
+  for (const auto& [path, ev] : latest) {
+    if (ev->removed) {
+      delta.removed.push_back(path);
+    } else {
+      delta.added_or_updated.push_back(ev->info);
+    }
+  }
+  return delta;
+}
+
+BytesPerSec CodaClient::estimated_fetch_rate() const {
+  return fetch_rate_.empty() ? config_.nominal_fetch_rate
+                             : fetch_rate_.value();
+}
+
+std::uint64_t CodaClient::read(const std::string& path) {
+  const FileInfo& srv_info = server_.info(path);
+  const bool hit = is_fresh(path);
+  std::uint64_t version_seen = 0;
+  if (hit) {
+    touch_lru(path);
+    version_seen = cache_.at(path).version;
+  } else {
+    // Fetch from the file server over the network (plus per-file RPC
+    // overhead); requires the file server to be reachable.
+    const MachineId me = self();
+    SPECTRA_REQUIRE(network_.reachable(me, server_.host()),
+                    "file server unreachable for fetch of " + path);
+    const Seconds t0 = machine_.engine().now();
+    machine_.engine().advance(config_.per_file_overhead);
+    network_.transfer(server_.host(), me, srv_info.size);
+    const Seconds dt = machine_.engine().now() - t0;
+    if (dt > 0.0 && srv_info.size > 0.0) {
+      fetch_rate_.add(srv_info.size / dt);
+    }
+    insert_entry(srv_info, server_.version(path));
+    version_seen = server_.version(path);
+  }
+  record_access(path, srv_info.size, /*write=*/false, /*miss=*/!hit);
+  return version_seen;
+}
+
+void CodaClient::write(const std::string& path, std::optional<Bytes> new_size) {
+  const FileInfo& srv_info = server_.info(path);
+  FileInfo local = srv_info;
+  if (new_size) {
+    SPECTRA_REQUIRE(*new_size >= 0.0, "file size must be >= 0");
+    local.size = *new_size;
+  } else if (is_cached(path)) {
+    local.size = cache_.at(path).info.size;
+  }
+  const std::uint64_t next_version =
+      std::max(is_cached(path) ? cache_.at(path).version : 0,
+               server_.version(path)) +
+      1;
+  insert_entry(local, next_version);
+  dirty_.insert(path);
+  record_access(path, local.size, /*write=*/true, /*miss=*/false);
+}
+
+std::vector<FileInfo> CodaClient::dirty_files() const {
+  std::vector<FileInfo> out;
+  for (const auto& p : dirty_) out.push_back(cache_.at(p).info);
+  return out;
+}
+
+std::vector<std::string> CodaClient::dirty_volumes() const {
+  std::set<std::string> vols;
+  for (const auto& p : dirty_) vols.insert(cache_.at(p).info.volume);
+  return {vols.begin(), vols.end()};
+}
+
+Bytes CodaClient::dirty_bytes_in_volume(const std::string& volume) const {
+  Bytes total = 0.0;
+  for (const auto& p : dirty_) {
+    const auto& e = cache_.at(p);
+    if (e.info.volume == volume) total += e.info.size;
+  }
+  return total;
+}
+
+Seconds CodaClient::reintegrate_volume(const std::string& volume) {
+  const MachineId me = self();
+  const Seconds t0 = machine_.engine().now();
+  std::vector<std::string> to_push;
+  for (const auto& p : dirty_) {
+    if (cache_.at(p).info.volume == volume) to_push.push_back(p);
+  }
+  if (to_push.empty()) return 0.0;
+  SPECTRA_REQUIRE(network_.reachable(me, server_.host()),
+                  "file server unreachable for reintegration");
+  for (const auto& p : to_push) {
+    const auto& e = cache_.at(p);
+    machine_.engine().advance(config_.per_file_overhead);
+    network_.transfer(me, server_.host(),
+                      e.info.size * config_.reintegration_overhead);
+    server_.install(p, e.info.size, e.version);
+    dirty_.erase(p);
+  }
+  return machine_.engine().now() - t0;
+}
+
+Seconds CodaClient::reintegrate_all() {
+  Seconds total = 0.0;
+  for (const auto& v : dirty_volumes()) total += reintegrate_volume(v);
+  return total;
+}
+
+void CodaClient::start_trace() { traces_.emplace_back(); }
+
+std::vector<Access> CodaClient::stop_trace() {
+  SPECTRA_REQUIRE(!traces_.empty(), "stop_trace without start_trace");
+  std::vector<Access> top = std::move(traces_.back());
+  traces_.pop_back();
+  return top;
+}
+
+void CodaClient::record_access(const std::string& path, Bytes size, bool write,
+                               bool miss) {
+  for (auto& t : traces_) t.push_back(Access{path, size, write, miss});
+}
+
+}  // namespace spectra::fs

@@ -1,0 +1,51 @@
+#include "hw/energy.h"
+
+#include <cmath>
+
+namespace spectra::hw {
+
+void EnergyMeter::integrate() {
+  const Seconds now = engine_.now();
+  if (now > last_t_) {
+    total_ += power_ * (now - last_t_);
+    last_t_ = now;
+  }
+}
+
+void EnergyMeter::set_power(Watts p) {
+  integrate();
+  power_ = p;
+}
+
+Joules EnergyMeter::total_consumed() {
+  integrate();
+  return total_;
+}
+
+AcpiDriver::AcpiDriver(sim::Engine& engine, EnergyMeter& meter, Joules quantum,
+                       Seconds refresh_period)
+    : engine_(engine),
+      meter_(meter),
+      quantum_(quantum),
+      refresh_period_(refresh_period) {}
+
+Joules AcpiDriver::read_consumed() {
+  const Seconds now = engine_.now();
+  if (last_refresh_ < 0.0 || now - last_refresh_ >= refresh_period_) {
+    cached_ = std::floor(meter_.total_consumed() / quantum_) * quantum_;
+    last_refresh_ = now;
+  }
+  return cached_;
+}
+
+SmartBatteryDriver::SmartBatteryDriver(sim::Engine& engine, EnergyMeter& meter,
+                                       Joules quantum)
+    : engine_(engine), meter_(meter), quantum_(quantum) {
+  (void)engine_;
+}
+
+Joules SmartBatteryDriver::read_consumed() {
+  return std::floor(meter_.total_consumed() / quantum_) * quantum_;
+}
+
+}  // namespace spectra::hw

@@ -1,0 +1,88 @@
+#include "hw/machine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spectra::hw {
+
+Battery::Battery(EnergyMeter& meter, util::Joules capacity)
+    : meter_(meter), capacity_(capacity) {
+  SPECTRA_REQUIRE(capacity > 0.0, "battery capacity must be positive");
+  consumed_at_install_ = meter_.total_consumed();
+}
+
+util::Joules Battery::remaining() {
+  const util::Joules drained = meter_.total_consumed() - consumed_at_install_;
+  return std::max(0.0, capacity_ - drained);
+}
+
+double Battery::fraction_remaining() { return remaining() / capacity_; }
+
+Machine::Machine(sim::Engine& engine, MachineSpec spec, util::Rng rng)
+    : engine_(engine), spec_(std::move(spec)), rng_(rng), meter_(engine) {
+  SPECTRA_REQUIRE(spec_.cpu_hz > 0.0, "machine needs a positive CPU speed");
+  SPECTRA_REQUIRE(spec_.fp_penalty >= 1.0, "fp_penalty must be >= 1");
+  if (spec_.battery_capacity_j) {
+    battery_ = std::make_unique<Battery>(meter_, *spec_.battery_capacity_j);
+  }
+  update_power();
+}
+
+util::Seconds Machine::estimate_duration(Cycles cycles, bool fp_heavy) const {
+  SPECTRA_REQUIRE(cycles >= 0.0, "negative cycle count");
+  const double penalty = fp_heavy ? spec_.fp_penalty : 1.0;
+  return cycles * penalty / available_hz();
+}
+
+util::Seconds Machine::run_cycles(Cycles cycles, bool fp_heavy) {
+  const util::Seconds dt = estimate_duration(cycles, fp_heavy);
+  begin_foreground(cycles, fp_heavy);
+  engine_.advance(dt);
+  end_foreground();
+  return dt;
+}
+
+void Machine::begin_foreground(Cycles cycles_to_account, bool fp_heavy) {
+  SPECTRA_REQUIRE(cycles_to_account >= 0.0, "negative cycle count");
+  cycles_executed_ +=
+      cycles_to_account * (fp_heavy ? spec_.fp_penalty : 1.0);
+  ++foreground_running_;
+  update_power();
+}
+
+void Machine::end_foreground() {
+  SPECTRA_REQUIRE(foreground_running_ > 0,
+                  "end_foreground without begin_foreground");
+  --foreground_running_;
+  update_power();
+}
+
+void Machine::set_background_procs(double n) {
+  SPECTRA_REQUIRE(n >= 0.0, "background process count must be >= 0");
+  background_procs_ = n;
+  update_power();
+}
+
+double Machine::sample_run_queue() {
+  // An observer sees instantaneous queue length with sampling jitter.
+  const double noise = rng_.normal(0.0, 0.05);
+  return std::max(0.0, background_procs_ + noise);
+}
+
+void Machine::set_net_active(bool active) {
+  net_active_ = active;
+  update_power();
+}
+
+void Machine::set_on_battery(bool on) { on_battery_ = on; }
+
+void Machine::update_power() {
+  // CPU utilization: saturated whenever a foreground op or at least one
+  // CPU-bound background process runs; fractional background loads model
+  // partially-busy machines.
+  double util = std::min(1.0, background_procs_);
+  if (foreground_running_ > 0) util = 1.0;
+  meter_.set_power(spec_.power.draw(util, net_active_));
+}
+
+}  // namespace spectra::hw

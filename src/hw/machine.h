@@ -1,0 +1,127 @@
+// Machine model: CPU execution under fair-share scheduling, power states,
+// energy metering, and (optionally) a battery.
+//
+// A Machine does not own threads; "executing" work means advancing the
+// shared simulation clock by the modeled duration while the machine's power
+// state reflects a busy CPU. Background load is expressed as a number of
+// competing CPU-bound processes; a foreground operation receives a fair
+// share 1/(1+n) of the processor, matching the prediction model the paper
+// inherits from Narayanan et al.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/energy.h"
+#include "hw/power.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace spectra::hw {
+
+using util::Cycles;
+using util::Hertz;
+
+using MachineId = int;
+
+struct MachineSpec {
+  std::string name;
+  Hertz cpu_hz = 0.0;
+  // Multiplier applied to floating-point-heavy work on processors without
+  // hardware FP (the Itsy's SA-1100 emulates FP in software; the paper
+  // attributes the 3-9x local slowdown of Janus to this).
+  double fp_penalty = 1.0;
+  PowerModel power;
+  // Battery capacity if battery-powered; nullopt for wall-powered machines.
+  std::optional<util::Joules> battery_capacity_j;
+};
+
+class Battery {
+ public:
+  Battery(EnergyMeter& meter, util::Joules capacity);
+
+  util::Joules capacity() const { return capacity_; }
+  util::Joules remaining();
+  double fraction_remaining();
+
+ private:
+  EnergyMeter& meter_;
+  util::Joules capacity_;
+  util::Joules consumed_at_install_;
+};
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, MachineSpec spec, util::Rng rng);
+
+  const MachineSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  sim::Engine& engine() { return engine_; }
+
+  // --- CPU ------------------------------------------------------------
+  // Execute `cycles` of work, advancing virtual time. `fp_heavy` work pays
+  // the spec's FP-emulation penalty. Returns the elapsed duration.
+  util::Seconds run_cycles(Cycles cycles, bool fp_heavy = false);
+
+  // Low-level foreground bracketing for overlapped execution (see
+  // hw::run_parallel): marks the CPU busy/idle for power accounting and
+  // charges the per-process cycle counter, without advancing the clock.
+  void begin_foreground(Cycles cycles_to_account, bool fp_heavy = false);
+  void end_foreground();
+
+  // Duration `run_cycles` would take right now, without executing.
+  util::Seconds estimate_duration(Cycles cycles, bool fp_heavy = false) const;
+
+  // Cumulative foreground cycles executed via run_cycles; the per-process
+  // accounting (/proc-style) that server-side usage measurement reads.
+  Cycles cycles_executed() const { return cycles_executed_; }
+
+  // Number of competing CPU-bound background processes.
+  void set_background_procs(double n);
+  double background_procs() const { return background_procs_; }
+
+  // Fraction of the CPU a new foreground process would receive.
+  double fair_share() const { return 1.0 / (1.0 + background_procs_); }
+
+  // Sampled run-queue length as an OS utility (top, /proc/loadavg) would
+  // report it: ground truth plus small observation noise, >= 0. This is what
+  // the CPU monitor consumes — it never sees `background_procs()` directly.
+  double sample_run_queue();
+
+  // Effective cycles/second currently available to a foreground operation.
+  Hertz available_hz() const { return spec_.cpu_hz * fair_share(); }
+
+  // --- Power / energy ---------------------------------------------------
+  // The NIC-active flag is set by the network layer for the duration of
+  // transfers that involve this machine.
+  void set_net_active(bool active);
+  bool net_active() const { return net_active_; }
+
+  EnergyMeter& meter() { return meter_; }
+  Battery* battery() { return battery_ ? battery_.get() : nullptr; }
+
+  // Whether the machine currently runs on battery (scenarios toggle this;
+  // wall-powered machines report false regardless of battery presence).
+  void set_on_battery(bool on);
+  bool on_battery() const { return on_battery_ && battery_ != nullptr; }
+
+ private:
+  void update_power();
+
+  sim::Engine& engine_;
+  MachineSpec spec_;
+  util::Rng rng_;
+  EnergyMeter meter_;
+  std::unique_ptr<Battery> battery_;
+  double background_procs_ = 0.0;
+  Cycles cycles_executed_ = 0.0;
+  int foreground_running_ = 0;
+  bool net_active_ = false;
+  bool on_battery_ = false;
+};
+
+}  // namespace spectra::hw

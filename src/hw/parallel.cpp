@@ -1,0 +1,48 @@
+#include "hw/parallel.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.h"
+
+namespace spectra::hw {
+
+util::Seconds run_parallel(sim::Engine& engine,
+                           const std::vector<ParallelWork>& work) {
+  if (work.empty()) return 0.0;
+
+  // Serialize pieces that share a machine: per machine, total duration is
+  // the sum of its pieces (one CPU), and the busy interval is contiguous.
+  struct PerMachine {
+    Machine* machine = nullptr;
+    util::Cycles cycles = 0.0;       // for accounting
+    util::Seconds duration = 0.0;
+  };
+  std::map<Machine*, PerMachine> merged;
+  for (const auto& w : work) {
+    SPECTRA_REQUIRE(w.machine != nullptr, "parallel work needs a machine");
+    SPECTRA_REQUIRE(w.cycles >= 0.0, "negative cycle count");
+    auto& pm = merged[w.machine];
+    pm.machine = w.machine;
+    pm.cycles +=
+        w.cycles * (w.fp_heavy ? w.machine->spec().fp_penalty : 1.0);
+    pm.duration += w.machine->estimate_duration(w.cycles, w.fp_heavy);
+  }
+
+  util::Seconds max_duration = 0.0;
+  for (auto& [machine, pm] : merged) {
+    (void)machine;
+    max_duration = std::max(max_duration, pm.duration);
+  }
+
+  // Start everything now; each machine goes idle when its own work ends.
+  for (auto& [machine, pm] : merged) {
+    machine->begin_foreground(pm.cycles, /*fp_heavy=*/false);
+    Machine* m = machine;
+    engine.schedule_after(pm.duration, [m] { m->end_foreground(); });
+  }
+  engine.advance(max_duration);
+  return max_duration;
+}
+
+}  // namespace spectra::hw

@@ -1,0 +1,34 @@
+// Overlapped execution of CPU work on multiple machines.
+//
+// The paper's execution model is strictly sequential ("does not allow
+// computation and network transmission to overlap", §3.6) and names
+// parallel execution plans as future work: "the three engines could be
+// executed in parallel on different servers" (§4.3). run_parallel is the
+// simulation primitive that extension builds on: it starts every piece of
+// work at the same virtual instant, lets each machine finish after its own
+// duration (scheduling an end event so power accounting is exact — a
+// machine that finishes early idles while the stragglers run), and advances
+// the clock by the maximum duration.
+#pragma once
+
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace spectra::hw {
+
+struct ParallelWork {
+  Machine* machine = nullptr;
+  util::Cycles cycles = 0.0;
+  bool fp_heavy = false;
+};
+
+// Execute all pieces concurrently; returns the elapsed (maximum) duration.
+// Multiple pieces may target the same machine; they time-share it, which is
+// modeled conservatively by running that machine's pieces back to back.
+util::Seconds run_parallel(sim::Engine& engine,
+                           const std::vector<ParallelWork>& work);
+
+}  // namespace spectra::hw

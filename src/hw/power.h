@@ -1,0 +1,28 @@
+// Per-machine power model.
+//
+// Power draw is decomposed the way the paper's measurement studies (Flinn &
+// Satyanarayanan, SOSP'99) decompose it: a base/idle draw, an additional draw
+// proportional to CPU utilization, and an additional draw while the network
+// interface is actively transmitting or receiving. Only relative magnitudes
+// matter for placement decisions; the defaults in scenario/ are calibrated to
+// reproduce the paper's orderings (e.g. remote speech execution costs the
+// Itsy less energy than hybrid, which costs far less than local).
+#pragma once
+
+#include "util/units.h"
+
+namespace spectra::hw {
+
+struct PowerModel {
+  util::Watts idle_w = 0.0;      // drawn whenever the machine is on
+  util::Watts cpu_w = 0.0;       // additional at 100% CPU utilization
+  util::Watts net_w = 0.0;       // additional while the NIC is active
+
+  util::Watts draw(double cpu_utilization, bool net_active) const {
+    double p = idle_w + cpu_w * cpu_utilization;
+    if (net_active) p += net_w;
+    return p;
+  }
+};
+
+}  // namespace spectra::hw

@@ -1,0 +1,38 @@
+#include "monitor/cache_monitor.h"
+
+namespace spectra::monitor {
+
+void FileCacheMonitor::predict_avail(ResourceSnapshot& snapshot) {
+  if (incremental_) {
+    const auto delta = coda_.dump_cache_state_delta(last_generation_);
+    last_generation_ = delta.generation;
+    if (!delta.added_or_updated.empty() || !delta.removed.empty() ||
+        delta.full_resync) {
+      // Copy-on-write: earlier snapshots may still hold the old view.
+      if (mirror_.use_count() > 1) {
+        mirror_ = std::make_shared<CachedFileView>(*mirror_);
+      }
+      if (delta.full_resync) mirror_->clear();
+      for (const auto& info : delta.added_or_updated) {
+        (*mirror_)[info.path] = info.size;
+      }
+      for (const auto& path : delta.removed) mirror_->erase(path);
+    }
+    snapshot.local_cached_files = mirror_;  // O(1) share
+  } else {
+    auto view = std::make_shared<CachedFileView>();
+    for (const auto& info : coda_.dump_cache_state()) {
+      view->emplace(info.path, info.size);
+    }
+    snapshot.local_cached_files = std::move(view);
+  }
+  snapshot.local_fetch_rate = coda_.estimated_fetch_rate();
+}
+
+void FileCacheMonitor::start_op() { coda_.start_trace(); }
+
+void FileCacheMonitor::stop_op(OperationUsage& usage) {
+  usage.local_file_accesses = coda_.stop_trace();
+}
+
+}  // namespace spectra::monitor

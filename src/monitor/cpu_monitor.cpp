@@ -1,0 +1,32 @@
+#include "monitor/cpu_monitor.h"
+
+namespace spectra::monitor {
+
+CpuMonitor::CpuMonitor(sim::Engine& engine, hw::Machine& machine,
+                       Seconds sample_period, double smoothing_alpha)
+    : engine_(engine), machine_(machine), queue_est_(smoothing_alpha) {
+  sampler_ = engine_.schedule_periodic(sample_period, [this] { sample(); });
+  sample();
+}
+
+CpuMonitor::~CpuMonitor() { engine_.cancel(sampler_); }
+
+void CpuMonitor::sample() { queue_est_.add(machine_.sample_run_queue()); }
+
+double CpuMonitor::smoothed_queue() const {
+  return queue_est_.empty() ? 0.0 : queue_est_.value();
+}
+
+void CpuMonitor::predict_avail(ResourceSnapshot& snapshot) {
+  sample();
+  snapshot.local_cpu_hz =
+      machine_.spec().cpu_hz / (1.0 + smoothed_queue());
+}
+
+void CpuMonitor::start_op() { cycles_at_start_ = machine_.cycles_executed(); }
+
+void CpuMonitor::stop_op(OperationUsage& usage) {
+  usage.local_cycles = machine_.cycles_executed() - cycles_at_start_;
+}
+
+}  // namespace spectra::monitor

@@ -1,0 +1,50 @@
+// Local CPU monitor (§3.3.1).
+//
+// Availability: samples the run queue periodically and on each prediction,
+// smooths the competing-process count, and predicts the cycles/second a new
+// operation would receive assuming background load stays constant and the
+// operation gets a fair share: speed / (1 + queue).
+//
+// Usage: reads the machine's per-process cycle accounting (/proc-style)
+// before and after the operation; the difference is the operation's local
+// CPU demand.
+#pragma once
+
+#include <string>
+
+#include "hw/machine.h"
+#include "monitor/monitor.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+
+namespace spectra::monitor {
+
+class CpuMonitor : public ResourceMonitor {
+ public:
+  // Samples the run queue every `sample_period` seconds of virtual time, in
+  // addition to sampling at each prediction.
+  CpuMonitor(sim::Engine& engine, hw::Machine& machine,
+             Seconds sample_period = 1.0, double smoothing_alpha = 0.4);
+  ~CpuMonitor() override;
+
+  const std::string& name() const override { return name_; }
+
+  void predict_avail(ResourceSnapshot& snapshot) override;
+  void start_op() override;
+  void stop_op(OperationUsage& usage) override;
+
+  // Current smoothed competing-process estimate (for tests/telemetry).
+  double smoothed_queue() const;
+
+ private:
+  void sample();
+
+  std::string name_ = "cpu";
+  sim::Engine& engine_;
+  hw::Machine& machine_;
+  util::Ewma queue_est_;
+  sim::EventId sampler_ = 0;
+  Cycles cycles_at_start_ = 0.0;
+};
+
+}  // namespace spectra::monitor

@@ -1,0 +1,58 @@
+#include "monitor/monitor.h"
+
+#include <chrono>
+
+#include "util/assert.h"
+
+namespace spectra::monitor {
+
+void MonitorSet::add(std::unique_ptr<ResourceMonitor> monitor) {
+  SPECTRA_REQUIRE(monitor != nullptr, "null monitor");
+  monitors_.push_back(std::move(monitor));
+}
+
+ResourceSnapshot MonitorSet::build_snapshot(
+    const std::vector<MachineId>& candidates, Seconds now) {
+  ResourceSnapshot snap;
+  snap.taken_at = now;
+  for (MachineId id : candidates) {
+    ServerAvailability sa;
+    sa.id = id;
+    snap.servers.emplace(id, sa);
+  }
+  last_predict_wall_.clear();
+  for (auto& m : monitors_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    m->predict_avail(snap);
+    const auto t1 = std::chrono::steady_clock::now();
+    last_predict_wall_[m->name()] +=
+        std::chrono::duration<double>(t1 - t0).count();
+  }
+  return snap;
+}
+
+void MonitorSet::start_op() {
+  for (auto& m : monitors_) m->start_op();
+}
+
+void MonitorSet::stop_op(OperationUsage& usage) {
+  for (auto& m : monitors_) m->stop_op(usage);
+}
+
+void MonitorSet::add_usage(MachineId server, const rpc::UsageReport& report,
+                           OperationUsage& usage) {
+  for (auto& m : monitors_) m->add_usage(server, report, usage);
+}
+
+void MonitorSet::update_preds(const ServerStatusReport& report) {
+  for (auto& m : monitors_) m->update_preds(report);
+}
+
+ResourceMonitor* MonitorSet::find(const std::string& name) {
+  for (auto& m : monitors_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+}  // namespace spectra::monitor

@@ -1,0 +1,47 @@
+#include "monitor/remote_proxy.h"
+
+namespace spectra::monitor {
+
+void RemoteCpuProxy::update_preds(const ServerStatusReport& report) {
+  reports_[report.server] = report;
+}
+
+void RemoteCpuProxy::predict_avail(ResourceSnapshot& snapshot) {
+  for (auto& [id, sa] : snapshot.servers) {
+    auto it = reports_.find(id);
+    if (it == reports_.end()) continue;  // never polled: cpu_hz stays 0
+    const ServerStatusReport& r = it->second;
+    sa.cpu_hz = r.cpu_hz / (1.0 + r.run_queue);
+    sa.status_age = engine_.now() - r.generated_at;
+  }
+}
+
+void RemoteCpuProxy::add_usage(MachineId /*server*/,
+                               const rpc::UsageReport& report,
+                               OperationUsage& usage) {
+  usage.remote_cycles += report.cpu_cycles;
+}
+
+void RemoteCacheProxy::update_preds(const ServerStatusReport& report) {
+  reports_[report.server] = report;
+}
+
+void RemoteCacheProxy::predict_avail(ResourceSnapshot& snapshot) {
+  for (auto& [id, sa] : snapshot.servers) {
+    auto it = reports_.find(id);
+    if (it == reports_.end()) continue;
+    const ServerStatusReport& r = it->second;
+    sa.cached_files = r.cached_files;
+    sa.fetch_rate = r.fetch_rate;
+  }
+}
+
+void RemoteCacheProxy::add_usage(MachineId /*server*/,
+                                 const rpc::UsageReport& report,
+                                 OperationUsage& usage) {
+  usage.remote_file_accesses.insert(usage.remote_file_accesses.end(),
+                                    report.file_accesses.begin(),
+                                    report.file_accesses.end());
+}
+
+}  // namespace spectra::monitor

@@ -1,0 +1,59 @@
+// Remote proxy monitors (§3.3.5).
+//
+// Spectra servers run their own CPU and file-cache monitors and ship
+// ServerStatusReports to clients, which poll periodically. On the client,
+// the proxies store the most recent report per server and answer
+// availability predictions from it. When an RPC response arrives carrying a
+// server-side UsageReport, add_usage accumulates it into the operation's
+// usage record.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "monitor/monitor.h"
+#include "sim/engine.h"
+
+namespace spectra::monitor {
+
+// Remote CPU availability + remote CPU usage accounting.
+class RemoteCpuProxy : public ResourceMonitor {
+ public:
+  explicit RemoteCpuProxy(sim::Engine& engine) : engine_(engine) {}
+
+  const std::string& name() const override { return name_; }
+
+  void predict_avail(ResourceSnapshot& snapshot) override;
+  void add_usage(MachineId server, const rpc::UsageReport& report,
+                 OperationUsage& usage) override;
+  void update_preds(const ServerStatusReport& report) override;
+
+  bool has_status(MachineId server) const {
+    return reports_.count(server) > 0;
+  }
+
+ private:
+  std::string name_ = "remote_cpu";
+  sim::Engine& engine_;
+  std::map<MachineId, ServerStatusReport> reports_;
+};
+
+// Remote file-cache state + remote file-access accounting.
+class RemoteCacheProxy : public ResourceMonitor {
+ public:
+  explicit RemoteCacheProxy(sim::Engine& engine) : engine_(engine) {}
+
+  const std::string& name() const override { return name_; }
+
+  void predict_avail(ResourceSnapshot& snapshot) override;
+  void add_usage(MachineId server, const rpc::UsageReport& report,
+                 OperationUsage& usage) override;
+  void update_preds(const ServerStatusReport& report) override;
+
+ private:
+  std::string name_ = "remote_cache";
+  sim::Engine& engine_;
+  std::map<MachineId, ServerStatusReport> reports_;
+};
+
+}  // namespace spectra::monitor

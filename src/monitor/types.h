@@ -1,0 +1,107 @@
+// Shared data types for the resource-monitor framework.
+//
+// A ResourceSnapshot is the "consistent view of the local and remote
+// resources available for execution" the paper builds before each operation:
+// the snapshot builder lists candidate servers, then every monitor fills in
+// the fields it is responsible for. OperationUsage is the complementary
+// demand-side record: what one operation actually consumed, assembled by the
+// monitors between start_op and stop_op (plus add_usage for server-side
+// consumption reported in RPC responses).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/coda.h"
+#include "hw/machine.h"
+#include "util/units.h"
+
+namespace spectra::monitor {
+
+using hw::MachineId;
+using util::Bytes;
+using util::BytesPerSec;
+using util::Cycles;
+using util::Hertz;
+using util::Joules;
+using util::Seconds;
+
+// Availability of one candidate remote server, as predicted by the remote
+// proxy monitors (from polled status) and the network monitor (from passive
+// observation).
+struct ServerAvailability {
+  MachineId id = -1;
+  bool reachable = false;
+  Hertz cpu_hz = 0.0;                        // cycles/sec an op would receive
+  BytesPerSec bandwidth = 0.0;               // estimated, to this server
+  Seconds latency = 0.0;                     // estimated one-way latency
+  std::map<std::string, Bytes> cached_files; // server's file cache contents
+  BytesPerSec fetch_rate = 0.0;              // server's Coda fetch rate
+  Seconds status_age = 0.0;                  // how stale the polled status is
+};
+
+// Immutable view of a machine's cached files (path -> size). Snapshots
+// share these by pointer: the file-cache monitor maintains the view
+// copy-on-write, so taking a snapshot costs O(1) regardless of cache size
+// (the point of the incremental cache interface, see fs::CodaClient).
+using CachedFileView = std::map<std::string, Bytes>;
+
+struct ResourceSnapshot {
+  Seconds taken_at = 0.0;
+
+  // Local machine.
+  Hertz local_cpu_hz = 0.0;
+  std::shared_ptr<const CachedFileView> local_cached_files =
+      std::make_shared<CachedFileView>();
+  BytesPerSec local_fetch_rate = 0.0;
+
+  // Battery / energy.
+  Joules battery_remaining = 0.0;
+  double energy_importance = 0.0;  // the paper's c in [0,1]
+
+  // Candidate servers, keyed by machine id. Pre-populated with candidates by
+  // the snapshot builder; monitors fill the fields in.
+  std::map<MachineId, ServerAvailability> servers;
+};
+
+// Everything one operation consumed. Local fields are measured directly;
+// remote fields accumulate from per-RPC usage reports.
+struct OperationUsage {
+  Seconds elapsed = 0.0;
+
+  Cycles local_cycles = 0.0;
+  Cycles remote_cycles = 0.0;
+
+  Bytes bytes_sent = 0.0;
+  Bytes bytes_received = 0.0;
+  int rpcs = 0;
+
+  Joules energy = 0.0;
+  // Energy measurements of concurrent operations cannot be separated; when
+  // true, the demand predictors skip the energy sample (paper §3.3.3).
+  bool energy_valid = true;
+
+  std::vector<fs::Access> local_file_accesses;
+  std::vector<fs::Access> remote_file_accesses;
+};
+
+// Snapshot of a Spectra server's resources, shipped to clients by the
+// status-polling protocol and fed to the remote proxy monitors via
+// update_preds.
+struct ServerStatusReport {
+  MachineId server = -1;
+  Seconds generated_at = 0.0;
+  double run_queue = 0.0;   // smoothed competing-process count
+  Hertz cpu_hz = 0.0;       // nominal processor speed
+  std::map<std::string, Bytes> cached_files;
+  BytesPerSec fetch_rate = 0.0;
+
+  // Wire size of the serialized report (the cache list dominates).
+  Bytes wire_size() const {
+    return 128.0 + 48.0 * static_cast<double>(cached_files.size());
+  }
+};
+
+}  // namespace spectra::monitor

@@ -1,0 +1,18 @@
+#include "predict/features.h"
+
+#include <sstream>
+
+namespace spectra::predict {
+
+std::string FeatureVector::bin_key() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : discrete) {  // std::map: deterministic order
+    if (!first) os << ';';
+    os << k << '=' << v;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace spectra::predict

@@ -1,0 +1,29 @@
+// Feature description of one operation execution, used to key and fit the
+// demand models (§3.4).
+//
+//   * discrete features — execution plan, discrete fidelities (e.g. vocabulary
+//     choice). The default predictor *bins* on these: one model per observed
+//     combination plus a generic combination-independent fallback.
+//   * continuous features — input parameters and continuous fidelities (e.g.
+//     utterance length). The default predictor fits a recency-weighted
+//     linear regression over these within each bin.
+//   * data tag — optional name of the data object the operation runs on
+//     (e.g. the Latex document); enables data-specific models kept in an
+//     LRU cache.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace spectra::predict {
+
+struct FeatureVector {
+  std::map<std::string, double> discrete;
+  std::map<std::string, double> continuous;
+  std::string data_tag;
+
+  // Canonical key of the discrete combination, e.g. "fidelity=1;plan=2".
+  std::string bin_key() const;
+};
+
+}  // namespace spectra::predict

@@ -1,0 +1,94 @@
+#include "predict/file_predictor.h"
+
+namespace spectra::predict {
+
+FileAccessPredictor::FileAccessPredictor(FilePredictorConfig config)
+    : config_(config), per_data_(config.data_lru_capacity) {}
+
+void FileAccessPredictor::update_bin(
+    Bin& bin, const FeatureVector& /*f*/,
+    const std::map<std::string, util::Bytes>& accessed) {
+  // Every file the bin knows about gets a 1/0 sample; files seen for the
+  // first time join the universe with their first sample.
+  for (auto& [path, stat] : bin.files) {
+    auto it = accessed.find(path);
+    if (it != accessed.end()) {
+      stat.likelihood.add(1.0);
+      stat.last_size = it->second;
+    } else {
+      stat.likelihood.add(0.0);
+    }
+  }
+  for (const auto& [path, size] : accessed) {
+    if (bin.files.count(path) > 0) continue;
+    auto [it, inserted] = bin.files.emplace(path, FileStat(config_.decay));
+    (void)inserted;
+    it->second.likelihood.add(1.0);
+    it->second.last_size = size;
+  }
+  bin.updates += 1.0;
+}
+
+void FileAccessPredictor::add(const FeatureVector& f,
+                              const std::vector<fs::Access>& accesses) {
+  std::map<std::string, util::Bytes> accessed;
+  for (const auto& a : accesses) {
+    auto [it, inserted] = accessed.emplace(a.path, a.size);
+    if (!inserted) it->second = std::max(it->second, a.size);
+  }
+  auto touch = [&](BinSet& set) {
+    update_bin(set.bins[f.bin_key()], f, accessed);
+    update_bin(set.generic, f, accessed);
+  };
+  touch(global_);
+  if (!f.data_tag.empty()) {
+    touch(per_data_.get_or_create(f.data_tag, [] { return BinSet{}; }));
+  }
+}
+
+const FileAccessPredictor::Bin* FileAccessPredictor::lookup(
+    const FeatureVector& f) const {
+  auto pick = [&](const BinSet& set) -> const Bin* {
+    auto it = set.bins.find(f.bin_key());
+    if (it != set.bins.end() && it->second.updates >= config_.min_bin_updates) {
+      return &it->second;
+    }
+    if (set.generic.updates > 0.0) return &set.generic;
+    return nullptr;
+  };
+  if (!f.data_tag.empty()) {
+    if (const BinSet* set = per_data_.find(f.data_tag)) {
+      if (const Bin* bin = pick(*set)) return bin;
+    }
+  }
+  return pick(global_);
+}
+
+std::vector<FilePrediction> FileAccessPredictor::render(const Bin& bin) const {
+  std::vector<FilePrediction> out;
+  for (const auto& [path, stat] : bin.files) {
+    const double p =
+        stat.likelihood.empty() ? 0.0 : stat.likelihood.value();
+    if (p < config_.min_likelihood) continue;
+    out.push_back(FilePrediction{path, stat.last_size, p});
+  }
+  return out;
+}
+
+std::vector<FilePrediction> FileAccessPredictor::predict(
+    const FeatureVector& f) const {
+  const Bin* bin = lookup(f);
+  if (bin == nullptr) return {};
+  return render(*bin);
+}
+
+double FileAccessPredictor::likelihood(const FeatureVector& f,
+                                       const std::string& path) const {
+  const Bin* bin = lookup(f);
+  if (bin == nullptr) return 0.0;
+  auto it = bin->files.find(path);
+  if (it == bin->files.end() || it->second.likelihood.empty()) return 0.0;
+  return it->second.likelihood.value();
+}
+
+}  // namespace spectra::predict

@@ -1,0 +1,82 @@
+// File-access predictor (§3.5).
+//
+// Builds on the numeric predictor: for every file an operation has ever
+// touched, a recency-weighted estimate of *access likelihood* is maintained
+// by feeding 1 when the file was accessed by an execution and 0 when it was
+// not. Likelihoods are kept per discrete bin (plan × fidelity — the full
+// vocabulary's language model is only touched by full-fidelity speech
+// recognition) with a generic fallback, and per data object with an LRU
+// (the 123-page document never touches the 14-page document's figure
+// files, which is what lets Spectra skip reintegration in the paper's
+// reintegrate scenario).
+//
+// Spectra uses the resulting ⟨file, size, likelihood⟩ list to estimate
+// cache-miss cost (expected bytes to fetch / fetch rate) and to decide
+// which dirty volumes must be reintegrated before remote execution.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fs/coda.h"
+#include "predict/features.h"
+#include "predict/lru.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace spectra::predict {
+
+struct FilePrediction {
+  std::string path;
+  util::Bytes size = 0.0;
+  double likelihood = 0.0;
+};
+
+struct FilePredictorConfig {
+  double decay = 0.9;
+  double min_bin_updates = 2.0;
+  std::size_t data_lru_capacity = 8;
+  // Predictions below this likelihood are dropped from the output.
+  double min_likelihood = 0.01;
+};
+
+class FileAccessPredictor {
+ public:
+  explicit FileAccessPredictor(FilePredictorConfig config = {});
+
+  // Record the set of files one execution accessed (local + remote).
+  void add(const FeatureVector& f, const std::vector<fs::Access>& accesses);
+
+  // Files the next execution with these features is likely to access.
+  std::vector<FilePrediction> predict(const FeatureVector& f) const;
+
+  // Likelihood for one specific file (0 when unknown).
+  double likelihood(const FeatureVector& f, const std::string& path) const;
+
+ private:
+  struct FileStat {
+    explicit FileStat(double decay = 0.9) : likelihood(decay) {}
+    util::DecayingMean likelihood;
+    util::Bytes last_size = 0.0;
+  };
+  struct Bin {
+    std::map<std::string, FileStat> files;
+    double updates = 0.0;
+  };
+  struct BinSet {
+    std::map<std::string, Bin> bins;
+    Bin generic;
+  };
+
+  void update_bin(Bin& bin, const FeatureVector& f,
+                  const std::map<std::string, util::Bytes>& accessed);
+  const Bin* lookup(const FeatureVector& f) const;
+  std::vector<FilePrediction> render(const Bin& bin) const;
+
+  FilePredictorConfig config_;
+  BinSet global_;
+  LruMap<BinSet> per_data_;
+};
+
+}  // namespace spectra::predict

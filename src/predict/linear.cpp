@@ -1,0 +1,108 @@
+#include "predict/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace spectra::predict {
+
+RecencyLinear::RecencyLinear(double decay) : decay_(decay) {
+  SPECTRA_REQUIRE(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
+}
+
+std::vector<double> RecencyLinear::to_x(
+    const std::map<std::string, double>& continuous) const {
+  std::vector<double> x(names_.size() + 1, 0.0);
+  x[0] = 1.0;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    auto it = continuous.find(names_[i]);
+    // A missing feature contributes zero; this lets callers predict with a
+    // subset of the features seen in training.
+    x[i + 1] = it != continuous.end() ? it->second : 0.0;
+  }
+  return x;
+}
+
+void RecencyLinear::add(const std::map<std::string, double>& continuous,
+                        double y) {
+  if (xtx_.empty()) {
+    xtx_.assign(1, std::vector<double>(1, 0.0));
+    xty_.assign(1, 0.0);
+  }
+  // Samples may carry different feature subsets (a missing feature means
+  // zero); grow the sufficient statistics when a new feature appears —
+  // zero-padding is exact because every earlier sample had value 0 for it.
+  for (const auto& [k, v] : continuous) {
+    (void)v;
+    if (std::find(names_.begin(), names_.end(), k) == names_.end()) {
+      names_.push_back(k);
+      for (auto& row : xtx_) row.push_back(0.0);
+      xtx_.push_back(std::vector<double>(names_.size() + 1, 0.0));
+      xty_.push_back(0.0);
+    }
+  }
+  const std::vector<double> x = to_x(continuous);
+  const std::size_t d = x.size();
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      xtx_[i][j] = decay_ * xtx_[i][j] + x[i] * x[j];
+    }
+    xty_[i] = decay_ * xty_[i] + x[i] * y;
+  }
+  weight_ = decay_ * weight_ + 1.0;
+  ++samples_;
+  mean_num_ = decay_ * mean_num_ + y;
+}
+
+bool RecencyLinear::solve(std::vector<double>& beta) const {
+  const std::size_t d = names_.size() + 1;
+  // Require one sample beyond exact identification before trusting slopes:
+  // a line through two noisy points extrapolates wildly, and the weighted
+  // mean is the better predictor until another sample arrives.
+  if (samples_ < d + 1) return false;
+  // Gaussian elimination with ridge regularization scaled to the trace so
+  // that collinear histories (e.g. every sample at the same parameter
+  // value) degrade gracefully instead of exploding.
+  std::vector<std::vector<double>> a = xtx_;
+  double trace = 0.0;
+  for (std::size_t i = 0; i < d; ++i) trace += a[i][i];
+  const double ridge = 1e-8 * std::max(trace, 1.0);
+  for (std::size_t i = 0; i < d; ++i) a[i][i] += ridge;
+
+  beta = xty_;
+  for (std::size_t col = 0; col < d; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(beta[col], beta[pivot]);
+    for (std::size_t r = 0; r < d; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < d; ++c) a[r][c] -= f * a[col][c];
+      beta[r] -= f * beta[col];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) beta[i] /= a[i][i];
+  return true;
+}
+
+double RecencyLinear::predict(
+    const std::map<std::string, double>& continuous) const {
+  SPECTRA_REQUIRE(!empty(), "predict on an untrained model");
+  std::vector<double> beta;
+  if (!names_.empty() && solve(beta)) {
+    const std::vector<double> x = to_x(continuous);
+    double y = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) y += beta[i] * x[i];
+    if (std::isfinite(y)) return std::max(0.0, y);
+  }
+  return std::max(0.0, mean_num_ / weight_);
+}
+
+}  // namespace spectra::predict

@@ -1,0 +1,56 @@
+// Recency-weighted linear regression (§3.4).
+//
+// The default numeric predictor: fits y = β₀ + Σ βᵢ·xᵢ over the continuous
+// features, giving recent samples greater weight via exponential decay of
+// the sufficient statistics. With no continuous features (or insufficient
+// data to identify the slopes) it degrades to a recency-weighted mean,
+// which is exactly the paper's behaviour for parameter-free operations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "predict/features.h"
+
+namespace spectra::predict {
+
+class RecencyLinear {
+ public:
+  // `decay` is the per-sample weight multiplier applied to history.
+  explicit RecencyLinear(double decay = 0.95);
+
+  void add(const std::map<std::string, double>& continuous, double y);
+
+  // Prediction for the given continuous features; falls back to the
+  // weighted mean when the regression is not identifiable. Clamped to >= 0
+  // (resource demands are non-negative).
+  double predict(const std::map<std::string, double>& continuous) const;
+
+  double total_weight() const { return weight_; }
+  std::size_t sample_count() const { return samples_; }
+  bool empty() const { return weight_ <= 0.0; }
+  std::size_t feature_count() const { return names_.size(); }
+
+  // True when enough samples exist to identify the regression slopes (or
+  // the model has no continuous features, so the mean is the full answer).
+  bool identifiable() const {
+    return !empty() && samples_ >= names_.size() + 2;
+  }
+
+ private:
+  std::vector<double> to_x(
+      const std::map<std::string, double>& continuous) const;
+  bool solve(std::vector<double>& beta) const;
+
+  double decay_;
+  std::vector<std::string> names_;  // fixed at first sample
+  // Sufficient statistics over x = [1, features...]:
+  std::vector<std::vector<double>> xtx_;  // Σ w·x·xᵀ
+  std::vector<double> xty_;               // Σ w·x·y
+  double weight_ = 0.0;
+  std::size_t samples_ = 0;
+  double mean_num_ = 0.0;  // Σ w·y, for the fallback mean
+};
+
+}  // namespace spectra::predict

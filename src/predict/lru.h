@@ -1,0 +1,70 @@
+// Small LRU map used for data-specific models: the default predictor keeps
+// models for the most recently used data objects (§3.4) and falls back to
+// the data-independent model for everything else.
+#pragma once
+
+#include <list>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace spectra::predict {
+
+template <typename V>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {
+    SPECTRA_REQUIRE(capacity > 0, "LRU capacity must be positive");
+  }
+
+  // Returns the value for `key`, creating it with `make()` (and possibly
+  // evicting the least recently used entry) if absent. Touches the entry.
+  template <typename F>
+  V& get_or_create(const std::string& key, F&& make) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      order_.erase(it->second.order_it);
+      order_.push_front(key);
+      it->second.order_it = order_.begin();
+      return it->second.value;
+    }
+    if (entries_.size() >= capacity_) {
+      const std::string victim = order_.back();
+      order_.pop_back();
+      entries_.erase(victim);
+    }
+    order_.push_front(key);
+    auto [nit, inserted] = entries_.emplace(key, Entry{make(), order_.begin()});
+    (void)inserted;
+    return nit->second.value;
+  }
+
+  V& get_or_create(const std::string& key) {
+    return get_or_create(key, [] { return V{}; });
+  }
+
+  // Lookup without creating or touching; null when absent.
+  const V* find(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() ? &it->second.value : nullptr;
+  }
+
+  bool contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    V value;
+    std::list<std::string>::iterator order_it;
+  };
+  std::size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> order_;  // front = most recent
+};
+
+}  // namespace spectra::predict

@@ -1,0 +1,76 @@
+#include "predict/numeric.h"
+
+#include "util/assert.h"
+
+namespace spectra::predict {
+
+NumericPredictor::NumericPredictor(NumericPredictorConfig config)
+    : config_(config),
+      global_(config.decay, config.min_bin_weight),
+      per_data_(config.data_lru_capacity) {}
+
+void NumericPredictor::ModelSet::add(const FeatureVector& f, double y) {
+  const std::string key = f.bin_key();
+  if (!key.empty()) {
+    auto it = bins.find(key);
+    if (it == bins.end()) {
+      it = bins.emplace(key, RecencyLinear(decay)).first;
+    }
+    it->second.add(f.continuous, y);
+  }
+  generic.add(f.continuous, y);
+}
+
+const RecencyLinear* NumericPredictor::ModelSet::lookup(
+    const FeatureVector& f) const {
+  const std::string key = f.bin_key();
+  if (!key.empty()) {
+    auto it = bins.find(key);
+    if (it != bins.end() && it->second.total_weight() >= min_weight) {
+      // Use the bin unless its regression is under-identified while the
+      // generic model's is not — a generic model whose slopes are fitted
+      // beats a bin that can only answer with its mean.
+      if (it->second.identifiable() || !generic.identifiable()) {
+        return &it->second;
+      }
+    }
+  }
+  if (!generic.empty() && generic.total_weight() >= min_weight) {
+    return &generic;
+  }
+  return nullptr;
+}
+
+void NumericPredictor::add(const FeatureVector& f, double y) {
+  global_.add(f, y);
+  if (!f.data_tag.empty()) {
+    ModelSet& set = per_data_.get_or_create(f.data_tag, [this] {
+      return ModelSet(config_.decay, config_.min_bin_weight);
+    });
+    set.add(f, y);
+  }
+}
+
+double NumericPredictor::predict(const FeatureVector& f) const {
+  SPECTRA_REQUIRE(trained(), "predict on an untrained model");
+  if (!f.data_tag.empty()) {
+    if (const ModelSet* set = per_data_.find(f.data_tag)) {
+      if (const RecencyLinear* m = set->lookup(f)) {
+        return m->predict(f.continuous);
+      }
+    }
+  }
+  if (const RecencyLinear* m = global_.lookup(f)) {
+    return m->predict(f.continuous);
+  }
+  // Sparse history: fall back to whatever the generic model has.
+  return global_.generic.predict(f.continuous);
+}
+
+bool NumericPredictor::has_bin(const FeatureVector& f) const {
+  auto it = global_.bins.find(f.bin_key());
+  return it != global_.bins.end() &&
+         it->second.total_weight() >= config_.min_bin_weight;
+}
+
+}  // namespace spectra::predict

@@ -1,0 +1,49 @@
+#include "predict/operation_model.h"
+
+namespace spectra::predict {
+
+OperationModel::OperationModel(OperationModelConfig config)
+    : local_cycles_(config.numeric),
+      remote_cycles_(config.numeric),
+      bytes_sent_(config.numeric),
+      bytes_received_(config.numeric),
+      rpcs_(config.numeric),
+      energy_(config.numeric),
+      files_(config.file) {}
+
+void OperationModel::observe(const FeatureVector& f,
+                             const monitor::OperationUsage& usage) {
+  UsageRecord r = UsageRecord::from_usage("", f, usage);
+  replay(r);
+}
+
+void OperationModel::replay(const UsageRecord& r) {
+  local_cycles_.add(r.features, r.local_cycles);
+  remote_cycles_.add(r.features, r.remote_cycles);
+  bytes_sent_.add(r.features, r.bytes_sent);
+  bytes_received_.add(r.features, r.bytes_received);
+  rpcs_.add(r.features, r.rpcs);
+  // Energy samples polluted by concurrent operations are skipped (§3.3.3).
+  if (r.energy_valid) energy_.add(r.features, r.energy);
+  files_.add(r.features, r.file_accesses);
+  ++observations_;
+}
+
+DemandEstimate OperationModel::predict(const FeatureVector& f) const {
+  DemandEstimate e;
+  if (local_cycles_.trained()) e.local_cycles = local_cycles_.predict(f);
+  if (remote_cycles_.trained()) e.remote_cycles = remote_cycles_.predict(f);
+  if (bytes_sent_.trained()) e.bytes_sent = bytes_sent_.predict(f);
+  if (bytes_received_.trained()) {
+    e.bytes_received = bytes_received_.predict(f);
+  }
+  if (rpcs_.trained()) e.rpcs = rpcs_.predict(f);
+  if (energy_.trained()) {
+    e.energy = energy_.predict(f);
+    e.has_energy = true;
+  }
+  e.files = files_.predict(f);
+  return e;
+}
+
+}  // namespace spectra::predict

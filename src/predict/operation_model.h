@@ -1,0 +1,69 @@
+// Per-operation demand model: the bundle of default predictors Spectra
+// creates when an application calls register_fidelity (§3.4).
+//
+// One NumericPredictor per resource metric (local/remote CPU cycles, bytes
+// sent/received, RPC count, client energy) plus a FileAccessPredictor. The
+// execution plan and discrete fidelities arrive as discrete features, input
+// parameters and continuous fidelities as continuous features, so every
+// prediction is conditioned exactly the way the paper describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/types.h"
+#include "predict/features.h"
+#include "predict/file_predictor.h"
+#include "predict/numeric.h"
+#include "predict/usage_log.h"
+
+namespace spectra::predict {
+
+// Predicted demand for one candidate execution alternative.
+struct DemandEstimate {
+  double local_cycles = 0.0;
+  double remote_cycles = 0.0;
+  double bytes_sent = 0.0;
+  double bytes_received = 0.0;
+  double rpcs = 0.0;
+  double energy = 0.0;
+  bool has_energy = false;
+  std::vector<FilePrediction> files;
+};
+
+struct OperationModelConfig {
+  NumericPredictorConfig numeric;
+  FilePredictorConfig file;
+};
+
+class OperationModel {
+ public:
+  explicit OperationModel(OperationModelConfig config = {});
+
+  // Update every predictor from one completed execution.
+  void observe(const FeatureVector& features,
+               const monitor::OperationUsage& usage);
+
+  // Replay a logged record (model bootstrap at registration time).
+  void replay(const UsageRecord& record);
+
+  DemandEstimate predict(const FeatureVector& features) const;
+
+  // True once at least one execution has been observed.
+  bool trained() const { return local_cycles_.trained(); }
+  std::size_t observations() const { return observations_; }
+
+  const FileAccessPredictor& file_predictor() const { return files_; }
+
+ private:
+  NumericPredictor local_cycles_;
+  NumericPredictor remote_cycles_;
+  NumericPredictor bytes_sent_;
+  NumericPredictor bytes_received_;
+  NumericPredictor rpcs_;
+  NumericPredictor energy_;
+  FileAccessPredictor files_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace spectra::predict

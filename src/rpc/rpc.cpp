@@ -1,0 +1,99 @@
+#include "rpc/rpc.h"
+
+#include "util/assert.h"
+
+namespace spectra::rpc {
+
+RpcEndpoint::RpcEndpoint(MachineId id, hw::Machine& machine,
+                         net::Network& network, fs::CodaClient* coda,
+                         RpcCosts costs)
+    : id_(id), machine_(machine), network_(network), coda_(coda),
+      costs_(costs) {}
+
+void RpcEndpoint::register_handler(const std::string& service,
+                                   Handler handler) {
+  SPECTRA_REQUIRE(!service.empty(), "service name must be non-empty");
+  SPECTRA_REQUIRE(handler != nullptr, "handler must be callable");
+  handlers_[service] = std::move(handler);
+}
+
+bool RpcEndpoint::has_handler(const std::string& service) const {
+  return handlers_.count(service) > 0;
+}
+
+void RpcEndpoint::charge_marshal(Bytes payload) {
+  machine_.run_cycles(costs_.marshal_cycles +
+                      costs_.marshal_cycles_per_byte * payload);
+}
+
+Response RpcEndpoint::dispatch(const std::string& service,
+                               const Request& request) {
+  auto it = handlers_.find(service);
+  if (it == handlers_.end()) {
+    Response r;
+    r.ok = false;
+    r.error = "unknown service: " + service;
+    return r;
+  }
+  // Bracket the handler with server-side measurement: CPU cycles executed
+  // by this machine and Coda accesses it performs.
+  const Seconds t0 = machine_.engine().now();
+  const Cycles c0 = machine_.cycles_executed();
+  if (coda_ != nullptr) coda_->start_trace();
+  Response r = it->second(request);
+  r.usage.cpu_cycles = machine_.cycles_executed() - c0;
+  r.usage.cpu_seconds = machine_.engine().now() - t0;
+  if (coda_ != nullptr) r.usage.file_accesses = coda_->stop_trace();
+  return r;
+}
+
+Response RpcEndpoint::call(RpcEndpoint& target, const std::string& service,
+                           const Request& request, CallStats* stats) {
+  const Seconds t0 = machine_.engine().now();
+  CallStats local_stats;
+
+  charge_marshal(request.payload);
+  if (!network_.reachable(id_, target.id())) {
+    Response r;
+    r.ok = false;
+    r.error = "target unreachable";
+    local_stats.elapsed = machine_.engine().now() - t0;
+    if (stats != nullptr) *stats = local_stats;
+    return r;
+  }
+  const Bytes req_bytes = request.payload + costs_.header_bytes;
+  network_.transfer(id_, target.id(), req_bytes);
+  local_stats.bytes_sent = req_bytes;
+
+  // Server-side unmarshal + dispatch + handler.
+  target.machine().run_cycles(costs_.marshal_cycles +
+                              costs_.marshal_cycles_per_byte *
+                                  request.payload);
+  Response r = target.dispatch(service, request);
+
+  // Response path. A handler failure still ships an error reply.
+  target.machine().run_cycles(costs_.marshal_cycles +
+                              costs_.marshal_cycles_per_byte * r.payload);
+  const Bytes resp_bytes = r.payload + costs_.header_bytes;
+  network_.transfer(target.id(), id_, resp_bytes);
+  charge_marshal(r.payload);
+  local_stats.bytes_received = resp_bytes;
+  local_stats.rpcs = 1;
+  local_stats.elapsed = machine_.engine().now() - t0;
+  if (stats != nullptr) *stats = local_stats;
+  return r;
+}
+
+bool RpcEndpoint::ping(RpcEndpoint& target, Seconds* rtt) {
+  if (!network_.reachable(id_, target.id())) {
+    if (rtt != nullptr) *rtt = 0.0;
+    return false;
+  }
+  const Seconds t0 = machine_.engine().now();
+  network_.transfer(id_, target.id(), costs_.header_bytes);
+  network_.transfer(target.id(), id_, costs_.header_bytes);
+  if (rtt != nullptr) *rtt = machine_.engine().now() - t0;
+  return true;
+}
+
+}  // namespace spectra::rpc

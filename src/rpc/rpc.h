@@ -1,0 +1,115 @@
+// RPC substrate.
+//
+// All Spectra client↔server communication flows through this layer, which
+// gives the system the two properties the paper relies on:
+//
+//   * observability — every call moves bytes through net::Network (whose
+//     passive transfer log feeds the network monitor) and returns the number
+//     of bytes/RPCs used, which Spectra charges to the executing operation;
+//   * server-side accounting — a handler runs bracketed by CPU-cycle and
+//     Coda-trace measurement on the server machine, and the response carries
+//     a UsageReport (the paper's "server monitors observe resource usage and
+//     report the total resource consumption as part of the RPC response").
+//
+// Handlers execute synchronously in virtual time: marshal on the caller,
+// request transfer, dispatch + handler on the callee, response transfer.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fs/coda.h"
+#include "hw/machine.h"
+#include "net/network.h"
+#include "util/units.h"
+
+namespace spectra::rpc {
+
+using hw::MachineId;
+using util::Bytes;
+using util::Cycles;
+using util::Seconds;
+
+// Resource consumption measured on the server for one RPC.
+struct UsageReport {
+  Seconds cpu_seconds = 0.0;
+  Cycles cpu_cycles = 0.0;
+  std::vector<fs::Access> file_accesses;
+};
+
+struct Request {
+  std::string op_type;
+  Bytes payload = 0.0;
+  // Application-level arguments (input parameters, fidelity settings).
+  std::map<std::string, double> args;
+  // Optional data-object tag (e.g. document name) for data-specific models.
+  std::string data_tag;
+};
+
+struct Response {
+  bool ok = false;
+  std::string error;
+  Bytes payload = 0.0;  // wire size; the simulated transfer uses this
+  // Structured result object (status report, translation output, ...).
+  // `payload` must account for its serialized size.
+  std::any body;
+  UsageReport usage;
+};
+
+// What the caller observed about one call; Spectra accounts these to the
+// currently-executing operation.
+struct CallStats {
+  Bytes bytes_sent = 0.0;
+  Bytes bytes_received = 0.0;
+  int rpcs = 0;
+  Seconds elapsed = 0.0;
+};
+
+using Handler = std::function<Response(const Request&)>;
+
+struct RpcCosts {
+  Bytes header_bytes = 256.0;          // per-message framing overhead
+  Cycles marshal_cycles = 20000.0;     // fixed per call, each side
+  double marshal_cycles_per_byte = 0.4;
+};
+
+// One RPC endpoint per machine. Registering the same service name twice
+// replaces the handler.
+class RpcEndpoint {
+ public:
+  RpcEndpoint(MachineId id, hw::Machine& machine, net::Network& network,
+              fs::CodaClient* coda, RpcCosts costs = {});
+
+  MachineId id() const { return id_; }
+  hw::Machine& machine() { return machine_; }
+  fs::CodaClient* coda() { return coda_; }
+
+  void register_handler(const std::string& service, Handler handler);
+  bool has_handler(const std::string& service) const;
+
+  // Invoke `service` on `target`. Advances virtual time for marshaling,
+  // transfers, and handler execution. Fails (ok=false) when the target is
+  // unreachable or the service is unknown; failure still costs the caller
+  // the attempt latency.
+  Response call(RpcEndpoint& target, const std::string& service,
+                const Request& request, CallStats* stats = nullptr);
+
+  // Reachability probe (the server-database ping).
+  bool ping(RpcEndpoint& target, Seconds* rtt = nullptr);
+
+ private:
+  Response dispatch(const std::string& service, const Request& request);
+  void charge_marshal(Bytes payload);
+
+  MachineId id_;
+  hw::Machine& machine_;
+  net::Network& network_;
+  fs::CodaClient* coda_;
+  RpcCosts costs_;
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace spectra::rpc

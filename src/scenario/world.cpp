@@ -1,0 +1,322 @@
+#include "scenario/world.h"
+
+#include "util/assert.h"
+
+namespace spectra::scenario {
+
+namespace {
+
+constexpr const char* kProbePath = "probe/netprobe";
+constexpr double kProbeSize = 24.0 * 1024;
+
+hw::MachineSpec itsy_spec() {
+  hw::MachineSpec s;
+  s.name = "itsy";
+  s.cpu_hz = 206e6;
+  s.fp_penalty = 3.0;  // software-emulated floating point (SA-1100)
+  s.power = hw::PowerModel{0.15, 1.55, 0.35};
+  s.battery_capacity_j = 20000.0;  // ~5.5 Wh
+  return s;
+}
+
+hw::MachineSpec t20_spec() {
+  hw::MachineSpec s;
+  s.name = "t20";
+  s.cpu_hz = 700e6;
+  s.power = hw::PowerModel{7.0, 8.0, 2.0};
+  return s;
+}
+
+hw::MachineSpec thinkpad560x_spec() {
+  hw::MachineSpec s;
+  s.name = "560x";
+  s.cpu_hz = 233e6;
+  s.power = hw::PowerModel{7.0, 6.0, 2.0};
+  s.battery_capacity_j = 110000.0;
+  return s;
+}
+
+hw::MachineSpec server_a_spec() {
+  hw::MachineSpec s;
+  s.name = "serverA";
+  s.cpu_hz = 400e6;
+  s.power = hw::PowerModel{20.0, 10.0, 2.0};
+  return s;
+}
+
+hw::MachineSpec server_b_spec() {
+  hw::MachineSpec s;
+  s.name = "serverB";
+  s.cpu_hz = 933e6;
+  s.power = hw::PowerModel{25.0, 15.0, 2.0};
+  return s;
+}
+
+hw::MachineSpec file_server_spec() {
+  hw::MachineSpec s;
+  s.name = "fileserver";
+  s.cpu_hz = 800e6;
+  s.power = hw::PowerModel{30.0, 10.0, 2.0};
+  return s;
+}
+
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(config), rng_(config.seed ^ 0x5a5a5a5aULL) {
+  network_ = std::make_unique<net::Network>(engine_, rng_.fork());
+  file_server_ = std::make_unique<fs::FileServer>(kFileServer);
+  switch (config_.testbed) {
+    case Testbed::kItsy:
+      build_itsy();
+      break;
+    case Testbed::kThinkpad:
+      build_thinkpad();
+      break;
+    case Testbed::kOverhead:
+      build_overhead();
+      break;
+  }
+  create_background_files();
+}
+
+World::~World() = default;
+
+void World::add_machine(MachineId id, hw::MachineSpec spec) {
+  auto m = std::make_unique<hw::Machine>(engine_, std::move(spec),
+                                         rng_.fork());
+  network_->add_machine(id, m.get());
+  machines_.emplace(id, std::move(m));
+}
+
+void World::add_coda(MachineId id, fs::CodaClientConfig cfg) {
+  codas_.emplace(id, std::make_unique<fs::CodaClient>(
+                         id, *machines_.at(id), *network_, *file_server_,
+                         cfg));
+}
+
+void World::build_itsy() {
+  add_machine(kClient, itsy_spec());
+  add_machine(kServerT20, t20_spec());
+  add_machine(kFileServer, file_server_spec());
+
+  // Serial link client<->server; the file servers sit on a separate
+  // (equally modest) path, reachable even when the compute server is not.
+  network_->set_link(kClient, kServerT20, {11500.0, 0.010});
+  network_->set_link(kClient, kFileServer, {30000.0, 0.020});
+  network_->set_link(kServerT20, kFileServer, {1.0e6, 0.002});
+
+  fs::CodaClientConfig client_coda;
+  client_coda.cache_capacity = 16.0 * 1024 * 1024;
+  add_coda(kClient, client_coda);
+  fs::CodaClientConfig server_coda;
+  add_coda(kServerT20, server_coda);
+
+  auto driver = std::make_unique<hw::SmartBatteryDriver>(
+      engine_, machines_.at(kClient)->meter(), /*quantum=*/0.2);
+  spectra_ = std::make_unique<core::SpectraClient>(
+      kClient, engine_, *machines_.at(kClient), *network_,
+      *codas_.at(kClient), std::move(driver), rng_.fork(), config_.spectra);
+
+  servers_.emplace(kServerT20, std::make_unique<core::SpectraServer>(
+                                   kServerT20, engine_,
+                                   *machines_.at(kServerT20), *network_,
+                                   codas_.at(kServerT20).get()));
+
+  janus_ = std::make_unique<apps::JanusApp>();
+  janus_->install_files(*file_server_);
+  file_server_->create({kProbePath, kProbeSize, "probe"});
+  janus_->install_services(spectra_->local_server(), rng_.fork());
+  janus_->install_services(*servers_.at(kServerT20), rng_.fork());
+  janus_->register_op(*spectra_);
+
+  spectra_->add_server(*servers_.at(kServerT20));
+}
+
+void World::build_thinkpad() {
+  add_machine(kClient, thinkpad560x_spec());
+  add_machine(kServerA, server_a_spec());
+  add_machine(kServerB, server_b_spec());
+  add_machine(kFileServer, file_server_spec());
+
+  // Shared 2 Mb/s wireless to the compute servers; the Coda SFTP path to
+  // the file servers achieves far lower goodput (calibrated so that
+  // reintegrating a 70 KB modification costs seconds, as in the paper).
+  network_->set_link(kClient, kServerA, {250000.0, 0.005});
+  network_->set_link(kClient, kServerB, {250000.0, 0.005});
+  network_->set_link(kClient, kFileServer, {30000.0, 0.010});
+  network_->set_link(kServerA, kServerB, {1.25e6, 0.001});
+  network_->set_link(kServerA, kFileServer, {300000.0, 0.002});
+  network_->set_link(kServerB, kFileServer, {300000.0, 0.002});
+
+  fs::CodaClientConfig client_coda;
+  client_coda.cache_capacity = 64.0 * 1024 * 1024;
+  add_coda(kClient, client_coda);
+  fs::CodaClientConfig server_coda;
+  server_coda.cache_capacity = 128.0 * 1024 * 1024;
+  server_coda.per_file_overhead = 0.1;  // RPC2 fetch setup + callback
+  add_coda(kServerA, server_coda);
+  add_coda(kServerB, server_coda);
+
+  // The 560X has no power instrumentation; the paper measured it with an
+  // external multimeter.
+  auto driver = std::make_unique<hw::MultimeterDriver>(
+      machines_.at(kClient)->meter());
+  spectra_ = std::make_unique<core::SpectraClient>(
+      kClient, engine_, *machines_.at(kClient), *network_,
+      *codas_.at(kClient), std::move(driver), rng_.fork(), config_.spectra);
+
+  for (MachineId id : {kServerA, kServerB}) {
+    servers_.emplace(id, std::make_unique<core::SpectraServer>(
+                             id, engine_, *machines_.at(id), *network_,
+                             codas_.at(id).get()));
+  }
+
+  latex_ = std::make_unique<apps::LatexApp>();
+  pangloss_ = std::make_unique<apps::PanglossApp>();
+  latex_->install_files(*file_server_);
+  pangloss_->install_files(*file_server_);
+  file_server_->create({kProbePath, kProbeSize, "probe"});
+  for (auto& [id, server] : servers_) {
+    (void)id;
+    latex_->install_services(*server, rng_.fork());
+    pangloss_->install_services(*server, rng_.fork());
+  }
+  latex_->install_services(spectra_->local_server(), rng_.fork());
+  pangloss_->install_services(spectra_->local_server(), rng_.fork());
+  latex_->register_op(*spectra_);
+  pangloss_->register_op(*spectra_);
+
+  for (auto& [id, server] : servers_) {
+    (void)id;
+    spectra_->add_server(*server);
+  }
+}
+
+void World::build_overhead() {
+  add_machine(kClient, thinkpad560x_spec());
+  add_machine(kFileServer, file_server_spec());
+  network_->set_link(kClient, kFileServer, {250000.0, 0.005});
+
+  fs::CodaClientConfig client_coda;
+  client_coda.cache_capacity = 256.0 * 1024 * 1024;
+  add_coda(kClient, client_coda);
+  file_server_->create({kProbePath, kProbeSize, "probe"});
+
+  auto driver = std::make_unique<hw::MultimeterDriver>(
+      machines_.at(kClient)->meter());
+  spectra_ = std::make_unique<core::SpectraClient>(
+      kClient, engine_, *machines_.at(kClient), *network_,
+      *codas_.at(kClient), std::move(driver), rng_.fork(), config_.spectra);
+
+  for (std::size_t i = 0; i < config_.overhead_servers; ++i) {
+    const MachineId id = static_cast<MachineId>(1 + i);
+    add_machine(id, server_b_spec());
+    network_->set_link(kClient, id, {250000.0, 0.005});
+    network_->set_link(id, kFileServer, {300000.0, 0.002});
+    fs::CodaClientConfig server_coda;
+    add_coda(id, server_coda);
+    servers_.emplace(id, std::make_unique<core::SpectraServer>(
+                             id, engine_, *machines_.at(id), *network_,
+                             codas_.at(id).get()));
+  }
+  for (auto& [id, server] : servers_) {
+    (void)id;
+    spectra_->add_server(*server);
+  }
+}
+
+void World::create_background_files() {
+  for (std::size_t i = 0; i < config_.background_files; ++i) {
+    file_server_->create({"bg/f" + std::to_string(i),
+                          rng_.uniform(8.0, 64.0) * 1024, "bg"});
+  }
+}
+
+hw::Machine& World::machine(MachineId id) {
+  auto it = machines_.find(id);
+  SPECTRA_REQUIRE(it != machines_.end(), "no such machine in this world");
+  return *it->second;
+}
+
+fs::CodaClient& World::coda(MachineId id) {
+  auto it = codas_.find(id);
+  SPECTRA_REQUIRE(it != codas_.end(), "no Coda client on this machine");
+  return *it->second;
+}
+
+core::SpectraServer& World::server(MachineId id) {
+  auto it = servers_.find(id);
+  SPECTRA_REQUIRE(it != servers_.end(), "no Spectra server on this machine");
+  return *it->second;
+}
+
+std::vector<MachineId> World::server_ids() const {
+  std::vector<MachineId> out;
+  for (const auto& [id, s] : servers_) {
+    (void)s;
+    out.push_back(id);
+  }
+  return out;
+}
+
+apps::JanusApp& World::janus() {
+  SPECTRA_REQUIRE(janus_ != nullptr, "Janus runs on the Itsy testbed");
+  return *janus_;
+}
+
+apps::LatexApp& World::latex() {
+  SPECTRA_REQUIRE(latex_ != nullptr, "Latex runs on the ThinkPad testbed");
+  return *latex_;
+}
+
+apps::PanglossApp& World::pangloss() {
+  SPECTRA_REQUIRE(pangloss_ != nullptr,
+                  "Pangloss runs on the ThinkPad testbed");
+  return *pangloss_;
+}
+
+void World::warm_all_caches() {
+  // Application files everywhere.
+  std::vector<std::string> app_files;
+  if (janus_ != nullptr) {
+    app_files.push_back(janus_->config().lm_full_path);
+    app_files.push_back(janus_->config().lm_reduced_path);
+  }
+  if (latex_ != nullptr) {
+    for (const auto& d : latex_->config().documents) {
+      for (const auto& f : d.files) app_files.push_back(f.path);
+    }
+  }
+  if (pangloss_ != nullptr) {
+    for (const auto& c : pangloss_->config().components) {
+      app_files.push_back(c.file_path);
+    }
+  }
+  for (auto& [id, coda] : codas_) {
+    (void)id;
+    for (const auto& path : app_files) coda->warm(path);
+  }
+  // Background files on the compute servers only.
+  for (std::size_t i = 0; i < config_.background_files; ++i) {
+    for (const auto& [id, server] : servers_) {
+      (void)server;
+      codas_.at(id)->warm("bg/f" + std::to_string(i));
+    }
+  }
+}
+
+void World::probe_fetch_rates() {
+  for (auto& [id, coda] : codas_) {
+    if (id == kFileServer) continue;
+    if (coda->is_cached(kProbePath)) coda->evict(kProbePath);
+    coda->read(kProbePath);
+  }
+}
+
+void World::settle(util::Seconds duration) {
+  SPECTRA_REQUIRE(duration >= 0.0, "negative settle duration");
+  engine_.run_until(engine_.now() + duration);
+}
+
+}  // namespace spectra::scenario

@@ -1,0 +1,116 @@
+// Experiment testbeds.
+//
+// A World wires a complete simulated reproduction of one of the paper's two
+// hardware configurations:
+//
+//   * kItsy — Compaq Itsy v2.2 client (206 MHz SA-1100, software FP,
+//     SmartBattery) + IBM T20 server (700 MHz PIII) joined by a serial
+//     link, plus a Coda file server on a separate path (§4.1).
+//   * kThinkpad — IBM 560X client (233 MHz Pentium, multimeter-metered) +
+//     server A (400 MHz PII) + server B (933 MHz PIII) on a shared 2 Mb/s
+//     wireless network, plus a Coda file server (§4.2, §4.3).
+//
+// Worlds are deterministic functions of their seed: rebuilding a world with
+// the same seed and replaying the same operations reproduces identical
+// timings, which is how the harness measures every alternative of a
+// scenario from an identical starting state (fresh world per alternative).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apps/janus.h"
+#include "apps/latex.h"
+#include "apps/pangloss.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "fs/coda.h"
+#include "hw/machine.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace spectra::scenario {
+
+using hw::MachineId;
+
+// kOverhead is a synthetic testbed for the Fig-10 overhead table: a client
+// plus a configurable number of identical servers running a null service.
+enum class Testbed { kItsy, kThinkpad, kOverhead };
+
+inline constexpr MachineId kClient = 0;
+inline constexpr MachineId kServerT20 = 1;  // Itsy testbed's compute server
+inline constexpr MachineId kServerA = 1;    // ThinkPad testbed
+inline constexpr MachineId kServerB = 2;
+inline constexpr MachineId kFileServer = 9;
+
+struct WorldConfig {
+  Testbed testbed = Testbed::kItsy;
+  std::uint64_t seed = 1;
+  core::SpectraClientConfig spectra;
+  // Unrelated files cached on compute servers; they give the status reports
+  // realistic bulk (which keeps the passive network monitor current) and
+  // the cache-dump interface realistic cost.
+  std::size_t background_files = 100;
+  // Server count for the kOverhead testbed.
+  std::size_t overhead_servers = 0;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  Testbed testbed() const { return config_.testbed; }
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return *network_; }
+  fs::FileServer& file_server() { return *file_server_; }
+
+  hw::Machine& machine(MachineId id);
+  hw::Machine& client_machine() { return machine(kClient); }
+  fs::CodaClient& coda(MachineId id);
+  core::SpectraClient& spectra() { return *spectra_; }
+  core::SpectraServer& server(MachineId id);
+  // Remote compute servers of this testbed.
+  std::vector<MachineId> server_ids() const;
+
+  apps::JanusApp& janus();
+  apps::LatexApp& latex();
+  apps::PanglossApp& pangloss();
+
+  // ---- setup helpers ------------------------------------------------------
+  // Cache every application file on every machine, and the background files
+  // on the compute servers ("data files are cached on all machines").
+  void warm_all_caches();
+  // Timed small fetches that seed Coda fetch-rate and passive network
+  // bandwidth estimates (a Coda client's background hoard walk).
+  void probe_fetch_rates();
+  // Let virtual time pass: status polls, monitor refreshes, adaptation.
+  void settle(util::Seconds duration);
+
+ private:
+  void build_itsy();
+  void build_thinkpad();
+  void build_overhead();
+  void add_machine(MachineId id, hw::MachineSpec spec);
+  void add_coda(MachineId id, fs::CodaClientConfig cfg);
+  void create_background_files();
+
+  WorldConfig config_;
+  sim::Engine engine_;
+  util::Rng rng_;
+  std::map<MachineId, std::unique_ptr<hw::Machine>> machines_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<fs::FileServer> file_server_;
+  std::map<MachineId, std::unique_ptr<fs::CodaClient>> codas_;
+  std::unique_ptr<core::SpectraClient> spectra_;
+  std::map<MachineId, std::unique_ptr<core::SpectraServer>> servers_;
+  std::unique_ptr<apps::JanusApp> janus_;
+  std::unique_ptr<apps::LatexApp> latex_;
+  std::unique_ptr<apps::PanglossApp> pangloss_;
+};
+
+}  // namespace spectra::scenario

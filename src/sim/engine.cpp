@@ -1,0 +1,84 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spectra::sim {
+
+EventId Engine::schedule_at(Seconds t, std::function<void()> fn) {
+  SPECTRA_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  SPECTRA_REQUIRE(fn != nullptr, "event callback must be callable");
+  const EventId id = next_id_++;
+  records_[id] = Record{std::move(fn), 0.0};
+  queue_.push(Entry{t, next_seq_++, id});
+  return id;
+}
+
+EventId Engine::schedule_after(Seconds dt, std::function<void()> fn) {
+  SPECTRA_REQUIRE(dt >= 0.0, "negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+EventId Engine::schedule_periodic(Seconds interval, std::function<void()> fn) {
+  SPECTRA_REQUIRE(interval > 0.0, "periodic interval must be positive");
+  SPECTRA_REQUIRE(fn != nullptr, "event callback must be callable");
+  const EventId id = next_id_++;
+  records_[id] = Record{std::move(fn), interval};
+  queue_.push(Entry{now_ + interval, next_seq_++, id});
+  return id;
+}
+
+void Engine::cancel(EventId id) { records_.erase(id); }
+
+void Engine::fire(const Entry& e) {
+  auto it = records_.find(e.id);
+  if (it == records_.end()) return;  // cancelled
+  // A nested advance() inside an earlier event may already have pushed the
+  // clock past this event's timestamp; time never moves backwards.
+  now_ = std::max(now_, e.t);
+  if (it->second.period > 0.0) {
+    // Reschedule before running so the callback may cancel itself.
+    queue_.push(Entry{e.t + it->second.period, next_seq_++, e.id});
+    // Copy: the map may rehash if the callback schedules new events.
+    auto fn = it->second.fn;
+    fn();
+  } else {
+    auto fn = std::move(it->second.fn);
+    records_.erase(it);
+    fn();
+  }
+}
+
+void Engine::advance(Seconds dt) {
+  SPECTRA_REQUIRE(dt >= 0.0, "cannot advance backwards");
+  run_until(now_ + dt);
+}
+
+void Engine::run_until(Seconds t) {
+  if (t <= now_) return;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    fire(e);
+  }
+  now_ = std::max(now_, t);
+}
+
+void Engine::drain(Seconds horizon, std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().t <= horizon && fired < max_events) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    const bool live = records_.count(e.id) > 0;
+    fire(e);
+    if (live) ++fired;
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+std::size_t Engine::pending_events() const {
+  // The queue may hold tombstones for cancelled events; count live records.
+  return records_.size();
+}
+
+}  // namespace spectra::sim

@@ -1,0 +1,94 @@
+// Discrete-event simulation engine.
+//
+// Everything in the reproduction testbed — machines, network transfers, file
+// fetches, Spectra's own decision overhead — advances a single virtual clock
+// owned by an Engine. Application execution is modeled as a sequence of
+// timed activities; periodic behaviours (server status polling, battery
+// sampling, load smoothing) are scheduled events that fire as the clock
+// sweeps past them.
+//
+// The engine is deliberately single-threaded and deterministic: events with
+// equal timestamps fire in scheduling order, so a seeded scenario replays
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace spectra::sim {
+
+using util::Seconds;
+
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Seconds now() const { return now_; }
+
+  // Schedule `fn` to run at absolute virtual time `t` (>= now).
+  EventId schedule_at(Seconds t, std::function<void()> fn);
+
+  // Schedule `fn` to run `dt` seconds from now.
+  EventId schedule_after(Seconds dt, std::function<void()> fn);
+
+  // Schedule `fn` every `interval` seconds, first firing after one interval.
+  // Returns an id usable with cancel(); the periodic event keeps rescheduling
+  // itself under the same id.
+  EventId schedule_periodic(Seconds interval, std::function<void()> fn);
+
+  // Cancel a pending (or periodic) event. Cancelling an already-fired
+  // one-shot event is a harmless no-op.
+  void cancel(EventId id);
+
+  // Advance the clock by `dt`, firing every event due in (now, now+dt] in
+  // timestamp order. Events may schedule further events, including ones due
+  // within the same window.
+  void advance(Seconds dt);
+
+  // Advance the clock to absolute time `t` (no-op if t <= now).
+  void run_until(Seconds t);
+
+  // Fire all pending events in order, advancing the clock to each; stops
+  // when the queue is empty or `max_events` have fired. Used by tests and by
+  // world teardown to drain periodic tasks is NOT desired — periodic events
+  // reschedule forever, so this respects `horizon`.
+  void drain(Seconds horizon, std::size_t max_events = 1'000'000);
+
+  std::size_t pending_events() const;
+
+ private:
+  struct Entry {
+    Seconds t;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  struct Record {
+    std::function<void()> fn;
+    Seconds period = 0.0;  // >0 for periodic events
+  };
+
+  void fire(const Entry& e);
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Record> records_;
+};
+
+}  // namespace spectra::sim

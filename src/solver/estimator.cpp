@@ -1,0 +1,94 @@
+#include "solver/estimator.h"
+
+#include <set>
+
+#include "util/assert.h"
+
+namespace spectra::solver {
+
+std::optional<UserMetrics> ExecutionEstimator::estimate(
+    const EstimatorInputs& inputs, const AlternativeSpace& space,
+    const Alternative& alt, const predict::DemandEstimate& demand,
+    TimeBreakdown* breakdown) const {
+  SPECTRA_REQUIRE(inputs.snapshot != nullptr, "estimator needs a snapshot");
+  SPECTRA_REQUIRE(alt.plan >= 0 &&
+                      alt.plan < static_cast<int>(space.plans.size()),
+                  "plan index out of range");
+  const monitor::ResourceSnapshot& snap = *inputs.snapshot;
+  const bool remote = space.plans[alt.plan].uses_remote;
+
+  const monitor::ServerAvailability* server = nullptr;
+  if (remote) {
+    auto it = snap.servers.find(alt.server);
+    if (it == snap.servers.end()) return std::nullopt;
+    server = &it->second;
+    // Unreachable or never-polled servers cannot be priced.
+    if (!server->reachable || server->cpu_hz <= 0.0) return std::nullopt;
+  }
+
+  TimeBreakdown tb;
+
+  // CPU.
+  if (snap.local_cpu_hz <= 0.0) return std::nullopt;
+  tb.local_cpu = demand.local_cycles / snap.local_cpu_hz;
+  if (remote) tb.remote_cpu = demand.remote_cycles / server->cpu_hz;
+
+  // Network.
+  if (remote) {
+    if (server->bandwidth <= 0.0) return std::nullopt;
+    tb.network = (demand.bytes_sent + demand.bytes_received) /
+                     server->bandwidth +
+                 demand.rpcs * 2.0 * server->latency;
+  }
+
+  // Cache misses, charged against the cache of the machine that will read
+  // the files (the remote server for remote/hybrid plans, the client for
+  // local plans).
+  const auto& cache =
+      remote ? server->cached_files : *snap.local_cached_files;
+  const double fetch_rate =
+      remote ? server->fetch_rate : snap.local_fetch_rate;
+  util::Bytes expected_fetch = 0.0;
+  for (const auto& fp : demand.files) {
+    if (cache.count(fp.path) > 0) continue;
+    expected_fetch += fp.likelihood * fp.size;
+  }
+  if (expected_fetch > 0.0) {
+    if (fetch_rate <= 0.0) return std::nullopt;
+    tb.cache_miss = expected_fetch / fetch_rate;
+  }
+
+  // Data consistency: before remote execution, every dirty volume holding a
+  // file with non-zero predicted access likelihood must be reintegrated.
+  if (remote && !inputs.dirty_files.empty()) {
+    std::set<std::string> volumes;
+    for (const auto& df : inputs.dirty_files) {
+      for (const auto& fp : demand.files) {
+        if (fp.path == df.path &&
+            fp.likelihood >= inputs.reintegration_threshold) {
+          volumes.insert(df.volume);
+          break;
+        }
+      }
+    }
+    util::Bytes reint_bytes = 0.0;
+    for (const auto& df : inputs.dirty_files) {
+      if (volumes.count(df.volume) > 0) reint_bytes += df.size;
+    }
+    if (reint_bytes > 0.0) {
+      if (inputs.fileserver_bandwidth <= 0.0) return std::nullopt;
+      tb.consistency = reint_bytes / inputs.fileserver_bandwidth;
+    }
+  }
+
+  if (breakdown != nullptr) *breakdown = tb;
+
+  UserMetrics m;
+  m.time = tb.total();
+  m.energy = demand.energy;
+  m.has_energy = demand.has_energy;
+  m.fidelity = alt.fidelity;
+  return m;
+}
+
+}  // namespace spectra::solver

@@ -1,0 +1,174 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace spectra::solver {
+
+SolveResult ExhaustiveSolver::solve(const AlternativeSpace& space,
+                                    const EvalFn& eval) {
+  SolveResult result;
+  for (const Alternative& alt : space.enumerate()) {
+    const double lu = eval(alt);
+    ++result.evaluations;
+    if (lu > result.log_utility || !result.found) {
+      if (lu > kInfeasible) {
+        result.found = true;
+        result.best = alt;
+        result.log_utility = lu;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Coordinate representation of an alternative for neighbourhood moves:
+// [plan, server_idx, fid_0, fid_1, ...]. Local-only plans pin server_idx
+// to -1.
+struct Coords {
+  int plan = 0;
+  int server_idx = -1;  // index into space.servers, -1 for local plans
+  std::vector<int> fid;
+};
+
+Alternative to_alternative(const AlternativeSpace& space, const Coords& c) {
+  Alternative a;
+  a.plan = c.plan;
+  a.server = c.server_idx >= 0 ? space.servers[c.server_idx] : -1;
+  for (std::size_t i = 0; i < space.fidelities.size(); ++i) {
+    a.fidelity[space.fidelities[i].name] = space.fidelities[i].values[c.fid[i]];
+  }
+  return a;
+}
+
+std::string coords_key(const Coords& c) {
+  std::ostringstream os;
+  os << c.plan << '/' << c.server_idx;
+  for (int f : c.fid) os << '/' << f;
+  return os.str();
+}
+
+}  // namespace
+
+HeuristicSolver::HeuristicSolver(util::Rng rng, HeuristicSolverConfig config)
+    : rng_(rng), config_(config) {
+  SPECTRA_REQUIRE(config_.restarts >= 1, "need at least one restart");
+  SPECTRA_REQUIRE(config_.max_evaluations >= 1, "need an evaluation budget");
+}
+
+SolveResult HeuristicSolver::solve(const AlternativeSpace& space,
+                                   const EvalFn& eval) {
+  if (space.count() <= config_.exhaustive_threshold) {
+    ExhaustiveSolver exhaustive;
+    return exhaustive.solve(space, eval);
+  }
+
+  SolveResult result;
+  std::map<std::string, double> memo;
+
+  auto evaluate = [&](const Coords& c) {
+    const std::string key = coords_key(c);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    const double lu = eval(to_alternative(space, c));
+    ++result.evaluations;
+    memo.emplace(key, lu);
+    if (lu > kInfeasible && (lu > result.log_utility || !result.found)) {
+      result.found = true;
+      result.best = to_alternative(space, c);
+      result.log_utility = lu;
+    }
+    return lu;
+  };
+
+  auto random_coords = [&] {
+    Coords c;
+    c.plan = static_cast<int>(
+        rng_.uniform_int(0, static_cast<int>(space.plans.size()) - 1));
+    c.server_idx =
+        space.plans[c.plan].uses_remote && !space.servers.empty()
+            ? static_cast<int>(rng_.uniform_int(
+                  0, static_cast<int>(space.servers.size()) - 1))
+            : -1;
+    for (const auto& dim : space.fidelities) {
+      c.fid.push_back(static_cast<int>(
+          rng_.uniform_int(0, static_cast<int>(dim.values.size()) - 1)));
+    }
+    return c;
+  };
+
+  auto neighbours = [&](const Coords& c) {
+    std::vector<Coords> out;
+    // Plan moves (re-randomizing the server slot for remote plans).
+    for (int p = 0; p < static_cast<int>(space.plans.size()); ++p) {
+      if (p == c.plan) continue;
+      Coords n = c;
+      n.plan = p;
+      if (!space.plans[p].uses_remote) {
+        n.server_idx = -1;
+        out.push_back(n);
+      } else if (!space.servers.empty()) {
+        for (int s = 0; s < static_cast<int>(space.servers.size()); ++s) {
+          Coords ns = n;
+          ns.server_idx = s;
+          out.push_back(ns);
+        }
+      }
+    }
+    // Server moves within the current plan.
+    if (space.plans[c.plan].uses_remote) {
+      for (int s = 0; s < static_cast<int>(space.servers.size()); ++s) {
+        if (s == c.server_idx) continue;
+        Coords n = c;
+        n.server_idx = s;
+        out.push_back(n);
+      }
+    }
+    // Fidelity moves: one step along each dimension.
+    for (std::size_t d = 0; d < space.fidelities.size(); ++d) {
+      for (int delta : {-1, +1}) {
+        const int v = c.fid[d] + delta;
+        if (v < 0 || v >= static_cast<int>(space.fidelities[d].values.size()))
+          continue;
+        Coords n = c;
+        n.fid[d] = v;
+        out.push_back(n);
+      }
+    }
+    return out;
+  };
+
+  for (std::size_t r = 0; r < config_.restarts; ++r) {
+    Coords current = random_coords();
+    double current_lu = evaluate(current);
+    bool improved = true;
+    while (improved && result.evaluations < config_.max_evaluations) {
+      improved = false;
+      Coords best_neighbour = current;
+      double best_lu = current_lu;
+      for (const Coords& n : neighbours(current)) {
+        if (result.evaluations >= config_.max_evaluations) break;
+        const double lu = evaluate(n);
+        if (lu > best_lu) {
+          best_lu = lu;
+          best_neighbour = n;
+        }
+      }
+      if (best_lu > current_lu) {
+        current = best_neighbour;
+        current_lu = best_lu;
+        improved = true;
+      }
+    }
+    if (result.evaluations >= config_.max_evaluations) break;
+  }
+  return result;
+}
+
+}  // namespace spectra::solver

@@ -1,0 +1,59 @@
+// Solvers that search the alternative space for the maximum-utility choice.
+//
+// The paper uses the heuristic solver of Narayanan et al. [12]: not
+// guaranteed optimal, but in practice selecting the best or a near-best
+// alternative with bounded work. Here:
+//
+//   * ExhaustiveSolver — evaluates every alternative; the oracle reference
+//     and the choice for small spaces.
+//   * HeuristicSolver — random-restart hill climbing over the (plan,
+//     server, fidelity…) lattice with an evaluation budget and memoization;
+//     falls back to exhaustive search when the space is small enough that
+//     enumeration is cheaper than climbing.
+#pragma once
+
+#include <cstddef>
+
+#include "solver/types.h"
+#include "util/rng.h"
+
+namespace spectra::solver {
+
+struct SolveResult {
+  bool found = false;  // false when every alternative was infeasible
+  Alternative best;
+  double log_utility = kInfeasible;
+  std::size_t evaluations = 0;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  virtual SolveResult solve(const AlternativeSpace& space,
+                            const EvalFn& eval) = 0;
+};
+
+class ExhaustiveSolver : public Solver {
+ public:
+  SolveResult solve(const AlternativeSpace& space, const EvalFn& eval) override;
+};
+
+struct HeuristicSolverConfig {
+  std::size_t restarts = 4;
+  std::size_t max_evaluations = 192;
+  // Spaces up to this size are searched exhaustively.
+  std::size_t exhaustive_threshold = 32;
+};
+
+class HeuristicSolver : public Solver {
+ public:
+  explicit HeuristicSolver(util::Rng rng, HeuristicSolverConfig config = {});
+
+  SolveResult solve(const AlternativeSpace& space, const EvalFn& eval) override;
+
+ private:
+  util::Rng rng_;
+  HeuristicSolverConfig config_;
+};
+
+}  // namespace spectra::solver

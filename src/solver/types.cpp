@@ -1,0 +1,49 @@
+#include "solver/types.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace spectra::solver {
+
+std::string Alternative::describe() const {
+  std::ostringstream os;
+  os << "plan=" << plan;
+  if (server >= 0) os << " server=" << server;
+  for (const auto& [k, v] : fidelity) os << ' ' << k << '=' << v;
+  return os.str();
+}
+
+std::vector<Alternative> AlternativeSpace::enumerate() const {
+  SPECTRA_REQUIRE(!plans.empty(), "alternative space needs at least one plan");
+  // Cartesian product over fidelity dimensions.
+  std::vector<std::map<std::string, double>> fids{{}};
+  for (const auto& dim : fidelities) {
+    SPECTRA_REQUIRE(!dim.values.empty(),
+                    "fidelity dimension has no values: " + dim.name);
+    std::vector<std::map<std::string, double>> next;
+    next.reserve(fids.size() * dim.values.size());
+    for (const auto& partial : fids) {
+      for (double v : dim.values) {
+        auto f = partial;
+        f[dim.name] = v;
+        next.push_back(std::move(f));
+      }
+    }
+    fids = std::move(next);
+  }
+
+  std::vector<Alternative> out;
+  for (int p = 0; p < static_cast<int>(plans.size()); ++p) {
+    if (plans[p].uses_remote) {
+      for (MachineId s : servers) {
+        for (const auto& f : fids) out.push_back(Alternative{p, s, f});
+      }
+    } else {
+      for (const auto& f : fids) out.push_back(Alternative{p, -1, f});
+    }
+  }
+  return out;
+}
+
+}  // namespace spectra::solver

@@ -1,0 +1,76 @@
+// Alternatives, user metrics, and the search space (§3.6).
+//
+// An Alternative is one point in the space Spectra searches when an
+// application calls begin_fidelity_op: an execution plan, a remote server
+// choice (when the plan involves one), and a setting for every fidelity
+// dimension. UserMetrics are what the utility function consumes — values
+// perceptible to the user (execution time, energy drawn from the battery,
+// fidelity), as opposed to raw resources.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "util/units.h"
+
+namespace spectra::solver {
+
+using hw::MachineId;
+using util::Joules;
+using util::Seconds;
+
+struct Alternative {
+  int plan = 0;
+  MachineId server = -1;  // -1 when the plan runs entirely locally
+  std::map<std::string, double> fidelity;
+
+  bool operator==(const Alternative& o) const {
+    return plan == o.plan && server == o.server && fidelity == o.fidelity;
+  }
+  std::string describe() const;
+};
+
+struct UserMetrics {
+  Seconds time = 0.0;
+  Joules energy = 0.0;
+  bool has_energy = false;  // untrained energy model -> energy term neutral
+  std::map<std::string, double> fidelity;
+};
+
+// One fidelity knob: a named dimension with the discrete values it may take
+// (the paper's applications all use discrete fidelities; continuous knobs
+// are expressed by enumerating the values of interest).
+struct FidelityDimension {
+  std::string name;
+  std::vector<double> values;
+};
+
+// Description of one execution plan as registered by the application.
+struct PlanInfo {
+  std::string name;
+  bool uses_remote = false;
+};
+
+struct AlternativeSpace {
+  std::vector<PlanInfo> plans;
+  std::vector<MachineId> servers;  // candidate remote servers
+  std::vector<FidelityDimension> fidelities;
+
+  // Every well-formed alternative: plans not using a remote server get
+  // server = -1; plans using one get each candidate server in turn. A space
+  // with remote plans but no servers yields only the local plans.
+  std::vector<Alternative> enumerate() const;
+
+  std::size_t count() const { return enumerate().size(); }
+};
+
+// Evaluation callback: log-utility of an alternative (higher is better).
+// Infeasible alternatives return -infinity (see kInfeasible).
+using EvalFn = std::function<double(const Alternative&)>;
+
+inline constexpr double kInfeasible = -1e300;
+
+}  // namespace spectra::solver

@@ -1,0 +1,13 @@
+#include "util/assert.h"
+
+namespace spectra::util {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace spectra::util

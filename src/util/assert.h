@@ -1,0 +1,56 @@
+// Lightweight contract checking used throughout Spectra.
+//
+// SPECTRA_REQUIRE  - precondition check, always enabled; throws ContractError.
+// SPECTRA_ENSURE   - postcondition/invariant check, always enabled.
+// SPECTRA_DCHECK   - debug-only sanity check (compiled out in NDEBUG builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spectra::util {
+
+// Thrown when a contract (pre/postcondition) is violated. Deriving from
+// std::logic_error signals a programming error rather than an environmental
+// failure; callers are not expected to recover.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg);
+
+}  // namespace spectra::util
+
+#define SPECTRA_REQUIRE(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spectra::util::contract_failure("precondition", #cond, __FILE__,    \
+                                        __LINE__, (msg));                   \
+    }                                                                       \
+  } while (0)
+
+#define SPECTRA_ENSURE(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spectra::util::contract_failure("invariant", #cond, __FILE__,       \
+                                        __LINE__, (msg));                   \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPECTRA_DCHECK(cond, msg) \
+  do {                            \
+  } while (0)
+#else
+#define SPECTRA_DCHECK(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spectra::util::contract_failure("debug check", #cond, __FILE__,     \
+                                        __LINE__, (msg));                   \
+    }                                                                       \
+  } while (0)
+#endif

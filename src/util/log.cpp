@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace spectra::util {
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  if (const char* env = std::getenv("SPECTRA_LOG")) {
+    level_ = parse_level(env);
+  }
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) { sink_ = sink; }
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  static const char* kNames[] = {"OFF", "ERROR", "WARN", "INFO", "DEBUG"};
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << "[spectra:" << component << ' '
+      << kNames[static_cast<int>(level)] << "] " << message << '\n';
+}
+
+LogLevel Logger::parse_level(const std::string& name) {
+  if (name == "off") return LogLevel::kOff;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+}  // namespace spectra::util

@@ -1,0 +1,76 @@
+// Minimal leveled logger.
+//
+// Spectra components narrate decisions and environment changes at kDebug /
+// kInfo; the level is runtime-configurable (tests silence it, the CLI's
+// --verbose raises it, and the SPECTRA_LOG environment variable overrides
+// both: off|error|warn|info|debug). Output goes to a configurable stream so
+// tests can capture it.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace spectra::util {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+class Logger {
+ public:
+  // Global logger instance (process-wide level and sink).
+  static Logger& instance();
+
+  // Initial level comes from SPECTRA_LOG when set, else kWarn.
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  // Redirect output (default std::cerr). Pass nullptr to restore default.
+  void set_sink(std::ostream* sink);
+
+  bool enabled(LogLevel level) const {
+    return level_ >= level && level != LogLevel::kOff;
+  }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+  static LogLevel parse_level(const std::string& name);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::ostream* sink_ = nullptr;
+};
+
+// Streaming helper: SPECTRA_LOG_INFO("solver") << "picked " << alt;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().write(level_, component_, os_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Logger::instance().enabled(level_)) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace spectra::util
+
+#define SPECTRA_LOG_ERROR(component) \
+  ::spectra::util::LogLine(::spectra::util::LogLevel::kError, (component))
+#define SPECTRA_LOG_WARN(component) \
+  ::spectra::util::LogLine(::spectra::util::LogLevel::kWarn, (component))
+#define SPECTRA_LOG_INFO(component) \
+  ::spectra::util::LogLine(::spectra::util::LogLevel::kInfo, (component))
+#define SPECTRA_LOG_DEBUG(component) \
+  ::spectra::util::LogLine(::spectra::util::LogLevel::kDebug, (component))

@@ -1,0 +1,94 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace spectra::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  have_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SPECTRA_REQUIRE(lo <= hi, "empty uniform range");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPECTRA_REQUIRE(lo <= hi, "empty uniform_int range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::noise_factor(double cv) {
+  SPECTRA_REQUIRE(cv >= 0.0, "coefficient of variation must be >= 0");
+  if (cv == 0.0) return 1.0;
+  // Lognormal with mean 1: mu = -sigma^2/2 where sigma^2 = ln(1 + cv^2).
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double sigma = std::sqrt(sigma2);
+  return std::exp(normal(-sigma2 / 2.0, sigma));
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  std::uint64_t sm = next_u64() ^ 0xd2b74407b1ce6e93ULL;
+  for (auto& s : child.s_) s = splitmix64(sm);
+  child.have_cached_normal_ = false;
+  return child;
+}
+
+}  // namespace spectra::util

@@ -1,0 +1,137 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace spectra::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  SPECTRA_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SPECTRA_REQUIRE(header_.empty() || row.size() == header_.size(),
+                  "row width must match header width");
+  rows_.push_back({std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num_ci(double mean, double halfwidth, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " ± "
+     << halfwidth;
+  return os.str();
+}
+
+namespace {
+// Column width in display characters; the ± glyph is 2 UTF-8 bytes but one
+// column, em-dash similar. Count codepoints, not bytes.
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++w;  // count non-continuation bytes
+  }
+  return w;
+}
+
+void pad_to(std::ostream& os, const std::string& s, std::size_t width) {
+  os << s;
+  for (std::size_t i = display_width(s); i < width; ++i) os << ' ';
+}
+}  // namespace
+
+void Table::render(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return;
+
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = display_width(header_[i]);
+  for (const auto& r : rows_)
+    for (std::size_t i = 0; i < r.cells.size(); ++i)
+      widths[i] = std::max(widths[i], display_width(r.cells[i]));
+
+  std::size_t total = 1;
+  for (auto w : widths) total += w + 3;
+
+  auto rule = [&] {
+    for (std::size_t i = 0; i < total; ++i) os << '-';
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+    rule();
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < ncols; ++i) {
+      os << ' ';
+      pad_to(os, i < cells.size() ? cells[i] : "", widths[i]);
+      os << " |";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator_before) rule();
+    emit_row(r.cells);
+  }
+  rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+namespace {
+void emit_csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      emit_csv_cell(os, cells[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r.cells);
+  return os.str();
+}
+
+}  // namespace spectra::util

@@ -1,0 +1,47 @@
+// ASCII table rendering for the benchmark harnesses. Each bench binary
+// prints the same rows/series as the corresponding paper figure or table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spectra::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  // Column headers; must be set before rows are added.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Inserts a horizontal separator before the next row.
+  void add_separator();
+
+  // Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  // "12.34 ± 0.56" cells for mean ± CI columns.
+  static std::string num_ci(double mean, double halfwidth, int precision = 2);
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+  // Machine-readable form: one comma-separated line per row (header first;
+  // cells containing commas or quotes are quoted per RFC 4180).
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace spectra::util

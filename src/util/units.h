@@ -1,0 +1,45 @@
+// Strongly-suggestive aliases for the physical quantities Spectra reasons
+// about. Plain doubles keep the arithmetic simple; the aliases document
+// intent at API boundaries.
+#pragma once
+
+#include <cstdint>
+
+namespace spectra::util {
+
+using Seconds = double;    // durations and timestamps (virtual time)
+using Joules = double;     // energy
+using Watts = double;      // power
+using Bytes = double;      // data sizes (double: fractional KB math is common)
+using Cycles = double;     // CPU work
+using Hertz = double;      // CPU speed (cycles per second)
+using BytesPerSec = double;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+constexpr Bytes operator""_KB(long double v) {
+  return static_cast<Bytes>(v * 1024.0);
+}
+constexpr Bytes operator""_KB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024.0;
+}
+constexpr Bytes operator""_MB(long double v) {
+  return static_cast<Bytes>(v * 1024.0 * 1024.0);
+}
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024.0 * 1024.0;
+}
+constexpr Hertz operator""_MHz(unsigned long long v) {
+  return static_cast<Hertz>(v) * 1e6;
+}
+constexpr BytesPerSec operator""_kbps(unsigned long long v) {
+  // Network rates are conventionally in bits; convert to bytes/second.
+  return static_cast<BytesPerSec>(v) * 1000.0 / 8.0;
+}
+constexpr BytesPerSec operator""_Mbps(unsigned long long v) {
+  return static_cast<BytesPerSec>(v) * 1e6 / 8.0;
+}
+
+}  // namespace spectra::util

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "baseline/policies.h"
+#include "util/assert.h"
+
+namespace spectra::baseline {
+namespace {
+
+solver::Alternative alt(int plan, hw::MachineId server = -1) {
+  solver::Alternative a;
+  a.plan = plan;
+  a.server = server;
+  return a;
+}
+
+TEST(StaticPolicyTest, AlwaysSameChoice) {
+  StaticPolicy p(alt(1, 2));
+  EXPECT_EQ(p.choose().plan, 1);
+  EXPECT_EQ(p.choose().server, 2);
+}
+
+TEST(RpfPolicyTest, StaysLocalWithoutHistory) {
+  RpfPolicy p(alt(0), alt(1, 1));
+  EXPECT_EQ(p.choose().plan, 0);
+  p.observe(false, {2.0, 5.0, true});
+  EXPECT_EQ(p.choose().plan, 0);  // still no remote history
+}
+
+TEST(RpfPolicyTest, RemoteOnlyWhenBothTimeAndEnergyBetter) {
+  RpfPolicy p(alt(0), alt(1, 1));
+  p.observe(false, {2.0, 5.0, true});
+  p.observe(true, {1.0, 4.0, true});
+  EXPECT_EQ(p.choose().plan, 1);  // faster AND cheaper
+}
+
+TEST(RpfPolicyTest, RefusesEnergyPerformanceTradeoffs) {
+  // The paper's critique of RPF-style systems: remote execution that saves
+  // energy but costs time is never taken.
+  RpfPolicy p(alt(0), alt(1, 1));
+  p.observe(false, {2.0, 50.0, true});
+  p.observe(true, {3.0, 1.0, true});  // 50x energy saving, slightly slower
+  EXPECT_EQ(p.choose().plan, 0);
+}
+
+TEST(RpfPolicyTest, AveragesHistory) {
+  RpfPolicy p(alt(0), alt(1, 1));
+  p.observe(false, {2.0, 5.0, true});
+  p.observe(false, {4.0, 5.0, true});  // local mean time 3.0
+  p.observe(true, {2.5, 4.0, true});
+  EXPECT_EQ(p.choose().plan, 1);
+  p.observe(true, {10.0, 4.0, true});  // remote mean time now 6.25
+  EXPECT_EQ(p.choose().plan, 0);
+}
+
+TEST(RpfPolicyTest, InfeasibleOutcomesIgnored) {
+  RpfPolicy p(alt(0), alt(1, 1));
+  p.observe(false, {2.0, 5.0, true});
+  p.observe(true, {0.0, 0.0, false});
+  EXPECT_EQ(p.remote_observations(), 0u);
+}
+
+TEST(OraclePolicyTest, PicksBestMeasuredUtility) {
+  OraclePolicy p([](const solver::Alternative&, const Outcome& o) {
+    return 1.0 / o.time;
+  });
+  p.add_measurement(alt(0), {4.0, 1.0, true});
+  p.add_measurement(alt(1, 1), {2.0, 1.0, true});
+  p.add_measurement(alt(1, 2), {3.0, 1.0, true});
+  EXPECT_EQ(p.choose().server, 1);
+  EXPECT_DOUBLE_EQ(p.best_utility(), 0.5);
+}
+
+TEST(OraclePolicyTest, SkipsInfeasibleMeasurements) {
+  OraclePolicy p([](const solver::Alternative&, const Outcome& o) {
+    return 1.0 / o.time;
+  });
+  p.add_measurement(alt(0), {1.0, 1.0, false});
+  p.add_measurement(alt(1, 1), {5.0, 1.0, true});
+  EXPECT_EQ(p.choose().plan, 1);
+}
+
+TEST(OraclePolicyTest, NoMeasurementsThrows) {
+  OraclePolicy p([](const solver::Alternative&, const Outcome&) {
+    return 1.0;
+  });
+  EXPECT_THROW(p.choose(), util::ContractError);
+  p.add_measurement(alt(0), {1.0, 1.0, false});
+  EXPECT_THROW(p.choose(), util::ContractError);  // nothing feasible
+}
+
+}  // namespace
+}  // namespace spectra::baseline

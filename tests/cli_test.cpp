@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cli/args.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+#include <sstream>
+
+namespace spectra::cli {
+namespace {
+
+TEST(ArgsTest, ParsesCommandPositionalsOptionsFlags) {
+  const auto args = Args::parse(
+      {"explain", "speech", "--scenario=energy", "--verbose",
+       "--trials=5"});
+  EXPECT_EQ(args.command(), "explain");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "speech");
+  EXPECT_EQ(args.get("scenario", "baseline"), "energy");
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_EQ(args.get_int("trials", 1), 5);
+}
+
+TEST(ArgsTest, EmptyArgvGivesEmptyCommand) {
+  const auto args = Args::parse(std::vector<std::string>{});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_TRUE(args.positionals().empty());
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  const auto args = Args::parse({"speech"});
+  EXPECT_EQ(args.get("scenario", "baseline"), "baseline");
+  EXPECT_EQ(args.get_int("trials", 3), 3);
+  EXPECT_DOUBLE_EQ(args.get_double("utterance", 2.0), 2.0);
+  EXPECT_FALSE(args.has_flag("verbose"));
+}
+
+TEST(ArgsTest, TypedAccessorsValidate) {
+  const auto args = Args::parse({"x", "--n=abc", "--f=1.5"});
+  EXPECT_THROW(args.get_int("n", 0), util::ContractError);
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0.0), 1.5);
+  EXPECT_THROW(args.get_double("n", 0.0), util::ContractError);
+}
+
+TEST(ArgsTest, MalformedOptionsRejected) {
+  EXPECT_THROW(Args::parse({"cmd", "--"}), util::ContractError);
+  EXPECT_THROW(Args::parse({"cmd", "--=v"}), util::ContractError);
+}
+
+TEST(ArgsTest, EmptyOptionValueAllowed) {
+  const auto args = Args::parse({"cmd", "--key="});
+  EXPECT_EQ(args.get("key", "def"), "");
+}
+
+TEST(ArgsTest, GivenListsEverything) {
+  const auto args = Args::parse({"cmd", "--a=1", "--b"});
+  const auto names = args.given();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(names.count("a"));
+  EXPECT_TRUE(names.count("b"));
+}
+
+TEST(ArgsTest, LastOptionWins) {
+  const auto args = Args::parse({"cmd", "--k=1", "--k=2"});
+  EXPECT_EQ(args.get("k", ""), "2");
+}
+
+// ------------------------------------------------------------------ logger
+
+TEST(LoggerTest, LevelsGateOutput) {
+  auto& logger = util::Logger::instance();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  const auto old = logger.level();
+  logger.set_level(util::LogLevel::kWarn);
+  SPECTRA_LOG_INFO("test") << "hidden";
+  SPECTRA_LOG_WARN("test") << "visible";
+  logger.set_level(old);
+  logger.set_sink(nullptr);
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible"), std::string::npos);
+  EXPECT_NE(sink.str().find("[spectra:test WARN]"), std::string::npos);
+}
+
+TEST(LoggerTest, ParseLevel) {
+  EXPECT_EQ(util::Logger::parse_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::Logger::parse_level("off"), util::LogLevel::kOff);
+  EXPECT_EQ(util::Logger::parse_level("nonsense"), util::LogLevel::kWarn);
+}
+
+TEST(LoggerTest, StreamingFormatsArbitraryTypes) {
+  auto& logger = util::Logger::instance();
+  std::ostringstream sink;
+  logger.set_sink(&sink);
+  const auto old = logger.level();
+  logger.set_level(util::LogLevel::kDebug);
+  SPECTRA_LOG_DEBUG("fmt") << "x=" << 42 << " y=" << 1.5;
+  logger.set_level(old);
+  logger.set_sink(nullptr);
+  EXPECT_NE(sink.str().find("x=42 y=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spectra::cli

@@ -1,0 +1,145 @@
+// Failure injection: Spectra must degrade gracefully, not crash, when the
+// environment fails mid-flight — partitions between decision and execution,
+// servers vanishing, batteries running flat, file servers unreachable.
+#include <gtest/gtest.h>
+
+#include "apps/janus.h"
+#include "scenario/experiment.h"
+#include "scenario/world.h"
+#include "util/assert.h"
+
+namespace spectra::scenario {
+namespace {
+
+using apps::JanusApp;
+
+std::unique_ptr<World> trained_itsy(std::uint64_t seed = 1000) {
+  SpeechExperiment::Config cfg;
+  cfg.seed = seed;
+  return SpeechExperiment(cfg).trained_world();
+}
+
+TEST(FailureTest, PartitionBetweenDecisionAndRpcFailsTheCall) {
+  auto w = trained_itsy();
+  auto& spectra = w->spectra();
+  const auto choice = spectra.begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  ASSERT_GE(choice.alternative.server, 0);  // baseline picks hybrid
+  // The link dies after the decision but before the remote call.
+  w->network().set_link_up(kClient, kServerT20, false);
+  rpc::Request req;
+  req.op_type = "janus.search";
+  req.args["utt_len"] = 2.0;
+  req.args["vocab"] = 1.0;
+  const auto resp = spectra.do_remote_op("janus.search", req);
+  EXPECT_FALSE(resp.ok);
+  // The operation can still be closed cleanly and its usage logged.
+  const auto usage = spectra.end_fidelity_op();
+  EXPECT_TRUE(usage.elapsed >= 0.0);
+}
+
+TEST(FailureTest, NextDecisionAvoidsDeadServer) {
+  auto w = trained_itsy();
+  w->network().set_link_up(kClient, kServerT20, false);
+  w->spectra().server_db().poll_all();  // notice the failure
+  const auto choice = w->spectra().begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  ASSERT_TRUE(choice.ok);
+  EXPECT_EQ(choice.alternative.server, -1);  // local plan
+  EXPECT_EQ(choice.alternative.plan, JanusApp::kPlanLocal);
+  w->janus().execute(w->spectra(), 2.0);
+  w->spectra().end_fidelity_op();
+}
+
+TEST(FailureTest, RecoveryAfterPartitionHeals) {
+  auto w = trained_itsy();
+  w->network().set_link_up(kClient, kServerT20, false);
+  w->spectra().server_db().poll_all();
+  w->settle(10.0);
+  w->network().set_link_up(kClient, kServerT20, true);
+  w->settle(12.0);  // periodic poll re-discovers availability
+  const auto choice = w->spectra().begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  EXPECT_EQ(choice.alternative.plan, JanusApp::kPlanHybrid);
+  w->janus().execute(w->spectra(), 2.0);
+  w->spectra().end_fidelity_op();
+}
+
+TEST(FailureTest, FileServerPartitionMakesUncachedFetchThrow) {
+  auto w = trained_itsy();
+  w->coda(kClient).evict(w->janus().config().lm_full_path);
+  w->network().set_link_up(kClient, kFileServer, false);
+  // Forced local full-vocabulary recognition needs the evicted model.
+  EXPECT_THROW(
+      w->janus().run_forced(w->spectra(), 2.0,
+                            JanusApp::alternative(JanusApp::kPlanLocal, 1.0)),
+      util::ContractError);
+}
+
+TEST(FailureTest, CachedFidelityStillWorksWithoutFileServer) {
+  auto w = trained_itsy();
+  w->network().set_link_up(kClient, kFileServer, false);
+  // Reduced-vocabulary model is cached: recognition proceeds.
+  EXPECT_NO_THROW(
+      w->janus().run_forced(w->spectra(), 2.0,
+                            JanusApp::alternative(JanusApp::kPlanLocal, 0.0)));
+}
+
+TEST(FailureTest, BatteryRunsFlatButAccountingSurvives) {
+  auto w = trained_itsy();
+  auto* battery = w->client_machine().battery();
+  ASSERT_NE(battery, nullptr);
+  w->client_machine().set_on_battery(true);
+  // Burn far more than the 20 kJ capacity.
+  for (int i = 0; i < 600; ++i) {
+    w->client_machine().run_cycles(206e6 * 30);
+  }
+  EXPECT_DOUBLE_EQ(battery->remaining(), 0.0);
+  EXPECT_DOUBLE_EQ(battery->fraction_remaining(), 0.0);
+  // Monitors keep producing well-formed snapshots.
+  const auto snap = w->spectra().monitors().build_snapshot(
+      {kServerT20}, w->engine().now());
+  EXPECT_DOUBLE_EQ(snap.battery_remaining, 0.0);
+}
+
+TEST(FailureTest, ServerLoadSpikeMidSessionShiftsChoice) {
+  auto w = trained_itsy();
+  // T20 becomes heavily loaded: remote/hybrid compute slows 5x.
+  w->machine(kServerT20).set_background_procs(4.0);
+  w->settle(12.0);  // polls deliver the new run queue
+  const auto choice = w->spectra().begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  // Hybrid's remote search at 1/5 speed is ~7 s; local-reduced (~9.6 s at
+  // fidelity 0.5) still loses, but remote-heavy plans lose their edge —
+  // Spectra must at least not pick the fully remote plan.
+  EXPECT_NE(choice.alternative.plan, JanusApp::kPlanRemote);
+  w->janus().execute(w->spectra(), 2.0);
+  w->spectra().end_fidelity_op();
+}
+
+TEST(FailureTest, StatusPollFailureMarksUnavailableNotCrash) {
+  auto w = trained_itsy();
+  w->network().set_link_up(kClient, kServerT20, false);
+  EXPECT_FALSE(w->spectra().server_db().poll(kServerT20));
+  EXPECT_TRUE(w->spectra().server_db().available_servers().empty());
+}
+
+TEST(FailureTest, DirtyFilesSurviveFailedRemoteAttempt) {
+  LatexExperiment::Config cfg;
+  cfg.scenario = LatexScenario::kReintegrate;
+  cfg.seed = 1000;
+  auto w = LatexExperiment(cfg).trained_world();
+  ASSERT_TRUE(w->coda(kClient).has_dirty_files());
+  // File server dies: reintegration for a remote run cannot proceed.
+  w->network().set_link_up(kClient, kFileServer, false);
+  EXPECT_THROW(
+      w->latex().run_forced(
+          w->spectra(), "small",
+          apps::LatexApp::alternative(apps::LatexApp::kPlanRemote, kServerB)),
+      util::ContractError);
+  // The modification is still buffered, not lost.
+  EXPECT_TRUE(w->coda(kClient).is_dirty("latex/small/main.tex"));
+}
+
+}  // namespace
+}  // namespace spectra::scenario

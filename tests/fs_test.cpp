@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include "fs/coda.h"
+#include "hw/machine.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace spectra::fs {
+namespace {
+
+using namespace spectra::util;  // NOLINT: unit literals in tests
+
+constexpr hw::MachineId kClient = 0;
+constexpr hw::MachineId kFileServer = 10;
+
+struct Fixture {
+  sim::Engine engine;
+  hw::Machine client;
+  hw::Machine fsrv;
+  net::Network net;
+  FileServer server;
+  CodaClient coda;
+
+  explicit Fixture(CodaClientConfig cfg = small_cache_config())
+      : client(engine, client_spec(), Rng(1)),
+        fsrv(engine, server_spec(), Rng(2)),
+        net(engine, Rng(3)),
+        server(kFileServer),
+        coda(kClient, client, net, server, cfg) {
+    net.add_machine(kClient, &client);
+    net.add_machine(kFileServer, &fsrv);
+    net.set_link(kClient, kFileServer,
+                 net::LinkParams{/*bw=*/100.0 * 1024, /*lat=*/0.005});
+    server.create({"a.tex", 70_KB, "vol1"});
+    server.create({"b.sty", 10_KB, "vol1"});
+    server.create({"model.lm", 277_KB, "vol2"});
+  }
+
+  static CodaClientConfig small_cache_config() {
+    CodaClientConfig c;
+    c.cache_capacity = 400_KB;
+    return c;
+  }
+  static hw::MachineSpec client_spec() {
+    hw::MachineSpec s;
+    s.name = "client";
+    s.cpu_hz = 233_MHz;
+    s.power = hw::PowerModel{7.0, 5.0, 2.0};
+    return s;
+  }
+  static hw::MachineSpec server_spec() {
+    hw::MachineSpec s;
+    s.name = "fileserver";
+    s.cpu_hz = 800_MHz;
+    s.power = hw::PowerModel{30.0, 10.0, 2.0};
+    return s;
+  }
+};
+
+// --------------------------------------------------------------- FileServer
+
+TEST(FileServerTest, CreateAndLookup) {
+  FileServer s(kFileServer);
+  s.create({"x", 100.0, "v"});
+  EXPECT_TRUE(s.exists("x"));
+  EXPECT_FALSE(s.exists("y"));
+  EXPECT_DOUBLE_EQ(s.info("x").size, 100.0);
+  EXPECT_EQ(s.version("x"), 1u);
+}
+
+TEST(FileServerTest, UnknownFileThrows) {
+  FileServer s(kFileServer);
+  EXPECT_THROW(s.info("nope"), util::ContractError);
+  EXPECT_THROW(s.version("nope"), util::ContractError);
+}
+
+TEST(FileServerTest, InstallBumpsVersion) {
+  FileServer s(kFileServer);
+  s.create({"x", 100.0, "v"});
+  s.install("x", 150.0, 2);
+  EXPECT_EQ(s.version("x"), 2u);
+  EXPECT_DOUBLE_EQ(s.info("x").size, 150.0);
+  EXPECT_THROW(s.install("x", 100.0, 2), util::ContractError);
+}
+
+TEST(FileServerTest, VolumeEnumeration) {
+  FileServer s(kFileServer);
+  s.create({"a", 1.0, "v1"});
+  s.create({"b", 2.0, "v1"});
+  s.create({"c", 3.0, "v2"});
+  EXPECT_EQ(s.files_in_volume("v1").size(), 2u);
+  EXPECT_EQ(s.files_in_volume("v2").size(), 1u);
+  EXPECT_TRUE(s.files_in_volume("v3").empty());
+}
+
+TEST(FileServerTest, InvalidCreateRejected) {
+  FileServer s(kFileServer);
+  EXPECT_THROW(s.create({"", 1.0, "v"}), util::ContractError);
+  EXPECT_THROW(s.create({"x", -1.0, "v"}), util::ContractError);
+  EXPECT_THROW(s.create({"x", 1.0, ""}), util::ContractError);
+}
+
+// --------------------------------------------------------------- cache/fetch
+
+TEST(CodaTest, ReadMissFetchesAndCaches) {
+  Fixture f;
+  EXPECT_FALSE(f.coda.is_cached("a.tex"));
+  const Seconds t0 = f.engine.now();
+  f.coda.read("a.tex");
+  const Seconds fetch_time = f.engine.now() - t0;
+  // ~70KB at 100KB/s plus overheads.
+  EXPECT_NEAR(fetch_time, 0.7, 0.15);
+  EXPECT_TRUE(f.coda.is_cached("a.tex"));
+  // Second read is a hit: free.
+  const Seconds t1 = f.engine.now();
+  f.coda.read("a.tex");
+  EXPECT_DOUBLE_EQ(f.engine.now(), t1);
+}
+
+TEST(CodaTest, WarmDoesNotAdvanceClock) {
+  Fixture f;
+  f.coda.warm("model.lm");
+  EXPECT_DOUBLE_EQ(f.engine.now(), 0.0);
+  EXPECT_TRUE(f.coda.is_cached("model.lm"));
+  EXPECT_TRUE(f.coda.is_fresh("model.lm"));
+}
+
+TEST(CodaTest, EvictRemovesEntry) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.evict("a.tex");
+  EXPECT_FALSE(f.coda.is_cached("a.tex"));
+  EXPECT_NO_THROW(f.coda.evict("a.tex"));  // idempotent
+}
+
+TEST(CodaTest, LruEvictionUnderCapacity) {
+  Fixture f;  // 400 KB capacity
+  f.coda.warm("a.tex");    // 70 KB
+  f.coda.warm("b.sty");    // 10 KB
+  f.coda.warm("model.lm"); // 277 KB -> 357 total
+  f.coda.read("a.tex");    // touch a.tex so b.sty is LRU... order: model, a, b
+  f.coda.read("b.sty");    // now b most recent; LRU is model.lm
+  Fixture g;               // fresh server for a big file
+  g.server.create({"big", 300_KB, "vol3"});
+  // Use f's server: create big file there too.
+  f.server.create({"big", 300_KB, "vol3"});
+  f.coda.read("big");      // forces eviction of model.lm (LRU, 277 KB)
+  EXPECT_TRUE(f.coda.is_cached("big"));
+  EXPECT_FALSE(f.coda.is_cached("model.lm"));
+  EXPECT_LE(f.coda.cached_bytes(), 400_KB);
+}
+
+TEST(CodaTest, DirtyFilesAreNeverEvicted) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.write("a.tex");
+  EXPECT_THROW(f.coda.evict("a.tex"), util::ContractError);
+  f.coda.evict_all();
+  EXPECT_TRUE(f.coda.is_cached("a.tex"));  // survived evict_all
+}
+
+TEST(CodaTest, CachedBytesTracked) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.warm("b.sty");
+  EXPECT_DOUBLE_EQ(f.coda.cached_bytes(), 80_KB);
+  EXPECT_EQ(f.coda.cached_count(), 2u);
+}
+
+TEST(CodaTest, OvercommitWhenEverythingDirty) {
+  // Dirty files are pinned; when they alone exceed capacity, the cache
+  // overcommits rather than dropping unreintegrated modifications.
+  CodaClientConfig cfg;
+  cfg.cache_capacity = 100_KB;
+  Fixture f(cfg);
+  f.coda.write("a.tex", 70_KB);
+  f.coda.write("b.sty", 50_KB);  // 120 KB dirty > 100 KB capacity
+  EXPECT_TRUE(f.coda.is_cached("a.tex"));
+  EXPECT_TRUE(f.coda.is_cached("b.sty"));
+  EXPECT_GT(f.coda.cached_bytes(), cfg.cache_capacity);
+  // Clean files still get evicted to make room.
+  f.coda.warm("model.lm");
+  f.server.create({"big", 90_KB, "volx"});
+  f.coda.read("big");
+  EXPECT_FALSE(f.coda.is_cached("model.lm"));
+  // After reintegration the pins lift and normal eviction resumes.
+  f.coda.reintegrate_all();
+  f.coda.evict("a.tex");
+  EXPECT_FALSE(f.coda.is_cached("a.tex"));
+}
+
+// ------------------------------------------- incremental cache interface
+
+TEST(CodaDeltaTest, FirstCallFromZeroReturnsEverything) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.warm("b.sty");
+  const auto d = f.coda.dump_cache_state_delta(0);
+  EXPECT_FALSE(d.full_resync);
+  EXPECT_EQ(d.added_or_updated.size(), 2u);
+  EXPECT_TRUE(d.removed.empty());
+}
+
+TEST(CodaDeltaTest, SubsequentCallsReturnOnlyChanges) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  auto d1 = f.coda.dump_cache_state_delta(0);
+  // No changes since: empty delta.
+  auto d2 = f.coda.dump_cache_state_delta(d1.generation);
+  EXPECT_TRUE(d2.added_or_updated.empty());
+  EXPECT_TRUE(d2.removed.empty());
+  // One addition, one removal.
+  f.coda.warm("b.sty");
+  f.coda.evict("a.tex");
+  auto d3 = f.coda.dump_cache_state_delta(d2.generation);
+  ASSERT_EQ(d3.added_or_updated.size(), 1u);
+  EXPECT_EQ(d3.added_or_updated[0].path, "b.sty");
+  ASSERT_EQ(d3.removed.size(), 1u);
+  EXPECT_EQ(d3.removed[0], "a.tex");
+}
+
+TEST(CodaDeltaTest, AddThenRemoveCollapsesToRemoval) {
+  Fixture f;
+  auto d0 = f.coda.dump_cache_state_delta(0);
+  f.coda.warm("a.tex");
+  f.coda.evict("a.tex");
+  auto d1 = f.coda.dump_cache_state_delta(d0.generation);
+  EXPECT_TRUE(d1.added_or_updated.empty());
+  ASSERT_EQ(d1.removed.size(), 1u);
+  EXPECT_EQ(d1.removed[0], "a.tex");
+}
+
+TEST(CodaDeltaTest, DeltaCostProportionalToChangesNotCacheSize) {
+  Fixture f;
+  for (int i = 0; i < 300; ++i) {
+    f.server.create({"n" + std::to_string(i), 64.0, "volx"});
+    f.coda.warm("n" + std::to_string(i));
+  }
+  auto d = f.coda.dump_cache_state_delta(0);
+  // One small change against a 300-entry cache.
+  f.coda.warm("a.tex");
+  const Seconds t0 = f.engine.now();
+  f.coda.dump_cache_state_delta(d.generation);
+  const Seconds delta_cost = f.engine.now() - t0;
+  const Seconds t1 = f.engine.now();
+  f.coda.dump_cache_state();
+  const Seconds full_cost = f.engine.now() - t1;
+  EXPECT_LT(delta_cost, full_cost / 10.0);
+}
+
+TEST(CodaDeltaTest, TruncatedJournalForcesFullResync) {
+  Fixture f;
+  auto d = f.coda.dump_cache_state_delta(0);
+  // Blow past the journal bound (1024 events) with warm/evict churn.
+  for (int i = 0; i < 600; ++i) {
+    f.coda.warm("a.tex");
+    f.coda.evict("a.tex");
+  }
+  f.coda.warm("b.sty");
+  auto d2 = f.coda.dump_cache_state_delta(d.generation);
+  EXPECT_TRUE(d2.full_resync);
+  ASSERT_EQ(d2.added_or_updated.size(), 1u);  // the complete current cache
+  EXPECT_EQ(d2.added_or_updated[0].path, "b.sty");
+}
+
+// ------------------------------------------------------- versions/staleness
+
+TEST(CodaTest, WriteBuffersLocallyInvisibleRemotely) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.write("a.tex", 75_KB);
+  EXPECT_TRUE(f.coda.is_dirty("a.tex"));
+  // Server still has the old version and size.
+  EXPECT_EQ(f.server.version("a.tex"), 1u);
+  EXPECT_DOUBLE_EQ(f.server.info("a.tex").size, 70_KB);
+  // Local read sees the new version without network traffic.
+  const auto before = f.net.total_transfers();
+  const auto v = f.coda.read("a.tex");
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(f.net.total_transfers(), before);
+}
+
+TEST(CodaTest, RemoteReaderSeesStaleDataUntilReintegration) {
+  Fixture f;
+  // A second machine with its own Coda cache.
+  hw::Machine remote(f.engine, Fixture::server_spec(), Rng(7));
+  f.net.add_machine(1, &remote);
+  f.net.set_link(1, kFileServer, net::LinkParams{1e6, 0.001});
+  CodaClient remote_coda(1, remote, f.net, f.server);
+
+  f.coda.warm("a.tex");
+  f.coda.write("a.tex", 75_KB);
+
+  // Remote read before reintegration: observes server version 1 (stale).
+  EXPECT_EQ(remote_coda.read("a.tex"), 1u);
+
+  f.coda.reintegrate_volume("vol1");
+  // Remote cache holds version 1; freshness check forces a refetch.
+  EXPECT_FALSE(remote_coda.is_fresh("a.tex"));
+  EXPECT_EQ(remote_coda.read("a.tex"), 2u);
+  EXPECT_DOUBLE_EQ(f.server.info("a.tex").size, 75_KB);
+}
+
+TEST(CodaTest, ReintegrationIsVolumeGranular) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.warm("model.lm");
+  f.coda.write("a.tex");
+  f.coda.write("model.lm");
+  ASSERT_EQ(f.coda.dirty_volumes().size(), 2u);
+  f.coda.reintegrate_volume("vol1");
+  EXPECT_FALSE(f.coda.is_dirty("a.tex"));
+  EXPECT_TRUE(f.coda.is_dirty("model.lm"));
+}
+
+TEST(CodaTest, ReintegrateAllClearsEverything) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.warm("model.lm");
+  f.coda.write("a.tex");
+  f.coda.write("model.lm");
+  f.coda.reintegrate_all();
+  EXPECT_FALSE(f.coda.has_dirty_files());
+  EXPECT_EQ(f.server.version("a.tex"), 2u);
+  EXPECT_EQ(f.server.version("model.lm"), 2u);
+}
+
+TEST(CodaTest, ReintegrationTimeScalesWithDirtyBytes) {
+  Fixture f;
+  f.coda.warm("a.tex");   // 70 KB
+  f.coda.warm("b.sty");   // 10 KB
+  f.coda.write("a.tex");
+  const Seconds t_big = f.coda.reintegrate_volume("vol1");
+  f.coda.write("b.sty");
+  const Seconds t_small = f.coda.reintegrate_volume("vol1");
+  EXPECT_GT(t_big, 3.0 * t_small);
+}
+
+TEST(CodaTest, ReintegrationOfCleanVolumeIsFree) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.coda.reintegrate_volume("vol1"), 0.0);
+}
+
+TEST(CodaTest, DirtyBytesInVolume) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.write("a.tex", 75_KB);
+  EXPECT_DOUBLE_EQ(f.coda.dirty_bytes_in_volume("vol1"), 75_KB);
+  EXPECT_DOUBLE_EQ(f.coda.dirty_bytes_in_volume("vol2"), 0.0);
+}
+
+TEST(CodaTest, WriteOfUncachedFileCreatesDirtyEntry) {
+  Fixture f;
+  f.coda.write("a.tex", 80_KB);
+  EXPECT_TRUE(f.coda.is_cached("a.tex"));
+  EXPECT_TRUE(f.coda.is_dirty("a.tex"));
+}
+
+// ------------------------------------------------------- partition behaviour
+
+TEST(CodaTest, FetchAcrossDownLinkThrows) {
+  Fixture f;
+  f.net.set_link_up(kClient, kFileServer, false);
+  EXPECT_THROW(f.coda.read("a.tex"), util::ContractError);
+}
+
+TEST(CodaTest, CachedReadWorksWhilePartitioned) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.net.set_link_up(kClient, kFileServer, false);
+  EXPECT_NO_THROW(f.coda.read("a.tex"));
+}
+
+TEST(CodaTest, ReintegrationAcrossDownLinkThrows) {
+  Fixture f;
+  f.coda.warm("a.tex");
+  f.coda.write("a.tex");
+  f.net.set_link_up(kClient, kFileServer, false);
+  EXPECT_THROW(f.coda.reintegrate_volume("vol1"), util::ContractError);
+}
+
+// ----------------------------------------------------------- trace/monitors
+
+TEST(CodaTest, TraceRecordsAccesses) {
+  Fixture f;
+  f.coda.warm("b.sty");
+  f.coda.start_trace();
+  f.coda.read("a.tex");  // miss
+  f.coda.read("b.sty");  // hit
+  f.coda.write("b.sty");
+  auto trace = f.coda.stop_trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].path, "a.tex");
+  EXPECT_TRUE(trace[0].cache_miss);
+  EXPECT_FALSE(trace[1].cache_miss);
+  EXPECT_TRUE(trace[2].write);
+}
+
+TEST(CodaTest, TraceOffByDefault) {
+  Fixture f;
+  f.coda.read("a.tex");
+  f.coda.start_trace();
+  auto trace = f.coda.stop_trace();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(CodaTest, FetchRateEstimateLearnsFromObservations) {
+  Fixture f;
+  // Before any fetch: the configured nominal rate.
+  EXPECT_DOUBLE_EQ(f.coda.estimated_fetch_rate(), 100.0 * 1024);
+  f.coda.read("model.lm");
+  // After observing a real fetch the estimate should approximate the actual
+  // link throughput (100 KB/s bulk, minus latency/overhead effects).
+  EXPECT_NEAR(f.coda.estimated_fetch_rate(), 100.0 * 1024, 30.0 * 1024);
+}
+
+TEST(CodaTest, CacheDumpCostGrowsWithOccupancy) {
+  Fixture f;
+  const Seconds t0 = f.engine.now();
+  f.coda.dump_cache_state();
+  const Seconds empty_cost = f.engine.now() - t0;
+  for (int i = 0; i < 200; ++i) {
+    f.server.create({"f" + std::to_string(i), 64.0, "volx"});
+    f.coda.warm("f" + std::to_string(i));
+  }
+  const Seconds t1 = f.engine.now();
+  auto files = f.coda.dump_cache_state();
+  const Seconds full_cost = f.engine.now() - t1;
+  EXPECT_EQ(files.size(), 200u);
+  EXPECT_GT(full_cost, 10.0 * empty_cost);
+}
+
+}  // namespace
+}  // namespace spectra::fs

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "hw/energy.h"
+#include "hw/machine.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace spectra::hw {
+namespace {
+
+using namespace spectra::util;  // NOLINT: unit literals in tests
+
+MachineSpec itsy_spec() {
+  MachineSpec s;
+  s.name = "itsy";
+  s.cpu_hz = 206_MHz;
+  s.fp_penalty = 3.0;
+  s.power = PowerModel{0.2, 1.6, 0.1};
+  s.battery_capacity_j = 8000.0;
+  return s;
+}
+
+MachineSpec server_spec() {
+  MachineSpec s;
+  s.name = "t20";
+  s.cpu_hz = 700_MHz;
+  s.power = PowerModel{7.0, 5.0, 2.0};
+  return s;
+}
+
+TEST(PowerModelTest, DrawComposes) {
+  PowerModel p{1.0, 2.0, 0.5};
+  EXPECT_DOUBLE_EQ(p.draw(0.0, false), 1.0);
+  EXPECT_DOUBLE_EQ(p.draw(1.0, false), 3.0);
+  EXPECT_DOUBLE_EQ(p.draw(0.5, true), 2.5);
+}
+
+TEST(EnergyMeterTest, IntegratesPowerOverTime) {
+  sim::Engine e;
+  EnergyMeter m(e);
+  m.set_power(2.0);
+  e.advance(3.0);
+  EXPECT_DOUBLE_EQ(m.total_consumed(), 6.0);
+  m.set_power(1.0);
+  e.advance(2.0);
+  EXPECT_DOUBLE_EQ(m.total_consumed(), 8.0);
+}
+
+TEST(EnergyMeterTest, LazyIntegrationHandlesLongIdle) {
+  sim::Engine e;
+  EnergyMeter m(e);
+  m.set_power(0.5);
+  e.advance(100.0);
+  EXPECT_DOUBLE_EQ(m.total_consumed(), 50.0);
+  EXPECT_DOUBLE_EQ(m.total_consumed(), 50.0);  // idempotent query
+}
+
+TEST(AcpiDriverTest, QuantizesAndCaches) {
+  sim::Engine e;
+  EnergyMeter m(e);
+  AcpiDriver d(e, m, /*quantum=*/3.6, /*refresh_period=*/0.25);
+  m.set_power(10.0);
+  e.advance(1.0);  // 10 J true
+  EXPECT_DOUBLE_EQ(d.read_consumed(), 7.2);  // floor(10/3.6)*3.6
+  // Within the refresh period the cached value is returned even though the
+  // true value advanced.
+  e.advance(0.1);
+  EXPECT_DOUBLE_EQ(d.read_consumed(), 7.2);
+  e.advance(0.25);
+  EXPECT_GT(d.read_consumed(), 7.2);
+}
+
+TEST(SmartBatteryDriverTest, FinerQuanta) {
+  sim::Engine e;
+  EnergyMeter m(e);
+  SmartBatteryDriver d(e, m, 0.5);
+  m.set_power(1.0);
+  e.advance(1.3);
+  EXPECT_DOUBLE_EQ(d.read_consumed(), 1.0);
+}
+
+TEST(MultimeterDriverTest, Exact) {
+  sim::Engine e;
+  EnergyMeter m(e);
+  MultimeterDriver d(m);
+  m.set_power(2.5);
+  e.advance(2.0);
+  EXPECT_DOUBLE_EQ(d.read_consumed(), 5.0);
+  EXPECT_EQ(d.name(), "multimeter");
+}
+
+TEST(MachineTest, RunCyclesAdvancesClockBySpeed) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  const Seconds dt = m.run_cycles(700e6);
+  EXPECT_DOUBLE_EQ(dt, 1.0);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+}
+
+TEST(MachineTest, FpPenaltyAppliesOnlyToFpWork) {
+  sim::Engine e;
+  Machine m(e, itsy_spec(), Rng(1));
+  EXPECT_DOUBLE_EQ(m.estimate_duration(206e6, false), 1.0);
+  EXPECT_DOUBLE_EQ(m.estimate_duration(206e6, true), 3.0);
+}
+
+TEST(MachineTest, FairShareUnderBackgroundLoad) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  EXPECT_DOUBLE_EQ(m.fair_share(), 1.0);
+  m.set_background_procs(1.0);
+  EXPECT_DOUBLE_EQ(m.fair_share(), 0.5);
+  m.set_background_procs(2.0);
+  EXPECT_NEAR(m.fair_share(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.estimate_duration(700e6), 3.0);
+}
+
+TEST(MachineTest, EnergyDuringBusyAndIdle) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  // Idle for 1 s: 7 J.
+  e.advance(1.0);
+  EXPECT_NEAR(m.meter().total_consumed(), 7.0, 1e-9);
+  // Busy for 1 s: 12 J more.
+  m.run_cycles(700e6);
+  EXPECT_NEAR(m.meter().total_consumed(), 19.0, 1e-9);
+}
+
+TEST(MachineTest, NetActiveAddsNicPower) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  m.set_net_active(true);
+  e.advance(2.0);
+  m.set_net_active(false);
+  EXPECT_NEAR(m.meter().total_consumed(), (7.0 + 2.0) * 2.0, 1e-9);
+}
+
+TEST(MachineTest, BackgroundLoadBurnsCpuPowerWhileIdle) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  m.set_background_procs(1.0);
+  e.advance(1.0);
+  EXPECT_NEAR(m.meter().total_consumed(), 12.0, 1e-9);
+  m.set_background_procs(0.5);
+  e.advance(1.0);
+  EXPECT_NEAR(m.meter().total_consumed(), 12.0 + 9.5, 1e-9);
+}
+
+TEST(MachineTest, SampleRunQueueTracksGroundTruth) {
+  sim::Engine e;
+  Machine m(e, itsy_spec(), Rng(5));
+  m.set_background_procs(2.0);
+  double sum = 0.0;
+  for (int i = 0; i < 200; ++i) sum += m.sample_run_queue();
+  EXPECT_NEAR(sum / 200.0, 2.0, 0.05);
+}
+
+TEST(MachineTest, SampleRunQueueNeverNegative) {
+  sim::Engine e;
+  Machine m(e, itsy_spec(), Rng(5));
+  for (int i = 0; i < 500; ++i) EXPECT_GE(m.sample_run_queue(), 0.0);
+}
+
+TEST(BatteryTest, DrainsWithConsumption) {
+  sim::Engine e;
+  Machine m(e, itsy_spec(), Rng(1));
+  ASSERT_NE(m.battery(), nullptr);
+  const Joules before = m.battery()->remaining();
+  EXPECT_DOUBLE_EQ(before, 8000.0);
+  m.run_cycles(206e6);  // 1 s at 1.8 W
+  EXPECT_NEAR(m.battery()->remaining(), 8000.0 - 1.8, 1e-9);
+  EXPECT_NEAR(m.battery()->fraction_remaining(), (8000.0 - 1.8) / 8000.0,
+              1e-12);
+}
+
+TEST(BatteryTest, WallPoweredMachineHasNoBattery) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  EXPECT_EQ(m.battery(), nullptr);
+  EXPECT_FALSE(m.on_battery());
+}
+
+TEST(BatteryTest, OnBatteryRequiresBatteryPresence) {
+  sim::Engine e;
+  Machine wall(e, server_spec(), Rng(1));
+  wall.set_on_battery(true);
+  EXPECT_FALSE(wall.on_battery());
+  Machine mobile(e, itsy_spec(), Rng(1));
+  mobile.set_on_battery(true);
+  EXPECT_TRUE(mobile.on_battery());
+}
+
+TEST(MachineTest, InvalidSpecsRejected) {
+  sim::Engine e;
+  MachineSpec bad = server_spec();
+  bad.cpu_hz = 0.0;
+  EXPECT_THROW(Machine(e, bad, Rng(1)), util::ContractError);
+  MachineSpec bad2 = server_spec();
+  bad2.fp_penalty = 0.5;
+  EXPECT_THROW(Machine(e, bad2, Rng(1)), util::ContractError);
+}
+
+TEST(MachineTest, NegativeBackgroundRejected) {
+  sim::Engine e;
+  Machine m(e, server_spec(), Rng(1));
+  EXPECT_THROW(m.set_background_procs(-1.0), util::ContractError);
+}
+
+}  // namespace
+}  // namespace spectra::hw

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace spectra::net {
+namespace {
+
+using namespace spectra::util;  // NOLINT: unit literals in tests
+using hw::Machine;
+using hw::MachineSpec;
+
+struct Fixture {
+  sim::Engine engine;
+  Machine client;
+  Machine server;
+  Network net;
+
+  Fixture()
+      : client(engine, client_spec(), Rng(1)),
+        server(engine, server_spec(), Rng(2)),
+        net(engine, Rng(3)) {
+    net.add_machine(0, &client);
+    net.add_machine(1, &server);
+    net.set_link(0, 1, LinkParams{/*bw=*/100000.0, /*lat=*/0.01});
+  }
+
+  static MachineSpec client_spec() {
+    MachineSpec s;
+    s.name = "client";
+    s.cpu_hz = 233_MHz;
+    s.power = hw::PowerModel{7.0, 5.0, 2.0};
+    return s;
+  }
+  static MachineSpec server_spec() {
+    MachineSpec s;
+    s.name = "server";
+    s.cpu_hz = 933_MHz;
+    s.power = hw::PowerModel{20.0, 15.0, 2.0};
+    return s;
+  }
+};
+
+TEST(NetworkTest, TransferAdvancesClockByLatencyPlusSize) {
+  Fixture f;
+  const Seconds dt = f.net.transfer(0, 1, 100000.0);
+  // latency 0.01 + 1.0 s transfer, within 2% jitter bounds (~lognormal).
+  EXPECT_NEAR(dt, 1.01, 0.1);
+  EXPECT_DOUBLE_EQ(f.engine.now(), dt);
+}
+
+TEST(NetworkTest, IntraMachineTransferIsFree) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.net.transfer(0, 0, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(f.engine.now(), 0.0);
+}
+
+TEST(NetworkTest, ZeroByteTransferCostsLatencyOnly) {
+  Fixture f;
+  const Seconds dt = f.net.transfer(0, 1, 0.0);
+  EXPECT_NEAR(dt, 0.01, 0.005);
+}
+
+TEST(NetworkTest, TransferChargesNicEnergyOnBothEndpoints) {
+  Fixture f;
+  const Joules c0 = f.client.meter().total_consumed();
+  const Joules s0 = f.server.meter().total_consumed();
+  const Seconds dt = f.net.transfer(0, 1, 50000.0);
+  // idle + net on both sides for the duration.
+  EXPECT_NEAR(f.client.meter().total_consumed() - c0, (7.0 + 2.0) * dt, 1e-6);
+  EXPECT_NEAR(f.server.meter().total_consumed() - s0, (20.0 + 2.0) * dt, 1e-6);
+  EXPECT_FALSE(f.client.net_active());
+  EXPECT_FALSE(f.server.net_active());
+}
+
+TEST(NetworkTest, HalvedBandwidthDoublesBulkTime) {
+  Fixture f;
+  const Seconds t1 = f.net.transfer(0, 1, 500000.0);
+  f.net.set_link_bandwidth(0, 1, 50000.0);
+  const Seconds t2 = f.net.transfer(0, 1, 500000.0);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.15);
+}
+
+TEST(NetworkTest, AvailabilityScalesEffectiveBandwidth) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.net.effective_bandwidth(0, 1), 100000.0);
+  f.net.set_link_availability(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(f.net.effective_bandwidth(0, 1), 50000.0);
+}
+
+TEST(NetworkTest, DownLinkIsUnreachable) {
+  Fixture f;
+  EXPECT_TRUE(f.net.reachable(0, 1));
+  f.net.set_link_up(0, 1, false);
+  EXPECT_FALSE(f.net.reachable(0, 1));
+  EXPECT_THROW(f.net.transfer(0, 1, 100.0), util::ContractError);
+  f.net.set_link_up(0, 1, true);
+  EXPECT_TRUE(f.net.reachable(0, 1));
+}
+
+TEST(NetworkTest, SelfAlwaysReachable) {
+  Fixture f;
+  EXPECT_TRUE(f.net.reachable(0, 0));
+}
+
+TEST(NetworkTest, UnconfiguredPairUnreachable) {
+  Fixture f;
+  EXPECT_FALSE(f.net.reachable(0, 7));
+  EXPECT_THROW(f.net.link(0, 7), util::ContractError);
+}
+
+TEST(NetworkTest, LinkIsSymmetric) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.net.link(1, 0).bandwidth, 100000.0);
+  const Seconds dt = f.net.transfer(1, 0, 100000.0);
+  EXPECT_NEAR(dt, 1.01, 0.1);
+}
+
+TEST(NetworkTest, LogRecordsTransfers) {
+  Fixture f;
+  f.net.transfer(0, 1, 1000.0);
+  f.engine.advance(1.0);
+  f.net.transfer(0, 1, 2000.0);
+  auto recent = f.net.recent_transfers(0, 100.0);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_DOUBLE_EQ(recent[0].bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(recent[1].bytes, 2000.0);
+  EXPECT_EQ(f.net.total_transfers(), 2u);
+}
+
+TEST(NetworkTest, RecentTransfersRespectsWindow) {
+  Fixture f;
+  f.net.transfer(0, 1, 1000.0);
+  f.engine.advance(50.0);
+  f.net.transfer(0, 1, 2000.0);
+  auto recent = f.net.recent_transfers(0, 10.0);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_DOUBLE_EQ(recent[0].bytes, 2000.0);
+}
+
+TEST(NetworkTest, RecentTransfersFiltersByMachine) {
+  Fixture f;
+  hw::Machine third(f.engine, Fixture::server_spec(), Rng(9));
+  f.net.add_machine(2, &third);
+  f.net.set_link(1, 2, LinkParams{1e6, 0.001});
+  f.net.transfer(1, 2, 500.0);
+  EXPECT_TRUE(f.net.recent_transfers(0, 100.0).empty());
+  EXPECT_EQ(f.net.recent_transfers(2, 100.0).size(), 1u);
+}
+
+TEST(NetworkTest, InvalidLinkParamsRejected) {
+  Fixture f;
+  EXPECT_THROW(f.net.set_link(0, 2, LinkParams{0.0, 0.01}),
+               util::ContractError);
+  EXPECT_THROW(f.net.set_link(0, 0, LinkParams{1e6, 0.01}),
+               util::ContractError);
+  LinkParams bad_avail{1e6, 0.01};
+  bad_avail.availability = 0.0;
+  EXPECT_THROW(f.net.set_link(0, 2, bad_avail), util::ContractError);
+}
+
+TEST(NetworkTest, NegativeTransferRejected) {
+  Fixture f;
+  EXPECT_THROW(f.net.transfer(0, 1, -5.0), util::ContractError);
+}
+
+TEST(NetworkTest, DeterministicAcrossIdenticalRuns) {
+  Fixture a, b;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.net.transfer(0, 1, 1000.0 * (i + 1)),
+                     b.net.transfer(0, 1, 1000.0 * (i + 1)));
+  }
+}
+
+}  // namespace
+}  // namespace spectra::net

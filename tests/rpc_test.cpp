@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "fs/coda.h"
+#include "hw/machine.h"
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace spectra::rpc {
+namespace {
+
+using namespace spectra::util;  // NOLINT: unit literals in tests
+
+constexpr MachineId kClient = 0;
+constexpr MachineId kServer = 1;
+constexpr MachineId kFileServer = 10;
+
+struct Fixture {
+  sim::Engine engine;
+  hw::Machine client;
+  hw::Machine server;
+  hw::Machine fsrv;
+  net::Network net;
+  fs::FileServer file_server;
+  fs::CodaClient server_coda;
+  RpcEndpoint client_ep;
+  RpcEndpoint server_ep;
+
+  Fixture()
+      : client(engine, spec("client", 233_MHz), Rng(1)),
+        server(engine, spec("server", 933_MHz), Rng(2)),
+        fsrv(engine, spec("fs", 800_MHz), Rng(3)),
+        net(engine, Rng(4)),
+        file_server(kFileServer),
+        server_coda(kServer, server, net, file_server),
+        client_ep(kClient, client, net, nullptr),
+        server_ep(kServer, server, net, &server_coda) {
+    net.add_machine(kClient, &client);
+    net.add_machine(kServer, &server);
+    net.add_machine(kFileServer, &fsrv);
+    net.set_link(kClient, kServer, net::LinkParams{250000.0, 0.005});
+    net.set_link(kServer, kFileServer, net::LinkParams{1.25e6, 0.001});
+    file_server.create({"corpus", 1_MB, "vol"});
+  }
+
+  static hw::MachineSpec spec(const std::string& name, Hertz hz) {
+    hw::MachineSpec s;
+    s.name = name;
+    s.cpu_hz = hz;
+    s.power = hw::PowerModel{5.0, 5.0, 1.0};
+    return s;
+  }
+};
+
+TEST(RpcTest, CallInvokesHandlerAndReturnsPayload) {
+  Fixture f;
+  f.server_ep.register_handler("echo", [](const Request& req) {
+    Response r;
+    r.ok = true;
+    r.payload = req.payload * 2;
+    return r;
+  });
+  Request req;
+  req.op_type = "echo";
+  req.payload = 1000.0;
+  CallStats stats;
+  Response resp = f.client_ep.call(f.server_ep, "echo", req, &stats);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_DOUBLE_EQ(resp.payload, 2000.0);
+  EXPECT_EQ(stats.rpcs, 1);
+  EXPECT_DOUBLE_EQ(stats.bytes_sent, 1000.0 + 256.0);
+  EXPECT_DOUBLE_EQ(stats.bytes_received, 2000.0 + 256.0);
+  EXPECT_GT(stats.elapsed, 0.0);
+}
+
+TEST(RpcTest, UnknownServiceFails) {
+  Fixture f;
+  Response resp = f.client_ep.call(f.server_ep, "nope", Request{});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown service"), std::string::npos);
+}
+
+TEST(RpcTest, UnreachableTargetFailsFast) {
+  Fixture f;
+  f.server_ep.register_handler("echo", [](const Request&) {
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  f.net.set_link_up(kClient, kServer, false);
+  CallStats stats;
+  Response resp = f.client_ep.call(f.server_ep, "echo", Request{}, &stats);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(stats.rpcs, 0);
+  EXPECT_DOUBLE_EQ(stats.bytes_sent, 0.0);
+}
+
+TEST(RpcTest, HandlerCpuIsMeasuredInUsageReport) {
+  Fixture f;
+  f.server_ep.register_handler("work", [&](const Request&) {
+    f.server.run_cycles(933e6);  // exactly 1 server-second
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  Response resp = f.client_ep.call(f.server_ep, "work", Request{});
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NEAR(resp.usage.cpu_seconds, 1.0, 0.01);
+  // Cycles include the handler's work but not client-side marshaling.
+  EXPECT_GE(resp.usage.cpu_cycles, 933e6);
+  EXPECT_LT(resp.usage.cpu_cycles, 934e6);
+}
+
+TEST(RpcTest, HandlerFileAccessesAreReported) {
+  Fixture f;
+  f.server_ep.register_handler("readfile", [&](const Request&) {
+    f.server_coda.read("corpus");
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  Response resp = f.client_ep.call(f.server_ep, "readfile", Request{});
+  ASSERT_TRUE(resp.ok);
+  ASSERT_EQ(resp.usage.file_accesses.size(), 1u);
+  EXPECT_EQ(resp.usage.file_accesses[0].path, "corpus");
+  EXPECT_TRUE(resp.usage.file_accesses[0].cache_miss);
+}
+
+TEST(RpcTest, TransferTimeDominatedByPayloadSize) {
+  Fixture f;
+  f.server_ep.register_handler("null", [](const Request&) {
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  Request small;
+  small.payload = 100.0;
+  Request big;
+  big.payload = 250000.0;  // ~1 s at link speed
+  CallStats s_small, s_big;
+  f.client_ep.call(f.server_ep, "null", small, &s_small);
+  f.client_ep.call(f.server_ep, "null", big, &s_big);
+  EXPECT_GT(s_big.elapsed, 0.5);
+  EXPECT_LT(s_small.elapsed, 0.1);
+}
+
+TEST(RpcTest, IntraMachineCallSkipsNetwork) {
+  Fixture f;
+  RpcEndpoint local_server(kClient, f.client, f.net, nullptr);
+  local_server.register_handler("null", [](const Request&) {
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  const auto transfers_before = f.net.total_transfers();
+  Request req;
+  req.payload = 1_MB;
+  Response resp = f.client_ep.call(local_server, "null", req);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(f.net.total_transfers(), transfers_before);
+}
+
+TEST(RpcTest, PingMeasuresRtt) {
+  Fixture f;
+  Seconds rtt = 0.0;
+  EXPECT_TRUE(f.client_ep.ping(f.server_ep, &rtt));
+  EXPECT_NEAR(rtt, 2.0 * 0.005 + 2.0 * 256.0 / 250000.0, 0.005);
+}
+
+TEST(RpcTest, PingFailsWhenDown) {
+  Fixture f;
+  f.net.set_link_up(kClient, kServer, false);
+  EXPECT_FALSE(f.client_ep.ping(f.server_ep));
+}
+
+TEST(RpcTest, RegisterHandlerValidation) {
+  Fixture f;
+  EXPECT_THROW(f.server_ep.register_handler("", [](const Request&) {
+    return Response{};
+  }),
+               util::ContractError);
+  EXPECT_THROW(f.server_ep.register_handler("x", nullptr),
+               util::ContractError);
+  EXPECT_FALSE(f.server_ep.has_handler("x"));
+}
+
+TEST(RpcTest, HandlerReplacement) {
+  Fixture f;
+  f.server_ep.register_handler("svc", [](const Request&) {
+    Response r;
+    r.ok = true;
+    r.payload = 1.0;
+    return r;
+  });
+  f.server_ep.register_handler("svc", [](const Request&) {
+    Response r;
+    r.ok = true;
+    r.payload = 2.0;
+    return r;
+  });
+  EXPECT_DOUBLE_EQ(f.client_ep.call(f.server_ep, "svc", Request{}).payload,
+                   2.0);
+}
+
+TEST(RpcTest, RequestArgsArriveAtHandler) {
+  Fixture f;
+  double seen = 0.0;
+  std::string tag;
+  f.server_ep.register_handler("args", [&](const Request& req) {
+    seen = req.args.at("utterance_len");
+    tag = req.data_tag;
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  Request req;
+  req.args["utterance_len"] = 2.5;
+  req.data_tag = "doc1";
+  f.client_ep.call(f.server_ep, "args", req);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_EQ(tag, "doc1");
+}
+
+}  // namespace
+}  // namespace spectra::rpc

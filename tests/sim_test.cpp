@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace spectra::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+}
+
+TEST(EngineTest, AdvanceMovesClock) {
+  Engine e;
+  e.advance(1.5);
+  EXPECT_DOUBLE_EQ(e.now(), 1.5);
+  e.advance(0.0);
+  EXPECT_DOUBLE_EQ(e.now(), 1.5);
+}
+
+TEST(EngineTest, NegativeAdvanceThrows) {
+  Engine e;
+  EXPECT_THROW(e.advance(-1.0), util::ContractError);
+}
+
+TEST(EngineTest, EventFiresAtScheduledTime) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(2.0, [&] { fired_at = e.now(); });
+  e.advance(1.0);
+  EXPECT_EQ(fired_at, -1.0);
+  e.advance(1.5);
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+  EXPECT_DOUBLE_EQ(e.now(), 2.5);
+}
+
+TEST(EngineTest, SchedulingInPastThrows) {
+  Engine e;
+  e.advance(5.0);
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), util::ContractError);
+}
+
+TEST(EngineTest, EventsFireInTimestampOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.advance(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, EqualTimestampsFireInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.advance(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, EventMayScheduleWithinWindow) {
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] {
+    fired.push_back(e.now());
+    e.schedule_at(1.5, [&] { fired.push_back(e.now()); });
+  });
+  e.advance(2.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 1.5);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  auto id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.advance(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, CancelAfterFireIsNoop) {
+  Engine e;
+  auto id = e.schedule_at(1.0, [] {});
+  e.advance(2.0);
+  EXPECT_NO_THROW(e.cancel(id));
+}
+
+TEST(EngineTest, PeriodicFiresRepeatedly) {
+  Engine e;
+  int count = 0;
+  e.schedule_periodic(1.0, [&] { ++count; });
+  e.advance(5.5);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EngineTest, PeriodicCancelStops) {
+  Engine e;
+  int count = 0;
+  auto id = e.schedule_periodic(1.0, [&] { ++count; });
+  e.advance(2.5);
+  e.cancel(id);
+  e.advance(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, PeriodicCanCancelItself) {
+  Engine e;
+  int count = 0;
+  EventId id = 0;
+  id = e.schedule_periodic(1.0, [&] {
+    if (++count == 3) e.cancel(id);
+  });
+  e.advance(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EngineTest, RunUntilNoopForPast) {
+  Engine e;
+  e.advance(3.0);
+  e.run_until(1.0);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(EngineTest, PendingEventsCountsLiveRecords) {
+  Engine e;
+  auto a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.advance(3.0);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(EngineTest, DrainRespectsHorizon) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(5.0, [&] { ++count; });
+  e.drain(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(EngineTest, AdvanceDuringEventNestsCorrectly) {
+  // run_cycles-style nesting: an event fires, and inside it the clock is
+  // advanced further; later events must still fire exactly once.
+  Engine e;
+  std::vector<double> fired;
+  e.schedule_at(1.0, [&] {
+    fired.push_back(e.now());
+    e.advance(0.25);
+  });
+  e.schedule_at(1.1, [&] { fired.push_back(e.now()); });
+  e.advance(3.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 1.1);
+}
+
+TEST(EngineTest, NullCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, nullptr), util::ContractError);
+  EXPECT_THROW(e.schedule_periodic(1.0, nullptr), util::ContractError);
+}
+
+TEST(EngineTest, ZeroPeriodicIntervalThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_periodic(0.0, [] {}), util::ContractError);
+}
+
+}  // namespace
+}  // namespace spectra::sim

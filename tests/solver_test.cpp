@@ -1,0 +1,568 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitor/types.h"
+#include "solver/estimator.h"
+#include "solver/solver.h"
+#include "solver/types.h"
+#include "solver/utility.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace spectra::solver {
+namespace {
+
+// ------------------------------------------------------------------- space
+
+AlternativeSpace small_space() {
+  AlternativeSpace s;
+  s.plans = {{"local", false}, {"remote", true}};
+  s.servers = {1, 2};
+  s.fidelities = {{"vocab", {0.0, 1.0}}};
+  return s;
+}
+
+TEST(SpaceTest, EnumerateCountsLocalAndRemote) {
+  const auto alts = small_space().enumerate();
+  // local plan x 2 fidelities + remote plan x 2 servers x 2 fidelities.
+  EXPECT_EQ(alts.size(), 2u + 4u);
+}
+
+TEST(SpaceTest, LocalPlansHaveNoServer) {
+  for (const auto& a : small_space().enumerate()) {
+    if (a.plan == 0) {
+      EXPECT_EQ(a.server, -1);
+    } else {
+      EXPECT_GE(a.server, 1);
+    }
+  }
+}
+
+TEST(SpaceTest, NoServersYieldsOnlyLocalPlans) {
+  AlternativeSpace s = small_space();
+  s.servers.clear();
+  const auto alts = s.enumerate();
+  EXPECT_EQ(alts.size(), 2u);
+  for (const auto& a : alts) EXPECT_EQ(a.plan, 0);
+}
+
+TEST(SpaceTest, MultipleFidelityDimensionsCross) {
+  AlternativeSpace s;
+  s.plans = {{"p", false}};
+  s.fidelities = {{"a", {0, 1}}, {"b", {0, 1, 2}}};
+  EXPECT_EQ(s.count(), 6u);
+}
+
+TEST(SpaceTest, EmptyPlansThrows) {
+  AlternativeSpace s;
+  EXPECT_THROW(s.enumerate(), util::ContractError);
+}
+
+TEST(SpaceTest, EmptyFidelityValuesThrows) {
+  AlternativeSpace s;
+  s.plans = {{"p", false}};
+  s.fidelities = {{"a", {}}};
+  EXPECT_THROW(s.enumerate(), util::ContractError);
+}
+
+TEST(AlternativeTest, DescribeAndEquality) {
+  Alternative a;
+  a.plan = 1;
+  a.server = 2;
+  a.fidelity["v"] = 1.0;
+  Alternative b = a;
+  EXPECT_TRUE(a == b);
+  b.fidelity["v"] = 0.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.describe().find("plan=1"), std::string::npos);
+  EXPECT_NE(a.describe().find("server=2"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- utility
+
+TEST(UtilityTest, InverseLatency) {
+  auto f = inverse_latency();
+  EXPECT_DOUBLE_EQ(f(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(f(0.5), 2.0);
+}
+
+TEST(UtilityTest, DeadlineLatencyShape) {
+  auto f = deadline_latency(0.5, 5.0);
+  EXPECT_DOUBLE_EQ(f(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 0.0);
+  EXPECT_NEAR(f(2.75), 0.5, 1e-9);  // midpoint
+}
+
+TEST(UtilityTest, DeadlineLatencyValidation) {
+  EXPECT_THROW(deadline_latency(5.0, 0.5), util::ContractError);
+  EXPECT_THROW(deadline_latency(-1.0, 5.0), util::ContractError);
+}
+
+DefaultUtility make_utility(double k = 10.0) {
+  DefaultUtilityConfig cfg;
+  cfg.energy_k = k;
+  return DefaultUtility(
+      inverse_latency(),
+      [](const std::map<std::string, double>& f) {
+        auto it = f.find("fid");
+        return it != f.end() ? it->second : 1.0;
+      },
+      cfg);
+}
+
+UserMetrics metrics(double t, double e, double fid, bool has_energy = true) {
+  UserMetrics m;
+  m.time = t;
+  m.energy = e;
+  m.has_energy = has_energy;
+  m.fidelity["fid"] = fid;
+  return m;
+}
+
+TEST(UtilityTest, FasterIsBetter) {
+  auto u = make_utility();
+  EXPECT_GT(u.log_utility(metrics(1.0, 1.0, 1.0), 0.0),
+            u.log_utility(metrics(2.0, 1.0, 1.0), 0.0));
+}
+
+TEST(UtilityTest, HalfTimeDoublesUtility) {
+  auto u = make_utility();
+  const double lu1 = u.log_utility(metrics(2.0, 1.0, 1.0), 0.0);
+  const double lu2 = u.log_utility(metrics(1.0, 1.0, 1.0), 0.0);
+  EXPECT_NEAR(lu2 - lu1, std::log(2.0), 1e-9);
+}
+
+TEST(UtilityTest, EnergyIgnoredWhenImportanceZero) {
+  auto u = make_utility();
+  EXPECT_DOUBLE_EQ(u.log_utility(metrics(1.0, 1.0, 1.0), 0.0),
+                   u.log_utility(metrics(1.0, 100.0, 1.0), 0.0));
+}
+
+TEST(UtilityTest, EnergyWeightedByImportance) {
+  // log(1/E)^(kc) = -k c log E: with k=10, c=1, E ratio 2 -> 10 log 2.
+  auto u = make_utility();
+  const double lu1 = u.log_utility(metrics(1.0, 2.0, 1.0), 1.0);
+  const double lu2 = u.log_utility(metrics(1.0, 4.0, 1.0), 1.0);
+  EXPECT_NEAR(lu1 - lu2, 10.0 * std::log(2.0), 1e-9);
+}
+
+TEST(UtilityTest, EnergyTermScalesWithC) {
+  auto u = make_utility();
+  const double d_half =
+      u.log_utility(metrics(1.0, 2.0, 1.0), 0.5) -
+      u.log_utility(metrics(1.0, 4.0, 1.0), 0.5);
+  EXPECT_NEAR(d_half, 5.0 * std::log(2.0), 1e-9);
+}
+
+TEST(UtilityTest, MissingEnergyModelNeutral) {
+  auto u = make_utility();
+  EXPECT_DOUBLE_EQ(
+      u.log_utility(metrics(1.0, 0.0, 1.0, /*has_energy=*/false), 1.0),
+      u.log_utility(metrics(1.0, 50.0, 1.0, /*has_energy=*/false), 1.0));
+}
+
+TEST(UtilityTest, ZeroFidelityIsInfeasible) {
+  auto u = make_utility();
+  EXPECT_EQ(u.log_utility(metrics(1.0, 1.0, 0.0), 0.0), kInfeasible);
+}
+
+TEST(UtilityTest, ZeroLatencyDesirabilityIsInfeasible) {
+  DefaultUtility u(deadline_latency(0.5, 5.0),
+                   [](const std::map<std::string, double>&) { return 1.0; });
+  EXPECT_EQ(u.log_utility(metrics(6.0, 1.0, 1.0), 0.0), kInfeasible);
+}
+
+TEST(UtilityTest, LinearUtilityMatchesExpOfLog) {
+  auto u = make_utility();
+  const auto m = metrics(2.0, 3.0, 0.8);
+  EXPECT_NEAR(u.utility(m, 0.1),
+              std::exp(u.log_utility(m, 0.1)), 1e-12);
+}
+
+TEST(UtilityTest, NoUnderflowAtPaperScale) {
+  // (1/E)^(k c) with E=1000 J, k=10, c=1 underflows doubles in linear
+  // space; the log-domain comparison must still rank correctly.
+  auto u = make_utility();
+  const double a = u.log_utility(metrics(1.0, 1000.0, 1.0), 1.0);
+  const double b = u.log_utility(metrics(1.0, 1001.0, 1.0), 1.0);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_GT(a, b);
+}
+
+TEST(UtilityTest, InvalidImportanceRejected) {
+  auto u = make_utility();
+  EXPECT_THROW(u.log_utility(metrics(1, 1, 1), -0.1), util::ContractError);
+  EXPECT_THROW(u.log_utility(metrics(1, 1, 1), 1.1), util::ContractError);
+}
+
+TEST(UtilityTest, MissingFunctionsRejected) {
+  EXPECT_THROW(DefaultUtility(nullptr, [](const auto&) { return 1.0; }),
+               util::ContractError);
+  EXPECT_THROW(DefaultUtility(inverse_latency(), nullptr),
+               util::ContractError);
+}
+
+// --------------------------------------------------------------- estimator
+
+monitor::ResourceSnapshot snapshot_with_server() {
+  monitor::ResourceSnapshot snap;
+  snap.local_cpu_hz = 200e6;
+  snap.local_fetch_rate = 50000.0;
+  auto local_files = std::make_shared<monitor::CachedFileView>();
+  (*local_files)["cached_local"] = 1000.0;
+  snap.local_cached_files = local_files;
+  monitor::ServerAvailability sa;
+  sa.id = 1;
+  sa.reachable = true;
+  sa.cpu_hz = 800e6;
+  sa.bandwidth = 100000.0;
+  sa.latency = 0.01;
+  sa.fetch_rate = 200000.0;
+  sa.cached_files["cached_remote"] = 1000.0;
+  snap.servers.emplace(1, sa);
+  return snap;
+}
+
+AlternativeSpace estimator_space() {
+  AlternativeSpace s;
+  s.plans = {{"local", false}, {"remote", true}};
+  s.servers = {1};
+  return s;
+}
+
+Alternative local_alt() {
+  Alternative a;
+  a.plan = 0;
+  return a;
+}
+
+Alternative remote_alt() {
+  Alternative a;
+  a.plan = 1;
+  a.server = 1;
+  return a;
+}
+
+TEST(EstimatorTest, LocalPlanTimeIsCpuOnly) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  predict::DemandEstimate d;
+  d.local_cycles = 400e6;
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  const auto m = est.estimate(in, estimator_space(), local_alt(), d, &tb);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->time, 2.0);
+  EXPECT_DOUBLE_EQ(tb.local_cpu, 2.0);
+  EXPECT_DOUBLE_EQ(tb.network, 0.0);
+}
+
+TEST(EstimatorTest, RemotePlanSumsAllComponents) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  predict::DemandEstimate d;
+  d.local_cycles = 200e6;   // 1 s locally
+  d.remote_cycles = 800e6;  // 1 s remotely
+  d.bytes_sent = 50000.0;
+  d.bytes_received = 50000.0;  // 1 s transfer total
+  d.rpcs = 2.0;                // 2 x 2 x 0.01 = 0.04 s
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  const auto m = est.estimate(in, estimator_space(), remote_alt(), d, &tb);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(tb.local_cpu, 1.0, 1e-9);
+  EXPECT_NEAR(tb.remote_cpu, 1.0, 1e-9);
+  EXPECT_NEAR(tb.network, 1.04, 1e-9);
+  EXPECT_NEAR(m->time, 3.04, 1e-9);
+}
+
+TEST(EstimatorTest, CacheMissChargedAgainstExecutingMachine) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  predict::DemandEstimate d;
+  d.files = {{"missing", 100000.0, 1.0}};  // 100 KB, certain access
+  ExecutionEstimator est;
+  TimeBreakdown tb_local, tb_remote;
+  est.estimate(in, estimator_space(), local_alt(), d, &tb_local);
+  est.estimate(in, estimator_space(), remote_alt(), d, &tb_remote);
+  EXPECT_NEAR(tb_local.cache_miss, 2.0, 1e-9);   // 100 KB at 50 KB/s
+  EXPECT_NEAR(tb_remote.cache_miss, 0.5, 1e-9);  // 100 KB at 200 KB/s
+}
+
+TEST(EstimatorTest, CachedFilesCostNothing) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  predict::DemandEstimate d;
+  d.files = {{"cached_local", 100000.0, 1.0}};
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  est.estimate(in, estimator_space(), local_alt(), d, &tb);
+  EXPECT_DOUBLE_EQ(tb.cache_miss, 0.0);
+}
+
+TEST(EstimatorTest, LikelihoodScalesExpectedMissCost) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  predict::DemandEstimate d;
+  d.files = {{"missing", 100000.0, 0.25}};
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  est.estimate(in, estimator_space(), local_alt(), d, &tb);
+  EXPECT_NEAR(tb.cache_miss, 0.5, 1e-9);  // 25% of 2 s
+}
+
+TEST(EstimatorTest, ConsistencyCostForDirtyPredictedFiles) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  in.dirty_files = {{"doc.tex", 70000.0, "vol"}};
+  in.fileserver_bandwidth = 35000.0;
+  predict::DemandEstimate d;
+  d.files = {{"doc.tex", 70000.0, 0.9}};
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  est.estimate(in, estimator_space(), remote_alt(), d, &tb);
+  EXPECT_NEAR(tb.consistency, 2.0, 1e-9);
+  // Local execution needs no reintegration.
+  est.estimate(in, estimator_space(), local_alt(), d, &tb);
+  EXPECT_DOUBLE_EQ(tb.consistency, 0.0);
+}
+
+TEST(EstimatorTest, ConsistencyIsVolumeGranular) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  // Two dirty files share a volume; only one is predicted to be read, but
+  // the whole volume must be pushed.
+  in.dirty_files = {{"a", 50000.0, "vol"}, {"b", 20000.0, "vol"}};
+  in.fileserver_bandwidth = 35000.0;
+  predict::DemandEstimate d;
+  d.files = {{"a", 50000.0, 1.0}};
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  est.estimate(in, estimator_space(), remote_alt(), d, &tb);
+  EXPECT_NEAR(tb.consistency, 2.0, 1e-9);  // (50+20) KB at 35 KB/s
+}
+
+TEST(EstimatorTest, LowLikelihoodDirtyFileSkipsReintegration) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  in.dirty_files = {{"a", 50000.0, "vol"}};
+  in.fileserver_bandwidth = 35000.0;
+  in.reintegration_threshold = 0.02;
+  predict::DemandEstimate d;
+  d.files = {{"a", 50000.0, 0.001}};  // effectively never read
+  ExecutionEstimator est;
+  TimeBreakdown tb;
+  est.estimate(in, estimator_space(), remote_alt(), d, &tb);
+  EXPECT_DOUBLE_EQ(tb.consistency, 0.0);
+}
+
+TEST(EstimatorTest, UnreachableServerInfeasible) {
+  auto snap = snapshot_with_server();
+  snap.servers.at(1).reachable = false;
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  ExecutionEstimator est;
+  EXPECT_FALSE(est.estimate(in, estimator_space(), remote_alt(), {})
+                   .has_value());
+}
+
+TEST(EstimatorTest, UnpolledServerInfeasible) {
+  auto snap = snapshot_with_server();
+  snap.servers.at(1).cpu_hz = 0.0;  // no status yet
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  ExecutionEstimator est;
+  EXPECT_FALSE(est.estimate(in, estimator_space(), remote_alt(), {})
+                   .has_value());
+}
+
+TEST(EstimatorTest, UnknownServerInfeasible) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  Alternative a = remote_alt();
+  a.server = 42;
+  ExecutionEstimator est;
+  EXPECT_FALSE(est.estimate(in, estimator_space(), a, {}).has_value());
+}
+
+TEST(EstimatorTest, EnergyPassedThrough) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  predict::DemandEstimate d;
+  d.energy = 7.5;
+  d.has_energy = true;
+  ExecutionEstimator est;
+  const auto m = est.estimate(in, estimator_space(), local_alt(), d);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->energy, 7.5);
+  EXPECT_TRUE(m->has_energy);
+}
+
+TEST(EstimatorTest, FidelityCopiedFromAlternative) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  AlternativeSpace space = estimator_space();
+  space.fidelities = {{"vocab", {0.0, 1.0}}};
+  Alternative a = local_alt();
+  a.fidelity["vocab"] = 1.0;
+  ExecutionEstimator est;
+  const auto m = est.estimate(in, space, a, {});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->fidelity.at("vocab"), 1.0);
+}
+
+TEST(EstimatorTest, PlanIndexValidated) {
+  auto snap = snapshot_with_server();
+  EstimatorInputs in;
+  in.snapshot = &snap;
+  Alternative a;
+  a.plan = 99;
+  ExecutionEstimator est;
+  EXPECT_THROW(est.estimate(in, estimator_space(), a, {}),
+               util::ContractError);
+}
+
+// ------------------------------------------------------------------ solver
+
+TEST(ExhaustiveSolverTest, FindsGlobalMaximum) {
+  const auto space = small_space();
+  ExhaustiveSolver solver;
+  // Utility peaks at plan=1, server=2, vocab=1.
+  const auto result = solver.solve(space, [](const Alternative& a) {
+    return (a.plan == 1 ? 1.0 : 0.0) + (a.server == 2 ? 1.0 : 0.0) +
+           a.fidelity.at("vocab");
+  });
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.best.plan, 1);
+  EXPECT_EQ(result.best.server, 2);
+  EXPECT_DOUBLE_EQ(result.best.fidelity.at("vocab"), 1.0);
+  EXPECT_EQ(result.evaluations, space.count());
+}
+
+TEST(ExhaustiveSolverTest, AllInfeasibleReportsNotFound) {
+  ExhaustiveSolver solver;
+  const auto result = solver.solve(
+      small_space(), [](const Alternative&) { return kInfeasible; });
+  EXPECT_FALSE(result.found);
+}
+
+TEST(HeuristicSolverTest, SmallSpaceSolvedExhaustively) {
+  HeuristicSolver solver{util::Rng(1)};
+  const auto space = small_space();  // 6 alternatives <= threshold
+  const auto result = solver.solve(space, [](const Alternative& a) {
+    return a.fidelity.at("vocab") + (a.plan == 0 ? 0.5 : 0.0);
+  });
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.best.plan, 0);
+  EXPECT_DOUBLE_EQ(result.best.fidelity.at("vocab"), 1.0);
+}
+
+AlternativeSpace big_space() {
+  AlternativeSpace s;
+  for (int i = 0; i < 16; ++i) {
+    s.plans.push_back({"p" + std::to_string(i), i != 0});
+  }
+  s.servers = {1, 2};
+  s.fidelities = {{"a", {0, 1}}, {"b", {0, 1}}, {"c", {0, 1}}};
+  return s;
+}
+
+TEST(HeuristicSolverTest, RespectsEvaluationBudget) {
+  HeuristicSolverConfig cfg;
+  cfg.max_evaluations = 50;
+  HeuristicSolver solver{util::Rng(1), cfg};
+  const auto result = solver.solve(big_space(), [](const Alternative& a) {
+    return static_cast<double>(a.plan) + a.fidelity.at("a");
+  });
+  EXPECT_TRUE(result.found);
+  EXPECT_LE(result.evaluations, 50u);
+}
+
+TEST(HeuristicSolverTest, FindsNearOptimalOnSmoothLandscape) {
+  const auto space = big_space();
+  ExhaustiveSolver oracle;
+  const auto eval = [](const Alternative& a) {
+    // Smooth, separable objective: hill climbing should nail it.
+    double u = -std::abs(a.plan - 11.0);
+    u += a.server == 2 ? 0.5 : 0.0;
+    u += a.fidelity.at("a") + a.fidelity.at("b") + a.fidelity.at("c");
+    return u;
+  };
+  const auto best = oracle.solve(space, eval);
+  HeuristicSolver solver{util::Rng(7)};
+  const auto got = solver.solve(space, eval);
+  EXPECT_TRUE(got.found);
+  EXPECT_NEAR(got.log_utility, best.log_utility, 0.51);
+}
+
+TEST(HeuristicSolverTest, SkipsInfeasibleRegions) {
+  HeuristicSolver solver{util::Rng(3)};
+  const auto result = solver.solve(big_space(), [](const Alternative& a) {
+    if (a.plan % 2 == 0) return kInfeasible;
+    return static_cast<double>(a.plan);
+  });
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.best.plan % 2, 1);
+}
+
+TEST(HeuristicSolverTest, DeterministicForSameSeed) {
+  const auto eval = [](const Alternative& a) {
+    return static_cast<double>(a.plan) * 0.1 + a.fidelity.at("a");
+  };
+  HeuristicSolver s1{util::Rng(5)}, s2{util::Rng(5)};
+  const auto r1 = s1.solve(big_space(), eval);
+  const auto r2 = s2.solve(big_space(), eval);
+  EXPECT_TRUE(r1.best == r2.best);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+}
+
+TEST(HeuristicSolverTest, ConfigValidation) {
+  EXPECT_THROW(HeuristicSolver(util::Rng(1), HeuristicSolverConfig{0, 10, 1}),
+               util::ContractError);
+  EXPECT_THROW(HeuristicSolver(util::Rng(1), HeuristicSolverConfig{1, 0, 1}),
+               util::ContractError);
+}
+
+// Property sweep: the heuristic solver achieves a high fraction of the
+// exhaustive optimum across random utility landscapes.
+class SolverQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverQualityTest, NearOptimalOnRandomLandscapes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto space = big_space();
+  // Random but structured utility: random weights per coordinate.
+  const double wp = rng.uniform(-1.0, 1.0);
+  const double ws = rng.uniform(-1.0, 1.0);
+  const double wa = rng.uniform(0.0, 2.0);
+  const double wb = rng.uniform(0.0, 2.0);
+  const auto eval = [&](const Alternative& a) {
+    return wp * a.plan + ws * a.server + wa * a.fidelity.at("a") +
+           wb * a.fidelity.at("b") - a.fidelity.at("c");
+  };
+  ExhaustiveSolver oracle;
+  const double best = oracle.solve(space, eval).log_utility;
+  HeuristicSolver solver{util::Rng(99 + GetParam())};
+  const double got = solver.solve(space, eval).log_utility;
+  const double range = std::abs(best) + 1.0;
+  EXPECT_GT(got, best - 0.25 * range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Landscapes, SolverQualityTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace spectra::solver

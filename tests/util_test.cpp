@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace spectra::util {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+
+TEST(AssertTest, RequireThrowsOnFailure) {
+  EXPECT_THROW(SPECTRA_REQUIRE(false, "boom"), ContractError);
+}
+
+TEST(AssertTest, RequirePassesOnSuccess) {
+  EXPECT_NO_THROW(SPECTRA_REQUIRE(true, "fine"));
+}
+
+TEST(AssertTest, EnsureThrowsWithMessage) {
+  try {
+    SPECTRA_ENSURE(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(3.0, 9.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.uniform_int(0, 5);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 5);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalHasRoughlyUnitMoments) {
+  Rng r(13);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, NoiseFactorHasUnitMeanAndRequestedCv) {
+  Rng r(17);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.noise_factor(0.1));
+  EXPECT_NEAR(s.mean(), 1.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.1, 0.01);
+}
+
+TEST(RngTest, NoiseFactorZeroCvIsExactlyOne) {
+  Rng r(17);
+  EXPECT_EQ(r.noise_factor(0.0), 1.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng a2(42);
+  Rng child2 = a2.fork();
+  // Forks of identical parents are identical...
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // ...and differ from the parent stream.
+  Rng a3(42);
+  Rng c3 = a3.fork();
+  EXPECT_NE(c3.next_u64(), a3.next_u64());
+}
+
+TEST(RngTest, RejectsInvalidRanges) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform(2.0, 1.0), ContractError);
+  EXPECT_THROW(r.uniform_int(2, 1), ContractError);
+  EXPECT_THROW(r.noise_factor(-0.1), ContractError);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.confidence_halfwidth(), 0.0);
+}
+
+TEST(OnlineStatsTest, ConfidenceHalfwidthMatchesHandComputation) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  // t(0.90, dof=4) = 2.132; s = sqrt(2.5); hw = 2.132*sqrt(2.5)/sqrt(5)
+  EXPECT_NEAR(s.confidence_halfwidth(0.90),
+              2.132 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+}
+
+TEST(OnlineStatsTest, ResetClears) {
+  OnlineStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, SmoothsTowardNewSamples) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(EwmaTest, ValueOnEmptyThrows) {
+  Ewma e(0.3);
+  EXPECT_THROW(e.value(), ContractError);
+}
+
+TEST(EwmaTest, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), ContractError);
+  EXPECT_THROW(Ewma(1.5), ContractError);
+}
+
+TEST(DecayingMeanTest, EqualSamplesGiveThatValue) {
+  DecayingMean d(0.9);
+  for (int i = 0; i < 10; ++i) d.add(3.0);
+  EXPECT_NEAR(d.value(), 3.0, 1e-12);
+}
+
+TEST(DecayingMeanTest, RecentSamplesDominate) {
+  DecayingMean d(0.5);
+  for (int i = 0; i < 20; ++i) d.add(1.0);
+  for (int i = 0; i < 3; ++i) d.add(10.0);
+  EXPECT_GT(d.value(), 8.0);
+}
+
+TEST(DecayingMeanTest, WeightAccumulatesBoundedly) {
+  DecayingMean d(0.9);
+  for (int i = 0; i < 1000; ++i) d.add(1.0);
+  EXPECT_NEAR(d.weight(), 10.0, 0.01);  // geometric series limit 1/(1-0.9)
+}
+
+TEST(PercentileTest, RankOfBestIsHigh) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_NEAR(percentile_rank(xs, 10.0), 95.0, 1e-9);
+  EXPECT_NEAR(percentile_rank(xs, 1.0), 5.0, 1e-9);
+  EXPECT_NEAR(percentile_rank(xs, 5.5), 50.0, 1e-9);
+}
+
+TEST(PercentileTest, TiesShareMidRank) {
+  std::vector<double> xs = {1, 2, 2, 2, 3};
+  EXPECT_NEAR(percentile_rank(xs, 2.0), (1.0 + 1.5) / 5.0 * 100.0, 1e-9);
+}
+
+TEST(PercentileTest, ValueInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_NEAR(percentile_value(xs, 0.0), 10.0, 1e-9);
+  EXPECT_NEAR(percentile_value(xs, 100.0), 40.0, 1e-9);
+  EXPECT_NEAR(percentile_value(xs, 50.0), 25.0, 1e-9);
+}
+
+TEST(PercentileTest, EmptyThrows) {
+  EXPECT_THROW(percentile_rank({}, 1.0), ContractError);
+  EXPECT_THROW(percentile_value({}, 50.0), ContractError);
+}
+
+TEST(StudentTTest, KnownValues) {
+  EXPECT_NEAR(student_t_critical(0.90, 4), 2.132, 1e-9);
+  EXPECT_NEAR(student_t_critical(0.95, 9), 2.262, 1e-9);
+  EXPECT_NEAR(student_t_critical(0.90, 100), 1.645, 1e-9);
+}
+
+TEST(StudentTTest, NonTableConfidenceUsesNormalApprox) {
+  // 80% two-sided -> z ~= 1.2816 for large dof
+  EXPECT_NEAR(student_t_critical(0.80, 1000), 1.2816, 0.01);
+}
+
+// ------------------------------------------------------------------- units
+
+TEST(UnitsTest, LiteralsConvert) {
+  EXPECT_DOUBLE_EQ(1_KB, 1024.0);
+  EXPECT_DOUBLE_EQ(2_MB, 2.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(206_MHz, 206e6);
+  EXPECT_DOUBLE_EQ(2_Mbps, 250000.0);
+  EXPECT_DOUBLE_EQ(8_kbps, 1000.0);
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", Table::num(1.234, 2)});
+  t.add_separator();
+  t.add_row({"beta", Table::num_ci(2.0, 0.5, 1)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.0 ± 0.5"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(TableTest, CsvExport) {
+  Table t("ignored title");
+  t.set_header({"a", "b"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv,
+            "a,b\n"
+            "x,1.5\n"
+            "\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TableTest, CsvWithoutHeader) {
+  Table t;
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "1,2\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace spectra::util
