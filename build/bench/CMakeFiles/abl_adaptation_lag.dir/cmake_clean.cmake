@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adaptation_lag.dir/abl_adaptation_lag.cpp.o"
+  "CMakeFiles/abl_adaptation_lag.dir/abl_adaptation_lag.cpp.o.d"
+  "abl_adaptation_lag"
+  "abl_adaptation_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptation_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_crossover.dir/abl_crossover.cpp.o"
+  "CMakeFiles/abl_crossover.dir/abl_crossover.cpp.o.d"
+  "abl_crossover"
+  "abl_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_data_specific.dir/abl_data_specific.cpp.o"
+  "CMakeFiles/abl_data_specific.dir/abl_data_specific.cpp.o.d"
+  "abl_data_specific"
+  "abl_data_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_data_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_energy_weight.cpp" "bench/CMakeFiles/abl_energy_weight.dir/abl_energy_weight.cpp.o" "gcc" "bench/CMakeFiles/abl_energy_weight.dir/abl_energy_weight.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/spectra_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/spectra_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/spectra_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spectra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/spectra_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/spectra_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/spectra_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/spectra_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/spectra_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spectra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/spectra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spectra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spectra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_energy_weight.dir/abl_energy_weight.cpp.o"
+  "CMakeFiles/abl_energy_weight.dir/abl_energy_weight.cpp.o.d"
+  "abl_energy_weight"
+  "abl_energy_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_energy_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_input_params.dir/abl_input_params.cpp.o"
+  "CMakeFiles/abl_input_params.dir/abl_input_params.cpp.o.d"
+  "abl_input_params"
+  "abl_input_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_input_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

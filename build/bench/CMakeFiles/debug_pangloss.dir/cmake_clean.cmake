@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_pangloss.dir/debug_pangloss.cpp.o"
+  "CMakeFiles/debug_pangloss.dir/debug_pangloss.cpp.o.d"
+  "debug_pangloss"
+  "debug_pangloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_pangloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_predictions.dir/debug_predictions.cpp.o"
+  "CMakeFiles/debug_predictions.dir/debug_predictions.cpp.o.d"
+  "debug_predictions"
+  "debug_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

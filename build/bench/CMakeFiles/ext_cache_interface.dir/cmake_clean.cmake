@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_interface.dir/ext_cache_interface.cpp.o"
+  "CMakeFiles/ext_cache_interface.dir/ext_cache_interface.cpp.o.d"
+  "ext_cache_interface"
+  "ext_cache_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_speech_time.dir/fig03_speech_time.cpp.o"
+  "CMakeFiles/fig03_speech_time.dir/fig03_speech_time.cpp.o.d"
+  "fig03_speech_time"
+  "fig03_speech_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_speech_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_speech_energy.dir/fig04_speech_energy.cpp.o"
+  "CMakeFiles/fig04_speech_energy.dir/fig04_speech_energy.cpp.o.d"
+  "fig04_speech_energy"
+  "fig04_speech_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_speech_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

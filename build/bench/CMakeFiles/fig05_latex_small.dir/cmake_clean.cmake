@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_latex_small.dir/fig05_latex_small.cpp.o"
+  "CMakeFiles/fig05_latex_small.dir/fig05_latex_small.cpp.o.d"
+  "fig05_latex_small"
+  "fig05_latex_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_latex_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_latex_large.dir/fig06_latex_large.cpp.o"
+  "CMakeFiles/fig06_latex_large.dir/fig06_latex_large.cpp.o.d"
+  "fig06_latex_large"
+  "fig06_latex_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_latex_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

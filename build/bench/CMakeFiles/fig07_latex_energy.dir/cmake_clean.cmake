@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latex_energy.dir/fig07_latex_energy.cpp.o"
+  "CMakeFiles/fig07_latex_energy.dir/fig07_latex_energy.cpp.o.d"
+  "fig07_latex_energy"
+  "fig07_latex_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latex_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

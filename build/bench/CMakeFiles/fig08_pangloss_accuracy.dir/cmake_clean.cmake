@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pangloss_accuracy.dir/fig08_pangloss_accuracy.cpp.o"
+  "CMakeFiles/fig08_pangloss_accuracy.dir/fig08_pangloss_accuracy.cpp.o.d"
+  "fig08_pangloss_accuracy"
+  "fig08_pangloss_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pangloss_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

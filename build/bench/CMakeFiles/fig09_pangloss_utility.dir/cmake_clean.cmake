@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pangloss_utility.dir/fig09_pangloss_utility.cpp.o"
+  "CMakeFiles/fig09_pangloss_utility.dir/fig09_pangloss_utility.cpp.o.d"
+  "fig09_pangloss_utility"
+  "fig09_pangloss_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pangloss_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery.dir/discovery.cpp.o"
+  "CMakeFiles/discovery.dir/discovery.cpp.o.d"
+  "discovery"
+  "discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_compile.dir/doc_compile.cpp.o"
+  "CMakeFiles/doc_compile.dir/doc_compile.cpp.o.d"
+  "doc_compile"
+  "doc_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming.dir/roaming.cpp.o"
+  "CMakeFiles/roaming.dir/roaming.cpp.o.d"
+  "roaming"
+  "roaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_assistant.dir/speech_assistant.cpp.o"
+  "CMakeFiles/speech_assistant.dir/speech_assistant.cpp.o.d"
+  "speech_assistant"
+  "speech_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator.dir/translator.cpp.o"
+  "CMakeFiles/translator.dir/translator.cpp.o.d"
+  "translator"
+  "translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("hw")
+subdirs("net")
+subdirs("rpc")
+subdirs("fs")
+subdirs("monitor")
+subdirs("predict")
+subdirs("solver")
+subdirs("core")
+subdirs("apps")
+subdirs("scenario")
+subdirs("baseline")
+subdirs("cli")

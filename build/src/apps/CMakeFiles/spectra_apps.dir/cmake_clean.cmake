@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_apps.dir/janus.cpp.o"
+  "CMakeFiles/spectra_apps.dir/janus.cpp.o.d"
+  "CMakeFiles/spectra_apps.dir/latex.cpp.o"
+  "CMakeFiles/spectra_apps.dir/latex.cpp.o.d"
+  "CMakeFiles/spectra_apps.dir/pangloss.cpp.o"
+  "CMakeFiles/spectra_apps.dir/pangloss.cpp.o.d"
+  "libspectra_apps.a"
+  "libspectra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_baseline.dir/policies.cpp.o"
+  "CMakeFiles/spectra_baseline.dir/policies.cpp.o.d"
+  "libspectra_baseline.a"
+  "libspectra_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

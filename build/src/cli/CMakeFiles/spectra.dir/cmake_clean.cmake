@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra.dir/main.cpp.o"
+  "CMakeFiles/spectra.dir/main.cpp.o.d"
+  "spectra"
+  "spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

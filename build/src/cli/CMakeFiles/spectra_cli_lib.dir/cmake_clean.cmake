@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_cli_lib.dir/args.cpp.o"
+  "CMakeFiles/spectra_cli_lib.dir/args.cpp.o.d"
+  "libspectra_cli_lib.a"
+  "libspectra_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_core.dir/client.cpp.o"
+  "CMakeFiles/spectra_core.dir/client.cpp.o.d"
+  "CMakeFiles/spectra_core.dir/consistency.cpp.o"
+  "CMakeFiles/spectra_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/spectra_core.dir/discovery.cpp.o"
+  "CMakeFiles/spectra_core.dir/discovery.cpp.o.d"
+  "CMakeFiles/spectra_core.dir/server.cpp.o"
+  "CMakeFiles/spectra_core.dir/server.cpp.o.d"
+  "CMakeFiles/spectra_core.dir/server_db.cpp.o"
+  "CMakeFiles/spectra_core.dir/server_db.cpp.o.d"
+  "libspectra_core.a"
+  "libspectra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

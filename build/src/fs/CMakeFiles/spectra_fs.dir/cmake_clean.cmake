@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_fs.dir/coda.cpp.o"
+  "CMakeFiles/spectra_fs.dir/coda.cpp.o.d"
+  "libspectra_fs.a"
+  "libspectra_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

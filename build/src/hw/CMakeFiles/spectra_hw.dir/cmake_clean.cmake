@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_hw.dir/energy.cpp.o"
+  "CMakeFiles/spectra_hw.dir/energy.cpp.o.d"
+  "CMakeFiles/spectra_hw.dir/machine.cpp.o"
+  "CMakeFiles/spectra_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/spectra_hw.dir/parallel.cpp.o"
+  "CMakeFiles/spectra_hw.dir/parallel.cpp.o.d"
+  "libspectra_hw.a"
+  "libspectra_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

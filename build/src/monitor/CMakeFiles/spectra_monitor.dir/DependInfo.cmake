@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/battery_monitor.cpp" "src/monitor/CMakeFiles/spectra_monitor.dir/battery_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/spectra_monitor.dir/battery_monitor.cpp.o.d"
+  "/root/repo/src/monitor/cache_monitor.cpp" "src/monitor/CMakeFiles/spectra_monitor.dir/cache_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/spectra_monitor.dir/cache_monitor.cpp.o.d"
+  "/root/repo/src/monitor/cpu_monitor.cpp" "src/monitor/CMakeFiles/spectra_monitor.dir/cpu_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/spectra_monitor.dir/cpu_monitor.cpp.o.d"
+  "/root/repo/src/monitor/monitor.cpp" "src/monitor/CMakeFiles/spectra_monitor.dir/monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/spectra_monitor.dir/monitor.cpp.o.d"
+  "/root/repo/src/monitor/network_monitor.cpp" "src/monitor/CMakeFiles/spectra_monitor.dir/network_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/spectra_monitor.dir/network_monitor.cpp.o.d"
+  "/root/repo/src/monitor/remote_proxy.cpp" "src/monitor/CMakeFiles/spectra_monitor.dir/remote_proxy.cpp.o" "gcc" "src/monitor/CMakeFiles/spectra_monitor.dir/remote_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/spectra_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/spectra_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spectra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/spectra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spectra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spectra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_monitor.dir/battery_monitor.cpp.o"
+  "CMakeFiles/spectra_monitor.dir/battery_monitor.cpp.o.d"
+  "CMakeFiles/spectra_monitor.dir/cache_monitor.cpp.o"
+  "CMakeFiles/spectra_monitor.dir/cache_monitor.cpp.o.d"
+  "CMakeFiles/spectra_monitor.dir/cpu_monitor.cpp.o"
+  "CMakeFiles/spectra_monitor.dir/cpu_monitor.cpp.o.d"
+  "CMakeFiles/spectra_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/spectra_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/spectra_monitor.dir/network_monitor.cpp.o"
+  "CMakeFiles/spectra_monitor.dir/network_monitor.cpp.o.d"
+  "CMakeFiles/spectra_monitor.dir/remote_proxy.cpp.o"
+  "CMakeFiles/spectra_monitor.dir/remote_proxy.cpp.o.d"
+  "libspectra_monitor.a"
+  "libspectra_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

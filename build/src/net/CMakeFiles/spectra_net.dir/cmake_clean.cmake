@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_net.dir/network.cpp.o"
+  "CMakeFiles/spectra_net.dir/network.cpp.o.d"
+  "libspectra_net.a"
+  "libspectra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

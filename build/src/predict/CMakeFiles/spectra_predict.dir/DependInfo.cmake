@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/features.cpp" "src/predict/CMakeFiles/spectra_predict.dir/features.cpp.o" "gcc" "src/predict/CMakeFiles/spectra_predict.dir/features.cpp.o.d"
+  "/root/repo/src/predict/file_predictor.cpp" "src/predict/CMakeFiles/spectra_predict.dir/file_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/spectra_predict.dir/file_predictor.cpp.o.d"
+  "/root/repo/src/predict/linear.cpp" "src/predict/CMakeFiles/spectra_predict.dir/linear.cpp.o" "gcc" "src/predict/CMakeFiles/spectra_predict.dir/linear.cpp.o.d"
+  "/root/repo/src/predict/numeric.cpp" "src/predict/CMakeFiles/spectra_predict.dir/numeric.cpp.o" "gcc" "src/predict/CMakeFiles/spectra_predict.dir/numeric.cpp.o.d"
+  "/root/repo/src/predict/operation_model.cpp" "src/predict/CMakeFiles/spectra_predict.dir/operation_model.cpp.o" "gcc" "src/predict/CMakeFiles/spectra_predict.dir/operation_model.cpp.o.d"
+  "/root/repo/src/predict/usage_log.cpp" "src/predict/CMakeFiles/spectra_predict.dir/usage_log.cpp.o" "gcc" "src/predict/CMakeFiles/spectra_predict.dir/usage_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/spectra_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/spectra_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/spectra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/spectra_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spectra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/spectra_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spectra_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

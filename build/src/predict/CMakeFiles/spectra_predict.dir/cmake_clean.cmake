@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_predict.dir/features.cpp.o"
+  "CMakeFiles/spectra_predict.dir/features.cpp.o.d"
+  "CMakeFiles/spectra_predict.dir/file_predictor.cpp.o"
+  "CMakeFiles/spectra_predict.dir/file_predictor.cpp.o.d"
+  "CMakeFiles/spectra_predict.dir/linear.cpp.o"
+  "CMakeFiles/spectra_predict.dir/linear.cpp.o.d"
+  "CMakeFiles/spectra_predict.dir/numeric.cpp.o"
+  "CMakeFiles/spectra_predict.dir/numeric.cpp.o.d"
+  "CMakeFiles/spectra_predict.dir/operation_model.cpp.o"
+  "CMakeFiles/spectra_predict.dir/operation_model.cpp.o.d"
+  "CMakeFiles/spectra_predict.dir/usage_log.cpp.o"
+  "CMakeFiles/spectra_predict.dir/usage_log.cpp.o.d"
+  "libspectra_predict.a"
+  "libspectra_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_rpc.dir/rpc.cpp.o"
+  "CMakeFiles/spectra_rpc.dir/rpc.cpp.o.d"
+  "libspectra_rpc.a"
+  "libspectra_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/spectra_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/spectra_scenario.dir/scenarios.cpp.o"
+  "CMakeFiles/spectra_scenario.dir/scenarios.cpp.o.d"
+  "CMakeFiles/spectra_scenario.dir/world.cpp.o"
+  "CMakeFiles/spectra_scenario.dir/world.cpp.o.d"
+  "libspectra_scenario.a"
+  "libspectra_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

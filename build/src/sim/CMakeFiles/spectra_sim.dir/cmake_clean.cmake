@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_sim.dir/engine.cpp.o"
+  "CMakeFiles/spectra_sim.dir/engine.cpp.o.d"
+  "libspectra_sim.a"
+  "libspectra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

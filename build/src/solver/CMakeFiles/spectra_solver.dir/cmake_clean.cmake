@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_solver.dir/estimator.cpp.o"
+  "CMakeFiles/spectra_solver.dir/estimator.cpp.o.d"
+  "CMakeFiles/spectra_solver.dir/solver.cpp.o"
+  "CMakeFiles/spectra_solver.dir/solver.cpp.o.d"
+  "CMakeFiles/spectra_solver.dir/types.cpp.o"
+  "CMakeFiles/spectra_solver.dir/types.cpp.o.d"
+  "CMakeFiles/spectra_solver.dir/utility.cpp.o"
+  "CMakeFiles/spectra_solver.dir/utility.cpp.o.d"
+  "libspectra_solver.a"
+  "libspectra_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

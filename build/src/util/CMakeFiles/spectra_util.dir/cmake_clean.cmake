@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_util.dir/assert.cpp.o"
+  "CMakeFiles/spectra_util.dir/assert.cpp.o.d"
+  "CMakeFiles/spectra_util.dir/log.cpp.o"
+  "CMakeFiles/spectra_util.dir/log.cpp.o.d"
+  "CMakeFiles/spectra_util.dir/rng.cpp.o"
+  "CMakeFiles/spectra_util.dir/rng.cpp.o.d"
+  "CMakeFiles/spectra_util.dir/stats.cpp.o"
+  "CMakeFiles/spectra_util.dir/stats.cpp.o.d"
+  "CMakeFiles/spectra_util.dir/table.cpp.o"
+  "CMakeFiles/spectra_util.dir/table.cpp.o.d"
+  "libspectra_util.a"
+  "libspectra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspectra_util.a"
+)
