@@ -16,6 +16,7 @@
 #include <map>
 
 #include "cli/args.h"
+#include "fault/fault_plan.h"
 #include "scenario/experiment.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -33,14 +34,21 @@ int usage() {
 
 usage:
   spectra speech   [--scenario=S] [--utterance=SECS] [--trials=N] [--seed=N]
+                   [--fault-plan=FILE]
   spectra latex    [--scenario=S] [--doc=small|large] [--trials=N] [--seed=N]
+                   [--fault-plan=FILE]
   spectra pangloss [--scenario=S] [--words=N] [--trials=N] [--seed=N]
+                   [--fault-plan=FILE]
   spectra overhead [--servers=N] [--runs=N]
   spectra explain (speech|latex|pangloss) [--scenario=S] [--utterance=SECS]
                   [--doc=D] [--words=N] [--seed=N]
+  spectra faults   --plan=FILE   (validate a fault plan, print canonical form)
   spectra scenarios
 
 flags: --verbose (component logs; SPECTRA_LOG=debug for more)
+fault plans (--fault-plan): text files of scheduled and probabilistic fault
+  events (link partitions/flaps, server crashes, latency spikes, battery
+  cliffs) armed after training; see DESIGN.md "Fault injection".
 scenarios:
   speech:   baseline energy network cpu file-cache
   latex:    baseline file-cache reintegrate energy
@@ -78,6 +86,12 @@ PanglossScenario pangloss_scenario(const Args& args) {
       args.get("scenario", "baseline"),
       {PanglossScenario::kBaseline, PanglossScenario::kFileCache,
        PanglossScenario::kCpu});
+}
+
+std::optional<fault::FaultPlan> fault_plan_arg(const Args& args) {
+  const std::string path = args.get("fault-plan", "");
+  if (path.empty()) return std::nullopt;
+  return fault::FaultPlan::load(path);
 }
 
 // Generic scenario table: measure every alternative over N trials, then let
@@ -160,6 +174,7 @@ int cmd_speech(const Args& args) {
         cfg.scenario = sc;
         cfg.seed = seed;
         cfg.test_utterance_s = args.get_double("utterance", 2.0);
+        cfg.fault_plan = fault_plan_arg(args);
         return SpeechExperiment(cfg);
       });
   return 0;
@@ -179,6 +194,7 @@ int cmd_latex(const Args& args) {
         cfg.scenario = sc;
         cfg.doc = doc;
         cfg.seed = seed;
+        cfg.fault_plan = fault_plan_arg(args);
         return LatexExperiment(cfg);
       });
   return 0;
@@ -198,6 +214,7 @@ int cmd_pangloss(const Args& args) {
     cfg.scenario = sc;
     cfg.seed = seed + static_cast<std::uint64_t>(t) * 17;
     cfg.test_words = words;
+    cfg.fault_plan = fault_plan_arg(args);
     PanglossExperiment exp(cfg);
     std::vector<double> utilities;
     double best = 0.0;
@@ -313,6 +330,22 @@ int cmd_explain(const Args& args) {
   return 0;
 }
 
+int cmd_faults(const Args& args) {
+  const std::string path = args.get("plan", args.get("fault-plan", ""));
+  SPECTRA_REQUIRE(!path.empty(), "faults needs --plan=FILE");
+  const auto plan = fault::FaultPlan::load(path);
+  util::Table table("Fault plan: " + path);
+  table.set_header({"property", "value"});
+  table.add_row({"seed", std::to_string(plan.seed)});
+  table.add_row({"horizon (s)", util::Table::num(plan.horizon, 1)});
+  table.add_row({"scheduled events", std::to_string(plan.scheduled.size())});
+  table.add_row({"probabilistic faults",
+                 std::to_string(plan.probabilistic.size())});
+  std::cout << table.to_string();
+  std::cout << "\ncanonical form:\n" << plan.to_string();
+  return 0;
+}
+
 int cmd_scenarios() {
   util::Table table("Scenarios (from the paper's evaluation, §4)");
   table.set_header({"application", "scenario", "varies"});
@@ -345,6 +378,7 @@ int run(int argc, const char* const* argv) {
   if (cmd == "pangloss") return cmd_pangloss(args);
   if (cmd == "overhead") return cmd_overhead(args);
   if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "faults") return cmd_faults(args);
   if (cmd == "scenarios") return cmd_scenarios();
   std::cerr << "unknown command: " << cmd << "\n\n";
   usage();

@@ -303,13 +303,17 @@ OperationChoice SpectraClient::choose(
 
 void SpectraClient::start_execution(
     RegisteredOp& op, const std::map<std::string, double>& params,
-    const std::string& data_tag, OperationChoice choice) {
+    const std::string& data_tag, OperationChoice choice,
+    bool allow_fallback) {
   SPECTRA_REQUIRE(choice.ok, "cannot start an operation without a choice");
   ActiveOp active;
   active.name = op.desc.name;
   active.features =
       make_features(op.desc, choice.alternative, params, data_tag);
   active.choice = choice;
+  active.params = params;
+  active.data_tag = data_tag;
+  active.allow_fallback = allow_fallback;
 
   monitors_.start_op();
   server_db_.set_suppressed(true);
@@ -320,13 +324,43 @@ void SpectraClient::start_execution(
   // part of the operation's execution, exactly as in the paper's bars.
   const bool remote = op.desc.plans[choice.alternative.plan].uses_remote;
   if (remote && coda_.has_dirty_files()) {
-    if (op.model.trained()) {
-      const auto demand = op.model.predict(active.features);
-      active.choice.reintegration_time =
-          consistency_.ensure_consistency(demand.files);
-    } else {
-      // No access predictions yet: be conservative, push everything.
-      active.choice.reintegration_time = coda_.reintegrate_all();
+    try {
+      if (op.model.trained()) {
+        const auto demand = op.model.predict(active.features);
+        active.choice.reintegration_time =
+            consistency_.ensure_consistency(demand.files);
+      } else {
+        // No access predictions yet: be conservative, push everything.
+        active.choice.reintegration_time = coda_.reintegrate_all();
+      }
+    } catch (const util::ContractError& e) {
+      // Reintegration failed (file server unreachable or partitioned
+      // mid-push). Dirty files stay buffered; a model-driven operation
+      // degrades to a local plan, a forced run propagates the failure.
+      if (!allow_fallback) {
+        server_db_.set_suppressed(false);
+        monitor::OperationUsage discard;
+        monitors_.stop_op(discard);
+        throw;
+      }
+      int local_plan = -1;
+      for (std::size_t i = 0; i < op.desc.plans.size(); ++i) {
+        if (!op.desc.plans[i].uses_remote) {
+          local_plan = static_cast<int>(i);
+          break;
+        }
+      }
+      SPECTRA_ENSURE(local_plan >= 0,
+                     "reintegration failed and no local plan exists for " +
+                         op.desc.name);
+      SPECTRA_LOG_WARN("client")
+          << op.desc.name << ": reintegration failed (" << e.what()
+          << "); degrading to local plan " << local_plan;
+      active.choice.degraded = true;
+      active.choice.alternative.plan = local_plan;
+      active.choice.alternative.server = -1;
+      active.features = make_features(op.desc, active.choice.alternative,
+                                      params, data_tag);
     }
   }
 
@@ -339,7 +373,9 @@ OperationChoice SpectraClient::begin_fidelity_op(
   SPECTRA_REQUIRE(!active_, "an operation is already in progress");
   RegisteredOp& op = registered(op_name);
   OperationChoice choice = choose(op, params, data_tag);
-  if (choice.ok) start_execution(op, params, data_tag, choice);
+  if (choice.ok) {
+    start_execution(op, params, data_tag, choice, /*allow_fallback=*/true);
+  }
   return active_ ? active_->choice : choice;
 }
 
@@ -356,7 +392,9 @@ OperationChoice SpectraClient::begin_fidelity_op_forced(
   choice.ok = true;
   choice.from_model = false;
   choice.alternative = alternative;
-  start_execution(op, params, data_tag, choice);
+  // Forced runs measure a specific alternative: no graceful degradation,
+  // the requested alternative either runs or the failure propagates.
+  start_execution(op, params, data_tag, choice, /*allow_fallback=*/false);
   return active_->choice;
 }
 
@@ -374,16 +412,86 @@ rpc::Response SpectraClient::do_remote_op(const std::string& service,
   const MachineId server_id = active_->choice.alternative.server;
   SPECTRA_REQUIRE(server_id >= 0,
                   "do_remote_op but the chosen plan has no server");
+  if (server_id == id_) {
+    // A prior degradation rerouted this operation to the co-located
+    // server; later RPCs of the same operation follow it there.
+    return endpoint_.call(local_server_->endpoint(), service, request);
+  }
   SpectraServer* server = server_db_.server(server_id);
   SPECTRA_REQUIRE(server != nullptr, "chosen server is not in the database");
   rpc::CallStats stats;
-  rpc::Response resp =
-      endpoint_.call(server->endpoint(), service, request, &stats);
+  rpc::Response resp = endpoint_.call(server->endpoint(), service, request,
+                                      &stats, config_.remote_retry);
   network_monitor_->note_call(stats);
+  active_->usage.rpc_failures += stats.transport_failures;
   if (resp.ok) {
     monitors_.add_usage(server_id, resp.usage, active_->usage);
+    return resp;
   }
-  return resp;
+  if (!rpc::retryable(resp.error_kind) || !active_->allow_fallback) {
+    if (rpc::retryable(resp.error_kind)) {
+      server_db_.mark_unavailable(server_id);
+    }
+    return resp;
+  }
+  return degrade_remote_op(service, request, std::move(resp));
+}
+
+rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
+                                               const rpc::Request& request,
+                                               rpc::Response failed) {
+  const MachineId failed_id = active_->choice.alternative.server;
+  server_db_.mark_unavailable(failed_id);
+  RegisteredOp& op = registered(active_->name);
+
+  // The alternative is rewritten to what actually ran and the features
+  // recomputed from it, so the models learn from reality, not from the
+  // solver's thwarted intent.
+  auto adopt = [&](MachineId new_server) {
+    active_->choice.degraded = true;
+    active_->choice.alternative.server = new_server;
+    active_->features = make_features(op.desc, active_->choice.alternative,
+                                      active_->params, active_->data_tag);
+  };
+
+  for (MachineId alt_id : server_db_.available_servers()) {
+    if (alt_id == failed_id) continue;
+    SpectraServer* alt = server_db_.server(alt_id);
+    if (alt == nullptr || !alt->endpoint().has_handler(service)) continue;
+    rpc::CallStats stats;
+    rpc::Response resp = endpoint_.call(alt->endpoint(), service, request,
+                                        &stats, config_.remote_retry);
+    network_monitor_->note_call(stats);
+    active_->usage.rpc_failures += stats.transport_failures;
+    if (resp.ok) {
+      SPECTRA_LOG_WARN("client")
+          << active_->name << ": server " << failed_id << " failed ("
+          << rpc::to_string(failed.error_kind) << "); degraded to server "
+          << alt_id;
+      adopt(alt_id);
+      monitors_.add_usage(alt_id, resp.usage, active_->usage);
+      return resp;
+    }
+    if (!rpc::retryable(resp.error_kind)) return resp;
+    server_db_.mark_unavailable(alt_id);
+  }
+
+  // Last resort: the co-located server, reachable regardless of network
+  // state (the paper's disconnected-operation guarantee). Its CPU and file
+  // usage is observed directly by the local monitors.
+  if (local_server_->endpoint().has_handler(service)) {
+    rpc::Response resp =
+        endpoint_.call(local_server_->endpoint(), service, request);
+    if (resp.ok) {
+      SPECTRA_LOG_WARN("client")
+          << active_->name << ": server " << failed_id << " failed ("
+          << rpc::to_string(failed.error_kind)
+          << "); degraded to local execution";
+      adopt(id_);
+    }
+    return resp;
+  }
+  return failed;
 }
 
 monitor::OperationUsage SpectraClient::end_fidelity_op() {

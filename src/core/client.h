@@ -69,6 +69,16 @@ struct SpectraClientConfig {
   bool incremental_cache_interface = false;
   double reintegration_threshold = 0.02;
 
+  // Retry policy for remote execution RPCs (do_remote_op): transport
+  // failures are retried with exponential backoff before graceful
+  // degradation kicks in. Status polls and local calls keep the rpc
+  // layer's fail-fast default, so a crashed server costs one poll period,
+  // not a retry storm.
+  rpc::RetryPolicy remote_retry{/*max_attempts=*/3, /*timeout=*/60.0,
+                                /*backoff_initial=*/0.1,
+                                /*backoff_multiplier=*/2.0,
+                                /*backoff_max=*/5.0, /*jitter=*/0.1};
+
   predict::OperationModelConfig model;
   solver::HeuristicSolverConfig solver;
   monitor::NetworkMonitorConfig network;
@@ -148,6 +158,12 @@ struct OperationChoice {
   // triggered for consistency.
   util::Seconds virtual_decision_time = 0.0;
   util::Seconds reintegration_time = 0.0;
+
+  // True when the original choice could not be carried out (partition,
+  // server crash, failed reintegration) and the client fell back to
+  // another server or to local execution. `alternative` then describes
+  // what actually ran, not what the solver picked.
+  bool degraded = false;
 };
 
 class SpectraClient {
@@ -233,6 +249,15 @@ class SpectraClient {
     OperationChoice choice;
     monitor::OperationUsage usage;
     util::Seconds started_at = 0.0;
+    // Kept so features can be recomputed if the operation degrades to a
+    // different alternative mid-flight (the model must learn from what
+    // actually ran).
+    std::map<std::string, double> params;
+    std::string data_tag;
+    // Model-driven operations may fall back when their chosen alternative
+    // fails; forced (measurement-harness) runs must execute exactly the
+    // requested alternative or fail.
+    bool allow_fallback = false;
   };
 
   RegisteredOp& registered(const std::string& op);
@@ -246,7 +271,14 @@ class SpectraClient {
                          const std::string& data_tag);
   void start_execution(RegisteredOp& op,
                        const std::map<std::string, double>& params,
-                       const std::string& data_tag, OperationChoice choice);
+                       const std::string& data_tag, OperationChoice choice,
+                       bool allow_fallback);
+  // Degradation path for do_remote_op: try the other available servers,
+  // then the co-located server. Returns the first successful response, or
+  // the original failure if nothing worked.
+  rpc::Response degrade_remote_op(const std::string& service,
+                                  const rpc::Request& request,
+                                  rpc::Response failed);
 
   MachineId id_;
   sim::Engine& engine_;

@@ -45,6 +45,11 @@ bool ServerDatabase::poll(MachineId id) {
   return true;
 }
 
+void ServerDatabase::mark_unavailable(MachineId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.available = false;
+}
+
 void ServerDatabase::poll_all() {
   for (auto& [id, entry] : entries_) {
     (void)entry;

@@ -35,6 +35,11 @@ class ServerDatabase {
   bool poll(MachineId id);
   void poll_all();
 
+  // Feedback from the execution path: an RPC to this server just exhausted
+  // its retries, so stop offering it until a poll succeeds again. Unknown
+  // ids are ignored (the failure may concern a machine outside the db).
+  void mark_unavailable(MachineId id);
+
   // While suppressed, periodic polls are skipped (the client defers
   // background status traffic while a foreground operation executes).
   void set_suppressed(bool suppressed) { suppressed_ = suppressed; }

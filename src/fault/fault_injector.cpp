@@ -1,0 +1,174 @@
+#include "fault/fault_injector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace spectra::fault {
+
+FaultInjector::FaultInjector(sim::Engine& engine, net::Network& network)
+    : engine_(engine), network_(network) {}
+
+void FaultInjector::attach_endpoint(MachineId id,
+                                    rpc::RpcEndpoint& endpoint) {
+  endpoints_[id] = &endpoint;
+}
+
+void FaultInjector::attach_machine(MachineId id, hw::Machine& machine) {
+  machines_[id] = &machine;
+}
+
+void FaultInjector::schedule(Seconds at_offset, const FaultEvent& e) {
+  SPECTRA_REQUIRE(at_offset >= 0.0, "fault offset must be >= 0");
+  ++armed_;
+  engine_.schedule_after(at_offset, [this, e] { apply(e); });
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  plan.validate();
+  for (const auto& e : plan.scheduled) {
+    if (e.kind == FaultKind::kLinkFlap) {
+      // Expand into alternating down/up toggles, starting with down; a flap
+      // with an even count leaves the link as it found it.
+      for (int i = 0; i < e.count; ++i) {
+        FaultEvent toggle = e;
+        toggle.kind = (i % 2 == 0) ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+        toggle.count = 0;
+        toggle.period = 0.0;
+        toggle.duration = 0.0;
+        schedule(e.at + e.period * i, toggle);
+      }
+      continue;
+    }
+    schedule(e.at, e);
+    if (e.duration > 0.0 && !is_healing(e.kind) &&
+        e.kind != FaultKind::kBatteryCliff) {
+      FaultEvent heal = e;
+      heal.kind = healing_kind(e.kind);
+      heal.duration = 0.0;
+      schedule(e.at + e.duration, heal);
+    }
+  }
+  // Probabilistic faults: expand Poisson arrivals over [0, horizon) from the
+  // plan's seed, in declaration order, so the concrete schedule depends only
+  // on the plan.
+  if (!plan.probabilistic.empty()) {
+    util::Rng rng(plan.seed ^ 0xfa017fa017ULL);
+    for (const auto& p : plan.probabilistic) {
+      Seconds t = 0.0;
+      while (true) {
+        t += -std::log(1.0 - rng.uniform()) / p.rate_per_s;
+        if (t >= plan.horizon) break;
+        FaultEvent e;
+        e.at = t;
+        e.kind = p.kind;
+        e.a = p.a;
+        e.b = p.b;
+        e.magnitude = p.magnitude;
+        schedule(t, e);
+        if (p.duration > 0.0 && p.kind != FaultKind::kBatteryCliff) {
+          FaultEvent heal = e;
+          heal.kind = healing_kind(p.kind);
+          schedule(t + p.duration, heal);
+        }
+      }
+    }
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp: {
+      SPECTRA_REQUIRE(network_.has_link(e.a, e.b),
+                      "fault plan names a link that does not exist");
+      network_.set_link_up(e.a, e.b, e.kind == FaultKind::kLinkUp);
+      break;
+    }
+    case FaultKind::kLatencySpike: {
+      SPECTRA_REQUIRE(network_.has_link(e.a, e.b),
+                      "fault plan names a link that does not exist");
+      const auto key = link_key(e.a, e.b);
+      const Seconds base = network_.link(e.a, e.b).latency;
+      saved_latency_.emplace(key, base);  // keep the oldest saved value
+      network_.set_link_latency(e.a, e.b,
+                                saved_latency_.at(key) * e.magnitude);
+      break;
+    }
+    case FaultKind::kLatencyRestore: {
+      const auto key = link_key(e.a, e.b);
+      auto it = saved_latency_.find(key);
+      if (it == saved_latency_.end()) break;  // spike already restored
+      network_.set_link_latency(e.a, e.b, it->second);
+      saved_latency_.erase(it);
+      break;
+    }
+    case FaultKind::kBandwidthDrop: {
+      SPECTRA_REQUIRE(network_.has_link(e.a, e.b),
+                      "fault plan names a link that does not exist");
+      const auto key = link_key(e.a, e.b);
+      const util::BytesPerSec base = network_.link(e.a, e.b).bandwidth;
+      saved_bandwidth_.emplace(key, base);
+      network_.set_link_bandwidth(e.a, e.b,
+                                  saved_bandwidth_.at(key) * e.magnitude);
+      break;
+    }
+    case FaultKind::kBandwidthRestore: {
+      const auto key = link_key(e.a, e.b);
+      auto it = saved_bandwidth_.find(key);
+      if (it == saved_bandwidth_.end()) break;
+      network_.set_link_bandwidth(e.a, e.b, it->second);
+      saved_bandwidth_.erase(it);
+      break;
+    }
+    case FaultKind::kServerCrash:
+    case FaultKind::kServerRestart: {
+      auto it = endpoints_.find(e.a);
+      SPECTRA_REQUIRE(it != endpoints_.end(),
+                      "fault plan crashes a server with no attached "
+                      "endpoint: machine " +
+                          std::to_string(e.a));
+      it->second->set_up(e.kind == FaultKind::kServerRestart);
+      break;
+    }
+    case FaultKind::kBatteryCliff: {
+      auto it = machines_.find(e.a);
+      SPECTRA_REQUIRE(it != machines_.end(),
+                      "fault plan names a machine with no attached "
+                      "battery target: machine " +
+                          std::to_string(e.a));
+      hw::Battery* battery = it->second->battery();
+      SPECTRA_REQUIRE(battery != nullptr,
+                      "battery_cliff on a machine without a battery");
+      battery->drain_to_fraction(e.magnitude);
+      break;
+    }
+    case FaultKind::kLinkFlap:
+      SPECTRA_REQUIRE(false, "link_flap must be expanded before apply");
+      break;
+  }
+  trace_.push_back(
+      AppliedFault{engine_.now(), e.kind, e.a, e.b, e.magnitude});
+  SPECTRA_LOG_INFO("fault") << "t=" << engine_.now() << " "
+                            << to_token(e.kind) << " machine " << e.a
+                            << (is_link_fault(e.kind)
+                                    ? "-" + std::to_string(e.b)
+                                    : std::string());
+}
+
+std::string FaultInjector::trace_string() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& f : trace_) {
+    os << f.at << ' ' << to_token(f.kind) << ' ' << f.a;
+    if (is_link_fault(f.kind)) os << ' ' << f.b;
+    if (f.magnitude != 0.0) os << " magnitude=" << f.magnitude;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spectra::fault

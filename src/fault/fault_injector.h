@@ -1,0 +1,81 @@
+// Fault injector: turns a FaultPlan into discrete-event engine events that
+// mutate the simulated world — links, RPC endpoints, batteries — while the
+// workload runs.
+//
+// All expansion (flap cycles, auto-heal events, Poisson arrivals of
+// probabilistic faults) happens at arm() time, driven solely by the plan's
+// seed, so the schedule of injected faults is a pure function of the plan:
+// two worlds armed with the same plan experience identical fault sequences
+// and a seeded faulty scenario replays bit-identically. Every applied fault
+// is appended to a trace that tests compare across runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "hw/machine.h"
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+
+namespace spectra::fault {
+
+// One fault as it actually hit the world.
+struct AppliedFault {
+  Seconds at = 0.0;  // absolute virtual time
+  FaultKind kind = FaultKind::kLinkDown;
+  MachineId a = -1;
+  MachineId b = -1;
+  double magnitude = 0.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Engine& engine, net::Network& network);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Wiring: servers eligible for crash/restart faults, machines eligible
+  // for battery faults. Targets must outlive the injector.
+  void attach_endpoint(MachineId id, rpc::RpcEndpoint& endpoint);
+  void attach_machine(MachineId id, hw::Machine& machine);
+
+  // Expand `plan` and schedule every occurrence on the engine. Event times
+  // are offsets from the current virtual time. May be called more than once;
+  // plans compose.
+  void arm(const FaultPlan& plan);
+
+  // Number of concrete fault occurrences scheduled so far (flap toggles,
+  // auto-heals, and probabilistic arrivals all count individually).
+  std::size_t armed_events() const { return armed_; }
+
+  // Faults applied so far, in application order.
+  const std::vector<AppliedFault>& trace() const { return trace_; }
+  // One line per applied fault; equal across replays of the same seed.
+  std::string trace_string() const;
+
+ private:
+  using LinkKey = std::pair<MachineId, MachineId>;
+  static LinkKey link_key(MachineId a, MachineId b) {
+    return a < b ? LinkKey{a, b} : LinkKey{b, a};
+  }
+
+  void schedule(Seconds at_offset, const FaultEvent& e);
+  void apply(const FaultEvent& e);
+
+  sim::Engine& engine_;
+  net::Network& network_;
+  std::map<MachineId, rpc::RpcEndpoint*> endpoints_;
+  std::map<MachineId, hw::Machine*> machines_;
+  // Pre-fault link parameters, captured at the first active spike/drop so
+  // overlapping faults restore to the true baseline.
+  std::map<LinkKey, util::Seconds> saved_latency_;
+  std::map<LinkKey, util::BytesPerSec> saved_bandwidth_;
+  std::vector<AppliedFault> trace_;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace spectra::fault

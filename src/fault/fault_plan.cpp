@@ -1,0 +1,318 @@
+#include "fault/fault_plan.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace spectra::fault {
+
+namespace {
+
+const std::map<std::string, FaultKind>& token_table() {
+  static const std::map<std::string, FaultKind> kTable = {
+      {"link_down", FaultKind::kLinkDown},
+      {"link_up", FaultKind::kLinkUp},
+      {"link_flap", FaultKind::kLinkFlap},
+      {"server_crash", FaultKind::kServerCrash},
+      {"server_restart", FaultKind::kServerRestart},
+      {"latency_spike", FaultKind::kLatencySpike},
+      {"latency_restore", FaultKind::kLatencyRestore},
+      {"bandwidth_drop", FaultKind::kBandwidthDrop},
+      {"bandwidth_restore", FaultKind::kBandwidthRestore},
+      {"battery_cliff", FaultKind::kBatteryCliff},
+  };
+  return kTable;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) out.push_back(t);
+  return out;
+}
+
+// Parse trailing "key=value" tokens into a map; returns the index of the
+// first such token.
+std::map<std::string, double> parse_kv(const std::vector<std::string>& tokens,
+                                       std::size_t from,
+                                       const std::string& line) {
+  std::map<std::string, double> kv;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    SPECTRA_REQUIRE(eq != std::string::npos && eq > 0,
+                    "malformed fault plan parameter '" + tokens[i] +
+                        "' in: " + line);
+    try {
+      kv[tokens[i].substr(0, eq)] = std::stod(tokens[i].substr(eq + 1));
+    } catch (const std::exception&) {
+      SPECTRA_REQUIRE(false, "non-numeric fault plan parameter '" +
+                                 tokens[i] + "' in: " + line);
+    }
+  }
+  return kv;
+}
+
+double take(std::map<std::string, double>& kv, const std::string& key,
+            double def) {
+  auto it = kv.find(key);
+  if (it == kv.end()) return def;
+  const double v = it->second;
+  kv.erase(it);
+  return v;
+}
+
+MachineId parse_id(const std::string& token, const std::string& line) {
+  try {
+    return static_cast<MachineId>(std::stol(token));
+  } catch (const std::exception&) {
+    SPECTRA_REQUIRE(false, "expected a machine id, got '" + token +
+                               "' in: " + line);
+    throw;  // unreachable
+  }
+}
+
+double parse_num(const std::string& token, const std::string& line) {
+  try {
+    return std::stod(token);
+  } catch (const std::exception&) {
+    SPECTRA_REQUIRE(false, "expected a number, got '" + token +
+                               "' in: " + line);
+    throw;  // unreachable
+  }
+}
+
+std::uint64_t parse_seed(const std::string& token, const std::string& line) {
+  try {
+    return static_cast<std::uint64_t>(std::stoull(token));
+  } catch (const std::exception&) {
+    SPECTRA_REQUIRE(false, "expected a seed, got '" + token +
+                               "' in: " + line);
+    throw;  // unreachable
+  }
+}
+
+std::string format_num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void append_machines(std::ostringstream& os, FaultKind kind, MachineId a,
+                     MachineId b) {
+  os << ' ' << a;
+  if (is_link_fault(kind)) os << ' ' << b;
+}
+
+}  // namespace
+
+std::string to_token(FaultKind kind) {
+  for (const auto& [token, k] : token_table()) {
+    if (k == kind) return token;
+  }
+  SPECTRA_REQUIRE(false, "unknown fault kind");
+  throw std::logic_error("unreachable");
+}
+
+FaultKind kind_from_token(const std::string& token) {
+  auto it = token_table().find(token);
+  SPECTRA_REQUIRE(it != token_table().end(),
+                  "unknown fault kind: " + token);
+  return it->second;
+}
+
+bool is_link_fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+    case FaultKind::kLinkFlap:
+    case FaultKind::kLatencySpike:
+    case FaultKind::kLatencyRestore:
+    case FaultKind::kBandwidthDrop:
+    case FaultKind::kBandwidthRestore:
+      return true;
+    case FaultKind::kServerCrash:
+    case FaultKind::kServerRestart:
+    case FaultKind::kBatteryCliff:
+      return false;
+  }
+  return false;
+}
+
+bool is_healing(FaultKind kind) {
+  return kind == FaultKind::kLinkUp || kind == FaultKind::kServerRestart ||
+         kind == FaultKind::kLatencyRestore ||
+         kind == FaultKind::kBandwidthRestore;
+}
+
+FaultKind healing_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return FaultKind::kLinkUp;
+    case FaultKind::kServerCrash:
+      return FaultKind::kServerRestart;
+    case FaultKind::kLatencySpike:
+      return FaultKind::kLatencyRestore;
+    case FaultKind::kBandwidthDrop:
+      return FaultKind::kBandwidthRestore;
+    default:
+      SPECTRA_REQUIRE(false,
+                      "fault kind has no healing counterpart: " +
+                          to_token(kind));
+      throw std::logic_error("unreachable");
+  }
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "# spectra fault plan\n";
+  os << "seed " << seed << '\n';
+  if (horizon > 0.0) os << "horizon " << format_num(horizon) << '\n';
+  for (const auto& e : scheduled) {
+    os << "at " << format_num(e.at) << ' ' << to_token(e.kind);
+    append_machines(os, e.kind, e.a, e.b);
+    if (e.magnitude != 0.0) os << " magnitude=" << format_num(e.magnitude);
+    if (e.duration != 0.0) os << " duration=" << format_num(e.duration);
+    if (e.count != 0) os << " count=" << e.count;
+    if (e.period != 0.0) os << " period=" << format_num(e.period);
+    os << '\n';
+  }
+  for (const auto& p : probabilistic) {
+    os << "prob " << to_token(p.kind);
+    append_machines(os, p.kind, p.a, p.b);
+    os << " rate=" << format_num(p.rate_per_s);
+    if (p.magnitude != 0.0) os << " magnitude=" << format_num(p.magnitude);
+    if (p.duration != 0.0) os << " duration=" << format_num(p.duration);
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head == "seed") {
+      SPECTRA_REQUIRE(tokens.size() == 2, "malformed seed line: " + line);
+      plan.seed = parse_seed(tokens[1], line);
+    } else if (head == "horizon") {
+      SPECTRA_REQUIRE(tokens.size() == 2, "malformed horizon line: " + line);
+      plan.horizon = parse_num(tokens[1], line);
+    } else if (head == "at") {
+      SPECTRA_REQUIRE(tokens.size() >= 4,
+                      "malformed scheduled fault: " + line);
+      FaultEvent e;
+      e.at = parse_num(tokens[1], line);
+      e.kind = kind_from_token(tokens[2]);
+      std::size_t i = 3;
+      e.a = parse_id(tokens[i++], line);
+      if (is_link_fault(e.kind)) {
+        SPECTRA_REQUIRE(tokens.size() > i,
+                        "link fault needs two machine ids: " + line);
+        e.b = parse_id(tokens[i++], line);
+      }
+      auto kv = parse_kv(tokens, i, line);
+      e.magnitude = take(kv, "magnitude", 0.0);
+      e.duration = take(kv, "duration", 0.0);
+      e.count = static_cast<int>(take(kv, "count", 0.0));
+      e.period = take(kv, "period", 0.0);
+      SPECTRA_REQUIRE(kv.empty(), "unknown fault plan parameter in: " + line);
+      plan.scheduled.push_back(e);
+    } else if (head == "prob") {
+      SPECTRA_REQUIRE(tokens.size() >= 3,
+                      "malformed probabilistic fault: " + line);
+      ProbabilisticFault p;
+      p.kind = kind_from_token(tokens[1]);
+      std::size_t i = 2;
+      p.a = parse_id(tokens[i++], line);
+      if (is_link_fault(p.kind)) {
+        SPECTRA_REQUIRE(tokens.size() > i,
+                        "link fault needs two machine ids: " + line);
+        p.b = parse_id(tokens[i++], line);
+      }
+      auto kv = parse_kv(tokens, i, line);
+      p.rate_per_s = take(kv, "rate", 0.0);
+      p.magnitude = take(kv, "magnitude", 0.0);
+      p.duration = take(kv, "duration", 0.0);
+      SPECTRA_REQUIRE(kv.empty(), "unknown fault plan parameter in: " + line);
+      plan.probabilistic.push_back(p);
+    } else {
+      SPECTRA_REQUIRE(false, "unknown fault plan directive: " + line);
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  SPECTRA_REQUIRE(in.good(), "cannot open fault plan: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+void FaultPlan::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  SPECTRA_REQUIRE(out.good(), "cannot open fault plan for writing: " + path);
+  out << to_string();
+  out.flush();
+  SPECTRA_REQUIRE(out.good(), "failed writing fault plan: " + path);
+}
+
+void FaultPlan::validate() const {
+  for (const auto& e : scheduled) {
+    SPECTRA_REQUIRE(e.at >= 0.0, "scheduled fault time must be >= 0");
+    SPECTRA_REQUIRE(e.a >= 0, "fault needs a machine id");
+    if (is_link_fault(e.kind)) {
+      SPECTRA_REQUIRE(e.b >= 0 && e.b != e.a,
+                      "link fault needs two distinct machine ids");
+    }
+    SPECTRA_REQUIRE(e.duration >= 0.0, "fault duration must be >= 0");
+    if (e.kind == FaultKind::kLinkFlap) {
+      SPECTRA_REQUIRE(e.count > 0 && e.period > 0.0,
+                      "link_flap needs count > 0 and period > 0");
+    }
+    if (e.kind == FaultKind::kLatencySpike) {
+      SPECTRA_REQUIRE(e.magnitude > 0.0,
+                      "latency_spike needs magnitude > 0");
+    }
+    if (e.kind == FaultKind::kBandwidthDrop) {
+      SPECTRA_REQUIRE(e.magnitude > 0.0 && e.magnitude <= 1.0,
+                      "bandwidth_drop needs magnitude in (0,1]");
+    }
+    if (e.kind == FaultKind::kBatteryCliff) {
+      SPECTRA_REQUIRE(e.magnitude >= 0.0 && e.magnitude <= 1.0,
+                      "battery_cliff needs magnitude in [0,1]");
+    }
+  }
+  for (const auto& p : probabilistic) {
+    SPECTRA_REQUIRE(!is_healing(p.kind),
+                    "probabilistic faults must be failure kinds; use "
+                    "duration= for healing");
+    SPECTRA_REQUIRE(p.kind != FaultKind::kLinkFlap,
+                    "probabilistic link_flap is not supported; use "
+                    "prob link_down with a short duration");
+    SPECTRA_REQUIRE(p.rate_per_s > 0.0,
+                    "probabilistic fault needs rate > 0");
+    SPECTRA_REQUIRE(p.a >= 0, "fault needs a machine id");
+    if (is_link_fault(p.kind)) {
+      SPECTRA_REQUIRE(p.b >= 0 && p.b != p.a,
+                      "link fault needs two distinct machine ids");
+    }
+    SPECTRA_REQUIRE(p.duration >= 0.0, "fault duration must be >= 0");
+  }
+  SPECTRA_REQUIRE(probabilistic.empty() || horizon > 0.0,
+                  "probabilistic faults need a positive horizon");
+}
+
+}  // namespace spectra::fault

@@ -1,0 +1,100 @@
+// Fault plans: scriptable, replayable descriptions of environment failure.
+//
+// A FaultPlan is a declarative list of fault events — link partitions and
+// flaps, server crashes and restarts, latency spikes, bandwidth collapses,
+// battery cliffs — that a FaultInjector turns into discrete-event engine
+// events. Plans come in two flavours that compose freely:
+//
+//   * scheduled events fire at a fixed offset from the moment the plan is
+//     armed ("at 10.5 link_down 0 1");
+//   * probabilistic events are Poisson arrival processes ("prob link_down
+//     0 1 rate=0.02 duration=3") expanded into concrete occurrences at arm
+//     time from the plan's own seed, so a seeded faulty run replays
+//     bit-identically regardless of what the workload does.
+//
+// Plans serialize to a line-oriented text format (comments with '#'), so
+// they can live next to experiment configurations and load via the CLI's
+// --fault-plan flag. parse(to_string()) is the identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "util/units.h"
+
+namespace spectra::fault {
+
+using hw::MachineId;
+using util::Seconds;
+
+enum class FaultKind {
+  kLinkDown,          // partition a link
+  kLinkUp,            // heal a link
+  kLinkFlap,          // alternate down/up `count` times every `period` s
+  kServerCrash,       // RPC endpoint stops answering (calls black-hole)
+  kServerRestart,     // crashed endpoint answers again
+  kLatencySpike,      // multiply link latency by `magnitude`
+  kLatencyRestore,    // undo an active latency spike
+  kBandwidthDrop,     // multiply link bandwidth by `magnitude` (in (0,1])
+  kBandwidthRestore,  // undo an active bandwidth drop
+  kBatteryCliff,      // remaining charge collapses to `magnitude` * capacity
+};
+
+// Token used in the text format ("link_down", "server_crash", ...).
+std::string to_token(FaultKind kind);
+FaultKind kind_from_token(const std::string& token);
+
+// Link faults address a machine pair; the rest address one machine.
+bool is_link_fault(FaultKind kind);
+// Kinds that undo an earlier fault (scheduled automatically via `duration`).
+bool is_healing(FaultKind kind);
+// The healing counterpart, for kinds that support auto-heal via `duration`.
+FaultKind healing_kind(FaultKind kind);
+
+struct FaultEvent {
+  Seconds at = 0.0;  // offset from arm time
+  FaultKind kind = FaultKind::kLinkDown;
+  MachineId a = -1;        // link endpoint / server / battery machine
+  MachineId b = -1;        // second link endpoint (link faults only)
+  double magnitude = 0.0;  // latency/bandwidth factor, battery fraction
+  Seconds duration = 0.0;  // auto-heal after this long (0 = permanent)
+  int count = 0;           // flap: number of down/up half-cycles
+  Seconds period = 0.0;    // flap: time between toggles
+};
+
+struct ProbabilisticFault {
+  FaultKind kind = FaultKind::kLinkDown;
+  MachineId a = -1;
+  MachineId b = -1;
+  double rate_per_s = 0.0;  // Poisson arrival rate over [0, horizon)
+  double magnitude = 0.0;
+  Seconds duration = 0.0;  // auto-heal delay per occurrence (0 = permanent)
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  // Probabilistic arrivals are drawn over [0, horizon) from `seed`; must be
+  // positive when `probabilistic` is non-empty.
+  Seconds horizon = 0.0;
+  std::vector<FaultEvent> scheduled;
+  std::vector<ProbabilisticFault> probabilistic;
+
+  bool empty() const { return scheduled.empty() && probabilistic.empty(); }
+
+  // Canonical text form; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+  static FaultPlan parse(const std::string& text);
+
+  // File persistence; throws util::ContractError on I/O or parse failure.
+  static FaultPlan load(const std::string& path);
+  void save(const std::string& path) const;
+
+  // Structural validation (ids present, magnitudes sane); throws
+  // util::ContractError with a line-level message on violation. parse()
+  // validates automatically.
+  void validate() const;
+};
+
+}  // namespace spectra::fault

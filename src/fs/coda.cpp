@@ -218,7 +218,10 @@ std::uint64_t CodaClient::read(const std::string& path) {
                     "file server unreachable for fetch of " + path);
     const Seconds t0 = machine_.engine().now();
     machine_.engine().advance(config_.per_file_overhead);
-    network_.transfer(server_.host(), me, srv_info.size);
+    const net::TransferResult tr =
+        network_.transfer(server_.host(), me, srv_info.size);
+    SPECTRA_ENSURE(tr.completed,
+                   "file server partitioned mid-fetch of " + path);
     const Seconds dt = machine_.engine().now() - t0;
     if (dt > 0.0 && srv_info.size > 0.0) {
       fetch_rate_.add(srv_info.size / dt);
@@ -282,8 +285,12 @@ Seconds CodaClient::reintegrate_volume(const std::string& volume) {
   for (const auto& p : to_push) {
     const auto& e = cache_.at(p);
     machine_.engine().advance(config_.per_file_overhead);
-    network_.transfer(me, server_.host(),
-                      e.info.size * config_.reintegration_overhead);
+    const net::TransferResult tr = network_.transfer(
+        me, server_.host(), e.info.size * config_.reintegration_overhead);
+    // A partition mid-reintegration leaves the remaining modifications
+    // buffered; already-pushed files stay reintegrated.
+    SPECTRA_ENSURE(tr.completed,
+                   "file server partitioned mid-reintegration of " + p);
     server_.install(p, e.info.size, e.version);
     dirty_.erase(p);
   }

@@ -12,11 +12,20 @@ Battery::Battery(EnergyMeter& meter, util::Joules capacity)
 }
 
 util::Joules Battery::remaining() {
-  const util::Joules drained = meter_.total_consumed() - consumed_at_install_;
+  const util::Joules drained =
+      meter_.total_consumed() - consumed_at_install_ + cliff_drain_;
   return std::max(0.0, capacity_ - drained);
 }
 
 double Battery::fraction_remaining() { return remaining() / capacity_; }
+
+void Battery::drain_to_fraction(double fraction) {
+  SPECTRA_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                  "battery fraction must be in [0,1]");
+  const util::Joules target = capacity_ * fraction;
+  const util::Joules current = remaining();
+  if (current > target) cliff_drain_ += current - target;
+}
 
 Machine::Machine(sim::Engine& engine, MachineSpec spec, util::Rng rng)
     : engine_(engine), spec_(std::move(spec)), rng_(rng), meter_(engine) {

@@ -48,10 +48,16 @@ class Battery {
   util::Joules remaining();
   double fraction_remaining();
 
+  // Instantaneously drop the charge to `fraction` of capacity (a battery
+  // cliff: cell ageing, a misreporting gauge, sudden load). No-op if the
+  // battery already holds less.
+  void drain_to_fraction(double fraction);
+
  private:
   EnergyMeter& meter_;
   util::Joules capacity_;
   util::Joules consumed_at_install_;
+  util::Joules cliff_drain_ = 0.0;  // extra drain imposed by faults
 };
 
 class Machine {

@@ -77,6 +77,10 @@ struct OperationUsage {
   Bytes bytes_sent = 0.0;
   Bytes bytes_received = 0.0;
   int rpcs = 0;
+  // RPC attempts lost to transport faults (partition, crash, timeout)
+  // before the operation completed or degraded; persisted in the usage log
+  // so robustness regressions are visible in the record.
+  int rpc_failures = 0;
 
   Joules energy = 0.0;
   // Energy measurements of concurrent operations cannot be separated; when

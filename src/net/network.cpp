@@ -45,6 +45,15 @@ void Network::set_link_availability(MachineId a, MachineId b,
   link_mutable(a, b).availability = availability;
 }
 
+void Network::set_link_latency(MachineId a, MachineId b, Seconds latency) {
+  SPECTRA_REQUIRE(latency >= 0.0, "negative latency");
+  link_mutable(a, b).latency = latency;
+}
+
+bool Network::has_link(MachineId a, MachineId b) const {
+  return a != b && links_.count(key(a, b)) > 0;
+}
+
 bool Network::reachable(MachineId a, MachineId b) const {
   if (a == b) return true;
   auto it = links_.find(key(a, b));
@@ -63,9 +72,9 @@ BytesPerSec Network::effective_bandwidth(MachineId a, MachineId b) const {
   return l.bandwidth * l.availability;
 }
 
-Seconds Network::transfer(MachineId a, MachineId b, Bytes bytes) {
+TransferResult Network::transfer(MachineId a, MachineId b, Bytes bytes) {
   SPECTRA_REQUIRE(bytes >= 0.0, "negative transfer size");
-  if (a == b) return 0.0;
+  if (a == b) return TransferResult{true, 0.0};
   SPECTRA_REQUIRE(reachable(a, b), "transfer across a down link");
 
   const LinkParams& l = link(a, b);
@@ -83,10 +92,15 @@ Seconds Network::transfer(MachineId a, MachineId b, Bytes bytes) {
   if (ma != machines_.end()) ma->second->set_net_active(false);
   if (mb != machines_.end()) mb->second->set_net_active(false);
 
+  // Advancing the clock may have fired a partition of this link (fault
+  // injection, scenario events). The sender spent the time either way, but
+  // the payload never arrived: the transfer fails and is not logged.
+  if (!reachable(a, b)) return TransferResult{false, duration};
+
   log_.push_back(TransferRecord{start, duration, bytes, a, b});
   ++total_transfers_;
   if (log_.size() > kMaxLogEntries) log_.pop_front();
-  return duration;
+  return TransferResult{true, duration};
 }
 
 std::vector<TransferRecord> Network::recent_transfers(MachineId m,

@@ -48,6 +48,16 @@ struct TransferRecord {
   MachineId to = -1;
 };
 
+// Outcome of one transfer. `completed` is false when the link was down at
+// the moment the transfer would have finished (a partition fired mid-flight
+// from a scheduled event): the time was spent, but the payload must be
+// treated as lost. Converts to Seconds for callers that only need the time.
+struct TransferResult {
+  bool completed = true;
+  Seconds elapsed = 0.0;
+  operator Seconds() const { return elapsed; }
+};
+
 class Network {
  public:
   Network(sim::Engine& engine, util::Rng rng);
@@ -59,11 +69,13 @@ class Network {
   // existing configuration for the pair.
   void set_link(MachineId a, MachineId b, LinkParams params);
 
-  // Mutators used by scenarios mid-experiment.
+  // Mutators used by scenarios and the fault injector mid-experiment.
   void set_link_up(MachineId a, MachineId b, bool up);
   void set_link_bandwidth(MachineId a, MachineId b, BytesPerSec bw);
   void set_link_availability(MachineId a, MachineId b, double availability);
+  void set_link_latency(MachineId a, MachineId b, Seconds latency);
 
+  bool has_link(MachineId a, MachineId b) const;
   bool reachable(MachineId a, MachineId b) const;
 
   // Ground-truth link parameters; the fs layer and tests use this, monitors
@@ -76,9 +88,14 @@ class Network {
   // Synchronously transfer `bytes` from a to b: advances the clock by
   // latency + bytes / effective bandwidth (with small jitter), accounts NIC
   // power on both endpoints, and logs the transfer. Intra-machine transfers
-  // (a == b) cost nothing. Returns the elapsed time.
-  // Precondition: reachable(a, b).
-  Seconds transfer(MachineId a, MachineId b, Bytes bytes);
+  // (a == b) cost nothing. Returns the elapsed time and whether the
+  // transfer completed: advancing the clock may fire a scheduled partition
+  // of this very link, in which case the time is spent but the payload is
+  // lost (completed = false) and the transfer is not logged — the passive
+  // monitor must not learn bandwidth from a transfer that never arrived.
+  // A link that drops and recovers within the window still completes.
+  // Precondition: reachable(a, b) at the start.
+  TransferResult transfer(MachineId a, MachineId b, Bytes bytes);
 
   // Transfers observed at machine `m` within the trailing `window` seconds.
   std::vector<TransferRecord> recent_transfers(MachineId m,

@@ -67,6 +67,7 @@ UsageRecord UsageRecord::from_usage(const std::string& operation,
   r.bytes_sent = usage.bytes_sent;
   r.bytes_received = usage.bytes_received;
   r.rpcs = usage.rpcs;
+  r.rpc_failures = usage.rpc_failures;
   r.energy = usage.energy;
   r.energy_valid = usage.energy_valid;
   std::map<std::string, fs::Access> merged;
@@ -107,6 +108,7 @@ std::string UsageLog::serialize(const UsageRecord& r) {
     os << a.path << '=' << a.size << (a.write ? ":w" : ":r");
     first = false;
   }
+  os << '\t' << r.rpc_failures;
   return os.str();
 }
 
@@ -142,6 +144,8 @@ UsageRecord UsageLog::deserialize(const std::string& line) {
       r.file_accesses.push_back(a);
     }
   }
+  // Logs written before transport-failure accounting lack this field.
+  if (fields.size() >= 14) r.rpc_failures = std::stod(fields[13]);
   return r;
 }
 

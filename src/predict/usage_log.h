@@ -26,6 +26,7 @@ struct UsageRecord {
   double bytes_sent = 0.0;
   double bytes_received = 0.0;
   double rpcs = 0.0;
+  double rpc_failures = 0.0;
   double energy = 0.0;
   bool energy_valid = true;
   // Merged local+remote accesses, deduplicated by path.

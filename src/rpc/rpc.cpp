@@ -1,14 +1,56 @@
 #include "rpc/rpc.h"
 
+#include <algorithm>
+
 #include "util/assert.h"
 
 namespace spectra::rpc {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kUnreachable: return "unreachable";
+    case ErrorKind::kLinkLost: return "link_lost";
+    case ErrorKind::kServerDown: return "server_down";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kApplication: return "application";
+  }
+  return "unknown";
+}
+
+bool retryable(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kUnreachable:
+    case ErrorKind::kLinkLost:
+    case ErrorKind::kServerDown:
+    case ErrorKind::kTimeout:
+      return true;
+    case ErrorKind::kNone:
+    case ErrorKind::kApplication:
+      return false;
+  }
+  return false;
+}
+
+Seconds RetryPolicy::backoff_delay(int attempt, double u) const {
+  SPECTRA_REQUIRE(attempt >= 1, "backoff follows at least one attempt");
+  SPECTRA_REQUIRE(u >= 0.0 && u < 1.0, "jitter draw must be in [0,1)");
+  SPECTRA_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter fraction in [0,1)");
+  Seconds base = backoff_initial;
+  for (int i = 1; i < attempt; ++i) base *= backoff_multiplier;
+  base = std::min(base, backoff_max);
+  // Symmetric jitter de-synchronises retry storms across callers.
+  return base * (1.0 + jitter * (2.0 * u - 1.0));
+}
 
 RpcEndpoint::RpcEndpoint(MachineId id, hw::Machine& machine,
                          net::Network& network, fs::CodaClient* coda,
                          RpcCosts costs)
     : id_(id), machine_(machine), network_(network), coda_(coda),
-      costs_(costs) {}
+      costs_(costs),
+      retry_rng_(0x5bd1e9955bd1e995ULL ^
+                 (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL) {
+}
 
 void RpcEndpoint::register_handler(const std::string& service,
                                    Handler handler) {
@@ -33,6 +75,7 @@ Response RpcEndpoint::dispatch(const std::string& service,
     Response r;
     r.ok = false;
     r.error = "unknown service: " + service;
+    r.error_kind = ErrorKind::kApplication;
     return r;
   }
   // Bracket the handler with server-side measurement: CPU cycles executed
@@ -44,54 +87,114 @@ Response RpcEndpoint::dispatch(const std::string& service,
   r.usage.cpu_cycles = machine_.cycles_executed() - c0;
   r.usage.cpu_seconds = machine_.engine().now() - t0;
   if (coda_ != nullptr) r.usage.file_accesses = coda_->stop_trace();
+  if (!r.ok && r.error_kind == ErrorKind::kNone) {
+    r.error_kind = ErrorKind::kApplication;
+  }
   return r;
 }
 
-Response RpcEndpoint::call(RpcEndpoint& target, const std::string& service,
-                           const Request& request, CallStats* stats) {
+Response RpcEndpoint::call_once(RpcEndpoint& target,
+                                const std::string& service,
+                                const Request& request, Seconds timeout,
+                                CallStats& acc) {
   const Seconds t0 = machine_.engine().now();
-  CallStats local_stats;
+  auto fail = [](ErrorKind kind, std::string msg) {
+    Response r;
+    r.ok = false;
+    r.error = std::move(msg);
+    r.error_kind = kind;
+    return r;
+  };
+  // A down server never replies, so the caller burns whatever remains of
+  // its per-attempt timeout before giving up (or fails immediately when no
+  // timeout is configured and the crash is already visible).
+  auto server_down = [&](const char* msg) {
+    if (timeout > 0.0) {
+      const Seconds waited = machine_.engine().now() - t0;
+      if (timeout > waited) machine_.engine().advance(timeout - waited);
+    }
+    return fail(ErrorKind::kServerDown, msg);
+  };
 
   charge_marshal(request.payload);
   if (!network_.reachable(id_, target.id())) {
-    Response r;
-    r.ok = false;
-    r.error = "target unreachable";
-    local_stats.elapsed = machine_.engine().now() - t0;
-    if (stats != nullptr) *stats = local_stats;
-    return r;
+    return fail(ErrorKind::kUnreachable, "target unreachable");
   }
   const Bytes req_bytes = request.payload + costs_.header_bytes;
-  network_.transfer(id_, target.id(), req_bytes);
-  local_stats.bytes_sent = req_bytes;
+  const net::TransferResult req_tr =
+      network_.transfer(id_, target.id(), req_bytes);
+  acc.bytes_sent += req_bytes;
+  if (!req_tr.completed) {
+    return fail(ErrorKind::kLinkLost, "link lost during request");
+  }
+  if (!target.up()) return server_down("server down");
 
   // Server-side unmarshal + dispatch + handler.
   target.machine().run_cycles(costs_.marshal_cycles +
                               costs_.marshal_cycles_per_byte *
                                   request.payload);
   Response r = target.dispatch(service, request);
+  if (!target.up()) return server_down("server crashed during execution");
 
-  // Response path. A handler failure still ships an error reply.
+  // Response path. A handler failure still ships an error reply, but a
+  // partition that fired while the handler ran means no reply can be sent.
   target.machine().run_cycles(costs_.marshal_cycles +
                               costs_.marshal_cycles_per_byte * r.payload);
   const Bytes resp_bytes = r.payload + costs_.header_bytes;
-  network_.transfer(target.id(), id_, resp_bytes);
+  if (!network_.reachable(target.id(), id_)) {
+    return fail(ErrorKind::kLinkLost, "link lost before response");
+  }
+  const net::TransferResult resp_tr =
+      network_.transfer(target.id(), id_, resp_bytes);
+  if (!resp_tr.completed) {
+    return fail(ErrorKind::kLinkLost, "link lost during response");
+  }
   charge_marshal(r.payload);
-  local_stats.bytes_received = resp_bytes;
-  local_stats.rpcs = 1;
-  local_stats.elapsed = machine_.engine().now() - t0;
-  if (stats != nullptr) *stats = local_stats;
+  acc.bytes_received += resp_bytes;
+  acc.rpcs += 1;
+  if (timeout > 0.0 && machine_.engine().now() - t0 > timeout) {
+    // The reply landed after the caller already gave up; it is discarded.
+    return fail(ErrorKind::kTimeout, "call exceeded timeout");
+  }
+  return r;
+}
+
+Response RpcEndpoint::call(RpcEndpoint& target, const std::string& service,
+                           const Request& request, CallStats* stats,
+                           const RetryPolicy& policy) {
+  SPECTRA_REQUIRE(policy.max_attempts >= 1, "need at least one attempt");
+  const Seconds t0 = machine_.engine().now();
+  CallStats acc;
+  Response r;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    r = call_once(target, service, request, policy.timeout, acc);
+    acc.attempts = attempt;
+    if (r.ok || !retryable(r.error_kind)) break;
+    acc.transport_failures += 1;
+    if (attempt == policy.max_attempts) break;
+    // Exponential backoff before the next attempt; the wait advances
+    // virtual time like any other blocking operation, so scheduled
+    // recoveries (link up, server restart) can fire while we wait.
+    machine_.engine().advance(
+        policy.backoff_delay(attempt, retry_rng_.uniform()));
+  }
+  acc.last_error = r.error_kind;
+  acc.elapsed = machine_.engine().now() - t0;
+  if (stats != nullptr) *stats = acc;
   return r;
 }
 
 bool RpcEndpoint::ping(RpcEndpoint& target, Seconds* rtt) {
-  if (!network_.reachable(id_, target.id())) {
-    if (rtt != nullptr) *rtt = 0.0;
-    return false;
-  }
+  if (rtt != nullptr) *rtt = 0.0;
+  if (!network_.reachable(id_, target.id())) return false;
   const Seconds t0 = machine_.engine().now();
-  network_.transfer(id_, target.id(), costs_.header_bytes);
-  network_.transfer(target.id(), id_, costs_.header_bytes);
+  const net::TransferResult out =
+      network_.transfer(id_, target.id(), costs_.header_bytes);
+  if (!out.completed || !target.up()) return false;
+  if (!network_.reachable(target.id(), id_)) return false;
+  const net::TransferResult back =
+      network_.transfer(target.id(), id_, costs_.header_bytes);
+  if (!back.completed) return false;
   if (rtt != nullptr) *rtt = machine_.engine().now() - t0;
   return true;
 }

@@ -13,6 +13,12 @@
 //
 // Handlers execute synchronously in virtual time: marshal on the caller,
 // request transfer, dispatch + handler on the callee, response transfer.
+//
+// Calls can fail in transit (partition mid-transfer, crashed server,
+// timeout) as well as at the application level. Transport failures are
+// classified by ErrorKind and may be retried under a RetryPolicy with
+// exponential backoff; the default policy keeps the historical fail-fast
+// behaviour (one attempt, no timeout).
 #pragma once
 
 #include <any>
@@ -24,6 +30,7 @@
 #include "fs/coda.h"
 #include "hw/machine.h"
 #include "net/network.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace spectra::rpc {
@@ -32,6 +39,40 @@ using hw::MachineId;
 using util::Bytes;
 using util::Cycles;
 using util::Seconds;
+
+// Why a call failed, as observed by the caller. Transport kinds describe a
+// delivery failure where retrying may help; kApplication means the handler
+// itself returned an error and a retry would just repeat it.
+enum class ErrorKind {
+  kNone,         // call succeeded
+  kUnreachable,  // no route to the target when the call started
+  kLinkLost,     // link partitioned while a message was in flight
+  kServerDown,   // target endpoint is crashed; no reply will ever come
+  kTimeout,      // attempt exceeded the per-attempt timeout
+  kApplication,  // handler-level failure
+};
+
+const char* to_string(ErrorKind kind);
+
+// True for the transport kinds a RetryPolicy is allowed to retry.
+bool retryable(ErrorKind kind);
+
+// Retry behaviour for one logical call. The default is a single attempt
+// with no timeout — exactly the pre-retry fail-fast semantics.
+struct RetryPolicy {
+  int max_attempts = 1;           // total attempts, including the first
+  Seconds timeout = 0.0;          // per-attempt; 0 = wait forever
+  Seconds backoff_initial = 0.1;  // delay before the second attempt
+  double backoff_multiplier = 2.0;
+  Seconds backoff_max = 5.0;      // cap on the un-jittered delay
+  double jitter = 0.1;            // ± fraction applied to each delay
+
+  // Delay to wait after `attempt` failed attempts (1-based), given a
+  // uniform draw `u` in [0,1). Pure function so tests can verify the
+  // schedule without a network: base * multiplier^(attempt-1), capped at
+  // backoff_max, then scaled by 1 + jitter*(2u-1).
+  Seconds backoff_delay(int attempt, double u) const;
+};
 
 // Resource consumption measured on the server for one RPC.
 struct UsageReport {
@@ -52,6 +93,7 @@ struct Request {
 struct Response {
   bool ok = false;
   std::string error;
+  ErrorKind error_kind = ErrorKind::kNone;
   Bytes payload = 0.0;  // wire size; the simulated transfer uses this
   // Structured result object (status report, translation output, ...).
   // `payload` must account for its serialized size.
@@ -60,12 +102,16 @@ struct Response {
 };
 
 // What the caller observed about one call; Spectra accounts these to the
-// currently-executing operation.
+// currently-executing operation. Accumulated across all attempts of a
+// retried call.
 struct CallStats {
   Bytes bytes_sent = 0.0;
   Bytes bytes_received = 0.0;
   int rpcs = 0;
   Seconds elapsed = 0.0;
+  int attempts = 0;            // attempts actually made
+  int transport_failures = 0;  // attempts that failed in transit
+  ErrorKind last_error = ErrorKind::kNone;
 };
 
 using Handler = std::function<Response(const Request&)>;
@@ -90,17 +136,32 @@ class RpcEndpoint {
   void register_handler(const std::string& service, Handler handler);
   bool has_handler(const std::string& service) const;
 
-  // Invoke `service` on `target`. Advances virtual time for marshaling,
-  // transfers, and handler execution. Fails (ok=false) when the target is
-  // unreachable or the service is unknown; failure still costs the caller
-  // the attempt latency.
-  Response call(RpcEndpoint& target, const std::string& service,
-                const Request& request, CallStats* stats = nullptr);
+  // Crash / restart this endpoint (fault injection). A down endpoint never
+  // dispatches: callers see kServerDown after burning their per-attempt
+  // timeout. State (handlers) survives the crash, matching a process
+  // restart from the same binary.
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
 
-  // Reachability probe (the server-database ping).
+  // Invoke `service` on `target`. Advances virtual time for marshaling,
+  // transfers, handler execution, and any backoff waits between retries.
+  // Fails (ok=false, error_kind set) when the target is unreachable, a
+  // message is lost to a mid-flight partition, the target is down, the
+  // attempt times out, or the service is unknown; failure still costs the
+  // caller the attempt latency. Transport failures are retried up to
+  // policy.max_attempts with exponential backoff; application errors are
+  // returned immediately.
+  Response call(RpcEndpoint& target, const std::string& service,
+                const Request& request, CallStats* stats = nullptr,
+                const RetryPolicy& policy = RetryPolicy{});
+
+  // Reachability probe (the server-database ping). False when the target
+  // is partitioned away or crashed.
   bool ping(RpcEndpoint& target, Seconds* rtt = nullptr);
 
  private:
+  Response call_once(RpcEndpoint& target, const std::string& service,
+                     const Request& request, Seconds timeout, CallStats& acc);
   Response dispatch(const std::string& service, const Request& request);
   void charge_marshal(Bytes payload);
 
@@ -109,6 +170,10 @@ class RpcEndpoint {
   net::Network& network_;
   fs::CodaClient* coda_;
   RpcCosts costs_;
+  bool up_ = true;
+  // Jitter stream for backoff delays, seeded from the endpoint id so a
+  // replayed run draws the identical schedule.
+  util::Rng retry_rng_;
   std::map<std::string, Handler> handlers_;
 };
 

@@ -72,6 +72,7 @@ std::unique_ptr<World> SpeechExperiment::trained_world() const {
   }
   apply(*world, config_.scenario);
   world->settle(config_.settle_time);
+  if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
   return world;
 }
 
@@ -133,6 +134,7 @@ std::unique_ptr<World> LatexExperiment::trained_world() const {
   }
   apply(*world, config_.scenario);
   world->settle(config_.settle_time);
+  if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
   return world;
 }
 
@@ -220,6 +222,7 @@ std::unique_ptr<World> PanglossExperiment::trained_world() const {
   }
   apply(*world, config_.scenario);
   world->settle(config_.settle_time);
+  if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
   return world;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/client.h"
+#include "fault/fault_plan.h"
 #include "scenario/scenarios.h"
 #include "scenario/world.h"
 #include "solver/types.h"
@@ -49,6 +50,9 @@ class SpeechExperiment {
     // Optional hook to adjust the Spectra client configuration of the
     // worlds this experiment builds (e.g. enable decision tracing).
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
+    // Optional fault plan, armed after training and settling so event
+    // times are offsets from the start of the measured run.
+    std::optional<fault::FaultPlan> fault_plan;
   };
 
   explicit SpeechExperiment(Config config) : config_(config) {}
@@ -80,6 +84,7 @@ class LatexExperiment {
     int training_runs = 20;  // "we first executed Latex 20 times"
     util::Seconds settle_time = 12.0;
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
+    std::optional<fault::FaultPlan> fault_plan;
   };
 
   explicit LatexExperiment(Config config) : config_(config) {}
@@ -107,6 +112,7 @@ class PanglossExperiment {
     int training_runs = 129;  // "we first translated a set of 129 sentences"
     util::Seconds settle_time = 12.0;
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
+    std::optional<fault::FaultPlan> fault_plan;
   };
 
   explicit PanglossExperiment(Config config) : config_(config) {}

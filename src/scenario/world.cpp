@@ -78,6 +78,16 @@ World::World(WorldConfig config)
       break;
   }
   create_background_files();
+
+  // Wire the fault injector to everything a plan may target: all remote
+  // server endpoints (crash/restart) and all machines (battery cliffs).
+  fault_injector_ = std::make_unique<fault::FaultInjector>(engine_, *network_);
+  for (auto& [id, server] : servers_) {
+    fault_injector_->attach_endpoint(id, server->endpoint());
+  }
+  for (auto& [id, machine] : machines_) {
+    fault_injector_->attach_machine(id, *machine);
+  }
 }
 
 World::~World() = default;

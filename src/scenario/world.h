@@ -25,6 +25,8 @@
 #include "apps/pangloss.h"
 #include "core/client.h"
 #include "core/server.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "fs/coda.h"
 #include "hw/machine.h"
 #include "net/network.h"
@@ -81,6 +83,13 @@ class World {
   apps::LatexApp& latex();
   apps::PanglossApp& pangloss();
 
+  // ---- fault injection ----------------------------------------------------
+  // The injector is wired to every link, server endpoint, and machine of
+  // this testbed; arm_faults() schedules a plan's events relative to the
+  // current virtual time.
+  fault::FaultInjector& fault_injector() { return *fault_injector_; }
+  void arm_faults(const fault::FaultPlan& plan) { fault_injector_->arm(plan); }
+
   // ---- setup helpers ------------------------------------------------------
   // Cache every application file on every machine, and the background files
   // on the compute servers ("data files are cached on all machines").
@@ -108,6 +117,7 @@ class World {
   std::map<MachineId, std::unique_ptr<fs::CodaClient>> codas_;
   std::unique_ptr<core::SpectraClient> spectra_;
   std::map<MachineId, std::unique_ptr<core::SpectraServer>> servers_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<apps::JanusApp> janus_;
   std::unique_ptr<apps::LatexApp> latex_;
   std::unique_ptr<apps::PanglossApp> pangloss_;

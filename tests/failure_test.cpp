@@ -1,9 +1,14 @@
 // Failure injection: Spectra must degrade gracefully, not crash, when the
 // environment fails mid-flight — partitions between decision and execution,
-// servers vanishing, batteries running flat, file servers unreachable.
+// servers vanishing mid-call, links flapping during reintegration,
+// batteries falling off a cliff. Faults are described by fault::FaultPlan
+// and armed through the world's FaultInjector, so every scenario here is a
+// replayable script rather than ad-hoc link poking.
 #include <gtest/gtest.h>
 
 #include "apps/janus.h"
+#include "apps/latex.h"
+#include "fault/fault_plan.h"
 #include "scenario/experiment.h"
 #include "scenario/world.h"
 #include "util/assert.h"
@@ -12,6 +17,10 @@ namespace spectra::scenario {
 namespace {
 
 using apps::JanusApp;
+using apps::LatexApp;
+using fault::FaultEvent;
+using fault::FaultKind;
+using fault::FaultPlan;
 
 std::unique_ptr<World> trained_itsy(std::uint64_t seed = 1000) {
   SpeechExperiment::Config cfg;
@@ -19,28 +28,140 @@ std::unique_ptr<World> trained_itsy(std::uint64_t seed = 1000) {
   return SpeechExperiment(cfg).trained_world();
 }
 
-TEST(FailureTest, PartitionBetweenDecisionAndRpcFailsTheCall) {
+FaultEvent event(util::Seconds at, FaultKind kind, MachineId a,
+                 MachineId b = -1) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+FaultPlan single(FaultEvent e) {
+  FaultPlan plan;
+  plan.scheduled.push_back(e);
+  return plan;
+}
+
+TEST(FailureTest, PartitionBetweenDecisionAndRpcDegradesToLocal) {
   auto w = trained_itsy();
   auto& spectra = w->spectra();
   const auto choice = spectra.begin_fidelity_op(
       JanusApp::kOperation, {{"utt_len", 2.0}});
   ASSERT_GE(choice.alternative.server, 0);  // baseline picks hybrid
-  // The link dies after the decision but before the remote call.
-  w->network().set_link_up(kClient, kServerT20, false);
+  // The link dies after the decision but before the remote call: the first
+  // clock advance inside the call fires the partition.
+  w->arm_faults(single(event(0.0, FaultKind::kLinkDown, kClient, kServerT20)));
   rpc::Request req;
   req.op_type = "janus.search";
   req.args["utt_len"] = 2.0;
   req.args["vocab"] = 1.0;
   const auto resp = spectra.do_remote_op("janus.search", req);
-  EXPECT_FALSE(resp.ok);
-  // The operation can still be closed cleanly and its usage logged.
+  // Retries exhaust against the dead link, then the call degrades to the
+  // co-located server instead of failing.
+  EXPECT_TRUE(resp.ok);
+  EXPECT_TRUE(spectra.current_choice().degraded);
+  EXPECT_EQ(spectra.current_choice().alternative.server, kClient);
+  // The operation closes cleanly and the failed attempts are in the log.
   const auto usage = spectra.end_fidelity_op();
-  EXPECT_TRUE(usage.elapsed >= 0.0);
+  EXPECT_GE(usage.elapsed, 0.0);
+  EXPECT_GE(usage.rpc_failures, 1);
+}
+
+TEST(FailureTest, ServerCrashDuringRemoteExecutionDegradesToLocal) {
+  SpeechExperiment::Config cfg;
+  cfg.seed = 1000;
+  // Bound the per-attempt timeout so the crashed server costs tens of
+  // seconds of virtual time, not minutes. The budget stays well above the
+  // healthy search time (~2 s) because the override also applies while the
+  // world trains itself.
+  cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
+    c.remote_retry.max_attempts = 2;
+    c.remote_retry.timeout = 10.0;
+  };
+  auto w = SpeechExperiment(cfg).trained_world();
+  auto& spectra = w->spectra();
+  const auto choice = spectra.begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  ASSERT_GE(choice.alternative.server, 0);
+  // The server dies while the operation is already executing (during the
+  // local front-end phase, before the remote search RPC).
+  w->arm_faults(single(event(0.01, FaultKind::kServerCrash, kServerT20)));
+  w->janus().execute(spectra, 2.0);
+  EXPECT_TRUE(spectra.current_choice().degraded);
+  EXPECT_EQ(spectra.current_choice().alternative.server, kClient);
+  const auto usage = spectra.end_fidelity_op();
+  EXPECT_GE(usage.rpc_failures, 1);
+  // The crashed server is off the candidate list for the next decision.
+  for (MachineId id : spectra.server_db().available_servers()) {
+    EXPECT_NE(id, kServerT20);
+  }
+}
+
+TEST(FailureTest, LinkFlapDuringReintegrationFallsBackToLocalPlan) {
+  LatexExperiment::Config cfg;
+  cfg.scenario = LatexScenario::kReintegrate;
+  cfg.seed = 1000;
+  auto w = LatexExperiment(cfg).trained_world();
+  ASSERT_TRUE(w->coda(kClient).has_dirty_files());
+  // Make local execution unattractive so the solver reaches for a remote
+  // plan, which requires reintegrating the dirty document first.
+  w->machine(kClient).set_background_procs(9.0);
+  w->settle(12.0);
+  // The file-server link flaps throughout the begin/reintegrate window; the
+  // odd toggle count leaves it down.
+  FaultEvent flap = event(0.0, FaultKind::kLinkFlap, kClient, kFileServer);
+  flap.count = 9;
+  flap.period = 2.0;
+  w->arm_faults(single(flap));
+  const auto choice = w->spectra().begin_fidelity_op(
+      LatexApp::kOperation, {}, "small");
+  // Reintegration failed mid-decision, so Spectra fell back to the local
+  // plan rather than throwing at the application.
+  ASSERT_TRUE(choice.ok);
+  EXPECT_TRUE(choice.degraded);
+  EXPECT_EQ(choice.alternative.plan, LatexApp::kPlanLocal);
+  EXPECT_EQ(choice.alternative.server, -1);
+  // The local run works from the (cached, dirty) document.
+  w->latex().execute(w->spectra(), "small");
+  w->spectra().end_fidelity_op();
+  EXPECT_TRUE(w->coda(kClient).is_dirty("latex/small/main.tex"));
+}
+
+TEST(FailureTest, BatteryCliffDuringHybridPlanKeepsAccountingSane) {
+  auto w = trained_itsy();
+  auto& spectra = w->spectra();
+  w->client_machine().set_on_battery(true);
+  spectra.set_battery_lifetime_goal(4.0 * 3600);
+  auto* battery = w->client_machine().battery();
+  ASSERT_NE(battery, nullptr);
+  const auto choice = spectra.begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  ASSERT_TRUE(choice.ok);
+  // The battery collapses to 2% mid-operation.
+  FaultEvent cliff = event(0.01, FaultKind::kBatteryCliff, kClient);
+  cliff.magnitude = 0.02;
+  w->arm_faults(single(cliff));
+  w->janus().execute(spectra, 2.0);
+  const auto usage = spectra.end_fidelity_op();
+  EXPECT_GE(usage.elapsed, 0.0);
+  EXPECT_LE(battery->fraction_remaining(), 0.02 + 1e-9);
+  // Monitors see the cliff and the next decision still works.
+  const auto snap = spectra.monitors().build_snapshot(
+      {kServerT20}, w->engine().now());
+  EXPECT_LE(snap.battery_remaining, 0.02 * battery->capacity() + 1e-6);
+  const auto next = spectra.begin_fidelity_op(
+      JanusApp::kOperation, {{"utt_len", 2.0}});
+  EXPECT_TRUE(next.ok);
+  w->janus().execute(spectra, 2.0);
+  spectra.end_fidelity_op();
 }
 
 TEST(FailureTest, NextDecisionAvoidsDeadServer) {
   auto w = trained_itsy();
-  w->network().set_link_up(kClient, kServerT20, false);
+  w->arm_faults(single(event(0.0, FaultKind::kLinkDown, kClient, kServerT20)));
+  w->settle(0.1);                       // the partition fires
   w->spectra().server_db().poll_all();  // notice the failure
   const auto choice = w->spectra().begin_fidelity_op(
       JanusApp::kOperation, {{"utt_len", 2.0}});
@@ -53,10 +174,12 @@ TEST(FailureTest, NextDecisionAvoidsDeadServer) {
 
 TEST(FailureTest, RecoveryAfterPartitionHeals) {
   auto w = trained_itsy();
-  w->network().set_link_up(kClient, kServerT20, false);
+  FaultEvent down = event(0.0, FaultKind::kLinkDown, kClient, kServerT20);
+  down.duration = 10.0;  // heals on its own
+  w->arm_faults(single(down));
+  w->settle(0.1);
   w->spectra().server_db().poll_all();
-  w->settle(10.0);
-  w->network().set_link_up(kClient, kServerT20, true);
+  w->settle(10.0);  // the healing event fires
   w->settle(12.0);  // periodic poll re-discovers availability
   const auto choice = w->spectra().begin_fidelity_op(
       JanusApp::kOperation, {{"utt_len", 2.0}});
@@ -65,11 +188,14 @@ TEST(FailureTest, RecoveryAfterPartitionHeals) {
   w->spectra().end_fidelity_op();
 }
 
-TEST(FailureTest, FileServerPartitionMakesUncachedFetchThrow) {
+TEST(FailureTest, FileServerPartitionMakesUncachedForcedFetchThrow) {
   auto w = trained_itsy();
   w->coda(kClient).evict(w->janus().config().lm_full_path);
-  w->network().set_link_up(kClient, kFileServer, false);
-  // Forced local full-vocabulary recognition needs the evicted model.
+  w->arm_faults(single(event(0.0, FaultKind::kLinkDown, kClient,
+                             kFileServer)));
+  w->settle(0.1);
+  // Forced local full-vocabulary recognition needs the evicted model, and
+  // forced runs must execute exactly what was asked — no fallback.
   EXPECT_THROW(
       w->janus().run_forced(w->spectra(), 2.0,
                             JanusApp::alternative(JanusApp::kPlanLocal, 1.0)),
@@ -78,7 +204,9 @@ TEST(FailureTest, FileServerPartitionMakesUncachedFetchThrow) {
 
 TEST(FailureTest, CachedFidelityStillWorksWithoutFileServer) {
   auto w = trained_itsy();
-  w->network().set_link_up(kClient, kFileServer, false);
+  w->arm_faults(single(event(0.0, FaultKind::kLinkDown, kClient,
+                             kFileServer)));
+  w->settle(0.1);
   // Reduced-vocabulary model is cached: recognition proceeds.
   EXPECT_NO_THROW(
       w->janus().run_forced(w->spectra(), 2.0,
@@ -119,7 +247,8 @@ TEST(FailureTest, ServerLoadSpikeMidSessionShiftsChoice) {
 
 TEST(FailureTest, StatusPollFailureMarksUnavailableNotCrash) {
   auto w = trained_itsy();
-  w->network().set_link_up(kClient, kServerT20, false);
+  w->arm_faults(single(event(0.0, FaultKind::kLinkDown, kClient, kServerT20)));
+  w->settle(0.1);
   EXPECT_FALSE(w->spectra().server_db().poll(kServerT20));
   EXPECT_TRUE(w->spectra().server_db().available_servers().empty());
 }
@@ -130,8 +259,11 @@ TEST(FailureTest, DirtyFilesSurviveFailedRemoteAttempt) {
   cfg.seed = 1000;
   auto w = LatexExperiment(cfg).trained_world();
   ASSERT_TRUE(w->coda(kClient).has_dirty_files());
-  // File server dies: reintegration for a remote run cannot proceed.
-  w->network().set_link_up(kClient, kFileServer, false);
+  // File server dies: reintegration for a forced remote run cannot proceed,
+  // and forced runs are not allowed to degrade.
+  w->arm_faults(single(event(0.0, FaultKind::kLinkDown, kClient,
+                             kFileServer)));
+  w->settle(0.1);
   EXPECT_THROW(
       w->latex().run_forced(
           w->spectra(), "small",

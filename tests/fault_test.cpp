@@ -1,0 +1,406 @@
+// Fault-injection subsystem: plan parsing, validation, arming semantics
+// (scheduled events, healing, flap expansion, probabilistic arrivals), and
+// the determinism guarantee — the same plan armed on identical worlds must
+// produce a bit-identical fault trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "hw/machine.h"
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace spectra::fault {
+namespace {
+
+using namespace spectra::util;  // NOLINT: unit literals in tests
+
+constexpr MachineId kClient = 0;
+constexpr MachineId kServer = 1;
+
+// Minimal two-machine world: enough network, endpoint, and battery surface
+// for every fault kind to land somewhere observable.
+struct Fixture {
+  sim::Engine engine;
+  hw::Machine client;
+  hw::Machine server;
+  net::Network net;
+  rpc::RpcEndpoint client_ep;
+  rpc::RpcEndpoint server_ep;
+  FaultInjector injector;
+
+  Fixture()
+      : client(engine, spec("client", 233_MHz, /*battery=*/true), Rng(1)),
+        server(engine, spec("server", 933_MHz, /*battery=*/false), Rng(2)),
+        net(engine, Rng(4)),
+        client_ep(kClient, client, net, nullptr),
+        server_ep(kServer, server, net, nullptr),
+        injector(engine, net) {
+    net.add_machine(kClient, &client);
+    net.add_machine(kServer, &server);
+    net.set_link(kClient, kServer, net::LinkParams{250000.0, 0.005});
+    injector.attach_endpoint(kClient, client_ep);
+    injector.attach_endpoint(kServer, server_ep);
+    injector.attach_machine(kClient, client);
+    injector.attach_machine(kServer, server);
+  }
+
+  static hw::MachineSpec spec(const std::string& name, Hertz hz,
+                              bool battery) {
+    hw::MachineSpec s;
+    s.name = name;
+    s.cpu_hz = hz;
+    s.power = hw::PowerModel{5.0, 5.0, 1.0};
+    if (battery) s.battery_capacity_j = 20000.0;
+    return s;
+  }
+};
+
+FaultEvent event(Seconds at, FaultKind kind, MachineId a, MachineId b = -1) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  return e;
+}
+
+// ---- plan parsing -------------------------------------------------------
+
+TEST(FaultPlanTest, ParseRoundTripIsIdentity) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.horizon = 120.0;
+  FaultEvent down = event(5.5, FaultKind::kLinkDown, 0, 1);
+  down.duration = 3.25;
+  plan.scheduled.push_back(down);
+  FaultEvent flap = event(10.0, FaultKind::kLinkFlap, 0, 1);
+  flap.count = 6;
+  flap.period = 0.5;
+  plan.scheduled.push_back(flap);
+  FaultEvent spike = event(20.0, FaultKind::kLatencySpike, 0, 1);
+  spike.magnitude = 8.0;
+  spike.duration = 2.0;
+  plan.scheduled.push_back(spike);
+  FaultEvent cliff = event(30.0, FaultKind::kBatteryCliff, 0);
+  cliff.magnitude = 0.05;
+  plan.scheduled.push_back(cliff);
+  ProbabilisticFault crash;
+  crash.kind = FaultKind::kServerCrash;
+  crash.a = 1;
+  crash.rate_per_s = 0.01;
+  crash.duration = 4.0;
+  plan.probabilistic.push_back(crash);
+
+  const std::string text = plan.to_string();
+  const FaultPlan back = FaultPlan::parse(text);
+  // Canonical form is a fixed point: parse(to_string(p)).to_string() ==
+  // to_string(p), which is the property the replay harness relies on.
+  EXPECT_EQ(back.to_string(), text);
+  EXPECT_EQ(back.seed, 42u);
+  EXPECT_DOUBLE_EQ(back.horizon, 120.0);
+  ASSERT_EQ(back.scheduled.size(), 4u);
+  EXPECT_EQ(back.scheduled[0].kind, FaultKind::kLinkDown);
+  EXPECT_DOUBLE_EQ(back.scheduled[0].duration, 3.25);
+  EXPECT_EQ(back.scheduled[1].count, 6);
+  EXPECT_DOUBLE_EQ(back.scheduled[1].period, 0.5);
+  EXPECT_DOUBLE_EQ(back.scheduled[2].magnitude, 8.0);
+  EXPECT_DOUBLE_EQ(back.scheduled[3].magnitude, 0.05);
+  ASSERT_EQ(back.probabilistic.size(), 1u);
+  EXPECT_EQ(back.probabilistic[0].kind, FaultKind::kServerCrash);
+  EXPECT_DOUBLE_EQ(back.probabilistic[0].rate_per_s, 0.01);
+  EXPECT_DOUBLE_EQ(back.probabilistic[0].duration, 4.0);
+}
+
+TEST(FaultPlanTest, ParseAcceptsCommentsAndBlankLines) {
+  const FaultPlan plan = FaultPlan::parse(
+      "# storm over the wireless segment\n"
+      "seed 7\n"
+      "\n"
+      "horizon 60\n"
+      "at 1.5 link_down 0 1 duration=2\n"
+      "  # mid-line indentation is fine too\n"
+      "at 4 server_crash 1\n"
+      "prob link_down 0 1 rate=0.02 duration=1\n");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.horizon, 60.0);
+  ASSERT_EQ(plan.scheduled.size(), 2u);
+  EXPECT_EQ(plan.scheduled[1].kind, FaultKind::kServerCrash);
+  ASSERT_EQ(plan.probabilistic.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.probabilistic[0].rate_per_s, 0.02);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(FaultPlan::parse("at x link_down 0 1\n"), util::ContractError);
+  EXPECT_THROW(FaultPlan::parse("at 1 not_a_fault 0 1\n"),
+               util::ContractError);
+  EXPECT_THROW(FaultPlan::parse("frobnicate 3\n"), util::ContractError);
+  EXPECT_THROW(FaultPlan::parse("prob link_down 0 1\n"),  // missing rate=
+               util::ContractError);
+}
+
+TEST(FaultPlanTest, ValidateRejectsIllFormedEvents) {
+  {
+    FaultPlan p;  // link fault with a == b
+    p.scheduled.push_back(event(1.0, FaultKind::kLinkDown, 0, 0));
+    EXPECT_THROW(p.validate(), util::ContractError);
+  }
+  {
+    FaultPlan p;  // flap without count/period
+    p.scheduled.push_back(event(1.0, FaultKind::kLinkFlap, 0, 1));
+    EXPECT_THROW(p.validate(), util::ContractError);
+  }
+  {
+    FaultPlan p;  // bandwidth drop to more than full bandwidth
+    FaultEvent e = event(1.0, FaultKind::kBandwidthDrop, 0, 1);
+    e.magnitude = 1.5;
+    p.scheduled.push_back(e);
+    EXPECT_THROW(p.validate(), util::ContractError);
+  }
+  {
+    FaultPlan p;  // battery cliff outside [0, 1]
+    FaultEvent e = event(1.0, FaultKind::kBatteryCliff, 0);
+    e.magnitude = -0.1;
+    p.scheduled.push_back(e);
+    EXPECT_THROW(p.validate(), util::ContractError);
+  }
+  {
+    FaultPlan p;  // probabilistic fault with no horizon to expand over
+    ProbabilisticFault f;
+    f.kind = FaultKind::kServerCrash;
+    f.a = 1;
+    f.rate_per_s = 0.1;
+    p.probabilistic.push_back(f);
+    p.horizon = 0.0;
+    EXPECT_THROW(p.validate(), util::ContractError);
+  }
+}
+
+// ---- scheduled events ---------------------------------------------------
+
+TEST(FaultInjectorTest, ScheduledPartitionFiresAtItsTime) {
+  Fixture f;
+  FaultPlan plan;
+  plan.scheduled.push_back(event(5.0, FaultKind::kLinkDown, kClient, kServer));
+  f.injector.arm(plan);
+  f.engine.advance(4.9);
+  EXPECT_TRUE(f.net.reachable(kClient, kServer));
+  f.engine.advance(0.2);
+  EXPECT_FALSE(f.net.reachable(kClient, kServer));
+  ASSERT_EQ(f.injector.trace().size(), 1u);
+  EXPECT_EQ(f.injector.trace()[0].kind, FaultKind::kLinkDown);
+  EXPECT_NEAR(f.injector.trace()[0].at, 5.0, 1e-9);
+}
+
+TEST(FaultInjectorTest, DurationSchedulesTheHealingEvent) {
+  Fixture f;
+  FaultPlan plan;
+  FaultEvent down = event(1.0, FaultKind::kLinkDown, kClient, kServer);
+  down.duration = 2.0;
+  plan.scheduled.push_back(down);
+  f.injector.arm(plan);
+  f.engine.advance(1.5);
+  EXPECT_FALSE(f.net.reachable(kClient, kServer));
+  f.engine.advance(2.0);
+  EXPECT_TRUE(f.net.reachable(kClient, kServer));
+  ASSERT_EQ(f.injector.trace().size(), 2u);
+  EXPECT_EQ(f.injector.trace()[1].kind, FaultKind::kLinkUp);
+}
+
+TEST(FaultInjectorTest, FlapExpandsToAlternatingToggles) {
+  Fixture f;
+  FaultPlan plan;
+  FaultEvent flap = event(1.0, FaultKind::kLinkFlap, kClient, kServer);
+  flap.count = 4;
+  flap.period = 1.0;
+  plan.scheduled.push_back(flap);
+  f.injector.arm(plan);
+  EXPECT_EQ(f.injector.armed_events(), 4u);
+  f.engine.advance(1.5);  // t=1.5: first toggle (down) fired
+  EXPECT_FALSE(f.net.reachable(kClient, kServer));
+  f.engine.advance(1.0);  // t=2.5: second toggle (up)
+  EXPECT_TRUE(f.net.reachable(kClient, kServer));
+  f.engine.advance(1.0);  // t=3.5: down again
+  EXPECT_FALSE(f.net.reachable(kClient, kServer));
+  f.engine.advance(1.0);  // t=4.5: even count leaves the link up
+  EXPECT_TRUE(f.net.reachable(kClient, kServer));
+  EXPECT_EQ(f.injector.trace().size(), 4u);
+}
+
+TEST(FaultInjectorTest, LatencySpikeMultipliesAndRestores) {
+  Fixture f;
+  const Seconds base = f.net.link(kClient, kServer).latency;
+  FaultPlan plan;
+  FaultEvent spike = event(1.0, FaultKind::kLatencySpike, kClient, kServer);
+  spike.magnitude = 10.0;
+  spike.duration = 2.0;
+  plan.scheduled.push_back(spike);
+  f.injector.arm(plan);
+  f.engine.advance(1.5);
+  EXPECT_DOUBLE_EQ(f.net.link(kClient, kServer).latency, base * 10.0);
+  f.engine.advance(2.0);
+  EXPECT_DOUBLE_EQ(f.net.link(kClient, kServer).latency, base);
+}
+
+TEST(FaultInjectorTest, BandwidthDropScalesAndRestores) {
+  Fixture f;
+  const BytesPerSec base = f.net.link(kClient, kServer).bandwidth;
+  FaultPlan plan;
+  FaultEvent drop = event(1.0, FaultKind::kBandwidthDrop, kClient, kServer);
+  drop.magnitude = 0.25;
+  drop.duration = 3.0;
+  plan.scheduled.push_back(drop);
+  f.injector.arm(plan);
+  f.engine.advance(2.0);
+  EXPECT_DOUBLE_EQ(f.net.link(kClient, kServer).bandwidth, base * 0.25);
+  f.engine.advance(3.0);
+  EXPECT_DOUBLE_EQ(f.net.link(kClient, kServer).bandwidth, base);
+}
+
+TEST(FaultInjectorTest, ServerCrashAndRestartToggleTheEndpoint) {
+  Fixture f;
+  FaultPlan plan;
+  FaultEvent crash = event(1.0, FaultKind::kServerCrash, kServer);
+  crash.duration = 5.0;  // auto-restart
+  plan.scheduled.push_back(crash);
+  f.injector.arm(plan);
+  EXPECT_TRUE(f.server_ep.up());
+  f.engine.advance(2.0);
+  EXPECT_FALSE(f.server_ep.up());
+  f.engine.advance(5.0);
+  EXPECT_TRUE(f.server_ep.up());
+}
+
+TEST(FaultInjectorTest, BatteryCliffDropsChargeToFraction) {
+  Fixture f;
+  hw::Battery* battery = f.client.battery();
+  ASSERT_NE(battery, nullptr);
+  EXPECT_NEAR(battery->fraction_remaining(), 1.0, 1e-9);
+  FaultPlan plan;
+  FaultEvent cliff = event(1.0, FaultKind::kBatteryCliff, kClient);
+  cliff.magnitude = 0.1;
+  plan.scheduled.push_back(cliff);
+  f.injector.arm(plan);
+  f.engine.advance(1.5);
+  // Idle power keeps draining after the cliff, so the fraction sits at or
+  // just below the cliff level.
+  EXPECT_LE(battery->fraction_remaining(), 0.1);
+  EXPECT_NEAR(battery->fraction_remaining(), 0.1, 1e-3);
+}
+
+TEST(FaultInjectorTest, ArmIsRelativeToCurrentTimeAndPlansCompose) {
+  Fixture f;
+  f.engine.advance(100.0);
+  FaultPlan first;
+  first.scheduled.push_back(
+      event(1.0, FaultKind::kLinkDown, kClient, kServer));
+  FaultPlan second;
+  second.scheduled.push_back(
+      event(2.0, FaultKind::kServerCrash, kServer));
+  f.injector.arm(first);
+  f.injector.arm(second);
+  f.engine.advance(3.0);
+  ASSERT_EQ(f.injector.trace().size(), 2u);
+  EXPECT_NEAR(f.injector.trace()[0].at, 101.0, 1e-9);
+  EXPECT_NEAR(f.injector.trace()[1].at, 102.0, 1e-9);
+}
+
+// ---- probabilistic events ----------------------------------------------
+
+TEST(FaultInjectorTest, ProbabilisticArrivalsStayInsideHorizon) {
+  Fixture f;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.horizon = 50.0;
+  ProbabilisticFault crash;
+  crash.kind = FaultKind::kServerCrash;
+  crash.a = kServer;
+  crash.rate_per_s = 0.5;  // ~25 expected arrivals
+  crash.duration = 0.1;
+  plan.probabilistic.push_back(crash);
+  f.injector.arm(plan);
+  EXPECT_GT(f.injector.armed_events(), 0u);
+  f.engine.advance(plan.horizon + 1.0);
+  ASSERT_FALSE(f.injector.trace().empty());
+  for (const auto& applied : f.injector.trace()) {
+    EXPECT_LT(applied.at, plan.horizon + 0.1 + 1e-9);
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedYieldsBitIdenticalTrace) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.horizon = 40.0;
+  ProbabilisticFault down;
+  down.kind = FaultKind::kLinkDown;
+  down.a = kClient;
+  down.b = kServer;
+  down.rate_per_s = 0.2;
+  down.duration = 0.5;
+  plan.probabilistic.push_back(down);
+  FaultEvent cliff = event(10.0, FaultKind::kBatteryCliff, kClient);
+  cliff.magnitude = 0.5;
+  plan.scheduled.push_back(cliff);
+
+  Fixture a;
+  Fixture b;
+  a.injector.arm(plan);
+  b.injector.arm(plan);
+  a.engine.advance(plan.horizon + 1.0);
+  b.engine.advance(plan.horizon + 1.0);
+  ASSERT_FALSE(a.injector.trace_string().empty());
+  EXPECT_EQ(a.injector.trace_string(), b.injector.trace_string());
+
+  // A different seed draws a different Poisson schedule.
+  FaultPlan other = plan;
+  other.seed = 100;
+  Fixture c;
+  c.injector.arm(other);
+  c.engine.advance(plan.horizon + 1.0);
+  EXPECT_NE(a.injector.trace_string(), c.injector.trace_string());
+}
+
+// ---- the in-flight-transfer pin ----------------------------------------
+// Regression: a transfer that was already in flight when a partition fired
+// used to complete (and be logged) anyway, because the link state was only
+// checked at the start. It must fail, and the passive monitor must not
+// learn bandwidth from a payload that never arrived.
+
+TEST(FaultInjectorTest, InFlightTransferFailsWhenPartitionFiresMidTransfer) {
+  Fixture f;
+  FaultPlan plan;
+  plan.scheduled.push_back(
+      event(0.5, FaultKind::kLinkDown, kClient, kServer));
+  f.injector.arm(plan);
+  const std::size_t logged_before = f.net.total_transfers();
+  // 500 KB at 250 KB/s = ~2 s: the partition fires mid-flight.
+  const net::TransferResult result =
+      f.net.transfer(kClient, kServer, 500000.0);
+  EXPECT_FALSE(result.completed);
+  EXPECT_GT(result.elapsed, 0.5);  // the time was still spent
+  EXPECT_EQ(f.net.total_transfers(), logged_before);  // ...but never logged
+  EXPECT_TRUE(f.net.recent_transfers(kClient, 10.0).empty());
+}
+
+TEST(FaultInjectorTest, TransferCompletesWhenLinkRecoversWithinWindow) {
+  Fixture f;
+  FaultPlan plan;
+  FaultEvent blip = event(0.5, FaultKind::kLinkDown, kClient, kServer);
+  blip.duration = 0.5;  // back up at t=1.0, before the transfer ends
+  plan.scheduled.push_back(blip);
+  f.injector.arm(plan);
+  const net::TransferResult result =
+      f.net.transfer(kClient, kServer, 500000.0);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(f.net.total_transfers(), 1u);
+}
+
+}  // namespace
+}  // namespace spectra::fault

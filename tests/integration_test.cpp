@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <utility>
 
 #include "apps/janus.h"
 #include "apps/latex.h"
 #include "apps/pangloss.h"
+#include "fault/fault_plan.h"
 #include "scenario/experiment.h"
 
 namespace spectra::scenario {
@@ -359,6 +362,57 @@ TEST(MultiAppIntegrationTest, BackToBackDecisionsAcrossApps) {
                 pl_choice.predicted.fidelity.at("gloss") +
                 pl_choice.predicted.fidelity.at("dict"),
             0.5);
+}
+
+// ------------------------------------------------------ deterministic replay
+
+TEST(ReplayIntegrationTest, SeededFaultyRunReplaysBitIdentically) {
+  // The same seeded world driven through the same seeded fault plan must
+  // reproduce every decision, every measured usage number, and every
+  // applied fault bit-for-bit — the property that makes a failure found
+  // under fault injection debuggable.
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed 7\n"
+      "horizon 30\n"
+      "at 0.5 link_down 0 1 duration=3\n"
+      "at 6 latency_spike 0 9 magnitude=4 duration=5\n"
+      "prob server_crash 1 rate=0.05 duration=2\n");
+  auto run = [&plan] {
+    SpeechExperiment::Config cfg;
+    cfg.seed = kSeed;
+    cfg.fault_plan = plan;
+    cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
+      c.trace_decisions = true;
+      // Bound crashed-server burns while staying well above the healthy
+      // search time (~2 s): the override also applies during training.
+      c.remote_retry.timeout = 10.0;
+    };
+    auto w = SpeechExperiment(cfg).trained_world();
+    std::ostringstream decisions;
+    decisions.precision(17);
+    for (int i = 0; i < 3; ++i) {
+      const auto choice = w->spectra().begin_fidelity_op(
+          JanusApp::kOperation, {{"utt_len", 2.0}});
+      w->janus().execute(w->spectra(), 2.0);
+      const bool degraded = w->spectra().current_choice().degraded;
+      const auto usage = w->spectra().end_fidelity_op();
+      decisions << SpeechExperiment::label(choice.alternative) << ' '
+                << degraded << ' '
+                << usage.elapsed << ' ' << usage.rpc_failures << '\n';
+      if (const auto* trace = w->spectra().last_decision_trace()) {
+        decisions << trace->to_string();
+      }
+      w->settle(5.0);
+    }
+    return std::pair<std::string, std::string>(
+        decisions.str(), w->fault_injector().trace_string());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  // The plan actually did something in both runs.
+  EXPECT_FALSE(first.second.empty());
 }
 
 // --------------------------------------------------------------- overhead
