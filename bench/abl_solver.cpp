@@ -59,15 +59,16 @@ int main() {
   std::cout << "Ablation: heuristic solver vs exhaustive search\n\n";
   util::Table table;
   table.set_header({"space size", "gap, fixed budget (%)",
-                    "evals (fixed)", "gap, scaled budget (%)",
-                    "evals (scaled)"});
+                    "evals (fixed)", "memo hits (fixed)",
+                    "gap, scaled budget (%)", "evals (scaled)"});
 
   for (const auto& [plans, servers, fids] :
        {std::tuple{4, 2, 1}, {8, 2, 2}, {16, 2, 3}, {16, 4, 3},
         {24, 6, 3}}) {
     const auto space = make_space(plans, servers, fids);
     const std::size_t size = space.count();
-    util::OnlineStats gap_fixed, evals_fixed, gap_scaled, evals_scaled;
+    util::OnlineStats gap_fixed, evals_fixed, hits_fixed, gap_scaled,
+        evals_scaled;
     for (std::uint64_t seed = 0; seed < 40; ++seed) {
       const auto eval = make_utility(seed, space);
       ExhaustiveSolver ex;
@@ -76,7 +77,7 @@ int main() {
           std::abs(best.log_utility) > 1e-9 ? std::abs(best.log_utility)
                                             : 1.0;
       auto run = [&](std::size_t budget, util::OnlineStats& gap,
-                     util::OnlineStats& evals) {
+                     util::OnlineStats& evals, util::OnlineStats* hits) {
         HeuristicSolverConfig cfg;
         cfg.exhaustive_threshold = 0;  // force hill climbing
         cfg.max_evaluations = budget;
@@ -85,14 +86,16 @@ int main() {
         const auto got = h.solve(space, eval);
         gap.add(100.0 * (best.log_utility - got.log_utility) / span);
         evals.add(static_cast<double>(got.evaluations));
+        if (hits != nullptr) hits->add(static_cast<double>(got.memo_hits));
       };
-      run(192, gap_fixed, evals_fixed);           // Spectra's default
-      run(std::max<std::size_t>(192, size / 4),   // budget grows with space
-          gap_scaled, evals_scaled);
+      run(192, gap_fixed, evals_fixed, &hits_fixed);  // Spectra's default
+      run(std::max<std::size_t>(192, size / 4),  // budget grows with space
+          gap_scaled, evals_scaled, nullptr);
     }
     table.add_row({std::to_string(size),
                    util::Table::num(gap_fixed.mean(), 2),
                    util::Table::num(evals_fixed.mean(), 0),
+                   util::Table::num(hits_fixed.mean(), 0),
                    util::Table::num(gap_scaled.mean(), 2),
                    util::Table::num(evals_scaled.mean(), 0)});
   }
@@ -101,6 +104,11 @@ int main() {
                "through Pangloss-sized spaces\n(~250 alternatives) and "
                "degrades gracefully beyond; scaling the budget with the\n"
                "space recovers quality at a cost that is still a fraction "
-               "of exhaustive search.\n";
+               "of exhaustive search.\n"
+               "Memo hits are restart/neighbour revisits answered from the "
+               "integer-coordinate memo\n(a vector<int> key; the original "
+               "ostringstream key both stringified every lookup and\nbuilt "
+               "the Alternative twice), so hill climbing pays eval() only "
+               "once per distinct point.\n";
   return 0;
 }

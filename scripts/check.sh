@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI check: tier-1 verify (full build + ctest, see ROADMAP.md) followed by
+# an ASan smoke pass — a sanitized build of the observability suite plus a
+# `spectra scenarios` smoke run, catching memory bugs in the trace/metrics
+# hot paths that the plain build would miss.
+#
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== tier-1: configure + build =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "== sanitize smoke (address) =="
+SMOKE="$BUILD-asan"
+cmake -B "$SMOKE" -S . -DSPECTRA_SANITIZE=address >/dev/null
+cmake --build "$SMOKE" -j "$(nproc)" --target obs_test spectra
+"$SMOKE/tests/obs_test"
+"$SMOKE/src/cli/spectra" scenarios >/dev/null
+
+echo "OK"

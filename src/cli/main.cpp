@@ -14,9 +14,11 @@
 // logs (or set SPECTRA_LOG=info|debug).
 #include <iostream>
 #include <map>
+#include <memory>
 
 #include "cli/args.h"
 #include "fault/fault_plan.h"
+#include "obs/obs.h"
 #include "scenario/experiment.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -34,18 +36,23 @@ int usage() {
 
 usage:
   spectra speech   [--scenario=S] [--utterance=SECS] [--trials=N] [--seed=N]
-                   [--fault-plan=FILE]
+                   [--fault-plan=FILE] [--trace=FILE] [--metrics=FILE]
   spectra latex    [--scenario=S] [--doc=small|large] [--trials=N] [--seed=N]
-                   [--fault-plan=FILE]
+                   [--fault-plan=FILE] [--trace=FILE] [--metrics=FILE]
   spectra pangloss [--scenario=S] [--words=N] [--trials=N] [--seed=N]
-                   [--fault-plan=FILE]
-  spectra overhead [--servers=N] [--runs=N]
+                   [--fault-plan=FILE] [--trace=FILE] [--metrics=FILE]
+  spectra overhead [--servers=N] [--runs=N] [--metrics=FILE]
   spectra explain (speech|latex|pangloss) [--scenario=S] [--utterance=SECS]
-                  [--doc=D] [--words=N] [--seed=N]
+                  [--doc=D] [--words=N] [--seed=N] [--trace=FILE]
+                  [--metrics=FILE]
   spectra faults   --plan=FILE   (validate a fault plan, print canonical form)
   spectra scenarios
 
 flags: --verbose (component logs; SPECTRA_LOG=debug for more)
+observability: --trace=FILE writes one JSONL event per decision, operation
+  end, reintegration, degradation, fault, and phase (virtual-time keyed;
+  bit-identical across replays of a seed). --metrics=FILE writes the final
+  counter/histogram registry (CSV when FILE ends in .csv, JSONL otherwise).
 fault plans (--fault-plan): text files of scheduled and probabilistic fault
   events (link partitions/flaps, server crashes, latency spikes, battery
   cliffs) armed after training; see DESIGN.md "Fault injection".
@@ -92,6 +99,32 @@ std::optional<fault::FaultPlan> fault_plan_arg(const Args& args) {
   const std::string path = args.get("fault-plan", "");
   if (path.empty()) return std::nullopt;
   return fault::FaultPlan::load(path);
+}
+
+// Observability requested on the command line: a shared bundle when
+// --trace and/or --metrics is present, otherwise disabled (null ptr()).
+struct CliObs {
+  std::unique_ptr<obs::Observability> bundle;
+  std::string metrics_path;
+
+  obs::Observability* ptr() { return bundle.get(); }
+
+  // Write the metrics file (if requested) once the command is done.
+  void finish() {
+    if (bundle != nullptr && !metrics_path.empty()) {
+      bundle->metrics().export_to_file(metrics_path);
+    }
+  }
+};
+
+CliObs obs_args(const Args& args) {
+  CliObs out;
+  const std::string trace_path = args.get("trace", "");
+  out.metrics_path = args.get("metrics", "");
+  if (trace_path.empty() && out.metrics_path.empty()) return out;
+  out.bundle = std::make_unique<obs::Observability>();
+  if (!trace_path.empty()) out.bundle->trace_to_file(trace_path);
+  return out;
 }
 
 // Generic scenario table: measure every alternative over N trials, then let
@@ -165,6 +198,7 @@ void run_table(const std::string& title, long trials, std::uint64_t seed,
 
 int cmd_speech(const Args& args) {
   const auto sc = speech_scenario(args);
+  CliObs obs = obs_args(args);
   run_table<SpeechExperiment>(
       "Speech recognition — scenario: " + name(sc),
       args.get_int("trials", 3),
@@ -175,8 +209,10 @@ int cmd_speech(const Args& args) {
         cfg.seed = seed;
         cfg.test_utterance_s = args.get_double("utterance", 2.0);
         cfg.fault_plan = fault_plan_arg(args);
+        cfg.obs = obs.ptr();
         return SpeechExperiment(cfg);
       });
+  obs.finish();
   return 0;
 }
 
@@ -185,6 +221,7 @@ int cmd_latex(const Args& args) {
   const std::string doc = args.get("doc", "small");
   SPECTRA_REQUIRE(doc == "small" || doc == "large",
                   "--doc must be small or large");
+  CliObs obs = obs_args(args);
   run_table<LatexExperiment>(
       "Latex (" + doc + " document) — scenario: " + name(sc),
       args.get_int("trials", 3),
@@ -195,8 +232,10 @@ int cmd_latex(const Args& args) {
         cfg.doc = doc;
         cfg.seed = seed;
         cfg.fault_plan = fault_plan_arg(args);
+        cfg.obs = obs.ptr();
         return LatexExperiment(cfg);
       });
+  obs.finish();
   return 0;
 }
 
@@ -207,6 +246,7 @@ int cmd_pangloss(const Args& args) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 1000));
 
+  CliObs obs = obs_args(args);
   util::OnlineStats percentile, relative;
   std::map<std::string, int> chosen;
   for (long t = 0; t < trials; ++t) {
@@ -215,6 +255,7 @@ int cmd_pangloss(const Args& args) {
     cfg.seed = seed + static_cast<std::uint64_t>(t) * 17;
     cfg.test_words = words;
     cfg.fault_plan = fault_plan_arg(args);
+    cfg.obs = obs.ptr();
     PanglossExperiment exp(cfg);
     std::vector<double> utilities;
     double best = 0.0;
@@ -250,13 +291,16 @@ int cmd_pangloss(const Args& args) {
   table.add_row({"relative utility vs oracle (Fig 9)",
                  util::Table::num(relative.mean(), 3)});
   std::cout << table.to_string();
+  obs.finish();
   return 0;
 }
 
 int cmd_overhead(const Args& args) {
+  CliObs obs = obs_args(args);
   OverheadExperiment::Config cfg;
   cfg.servers = static_cast<std::size_t>(args.get_int("servers", 1));
   cfg.measured_runs = static_cast<int>(args.get_int("runs", 200));
+  cfg.obs = obs.ptr();
   const auto r = OverheadExperiment(cfg).run();
   util::Table table("Null-operation overhead, " +
                     std::to_string(cfg.servers) + " server(s)");
@@ -273,6 +317,7 @@ int cmd_overhead(const Args& args) {
   table.add_row({"virtual decision cost (ms, simulated)",
                  util::Table::num(r.virtual_decision_ms, 2)});
   std::cout << table.to_string();
+  obs.finish();
   return 0;
 }
 
@@ -281,12 +326,14 @@ int cmd_explain(const Args& args) {
                   "explain needs an application: speech|latex|pangloss");
   const std::string app = args.positionals()[0];
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1000));
+  CliObs obs = obs_args(args);
 
   std::unique_ptr<World> world;
   if (app == "speech") {
     SpeechExperiment::Config cfg;
     cfg.scenario = speech_scenario(args);
     cfg.seed = seed;
+    cfg.obs = obs.ptr();
     cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
       c.trace_decisions = true;
     };
@@ -300,6 +347,7 @@ int cmd_explain(const Args& args) {
     LatexExperiment::Config cfg;
     cfg.scenario = latex_scenario(args);
     cfg.seed = seed;
+    cfg.obs = obs.ptr();
     cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
       c.trace_decisions = true;
     };
@@ -311,6 +359,7 @@ int cmd_explain(const Args& args) {
     PanglossExperiment::Config cfg;
     cfg.scenario = pangloss_scenario(args);
     cfg.seed = seed;
+    cfg.obs = obs.ptr();
     cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
       c.trace_decisions = true;
     };
@@ -327,6 +376,7 @@ int cmd_explain(const Args& args) {
   const auto* trace = world->spectra().last_decision_trace();
   SPECTRA_REQUIRE(trace != nullptr, "no decision trace captured");
   std::cout << trace->to_string();
+  obs.finish();
   return 0;
 }
 

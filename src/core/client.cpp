@@ -19,6 +19,12 @@ double wall_now() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+util::Bytes total_dirty_bytes(const fs::CodaClient& coda) {
+  util::Bytes total = 0.0;
+  for (const auto& f : coda.dirty_files()) total += f.size;
+  return total;
+}
 }  // namespace
 
 SpectraClient::SpectraClient(MachineId id, sim::Engine& engine,
@@ -57,6 +63,27 @@ SpectraClient::SpectraClient(MachineId id, sim::Engine& engine,
   if (!config_.usage_log_path.empty() &&
       std::filesystem::exists(config_.usage_log_path)) {
     usage_log_.load(config_.usage_log_path);
+  }
+
+  if (config_.obs != nullptr) {
+    obs::MetricsRegistry& m = config_.obs->metrics();
+    m_decisions_ = &m.counter("client.decisions");
+    m_explorations_ = &m.counter("client.explorations");
+    m_fallbacks_ = &m.counter("client.fallbacks");
+    m_degradations_ = &m.counter("client.degradations");
+    m_solver_evals_ = &m.counter("solver.evaluations");
+    m_solver_memo_hits_ = &m.counter("solver.memo_hits");
+    m_snapshots_ = &m.counter("client.snapshots");
+    m_reintegration_runs_ = &m.counter("reintegration.runs");
+    m_reintegration_bytes_ = &m.counter("reintegration.bytes");
+    m_ops_completed_ = &m.counter("client.ops_completed");
+    h_decision_wall_ms_ = &m.histogram("decision.wall_ms");
+    h_decision_virtual_ms_ = &m.histogram("decision.virtual_ms");
+    h_reintegration_virtual_s_ = &m.histogram("reintegration.virtual_s");
+    h_residual_time_s_ = &m.histogram("residual.time_s");
+    h_residual_energy_j_ = &m.histogram("residual.energy_j");
+    endpoint_.set_metrics(config_.obs);
+    network_monitor_->attach(config_.obs);
   }
 }
 
@@ -194,6 +221,26 @@ OperationChoice SpectraClient::choose(
     choice.alternative = feasible[op.executions % feasible.size()];
     choice.wall_total = wall_now() - wall_t0;
     choice.virtual_decision_time = engine_.now() - vt0;
+    if (m_decisions_ != nullptr) {
+      m_decisions_->add();
+      m_explorations_->add();
+      h_decision_wall_ms_->observe(choice.wall_total * 1e3);
+      h_decision_virtual_ms_->observe(choice.virtual_decision_time * 1e3);
+    }
+    if (config_.obs != nullptr && config_.obs->tracing()) {
+      obs::TraceEvent ev("decision", engine_.now());
+      ev.field("op", op.desc.name)
+          .field("mode", "explore")
+          .field("candidates", choice.candidate_servers)
+          .field("evaluations", choice.evaluations)
+          .field("memo_hits", choice.memo_hits)
+          .field("plan", op.desc.plans[choice.alternative.plan].name)
+          .field("plan_index", choice.alternative.plan)
+          .field("server", choice.alternative.server)
+          .field("fidelity", choice.alternative.fidelity)
+          .field("virtual_decision_s", choice.virtual_decision_time);
+      config_.obs->trace()->emit(ev);
+    }
     return choice;
   }
 
@@ -203,6 +250,7 @@ OperationChoice SpectraClient::choose(
   monitor::ResourceSnapshot snapshot =
       monitors_.build_snapshot(candidates, engine_.now());
   const double wall_snap1 = wall_now();
+  if (m_snapshots_ != nullptr) m_snapshots_->add();
   {
     auto it = monitors_.last_predict_wall_times().find("file_cache");
     choice.wall_cache_prediction =
@@ -253,6 +301,7 @@ OperationChoice SpectraClient::choose(
   machine_.run_cycles(config_.per_eval_cycles *
                       static_cast<double>(result.evaluations));
 
+  bool have_winner_metrics = false;
   if (!result.found) {
     // Everything infeasible (e.g. candidate servers lost mid-decision):
     // fall back to the first local plan at the first fidelity setting.
@@ -264,12 +313,16 @@ OperationChoice SpectraClient::choose(
         break;
       }
     }
+    choice.evaluations = result.evaluations;
+    choice.memo_hits = result.memo_hits;
+    if (m_fallbacks_ != nullptr) m_fallbacks_->add();
   } else {
     choice.ok = true;
     choice.from_model = true;
     choice.alternative = result.best;
     choice.log_utility = result.log_utility;
     choice.evaluations = result.evaluations;
+    choice.memo_hits = result.memo_hits;
     // Recompute the winner's metrics for reporting.
     const predict::FeatureVector f =
         make_features(op.desc, result.best, params, data_tag);
@@ -281,7 +334,10 @@ OperationChoice SpectraClient::choose(
       best_metrics = *metrics;
       choice.predicted = best_metrics;
       choice.predicted_breakdown = best_breakdown;
+      have_winner_metrics = true;
     }
+    choice.predicted_demand = demand;
+    choice.has_predicted_demand = true;
   }
 
   choice.wall_choosing = wall_solve1 - wall_solve0;
@@ -289,6 +345,43 @@ OperationChoice SpectraClient::choose(
   choice.wall_other = choice.wall_total - choice.wall_choosing -
                       (wall_snap1 - wall_snap0);
   choice.virtual_decision_time = engine_.now() - vt0;
+
+  if (m_decisions_ != nullptr) {
+    m_decisions_->add();
+    m_solver_evals_->add(static_cast<double>(result.evaluations));
+    m_solver_memo_hits_->add(static_cast<double>(result.memo_hits));
+    h_decision_wall_ms_->observe(choice.wall_total * 1e3);
+    h_decision_virtual_ms_->observe(choice.virtual_decision_time * 1e3);
+  }
+  if (config_.obs != nullptr && config_.obs->tracing() && choice.ok) {
+    // The decision explain record: what was chosen and the per-term
+    // log-utility breakdown of why (wall-clock stays out — metrics only).
+    obs::TraceEvent ev("decision", engine_.now());
+    ev.field("op", op.desc.name)
+        .field("mode", choice.from_model ? "model" : "fallback")
+        .field("candidates", choice.candidate_servers)
+        .field("evaluations", choice.evaluations)
+        .field("memo_hits", choice.memo_hits)
+        .field("plan", op.desc.plans[choice.alternative.plan].name)
+        .field("plan_index", choice.alternative.plan)
+        .field("server", choice.alternative.server)
+        .field("fidelity", choice.alternative.fidelity)
+        .field("energy_importance", snapshot.energy_importance);
+    if (have_winner_metrics) {
+      const solver::UtilityTerms terms = op.utility->log_utility_terms(
+          best_metrics, snapshot.energy_importance);
+      ev.field("lu_total", choice.log_utility)
+          .field("lu_latency", terms.latency)
+          .field("lu_energy", terms.energy)
+          .field("lu_fidelity", terms.fidelity)
+          .field("predicted_s", choice.predicted.time);
+      if (choice.predicted.has_energy) {
+        ev.field("predicted_j", choice.predicted.energy);
+      }
+    }
+    ev.field("virtual_decision_s", choice.virtual_decision_time);
+    config_.obs->trace()->emit(ev);
+  }
 
   if (config_.trace_decisions && choice.ok) {
     trace.chosen = choice.alternative;
@@ -324,6 +417,8 @@ void SpectraClient::start_execution(
   // part of the operation's execution, exactly as in the paper's bars.
   const bool remote = op.desc.plans[choice.alternative.plan].uses_remote;
   if (remote && coda_.has_dirty_files()) {
+    const util::Bytes dirty_before =
+        config_.obs != nullptr ? total_dirty_bytes(coda_) : 0.0;
     try {
       if (op.model.trained()) {
         const auto demand = op.model.predict(active.features);
@@ -332,6 +427,19 @@ void SpectraClient::start_execution(
       } else {
         // No access predictions yet: be conservative, push everything.
         active.choice.reintegration_time = coda_.reintegrate_all();
+      }
+      if (config_.obs != nullptr && active.choice.reintegration_time > 0.0) {
+        const util::Bytes pushed = dirty_before - total_dirty_bytes(coda_);
+        m_reintegration_runs_->add();
+        m_reintegration_bytes_->add(pushed);
+        h_reintegration_virtual_s_->observe(active.choice.reintegration_time);
+        if (config_.obs->tracing()) {
+          obs::TraceEvent ev("reintegration", engine_.now());
+          ev.field("op", op.desc.name)
+              .field("virtual_s", active.choice.reintegration_time)
+              .field("bytes", pushed);
+          config_.obs->trace()->emit(ev);
+        }
       }
     } catch (const util::ContractError& e) {
       // Reintegration failed (file server unreachable or partitioned
@@ -361,6 +469,15 @@ void SpectraClient::start_execution(
       active.choice.alternative.server = -1;
       active.features = make_features(op.desc, active.choice.alternative,
                                       params, data_tag);
+      if (m_degradations_ != nullptr) m_degradations_->add();
+      if (config_.obs != nullptr && config_.obs->tracing()) {
+        obs::TraceEvent ev("degrade", engine_.now());
+        ev.field("op", op.desc.name)
+            .field("reason", "reintegration_failed")
+            .field("plan", op.desc.plans[local_plan].name)
+            .field("server", -1);
+        config_.obs->trace()->emit(ev);
+      }
     }
   }
 
@@ -452,6 +569,15 @@ rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
     active_->choice.alternative.server = new_server;
     active_->features = make_features(op.desc, active_->choice.alternative,
                                       active_->params, active_->data_tag);
+    if (m_degradations_ != nullptr) m_degradations_->add();
+    if (config_.obs != nullptr && config_.obs->tracing()) {
+      obs::TraceEvent ev("degrade", engine_.now());
+      ev.field("op", active_->name)
+          .field("reason", rpc::to_string(failed.error_kind))
+          .field("failed_server", failed_id)
+          .field("server", new_server);
+      config_.obs->trace()->emit(ev);
+    }
   };
 
   for (MachineId alt_id : server_db_.available_servers()) {
@@ -502,12 +628,60 @@ monitor::OperationUsage SpectraClient::end_fidelity_op() {
   machine_.run_cycles(config_.end_cycles);
 
   RegisteredOp& op = registered(active_->name);
+
   op.model.observe(active_->features, active_->usage);
   ++op.executions;
   predict::UsageRecord record = predict::UsageRecord::from_usage(
       active_->name, active_->features, active_->usage);
   // Merge accesses as the model sees them.
   usage_log_.append(std::move(record));
+
+  if (config_.obs != nullptr) {
+    const OperationChoice& c = active_->choice;
+    m_ops_completed_->add();
+    if (c.from_model) {
+      h_residual_time_s_->observe(active_->usage.elapsed - c.predicted.time);
+      if (c.predicted.has_energy && active_->usage.energy_valid) {
+        h_residual_energy_j_->observe(active_->usage.energy -
+                                      c.predicted.energy);
+      }
+    }
+    if (config_.obs->tracing()) {
+      obs::TraceEvent ev("end_fidelity_op", engine_.now());
+      ev.field("op", active_->name)
+          .field("plan", op.desc.plans[c.alternative.plan].name)
+          .field("server", c.alternative.server)
+          .field("degraded", c.degraded)
+          .field("elapsed_s", active_->usage.elapsed);
+      if (c.from_model) {
+        ev.field("predicted_s", c.predicted.time)
+            .field("residual_s", active_->usage.elapsed - c.predicted.time);
+        if (c.predicted.has_energy && active_->usage.energy_valid) {
+          ev.field("energy_j", active_->usage.energy)
+              .field("predicted_j", c.predicted.energy)
+              .field("residual_j",
+                     active_->usage.energy - c.predicted.energy);
+        }
+      }
+      if (c.has_predicted_demand) {
+        // Demand residuals: actual usage minus what the demand predictors
+        // expected at decision time (records with degraded:true executed a
+        // different alternative than the one this prediction was for).
+        const predict::DemandEstimate& d = c.predicted_demand;
+        ev.field("residual_local_cycles",
+                 active_->usage.local_cycles - d.local_cycles)
+            .field("residual_remote_cycles",
+                   active_->usage.remote_cycles - d.remote_cycles)
+            .field("residual_bytes_sent",
+                   active_->usage.bytes_sent - d.bytes_sent)
+            .field("residual_bytes_received",
+                   active_->usage.bytes_received - d.bytes_received)
+            .field("residual_rpcs",
+                   static_cast<double>(active_->usage.rpcs) - d.rpcs);
+      }
+      config_.obs->trace()->emit(ev);
+    }
+  }
 
   monitor::OperationUsage usage = active_->usage;
   active_.reset();

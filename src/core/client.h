@@ -37,6 +37,7 @@
 #include "monitor/monitor.h"
 #include "monitor/network_monitor.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "predict/operation_model.h"
 #include "rpc/rpc.h"
 #include "sim/engine.h"
@@ -83,6 +84,11 @@ struct SpectraClientConfig {
   solver::HeuristicSolverConfig solver;
   monitor::NetworkMonitorConfig network;
   monitor::GoalAdaptationConfig goal;
+
+  // Observability sink for the decision pipeline: metrics always, JSONL
+  // trace events when the sink has one attached. Non-owning; must outlive
+  // the client. Null (the default) disables all instrumentation.
+  obs::Observability* obs = nullptr;
 
   // When non-empty, the usage log is loaded from here at construction (if
   // the file exists) and can be saved back with save_usage_log().
@@ -144,8 +150,14 @@ struct OperationChoice {
   solver::Alternative alternative;
   solver::UserMetrics predicted;
   solver::TimeBreakdown predicted_breakdown;
+  // Demand the model predicted for the chosen alternative, captured at
+  // decision time so end_fidelity_op can report predicted-vs-actual
+  // residuals without a second model evaluation on the hot path.
+  predict::DemandEstimate predicted_demand;
+  bool has_predicted_demand = false;
   double log_utility = solver::kInfeasible;
   std::size_t evaluations = 0;
+  std::size_t memo_hits = 0;
   std::size_t candidate_servers = 0;
 
   // Real wall-clock cost of the decision phases (seconds of host time).
@@ -303,6 +315,24 @@ class SpectraClient {
   std::optional<ActiveOp> active_;
   predict::UsageLog usage_log_;
   std::optional<DecisionTrace> last_trace_;
+
+  // Cached observability handles, resolved once at construction; all null
+  // when config_.obs is null, so the disabled path is one pointer compare.
+  obs::Counter* m_decisions_ = nullptr;
+  obs::Counter* m_explorations_ = nullptr;
+  obs::Counter* m_fallbacks_ = nullptr;
+  obs::Counter* m_degradations_ = nullptr;
+  obs::Counter* m_solver_evals_ = nullptr;
+  obs::Counter* m_solver_memo_hits_ = nullptr;
+  obs::Counter* m_snapshots_ = nullptr;
+  obs::Counter* m_reintegration_runs_ = nullptr;
+  obs::Counter* m_reintegration_bytes_ = nullptr;
+  obs::Counter* m_ops_completed_ = nullptr;
+  obs::Histogram* h_decision_wall_ms_ = nullptr;
+  obs::Histogram* h_decision_virtual_ms_ = nullptr;
+  obs::Histogram* h_reintegration_virtual_s_ = nullptr;
+  obs::Histogram* h_residual_time_s_ = nullptr;
+  obs::Histogram* h_residual_energy_j_ = nullptr;
 };
 
 }  // namespace spectra::core

@@ -21,6 +21,12 @@ void FaultInjector::attach_machine(MachineId id, hw::Machine& machine) {
   machines_[id] = &machine;
 }
 
+void FaultInjector::attach_obs(obs::Observability* obs) {
+  obs_ = obs;
+  applied_metric_ =
+      obs != nullptr ? &obs->metrics().counter("fault.applied") : nullptr;
+}
+
 void FaultInjector::schedule(Seconds at_offset, const FaultEvent& e) {
   SPECTRA_REQUIRE(at_offset >= 0.0, "fault offset must be >= 0");
   ++armed_;
@@ -152,6 +158,14 @@ void FaultInjector::apply(const FaultEvent& e) {
   }
   trace_.push_back(
       AppliedFault{engine_.now(), e.kind, e.a, e.b, e.magnitude});
+  if (applied_metric_ != nullptr) applied_metric_->add();
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs::TraceEvent ev("fault", engine_.now());
+    ev.field("kind", to_token(e.kind)).field("a", e.a);
+    if (is_link_fault(e.kind)) ev.field("b", e.b);
+    if (e.magnitude != 0.0) ev.field("magnitude", e.magnitude);
+    obs_->trace()->emit(ev);
+  }
   SPECTRA_LOG_INFO("fault") << "t=" << engine_.now() << " "
                             << to_token(e.kind) << " machine " << e.a
                             << (is_link_fault(e.kind)

@@ -18,6 +18,7 @@
 #include "fault/fault_plan.h"
 #include "hw/machine.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "rpc/rpc.h"
 #include "sim/engine.h"
 
@@ -42,6 +43,10 @@ class FaultInjector {
   // for battery faults. Targets must outlive the injector.
   void attach_endpoint(MachineId id, rpc::RpcEndpoint& endpoint);
   void attach_machine(MachineId id, hw::Machine& machine);
+
+  // Count applied faults in `obs` metrics and mirror each one as a `fault`
+  // trace event (null detaches).
+  void attach_obs(obs::Observability* obs);
 
   // Expand `plan` and schedule every occurrence on the engine. Event times
   // are offsets from the current virtual time. May be called more than once;
@@ -76,6 +81,9 @@ class FaultInjector {
   std::map<LinkKey, util::BytesPerSec> saved_bandwidth_;
   std::vector<AppliedFault> trace_;
   std::size_t armed_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* applied_metric_ = nullptr;
 };
 
 }  // namespace spectra::fault

@@ -21,14 +21,28 @@ NetworkMonitor::PeerEstimate& NetworkMonitor::peer(MachineId id) {
   return it->second;
 }
 
+void NetworkMonitor::attach(obs::Observability* obs) {
+  if (obs == nullptr) {
+    refreshes_metric_ = nullptr;
+    ingested_metric_ = nullptr;
+    return;
+  }
+  refreshes_metric_ = &obs->metrics().counter("monitor.network.refreshes");
+  ingested_metric_ = &obs->metrics().counter("monitor.network.ingested");
+}
+
 void NetworkMonitor::refresh() {
+  if (refreshes_metric_ != nullptr) refreshes_metric_->add();
   const auto transfers =
       network_.recent_transfers(self_, config_.observation_window);
   for (const auto& t : transfers) {
     const MachineId other = (t.from == self_) ? t.to : t.from;
     PeerEstimate& est = peer(other);
-    if (t.start <= est.last_seen) continue;  // already ingested
-    est.last_seen = t.start;
+    // Dedup on the unique transfer id: transfers over a fast link can
+    // share a start tick, so a timestamp comparison would drop them.
+    if (t.id <= est.last_ingested_id) continue;  // already ingested
+    est.last_ingested_id = t.id;
+    if (ingested_metric_ != nullptr) ingested_metric_->add();
     if (t.bytes <= config_.small_transfer_max) {
       // Short exchange: duration ~ one-way latency + negligible payload.
       est.latency.add(t.duration);

@@ -14,11 +14,13 @@
 // passes through Spectra (the client reports these via note_call).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
 #include "monitor/monitor.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/engine.h"
 #include "util/stats.h"
 
@@ -50,6 +52,10 @@ class NetworkMonitor : public ResourceMonitor {
   // Called by the Spectra client for every RPC the operation performs.
   void note_call(const rpc::CallStats& stats);
 
+  // Register refresh/ingest counters with `obs` (null detaches). Counter
+  // handles are cached here, so refresh() stays name-lookup-free.
+  void attach(obs::Observability* obs);
+
   // Current estimates for a peer (tests/telemetry). A peer with no bulk
   // history inherits the whole-machine estimate: the paper's monitor first
   // determines "the instantaneous bandwidth available to the entire
@@ -66,7 +72,11 @@ class NetworkMonitor : public ResourceMonitor {
   struct PeerEstimate {
     util::Ewma bandwidth;
     util::Ewma latency;
-    Seconds last_seen = -1.0;  // newest transfer start already ingested
+    // Newest transfer id already ingested. Dedup must key on the unique
+    // id, not the start time: distinct transfers can start at the same
+    // virtual tick (fast link, sub-ulp durations), and a timestamp test
+    // would silently drop all but the first of them.
+    std::uint64_t last_ingested_id = 0;
     PeerEstimate(double alpha) : bandwidth(alpha), latency(alpha) {}
   };
 
@@ -81,6 +91,10 @@ class NetworkMonitor : public ResourceMonitor {
   std::map<MachineId, PeerEstimate> peers_;
   util::Ewma machine_bw_{0.5};  // first-hop estimate from all bulk traffic
   sim::EventId refresher_ = 0;
+
+  // Cached metric handles; null when no Observability is attached.
+  obs::Counter* refreshes_metric_ = nullptr;
+  obs::Counter* ingested_metric_ = nullptr;
 
   // Per-operation accounting.
   Bytes op_bytes_sent_ = 0.0;

@@ -97,8 +97,9 @@ TransferResult Network::transfer(MachineId a, MachineId b, Bytes bytes) {
   // the payload never arrived: the transfer fails and is not logged.
   if (!reachable(a, b)) return TransferResult{false, duration};
 
-  log_.push_back(TransferRecord{start, duration, bytes, a, b});
   ++total_transfers_;
+  log_.push_back(TransferRecord{start, duration, bytes, a, b,
+                                static_cast<std::uint64_t>(total_transfers_)});
   if (log_.size() > kMaxLogEntries) log_.pop_front();
   return TransferResult{true, duration};
 }

@@ -14,6 +14,7 @@
 // link parameters.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <utility>
@@ -46,6 +47,10 @@ struct TransferRecord {
   Bytes bytes = 0.0;
   MachineId from = -1;
   MachineId to = -1;
+  // Unique per transfer, assigned in log order starting at 1. Consumers
+  // that ingest the log incrementally must dedup on this, not on start
+  // time: two transfers over a fast link can start at the same tick.
+  std::uint64_t id = 0;
 };
 
 // Outcome of one transfer. `completed` is false when the link was down at

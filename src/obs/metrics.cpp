@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/trace.h"
+#include "util/assert.h"
+
+namespace spectra::obs {
+
+void Histogram::observe(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  SPECTRA_REQUIRE(!name.empty(), "metric name must be non-empty");
+  SPECTRA_REQUIRE(histograms_.count(name) == 0,
+                  "metric already registered as a histogram: " + name);
+  return counters_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  SPECTRA_REQUIRE(!name.empty(), "metric name must be non-empty");
+  SPECTRA_REQUIRE(counters_.count(name) == 0,
+                  "metric already registered as a counter: " + name);
+  return histograms_[name];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c.reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h.reset();
+  }
+}
+
+std::vector<MetricRow> MetricsRegistry::snapshot() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow r;
+    r.name = name;
+    r.type = "counter";
+    r.count = c.value();
+    r.sum = c.value();
+    r.min = r.max = r.mean = c.value();
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow r;
+    r.name = name;
+    r.type = "histogram";
+    r.count = static_cast<double>(h.count());
+    r.sum = h.sum();
+    r.min = h.min();
+    r.max = h.max();
+    r.mean = h.mean();
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+void MetricsRegistry::export_csv(std::ostream& out) const {
+  out << "name,type,count,sum,min,max,mean\n";
+  for (const auto& r : snapshot()) {
+    out << r.name << ',' << r.type << ',' << format_double(r.count) << ','
+        << format_double(r.sum) << ',' << format_double(r.min) << ','
+        << format_double(r.max) << ',' << format_double(r.mean) << '\n';
+  }
+}
+
+void MetricsRegistry::export_jsonl(std::ostream& out) const {
+  for (const auto& r : snapshot()) {
+    out << "{\"name\":" << json_quote(r.name) << ",\"type\":\"" << r.type
+        << "\",\"count\":" << format_double(r.count)
+        << ",\"sum\":" << format_double(r.sum)
+        << ",\"min\":" << format_double(r.min)
+        << ",\"max\":" << format_double(r.max)
+        << ",\"mean\":" << format_double(r.mean) << "}\n";
+  }
+}
+
+void MetricsRegistry::export_to_file(const std::string& path) const {
+  std::ofstream out(path);
+  SPECTRA_REQUIRE(out.good(), "cannot open metrics file: " + path);
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    export_csv(out);
+  } else {
+    export_jsonl(out);
+  }
+  SPECTRA_REQUIRE(out.good(), "failed writing metrics file: " + path);
+}
+
+}  // namespace spectra::obs

@@ -1,0 +1,96 @@
+// Metrics registry for the decision-pipeline observability layer.
+//
+// Counters and histograms are registered lazily by name; handles returned
+// by counter()/histogram() are stable for the registry's lifetime, so hot
+// paths resolve a metric once at wiring time and increment through the
+// pointer with no per-event name lookup. The registry is single-threaded
+// like the rest of the simulation.
+//
+// Snapshots order metrics by name, so exports are deterministic. Counter
+// values and histogram sample statistics over virtual-time quantities are
+// bit-identical across replays of a seeded run; wall-clock histograms
+// (decision latency, per-phase wall time) are the only nondeterministic
+// content and live solely in metrics exports, never in traces.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spectra::obs {
+
+// Monotonically increasing sum (counts, bytes, evaluations...).
+class Counter {
+ public:
+  void add(double n = 1.0) { value_ += n; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Streaming sample statistics: count/sum/min/max/mean. Bounded memory —
+// samples are folded in, never stored.
+class Histogram {
+ public:
+  void observe(double x);
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const;
+  void reset() { *this = Histogram{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// One exported metric, flattened for rendering.
+struct MetricRow {
+  std::string name;
+  std::string type;  // "counter" or "histogram"
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Fetch-or-create. A name registered as one kind cannot be reused as the
+  // other (throws util::ContractError).
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Read-only lookup; null when the metric was never registered.
+  const Counter* find_counter(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const { return counters_.size() + histograms_.size(); }
+
+  // Zero every metric, keeping registrations (and thus handles) alive.
+  void reset();
+
+  // All metrics, sorted by name (counters interleaved with histograms).
+  std::vector<MetricRow> snapshot() const;
+
+  // Exports. CSV: header + one row per metric. JSONL: one object per line.
+  void export_csv(std::ostream& out) const;
+  void export_jsonl(std::ostream& out) const;
+  // Writes CSV when `path` ends in ".csv", JSONL otherwise. Throws
+  // util::ContractError when the file cannot be opened.
+  void export_to_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace spectra::obs

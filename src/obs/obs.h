@@ -1,0 +1,44 @@
+// Observability bundle: one MetricsRegistry plus an optional TraceSink.
+//
+// A single Observability instance is threaded (as a raw, non-owning
+// pointer) through SpectraClientConfig into every instrumented component.
+// Components null-check once at wiring time, cache Counter*/Histogram*
+// handles, and emit trace events only when tracing() is on, so the fully
+// disabled path costs one pointer compare per site.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spectra::obs {
+
+class Observability {
+ public:
+  Observability() = default;
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  bool tracing() const { return trace_ != nullptr; }
+  // Null when tracing is off.
+  TraceSink* trace() { return trace_.get(); }
+
+  // Route trace events to `out` (non-owning; `out` must outlive this).
+  void trace_to(std::ostream& out) {
+    trace_ = std::make_unique<TraceSink>(out);
+  }
+  // Route trace events to a file (owning). Throws util::ContractError when
+  // the file cannot be opened.
+  void trace_to_file(const std::string& path) { trace_ = TraceSink::open(path); }
+
+ private:
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceSink> trace_;
+};
+
+}  // namespace spectra::obs

@@ -1,0 +1,82 @@
+// Structured trace sink: JSONL events keyed by deterministic virtual time.
+//
+// Every event is one JSON object on one line, fields in insertion order,
+// beginning with the event type and the virtual timestamp it occurred at.
+// Doubles are formatted with std::to_chars (shortest round-trip), so the
+// byte stream of a seeded run is a pure function of the simulation — two
+// replays of the same seed produce bit-identical traces, extending the
+// deterministic-replay guarantee to the observability layer. Events must
+// therefore never carry wall-clock quantities; those belong in metrics.
+//
+// Events are built by appending into one pre-reserved buffer (no
+// per-field temporaries), keeping the decision hot path cheap enough that
+// tracing a null operation stays within a few percent of the plain run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace spectra::obs {
+
+// Shortest round-trip decimal representation of `v` (std::to_chars).
+std::string format_double(double v);
+// `s` as a quoted JSON string (escapes quotes, backslashes, control chars).
+std::string json_quote(std::string_view s);
+
+// Builder for one trace event. Fields render in insertion order.
+class TraceEvent {
+ public:
+  // `t` is the virtual time the event occurred at.
+  TraceEvent(std::string_view type, double t);
+
+  TraceEvent& field(std::string_view key, double v);
+  TraceEvent& field(std::string_view key, std::int64_t v);
+  TraceEvent& field(std::string_view key, std::size_t v);
+  TraceEvent& field(std::string_view key, int v);
+  TraceEvent& field(std::string_view key, bool v);
+  TraceEvent& field(std::string_view key, std::string_view v);
+  // Without this overload a string literal would prefer the bool
+  // conversion over the user-defined one to string_view.
+  TraceEvent& field(std::string_view key, const char* v);
+  // Nested object of numeric values (e.g. a fidelity vector); keys render
+  // in map order, which is deterministic.
+  TraceEvent& field(std::string_view key,
+                    const std::map<std::string, double>& v);
+
+  // The complete single-line JSON object (no trailing newline).
+  std::string to_json() const;
+
+ private:
+  friend class TraceSink;
+  void begin_field(std::string_view key);
+  std::string body_;  // "{"type":...,"t":...,..." without the closing brace
+};
+
+class TraceSink {
+ public:
+  // Non-owning: events append to `out`, which must outlive the sink.
+  explicit TraceSink(std::ostream& out);
+  // Owning: opens `path` for writing (truncates); throws
+  // util::ContractError when the file cannot be opened.
+  static std::unique_ptr<TraceSink> open(const std::string& path);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Write one event as a JSONL line.
+  void emit(const TraceEvent& event);
+
+  std::size_t events() const { return events_; }
+
+ private:
+  TraceSink() = default;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
+  std::size_t events_ = 0;
+};
+
+}  // namespace spectra::obs

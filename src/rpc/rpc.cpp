@@ -159,19 +159,43 @@ Response RpcEndpoint::call_once(RpcEndpoint& target,
   return r;
 }
 
+void RpcEndpoint::set_metrics(obs::Observability* obs) {
+  if (obs == nullptr) {
+    calls_metric_ = nullptr;
+    attempts_metric_ = nullptr;
+    retries_metric_ = nullptr;
+    timeouts_metric_ = nullptr;
+    transport_failures_metric_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = obs->metrics();
+  calls_metric_ = &m.counter("rpc.calls");
+  attempts_metric_ = &m.counter("rpc.attempts");
+  retries_metric_ = &m.counter("rpc.retries");
+  timeouts_metric_ = &m.counter("rpc.timeouts");
+  transport_failures_metric_ = &m.counter("rpc.transport_failures");
+}
+
 Response RpcEndpoint::call(RpcEndpoint& target, const std::string& service,
                            const Request& request, CallStats* stats,
                            const RetryPolicy& policy) {
   SPECTRA_REQUIRE(policy.max_attempts >= 1, "need at least one attempt");
   const Seconds t0 = machine_.engine().now();
+  if (calls_metric_ != nullptr) calls_metric_->add();
   CallStats acc;
   Response r;
   for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     r = call_once(target, service, request, policy.timeout, acc);
     acc.attempts = attempt;
+    if (attempts_metric_ != nullptr) attempts_metric_->add();
+    if (r.error_kind == ErrorKind::kTimeout && timeouts_metric_ != nullptr) {
+      timeouts_metric_->add();
+    }
     if (r.ok || !retryable(r.error_kind)) break;
     acc.transport_failures += 1;
+    if (transport_failures_metric_ != nullptr) transport_failures_metric_->add();
     if (attempt == policy.max_attempts) break;
+    if (retries_metric_ != nullptr) retries_metric_->add();
     // Exponential backoff before the next attempt; the wait advances
     // virtual time like any other blocking operation, so scheduled
     // recoveries (link up, server restart) can fire while we wait.

@@ -30,6 +30,7 @@
 #include "fs/coda.h"
 #include "hw/machine.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -159,6 +160,10 @@ class RpcEndpoint {
   // is partitioned away or crashed.
   bool ping(RpcEndpoint& target, Seconds* rtt = nullptr);
 
+  // Register call/retry/timeout counters with `obs` (null detaches).
+  // Handles are cached, so the per-call cost is one pointer compare.
+  void set_metrics(obs::Observability* obs);
+
  private:
   Response call_once(RpcEndpoint& target, const std::string& service,
                      const Request& request, Seconds timeout, CallStats& acc);
@@ -175,6 +180,13 @@ class RpcEndpoint {
   // replayed run draws the identical schedule.
   util::Rng retry_rng_;
   std::map<std::string, Handler> handlers_;
+
+  // Cached metric handles; null when no Observability is attached.
+  obs::Counter* calls_metric_ = nullptr;
+  obs::Counter* attempts_metric_ = nullptr;
+  obs::Counter* retries_metric_ = nullptr;
+  obs::Counter* timeouts_metric_ = nullptr;
+  obs::Counter* transport_failures_metric_ = nullptr;
 };
 
 }  // namespace spectra::rpc

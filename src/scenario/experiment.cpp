@@ -31,6 +31,43 @@ MeasuredRun to_run(const core::OperationChoice& choice,
   return run;
 }
 
+// Scoped timer for one experiment phase (setup / train / settle / measure):
+// records wall and virtual elapsed time as histograms and, when tracing,
+// emits a `phase` event at the phase's end. Wall time never enters the
+// trace — it would break replay bit-identity.
+class PhaseTimer {
+ public:
+  PhaseTimer(obs::Observability* obs, sim::Engine& engine, std::string name)
+      : obs_(obs),
+        engine_(engine),
+        name_(std::move(name)),
+        wall0_(wall_ms()),
+        virt0_(engine.now()) {}
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() {
+    if (obs_ == nullptr) return;
+    const util::Seconds virt = engine_.now() - virt0_;
+    obs_->metrics().histogram("phase." + name_ + ".wall_ms")
+        .observe(wall_ms() - wall0_);
+    obs_->metrics().histogram("phase." + name_ + ".virtual_s").observe(virt);
+    if (obs_->tracing()) {
+      obs::TraceEvent ev("phase", engine_.now());
+      ev.field("name", name_).field("virtual_s", virt);
+      obs_->trace()->emit(ev);
+    }
+  }
+
+ private:
+  obs::Observability* obs_;
+  sim::Engine& engine_;
+  std::string name_;
+  double wall0_;
+  util::Seconds virt0_;
+};
+
 }  // namespace
 
 // ------------------------------------------------------------------ speech
@@ -57,22 +94,33 @@ std::unique_ptr<World> SpeechExperiment::trained_world() const {
   WorldConfig wc;
   wc.testbed = Testbed::kItsy;
   wc.seed = config_.seed;
+  wc.spectra.obs = config_.obs;
   if (config_.spectra_overrides) config_.spectra_overrides(wc.spectra);
   auto world = std::make_unique<World>(wc);
-  world->warm_all_caches();
-  world->probe_fetch_rates();
-  world->settle(6.0);
-
-  util::Rng rng(config_.seed * 77 + 13);
-  const auto alts = alternatives();
-  for (int i = 0; i < config_.training_runs; ++i) {
-    const double len = rng.uniform(1.0, 3.5);
-    world->janus().run_forced(world->spectra(), len,
-                              alts[static_cast<std::size_t>(i) % alts.size()]);
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "setup");
+    world->warm_all_caches();
+    world->probe_fetch_rates();
+    world->settle(6.0);
   }
-  apply(*world, config_.scenario);
-  world->settle(config_.settle_time);
-  if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
+
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "train");
+    util::Rng rng(config_.seed * 77 + 13);
+    const auto alts = alternatives();
+    for (int i = 0; i < config_.training_runs; ++i) {
+      const double len = rng.uniform(1.0, 3.5);
+      world->janus().run_forced(
+          world->spectra(), len,
+          alts[static_cast<std::size_t>(i) % alts.size()]);
+    }
+  }
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "settle");
+    apply(*world, config_.scenario);
+    world->settle(config_.settle_time);
+    if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
+  }
   return world;
 }
 
@@ -91,6 +139,7 @@ MeasuredRun SpeechExperiment::measure(const solver::Alternative& alt) const {
 
 MeasuredRun SpeechExperiment::run_spectra() const {
   auto world = trained_world();
+  PhaseTimer phase(config_.obs, world->engine(), "measure");
   // Capture the choice before end_fidelity_op clears it.
   std::map<std::string, double> params{
       {"utt_len", config_.test_utterance_s}};
@@ -119,22 +168,32 @@ std::unique_ptr<World> LatexExperiment::trained_world() const {
   WorldConfig wc;
   wc.testbed = Testbed::kThinkpad;
   wc.seed = config_.seed;
+  wc.spectra.obs = config_.obs;
   if (config_.spectra_overrides) config_.spectra_overrides(wc.spectra);
   auto world = std::make_unique<World>(wc);
-  world->warm_all_caches();
-  world->probe_fetch_rates();
-  world->settle(6.0);
-
-  const auto alts = alternatives();
-  for (int i = 0; i < config_.training_runs; ++i) {
-    const std::string doc = (i % 2 == 0) ? "small" : "large";
-    world->latex().run_forced(world->spectra(), doc,
-                              alts[static_cast<std::size_t>(i / 2) %
-                                   alts.size()]);
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "setup");
+    world->warm_all_caches();
+    world->probe_fetch_rates();
+    world->settle(6.0);
   }
-  apply(*world, config_.scenario);
-  world->settle(config_.settle_time);
-  if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
+
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "train");
+    const auto alts = alternatives();
+    for (int i = 0; i < config_.training_runs; ++i) {
+      const std::string doc = (i % 2 == 0) ? "small" : "large";
+      world->latex().run_forced(world->spectra(), doc,
+                                alts[static_cast<std::size_t>(i / 2) %
+                                     alts.size()]);
+    }
+  }
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "settle");
+    apply(*world, config_.scenario);
+    world->settle(config_.settle_time);
+    if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
+  }
   return world;
 }
 
@@ -153,6 +212,7 @@ MeasuredRun LatexExperiment::measure(const solver::Alternative& alt) const {
 
 MeasuredRun LatexExperiment::run_spectra() const {
   auto world = trained_world();
+  PhaseTimer phase(config_.obs, world->engine(), "measure");
   const auto choice = world->spectra().begin_fidelity_op(
       LatexApp::kOperation, {}, config_.doc);
   SPECTRA_REQUIRE(choice.ok, "Spectra made no choice");
@@ -203,26 +263,36 @@ std::unique_ptr<World> PanglossExperiment::trained_world() const {
   WorldConfig wc;
   wc.testbed = Testbed::kThinkpad;
   wc.seed = config_.seed;
+  wc.spectra.obs = config_.obs;
   if (config_.spectra_overrides) config_.spectra_overrides(wc.spectra);
   auto world = std::make_unique<World>(wc);
-  world->warm_all_caches();
-  world->probe_fetch_rates();
-  world->settle(6.0);
-
-  util::Rng rng(config_.seed * 91 + 7);
-  for (int i = 0; i < config_.training_runs; ++i) {
-    const int words = static_cast<int>(rng.uniform_int(4, 44));
-    const int fid = 1 + static_cast<int>(rng.uniform_int(0, 6));
-    const int mask = static_cast<int>(rng.uniform_int(0, 15));
-    const MachineId server = (i % 2 == 0) ? kServerA : kServerB;
-    const auto alt = PanglossApp::alternative(mask, (fid & 1) != 0,
-                                              (fid & 2) != 0, (fid & 4) != 0,
-                                              server);
-    world->pangloss().run_forced(world->spectra(), words, alt);
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "setup");
+    world->warm_all_caches();
+    world->probe_fetch_rates();
+    world->settle(6.0);
   }
-  apply(*world, config_.scenario);
-  world->settle(config_.settle_time);
-  if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
+
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "train");
+    util::Rng rng(config_.seed * 91 + 7);
+    for (int i = 0; i < config_.training_runs; ++i) {
+      const int words = static_cast<int>(rng.uniform_int(4, 44));
+      const int fid = 1 + static_cast<int>(rng.uniform_int(0, 6));
+      const int mask = static_cast<int>(rng.uniform_int(0, 15));
+      const MachineId server = (i % 2 == 0) ? kServerA : kServerB;
+      const auto alt = PanglossApp::alternative(mask, (fid & 1) != 0,
+                                                (fid & 2) != 0,
+                                                (fid & 4) != 0, server);
+      world->pangloss().run_forced(world->spectra(), words, alt);
+    }
+  }
+  {
+    PhaseTimer phase(config_.obs, world->engine(), "settle");
+    apply(*world, config_.scenario);
+    world->settle(config_.settle_time);
+    if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
+  }
   return world;
 }
 
@@ -242,6 +312,7 @@ MeasuredRun PanglossExperiment::measure(const solver::Alternative& alt) const {
 
 MeasuredRun PanglossExperiment::run_spectra() const {
   auto world = trained_world();
+  PhaseTimer phase(config_.obs, world->engine(), "measure");
   std::map<std::string, double> params{
       {"words", static_cast<double>(config_.test_words)}};
   const auto choice = world->spectra().begin_fidelity_op(
@@ -303,6 +374,7 @@ OverheadReport OverheadExperiment::run() const {
   wc.testbed = Testbed::kOverhead;
   wc.seed = config_.seed;
   wc.overhead_servers = config_.servers;
+  wc.spectra.obs = config_.obs;
   World world(wc);
   for (MachineId id : world.server_ids()) {
     install_null_service(world.server(id));

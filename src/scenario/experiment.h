@@ -20,6 +20,7 @@
 
 #include "core/client.h"
 #include "fault/fault_plan.h"
+#include "obs/obs.h"
 #include "scenario/scenarios.h"
 #include "scenario/world.h"
 #include "solver/types.h"
@@ -53,6 +54,9 @@ class SpeechExperiment {
     // Optional fault plan, armed after training and settling so event
     // times are offsets from the start of the measured run.
     std::optional<fault::FaultPlan> fault_plan;
+    // Observability sink threaded into the world's Spectra client and the
+    // experiment's phase timers. Non-owning; null disables.
+    obs::Observability* obs = nullptr;
   };
 
   explicit SpeechExperiment(Config config) : config_(config) {}
@@ -85,6 +89,7 @@ class LatexExperiment {
     util::Seconds settle_time = 12.0;
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
     std::optional<fault::FaultPlan> fault_plan;
+    obs::Observability* obs = nullptr;
   };
 
   explicit LatexExperiment(Config config) : config_(config) {}
@@ -113,6 +118,7 @@ class PanglossExperiment {
     util::Seconds settle_time = 12.0;
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
     std::optional<fault::FaultPlan> fault_plan;
+    obs::Observability* obs = nullptr;
   };
 
   explicit PanglossExperiment(Config config) : config_(config) {}
@@ -163,6 +169,9 @@ class OverheadExperiment {
     std::uint64_t seed = 1;
     int measured_runs = 200;
     std::size_t full_cache_files = 800;
+    // When set, the world's Spectra client is instrumented — used by the
+    // fig10 bench to measure tracing overhead against the plain path.
+    obs::Observability* obs = nullptr;
   };
 
   explicit OverheadExperiment(Config config) : config_(config) {}

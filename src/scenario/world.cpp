@@ -88,6 +88,7 @@ World::World(WorldConfig config)
   for (auto& [id, machine] : machines_) {
     fault_injector_->attach_machine(id, *machine);
   }
+  fault_injector_->attach_obs(config_.spectra.obs);
 }
 
 World::~World() = default;

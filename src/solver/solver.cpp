@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/assert.h"
@@ -47,11 +47,13 @@ Alternative to_alternative(const AlternativeSpace& space, const Coords& c) {
   return a;
 }
 
-std::string coords_key(const Coords& c) {
-  std::ostringstream os;
-  os << c.plan << '/' << c.server_idx;
-  for (int f : c.fid) os << '/' << f;
-  return os.str();
+// Fills `key` with [plan, server_idx, fid...]. Reusing the caller's
+// buffer keeps the hot lookup path allocation-free.
+void coords_key(const Coords& c, std::vector<int>& key) {
+  key.clear();
+  key.push_back(c.plan);
+  key.push_back(c.server_idx);
+  key.insert(key.end(), c.fid.begin(), c.fid.end());
 }
 
 }  // namespace
@@ -70,18 +72,23 @@ SolveResult HeuristicSolver::solve(const AlternativeSpace& space,
   }
 
   SolveResult result;
-  std::map<std::string, double> memo;
+  std::map<std::vector<int>, double> memo;
+  std::vector<int> key;
 
   auto evaluate = [&](const Coords& c) {
-    const std::string key = coords_key(c);
+    coords_key(c, key);
     auto it = memo.find(key);
-    if (it != memo.end()) return it->second;
-    const double lu = eval(to_alternative(space, c));
+    if (it != memo.end()) {
+      ++result.memo_hits;
+      return it->second;
+    }
+    Alternative alt = to_alternative(space, c);
+    const double lu = eval(alt);
     ++result.evaluations;
     memo.emplace(key, lu);
     if (lu > kInfeasible && (lu > result.log_utility || !result.found)) {
       result.found = true;
-      result.best = to_alternative(space, c);
+      result.best = std::move(alt);
       result.log_utility = lu;
     }
     return lu;

@@ -24,6 +24,9 @@ struct SolveResult {
   Alternative best;
   double log_utility = kInfeasible;
   std::size_t evaluations = 0;
+  // Re-visits served from the memo table instead of calling eval
+  // (heuristic solver only; always 0 for exhaustive search).
+  std::size_t memo_hits = 0;
 };
 
 class Solver {

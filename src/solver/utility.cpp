@@ -12,6 +12,18 @@ double UtilityFunction::utility(const UserMetrics& metrics, double c) const {
   return lu <= kInfeasible ? 0.0 : std::exp(lu);
 }
 
+UtilityTerms UtilityFunction::log_utility_terms(const UserMetrics& metrics,
+                                                double c) const {
+  UtilityTerms terms;
+  const double lu = log_utility(metrics, c);
+  if (lu <= kInfeasible) {
+    terms.feasible = false;
+    return terms;
+  }
+  terms.latency = lu;
+  return terms;
+}
+
 DefaultUtility::DefaultUtility(LatencyFn latency_fn, FidelityFn fidelity_fn,
                                DefaultUtilityConfig config)
     : latency_fn_(std::move(latency_fn)),
@@ -38,6 +50,25 @@ double DefaultUtility::log_utility(const UserMetrics& metrics,
     lu -= config_.energy_k * c * std::log(e);
   }
   return lu;
+}
+
+UtilityTerms DefaultUtility::log_utility_terms(const UserMetrics& metrics,
+                                               double c) const {
+  SPECTRA_REQUIRE(c >= 0.0 && c <= 1.0, "energy importance must be in [0,1]");
+  UtilityTerms terms;
+  const double lat = latency_fn_(std::max(metrics.time, config_.min_time));
+  const double fid = fidelity_fn_(metrics.fidelity);
+  if (lat <= 0.0 || fid <= 0.0) {
+    terms.feasible = false;
+    return terms;
+  }
+  terms.latency = std::log(lat);
+  terms.fidelity = std::log(fid);
+  if (metrics.has_energy && c > 0.0) {
+    const double e = std::max(metrics.energy, config_.min_energy);
+    terms.energy = -config_.energy_k * c * std::log(e);
+  }
+  return terms;
 }
 
 LatencyFn inverse_latency() {

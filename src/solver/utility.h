@@ -22,6 +22,17 @@
 
 namespace spectra::solver {
 
+// Additive decomposition of a log-utility value, for explain records:
+// total = latency + energy + fidelity (log space, so the paper's product
+// of terms becomes a sum).
+struct UtilityTerms {
+  double latency = 0.0;   // log latency_desirability(T)
+  double energy = 0.0;    // log (1/E)^(k·c) = -k·c·log(E)
+  double fidelity = 0.0;  // log fidelity_desirability(F)
+  bool feasible = true;
+  double total() const { return latency + energy + fidelity; }
+};
+
 class UtilityFunction {
  public:
   virtual ~UtilityFunction() = default;
@@ -30,6 +41,14 @@ class UtilityFunction {
   // energy-conservation importance `c`. Must return kInfeasible for
   // zero-utility outcomes.
   virtual double log_utility(const UserMetrics& metrics, double c) const = 0;
+
+  // Per-term breakdown of log_utility. The base implementation cannot see
+  // inside an arbitrary utility, so it reports the whole value as the
+  // latency term; DefaultUtility overrides with the exact decomposition.
+  // Invariant either way: terms.total() == log_utility(metrics, c) for
+  // feasible alternatives.
+  virtual UtilityTerms log_utility_terms(const UserMetrics& metrics,
+                                         double c) const;
 
   // Convenience: utility in linear space (may underflow to 0; use only for
   // reporting, never for comparison).
@@ -54,6 +73,8 @@ class DefaultUtility : public UtilityFunction {
                  DefaultUtilityConfig config = {});
 
   double log_utility(const UserMetrics& metrics, double c) const override;
+  UtilityTerms log_utility_terms(const UserMetrics& metrics,
+                                 double c) const override;
 
  private:
   LatencyFn latency_fn_;

@@ -111,43 +111,8 @@ double stddev_of(const std::vector<double>& xs) {
   return s.stddev();
 }
 
-double student_t_critical(double confidence, std::size_t dof) {
-  SPECTRA_REQUIRE(confidence > 0.0 && confidence < 1.0,
-                  "confidence must be in (0,1)");
-  SPECTRA_REQUIRE(dof >= 1, "dof must be >= 1");
-  // Two-sided critical values for the confidences the harness uses. For
-  // other confidences we fall back to the normal approximation.
-  struct Row {
-    double t90, t95, t99;
-  };
-  // dof 1..30 (rows 0..29).
-  static constexpr Row kTable[] = {
-      {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
-      {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
-      {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
-      {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
-      {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
-      {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
-      {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
-      {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
-      {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
-      {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750}};
-  auto pick = [&](const Row& row) -> double {
-    if (std::abs(confidence - 0.90) < 1e-9) return row.t90;
-    if (std::abs(confidence - 0.95) < 1e-9) return row.t95;
-    if (std::abs(confidence - 0.99) < 1e-9) return row.t99;
-    return -1.0;
-  };
-  if (dof <= 30) {
-    const double t = pick(kTable[dof - 1]);
-    if (t > 0.0) return t;
-  } else {
-    static constexpr Row kInf = {1.645, 1.960, 2.576};
-    const double t = pick(kInf);
-    if (t > 0.0) return t;
-  }
-  // Normal approximation via Acklam-style inverse CDF of the tail.
-  const double p = 1.0 - (1.0 - confidence) / 2.0;
+double normal_quantile(double p) {
+  SPECTRA_REQUIRE(p > 0.0 && p < 1.0, "probability must be in (0,1)");
   // Rational approximation of the probit function (Beasley-Springer-Moro).
   const double a[] = {2.50662823884, -18.61500062529, 41.39119773534,
                       -25.44106049637};
@@ -173,6 +138,65 @@ double student_t_critical(double confidence, std::size_t dof) {
     x += c[i] * rk;
   }
   return p > 0.5 ? x : -x;
+}
+
+double student_t_critical(double confidence, std::size_t dof) {
+  SPECTRA_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                  "confidence must be in (0,1)");
+  SPECTRA_REQUIRE(dof >= 1, "dof must be >= 1");
+  // Two-sided critical values for the confidences the harness uses.
+  struct Row {
+    double t90, t95, t99;
+  };
+  // dof 1..30 (rows 0..29).
+  static constexpr Row kTable[] = {
+      {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
+      {2.132, 2.776, 4.604},   {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
+      {1.895, 2.365, 3.499},   {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
+      {1.812, 2.228, 3.169},   {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
+      {1.771, 2.160, 3.012},   {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
+      {1.746, 2.120, 2.921},   {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
+      {1.729, 2.093, 2.861},   {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
+      {1.717, 2.074, 2.819},   {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
+      {1.708, 2.060, 2.787},   {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
+      {1.701, 2.048, 2.763},   {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750}};
+  auto pick = [&](const Row& row) -> double {
+    if (std::abs(confidence - 0.90) < 1e-9) return row.t90;
+    if (std::abs(confidence - 0.95) < 1e-9) return row.t95;
+    if (std::abs(confidence - 0.99) < 1e-9) return row.t99;
+    return -1.0;
+  };
+  if (dof <= 30) {
+    const Row& row = kTable[dof - 1];
+    const double t = pick(row);
+    if (t > 0.0) return t;
+    // Non-tabulated confidence at small dof. A dof-independent normal
+    // fallback here would badly understate heavy small-dof tails (t(2) at
+    // 92% is ~3.5, the normal value ~1.75), so anchor to the tabulated
+    // columns of this dof's row instead: interpolate between neighbouring
+    // columns inside the table's range, scale by the normal quantile ratio
+    // outside it. Continuous at the column boundaries, monotone in both
+    // dof and confidence.
+    if (confidence <= 0.90) {
+      return row.t90 * normal_quantile(1.0 - (1.0 - confidence) / 2.0) /
+             normal_quantile(0.95);
+    }
+    if (confidence <= 0.95) {
+      const double frac = (confidence - 0.90) / 0.05;
+      return row.t90 + frac * (row.t95 - row.t90);
+    }
+    if (confidence <= 0.99) {
+      const double frac = (confidence - 0.95) / 0.04;
+      return row.t95 + frac * (row.t99 - row.t95);
+    }
+    return row.t99 * normal_quantile(1.0 - (1.0 - confidence) / 2.0) /
+           normal_quantile(0.995);
+  }
+  static constexpr Row kInf = {1.645, 1.960, 2.576};
+  const double t = pick(kInf);
+  if (t > 0.0) return t;
+  // Large dof: the normal approximation is accurate.
+  return normal_quantile(1.0 - (1.0 - confidence) / 2.0);
 }
 
 }  // namespace spectra::util

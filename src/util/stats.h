@@ -83,8 +83,16 @@ double percentile_value(std::vector<double> samples, double p);
 double mean_of(const std::vector<double>& xs);
 double stddev_of(const std::vector<double>& xs);
 
+// Quantile (inverse CDF) of the standard normal distribution at p in (0,1).
+double normal_quantile(double p);
+
 // Student-t critical value for a two-sided interval at the given confidence
-// with `dof` degrees of freedom (small-dof table + normal approximation).
+// with `dof` degrees of freedom. Tabulated for dof <= 30 at the confidences
+// the harness uses (0.90/0.95/0.99); other confidences at small dof are
+// interpolated between the tabulated columns (or scaled from them beyond the
+// table's range) so the heavy tails are respected — the value is monotone
+// decreasing in dof and increasing in confidence. dof > 30 uses the normal
+// approximation.
 double student_t_critical(double confidence, std::size_t dof);
 
 }  // namespace spectra::util

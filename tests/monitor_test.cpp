@@ -11,6 +11,7 @@
 #include "monitor/network_monitor.h"
 #include "monitor/remote_proxy.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "rpc/rpc.h"
 #include "sim/engine.h"
 #include "util/units.h"
@@ -231,6 +232,35 @@ TEST(NetworkMonitorTest, CountsOperationTraffic) {
   EXPECT_DOUBLE_EQ(usage.bytes_sent, 1500.0);
   EXPECT_DOUBLE_EQ(usage.bytes_received, 2100.0);
   EXPECT_EQ(usage.rpcs, 2);
+}
+
+TEST(NetworkMonitorTest, SameTickBulkTransfersBothIngested) {
+  Fixture f;
+  NetworkMonitor m(f.engine, f.net, kClient);
+  obs::Observability obs;
+  m.attach(&obs);
+  // An effectively zero-duration link: at t=10 each transfer's duration
+  // (~1e-296 s) is far below one ulp of virtual time, so two back-to-back
+  // transfers share a start tick. Dedup must key on the unique transfer id;
+  // a `start <= last_seen` timestamp test drops the second one.
+  f.net.set_link(kClient, kServer, {1e300, 0.0});
+  f.engine.advance(10.0);
+  f.net.transfer(kClient, kServer, 8192.0);
+  f.net.transfer(kClient, kServer, 16384.0);
+  f.engine.advance(2.5);  // periodic refresh ingests the log
+  const auto* ingested =
+      obs.metrics().find_counter("monitor.network.ingested");
+  ASSERT_NE(ingested, nullptr);
+  EXPECT_DOUBLE_EQ(ingested->value(), 2.0);
+  // Both samples reached the bandwidth EWMA: the estimate sits strictly
+  // above the first sample (8192 bytes / 1 us floor), which is where it
+  // would be stuck had the second transfer been dropped.
+  EXPECT_GT(m.bandwidth_estimate(kServer), 1.1 * 8192.0 / 1e-6);
+  // Re-examining the same window is idempotent.
+  f.engine.advance(2.5);
+  EXPECT_DOUBLE_EQ(ingested->value(), 2.0);
+  EXPECT_GT(obs.metrics().find_counter("monitor.network.refreshes")->value(),
+            1.0);
 }
 
 TEST(NetworkMonitorTest, StartOpResetsCounters) {

@@ -530,6 +530,29 @@ TEST(HeuristicSolverTest, DeterministicForSameSeed) {
   EXPECT_EQ(r1.evaluations, r2.evaluations);
 }
 
+TEST(HeuristicSolverTest, MemoCountsHitsSeparatelyFromEvaluations) {
+  const auto eval = [](const Alternative& a) {
+    return static_cast<double>(a.plan) * 0.1 + a.fidelity.at("a");
+  };
+  HeuristicSolver solver{util::Rng(5)};
+  const auto result = solver.solve(big_space(), eval);
+  EXPECT_TRUE(result.found);
+  // Restarts revisit coordinates; those revisits are memo hits and must
+  // not inflate the distinct-evaluation count.
+  EXPECT_GT(result.memo_hits, 0u);
+  EXPECT_LE(result.evaluations, big_space().count());
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(HeuristicSolverTest, MemoHitsDeterministicForSameSeed) {
+  const auto eval = [](const Alternative& a) {
+    return static_cast<double>(a.plan) * 0.1 + a.fidelity.at("a");
+  };
+  HeuristicSolver s1{util::Rng(5)}, s2{util::Rng(5)};
+  EXPECT_EQ(s1.solve(big_space(), eval).memo_hits,
+            s2.solve(big_space(), eval).memo_hits);
+}
+
 TEST(HeuristicSolverTest, ConfigValidation) {
   EXPECT_THROW(HeuristicSolver(util::Rng(1), HeuristicSolverConfig{0, 10, 1}),
                util::ContractError);

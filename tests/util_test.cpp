@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/assert.h"
@@ -234,6 +235,54 @@ TEST(StudentTTest, KnownValues) {
 TEST(StudentTTest, NonTableConfidenceUsesNormalApprox) {
   // 80% two-sided -> z ~= 1.2816 for large dof
   EXPECT_NEAR(student_t_critical(0.80, 1000), 1.2816, 0.01);
+}
+
+TEST(StudentTTest, SmallDofInterpolationRespectsHeavyTails) {
+  // Non-tabulated confidence at small dof must anchor to the row, not fall
+  // back to the dof-independent normal quantile: t(0.92, 2) sits between
+  // the 90% (2.920) and 95% (4.303) columns, while the normal value is
+  // only ~1.75.
+  const double z92 = normal_quantile(1.0 - (1.0 - 0.92) / 2.0);
+  for (std::size_t dof : {1u, 2u, 3u, 5u, 10u, 30u}) {
+    const double t92 = student_t_critical(0.92, dof);
+    EXPECT_GT(t92, z92) << "dof=" << dof;
+    EXPECT_GT(t92, student_t_critical(0.90, dof)) << "dof=" << dof;
+    EXPECT_LT(t92, student_t_critical(0.95, dof)) << "dof=" << dof;
+  }
+  EXPECT_NEAR(student_t_critical(0.92, 2), 3.47, 0.12);
+}
+
+TEST(StudentTTest, MonotoneDecreasingInDof) {
+  for (double c : {0.85, 0.90, 0.92, 0.95, 0.97, 0.99, 0.995}) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::size_t dof = 1; dof <= 30; ++dof) {
+      const double t = student_t_critical(c, dof);
+      EXPECT_LE(t, prev) << "c=" << c << " dof=" << dof;
+      prev = t;
+    }
+    // The table hands off to the asymptotic values without jumping below.
+    EXPECT_GE(prev + 1e-9, student_t_critical(c, 1000)) << "c=" << c;
+  }
+}
+
+TEST(StudentTTest, MonotoneIncreasingInConfidence) {
+  const double cs[] = {0.85, 0.90, 0.92, 0.95, 0.97, 0.99, 0.995};
+  for (std::size_t dof : {2u, 5u, 29u, 1000u}) {
+    for (std::size_t i = 1; i < std::size(cs); ++i) {
+      EXPECT_GT(student_t_critical(cs[i], dof),
+                student_t_critical(cs[i - 1], dof))
+          << "dof=" << dof << " c=" << cs[i];
+    }
+  }
+}
+
+TEST(NormalQuantileTest, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.95), 1.6449, 1e-3);
+  EXPECT_NEAR(normal_quantile(0.975), 1.9600, 1e-3);
+  EXPECT_NEAR(normal_quantile(0.025), -1.9600, 1e-3);
+  EXPECT_THROW(normal_quantile(0.0), ContractError);
+  EXPECT_THROW(normal_quantile(1.0), ContractError);
 }
 
 // ------------------------------------------------------------------- units
