@@ -35,7 +35,8 @@ std::string choice_after(SpeechScenario scenario, double settle) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Ablation: adaptation lag — Spectra's choice as a function "
                "of time since the\nenvironment changed (speech testbed; "
                "status polls every 5 s).\n\n";
@@ -54,10 +55,13 @@ int main() {
                       " (correct choice after adaptation: " +
                       std::string(c.eventual) + ")");
     table.set_header({"seconds since change", "Spectra's choice", ""});
-    for (const double settle : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
-      const auto chosen = choice_after(c.scenario, settle);
-      table.add_row({util::Table::num(settle, 0), chosen,
-                     chosen == c.eventual ? "adapted" : "stale"});
+    const std::vector<double> settles = {0.0, 1.0, 2.0, 5.0, 10.0, 20.0};
+    const auto choices = batch.map(settles.size(), [&](std::size_t i) {
+      return choice_after(c.scenario, settles[i]);
+    });
+    for (std::size_t i = 0; i < settles.size(); ++i) {
+      table.add_row({util::Table::num(settles[i], 0), choices[i],
+                     choices[i] == c.eventual ? "adapted" : "stale"});
     }
     std::cout << table.to_string() << "\n";
   }

@@ -33,7 +33,8 @@ double utility_of(const MeasuredRun& run, const solver::Alternative& alt,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Ablation: Spectra vs RPF-style history policy vs static "
                "placement (speech testbed)\n"
             << "cells: achieved utility relative to the zero-overhead "
@@ -43,10 +44,14 @@ int main() {
   table.set_header(
       {"scenario", "Spectra", "RPF-style", "always-local", "always-remote"});
 
-  for (const auto sc :
-       {SpeechScenario::kBaseline, SpeechScenario::kEnergy,
-        SpeechScenario::kNetwork, SpeechScenario::kCpu,
-        SpeechScenario::kFileCache}) {
+  const std::vector<SpeechScenario> scenarios = {
+      SpeechScenario::kBaseline, SpeechScenario::kEnergy,
+      SpeechScenario::kNetwork, SpeechScenario::kCpu,
+      SpeechScenario::kFileCache};
+  // One self-contained task per scenario; rows are added in scenario order
+  // afterwards, so the table is identical for any --jobs.
+  const auto rows = batch.map(scenarios.size(), [&](std::size_t i) {
+    const auto sc = scenarios[i];
     SpeechExperiment::Config cfg;
     cfg.scenario = sc;
     cfg.seed = 1000;
@@ -105,10 +110,11 @@ int main() {
     const auto r_run = runs.at(SpeechExperiment::label(remote_alt));
     const double remote_u = utility_of(r_run, remote_alt, c) / best;
 
-    table.add_row({name(sc), util::Table::num(spectra_u, 2),
-                   util::Table::num(rpf_u, 2), util::Table::num(local_u, 2),
-                   util::Table::num(remote_u, 2)});
-  }
+    return std::vector<std::string>{
+        name(sc), util::Table::num(spectra_u, 2), util::Table::num(rpf_u, 2),
+        util::Table::num(local_u, 2), util::Table::num(remote_u, 2)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::cout << table.to_string();
   std::cout << "\nRPF tracks Spectra only while the environment matches its "
                "history; it cannot react to\nresource changes it has not "

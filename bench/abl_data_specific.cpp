@@ -16,14 +16,21 @@ using namespace spectra::scenario; // NOLINT
 
 namespace {
 
-void run(bool strip_tag) {
+void run(scenario::BatchRunner& batch, bool strip_tag) {
   util::Table table(strip_tag ? "WITHOUT data-specific models (ablated)"
                               : "WITH data-specific models (Spectra default)");
   table.set_header({"document", "predicted cycles (M)", "actual cycles (M)",
                     "abs error (%)"});
   util::OnlineStats errors;
 
-  for (const std::string doc : {"small", "large"}) {
+  struct DocResult {
+    double predicted = 0.0;
+    double actual = 0.0;
+    double err = 0.0;
+  };
+  const std::vector<std::string> docs = {"small", "large"};
+  const auto results = batch.map(docs.size(), [&](std::size_t i) {
+    const std::string& doc = docs[i];
     LatexExperiment::Config cfg;
     cfg.seed = 1000;
     cfg.doc = doc;
@@ -35,14 +42,18 @@ void run(bool strip_tag) {
     const auto demand = world->spectra().predict_demand(
         apps::LatexApp::kOperation, {}, strip_tag ? "" : doc, alt);
     const auto actual = exp.measure(alt);
-    const double err = 100.0 *
-                       std::abs(demand.remote_cycles -
-                                actual.usage.remote_cycles) /
-                       actual.usage.remote_cycles;
-    errors.add(err);
-    table.add_row({doc, util::Table::num(demand.remote_cycles / 1e6, 0),
-                   util::Table::num(actual.usage.remote_cycles / 1e6, 0),
-                   util::Table::num(err, 1)});
+    DocResult r;
+    r.predicted = demand.remote_cycles;
+    r.actual = actual.usage.remote_cycles;
+    r.err = 100.0 * std::abs(r.predicted - r.actual) / r.actual;
+    return r;
+  });
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto& r = results[i];
+    errors.add(r.err);
+    table.add_row({docs[i], util::Table::num(r.predicted / 1e6, 0),
+                   util::Table::num(r.actual / 1e6, 0),
+                   util::Table::num(r.err, 1)});
   }
   std::cout << table.to_string();
   std::cout << "mean absolute error: " << util::Table::num(errors.mean(), 1)
@@ -51,10 +62,11 @@ void run(bool strip_tag) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Ablation: data-specific (per-document) demand models\n\n";
-  run(/*strip_tag=*/false);
-  run(/*strip_tag=*/true);
+  run(batch, /*strip_tag=*/false);
+  run(batch, /*strip_tag=*/true);
   std::cout << "Without the document tag both documents share one model "
                "whose mean sits between\na 14-page and a 123-page "
                "compilation — wrong for both.\n";

@@ -38,13 +38,17 @@ std::string choice_at(double c, double k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Ablation: energy-conservation importance sweep "
                "(speech testbed, k = 10)\n\n";
   util::Table table;
   table.set_header({"c", "Spectra's choice"});
-  for (const double c : {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}) {
-    table.add_row({util::Table::num(c, 1), choice_at(c, 10.0)});
+  const std::vector<double> cs = {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0};
+  const auto choices = batch.map(
+      cs.size(), [&](std::size_t i) { return choice_at(cs[i], 10.0); });
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    table.add_row({util::Table::num(cs[i], 1), choices[i]});
   }
   std::cout << table.to_string();
   std::cout << "\nAt c=0 the latency-optimal hybrid plan wins; rising c "

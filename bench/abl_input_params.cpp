@@ -20,7 +20,7 @@ namespace {
 
 // Measure |predicted - actual| time of the all-engines-on-B alternative for
 // several sentence lengths, with and without the length feature.
-void run(bool strip_params) {
+void run(scenario::BatchRunner& batch, bool strip_params) {
   util::Table table(strip_params
                         ? "WITHOUT input-parameter modeling (ablated)"
                         : "WITH input-parameter modeling (Spectra default)");
@@ -28,7 +28,14 @@ void run(bool strip_params) {
                     "abs error (%)"});
   util::OnlineStats errors;
 
-  for (const int words : bench::pangloss_test_sentences()) {
+  struct SentenceResult {
+    double predicted = 0.0;
+    double actual = 0.0;
+    double err = 0.0;
+  };
+  const auto& sentences = bench::pangloss_test_sentences();
+  const auto results = batch.map(sentences.size(), [&](std::size_t i) {
+    const int words = sentences[i];
     PanglossExperiment::Config cfg;
     cfg.seed = 1000;
     cfg.test_words = words;
@@ -60,13 +67,18 @@ void run(bool strip_params) {
         solver::ExecutionEstimator().estimate(inputs, space, alt, demand);
 
     const auto actual = exp.measure(alt);
-    const double predicted = metrics ? metrics->time : 0.0;
-    const double err =
-        100.0 * std::abs(predicted - actual.time) / actual.time;
-    errors.add(err);
-    table.add_row({std::to_string(words), util::Table::num(predicted, 2),
-                   util::Table::num(actual.time, 2),
-                   util::Table::num(err, 1)});
+    SentenceResult r;
+    r.predicted = metrics ? metrics->time : 0.0;
+    r.actual = actual.time;
+    r.err = 100.0 * std::abs(r.predicted - r.actual) / r.actual;
+    return r;
+  });
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    const auto& r = results[i];
+    errors.add(r.err);
+    table.add_row({std::to_string(sentences[i]),
+                   util::Table::num(r.predicted, 2),
+                   util::Table::num(r.actual, 2), util::Table::num(r.err, 1)});
   }
   std::cout << table.to_string();
   std::cout << "mean absolute error: " << util::Table::num(errors.mean(), 1)
@@ -75,11 +87,12 @@ void run(bool strip_params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Ablation: input-parameter modeling (Pangloss sentence "
                "length)\n\n";
-  run(/*strip_params=*/false);
-  run(/*strip_params=*/true);
+  run(batch, /*strip_params=*/false);
+  run(batch, /*strip_params=*/true);
   std::cout << "Without the parameter the models can only answer with "
                "recency-weighted means,\nso predictions are only accurate "
                "near the average training sentence length.\n";

@@ -55,7 +55,8 @@ EvalFn make_utility(std::uint64_t seed, const AlternativeSpace& space) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scenario::BatchRunner batch(spectra::bench::jobs_from_args(argc, argv));
   std::cout << "Ablation: heuristic solver vs exhaustive search\n\n";
   util::Table table;
   table.set_header({"space size", "gap, fixed budget (%)",
@@ -67,30 +68,47 @@ int main() {
         {24, 6, 3}}) {
     const auto space = make_space(plans, servers, fids);
     const std::size_t size = space.count();
-    util::OnlineStats gap_fixed, evals_fixed, hits_fixed, gap_scaled,
-        evals_scaled;
-    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    struct SeedResult {
+      double gap_fixed = 0.0, evals_fixed = 0.0, hits_fixed = 0.0;
+      double gap_scaled = 0.0, evals_scaled = 0.0;
+    };
+    // Independent per seed (own Rng, pure eval fn); aggregated in seed
+    // order afterwards, so the table is identical for any --jobs.
+    const auto per_seed = batch.map(40, [&](std::size_t i) {
+      const auto seed = static_cast<std::uint64_t>(i);
       const auto eval = make_utility(seed, space);
       ExhaustiveSolver ex;
       const auto best = ex.solve(space, eval);
       const double span =
           std::abs(best.log_utility) > 1e-9 ? std::abs(best.log_utility)
                                             : 1.0;
-      auto run = [&](std::size_t budget, util::OnlineStats& gap,
-                     util::OnlineStats& evals, util::OnlineStats* hits) {
+      SeedResult out;
+      auto run = [&](std::size_t budget, double& gap, double& evals,
+                     double* hits) {
         HeuristicSolverConfig cfg;
         cfg.exhaustive_threshold = 0;  // force hill climbing
         cfg.max_evaluations = budget;
         cfg.restarts = 4 + budget / 128;
         HeuristicSolver h(util::Rng(seed * 31 + 5), cfg);
         const auto got = h.solve(space, eval);
-        gap.add(100.0 * (best.log_utility - got.log_utility) / span);
-        evals.add(static_cast<double>(got.evaluations));
-        if (hits != nullptr) hits->add(static_cast<double>(got.memo_hits));
+        gap = 100.0 * (best.log_utility - got.log_utility) / span;
+        evals = static_cast<double>(got.evaluations);
+        if (hits != nullptr) *hits = static_cast<double>(got.memo_hits);
       };
-      run(192, gap_fixed, evals_fixed, &hits_fixed);  // Spectra's default
+      run(192, out.gap_fixed, out.evals_fixed,  // Spectra's default
+          &out.hits_fixed);
       run(std::max<std::size_t>(192, size / 4),  // budget grows with space
-          gap_scaled, evals_scaled, nullptr);
+          out.gap_scaled, out.evals_scaled, nullptr);
+      return out;
+    });
+    util::OnlineStats gap_fixed, evals_fixed, hits_fixed, gap_scaled,
+        evals_scaled;
+    for (const auto& r : per_seed) {
+      gap_fixed.add(r.gap_fixed);
+      evals_fixed.add(r.evals_fixed);
+      hits_fixed.add(r.hits_fixed);
+      gap_scaled.add(r.gap_scaled);
+      evals_scaled.add(r.evals_scaled);
     }
     table.add_row({std::to_string(size),
                    util::Table::num(gap_fixed.mean(), 2),

@@ -6,10 +6,30 @@
 #include <string>
 #include <vector>
 
+#include "scenario/batch.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace spectra::bench {
+
+// Worker count for a bench target: `--jobs=N` on the command line beats the
+// SPECTRA_JOBS environment variable; 0 means one worker per hardware
+// thread; default 1 (sequential). Table output is bit-identical for any N —
+// runs are scheduled across workers but aggregated in a fixed order.
+inline std::size_t jobs_from_args(int argc, char** argv) {
+  long requested = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) requested = std::atol(arg.c_str() + 7);
+  }
+  if (requested < 0) {
+    if (const char* env = std::getenv("SPECTRA_JOBS")) {
+      requested = std::atol(env);
+    }
+  }
+  if (requested < 0) return 1;
+  return scenario::resolve_jobs(requested);
+}
 
 // Number of trials per data point (the paper uses 5 with 90% confidence
 // intervals). Override with SPECTRA_TRIALS for quick runs.

@@ -5,70 +5,17 @@
 // Spectra selects ("S"), and the execution time when Spectra chooses —
 // which includes Spectra's decision overhead ("Spectra (w/ overhead)").
 // Mean of 5 trials with 90% confidence intervals, as in the paper.
-#include <iostream>
-#include <map>
+#include "speech_common.h"
 
-#include "bench_util.h"
-#include "scenario/experiment.h"
-
-using namespace spectra;           // NOLINT
-using namespace spectra::scenario; // NOLINT
-
-int main() {
-  const auto scenarios = {
-      SpeechScenario::kBaseline, SpeechScenario::kEnergy,
-      SpeechScenario::kNetwork, SpeechScenario::kCpu,
-      SpeechScenario::kFileCache};
-  const auto alternatives = SpeechExperiment::alternatives();
-
-  std::cout << "Figure 3: Speech recognition execution time (seconds)\n"
-            << "Client: Itsy v2.2 (206 MHz SA-1100, software FP); server: "
-               "IBM T20 (700 MHz PIII); serial link.\n\n";
-
-  for (const auto scenario : scenarios) {
-    std::map<std::string, bench::Aggregate> time_by_alt;
-    bench::Aggregate spectra_time;
-    std::map<std::string, int> chosen_count;
-
-    for (const auto seed : bench::trial_seeds()) {
-      SpeechExperiment::Config cfg;
-      cfg.scenario = scenario;
-      cfg.seed = seed;
-      SpeechExperiment experiment(cfg);
-      for (const auto& alt : alternatives) {
-        const auto run = experiment.measure(alt);
-        auto& agg = time_by_alt[SpeechExperiment::label(alt)];
-        if (run.feasible) {
-          agg.stats.add(run.time);
-        } else {
-          agg.any_infeasible = true;
-        }
-      }
-      const auto s = experiment.run_spectra();
-      spectra_time.stats.add(s.time);
-      ++chosen_count[SpeechExperiment::label(s.choice.alternative)];
-    }
-
-    // The alternative Spectra picked most often across trials gets the "S".
-    std::string s_label;
-    int s_count = 0;
-    for (const auto& [label, count] : chosen_count) {
-      if (count > s_count) {
-        s_label = label;
-        s_count = count;
-      }
-    }
-
-    util::Table table("Scenario: " + name(scenario));
-    table.set_header({"alternative", "time (s)", ""});
-    for (const auto& alt : alternatives) {
-      const std::string label = SpeechExperiment::label(alt);
-      table.add_row({label, time_by_alt[label].cell(),
-                     label == s_label ? "<-- S (Spectra's choice)" : ""});
-    }
-    table.add_separator();
-    table.add_row({"Spectra (w/ overhead)", spectra_time.cell(), ""});
-    std::cout << table.to_string() << '\n';
-  }
+int main(int argc, char** argv) {
+  spectra::scenario::BatchRunner batch(
+      spectra::bench::jobs_from_args(argc, argv));
+  spectra::bench::run_speech_figure(
+      batch,
+      "Figure 3: Speech recognition execution time (seconds)\n"
+      "Client: Itsy v2.2 (206 MHz SA-1100, software FP); server: "
+      "IBM T20 (700 MHz PIII); serial link.",
+      [](const spectra::scenario::MeasuredRun& r) { return r.time; },
+      "time (s)");
   return 0;
 }

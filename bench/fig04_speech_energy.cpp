@@ -6,67 +6,14 @@
 // than the distributed plans (software-FP search on the SA-1100), and
 // remote costs less than hybrid because hybrid keeps the front-end/prescan
 // computation on the client.
-#include <iostream>
-#include <map>
+#include "speech_common.h"
 
-#include "bench_util.h"
-#include "scenario/experiment.h"
-
-using namespace spectra;           // NOLINT
-using namespace spectra::scenario; // NOLINT
-
-int main() {
-  const auto scenarios = {
-      SpeechScenario::kBaseline, SpeechScenario::kEnergy,
-      SpeechScenario::kNetwork, SpeechScenario::kCpu,
-      SpeechScenario::kFileCache};
-  const auto alternatives = SpeechExperiment::alternatives();
-
-  std::cout << "Figure 4: Speech recognition energy usage (Joules)\n\n";
-
-  for (const auto scenario : scenarios) {
-    std::map<std::string, bench::Aggregate> energy_by_alt;
-    bench::Aggregate spectra_energy;
-    std::map<std::string, int> chosen_count;
-
-    for (const auto seed : bench::trial_seeds()) {
-      SpeechExperiment::Config cfg;
-      cfg.scenario = scenario;
-      cfg.seed = seed;
-      SpeechExperiment experiment(cfg);
-      for (const auto& alt : alternatives) {
-        const auto run = experiment.measure(alt);
-        auto& agg = energy_by_alt[SpeechExperiment::label(alt)];
-        if (run.feasible) {
-          agg.stats.add(run.energy);
-        } else {
-          agg.any_infeasible = true;
-        }
-      }
-      const auto s = experiment.run_spectra();
-      spectra_energy.stats.add(s.energy);
-      ++chosen_count[SpeechExperiment::label(s.choice.alternative)];
-    }
-
-    std::string s_label;
-    int s_count = 0;
-    for (const auto& [label, count] : chosen_count) {
-      if (count > s_count) {
-        s_label = label;
-        s_count = count;
-      }
-    }
-
-    util::Table table("Scenario: " + name(scenario));
-    table.set_header({"alternative", "energy (J)", ""});
-    for (const auto& alt : alternatives) {
-      const std::string label = SpeechExperiment::label(alt);
-      table.add_row({label, energy_by_alt[label].cell(),
-                     label == s_label ? "<-- S (Spectra's choice)" : ""});
-    }
-    table.add_separator();
-    table.add_row({"Spectra (w/ overhead)", spectra_energy.cell(), ""});
-    std::cout << table.to_string() << '\n';
-  }
+int main(int argc, char** argv) {
+  spectra::scenario::BatchRunner batch(
+      spectra::bench::jobs_from_args(argc, argv));
+  spectra::bench::run_speech_figure(
+      batch, "Figure 4: Speech recognition energy usage (Joules)",
+      [](const spectra::scenario::MeasuredRun& r) { return r.energy; },
+      "energy (J)");
   return 0;
 }

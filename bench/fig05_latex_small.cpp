@@ -7,9 +7,11 @@
 // (933 MHz), over shared 2 Mb/s wireless.
 #include "latex_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spectra::scenario::BatchRunner batch(
+      spectra::bench::jobs_from_args(argc, argv));
   spectra::bench::run_latex_figure(
-      "Figure 5: Small document (14 pages) execution time (seconds)",
+      batch, "Figure 5: Small document (14 pages) execution time (seconds)",
       "small",
       [](const spectra::scenario::MeasuredRun& r) { return r.time; },
       "time (s)");

@@ -5,9 +5,11 @@
 // so no reintegration is forced); a cold server B loses to server A.
 #include "latex_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spectra::scenario::BatchRunner batch(
+      spectra::bench::jobs_from_args(argc, argv));
   spectra::bench::run_latex_figure(
-      "Figure 6: Large document (123 pages) execution time (seconds)",
+      batch, "Figure 6: Large document (123 pages) execution time (seconds)",
       "large",
       [](const spectra::scenario::MeasuredRun& r) { return r.time; },
       "time (s)");

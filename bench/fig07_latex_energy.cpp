@@ -8,15 +8,17 @@
 // saves both time and energy.
 #include "latex_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  spectra::scenario::BatchRunner batch(
+      spectra::bench::jobs_from_args(argc, argv));
   const auto energy = [](const spectra::scenario::MeasuredRun& r) {
     return r.energy;
   };
   spectra::bench::run_latex_figure(
-      "Figure 7(a): Small document energy usage (Joules)", "small", energy,
-      "energy (J)");
+      batch, "Figure 7(a): Small document energy usage (Joules)", "small",
+      energy, "energy (J)");
   spectra::bench::run_latex_figure(
-      "Figure 7(b): Large document energy usage (Joules)", "large", energy,
-      "energy (J)");
+      batch, "Figure 7(b): Large document energy usage (Joules)", "large",
+      energy, "energy (J)");
   return 0;
 }

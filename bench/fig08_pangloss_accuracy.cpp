@@ -9,7 +9,8 @@
 using namespace spectra;           // NOLINT
 using namespace spectra::scenario; // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Figure 8: Accuracy for Pangloss-Lite\n"
             << "(percentile of Spectra's chosen alternative, ranked by "
                "achieved utility; "
@@ -22,7 +23,7 @@ int main() {
     util::Table table("Scenario: " + name(sc));
     table.set_header({"sentence (words)", "percentile", "Spectra chose"});
     for (const int words : bench::pangloss_test_sentences()) {
-      const auto cell = bench::run_pangloss_cell(sc, words);
+      const auto cell = bench::run_pangloss_cell(batch, sc, words);
       std::string mode;
       int best_count = 0;
       for (const auto& [label, count] : cell.chosen) {

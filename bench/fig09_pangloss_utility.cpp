@@ -9,7 +9,8 @@
 using namespace spectra;           // NOLINT
 using namespace spectra::scenario; // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  BatchRunner batch(bench::jobs_from_args(argc, argv));
   std::cout << "Figure 9: Relative utility for Pangloss-Lite\n"
             << "(Spectra's achieved utility / zero-overhead oracle's best)\n\n";
 
@@ -20,7 +21,7 @@ int main() {
     util::Table table("Scenario: " + name(sc));
     table.set_header({"sentence (words)", "relative utility"});
     for (const int words : bench::pangloss_test_sentences()) {
-      const auto cell = bench::run_pangloss_cell(sc, words);
+      const auto cell = bench::run_pangloss_cell(batch, sc, words);
       table.add_row(
           {std::to_string(words), cell.relative_utility.cell(3)});
       overall.add(cell.relative_utility.stats.mean());

@@ -23,7 +23,11 @@
 using namespace spectra;           // NOLINT
 using namespace spectra::scenario; // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  // --jobs is accepted for harness uniformity, but this bench measures real
+  // wall-clock phase latencies — concurrent runs would contend for cores
+  // and distort every number, so it always executes sequentially.
+  (void)bench::jobs_from_args(argc, argv);
   std::vector<OverheadReport> reports;
   for (std::size_t servers : {0u, 1u, 5u}) {
     OverheadExperiment::Config cfg;

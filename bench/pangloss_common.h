@@ -21,32 +21,48 @@ struct PanglossCell {
   std::map<std::string, int> chosen;
 };
 
-inline PanglossCell run_pangloss_cell(scenario::PanglossScenario sc,
+// Trials fan out across the batch runner (seeds x ~97 alternatives,
+// nested); the cell's statistics are accumulated afterwards in seed order,
+// so results are bit-identical for any --jobs.
+inline PanglossCell run_pangloss_cell(scenario::BatchRunner& batch,
+                                      scenario::PanglossScenario sc,
                                       int words) {
   using scenario::PanglossExperiment;
-  PanglossCell cell;
   const auto alts = PanglossExperiment::alternatives();
-  for (const auto seed : trial_seeds()) {
+  const auto seeds = trial_seeds();
+
+  struct Trial {
+    std::vector<double> utilities;  // one per alternative, in order
+    double spectra_utility = 0.0;
+    std::string spectra_label;
+  };
+  const auto trials = batch.map(seeds.size(), [&](std::size_t t) {
     PanglossExperiment::Config cfg;
     cfg.scenario = sc;
-    cfg.seed = seed;
+    cfg.seed = seeds[t];
     cfg.test_words = words;
-    PanglossExperiment experiment(cfg);
-
-    std::vector<double> utilities;
-    double best = 0.0;
-    for (const auto& alt : alts) {
-      const auto run = experiment.measure(alt);
-      const double u = PanglossExperiment::achieved_utility(run, alt);
-      utilities.push_back(u);
-      best = std::max(best, u);
-    }
+    const PanglossExperiment experiment(cfg);
+    Trial out;
+    out.utilities = batch.map(alts.size(), [&](std::size_t a) {
+      const auto run = experiment.measure(alts[a]);
+      return PanglossExperiment::achieved_utility(run, alts[a]);
+    });
     const auto s = experiment.run_spectra();
-    const double su =
+    out.spectra_utility =
         PanglossExperiment::achieved_utility(s, s.choice.alternative);
-    cell.percentile.stats.add(util::percentile_rank(utilities, su));
-    cell.relative_utility.stats.add(best > 0.0 ? su / best : 0.0);
-    ++cell.chosen[PanglossExperiment::label(s.choice.alternative)];
+    out.spectra_label = PanglossExperiment::label(s.choice.alternative);
+    return out;
+  });
+
+  PanglossCell cell;
+  for (const auto& trial : trials) {
+    double best = 0.0;
+    for (const double u : trial.utilities) best = std::max(best, u);
+    cell.percentile.stats.add(
+        util::percentile_rank(trial.utilities, trial.spectra_utility));
+    cell.relative_utility.stats.add(
+        best > 0.0 ? trial.spectra_utility / best : 0.0);
+    ++cell.chosen[trial.spectra_label];
   }
   return cell;
 }

@@ -1,4 +1,4 @@
-// Shared driver for the Latex figures (5, 6: time; 7: energy).
+// Shared driver for the speech figures (3: time; 4: energy).
 #pragma once
 
 #include <functional>
@@ -16,19 +16,19 @@ namespace spectra::bench {
 // fan out across the batch runner (seeds x alternatives, nested); stats are
 // accumulated afterwards in seed order, so the table is identical for any
 // --jobs.
-inline void run_latex_figure(
+inline void run_speech_figure(
     scenario::BatchRunner& batch, const std::string& title,
-    const std::string& doc,
     const std::function<double(const scenario::MeasuredRun&)>& metric,
     const std::string& unit) {
-  using scenario::LatexExperiment;
-  using scenario::LatexScenario;
   using scenario::MeasuredRun;
+  using scenario::SpeechExperiment;
+  using scenario::SpeechScenario;
 
-  const auto scenarios = {LatexScenario::kBaseline,
-                          LatexScenario::kFileCache,
-                          LatexScenario::kReintegrate, LatexScenario::kEnergy};
-  const auto alternatives = LatexExperiment::alternatives();
+  const auto scenarios = {
+      SpeechScenario::kBaseline, SpeechScenario::kEnergy,
+      SpeechScenario::kNetwork, SpeechScenario::kCpu,
+      SpeechScenario::kFileCache};
+  const auto alternatives = SpeechExperiment::alternatives();
   const auto seeds = trial_seeds();
 
   struct Trial {
@@ -39,11 +39,10 @@ inline void run_latex_figure(
   std::cout << title << "\n\n";
   for (const auto sc : scenarios) {
     const auto trials = batch.map(seeds.size(), [&](std::size_t t) {
-      LatexExperiment::Config cfg;
+      SpeechExperiment::Config cfg;
       cfg.scenario = sc;
-      cfg.doc = doc;
       cfg.seed = seeds[t];
-      const LatexExperiment experiment(cfg);
+      const SpeechExperiment experiment(cfg);
       Trial out;
       out.runs = batch.map(alternatives.size(), [&](std::size_t a) {
         return experiment.measure(alternatives[a]);
@@ -58,7 +57,7 @@ inline void run_latex_figure(
     for (const auto& trial : trials) {
       for (std::size_t a = 0; a < alternatives.size(); ++a) {
         const auto& run = trial.runs[a];
-        auto& agg = by_alt[LatexExperiment::label(alternatives[a])];
+        auto& agg = by_alt[SpeechExperiment::label(alternatives[a])];
         if (run.feasible) {
           agg.stats.add(metric(run));
         } else {
@@ -66,9 +65,10 @@ inline void run_latex_figure(
         }
       }
       spectra_agg.stats.add(metric(trial.spectra));
-      ++chosen_count[LatexExperiment::label(trial.spectra.choice.alternative)];
+      ++chosen_count[SpeechExperiment::label(trial.spectra.choice.alternative)];
     }
 
+    // The alternative Spectra picked most often across trials gets the "S".
     std::string s_label;
     int s_count = 0;
     for (const auto& [label, count] : chosen_count) {
@@ -78,11 +78,10 @@ inline void run_latex_figure(
       }
     }
 
-    util::Table table("Scenario: " + scenario::name(sc) + " — " + doc +
-                      " document");
+    util::Table table("Scenario: " + name(sc));
     table.set_header({"alternative", unit, ""});
     for (const auto& alt : alternatives) {
-      const std::string label = LatexExperiment::label(alt);
+      const std::string label = SpeechExperiment::label(alt);
       table.add_row({label, by_alt[label].cell(),
                      label == s_label ? "<-- S (Spectra's choice)" : ""});
     }

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Perf harness for the parallel batch runner: times every figure bench
+# sequentially (--jobs=1), in parallel (--jobs=N), and with trained-world
+# reuse disabled (SPECTRA_REUSE=0, the retrain-per-run baseline), verifies
+# that parallel output is byte-identical to sequential, and writes the
+# machine-readable BENCH_parallel.json.
+#
+# Usage: scripts/bench.sh [build-dir] [jobs]
+#   build-dir  default: build
+#   jobs       default: one worker per hardware thread (nproc)
+#
+# SPECTRA_TRIALS bounds per-figure trials (default 5, as in the paper).
+# parallel_speedup is bounded by the machine's core count — on a 1-core
+# host it stays ~1.0 and reuse_speedup is the meaningful number.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JOBS="${2:-$(nproc)}"
+TRIALS="${SPECTRA_TRIALS:-5}"
+OUT="BENCH_parallel.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FIGS=(fig03_speech_time fig04_speech_energy fig05_latex_small
+      fig06_latex_large fig07_latex_energy fig08_pangloss_accuracy
+      fig09_pangloss_utility)
+
+export SPECTRA_TRIALS="$TRIALS"
+
+wall() {  # wall <stdout-file> <cmd...> -> prints elapsed seconds
+  local out="$1"; shift
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$@" > "$out"
+  t1=$(date +%s.%N)
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }'
+}
+
+ratio() {  # ratio <num> <den>
+  awk -v n="$1" -v d="$2" 'BEGIN { printf "%.2f", (d > 0 ? n / d : 0) }'
+}
+
+rows=""
+for fig in "${FIGS[@]}"; do
+  bin="$BUILD/bench/$fig"
+  [ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 1; }
+
+  seq_s=$(wall "$TMP/seq.txt" "$bin" --jobs=1)
+  par_s=$(wall "$TMP/par.txt" "$bin" --jobs="$JOBS")
+  retrain_s=$(SPECTRA_REUSE=0 wall "$TMP/retrain.txt" "$bin" --jobs=1)
+
+  if cmp -s "$TMP/seq.txt" "$TMP/par.txt"; then
+    identical=true
+  else
+    identical=false
+  fi
+  par_speedup=$(ratio "$seq_s" "$par_s")
+  reuse_speedup=$(ratio "$retrain_s" "$seq_s")
+
+  echo "$fig: seq ${seq_s}s, jobs=$JOBS ${par_s}s (${par_speedup}x)," \
+       "retrain ${retrain_s}s (reuse ${reuse_speedup}x), identical=$identical"
+
+  row=$(printf '    {"name": "%s", "seq_s": %s, "par_s": %s, "parallel_speedup": %s, "retrain_s": %s, "reuse_speedup": %s, "identical": %s}' \
+        "$fig" "$seq_s" "$par_s" "$par_speedup" "$retrain_s" \
+        "$reuse_speedup" "$identical")
+  rows="${rows:+$rows,$'\n'}$row"
+done
+
+cat > "$OUT" <<EOF
+{
+  "harness": "scripts/bench.sh",
+  "build_dir": "$BUILD",
+  "jobs": $JOBS,
+  "trials": $TRIALS,
+  "hardware_concurrency": $(nproc),
+  "figures": [
+$rows
+  ]
+}
+EOF
+echo "wrote $OUT"

@@ -2,7 +2,10 @@
 # CI check: tier-1 verify (full build + ctest, see ROADMAP.md) followed by
 # an ASan smoke pass — a sanitized build of the observability suite plus a
 # `spectra scenarios` smoke run, catching memory bugs in the trace/metrics
-# hot paths that the plain build would miss.
+# hot paths that the plain build would miss — and a TSan smoke of the batch
+# runner: the exec suite (thread pool, concurrent logging, metrics merge,
+# batch determinism) plus a multi-worker CLI run, catching data races in
+# the parallel fan-out that neither the plain nor the ASan build can see.
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -23,5 +26,12 @@ cmake -B "$SMOKE" -S . -DSPECTRA_SANITIZE=address >/dev/null
 cmake --build "$SMOKE" -j "$(nproc)" --target obs_test spectra
 "$SMOKE/tests/obs_test"
 "$SMOKE/src/cli/spectra" scenarios >/dev/null
+
+echo "== sanitize smoke (thread) =="
+TSMOKE="$BUILD-tsan"
+cmake -B "$TSMOKE" -S . -DSPECTRA_SANITIZE=thread >/dev/null
+cmake --build "$TSMOKE" -j "$(nproc)" --target exec_test spectra
+"$TSMOKE/tests/exec_test"
+SPECTRA_TRIALS=2 "$TSMOKE/src/cli/spectra" speech --trials=2 --jobs=4 >/dev/null
 
 echo "OK"

@@ -25,6 +25,7 @@ void JanusApp::install_files(fs::FileServer& server) const {
 void JanusApp::install_services(core::SpectraServer& server,
                                 util::Rng rng) const {
   auto noise = std::make_shared<util::Rng>(rng);
+  noise_.push_back(noise);
   const JanusConfig cfg = config_;
   core::SpectraServer* srv = &server;
 
@@ -145,6 +146,12 @@ monitor::OperationUsage JanusApp::run(core::SpectraClient& client,
   SPECTRA_REQUIRE(choice.ok, "Spectra produced no choice for Janus");
   execute(client, utterance_seconds);
   return client.end_fidelity_op();
+}
+
+void JanusApp::copy_state_from(const JanusApp& src) {
+  SPECTRA_REQUIRE(noise_.size() == src.noise_.size(),
+                  "janus app mismatch in copy_state_from");
+  for (std::size_t i = 0; i < noise_.size(); ++i) *noise_[i] = *src.noise_[i];
 }
 
 monitor::OperationUsage JanusApp::run_forced(

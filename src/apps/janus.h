@@ -18,7 +18,9 @@
 //     sends the (much smaller) feature stream.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/client.h"
 #include "core/server.h"
@@ -92,8 +94,15 @@ class JanusApp {
                                      double utterance_seconds,
                                      const solver::Alternative& alt) const;
 
+  // Copy the ground-truth noise streams from the same app in another world.
+  // Both apps must have installed services in the same order.
+  void copy_state_from(const JanusApp& src);
+
  private:
   JanusConfig config_;
+  // One noise stream per install_services call, in install order; the
+  // service handlers share ownership, so copying the pointee retargets them.
+  mutable std::vector<std::shared_ptr<util::Rng>> noise_;
 };
 
 }  // namespace spectra::apps

@@ -54,6 +54,7 @@ void LatexApp::install_files(fs::FileServer& server) const {
 void LatexApp::install_services(core::SpectraServer& server,
                                 util::Rng rng) const {
   auto noise = std::make_shared<util::Rng>(rng);
+  noise_.push_back(noise);
   const LatexConfig cfg = config_;
   core::SpectraServer* srv = &server;
   // Copy the document table into the handler.
@@ -119,6 +120,12 @@ monitor::OperationUsage LatexApp::run(core::SpectraClient& client,
   SPECTRA_REQUIRE(choice.ok, "Spectra produced no choice for Latex");
   execute(client, doc);
   return client.end_fidelity_op();
+}
+
+void LatexApp::copy_state_from(const LatexApp& src) {
+  SPECTRA_REQUIRE(noise_.size() == src.noise_.size(),
+                  "latex app mismatch in copy_state_from");
+  for (std::size_t i = 0; i < noise_.size(); ++i) *noise_[i] = *src.noise_[i];
 }
 
 monitor::OperationUsage LatexApp::run_forced(

@@ -13,6 +13,7 @@
 // first require reintegration — the paper's reintegrate scenario.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,8 +70,13 @@ class LatexApp {
                                      const std::string& doc,
                                      const solver::Alternative& alt) const;
 
+  // Copy the ground-truth noise streams from the same app in another world.
+  void copy_state_from(const LatexApp& src);
+
  private:
   LatexConfig config_;
+  // One noise stream per install_services call, in install order.
+  mutable std::vector<std::shared_ptr<util::Rng>> noise_;
 };
 
 }  // namespace spectra::apps

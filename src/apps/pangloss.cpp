@@ -20,6 +20,7 @@ void PanglossApp::install_files(fs::FileServer& server) const {
 void PanglossApp::install_services(core::SpectraServer& server,
                                    util::Rng rng) const {
   auto noise = std::make_shared<util::Rng>(rng);
+  noise_.push_back(noise);
   const PanglossConfig cfg = config_;
   core::SpectraServer* srv = &server;
   for (std::size_t i = 0; i < cfg.components.size(); ++i) {
@@ -151,6 +152,12 @@ monitor::OperationUsage PanglossApp::run(core::SpectraClient& client,
   SPECTRA_REQUIRE(choice.ok, "Spectra produced no choice for Pangloss");
   execute(client, words);
   return client.end_fidelity_op();
+}
+
+void PanglossApp::copy_state_from(const PanglossApp& src) {
+  SPECTRA_REQUIRE(noise_.size() == src.noise_.size(),
+                  "pangloss app mismatch in copy_state_from");
+  for (std::size_t i = 0; i < noise_.size(); ++i) *noise_[i] = *src.noise_[i];
 }
 
 monitor::OperationUsage PanglossApp::run_forced(

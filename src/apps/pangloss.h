@@ -22,7 +22,9 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/client.h"
 #include "core/server.h"
@@ -98,11 +100,16 @@ class PanglossApp {
   monitor::OperationUsage run_forced(core::SpectraClient& client, int words,
                                      const solver::Alternative& alt) const;
 
+  // Copy the ground-truth noise streams from the same app in another world.
+  void copy_state_from(const PanglossApp& src);
+
  private:
   static bool component_enabled(const solver::Alternative& alt, int c);
   static bool component_remote(const solver::Alternative& alt, int c);
 
   PanglossConfig config_;
+  // One noise stream per install_services call, in install order.
+  mutable std::vector<std::shared_ptr<util::Rng>> noise_;
 };
 
 }  // namespace spectra::apps

@@ -12,6 +12,7 @@
 // choice. `explain` prints the decision trace — what Spectra predicted for
 // every alternative and why the winner won. Use --verbose for component
 // logs (or set SPECTRA_LOG=info|debug).
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "cli/args.h"
 #include "fault/fault_plan.h"
 #include "obs/obs.h"
+#include "scenario/batch.h"
 #include "scenario/experiment.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -36,11 +38,14 @@ int usage() {
 
 usage:
   spectra speech   [--scenario=S] [--utterance=SECS] [--trials=N] [--seed=N]
-                   [--fault-plan=FILE] [--trace=FILE] [--metrics=FILE]
+                   [--jobs=N] [--fault-plan=FILE] [--trace=FILE]
+                   [--metrics=FILE]
   spectra latex    [--scenario=S] [--doc=small|large] [--trials=N] [--seed=N]
-                   [--fault-plan=FILE] [--trace=FILE] [--metrics=FILE]
+                   [--jobs=N] [--fault-plan=FILE] [--trace=FILE]
+                   [--metrics=FILE]
   spectra pangloss [--scenario=S] [--words=N] [--trials=N] [--seed=N]
-                   [--fault-plan=FILE] [--trace=FILE] [--metrics=FILE]
+                   [--jobs=N] [--fault-plan=FILE] [--trace=FILE]
+                   [--metrics=FILE]
   spectra overhead [--servers=N] [--runs=N] [--metrics=FILE]
   spectra explain (speech|latex|pangloss) [--scenario=S] [--utterance=SECS]
                   [--doc=D] [--words=N] [--seed=N] [--trace=FILE]
@@ -49,6 +54,10 @@ usage:
   spectra scenarios
 
 flags: --verbose (component logs; SPECTRA_LOG=debug for more)
+parallelism: --jobs=N fans measured runs across N worker threads (0 = one
+  per hardware thread; default 1, or SPECTRA_JOBS). Results, traces, and
+  metrics are merged in deterministic run order, so output is bit-identical
+  for any N. SPECTRA_REUSE=0 disables trained-world reuse (retrain per run).
 observability: --trace=FILE writes one JSONL event per decision, operation
   end, reintegration, degradation, fault, and phase (virtual-time keyed;
   bit-identical across replays of a seed). --metrics=FILE writes the final
@@ -95,6 +104,19 @@ PanglossScenario pangloss_scenario(const Args& args) {
        PanglossScenario::kCpu});
 }
 
+// Worker count for batch commands: --jobs, else SPECTRA_JOBS, else 1.
+// 0 means one worker per hardware thread.
+std::size_t jobs_arg(const Args& args) {
+  long requested = args.get_int("jobs", -1);
+  if (requested < 0) {
+    if (const char* env = std::getenv("SPECTRA_JOBS")) {
+      requested = std::atol(env);
+    }
+  }
+  if (requested < 0) return 1;
+  return resolve_jobs(requested);
+}
+
 std::optional<fault::FaultPlan> fault_plan_arg(const Args& args) {
   const std::string path = args.get("fault-plan", "");
   if (path.empty()) return std::nullopt;
@@ -128,9 +150,13 @@ CliObs obs_args(const Args& args) {
 }
 
 // Generic scenario table: measure every alternative over N trials, then let
-// Spectra choose.
+// Spectra choose. Trials fan out across the batch runner, and each trial
+// fans its per-alternative runs out in turn; per-run observability shards
+// merge in run order, so the table and any trace are identical for any
+// --jobs.
 template <typename Experiment, typename MakeExperiment>
 void run_table(const std::string& title, long trials, std::uint64_t seed,
+               BatchRunner& batch, obs::Observability* session,
                MakeExperiment make) {
   const auto alternatives = Experiment::alternatives();
   struct Cell {
@@ -141,11 +167,29 @@ void run_table(const std::string& title, long trials, std::uint64_t seed,
   util::OnlineStats s_time, s_energy;
   std::map<std::string, int> chosen;
 
-  for (long t = 0; t < trials; ++t) {
-    Experiment exp = make(seed + static_cast<std::uint64_t>(t) * 17);
-    for (const auto& alt : alternatives) {
-      const auto run = exp.measure(alt);
-      auto& cell = cells[Experiment::label(alt)];
+  struct TrialResult {
+    std::vector<MeasuredRun> runs;
+    MeasuredRun spectra;
+  };
+  const auto trial_results = batch.map_runs(
+      session, static_cast<std::size_t>(trials),
+      [&](std::size_t t, obs::Observability* trial_obs) {
+        const Experiment exp =
+            make(seed + static_cast<std::uint64_t>(t) * 17, trial_obs);
+        TrialResult r;
+        r.runs = batch.map_runs(
+            trial_obs, alternatives.size(),
+            [&](std::size_t a, obs::Observability* run_obs) {
+              return exp.measure(alternatives[a], run_obs);
+            });
+        r.spectra = exp.run_spectra(trial_obs);
+        return r;
+      });
+
+  for (const auto& trial : trial_results) {
+    for (std::size_t a = 0; a < alternatives.size(); ++a) {
+      const auto& run = trial.runs[a];
+      auto& cell = cells[Experiment::label(alternatives[a])];
       if (run.feasible) {
         cell.time.add(run.time);
         cell.energy.add(run.energy);
@@ -153,10 +197,9 @@ void run_table(const std::string& title, long trials, std::uint64_t seed,
         cell.infeasible = true;
       }
     }
-    const auto s = exp.run_spectra();
-    s_time.add(s.time);
-    s_energy.add(s.energy);
-    ++chosen[Experiment::label(s.choice.alternative)];
+    s_time.add(trial.spectra.time);
+    s_energy.add(trial.spectra.energy);
+    ++chosen[Experiment::label(trial.spectra.choice.alternative)];
   }
 
   std::string s_label;
@@ -199,17 +242,19 @@ void run_table(const std::string& title, long trials, std::uint64_t seed,
 int cmd_speech(const Args& args) {
   const auto sc = speech_scenario(args);
   CliObs obs = obs_args(args);
+  BatchRunner batch(jobs_arg(args));
   run_table<SpeechExperiment>(
       "Speech recognition — scenario: " + name(sc),
       args.get_int("trials", 3),
-      static_cast<std::uint64_t>(args.get_int("seed", 1000)),
-      [&](std::uint64_t seed) {
+      static_cast<std::uint64_t>(args.get_int("seed", 1000)), batch,
+      obs.ptr(),
+      [&](std::uint64_t seed, obs::Observability* trial_obs) {
         SpeechExperiment::Config cfg;
         cfg.scenario = sc;
         cfg.seed = seed;
         cfg.test_utterance_s = args.get_double("utterance", 2.0);
         cfg.fault_plan = fault_plan_arg(args);
-        cfg.obs = obs.ptr();
+        cfg.obs = trial_obs;
         return SpeechExperiment(cfg);
       });
   obs.finish();
@@ -222,17 +267,19 @@ int cmd_latex(const Args& args) {
   SPECTRA_REQUIRE(doc == "small" || doc == "large",
                   "--doc must be small or large");
   CliObs obs = obs_args(args);
+  BatchRunner batch(jobs_arg(args));
   run_table<LatexExperiment>(
       "Latex (" + doc + " document) — scenario: " + name(sc),
       args.get_int("trials", 3),
-      static_cast<std::uint64_t>(args.get_int("seed", 1000)),
-      [&](std::uint64_t seed) {
+      static_cast<std::uint64_t>(args.get_int("seed", 1000)), batch,
+      obs.ptr(),
+      [&](std::uint64_t seed, obs::Observability* trial_obs) {
         LatexExperiment::Config cfg;
         cfg.scenario = sc;
         cfg.doc = doc;
         cfg.seed = seed;
         cfg.fault_plan = fault_plan_arg(args);
-        cfg.obs = obs.ptr();
+        cfg.obs = trial_obs;
         return LatexExperiment(cfg);
       });
   obs.finish();
@@ -247,30 +294,43 @@ int cmd_pangloss(const Args& args) {
       static_cast<std::uint64_t>(args.get_int("seed", 1000));
 
   CliObs obs = obs_args(args);
+  BatchRunner batch(jobs_arg(args));
+  const auto alts = PanglossExperiment::alternatives();
+  struct TrialResult {
+    std::vector<double> utilities;
+    MeasuredRun spectra;
+  };
+  const auto trial_results = batch.map_runs(
+      obs.ptr(), static_cast<std::size_t>(trials),
+      [&](std::size_t t, obs::Observability* trial_obs) {
+        PanglossExperiment::Config cfg;
+        cfg.scenario = sc;
+        cfg.seed = seed + static_cast<std::uint64_t>(t) * 17;
+        cfg.test_words = words;
+        cfg.fault_plan = fault_plan_arg(args);
+        cfg.obs = trial_obs;
+        const PanglossExperiment exp(cfg);
+        TrialResult r;
+        r.utilities = batch.map_runs(
+            trial_obs, alts.size(),
+            [&](std::size_t a, obs::Observability* run_obs) {
+              return PanglossExperiment::achieved_utility(
+                  exp.measure(alts[a], run_obs), alts[a]);
+            });
+        r.spectra = exp.run_spectra(trial_obs);
+        return r;
+      });
+
   util::OnlineStats percentile, relative;
   std::map<std::string, int> chosen;
-  for (long t = 0; t < trials; ++t) {
-    PanglossExperiment::Config cfg;
-    cfg.scenario = sc;
-    cfg.seed = seed + static_cast<std::uint64_t>(t) * 17;
-    cfg.test_words = words;
-    cfg.fault_plan = fault_plan_arg(args);
-    cfg.obs = obs.ptr();
-    PanglossExperiment exp(cfg);
-    std::vector<double> utilities;
+  for (const auto& trial : trial_results) {
     double best = 0.0;
-    for (const auto& alt : PanglossExperiment::alternatives()) {
-      const double u =
-          PanglossExperiment::achieved_utility(exp.measure(alt), alt);
-      utilities.push_back(u);
-      best = std::max(best, u);
-    }
-    const auto s = exp.run_spectra();
-    const double su =
-        PanglossExperiment::achieved_utility(s, s.choice.alternative);
-    percentile.add(util::percentile_rank(utilities, su));
+    for (const double u : trial.utilities) best = std::max(best, u);
+    const double su = PanglossExperiment::achieved_utility(
+        trial.spectra, trial.spectra.choice.alternative);
+    percentile.add(util::percentile_rank(trial.utilities, su));
     relative.add(best > 0.0 ? su / best : 0.0);
-    ++chosen[PanglossExperiment::label(s.choice.alternative)];
+    ++chosen[PanglossExperiment::label(trial.spectra.choice.alternative)];
   }
   std::string s_label;
   int best_count = 0;

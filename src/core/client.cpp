@@ -711,4 +711,26 @@ void SpectraClient::save_usage_log() const {
   usage_log_.save(config_.usage_log_path);
 }
 
+void SpectraClient::copy_state_from(const SpectraClient& src) {
+  SPECTRA_REQUIRE(id_ == src.id_, "client mismatch in copy_state_from");
+  SPECTRA_REQUIRE(!active_ && !src.active_,
+                  "cannot copy a client with an operation in flight");
+  endpoint_.copy_state_from(src.endpoint_);
+  local_server_->copy_state_from(*src.local_server_);
+  monitors_.copy_state_from(src.monitors_);
+  server_db_.copy_state_from(src.server_db_);
+  solver_.copy_state_from(src.solver_);
+  SPECTRA_REQUIRE(ops_.size() == src.ops_.size(),
+                  "registered-operation mismatch in copy_state_from");
+  for (auto& [name, op] : ops_) {
+    auto it = src.ops_.find(name);
+    SPECTRA_REQUIRE(it != src.ops_.end(),
+                    "registered-operation mismatch in copy_state_from");
+    op.model = it->second.model;
+    op.executions = it->second.executions;
+  }
+  usage_log_ = src.usage_log_;
+  last_trace_ = src.last_trace_;
+}
+
 }  // namespace spectra::core

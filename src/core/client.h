@@ -247,6 +247,13 @@ class SpectraClient {
     return last_trace_ ? &*last_trace_ : nullptr;
   }
 
+  // Copy all learned and mutable state (models, monitors, usage log, RNGs,
+  // availability beliefs) from the same client in another world. Both
+  // clients must be structurally identical (same registered operations and
+  // servers) and idle. Wiring — endpoints, handlers, obs — stays this
+  // world's own.
+  void copy_state_from(const SpectraClient& src);
+
  private:
   struct RegisteredOp {
     OperationDesc desc;

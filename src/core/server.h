@@ -46,6 +46,13 @@ class SpectraServer {
   // queue (smoothed), enumerates the Coda cache, and stamps the time.
   monitor::ServerStatusReport status();
 
+  // Copy mutable state from the same server in another world. Service
+  // registrations are structural (closures over their own world).
+  void copy_state_from(const SpectraServer& src) {
+    endpoint_.copy_state_from(src.endpoint_);
+    queue_est_ = src.queue_est_;
+  }
+
  private:
   MachineId id_;
   sim::Engine& engine_;

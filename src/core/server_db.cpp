@@ -12,9 +12,12 @@ ServerDatabase::ServerDatabase(sim::Engine& engine,
       client_endpoint_(client_endpoint),
       monitors_(monitors) {
   SPECTRA_REQUIRE(poll_period > 0.0, "poll period must be positive");
-  poller_ = engine_.schedule_periodic(poll_period, [this] {
-    if (!suppressed_) poll_all();
-  });
+  poller_ = engine_.schedule_periodic(
+      poll_period,
+      [this] {
+        if (!suppressed_) poll_all();
+      },
+      "server_db.poll");
 }
 
 ServerDatabase::~ServerDatabase() { engine_.cancel(poller_); }
@@ -68,6 +71,18 @@ std::vector<MachineId> ServerDatabase::available_servers() const {
 SpectraServer* ServerDatabase::server(MachineId id) {
   auto it = entries_.find(id);
   return it != entries_.end() ? it->second.server : nullptr;
+}
+
+void ServerDatabase::copy_state_from(const ServerDatabase& src) {
+  SPECTRA_REQUIRE(entries_.size() == src.entries_.size(),
+                  "server database mismatch in copy_state_from");
+  for (auto& [id, entry] : entries_) {
+    auto it = src.entries_.find(id);
+    SPECTRA_REQUIRE(it != src.entries_.end(),
+                    "server database mismatch in copy_state_from");
+    entry.available = it->second.available;
+  }
+  suppressed_ = src.suppressed_;
 }
 
 }  // namespace spectra::core

@@ -51,6 +51,10 @@ class ServerDatabase {
   SpectraServer* server(MachineId id);
   std::size_t size() const { return entries_.size(); }
 
+  // Copy availability beliefs from the same database in another world; the
+  // server pointers stay this world's own.
+  void copy_state_from(const ServerDatabase& src);
+
  private:
   struct Entry {
     SpectraServer* server = nullptr;

@@ -1,0 +1,179 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace spectra::exec {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of. Lets submit()
+// route to the worker's own deque and run_one_task() prefer local work.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+}  // namespace
+
+// --- TaskGroup -------------------------------------------------------------
+
+TaskGroup::~TaskGroup() {
+  // Drain without rethrowing: wait() may already have thrown, and a
+  // destructor must not throw again.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (pending_ == 0) return;
+    }
+    if (pool_.run_one_task()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (pending_ == 0) return;
+    done_cv_.wait(lk);
+  }
+}
+
+void TaskGroup::submit(std::function<void()> task) {
+  SPECTRA_REQUIRE(task != nullptr, "task must be callable");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  pool_.enqueue(ThreadPool::Task{std::move(task), this});
+}
+
+void TaskGroup::wait() {
+  // Help: execute queued work (ours or anyone's) while our tasks are
+  // outstanding. Blocking only happens when every remaining task is
+  // already in flight on some other thread, so nested batches on the same
+  // pool cannot deadlock.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (pending_ == 0) break;
+    }
+    if (pool_.run_one_task()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (pending_ == 0) break;
+    done_cv_.wait(lk);  // woken by task_done()
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::task_done(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (error && !first_error_) first_error_ = error;
+  SPECTRA_DCHECK(pending_ > 0, "task_done without a pending task");
+  --pending_;
+  done_cv_.notify_all();
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(threads, 1);
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_concurrency() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+void ThreadPool::enqueue(Task task) {
+  if (tls_pool == this) {
+    // A worker submitting from inside a task keeps its work local; idle
+    // peers steal from the front.
+    std::lock_guard<std::mutex> lk(queues_[tls_index]->mu);
+    queues_[tls_index]->tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lk(mu_);
+    inject_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::run_one_task() {
+  Task task;
+  bool found = false;
+  // Newest-first from the caller's own deque (better locality for nested
+  // batches), oldest-first everywhere else.
+  if (tls_pool == this) {
+    std::lock_guard<std::mutex> lk(queues_[tls_index]->mu);
+    if (!queues_[tls_index]->tasks.empty()) {
+      task = std::move(queues_[tls_index]->tasks.back());
+      queues_[tls_index]->tasks.pop_back();
+      found = true;
+    }
+  }
+  if (!found) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!inject_.empty()) {
+      task = std::move(inject_.front());
+      inject_.pop_front();
+      found = true;
+    }
+  }
+  if (!found) {
+    const std::size_t start = (tls_pool == this) ? tls_index + 1 : 0;
+    for (std::size_t k = 0; k < queues_.size() && !found; ++k) {
+      auto& victim = *queues_[(start + k) % queues_.size()];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+  run(std::move(task));
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
+  while (true) {
+    if (run_one_task()) continue;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) return;
+    if (!inject_.empty()) continue;  // raced with a submit; retry
+    // Sleep until new work is enqueued anywhere or the pool shuts down.
+    // A wake with nothing stealable (someone else got there first) just
+    // loops back to sleep.
+    work_cv_.wait(lk);
+  }
+}
+
+void ThreadPool::run(Task task) {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  if (task.group != nullptr) task.group->task_done(error);
+}
+
+}  // namespace spectra::exec

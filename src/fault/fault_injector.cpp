@@ -30,7 +30,10 @@ void FaultInjector::attach_obs(obs::Observability* obs) {
 void FaultInjector::schedule(Seconds at_offset, const FaultEvent& e) {
   SPECTRA_REQUIRE(at_offset >= 0.0, "fault offset must be >= 0");
   ++armed_;
-  engine_.schedule_after(at_offset, [this, e] { apply(e); });
+  // Tag by arming index: arming the same plan in a cloned world registers
+  // identical tags, letting Engine::adopt_schedule rebind pending faults.
+  engine_.schedule_after(at_offset, [this, e] { apply(e); },
+                         "fault." + std::to_string(armed_));
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {

@@ -62,6 +62,17 @@ class FaultInjector {
   // One line per applied fault; equal across replays of the same seed.
   std::string trace_string() const;
 
+  // Copy mutable fault state from the same injector in another world. The
+  // clone must already have armed the same plans (so its engine holds
+  // same-tagged events); attachments and obs wiring stay its own.
+  void copy_state_from(const FaultInjector& src) {
+    SPECTRA_REQUIRE(armed_ == src.armed_,
+                    "fault injector armed-event mismatch in copy_state_from");
+    saved_latency_ = src.saved_latency_;
+    saved_bandwidth_ = src.saved_bandwidth_;
+    trace_ = src.trace_;
+  }
+
  private:
   using LinkKey = std::pair<MachineId, MachineId>;
   static LinkKey link_key(MachineId a, MachineId b) {

@@ -317,4 +317,23 @@ void CodaClient::record_access(const std::string& path, Bytes size, bool write,
   for (auto& t : traces_) t.push_back(Access{path, size, write, miss});
 }
 
+void CodaClient::copy_state_from(const CodaClient& src) {
+  SPECTRA_REQUIRE(self_id_ == src.self_id_,
+                  "coda client mismatch in copy_state_from");
+  SPECTRA_REQUIRE(traces_.empty() && src.traces_.empty(),
+                  "cannot copy a coda client with an active access trace");
+  lru_ = src.lru_;
+  cache_.clear();
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const CacheEntry& e = src.cache_.at(*it);
+    cache_.emplace(*it, CacheEntry{e.info, e.version, it});
+  }
+  cached_bytes_ = src.cached_bytes_;
+  dirty_ = src.dirty_;
+  journal_ = src.journal_;
+  generation_ = src.generation_;
+  journal_start_gen_ = src.journal_start_gen_;
+  fetch_rate_ = src.fetch_rate_;
+}
+
 }  // namespace spectra::fs

@@ -73,6 +73,9 @@ class FileServer {
 
   std::vector<FileInfo> files_in_volume(const std::string& volume) const;
 
+  // Copy the authoritative store from the same server in another world.
+  void copy_state_from(const FileServer& src) { files_ = src.files_; }
+
  private:
   struct Entry {
     FileInfo info;
@@ -172,6 +175,12 @@ class CodaClient {
   void start_trace();
   std::vector<Access> stop_trace();
   std::size_t active_traces() const { return traces_.size(); }
+
+  // Copy cache/journal/dirty state from the same client in another world.
+  // Rebuilds the per-entry LRU iterators against this client's own list
+  // (a memberwise copy would alias the source's). No trace may be active
+  // on either side.
+  void copy_state_from(const CodaClient& src);
 
  private:
   struct CacheEntry {

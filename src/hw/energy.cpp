@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/assert.h"
+
 namespace spectra::hw {
 
 void EnergyMeter::integrate() {
@@ -36,6 +38,13 @@ Joules AcpiDriver::read_consumed() {
     last_refresh_ = now;
   }
   return cached_;
+}
+
+void AcpiDriver::copy_state_from(const EnergyDriver& src) {
+  const auto* acpi = dynamic_cast<const AcpiDriver*>(&src);
+  SPECTRA_REQUIRE(acpi != nullptr, "driver type mismatch in copy_state_from");
+  last_refresh_ = acpi->last_refresh_;
+  cached_ = acpi->cached_;
 }
 
 SmartBatteryDriver::SmartBatteryDriver(sim::Engine& engine, EnergyMeter& meter,

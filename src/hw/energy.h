@@ -34,6 +34,16 @@ class EnergyMeter {
 
   Watts current_power() const { return power_; }
 
+  // Copy the integration state from a meter attached to another engine.
+  // Copies raw members only — never calls total_consumed() (which
+  // integrates), so many clones may copy from one shared const template
+  // concurrently without racing.
+  void copy_state_from(const EnergyMeter& src) {
+    power_ = src.power_;
+    last_t_ = src.last_t_;
+    total_ = src.total_;
+  }
+
  private:
   void integrate();
 
@@ -53,6 +63,10 @@ class EnergyDriver {
 
   // Cumulative energy consumed as reported by this instrument.
   virtual Joules read_consumed() = 0;
+
+  // Copy mutable measurement state (caches, refresh timestamps) from a
+  // same-type driver in another world. Stateless drivers need no override.
+  virtual void copy_state_from(const EnergyDriver& /*src*/) {}
 };
 
 // ACPI battery interface: reports in coarse mWh quanta and refreshes its
@@ -65,6 +79,7 @@ class AcpiDriver : public EnergyDriver {
 
   const std::string& name() const override { return name_; }
   Joules read_consumed() override;
+  void copy_state_from(const EnergyDriver& src) override;
 
  private:
   std::string name_ = "acpi";

@@ -85,6 +85,33 @@ void Machine::set_net_active(bool active) {
 
 void Machine::set_on_battery(bool on) { on_battery_ = on; }
 
+void Battery::copy_state_from(const Battery& src) {
+  SPECTRA_REQUIRE(capacity_ == src.capacity_,
+                  "battery capacity mismatch in copy_state_from");
+  consumed_at_install_ = src.consumed_at_install_;
+  cliff_drain_ = src.cliff_drain_;
+}
+
+void Machine::copy_state_from(const Machine& src) {
+  SPECTRA_REQUIRE(spec_.name == src.spec_.name,
+                  "machine mismatch in copy_state_from");
+  SPECTRA_REQUIRE(src.foreground_running_ == 0,
+                  "cannot copy a machine with an operation in flight");
+  rng_ = src.rng_;
+  meter_.copy_state_from(src.meter_);
+  SPECTRA_REQUIRE((battery_ == nullptr) == (src.battery_ == nullptr),
+                  "battery presence mismatch in copy_state_from");
+  if (battery_ != nullptr) battery_->copy_state_from(*src.battery_);
+  background_procs_ = src.background_procs_;
+  cycles_executed_ = src.cycles_executed_;
+  foreground_running_ = src.foreground_running_;
+  net_active_ = src.net_active_;
+  on_battery_ = src.on_battery_;
+  // meter_ already carries src's power draw; no update_power() — it would
+  // integrate at this world's (already equal) clock, a harmless but
+  // unnecessary wobble if the clocks ever diverged mid-clone.
+}
+
 void Machine::update_power() {
   // CPU utilization: saturated whenever a foreground op or at least one
   // CPU-bound background process runs; fractional background loads model

@@ -53,6 +53,10 @@ class Battery {
   // battery already holds less.
   void drain_to_fraction(double fraction);
 
+  // Copy charge-accounting state from a same-capacity battery whose meter
+  // belongs to another world.
+  void copy_state_from(const Battery& src);
+
  private:
   EnergyMeter& meter_;
   util::Joules capacity_;
@@ -114,6 +118,11 @@ class Machine {
   // wall-powered machines report false regardless of battery presence).
   void set_on_battery(bool on);
   bool on_battery() const { return on_battery_ && battery_ != nullptr; }
+
+  // Copy all mutable state (rng, meter, battery, load, counters) from the
+  // same machine in another world. Structure (spec, battery presence) must
+  // match; no operation may be in flight on either side.
+  void copy_state_from(const Machine& src);
 
  private:
   void update_power();

@@ -17,7 +17,8 @@ GoalDirectedAdaptation::GoalDirectedAdaptation(sim::Engine& engine,
       config_(config),
       demand_rate_(config.demand_alpha) {
   ticker_ =
-      engine_.schedule_periodic(config_.tick_period, [this] { tick(); });
+      engine_.schedule_periodic(config_.tick_period, [this] { tick(); },
+                                "battery.goal_tick");
   last_consumed_ = driver_.read_consumed();
   last_tick_ = engine_.now();
 }
@@ -103,6 +104,27 @@ void BatteryMonitor::start_op() {
 void BatteryMonitor::stop_op(OperationUsage& usage) {
   usage.energy = driver_->read_consumed() - consumed_at_start_;
   usage.energy_valid = !overlap_seen_ && concurrent_ops_ == 0;
+}
+
+void GoalDirectedAdaptation::copy_state_from(
+    const GoalDirectedAdaptation& src) {
+  goal_active_ = src.goal_active_;
+  goal_end_ = src.goal_end_;
+  importance_ = src.importance_;
+  pinned_importance_ = src.pinned_importance_;
+  demand_rate_ = src.demand_rate_;
+  last_consumed_ = src.last_consumed_;
+  last_tick_ = src.last_tick_;
+}
+
+void BatteryMonitor::copy_state_from(const ResourceMonitor& src) {
+  const auto* other = dynamic_cast<const BatteryMonitor*>(&src);
+  SPECTRA_REQUIRE(other != nullptr, "monitor type mismatch in copy_state_from");
+  driver_->copy_state_from(*other->driver_);
+  adaptation_.copy_state_from(other->adaptation_);
+  consumed_at_start_ = other->consumed_at_start_;
+  concurrent_ops_ = other->concurrent_ops_;
+  overlap_seen_ = other->overlap_seen_;
 }
 
 }  // namespace spectra::monitor

@@ -58,6 +58,9 @@ class GoalDirectedAdaptation {
   // +inf when no demand has been observed.
   Seconds predicted_lifetime();
 
+  // Copy the feedback-loop state from the same adaptation in another world.
+  void copy_state_from(const GoalDirectedAdaptation& src);
+
  private:
   void tick();
 
@@ -87,6 +90,7 @@ class BatteryMonitor : public ResourceMonitor {
   void predict_avail(ResourceSnapshot& snapshot) override;
   void start_op() override;
   void stop_op(OperationUsage& usage) override;
+  void copy_state_from(const ResourceMonitor& src) override;
 
   GoalDirectedAdaptation& adaptation() { return adaptation_; }
   hw::EnergyDriver& driver() { return *driver_; }

@@ -1,5 +1,7 @@
 #include "monitor/cache_monitor.h"
 
+#include "util/assert.h"
+
 namespace spectra::monitor {
 
 void FileCacheMonitor::predict_avail(ResourceSnapshot& snapshot) {
@@ -33,6 +35,15 @@ void FileCacheMonitor::start_op() { coda_.start_trace(); }
 
 void FileCacheMonitor::stop_op(OperationUsage& usage) {
   usage.local_file_accesses = coda_.stop_trace();
+}
+
+void FileCacheMonitor::copy_state_from(const ResourceMonitor& src) {
+  const auto* other = dynamic_cast<const FileCacheMonitor*>(&src);
+  SPECTRA_REQUIRE(other != nullptr, "monitor type mismatch in copy_state_from");
+  // Fresh view, not a share: the source's mirror must keep belonging to the
+  // source world's copy-on-write chain.
+  mirror_ = std::make_shared<CachedFileView>(*other->mirror_);
+  last_generation_ = other->last_generation_;
 }
 
 }  // namespace spectra::monitor

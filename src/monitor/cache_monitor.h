@@ -31,6 +31,7 @@ class FileCacheMonitor : public ResourceMonitor {
   void predict_avail(ResourceSnapshot& snapshot) override;
   void start_op() override;
   void stop_op(OperationUsage& usage) override;
+  void copy_state_from(const ResourceMonitor& src) override;
 
  private:
   std::string name_ = "file_cache";

@@ -1,11 +1,14 @@
 #include "monitor/cpu_monitor.h"
 
+#include "util/assert.h"
+
 namespace spectra::monitor {
 
 CpuMonitor::CpuMonitor(sim::Engine& engine, hw::Machine& machine,
                        Seconds sample_period, double smoothing_alpha)
     : engine_(engine), machine_(machine), queue_est_(smoothing_alpha) {
-  sampler_ = engine_.schedule_periodic(sample_period, [this] { sample(); });
+  sampler_ = engine_.schedule_periodic(sample_period, [this] { sample(); },
+                                       "cpu.sample");
   sample();
 }
 
@@ -27,6 +30,13 @@ void CpuMonitor::start_op() { cycles_at_start_ = machine_.cycles_executed(); }
 
 void CpuMonitor::stop_op(OperationUsage& usage) {
   usage.local_cycles = machine_.cycles_executed() - cycles_at_start_;
+}
+
+void CpuMonitor::copy_state_from(const ResourceMonitor& src) {
+  const auto* other = dynamic_cast<const CpuMonitor*>(&src);
+  SPECTRA_REQUIRE(other != nullptr, "monitor type mismatch in copy_state_from");
+  queue_est_ = other->queue_est_;
+  cycles_at_start_ = other->cycles_at_start_;
 }
 
 }  // namespace spectra::monitor

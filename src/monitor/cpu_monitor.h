@@ -32,6 +32,7 @@ class CpuMonitor : public ResourceMonitor {
   void predict_avail(ResourceSnapshot& snapshot) override;
   void start_op() override;
   void stop_op(OperationUsage& usage) override;
+  void copy_state_from(const ResourceMonitor& src) override;
 
   // Current smoothed competing-process estimate (for tests/telemetry).
   double smoothed_queue() const;

@@ -55,4 +55,15 @@ ResourceMonitor* MonitorSet::find(const std::string& name) {
   return nullptr;
 }
 
+void MonitorSet::copy_state_from(const MonitorSet& src) {
+  SPECTRA_REQUIRE(monitors_.size() == src.monitors_.size(),
+                  "monitor set size mismatch in copy_state_from");
+  for (std::size_t i = 0; i < monitors_.size(); ++i) {
+    SPECTRA_REQUIRE(monitors_[i]->name() == src.monitors_[i]->name(),
+                    "monitor order mismatch in copy_state_from");
+    monitors_[i]->copy_state_from(*src.monitors_[i]);
+  }
+  last_predict_wall_ = src.last_predict_wall_;
+}
+
 }  // namespace spectra::monitor

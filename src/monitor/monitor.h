@@ -45,6 +45,11 @@ class ResourceMonitor {
   virtual void update_preds(const ServerStatusReport& report) {
     (void)report;
   }
+
+  // Copy learned estimates and per-op accounting from the same-type monitor
+  // in another world (used when cloning a trained world). `src` must be the
+  // same concrete type; implementations verify via dynamic_cast.
+  virtual void copy_state_from(const ResourceMonitor& src) = 0;
 };
 
 // The set of monitors installed on a Spectra client. Dispatch helpers fan
@@ -67,6 +72,10 @@ class MonitorSet {
 
   // Access a monitor by name (tests, goal wiring); null when absent.
   ResourceMonitor* find(const std::string& name);
+
+  // Pairwise copy_state_from over two structurally identical sets (same
+  // monitors installed in the same order).
+  void copy_state_from(const MonitorSet& src);
 
   // Real (host) wall-clock seconds each monitor spent in predict_avail
   // during the most recent build_snapshot; feeds the Fig-10 overhead

@@ -8,7 +8,8 @@ NetworkMonitor::NetworkMonitor(sim::Engine& engine, net::Network& network,
                                MachineId self, NetworkMonitorConfig config)
     : engine_(engine), network_(network), self_(self), config_(config) {
   refresher_ =
-      engine_.schedule_periodic(config_.refresh_period, [this] { refresh(); });
+      engine_.schedule_periodic(config_.refresh_period, [this] { refresh(); },
+                                "network.refresh");
 }
 
 NetworkMonitor::~NetworkMonitor() { engine_.cancel(refresher_); }
@@ -106,6 +107,16 @@ void NetworkMonitor::stop_op(OperationUsage& usage) {
   usage.bytes_sent = op_bytes_sent_;
   usage.bytes_received = op_bytes_received_;
   usage.rpcs = op_rpcs_;
+}
+
+void NetworkMonitor::copy_state_from(const ResourceMonitor& src) {
+  const auto* other = dynamic_cast<const NetworkMonitor*>(&src);
+  SPECTRA_REQUIRE(other != nullptr, "monitor type mismatch in copy_state_from");
+  peers_ = other->peers_;
+  machine_bw_ = other->machine_bw_;
+  op_bytes_sent_ = other->op_bytes_sent_;
+  op_bytes_received_ = other->op_bytes_received_;
+  op_rpcs_ = other->op_rpcs_;
 }
 
 }  // namespace spectra::monitor

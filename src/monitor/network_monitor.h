@@ -48,6 +48,7 @@ class NetworkMonitor : public ResourceMonitor {
   void predict_avail(ResourceSnapshot& snapshot) override;
   void start_op() override;
   void stop_op(OperationUsage& usage) override;
+  void copy_state_from(const ResourceMonitor& src) override;
 
   // Called by the Spectra client for every RPC the operation performs.
   void note_call(const rpc::CallStats& stats);

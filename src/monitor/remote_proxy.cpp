@@ -1,5 +1,7 @@
 #include "monitor/remote_proxy.h"
 
+#include "util/assert.h"
+
 namespace spectra::monitor {
 
 void RemoteCpuProxy::update_preds(const ServerStatusReport& report) {
@@ -22,6 +24,12 @@ void RemoteCpuProxy::add_usage(MachineId /*server*/,
   usage.remote_cycles += report.cpu_cycles;
 }
 
+void RemoteCpuProxy::copy_state_from(const ResourceMonitor& src) {
+  const auto* other = dynamic_cast<const RemoteCpuProxy*>(&src);
+  SPECTRA_REQUIRE(other != nullptr, "monitor type mismatch in copy_state_from");
+  reports_ = other->reports_;
+}
+
 void RemoteCacheProxy::update_preds(const ServerStatusReport& report) {
   reports_[report.server] = report;
 }
@@ -42,6 +50,12 @@ void RemoteCacheProxy::add_usage(MachineId /*server*/,
   usage.remote_file_accesses.insert(usage.remote_file_accesses.end(),
                                     report.file_accesses.begin(),
                                     report.file_accesses.end());
+}
+
+void RemoteCacheProxy::copy_state_from(const ResourceMonitor& src) {
+  const auto* other = dynamic_cast<const RemoteCacheProxy*>(&src);
+  SPECTRA_REQUIRE(other != nullptr, "monitor type mismatch in copy_state_from");
+  reports_ = other->reports_;
 }
 
 }  // namespace spectra::monitor

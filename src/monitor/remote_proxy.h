@@ -27,6 +27,7 @@ class RemoteCpuProxy : public ResourceMonitor {
   void add_usage(MachineId server, const rpc::UsageReport& report,
                  OperationUsage& usage) override;
   void update_preds(const ServerStatusReport& report) override;
+  void copy_state_from(const ResourceMonitor& src) override;
 
   bool has_status(MachineId server) const {
     return reports_.count(server) > 0;
@@ -49,6 +50,7 @@ class RemoteCacheProxy : public ResourceMonitor {
   void add_usage(MachineId server, const rpc::UsageReport& report,
                  OperationUsage& usage) override;
   void update_preds(const ServerStatusReport& report) override;
+  void copy_state_from(const ResourceMonitor& src) override;
 
  private:
   std::string name_ = "remote_cache";

@@ -108,6 +108,16 @@ class Network {
 
   std::size_t total_transfers() const { return total_transfers_; }
 
+  // Copy mutable state (rng, link parameters, transfer log) from the same
+  // network in another world. Machine registrations are structural and are
+  // rebuilt by the clone's constructor path, not copied.
+  void copy_state_from(const Network& src) {
+    rng_ = src.rng_;
+    links_ = src.links_;
+    log_ = src.log_;
+    total_transfers_ = src.total_transfers_;
+  }
+
  private:
   using Key = std::pair<MachineId, MachineId>;
   static Key key(MachineId a, MachineId b) {

@@ -24,6 +24,19 @@ double Histogram::mean() const {
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   SPECTRA_REQUIRE(!name.empty(), "metric name must be non-empty");
   SPECTRA_REQUIRE(histograms_.count(name) == 0,
@@ -57,6 +70,15 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) {
     (void)name;
     h.reset();
+  }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).merge(h);
   }
 }
 

@@ -44,6 +44,10 @@ class Histogram {
   double mean() const;
   void reset() { *this = Histogram{}; }
 
+  // Fold another histogram's samples into this one. Count/sum/min/max
+  // combine exactly; order of merges does not affect the result.
+  void merge(const Histogram& other);
+
  private:
   std::size_t count_ = 0;
   double sum_ = 0.0;
@@ -77,6 +81,13 @@ class MetricsRegistry {
 
   // Zero every metric, keeping registrations (and thus handles) alive.
   void reset();
+
+  // Fold `other` into this registry: counters sum, histograms combine,
+  // metrics absent here are registered. Used to roll per-worker registries
+  // up into the session registry after a batch fan-out, so the hot path
+  // never takes a lock. Throws util::ContractError when a name is a
+  // counter on one side and a histogram on the other.
+  void merge(const MetricsRegistry& other);
 
   // All metrics, sorted by name (counters interleaved with histograms).
   std::vector<MetricRow> snapshot() const;

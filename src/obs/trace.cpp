@@ -165,4 +165,14 @@ void TraceSink::emit(const TraceEvent& event) {
   ++events_;
 }
 
+void TraceSink::write_raw(std::string_view jsonl) {
+  if (jsonl.empty()) return;
+  std::streambuf* buf = out_->rdbuf();
+  buf->sputn(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+  // Count spliced lines so events() stays meaningful after a merge.
+  for (char c : jsonl) {
+    if (c == '\n') ++events_;
+  }
+}
+
 }  // namespace spectra::obs

@@ -70,6 +70,11 @@ class TraceSink {
   // Write one event as a JSONL line.
   void emit(const TraceEvent& event);
 
+  // Append pre-rendered JSONL verbatim (already newline-terminated lines).
+  // Used by the batch runner to splice per-run trace buffers into the
+  // session trace in deterministic run order.
+  void write_raw(std::string_view jsonl);
+
   std::size_t events() const { return events_; }
 
  private:

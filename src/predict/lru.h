@@ -19,6 +19,22 @@ class LruMap {
     SPECTRA_REQUIRE(capacity > 0, "LRU capacity must be positive");
   }
 
+  // Deep copy: entries point into this map's own recency list. The
+  // defaulted members would copy order_it iterators still aiming into the
+  // source's list — recency updates would then corrupt the source.
+  LruMap(const LruMap& other) : capacity_(other.capacity_) {
+    adopt(other);
+  }
+  LruMap& operator=(const LruMap& other) {
+    if (this != &other) {
+      capacity_ = other.capacity_;
+      adopt(other);
+    }
+    return *this;
+  }
+  LruMap(LruMap&&) = default;
+  LruMap& operator=(LruMap&&) = default;
+
   // Returns the value for `key`, creating it with `make()` (and possibly
   // evicting the least recently used entry) if absent. Touches the entry.
   template <typename F>
@@ -62,6 +78,15 @@ class LruMap {
     V value;
     std::list<std::string>::iterator order_it;
   };
+
+  void adopt(const LruMap& other) {
+    order_ = other.order_;
+    entries_.clear();
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      entries_.emplace(*it, Entry{other.entries_.at(*it).value, it});
+    }
+  }
+
   std::size_t capacity_;
   std::map<std::string, Entry> entries_;
   std::list<std::string> order_;  // front = most recent

@@ -164,6 +164,14 @@ class RpcEndpoint {
   // Handles are cached, so the per-call cost is one pointer compare.
   void set_metrics(obs::Observability* obs);
 
+  // Copy mutable transport state from the same endpoint in another world.
+  // Handlers are closures over their own world and are re-registered
+  // structurally, never copied.
+  void copy_state_from(const RpcEndpoint& src) {
+    up_ = src.up_;
+    retry_rng_ = src.retry_rng_;
+  }
+
  private:
   Response call_once(RpcEndpoint& target, const std::string& service,
                      const Request& request, Seconds timeout, CallStats& acc);

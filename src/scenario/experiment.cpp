@@ -68,6 +68,20 @@ class PhaseTimer {
   util::Seconds virt0_;
 };
 
+// Shared template acquisition: globally cacheable configurations (no
+// observability, no overrides, no fault plan) go through the process-wide
+// TrainedWorldCache so several experiment instances with the same training
+// shape — e.g. one per test sentence — share one trained world; everything
+// else trains at most once per experiment instance.
+std::shared_ptr<const World> acquire_template(
+    bool cacheable, const std::string& key, std::once_flag& once,
+    std::shared_ptr<const World>& slot,
+    const std::function<std::unique_ptr<World>()>& build) {
+  if (cacheable) return TrainedWorldCache::instance().get(key, build);
+  std::call_once(once, [&] { slot = build(); });
+  return slot;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------ speech
@@ -90,22 +104,23 @@ std::string SpeechExperiment::label(const solver::Alternative& alt) {
   return s;
 }
 
-std::unique_ptr<World> SpeechExperiment::trained_world() const {
+std::unique_ptr<World> SpeechExperiment::trained_world(
+    obs::Observability* obs) const {
   WorldConfig wc;
   wc.testbed = Testbed::kItsy;
   wc.seed = config_.seed;
-  wc.spectra.obs = config_.obs;
+  wc.spectra.obs = obs;
   if (config_.spectra_overrides) config_.spectra_overrides(wc.spectra);
   auto world = std::make_unique<World>(wc);
   {
-    PhaseTimer phase(config_.obs, world->engine(), "setup");
+    PhaseTimer phase(obs, world->engine(), "setup");
     world->warm_all_caches();
     world->probe_fetch_rates();
     world->settle(6.0);
   }
 
   {
-    PhaseTimer phase(config_.obs, world->engine(), "train");
+    PhaseTimer phase(obs, world->engine(), "train");
     util::Rng rng(config_.seed * 77 + 13);
     const auto alts = alternatives();
     for (int i = 0; i < config_.training_runs; ++i) {
@@ -116,7 +131,7 @@ std::unique_ptr<World> SpeechExperiment::trained_world() const {
     }
   }
   {
-    PhaseTimer phase(config_.obs, world->engine(), "settle");
+    PhaseTimer phase(obs, world->engine(), "settle");
     apply(*world, config_.scenario);
     world->settle(config_.settle_time);
     if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
@@ -124,8 +139,26 @@ std::unique_ptr<World> SpeechExperiment::trained_world() const {
   return world;
 }
 
-MeasuredRun SpeechExperiment::measure(const solver::Alternative& alt) const {
-  auto world = trained_world();
+std::shared_ptr<const World> SpeechExperiment::template_world() const {
+  const bool cacheable = config_.obs == nullptr &&
+                         !config_.spectra_overrides && !config_.fault_plan;
+  std::ostringstream key;
+  key << "speech|" << static_cast<int>(config_.scenario) << '|'
+      << config_.seed << '|' << config_.training_runs << '|'
+      << config_.settle_time;
+  return acquire_template(cacheable, key.str(), template_once_, template_,
+                          [this] { return trained_world(config_.obs); });
+}
+
+std::unique_ptr<World> SpeechExperiment::measurement_world(
+    obs::Observability* run_obs) const {
+  if (config_.reuse_trained_world) return template_world()->clone(run_obs);
+  return trained_world(run_obs);
+}
+
+MeasuredRun SpeechExperiment::measure(const solver::Alternative& alt,
+                                      obs::Observability* run_obs) const {
+  auto world = measurement_world(run_obs);
   try {
     const auto usage = world->janus().run_forced(
         world->spectra(), config_.test_utterance_s, alt);
@@ -137,9 +170,9 @@ MeasuredRun SpeechExperiment::measure(const solver::Alternative& alt) const {
   }
 }
 
-MeasuredRun SpeechExperiment::run_spectra() const {
-  auto world = trained_world();
-  PhaseTimer phase(config_.obs, world->engine(), "measure");
+MeasuredRun SpeechExperiment::run_spectra(obs::Observability* run_obs) const {
+  auto world = measurement_world(run_obs);
+  PhaseTimer phase(run_obs, world->engine(), "measure");
   // Capture the choice before end_fidelity_op clears it.
   std::map<std::string, double> params{
       {"utt_len", config_.test_utterance_s}};
@@ -164,22 +197,23 @@ std::string LatexExperiment::label(const solver::Alternative& alt) {
   return alt.server == kServerA ? "serverA" : "serverB";
 }
 
-std::unique_ptr<World> LatexExperiment::trained_world() const {
+std::unique_ptr<World> LatexExperiment::trained_world(
+    obs::Observability* obs) const {
   WorldConfig wc;
   wc.testbed = Testbed::kThinkpad;
   wc.seed = config_.seed;
-  wc.spectra.obs = config_.obs;
+  wc.spectra.obs = obs;
   if (config_.spectra_overrides) config_.spectra_overrides(wc.spectra);
   auto world = std::make_unique<World>(wc);
   {
-    PhaseTimer phase(config_.obs, world->engine(), "setup");
+    PhaseTimer phase(obs, world->engine(), "setup");
     world->warm_all_caches();
     world->probe_fetch_rates();
     world->settle(6.0);
   }
 
   {
-    PhaseTimer phase(config_.obs, world->engine(), "train");
+    PhaseTimer phase(obs, world->engine(), "train");
     const auto alts = alternatives();
     for (int i = 0; i < config_.training_runs; ++i) {
       const std::string doc = (i % 2 == 0) ? "small" : "large";
@@ -189,7 +223,7 @@ std::unique_ptr<World> LatexExperiment::trained_world() const {
     }
   }
   {
-    PhaseTimer phase(config_.obs, world->engine(), "settle");
+    PhaseTimer phase(obs, world->engine(), "settle");
     apply(*world, config_.scenario);
     world->settle(config_.settle_time);
     if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
@@ -197,8 +231,25 @@ std::unique_ptr<World> LatexExperiment::trained_world() const {
   return world;
 }
 
-MeasuredRun LatexExperiment::measure(const solver::Alternative& alt) const {
-  auto world = trained_world();
+std::shared_ptr<const World> LatexExperiment::template_world() const {
+  const bool cacheable = config_.obs == nullptr &&
+                         !config_.spectra_overrides && !config_.fault_plan;
+  std::ostringstream key;
+  key << "latex|" << static_cast<int>(config_.scenario) << '|' << config_.seed
+      << '|' << config_.training_runs << '|' << config_.settle_time;
+  return acquire_template(cacheable, key.str(), template_once_, template_,
+                          [this] { return trained_world(config_.obs); });
+}
+
+std::unique_ptr<World> LatexExperiment::measurement_world(
+    obs::Observability* run_obs) const {
+  if (config_.reuse_trained_world) return template_world()->clone(run_obs);
+  return trained_world(run_obs);
+}
+
+MeasuredRun LatexExperiment::measure(const solver::Alternative& alt,
+                                     obs::Observability* run_obs) const {
+  auto world = measurement_world(run_obs);
   try {
     const auto usage =
         world->latex().run_forced(world->spectra(), config_.doc, alt);
@@ -210,9 +261,9 @@ MeasuredRun LatexExperiment::measure(const solver::Alternative& alt) const {
   }
 }
 
-MeasuredRun LatexExperiment::run_spectra() const {
-  auto world = trained_world();
-  PhaseTimer phase(config_.obs, world->engine(), "measure");
+MeasuredRun LatexExperiment::run_spectra(obs::Observability* run_obs) const {
+  auto world = measurement_world(run_obs);
+  PhaseTimer phase(run_obs, world->engine(), "measure");
   const auto choice = world->spectra().begin_fidelity_op(
       LatexApp::kOperation, {}, config_.doc);
   SPECTRA_REQUIRE(choice.ok, "Spectra made no choice");
@@ -259,22 +310,23 @@ std::string PanglossExperiment::label(const solver::Alternative& alt) {
   return os.str();
 }
 
-std::unique_ptr<World> PanglossExperiment::trained_world() const {
+std::unique_ptr<World> PanglossExperiment::trained_world(
+    obs::Observability* obs) const {
   WorldConfig wc;
   wc.testbed = Testbed::kThinkpad;
   wc.seed = config_.seed;
-  wc.spectra.obs = config_.obs;
+  wc.spectra.obs = obs;
   if (config_.spectra_overrides) config_.spectra_overrides(wc.spectra);
   auto world = std::make_unique<World>(wc);
   {
-    PhaseTimer phase(config_.obs, world->engine(), "setup");
+    PhaseTimer phase(obs, world->engine(), "setup");
     world->warm_all_caches();
     world->probe_fetch_rates();
     world->settle(6.0);
   }
 
   {
-    PhaseTimer phase(config_.obs, world->engine(), "train");
+    PhaseTimer phase(obs, world->engine(), "train");
     util::Rng rng(config_.seed * 91 + 7);
     for (int i = 0; i < config_.training_runs; ++i) {
       const int words = static_cast<int>(rng.uniform_int(4, 44));
@@ -288,7 +340,7 @@ std::unique_ptr<World> PanglossExperiment::trained_world() const {
     }
   }
   {
-    PhaseTimer phase(config_.obs, world->engine(), "settle");
+    PhaseTimer phase(obs, world->engine(), "settle");
     apply(*world, config_.scenario);
     world->settle(config_.settle_time);
     if (config_.fault_plan) world->arm_faults(*config_.fault_plan);
@@ -296,8 +348,26 @@ std::unique_ptr<World> PanglossExperiment::trained_world() const {
   return world;
 }
 
-MeasuredRun PanglossExperiment::measure(const solver::Alternative& alt) const {
-  auto world = trained_world();
+std::shared_ptr<const World> PanglossExperiment::template_world() const {
+  const bool cacheable = config_.obs == nullptr &&
+                         !config_.spectra_overrides && !config_.fault_plan;
+  std::ostringstream key;
+  key << "pangloss|" << static_cast<int>(config_.scenario) << '|'
+      << config_.seed << '|' << config_.training_runs << '|'
+      << config_.settle_time;
+  return acquire_template(cacheable, key.str(), template_once_, template_,
+                          [this] { return trained_world(config_.obs); });
+}
+
+std::unique_ptr<World> PanglossExperiment::measurement_world(
+    obs::Observability* run_obs) const {
+  if (config_.reuse_trained_world) return template_world()->clone(run_obs);
+  return trained_world(run_obs);
+}
+
+MeasuredRun PanglossExperiment::measure(const solver::Alternative& alt,
+                                        obs::Observability* run_obs) const {
+  auto world = measurement_world(run_obs);
   try {
     const auto usage =
         world->pangloss().run_forced(world->spectra(), config_.test_words,
@@ -310,9 +380,9 @@ MeasuredRun PanglossExperiment::measure(const solver::Alternative& alt) const {
   }
 }
 
-MeasuredRun PanglossExperiment::run_spectra() const {
-  auto world = trained_world();
-  PhaseTimer phase(config_.obs, world->engine(), "measure");
+MeasuredRun PanglossExperiment::run_spectra(obs::Observability* run_obs) const {
+  auto world = measurement_world(run_obs);
+  PhaseTimer phase(run_obs, world->engine(), "measure");
   std::map<std::string, double> params{
       {"words", static_cast<double>(config_.test_words)}};
   const auto choice = world->spectra().begin_fidelity_op(

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/client.h"
 #include "fault/fault_plan.h"
 #include "obs/obs.h"
+#include "scenario/batch.h"
 #include "scenario/scenarios.h"
 #include "scenario/world.h"
 #include "solver/types.h"
@@ -57,6 +59,10 @@ class SpeechExperiment {
     // Observability sink threaded into the world's Spectra client and the
     // experiment's phase timers. Non-owning; null disables.
     obs::Observability* obs = nullptr;
+    // Train/settle one template world, then deep-copy it (World::clone)
+    // for every measured run instead of retraining from scratch. Clones
+    // are bit-identical to fresh retrains; default from SPECTRA_REUSE.
+    bool reuse_trained_world = default_reuse_trained_world();
   };
 
   explicit SpeechExperiment(Config config) : config_(config) {}
@@ -66,15 +72,31 @@ class SpeechExperiment {
   static std::vector<solver::Alternative> alternatives();
   static std::string label(const solver::Alternative& alt);
 
-  MeasuredRun measure(const solver::Alternative& alt) const;
-  MeasuredRun run_spectra() const;
+  MeasuredRun measure(const solver::Alternative& alt) const {
+    return measure(alt, config_.obs);
+  }
+  MeasuredRun run_spectra() const { return run_spectra(config_.obs); }
+  // Variants with an explicit observability sink for this one run: batch
+  // runs hand every measured run a private shard (BatchRunner::map_runs)
+  // and merge afterwards. May be called concurrently from pool workers.
+  MeasuredRun measure(const solver::Alternative& alt,
+                      obs::Observability* run_obs) const;
+  MeasuredRun run_spectra(obs::Observability* run_obs) const;
 
   // Fresh trained world under this experiment's scenario (exposed for
   // integration tests and ablations).
-  std::unique_ptr<World> trained_world() const;
+  std::unique_ptr<World> trained_world() const {
+    return trained_world(config_.obs);
+  }
+  std::unique_ptr<World> trained_world(obs::Observability* obs) const;
 
  private:
+  std::unique_ptr<World> measurement_world(obs::Observability* run_obs) const;
+  std::shared_ptr<const World> template_world() const;
+
   Config config_;
+  mutable std::once_flag template_once_;
+  mutable std::shared_ptr<const World> template_;
 };
 
 // ------------------------------------------------------------------- latex
@@ -90,6 +112,7 @@ class LatexExperiment {
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
     std::optional<fault::FaultPlan> fault_plan;
     obs::Observability* obs = nullptr;
+    bool reuse_trained_world = default_reuse_trained_world();
   };
 
   explicit LatexExperiment(Config config) : config_(config) {}
@@ -98,12 +121,25 @@ class LatexExperiment {
   static std::vector<solver::Alternative> alternatives();
   static std::string label(const solver::Alternative& alt);
 
-  MeasuredRun measure(const solver::Alternative& alt) const;
-  MeasuredRun run_spectra() const;
-  std::unique_ptr<World> trained_world() const;
+  MeasuredRun measure(const solver::Alternative& alt) const {
+    return measure(alt, config_.obs);
+  }
+  MeasuredRun run_spectra() const { return run_spectra(config_.obs); }
+  MeasuredRun measure(const solver::Alternative& alt,
+                      obs::Observability* run_obs) const;
+  MeasuredRun run_spectra(obs::Observability* run_obs) const;
+  std::unique_ptr<World> trained_world() const {
+    return trained_world(config_.obs);
+  }
+  std::unique_ptr<World> trained_world(obs::Observability* obs) const;
 
  private:
+  std::unique_ptr<World> measurement_world(obs::Observability* run_obs) const;
+  std::shared_ptr<const World> template_world() const;
+
   Config config_;
+  mutable std::once_flag template_once_;
+  mutable std::shared_ptr<const World> template_;
 };
 
 // ---------------------------------------------------------------- pangloss
@@ -119,6 +155,7 @@ class PanglossExperiment {
     std::function<void(core::SpectraClientConfig&)> spectra_overrides;
     std::optional<fault::FaultPlan> fault_plan;
     obs::Observability* obs = nullptr;
+    bool reuse_trained_world = default_reuse_trained_world();
   };
 
   explicit PanglossExperiment(Config config) : config_(config) {}
@@ -128,9 +165,17 @@ class PanglossExperiment {
   static std::vector<solver::Alternative> alternatives();
   static std::string label(const solver::Alternative& alt);
 
-  MeasuredRun measure(const solver::Alternative& alt) const;
-  MeasuredRun run_spectra() const;
-  std::unique_ptr<World> trained_world() const;
+  MeasuredRun measure(const solver::Alternative& alt) const {
+    return measure(alt, config_.obs);
+  }
+  MeasuredRun run_spectra() const { return run_spectra(config_.obs); }
+  MeasuredRun measure(const solver::Alternative& alt,
+                      obs::Observability* run_obs) const;
+  MeasuredRun run_spectra(obs::Observability* run_obs) const;
+  std::unique_ptr<World> trained_world() const {
+    return trained_world(config_.obs);
+  }
+  std::unique_ptr<World> trained_world(obs::Observability* obs) const;
 
   // Achieved utility of a measured run of `alt` (all Pangloss scenarios are
   // wall-powered, so c = 0 and energy does not contribute).
@@ -138,7 +183,12 @@ class PanglossExperiment {
                                  const solver::Alternative& alt);
 
  private:
+  std::unique_ptr<World> measurement_world(obs::Observability* run_obs) const;
+  std::shared_ptr<const World> template_world() const;
+
   Config config_;
+  mutable std::once_flag template_once_;
+  mutable std::shared_ptr<const World> template_;
 };
 
 // --------------------------------------------------------------- overhead

@@ -330,4 +330,28 @@ void World::settle(util::Seconds duration) {
   engine_.run_until(engine_.now() + duration);
 }
 
+std::unique_ptr<World> World::clone(obs::Observability* obs) const {
+  WorldConfig cfg = config_;
+  cfg.spectra.obs = obs;
+  auto w = std::make_unique<World>(cfg);
+  // Re-arming registers the same fault.N event tags the source holds; the
+  // events the clone just scheduled are discarded by adopt_schedule below,
+  // which rebinds the source's pending occurrences to the clone's callbacks.
+  for (const auto& plan : armed_plans_) w->arm_faults(plan);
+  w->rng_ = rng_;
+  for (auto& [id, m] : w->machines_) m->copy_state_from(*machines_.at(id));
+  w->network_->copy_state_from(*network_);
+  w->file_server_->copy_state_from(*file_server_);
+  for (auto& [id, c] : w->codas_) c->copy_state_from(*codas_.at(id));
+  for (auto& [id, s] : w->servers_) s->copy_state_from(*servers_.at(id));
+  w->spectra_->copy_state_from(*spectra_);
+  w->fault_injector_->copy_state_from(*fault_injector_);
+  if (janus_ != nullptr) w->janus_->copy_state_from(*janus_);
+  if (latex_ != nullptr) w->latex_->copy_state_from(*latex_);
+  if (pangloss_ != nullptr) w->pangloss_->copy_state_from(*pangloss_);
+  // Last, so every component has already registered its tagged events.
+  w->engine_.adopt_schedule(engine_);
+  return w;
+}
+
 }  // namespace spectra::scenario

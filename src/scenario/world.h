@@ -88,7 +88,20 @@ class World {
   // this testbed; arm_faults() schedules a plan's events relative to the
   // current virtual time.
   fault::FaultInjector& fault_injector() { return *fault_injector_; }
-  void arm_faults(const fault::FaultPlan& plan) { fault_injector_->arm(plan); }
+  void arm_faults(const fault::FaultPlan& plan) {
+    armed_plans_.push_back(plan);
+    fault_injector_->arm(plan);
+  }
+
+  // ---- cloning ------------------------------------------------------------
+  // Deep-copy this world: build a structurally identical fresh world (same
+  // config, but observability redirected to `obs`, which may be null),
+  // re-arm the same fault plans, copy every component's mutable state, and
+  // adopt this world's event schedule. The clone continues from this
+  // world's exact virtual time and randomness, so measuring an alternative
+  // on a clone is bit-identical to retraining a fresh world and measuring
+  // there. Requires a quiescent world (no foreground operation in flight).
+  std::unique_ptr<World> clone(obs::Observability* obs) const;
 
   // ---- setup helpers ------------------------------------------------------
   // Cache every application file on every machine, and the background files
@@ -121,6 +134,9 @@ class World {
   std::unique_ptr<apps::JanusApp> janus_;
   std::unique_ptr<apps::LatexApp> latex_;
   std::unique_ptr<apps::PanglossApp> pangloss_;
+  // Every plan passed to arm_faults, so a clone can re-arm identically
+  // (fault expansion is a pure function of the plan's seed).
+  std::vector<fault::FaultPlan> armed_plans_;
 };
 
 }  // namespace spectra::scenario

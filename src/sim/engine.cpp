@@ -5,25 +5,28 @@
 
 namespace spectra::sim {
 
-EventId Engine::schedule_at(Seconds t, std::function<void()> fn) {
+EventId Engine::schedule_at(Seconds t, std::function<void()> fn,
+                            std::string tag) {
   SPECTRA_REQUIRE(t >= now_, "cannot schedule an event in the past");
   SPECTRA_REQUIRE(fn != nullptr, "event callback must be callable");
   const EventId id = next_id_++;
-  records_[id] = Record{std::move(fn), 0.0};
+  records_[id] = Record{std::move(fn), 0.0, std::move(tag)};
   queue_.push(Entry{t, next_seq_++, id});
   return id;
 }
 
-EventId Engine::schedule_after(Seconds dt, std::function<void()> fn) {
+EventId Engine::schedule_after(Seconds dt, std::function<void()> fn,
+                               std::string tag) {
   SPECTRA_REQUIRE(dt >= 0.0, "negative delay");
-  return schedule_at(now_ + dt, std::move(fn));
+  return schedule_at(now_ + dt, std::move(fn), std::move(tag));
 }
 
-EventId Engine::schedule_periodic(Seconds interval, std::function<void()> fn) {
+EventId Engine::schedule_periodic(Seconds interval, std::function<void()> fn,
+                                  std::string tag) {
   SPECTRA_REQUIRE(interval > 0.0, "periodic interval must be positive");
   SPECTRA_REQUIRE(fn != nullptr, "event callback must be callable");
   const EventId id = next_id_++;
-  records_[id] = Record{std::move(fn), interval};
+  records_[id] = Record{std::move(fn), interval, std::move(tag)};
   queue_.push(Entry{now_ + interval, next_seq_++, id});
   return id;
 }
@@ -79,6 +82,39 @@ void Engine::drain(Seconds horizon, std::size_t max_events) {
 std::size_t Engine::pending_events() const {
   // The queue may hold tombstones for cancelled events; count live records.
   return records_.size();
+}
+
+void Engine::adopt_schedule(const Engine& src) {
+  // Index this engine's tagged callbacks; each may satisfy one src event.
+  std::unordered_map<std::string, std::function<void()>> by_tag;
+  for (const auto& [id, rec] : records_) {
+    if (rec.tag.empty()) continue;
+    SPECTRA_REQUIRE(by_tag.emplace(rec.tag, rec.fn).second,
+                    "duplicate event tag '" + rec.tag + "'");
+  }
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  std::unordered_map<EventId, Record> records;
+  auto pending = src.queue_;  // copy; popping yields deterministic order
+  while (!pending.empty()) {
+    const Entry e = pending.top();
+    pending.pop();
+    auto it = src.records_.find(e.id);
+    if (it == src.records_.end()) continue;  // tombstone of a cancelled event
+    const Record& rec = it->second;
+    SPECTRA_REQUIRE(!rec.tag.empty(),
+                    "cannot adopt an untagged pending event");
+    auto cb = by_tag.find(rec.tag);
+    SPECTRA_REQUIRE(cb != by_tag.end(),
+                    "no local event registered for tag '" + rec.tag + "'");
+    records[e.id] = Record{cb->second, rec.period, rec.tag};
+    by_tag.erase(cb);
+    queue.push(e);
+  }
+  queue_ = std::move(queue);
+  records_ = std::move(records);
+  now_ = src.now_;
+  next_seq_ = src.next_seq_;
+  next_id_ = src.next_id_;
 }
 
 }  // namespace spectra::sim

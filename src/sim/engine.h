@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -35,16 +36,21 @@ class Engine {
 
   Seconds now() const { return now_; }
 
-  // Schedule `fn` to run at absolute virtual time `t` (>= now).
-  EventId schedule_at(Seconds t, std::function<void()> fn);
+  // Schedule `fn` to run at absolute virtual time `t` (>= now). An optional
+  // `tag` (unique among pending events) names the event so adopt_schedule()
+  // can rebind it in a cloned world; transient events may leave it empty.
+  EventId schedule_at(Seconds t, std::function<void()> fn,
+                      std::string tag = {});
 
   // Schedule `fn` to run `dt` seconds from now.
-  EventId schedule_after(Seconds dt, std::function<void()> fn);
+  EventId schedule_after(Seconds dt, std::function<void()> fn,
+                         std::string tag = {});
 
   // Schedule `fn` every `interval` seconds, first firing after one interval.
   // Returns an id usable with cancel(); the periodic event keeps rescheduling
   // itself under the same id.
-  EventId schedule_periodic(Seconds interval, std::function<void()> fn);
+  EventId schedule_periodic(Seconds interval, std::function<void()> fn,
+                            std::string tag = {});
 
   // Cancel a pending (or periodic) event. Cancelling an already-fired
   // one-shot event is a harmless no-op.
@@ -66,6 +72,16 @@ class Engine {
 
   std::size_t pending_events() const;
 
+  // Make this engine's schedule an exact replica of `src`'s. Every live
+  // pending event in `src` must be tagged and must have a same-tag
+  // counterpart already registered on this engine (the counterpart supplies
+  // the callback, which closes over this engine's own world); the
+  // counterpart's entry is rescheduled at src's exact (t, seq, id, period).
+  // Tagged events registered here with no pending src counterpart are
+  // dropped, matching a fired or cancelled event in src. Clock and id/seq
+  // counters are copied, so the replica fires bit-identically to src.
+  void adopt_schedule(const Engine& src);
+
  private:
   struct Entry {
     Seconds t;
@@ -80,6 +96,7 @@ class Engine {
   struct Record {
     std::function<void()> fn;
     Seconds period = 0.0;  // >0 for periodic events
+    std::string tag;
   };
 
   void fire(const Entry& e);

@@ -54,6 +54,10 @@ class HeuristicSolver : public Solver {
 
   SolveResult solve(const AlternativeSpace& space, const EvalFn& eval) override;
 
+  // Copy the restart-sampling RNG from the same solver in another world so
+  // a cloned client draws the identical climb schedule.
+  void copy_state_from(const HeuristicSolver& src) { rng_ = src.rng_; }
+
  private:
   util::Rng rng_;
   HeuristicSolverConfig config_;

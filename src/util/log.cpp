@@ -16,11 +16,17 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_sink(std::ostream* sink) { sink_ = sink; }
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sink_ = sink;
+}
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   static const char* kNames[] = {"OFF", "ERROR", "WARN", "INFO", "DEBUG"};
+  // LogLine already formatted the whole line; one locked stream insertion
+  // keeps concurrent writers from tearing each other's output.
+  std::lock_guard<std::mutex> lk(mu_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << "[spectra:" << component << ' '
       << kNames[static_cast<int>(level)] << "] " << message << '\n';

@@ -5,9 +5,14 @@
 // --verbose raises it, and the SPECTRA_LOG environment variable overrides
 // both: off|error|warn|info|debug). Output goes to a configurable stream so
 // tests can capture it.
+// The logger is a process-wide singleton shared by every thread of a batch
+// fan-out: the level is atomic and the sink pointer plus each write are
+// mutex-guarded, so concurrent log lines interleave whole, never torn.
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -21,14 +26,17 @@ class Logger {
   static Logger& instance();
 
   // Initial level comes from SPECTRA_LOG when set, else kWarn.
-  LogLevel level() const { return level_; }
-  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   // Redirect output (default std::cerr). Pass nullptr to restore default.
   void set_sink(std::ostream* sink);
 
   bool enabled(LogLevel level) const {
-    return level_ >= level && level != LogLevel::kOff;
+    const LogLevel current = level_.load(std::memory_order_relaxed);
+    return current >= level && level != LogLevel::kOff;
   }
 
   void write(LogLevel level, const std::string& component,
@@ -38,7 +46,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_;
+  std::atomic<LogLevel> level_;
+  std::mutex mu_;  // guards sink_ and the actual stream write
   std::ostream* sink_ = nullptr;
 };
 
