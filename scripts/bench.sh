@@ -3,7 +3,8 @@
 # sequentially (--jobs=1), in parallel (--jobs=N), and with trained-world
 # reuse disabled (SPECTRA_REUSE=0, the retrain-per-run baseline), verifies
 # that parallel output is byte-identical to sequential, and writes the
-# machine-readable BENCH_parallel.json.
+# machine-readable BENCH_parallel.json. A resilience pass then runs the
+# chaos soak and the fault-recovery bench into BENCH_chaos.json.
 #
 # Usage: scripts/bench.sh [build-dir] [jobs]
 #   build-dir  default: build
@@ -80,3 +81,23 @@ $rows
 }
 EOF
 echo "wrote $OUT"
+
+# Resilience numbers: a seeded chaos soak across all three applications
+# (invariant violations or replay divergence fail the run) and the
+# mid-operation recovery bench (ladder vs health-aware failover).
+CHAOS_OUT="BENCH_chaos.json"
+"$BUILD/src/cli/spectra" chaos --app=all --plans=10 --jobs="$JOBS" \
+    --json="$TMP/soak.json" > "$TMP/soak.txt"
+cat "$TMP/soak.txt"
+"$BUILD/bench/fault_recovery" --jobs="$JOBS" --json="$TMP/recovery.json" \
+    > "$TMP/recovery.txt" 2>/dev/null
+grep -E "speedup" "$TMP/recovery.txt"
+
+{
+  printf '{\n  "harness": "scripts/bench.sh",\n  "jobs": %s,\n  "soak":\n' "$JOBS"
+  cat "$TMP/soak.json"
+  printf ',\n  "recovery":\n'
+  cat "$TMP/recovery.json"
+  printf '}\n'
+} > "$CHAOS_OUT"
+echo "wrote $CHAOS_OUT"

@@ -6,6 +6,9 @@
 # runner: the exec suite (thread pool, concurrent logging, metrics merge,
 # batch determinism) plus a multi-worker CLI run, catching data races in
 # the parallel fan-out that neither the plain nor the ASan build can see.
+# A UBSan smoke then drives the fault paths (chaos + journal suites and a
+# small CLI soak), and a ~25-plan chaos soak across all three applications
+# closes the run.
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -33,5 +36,23 @@ cmake -B "$TSMOKE" -S . -DSPECTRA_SANITIZE=thread >/dev/null
 cmake --build "$TSMOKE" -j "$(nproc)" --target exec_test spectra
 "$TSMOKE/tests/exec_test"
 SPECTRA_TRIALS=2 "$TSMOKE/src/cli/spectra" speech --trials=2 --jobs=4 >/dev/null
+
+echo "== sanitize smoke (undefined) =="
+# UB in the failure paths (journal replay, breaker arithmetic, fingerprint
+# hashing) only executes under faults, so the UBSan build drives the chaos
+# suite plus a small soak through the CLI.
+USMOKE="$BUILD-ubsan"
+cmake -B "$USMOKE" -S . -DSPECTRA_SANITIZE=undefined >/dev/null
+cmake --build "$USMOKE" -j "$(nproc)" --target chaos_test journal_test spectra
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+"$USMOKE/tests/chaos_test"
+"$USMOKE/tests/journal_test"
+"$USMOKE/src/cli/spectra" chaos --app=latex --plans=3 --ops=2 --jobs=2 >/dev/null
+unset UBSAN_OPTIONS
+
+echo "== chaos soak =="
+# ~25 seeded plans spread over all three applications; fails on any
+# invariant violation or replay divergence.
+"$BUILD/src/cli/spectra" chaos --app=all --plans=9 --jobs="$(nproc)" >/dev/null
 
 echo "OK"

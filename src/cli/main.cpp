@@ -13,6 +13,7 @@
 // every alternative and why the winner won. Use --verbose for component
 // logs (or set SPECTRA_LOG=info|debug).
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "obs/obs.h"
 #include "scenario/batch.h"
 #include "scenario/experiment.h"
+#include "scenario/soak.h"
 #include "util/assert.h"
 #include "util/log.h"
 #include "util/stats.h"
@@ -38,15 +40,18 @@ int usage() {
 
 usage:
   spectra speech   [--scenario=S] [--utterance=SECS] [--trials=N] [--seed=N]
-                   [--jobs=N] [--fault-plan=FILE] [--trace=FILE]
-                   [--metrics=FILE]
+                   [--jobs=N] [--fault-plan=FILE] [--health=on|off]
+                   [--failover=resolve|ladder] [--trace=FILE] [--metrics=FILE]
   spectra latex    [--scenario=S] [--doc=small|large] [--trials=N] [--seed=N]
-                   [--jobs=N] [--fault-plan=FILE] [--trace=FILE]
-                   [--metrics=FILE]
+                   [--jobs=N] [--fault-plan=FILE] [--health=on|off]
+                   [--failover=resolve|ladder] [--trace=FILE] [--metrics=FILE]
   spectra pangloss [--scenario=S] [--words=N] [--trials=N] [--seed=N]
-                   [--jobs=N] [--fault-plan=FILE] [--trace=FILE]
-                   [--metrics=FILE]
+                   [--jobs=N] [--fault-plan=FILE] [--health=on|off]
+                   [--failover=resolve|ladder] [--trace=FILE] [--metrics=FILE]
   spectra overhead [--servers=N] [--runs=N] [--metrics=FILE]
+  spectra chaos    [--app=speech|latex|pangloss|all] [--plans=N] [--ops=N]
+                   [--seed=N] [--intensity=X] [--horizon=SECS] [--jobs=N]
+                   [--no-replay] [--json=FILE] [--trace=FILE] [--metrics=FILE]
   spectra explain (speech|latex|pangloss) [--scenario=S] [--utterance=SECS]
                   [--doc=D] [--words=N] [--seed=N] [--trace=FILE]
                   [--metrics=FILE]
@@ -65,6 +70,15 @@ observability: --trace=FILE writes one JSONL event per decision, operation
 fault plans (--fault-plan): text files of scheduled and probabilistic fault
   events (link partitions/flaps, server crashes, latency spikes, battery
   cliffs) armed after training; see DESIGN.md "Fault injection".
+failure handling: --health=off disables server health tracking (suspicion
+  penalties and circuit breakers); --failover=ladder reverts mid-operation
+  recovery to the fixed degradation ladder instead of re-running the solver
+  over surviving servers. Defaults: on / resolve. See DESIGN.md "Failure
+  handling".
+chaos soak (`spectra chaos`): runs N seeded random fault plans per app on
+  cloned trained worlds, asserts liveness/consistency invariants, and
+  replays every plan to confirm bit-identical outcomes. Exit status is
+  non-zero on any violation. --json=FILE writes a machine-readable report.
 scenarios:
   speech:   baseline energy network cpu file-cache
   latex:    baseline file-cache reintegrate energy
@@ -115,6 +129,24 @@ std::size_t jobs_arg(const Args& args) {
   }
   if (requested < 0) return 1;
   return resolve_jobs(requested);
+}
+
+// --health / --failover knobs for the run commands. Returns an empty
+// function when both keep their defaults, so experiments stay eligible for
+// the process-wide trained-world cache (overrides force a private train).
+std::function<void(core::SpectraClientConfig&)> resilience_overrides(
+    const Args& args) {
+  const std::string health = args.get("health", "on");
+  SPECTRA_REQUIRE(health == "on" || health == "off",
+                  "--health must be on or off");
+  const std::string failover = args.get("failover", "resolve");
+  SPECTRA_REQUIRE(failover == "resolve" || failover == "ladder",
+                  "--failover must be resolve or ladder");
+  if (health == "on" && failover == "resolve") return {};
+  return [health, failover](core::SpectraClientConfig& c) {
+    if (health == "off") c.health.enabled = false;
+    if (failover == "ladder") c.resolve_on_failover = false;
+  };
 }
 
 std::optional<fault::FaultPlan> fault_plan_arg(const Args& args) {
@@ -254,6 +286,7 @@ int cmd_speech(const Args& args) {
         cfg.seed = seed;
         cfg.test_utterance_s = args.get_double("utterance", 2.0);
         cfg.fault_plan = fault_plan_arg(args);
+        cfg.spectra_overrides = resilience_overrides(args);
         cfg.obs = trial_obs;
         return SpeechExperiment(cfg);
       });
@@ -279,6 +312,7 @@ int cmd_latex(const Args& args) {
         cfg.doc = doc;
         cfg.seed = seed;
         cfg.fault_plan = fault_plan_arg(args);
+        cfg.spectra_overrides = resilience_overrides(args);
         cfg.obs = trial_obs;
         return LatexExperiment(cfg);
       });
@@ -308,6 +342,7 @@ int cmd_pangloss(const Args& args) {
         cfg.seed = seed + static_cast<std::uint64_t>(t) * 17;
         cfg.test_words = words;
         cfg.fault_plan = fault_plan_arg(args);
+        cfg.spectra_overrides = resilience_overrides(args);
         cfg.obs = trial_obs;
         const PanglossExperiment exp(cfg);
         TrialResult r;
@@ -440,6 +475,58 @@ int cmd_explain(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  const std::string app_arg = args.get("app", "all");
+  std::vector<SoakApp> apps_to_soak;
+  if (app_arg == "all") {
+    apps_to_soak = {SoakApp::kSpeech, SoakApp::kLatex, SoakApp::kPangloss};
+  } else if (app_arg == "speech") {
+    apps_to_soak = {SoakApp::kSpeech};
+  } else if (app_arg == "latex") {
+    apps_to_soak = {SoakApp::kLatex};
+  } else if (app_arg == "pangloss") {
+    apps_to_soak = {SoakApp::kPangloss};
+  } else {
+    SPECTRA_REQUIRE(false, "--app must be speech, latex, pangloss, or all");
+  }
+
+  CliObs obs = obs_args(args);
+  BatchRunner batch(jobs_arg(args));
+  const std::string json_path = args.get("json", "");
+
+  bool clean = true;
+  std::ostringstream json;
+  json << "[\n";
+  for (std::size_t i = 0; i < apps_to_soak.size(); ++i) {
+    SoakConfig cfg;
+    cfg.app = apps_to_soak[i];
+    cfg.plans = static_cast<int>(args.get_int("plans", 25));
+    cfg.ops_per_plan = static_cast<int>(args.get_int("ops", 4));
+    cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    cfg.chaos.intensity = args.get_double("intensity", 1.0);
+    cfg.chaos.horizon = args.get_double("horizon", 60.0);
+    cfg.replay_check = !args.has_flag("no-replay");
+    const SoakReport report = run_soak(cfg, batch, obs.ptr());
+    std::cout << report.summary() << "\n";
+    for (const std::string& v : report.all_violations()) {
+      std::cout << "  violation: " << v << "\n";
+    }
+    bool replays_ok = true;
+    for (const auto& p : report.plans) replays_ok &= p.replay_identical;
+    clean = clean && report.clean() && replays_ok;
+    json << report.to_json();
+    if (i + 1 < apps_to_soak.size()) json << ",\n";
+  }
+  json << "]\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    SPECTRA_REQUIRE(out.good(), "cannot write " + json_path);
+    out << json.str();
+  }
+  obs.finish();
+  return clean ? 0 : 1;
+}
+
 int cmd_faults(const Args& args) {
   const std::string path = args.get("plan", args.get("fault-plan", ""));
   SPECTRA_REQUIRE(!path.empty(), "faults needs --plan=FILE");
@@ -488,6 +575,7 @@ int run(int argc, const char* const* argv) {
   if (cmd == "pangloss") return cmd_pangloss(args);
   if (cmd == "overhead") return cmd_overhead(args);
   if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "faults") return cmd_faults(args);
   if (cmd == "scenarios") return cmd_scenarios();
   std::cerr << "unknown command: " << cmd << "\n\n";

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include <algorithm>
+#include <cstdint>
 
 #include "monitor/cache_monitor.h"
 #include "monitor/remote_proxy.h"
@@ -42,7 +43,15 @@ SpectraClient::SpectraClient(MachineId id, sim::Engine& engine,
       local_server_(
           std::make_unique<SpectraServer>(id, engine, machine, network,
                                           &coda)),
-      server_db_(engine, endpoint_, monitors_, config.poll_period),
+      // Health jitter draws from its own stream (seeded like retry_rng_, a
+      // fixed mix of the machine id) so fault-recovery probes never shift
+      // the solver's draws.
+      health_(engine,
+              util::Rng(0x8f1e9a7c3b5d2e41ULL ^
+                        (static_cast<std::uint64_t>(id) + 1) *
+                            0x9e3779b97f4a7c15ULL),
+              config.health),
+      server_db_(engine, endpoint_, monitors_, config.poll_period, &health_),
       consistency_(coda, config.reintegration_threshold),
       solver_(rng, config.solver) {
   auto cpu = std::make_unique<monitor::CpuMonitor>(engine, machine);
@@ -71,6 +80,7 @@ SpectraClient::SpectraClient(MachineId id, sim::Engine& engine,
     m_explorations_ = &m.counter("client.explorations");
     m_fallbacks_ = &m.counter("client.fallbacks");
     m_degradations_ = &m.counter("client.degradations");
+    m_failovers_ = &m.counter("client.failovers");
     m_solver_evals_ = &m.counter("solver.evaluations");
     m_solver_memo_hits_ = &m.counter("solver.memo_hits");
     m_snapshots_ = &m.counter("client.snapshots");
@@ -84,6 +94,7 @@ SpectraClient::SpectraClient(MachineId id, sim::Engine& engine,
     h_residual_energy_j_ = &m.histogram("residual.energy_j");
     endpoint_.set_metrics(config_.obs);
     network_monitor_->attach(config_.obs);
+    health_.attach_obs(config_.obs);
   }
 }
 
@@ -278,7 +289,15 @@ OperationChoice SpectraClient::choose(
         make_features(op.desc, alt, params, data_tag);
     const predict::DemandEstimate demand = op.model.predict(f);
     solver::TimeBreakdown tb;
-    const auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
+    auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
+    // Health feedback into the placement decision: a suspected or failing
+    // server's predicted time is inflated, so the solver avoids it unless
+    // it is decisively better. Exactly 1.0 for healthy servers, keeping
+    // fault-free decisions bit-identical.
+    if (metrics && alt.server >= 0 && alt.server != id_) {
+      const double pf = health_.penalty_factor(alt.server);
+      if (pf != 1.0) metrics->time *= pf;
+    }
     const double lu =
         metrics ? op.utility->log_utility(*metrics,
                                           snapshot.energy_importance)
@@ -542,16 +561,108 @@ rpc::Response SpectraClient::do_remote_op(const std::string& service,
   network_monitor_->note_call(stats);
   active_->usage.rpc_failures += stats.transport_failures;
   if (resp.ok) {
+    health_.record_success(server_id, /*heartbeat=*/false);
     monitors_.add_usage(server_id, resp.usage, active_->usage);
     return resp;
   }
   if (!rpc::retryable(resp.error_kind) || !active_->allow_fallback) {
     if (rpc::retryable(resp.error_kind)) {
+      health_.record_failure(server_id, resp.error_kind,
+                             std::max(1, stats.transport_failures));
       server_db_.mark_unavailable(server_id);
     }
     return resp;
   }
+  health_.record_failure(server_id, resp.error_kind,
+                         std::max(1, stats.transport_failures));
+  note_failed_call(registered(active_->name), active_->features, stats);
   return degrade_remote_op(service, request, std::move(resp));
+}
+
+void SpectraClient::note_failed_call(RegisteredOp& op,
+                                     const predict::FeatureVector& features,
+                                     const rpc::CallStats& stats) {
+  if (stats.attempts <= 0) return;
+  monitor::OperationUsage partial;
+  partial.elapsed = stats.elapsed;
+  partial.bytes_sent = stats.bytes_sent;
+  partial.bytes_received = stats.bytes_received;
+  partial.rpcs = stats.attempts;
+  partial.rpc_failures = stats.transport_failures;
+  partial.energy_valid = false;
+  // The failing server's features keep the spent transport demand; the
+  // cycle/energy/file predictors are untouched (observe_failure).
+  op.model.observe_failure(features, partial);
+  active_->failed_usage.elapsed += partial.elapsed;
+  active_->failed_usage.bytes_sent += partial.bytes_sent;
+  active_->failed_usage.bytes_received += partial.bytes_received;
+  active_->failed_usage.rpcs += partial.rpcs;
+  active_->failed_usage.rpc_failures += partial.rpc_failures;
+}
+
+std::vector<MachineId> SpectraClient::rank_failover_candidates(
+    const std::string& service, const std::vector<MachineId>& excluded) {
+  RegisteredOp& op = registered(active_->name);
+  std::vector<MachineId> survivors;
+  for (MachineId sid : server_db_.available_servers()) {
+    if (std::find(excluded.begin(), excluded.end(), sid) != excluded.end()) {
+      continue;
+    }
+    if (sid == id_) continue;
+    SpectraServer* s = server_db_.server(sid);
+    if (s == nullptr || !s->endpoint().has_handler(service)) continue;
+    survivors.push_back(sid);
+  }
+  if (survivors.empty()) return survivors;
+
+  // Re-decision overhead: the same cost model begin_fidelity_op charges.
+  machine_.run_cycles(config_.begin_base_cycles +
+                      config_.per_candidate_cycles *
+                          static_cast<double>(survivors.size()));
+  monitor::ResourceSnapshot snapshot =
+      monitors_.build_snapshot(survivors, engine_.now());
+  if (m_snapshots_ != nullptr) m_snapshots_->add();
+
+  solver::EstimatorInputs inputs;
+  inputs.snapshot = &snapshot;
+  inputs.dirty_files = consistency_.dirty_files();
+  inputs.fileserver_bandwidth =
+      network_monitor_->bandwidth_estimate(coda_.file_server_host());
+  inputs.reintegration_threshold = config_.reintegration_threshold;
+
+  solver::AlternativeSpace space{op.desc.plans, survivors,
+                                 op.desc.fidelities};
+  std::vector<std::pair<double, MachineId>> scored;
+  for (MachineId sid : survivors) {
+    solver::Alternative alt = active_->choice.alternative;
+    alt.server = sid;
+    const predict::FeatureVector f =
+        make_features(op.desc, alt, active_->params, active_->data_tag);
+    const predict::DemandEstimate demand = op.model.predict(f);
+    solver::TimeBreakdown tb;
+    auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
+    double lu = solver::kInfeasible;
+    if (metrics) {
+      const double pf = health_.penalty_factor(sid);
+      if (pf != 1.0) metrics->time *= pf;
+      lu = op.utility->log_utility(*metrics, snapshot.energy_importance);
+    }
+    scored.emplace_back(lu, sid);
+  }
+  machine_.run_cycles(config_.per_eval_cycles *
+                      static_cast<double>(scored.size()));
+  // Stable on id order (survivors ascend), so ties break deterministically.
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<MachineId> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [lu, sid] : scored) {
+    (void)lu;
+    ranked.push_back(sid);
+  }
+  return ranked;
 }
 
 rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
@@ -564,7 +675,7 @@ rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
   // The alternative is rewritten to what actually ran and the features
   // recomputed from it, so the models learn from reality, not from the
   // solver's thwarted intent.
-  auto adopt = [&](MachineId new_server) {
+  auto adopt = [&](MachineId new_server, const char* mode) {
     active_->choice.degraded = true;
     active_->choice.alternative.server = new_server;
     active_->features = make_features(op.desc, active_->choice.alternative,
@@ -573,6 +684,7 @@ rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
     if (config_.obs != nullptr && config_.obs->tracing()) {
       obs::TraceEvent ev("degrade", engine_.now());
       ev.field("op", active_->name)
+          .field("mode", mode)
           .field("reason", rpc::to_string(failed.error_kind))
           .field("failed_server", failed_id)
           .field("server", new_server);
@@ -580,26 +692,79 @@ rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
     }
   };
 
-  for (MachineId alt_id : server_db_.available_servers()) {
-    if (alt_id == failed_id) continue;
-    SpectraServer* alt = server_db_.server(alt_id);
-    if (alt == nullptr || !alt->endpoint().has_handler(service)) continue;
-    rpc::CallStats stats;
-    rpc::Response resp = endpoint_.call(alt->endpoint(), service, request,
-                                        &stats, config_.remote_retry);
-    network_monitor_->note_call(stats);
-    active_->usage.rpc_failures += stats.transport_failures;
-    if (resp.ok) {
-      SPECTRA_LOG_WARN("client")
-          << active_->name << ": server " << failed_id << " failed ("
-          << rpc::to_string(failed.error_kind) << "); degraded to server "
-          << alt_id;
-      adopt(alt_id);
-      monitors_.add_usage(alt_id, resp.usage, active_->usage);
-      return resp;
+  if (config_.resolve_on_failover) {
+    // Mid-operation failover (ISSUE 4 tentpole): re-run the placement
+    // decision over the surviving candidates instead of walking a fixed
+    // ladder. Each round charges the usual decision overhead, then
+    // pre-flight-probes the winner — a ping fail-fasts on a crashed or
+    // partitioned server in one round trip, where committing the full
+    // retry policy would burn max_attempts per-attempt timeouts.
+    std::vector<MachineId> excluded{failed_id};
+    for (;;) {
+      const std::vector<MachineId> ranked =
+          rank_failover_candidates(service, excluded);
+      if (ranked.empty()) break;
+      const MachineId best = ranked.front();
+      SpectraServer* target = server_db_.server(best);
+      if (!endpoint_.ping(target->endpoint())) {
+        health_.record_failure(best, rpc::ErrorKind::kUnreachable);
+        server_db_.mark_unavailable(best);
+        excluded.push_back(best);
+        continue;
+      }
+      rpc::CallStats stats;
+      rpc::Response resp = endpoint_.call(target->endpoint(), service,
+                                          request, &stats,
+                                          config_.remote_retry);
+      network_monitor_->note_call(stats);
+      active_->usage.rpc_failures += stats.transport_failures;
+      if (resp.ok) {
+        health_.record_success(best, /*heartbeat=*/false);
+        SPECTRA_LOG_WARN("client")
+            << active_->name << ": server " << failed_id << " failed ("
+            << rpc::to_string(failed.error_kind)
+            << "); failover re-solve chose server " << best;
+        adopt(best, "failover");
+        if (m_failovers_ != nullptr) m_failovers_->add();
+        monitors_.add_usage(best, resp.usage, active_->usage);
+        return resp;
+      }
+      if (!rpc::retryable(resp.error_kind)) return resp;
+      health_.record_failure(best, resp.error_kind,
+                             std::max(1, stats.transport_failures));
+      solver::Alternative alt = active_->choice.alternative;
+      alt.server = best;
+      note_failed_call(op,
+                       make_features(op.desc, alt, active_->params,
+                                     active_->data_tag),
+                       stats);
+      server_db_.mark_unavailable(best);
+      excluded.push_back(best);
     }
-    if (!rpc::retryable(resp.error_kind)) return resp;
-    server_db_.mark_unavailable(alt_id);
+  } else {
+    for (MachineId alt_id : server_db_.available_servers()) {
+      if (alt_id == failed_id) continue;
+      SpectraServer* alt = server_db_.server(alt_id);
+      if (alt == nullptr || !alt->endpoint().has_handler(service)) continue;
+      rpc::CallStats stats;
+      rpc::Response resp = endpoint_.call(alt->endpoint(), service, request,
+                                          &stats, config_.remote_retry);
+      network_monitor_->note_call(stats);
+      active_->usage.rpc_failures += stats.transport_failures;
+      if (resp.ok) {
+        SPECTRA_LOG_WARN("client")
+            << active_->name << ": server " << failed_id << " failed ("
+            << rpc::to_string(failed.error_kind) << "); degraded to server "
+            << alt_id;
+        adopt(alt_id, "ladder");
+        monitors_.add_usage(alt_id, resp.usage, active_->usage);
+        return resp;
+      }
+      if (!rpc::retryable(resp.error_kind)) return resp;
+      health_.record_failure(alt_id, resp.error_kind,
+                             std::max(1, stats.transport_failures));
+      server_db_.mark_unavailable(alt_id);
+    }
   }
 
   // Last resort: the co-located server, reachable regardless of network
@@ -613,7 +778,8 @@ rpc::Response SpectraClient::degrade_remote_op(const std::string& service,
           << active_->name << ": server " << failed_id << " failed ("
           << rpc::to_string(failed.error_kind)
           << "); degraded to local execution";
-      adopt(id_);
+      adopt(id_, config_.resolve_on_failover ? "failover_local"
+                                             : "ladder_local");
     }
     return resp;
   }
@@ -629,10 +795,20 @@ monitor::OperationUsage SpectraClient::end_fidelity_op() {
 
   RegisteredOp& op = registered(active_->name);
 
-  op.model.observe(active_->features, active_->usage);
+  // What the models (and the replayable usage log) learn: measured usage
+  // minus the transport spend of exhausted remote attempts, which
+  // observe_failure already charged to the failing servers' features. The
+  // caller still receives the raw measured usage.
+  monitor::OperationUsage learned = active_->usage;
+  learned.bytes_sent =
+      std::max(0.0, learned.bytes_sent - active_->failed_usage.bytes_sent);
+  learned.bytes_received = std::max(
+      0.0, learned.bytes_received - active_->failed_usage.bytes_received);
+  learned.rpcs = std::max(0, learned.rpcs - active_->failed_usage.rpcs);
+  op.model.observe(active_->features, learned);
   ++op.executions;
   predict::UsageRecord record = predict::UsageRecord::from_usage(
-      active_->name, active_->features, active_->usage);
+      active_->name, active_->features, learned);
   // Merge accesses as the model sees them.
   usage_log_.append(std::move(record));
 
@@ -718,6 +894,7 @@ void SpectraClient::copy_state_from(const SpectraClient& src) {
   endpoint_.copy_state_from(src.endpoint_);
   local_server_->copy_state_from(*src.local_server_);
   monitors_.copy_state_from(src.monitors_);
+  health_.copy_state_from(src.health_);
   server_db_.copy_state_from(src.server_db_);
   solver_.copy_state_from(src.solver_);
   SPECTRA_REQUIRE(ops_.size() == src.ops_.size(),

@@ -29,6 +29,7 @@
 #include "core/consistency.h"
 #include "core/server.h"
 #include "core/server_db.h"
+#include "core/server_health.h"
 #include "fs/coda.h"
 #include "hw/energy.h"
 #include "hw/machine.h"
@@ -79,6 +80,17 @@ struct SpectraClientConfig {
                                 /*backoff_initial=*/0.1,
                                 /*backoff_multiplier=*/2.0,
                                 /*backoff_max=*/5.0, /*jitter=*/0.1};
+
+  // Per-server health tracking: EWMA failure rates, phi-accrual suspicion,
+  // and circuit breakers feeding the candidate set and the solver's
+  // evaluation (see server_health.h). health.enabled=false reverts to
+  // availability flags alone.
+  ServerHealthConfig health;
+  // When a remote call exhausts its retries, re-run the placement decision
+  // over the surviving candidates (charging re-decision overhead and
+  // pre-flight-probing the winner) instead of walking the fixed
+  // alternate-server -> local ladder. False restores the PR-1 ladder.
+  bool resolve_on_failover = true;
 
   predict::OperationModelConfig model;
   solver::HeuristicSolverConfig solver;
@@ -197,6 +209,8 @@ class SpectraClient {
   MachineId id() const { return id_; }
   monitor::MonitorSet& monitors() { return monitors_; }
   ServerDatabase& server_db() { return server_db_; }
+  ServerHealthTracker& health() { return health_; }
+  const ServerHealthTracker& health() const { return health_; }
   fs::CodaClient& coda() { return coda_; }
   hw::Machine& machine() { return machine_; }
 
@@ -277,6 +291,12 @@ class SpectraClient {
     // fails; forced (measurement-harness) runs must execute exactly the
     // requested alternative or fail.
     bool allow_fallback = false;
+    // Transport spend of exhausted remote attempts (bytes/RPCs/elapsed),
+    // accumulated across failovers. end_fidelity_op subtracts it from what
+    // the demand models learn for the alternative that finally ran — the
+    // failed attempts were already charged to the failing server's features
+    // via OperationModel::observe_failure.
+    monitor::OperationUsage failed_usage;
   };
 
   RegisteredOp& registered(const std::string& op);
@@ -292,12 +312,26 @@ class SpectraClient {
                        const std::map<std::string, double>& params,
                        const std::string& data_tag, OperationChoice choice,
                        bool allow_fallback);
-  // Degradation path for do_remote_op: try the other available servers,
-  // then the co-located server. Returns the first successful response, or
-  // the original failure if nothing worked.
+  // Failover path for do_remote_op after retries are exhausted. With
+  // resolve_on_failover (default) the placement decision is re-run over the
+  // surviving candidates — re-decision overhead charged, winner pre-flight
+  // probed, health-penalised predicted times — falling back to the
+  // co-located server only when no remote candidate survives. Otherwise the
+  // PR-1 ladder: other available servers in id order, then local. Returns
+  // the first successful response, or the original failure.
   rpc::Response degrade_remote_op(const std::string& service,
                                   const rpc::Request& request,
                                   rpc::Response failed);
+  // Rank the surviving candidates for a mid-operation failover (same plan
+  // and fidelity, different server): model predict + estimator + health
+  // penalty, charging re-decision cycles. Returns them best-first.
+  std::vector<MachineId> rank_failover_candidates(
+      const std::string& service, const std::vector<MachineId>& excluded);
+  // Account an exhausted remote call's transport spend to the models (see
+  // ActiveOp::failed_usage).
+  void note_failed_call(RegisteredOp& op,
+                        const predict::FeatureVector& features,
+                        const rpc::CallStats& stats);
 
   MachineId id_;
   sim::Engine& engine_;
@@ -313,6 +347,9 @@ class SpectraClient {
   monitor::NetworkMonitor* network_monitor_ = nullptr;  // owned by monitors_
   monitor::BatteryMonitor* battery_monitor_ = nullptr;  // owned by monitors_
 
+  // Declared before server_db_, which holds a pointer to it and feeds it
+  // poll outcomes.
+  ServerHealthTracker health_;
   ServerDatabase server_db_;
   ConsistencyManager consistency_;
   solver::ExecutionEstimator estimator_;
@@ -329,6 +366,7 @@ class SpectraClient {
   obs::Counter* m_explorations_ = nullptr;
   obs::Counter* m_fallbacks_ = nullptr;
   obs::Counter* m_degradations_ = nullptr;
+  obs::Counter* m_failovers_ = nullptr;
   obs::Counter* m_solver_evals_ = nullptr;
   obs::Counter* m_solver_memo_hits_ = nullptr;
   obs::Counter* m_snapshots_ = nullptr;

@@ -7,10 +7,12 @@ namespace spectra::core {
 ServerDatabase::ServerDatabase(sim::Engine& engine,
                                rpc::RpcEndpoint& client_endpoint,
                                monitor::MonitorSet& monitors,
-                               util::Seconds poll_period)
+                               util::Seconds poll_period,
+                               ServerHealthTracker* health)
     : engine_(engine),
       client_endpoint_(client_endpoint),
-      monitors_(monitors) {
+      monitors_(monitors),
+      health_(health) {
   SPECTRA_REQUIRE(poll_period > 0.0, "poll period must be positive");
   poller_ = engine_.schedule_periodic(
       poll_period,
@@ -24,7 +26,19 @@ ServerDatabase::~ServerDatabase() { engine_.cancel(poller_); }
 
 void ServerDatabase::add_server(SpectraServer& server) {
   entries_[server.id()] = Entry{&server, false};
+  if (health_ != nullptr) health_->add_server(server.id());
   poll(server.id());
+}
+
+void ServerDatabase::set_suppressed(bool suppressed) {
+  if (suppressed == suppressed_) return;
+  suppressed_ = suppressed;
+  if (health_ == nullptr) return;
+  if (suppressed) {
+    health_->pause(engine_.now());
+  } else {
+    health_->resume(engine_.now());
+  }
 }
 
 bool ServerDatabase::poll(MachineId id) {
@@ -38,12 +52,18 @@ bool ServerDatabase::poll(MachineId id) {
       client_endpoint_.call(entry.server->endpoint(), kStatusService, req);
   if (!resp.ok) {
     entry.available = false;
+    // Route the failure into the health tracker (ISSUE 4 satellite): before
+    // this, a failed poll only cost a poll period and repeated failures
+    // never tripped the breaker, so begin_fidelity_op could keep proposing
+    // a dead server at full price.
+    if (health_ != nullptr) health_->record_failure(id, resp.error_kind);
     return false;
   }
   const auto* report =
       std::any_cast<monitor::ServerStatusReport>(&resp.body);
   SPECTRA_ENSURE(report != nullptr, "status response without report body");
   monitors_.update_preds(*report);
+  if (health_ != nullptr) health_->record_success(id);
   entry.available = true;
   return true;
 }
@@ -56,6 +76,13 @@ void ServerDatabase::mark_unavailable(MachineId id) {
 void ServerDatabase::poll_all() {
   for (auto& [id, entry] : entries_) {
     (void)entry;
+    // Skip servers whose breaker is open (cooldown running); once the
+    // cooldown elapses state() reads half-open and the next poll is the
+    // seeded probe that either closes or reopens the breaker.
+    if (health_ != nullptr &&
+        health_->state(id) == BreakerState::kOpen) {
+      continue;
+    }
     poll(id);
   }
 }
@@ -63,7 +90,9 @@ void ServerDatabase::poll_all() {
 std::vector<MachineId> ServerDatabase::available_servers() const {
   std::vector<MachineId> out;
   for (const auto& [id, entry] : entries_) {
-    if (entry.available) out.push_back(id);
+    if (!entry.available) continue;
+    if (health_ != nullptr && !health_->allows(id)) continue;
+    out.push_back(id);
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/server.h"
+#include "core/server_health.h"
 #include "monitor/monitor.h"
 #include "rpc/rpc.h"
 #include "sim/engine.h"
@@ -23,9 +24,13 @@ namespace spectra::core {
 class ServerDatabase {
  public:
   // `client_endpoint` issues the polls; reports are pushed into `monitors`.
+  // When `health` is non-null, poll outcomes feed the health tracker and
+  // open-circuit servers are excluded from polling and from the candidate
+  // set (a half-open breaker admits the next poll as its probe).
   ServerDatabase(sim::Engine& engine, rpc::RpcEndpoint& client_endpoint,
                  monitor::MonitorSet& monitors,
-                 util::Seconds poll_period = 5.0);
+                 util::Seconds poll_period = 5.0,
+                 ServerHealthTracker* health = nullptr);
   ~ServerDatabase();
 
   // Static configuration: make a server eligible to host computation.
@@ -41,11 +46,14 @@ class ServerDatabase {
   void mark_unavailable(MachineId id);
 
   // While suppressed, periodic polls are skipped (the client defers
-  // background status traffic while a foreground operation executes).
-  void set_suppressed(bool suppressed) { suppressed_ = suppressed; }
+  // background status traffic while a foreground operation executes). The
+  // health tracker's suspicion clock pauses in step, so expected silence
+  // during an operation never reads as server failure.
+  void set_suppressed(bool suppressed);
   bool suppressed() const { return suppressed_; }
 
-  // Servers currently believed available (successful most-recent poll).
+  // Servers currently believed available (successful most-recent poll) and
+  // not excluded by an open circuit breaker.
   std::vector<MachineId> available_servers() const;
 
   SpectraServer* server(MachineId id);
@@ -64,6 +72,7 @@ class ServerDatabase {
   sim::Engine& engine_;
   rpc::RpcEndpoint& client_endpoint_;
   monitor::MonitorSet& monitors_;
+  ServerHealthTracker* health_ = nullptr;  // non-owning, may be null
   std::map<MachineId, Entry> entries_;
   sim::EventId poller_ = 0;
   bool suppressed_ = false;

@@ -1,0 +1,158 @@
+#include "fault/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace spectra::fault {
+
+namespace {
+
+// Categories the generator draws from, gated by what the topology offers.
+enum class Category {
+  kLinkDown,
+  kLinkFlap,
+  kServerCrash,
+  kLatencySpike,
+  kBandwidthDrop,
+  kBatteryCliff,
+};
+
+}  // namespace
+
+FaultPlan make_chaos_plan(std::uint64_t seed, const ChaosTopology& topo,
+                          const ChaosConfig& config) {
+  SPECTRA_REQUIRE(!topo.links.empty() || !topo.servers.empty(),
+                  "chaos topology needs links or servers to break");
+  SPECTRA_REQUIRE(config.horizon > 0.0, "chaos horizon must be positive");
+  SPECTRA_REQUIRE(config.intensity > 0.0, "chaos intensity must be positive");
+  SPECTRA_REQUIRE(config.min_duration > 0.0 &&
+                      config.max_duration >= config.min_duration,
+                  "chaos durations must satisfy 0 < min <= max");
+
+  // All randomness flows from this generator, which flows from the seed.
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5851f42d4c957f2dULL);
+
+  FaultPlan plan;
+  // Probabilistic expansion at arm time draws from the plan's own seed;
+  // derive it from ours so distinct chaos seeds never share arrival times.
+  plan.seed = seed * 2654435761ULL + 1;
+  plan.horizon = config.horizon;
+
+  std::vector<Category> menu;
+  if (!topo.links.empty()) {
+    menu.push_back(Category::kLinkDown);
+    menu.push_back(Category::kLinkFlap);
+    menu.push_back(Category::kLatencySpike);
+    menu.push_back(Category::kBandwidthDrop);
+  }
+  if (!topo.servers.empty()) menu.push_back(Category::kServerCrash);
+  if (config.allow_battery && !topo.battery_machines.empty()) {
+    menu.push_back(Category::kBatteryCliff);
+  }
+
+  const auto pick_link = [&] {
+    return topo.links[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(topo.links.size()) - 1))];
+  };
+  const auto pick_duration = [&] {
+    const Seconds cap = std::min(config.max_duration, config.horizon * 0.3);
+    return rng.uniform(config.min_duration, std::max(config.min_duration, cap));
+  };
+
+  const int events = static_cast<int>(std::max(
+      1.0, std::round(config.intensity *
+                      static_cast<double>(rng.uniform_int(3, 8)))));
+  for (int i = 0; i < events; ++i) {
+    const Category cat = menu[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(menu.size()) - 1))];
+    FaultEvent ev;
+    // Leave the tail of the horizon fault-free so auto-heals land and the
+    // world converges before the soak's final settle.
+    ev.at = rng.uniform(0.05 * config.horizon, 0.85 * config.horizon);
+    switch (cat) {
+      case Category::kLinkDown: {
+        const auto [a, b] = pick_link();
+        ev.kind = FaultKind::kLinkDown;
+        ev.a = a;
+        ev.b = b;
+        ev.duration = pick_duration();
+        break;
+      }
+      case Category::kLinkFlap: {
+        const auto [a, b] = pick_link();
+        ev.kind = FaultKind::kLinkFlap;
+        ev.a = a;
+        ev.b = b;
+        // Even half-cycle count: the link always ends up again.
+        ev.count = 2 * static_cast<int>(rng.uniform_int(1, 3));
+        ev.period = rng.uniform(0.2, 1.5);
+        break;
+      }
+      case Category::kServerCrash: {
+        ev.kind = FaultKind::kServerCrash;
+        ev.a = topo.servers[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(topo.servers.size()) - 1))];
+        ev.duration = pick_duration();
+        break;
+      }
+      case Category::kLatencySpike: {
+        const auto [a, b] = pick_link();
+        ev.kind = FaultKind::kLatencySpike;
+        ev.a = a;
+        ev.b = b;
+        ev.magnitude = rng.uniform(2.0, 8.0);
+        ev.duration = pick_duration();
+        break;
+      }
+      case Category::kBandwidthDrop: {
+        const auto [a, b] = pick_link();
+        ev.kind = FaultKind::kBandwidthDrop;
+        ev.a = a;
+        ev.b = b;
+        ev.magnitude = rng.uniform(0.1, 0.8);
+        ev.duration = pick_duration();
+        break;
+      }
+      case Category::kBatteryCliff: {
+        ev.kind = FaultKind::kBatteryCliff;
+        ev.a = topo.battery_machines[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(topo.battery_machines.size()) - 1))];
+        ev.magnitude = rng.uniform(0.05, 0.5);
+        break;
+      }
+    }
+    plan.scheduled.push_back(ev);
+  }
+  std::stable_sort(plan.scheduled.begin(), plan.scheduled.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+
+  if (!topo.links.empty() && rng.bernoulli(config.probabilistic_chance)) {
+    const int extra = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < extra; ++i) {
+      ProbabilisticFault pf;
+      const auto [a, b] = pick_link();
+      pf.a = a;
+      pf.b = b;
+      if (rng.bernoulli(0.5)) {
+        pf.kind = FaultKind::kLinkDown;
+        pf.duration = rng.uniform(config.min_duration, 5.0);
+      } else {
+        pf.kind = FaultKind::kLatencySpike;
+        pf.magnitude = rng.uniform(2.0, 6.0);
+        pf.duration = rng.uniform(config.min_duration, 5.0);
+      }
+      pf.rate_per_s = rng.uniform(0.005, 0.03) * config.intensity;
+      plan.probabilistic.push_back(pf);
+    }
+  }
+
+  plan.validate();
+  return plan;
+}
+
+}  // namespace spectra::fault

@@ -1,0 +1,53 @@
+// Seeded random fault-plan generation for the chaos soak harness (ISSUE 4).
+//
+// make_chaos_plan turns (seed, topology, knobs) into a concrete FaultPlan:
+// a deterministic mix of link partitions, link flaps, server crashes,
+// latency spikes, and bandwidth drops over a bounded horizon, optionally
+// seasoned with Poisson background faults. Every draw comes from a
+// generator forked off the seed, so the same seed always yields the same
+// plan — the soak harness leans on that for bit-identical replay.
+//
+// Generated plans are self-healing by construction: every fault either
+// carries a bounded duration or (for flaps) an even half-cycle count, so
+// the world converges back to a connected, serving state before the
+// horizon ends. This keeps soak operations finite — invariant checks catch
+// hangs, not artifacts of a permanently-partitioned plan.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace spectra::fault {
+
+// Which parts of the world chaos may touch. Links are (a, b) machine pairs
+// registered in the network; servers are machines whose RPC endpoint may
+// crash. Battery cliffs are off unless battery_machines is non-empty and
+// allow_battery is set (they change decisions, not liveness, and make
+// time-to-completion comparisons noisy).
+struct ChaosTopology {
+  std::vector<std::pair<MachineId, MachineId>> links;
+  std::vector<MachineId> servers;
+  std::vector<MachineId> battery_machines;
+};
+
+struct ChaosConfig {
+  Seconds horizon = 60.0;
+  // Scales the number of scheduled faults (1.0 ~ 3-8 events).
+  double intensity = 1.0;
+  bool allow_battery = false;
+  Seconds min_duration = 0.5;
+  Seconds max_duration = 15.0;
+  // Chance of adding 0-2 Poisson background faults on top.
+  double probabilistic_chance = 0.35;
+};
+
+// Deterministic: the same (seed, topology, config) always yields the same
+// validated plan. The plan's own seed is derived from `seed`, so arming it
+// expands probabilistic faults identically on every replay.
+FaultPlan make_chaos_plan(std::uint64_t seed, const ChaosTopology& topo,
+                          const ChaosConfig& config = {});
+
+}  // namespace spectra::fault

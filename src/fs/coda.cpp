@@ -1,6 +1,7 @@
 #include "fs/coda.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.h"
 
@@ -275,32 +276,167 @@ Bytes CodaClient::dirty_bytes_in_volume(const std::string& volume) const {
 Seconds CodaClient::reintegrate_volume(const std::string& volume) {
   const MachineId me = self();
   const Seconds t0 = machine_.engine().now();
+  // A previous push may have been interrupted mid-flight by a fault;
+  // resolve its journal transaction before starting a new one.
+  recover_reintegration();
   std::vector<std::string> to_push;
   for (const auto& p : dirty_) {
     if (cache_.at(p).info.volume == volume) to_push.push_back(p);
   }
-  if (to_push.empty()) return 0.0;
+  if (to_push.empty()) return machine_.engine().now() - t0;
   SPECTRA_REQUIRE(network_.reachable(me, server_.host()),
                   "file server unreachable for reintegration");
+  // Write-ahead: record the full intent before any bytes move, so a fault
+  // at any later point leaves a replayable record.
+  std::vector<JournalFileRecord> records;
+  records.reserve(to_push.size());
+  for (const auto& p : to_push) {
+    const auto& e = cache_.at(p);
+    records.push_back(JournalFileRecord{p, e.info.size, e.version, false});
+  }
+  const std::uint64_t txn =
+      reintegration_log_.begin(volume, t0, std::move(records));
   for (const auto& p : to_push) {
     const auto& e = cache_.at(p);
     machine_.engine().advance(config_.per_file_overhead);
     const net::TransferResult tr = network_.transfer(
         me, server_.host(), e.info.size * config_.reintegration_overhead);
     // A partition mid-reintegration leaves the remaining modifications
-    // buffered; already-pushed files stay reintegrated.
+    // buffered and the journal transaction active; recover_reintegration
+    // replays or rolls it back at the next opportunity.
     SPECTRA_ENSURE(tr.completed,
                    "file server partitioned mid-reintegration of " + p);
     server_.install(p, e.info.size, e.version);
     dirty_.erase(p);
+    reintegration_log_.mark_pushed(txn, p);
   }
+  reintegration_log_.commit(txn);
   return machine_.engine().now() - t0;
 }
 
 Seconds CodaClient::reintegrate_all() {
   Seconds total = 0.0;
   for (const auto& v : dirty_volumes()) total += reintegrate_volume(v);
+  // Every dirty volume pushed; an interrupted transaction with no dirty
+  // volume left (all its files superseded or pushed) is resolved too.
+  total += recover_reintegration();
   return total;
+}
+
+Seconds CodaClient::recover_reintegration() {
+  const JournalTxn* open = reintegration_log_.open_txn();
+  if (open == nullptr) return 0.0;
+  const MachineId me = self();
+  const Seconds t0 = machine_.engine().now();
+  const std::uint64_t txn_id = open->id;
+  reintegration_log_.note_recovery();
+  if (!network_.reachable(me, server_.host())) {
+    // Roll back. Nothing to undo at the server — install is atomic per
+    // file and pushed files are durable; un-pushed modifications are still
+    // buffered as dirty cache entries, so aborting is pure bookkeeping.
+    reintegration_log_.abort(txn_id);
+    return machine_.engine().now() - t0;
+  }
+  // Replay: the records are a snapshot; copy them since re-pushing mutates
+  // the journal through mark_pushed.
+  const std::vector<JournalFileRecord> files = open->files;
+  for (const auto& rec : files) {
+    if (rec.pushed) continue;
+    if (server_.version(rec.path) >= rec.version) {
+      // Installed by the interrupted push but not yet acknowledged in the
+      // journal (fault hit between install and mark_pushed): redo is a
+      // no-op, just acknowledge.
+      reintegration_log_.mark_pushed(txn_id, rec.path);
+      if (cache_.count(rec.path) > 0 &&
+          cache_.at(rec.path).version <= server_.version(rec.path)) {
+        dirty_.erase(rec.path);
+      }
+      continue;
+    }
+    auto it = cache_.find(rec.path);
+    if (it == cache_.end() || dirty_.count(rec.path) == 0 ||
+        it->second.version != rec.version) {
+      // Superseded by a newer local write (or gone); the current state
+      // will travel with the next reintegration of its volume.
+      continue;
+    }
+    machine_.engine().advance(config_.per_file_overhead);
+    const net::TransferResult tr = network_.transfer(
+        me, server_.host(), rec.size * config_.reintegration_overhead);
+    SPECTRA_ENSURE(tr.completed,
+                   "file server partitioned replaying reintegration of " +
+                       rec.path);
+    server_.install(rec.path, rec.size, rec.version);
+    dirty_.erase(rec.path);
+    reintegration_log_.mark_pushed(txn_id, rec.path);
+  }
+  reintegration_log_.commit(txn_id);
+  return machine_.engine().now() - t0;
+}
+
+std::vector<std::string> CodaClient::check_invariants() const {
+  std::vector<std::string> violations;
+  // Cache byte accounting.
+  Bytes sum = 0.0;
+  for (const auto& [p, e] : cache_) sum += e.info.size;
+  if (std::abs(sum - cached_bytes_) > 1e-6) {
+    violations.push_back("cached_bytes out of sync: accounted " +
+                         std::to_string(cached_bytes_) + " vs actual " +
+                         std::to_string(sum));
+  }
+  // LRU <-> cache bijection with live iterators.
+  if (lru_.size() != cache_.size()) {
+    violations.push_back("lru/cache size mismatch");
+  }
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto ce = cache_.find(*it);
+    if (ce == cache_.end()) {
+      violations.push_back("lru entry not cached: " + *it);
+    } else if (ce->second.lru_it != it) {
+      violations.push_back("stale lru iterator for " + *it);
+    }
+  }
+  // Dirty discipline: dirty files are cached (pinned) and strictly newer
+  // than the server; clean cached files are never ahead of the server.
+  for (const auto& p : dirty_) {
+    auto it = cache_.find(p);
+    if (it == cache_.end()) {
+      violations.push_back("dirty file not cached: " + p);
+    } else if (server_.exists(p) &&
+               it->second.version <= server_.version(p)) {
+      violations.push_back("dirty file not ahead of server: " + p);
+    }
+  }
+  for (const auto& [p, e] : cache_) {
+    if (dirty_.count(p) > 0) continue;
+    if (server_.exists(p) && e.version > server_.version(p)) {
+      violations.push_back("clean cache entry ahead of server: " + p);
+    }
+  }
+  // Journal discipline: a pushed record is durable at the server; an
+  // un-pushed, un-superseded record of the open transaction is still dirty.
+  for (const auto& txn : reintegration_log_.transactions()) {
+    for (const auto& rec : txn.files) {
+      if (rec.pushed) {
+        if (server_.exists(rec.path) &&
+            server_.version(rec.path) < rec.version) {
+          violations.push_back("journal pushed record not at server: " +
+                               rec.path);
+        }
+      } else if (txn.state == TxnState::kActive) {
+        auto it = cache_.find(rec.path);
+        const bool superseded =
+            it == cache_.end() || it->second.version != rec.version;
+        if (!superseded && dirty_.count(rec.path) == 0 &&
+            server_.version(rec.path) < rec.version) {
+          violations.push_back(
+              "open-txn un-pushed record neither dirty nor at server: " +
+              rec.path);
+        }
+      }
+    }
+  }
+  return violations;
 }
 
 void CodaClient::start_trace() { traces_.emplace_back(); }
@@ -334,6 +470,7 @@ void CodaClient::copy_state_from(const CodaClient& src) {
   generation_ = src.generation_;
   journal_start_gen_ = src.journal_start_gen_;
   fetch_rate_ = src.fetch_rate_;
+  reintegration_log_ = src.reintegration_log_;
 }
 
 }  // namespace spectra::fs

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "fs/journal.h"
 #include "hw/machine.h"
 #include "net/network.h"
 #include "util/stats.h"
@@ -164,9 +165,27 @@ class CodaClient {
   Bytes dirty_bytes_in_volume(const std::string& volume) const;
 
   // Push all buffered modifications in `volume` to the file server
-  // (volume-granularity, as Coda does). Returns elapsed time.
+  // (volume-granularity, as Coda does). Returns elapsed time. The push is
+  // journaled (see fs/journal.h): an interrupted push is replayed or rolled
+  // back by recover_reintegration before the next one starts.
   Seconds reintegrate_volume(const std::string& volume);
   Seconds reintegrate_all();
+
+  // Resolve an interrupted reintegration, if any: re-push surviving
+  // un-pushed records when the file server is reachable (idempotently
+  // skipping files already installed), or abort the transaction when it is
+  // not — un-pushed modifications stay buffered as dirty cache entries.
+  // Returns elapsed (virtual) time; 0 when there was nothing to recover.
+  Seconds recover_reintegration();
+
+  const ReintegrationJournal& reintegration_log() const {
+    return reintegration_log_;
+  }
+
+  // Structural consistency check for the chaos harness: cache accounting,
+  // LRU bijection, dirty-set and journal invariants. Returns human-readable
+  // violations; empty means consistent.
+  std::vector<std::string> check_invariants() const;
 
   // ---- access tracing (for the file-cache monitor) -----------------------
   // Traces nest: the operation-wide monitor trace and a local RPC dispatch
@@ -220,6 +239,10 @@ class CodaClient {
   static constexpr std::size_t kMaxJournal = 1024;
 
   util::Ewma fetch_rate_{0.3};
+
+  // Write-ahead journal for reintegration pushes (distinct from journal_,
+  // the cache-event journal above).
+  ReintegrationJournal reintegration_log_;
 
   std::vector<std::vector<Access>> traces_;  // stack of active traces
 };

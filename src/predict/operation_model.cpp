@@ -29,6 +29,14 @@ void OperationModel::replay(const UsageRecord& r) {
   ++observations_;
 }
 
+void OperationModel::observe_failure(const FeatureVector& f,
+                                     const monitor::OperationUsage& partial) {
+  bytes_sent_.add(f, partial.bytes_sent);
+  bytes_received_.add(f, partial.bytes_received);
+  rpcs_.add(f, partial.rpcs);
+  ++failure_observations_;
+}
+
 DemandEstimate OperationModel::predict(const FeatureVector& f) const {
   DemandEstimate e;
   if (local_cycles_.trained()) e.local_cycles = local_cycles_.predict(f);

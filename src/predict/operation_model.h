@@ -47,11 +47,21 @@ class OperationModel {
   // Replay a logged record (model bootstrap at registration time).
   void replay(const UsageRecord& record);
 
+  // Learn transport demand from an exhausted remote call: the bytes and
+  // RPC attempts were really spent against that server's features even
+  // though the operation completed elsewhere, so only the network-demand
+  // predictors see them. Cycle/energy/file predictors — and the
+  // observations() count that gates exploration — are untouched, because a
+  // failed attempt says nothing about compute demand.
+  void observe_failure(const FeatureVector& features,
+                       const monitor::OperationUsage& partial);
+
   DemandEstimate predict(const FeatureVector& features) const;
 
   // True once at least one execution has been observed.
   bool trained() const { return local_cycles_.trained(); }
   std::size_t observations() const { return observations_; }
+  std::size_t failure_observations() const { return failure_observations_; }
 
   const FileAccessPredictor& file_predictor() const { return files_; }
 
@@ -64,6 +74,7 @@ class OperationModel {
   NumericPredictor energy_;
   FileAccessPredictor files_;
   std::size_t observations_ = 0;
+  std::size_t failure_observations_ = 0;
 };
 
 }  // namespace spectra::predict

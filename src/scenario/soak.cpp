@@ -1,0 +1,361 @@
+#include "scenario/soak.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "scenario/experiment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace spectra::scenario {
+
+namespace {
+
+// FNV-1a over the plan's observable outcome. Anything that could diverge
+// between a run and its replay — op results, fault firing order, final
+// virtual time — gets folded in, so equal fingerprints mean bit-identical
+// execution.
+class Fingerprint {
+ public:
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffU;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_double(double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    add_u64(bits);
+  }
+  void add_string(const std::string& s) {
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= 0x100000001b3ULL;
+    }
+    add_u64(s.size());
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// One full Spectra operation (begin / execute / end) with parameters drawn
+// from `rng`. A util::ContractError mid-operation — the file server
+// partitioning during a fetch, say — aborts the op; the client's op state
+// is finalized so the next operation starts clean.
+SoakOpOutcome drive_op(World& world, SoakApp app, util::Rng& rng,
+                       Fingerprint& fp, std::vector<std::string>& violations) {
+  core::SpectraClient& client = world.spectra();
+  const util::Seconds before = world.engine().now();
+  SoakOpOutcome outcome = SoakOpOutcome::kAborted;
+  try {
+    core::OperationChoice choice;
+    switch (app) {
+      case SoakApp::kSpeech: {
+        const double len = rng.uniform(1.0, 3.0);
+        choice = client.begin_fidelity_op(apps::JanusApp::kOperation,
+                                          {{"utt_len", len}});
+        if (choice.ok) world.janus().execute(client, len);
+        break;
+      }
+      case SoakApp::kLatex: {
+        const std::string doc = rng.bernoulli(0.5) ? "large" : "small";
+        choice = client.begin_fidelity_op(apps::LatexApp::kOperation, {}, doc);
+        if (choice.ok) world.latex().execute(client, doc);
+        break;
+      }
+      case SoakApp::kPangloss: {
+        const int words = static_cast<int>(rng.uniform_int(4, 30));
+        choice = client.begin_fidelity_op(
+            apps::PanglossApp::kOperation,
+            {{"words", static_cast<double>(words)}});
+        if (choice.ok) world.pangloss().execute(client, words);
+        break;
+      }
+    }
+    if (!choice.ok) {
+      outcome = SoakOpOutcome::kNoChoice;
+    } else {
+      const monitor::OperationUsage usage = client.end_fidelity_op();
+      outcome = SoakOpOutcome::kCompleted;
+      fp.add_double(usage.elapsed);
+      fp.add_double(usage.energy_valid ? usage.energy : -1.0);
+      fp.add_u64(static_cast<std::uint64_t>(choice.alternative.plan));
+      fp.add_u64(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(choice.alternative.server)));
+    }
+  } catch (const util::ContractError&) {
+    outcome = SoakOpOutcome::kAborted;
+    if (client.op_in_progress()) {
+      try {
+        (void)client.end_fidelity_op();
+      } catch (const util::ContractError&) {
+        violations.push_back("aborted operation could not be finalized");
+      }
+    }
+  }
+  if (world.engine().now() < before) {
+    violations.push_back("virtual time went backwards across an operation");
+  }
+  if (client.op_in_progress()) {
+    violations.push_back("operation left in progress");
+  }
+  fp.add_u64(static_cast<std::uint64_t>(outcome));
+  fp.add_double(world.engine().now());
+  return outcome;
+}
+
+SoakPlanResult run_plan(const SoakConfig& config, const World& tmpl,
+                        std::uint64_t chaos_seed,
+                        obs::Observability* run_obs) {
+  SoakPlanResult result;
+  result.chaos_seed = chaos_seed;
+  const fault::FaultPlan plan =
+      fault::make_chaos_plan(chaos_seed, soak_topology(config.app),
+                             config.chaos);
+
+  std::unique_ptr<World> world = tmpl.clone(run_obs);
+  sim::Engine& engine = world->engine();
+  const util::Seconds start = engine.now();
+  world->arm_faults(plan);
+
+  // Operation parameters flow from the chaos seed, independent of the
+  // world's own randomness, so run and replay draw identically.
+  util::Rng op_rng(chaos_seed * 0x2545f4914f6cdd1dULL +
+                   0x9e3779b97f4a7c15ULL);
+  Fingerprint fp;
+
+  const util::Seconds gap =
+      config.chaos.horizon / static_cast<double>(config.ops_per_plan + 1);
+  for (int k = 0; k < config.ops_per_plan; ++k) {
+    world->settle(gap);
+    switch (drive_op(*world, config.app, op_rng, fp, result.violations)) {
+      case SoakOpOutcome::kCompleted: ++result.completed; break;
+      case SoakOpOutcome::kNoChoice: ++result.no_choice; break;
+      case SoakOpOutcome::kAborted: ++result.aborted; break;
+    }
+  }
+
+  // Fault-free tail: run past the horizon so every bounded fault heals,
+  // then give the healed world a moment to converge before the final
+  // consistency sweep.
+  const util::Seconds elapsed = engine.now() - start;
+  if (elapsed < config.chaos.horizon) {
+    world->settle(config.chaos.horizon - elapsed);
+  }
+  world->settle(5.0);
+
+  if (engine.now() <= start) {
+    result.violations.push_back("virtual time did not advance");
+  }
+  if (world->spectra().op_in_progress()) {
+    result.violations.push_back("operation in progress after final settle");
+  }
+  std::vector<MachineId> coda_hosts{kClient};
+  for (MachineId id : world->server_ids()) coda_hosts.push_back(id);
+  for (MachineId id : coda_hosts) {
+    for (const std::string& v : world->coda(id).check_invariants()) {
+      result.violations.push_back("coda@" + std::to_string(id) + ": " + v);
+    }
+  }
+
+  fp.add_string(world->fault_injector().trace_string());
+  fp.add_double(engine.now());
+  result.fingerprint = fp.value();
+  result.virtual_end = engine.now();
+  return result;
+}
+
+// Trained template world for the soak's application. Keys match the ones
+// the experiments use, so a soak shares cached templates with ordinary
+// scenario runs in the same process.
+std::shared_ptr<const World> soak_template(const SoakConfig& config) {
+  auto& cache = TrainedWorldCache::instance();
+  std::ostringstream key;
+  switch (config.app) {
+    case SoakApp::kSpeech: {
+      SpeechExperiment::Config ec;
+      ec.seed = config.world_seed;
+      SpeechExperiment exp(ec);
+      key << "speech|" << static_cast<int>(ec.scenario) << '|' << ec.seed
+          << '|' << ec.training_runs << '|' << ec.settle_time;
+      return cache.get(key.str(), [&exp] { return exp.trained_world(nullptr); });
+    }
+    case SoakApp::kLatex: {
+      LatexExperiment::Config ec;
+      ec.seed = config.world_seed;
+      LatexExperiment exp(ec);
+      key << "latex|" << static_cast<int>(ec.scenario) << '|' << ec.seed
+          << '|' << ec.training_runs << '|' << ec.settle_time;
+      return cache.get(key.str(), [&exp] { return exp.trained_world(nullptr); });
+    }
+    case SoakApp::kPangloss: {
+      PanglossExperiment::Config ec;
+      ec.seed = config.world_seed;
+      PanglossExperiment exp(ec);
+      key << "pangloss|" << static_cast<int>(ec.scenario) << '|' << ec.seed
+          << '|' << ec.training_runs << '|' << ec.settle_time;
+      return cache.get(key.str(), [&exp] { return exp.trained_world(nullptr); });
+    }
+  }
+  SPECTRA_REQUIRE(false, "unknown soak app");
+  return nullptr;
+}
+
+}  // namespace
+
+const char* to_string(SoakApp app) {
+  switch (app) {
+    case SoakApp::kSpeech: return "speech";
+    case SoakApp::kLatex: return "latex";
+    case SoakApp::kPangloss: return "pangloss";
+  }
+  return "?";
+}
+
+fault::ChaosTopology soak_topology(SoakApp app) {
+  fault::ChaosTopology topo;
+  if (app == SoakApp::kSpeech) {
+    // kItsy: client 0, T20 server 1, file server 9.
+    topo.links = {{kClient, kServerT20},
+                  {kClient, kFileServer},
+                  {kServerT20, kFileServer}};
+    topo.servers = {kServerT20};
+  } else {
+    // kThinkpad: client 0, servers A/B, file server 9.
+    topo.links = {{kClient, kServerA},   {kClient, kServerB},
+                  {kClient, kFileServer}, {kServerA, kServerB},
+                  {kServerA, kFileServer}, {kServerB, kFileServer}};
+    topo.servers = {kServerA, kServerB};
+  }
+  return topo;
+}
+
+int SoakReport::total_completed() const {
+  int n = 0;
+  for (const auto& p : plans) n += p.completed;
+  return n;
+}
+
+int SoakReport::total_aborted() const {
+  int n = 0;
+  for (const auto& p : plans) n += p.aborted;
+  return n;
+}
+
+int SoakReport::total_no_choice() const {
+  int n = 0;
+  for (const auto& p : plans) n += p.no_choice;
+  return n;
+}
+
+std::vector<std::string> SoakReport::all_violations() const {
+  std::vector<std::string> out;
+  for (const auto& p : plans) {
+    for (const auto& v : p.violations) {
+      out.push_back("seed " + std::to_string(p.chaos_seed) + ": " + v);
+    }
+  }
+  return out;
+}
+
+std::string SoakReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"app\": " << obs::json_quote(to_string(config.app)) << ",\n";
+  os << "  \"plans\": " << config.plans << ",\n";
+  os << "  \"ops_per_plan\": " << config.ops_per_plan << ",\n";
+  os << "  \"base_seed\": " << config.base_seed << ",\n";
+  os << "  \"horizon_s\": " << config.chaos.horizon << ",\n";
+  os << "  \"intensity\": " << config.chaos.intensity << ",\n";
+  os << "  \"replay_check\": " << (config.replay_check ? "true" : "false")
+     << ",\n";
+  os << "  \"completed\": " << total_completed() << ",\n";
+  os << "  \"aborted\": " << total_aborted() << ",\n";
+  os << "  \"no_choice\": " << total_no_choice() << ",\n";
+  const auto violations = all_violations();
+  os << "  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << obs::json_quote(violations[i]);
+  }
+  os << "],\n";
+  os << "  \"clean\": " << (violations.empty() ? "true" : "false") << ",\n";
+  os << "  \"plan_results\": [\n";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const SoakPlanResult& p = plans[i];
+    std::ostringstream hex;
+    hex << std::hex << p.fingerprint;
+    os << "    {\"seed\": " << p.chaos_seed
+       << ", \"completed\": " << p.completed
+       << ", \"aborted\": " << p.aborted
+       << ", \"no_choice\": " << p.no_choice << ", \"fingerprint\": \"0x"
+       << hex.str() << "\", \"replay_identical\": "
+       << (p.replay_identical ? "true" : "false")
+       << ", \"virtual_end_s\": " << p.virtual_end
+       << ", \"violations\": " << p.violations.size() << "}"
+       << (i + 1 < plans.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string SoakReport::summary() const {
+  std::ostringstream os;
+  os << to_string(config.app) << " soak: " << plans.size() << " plans, "
+     << total_completed() << " ops completed, " << total_aborted()
+     << " aborted, " << total_no_choice() << " infeasible";
+  const auto violations = all_violations();
+  if (violations.empty()) {
+    os << ", 0 invariant violations";
+  } else {
+    os << ", " << violations.size() << " INVARIANT VIOLATIONS";
+  }
+  if (config.replay_check) {
+    int mismatches = 0;
+    for (const auto& p : plans) {
+      if (!p.replay_identical) ++mismatches;
+    }
+    os << (mismatches == 0 ? ", replay bit-identical"
+                           : ", REPLAY MISMATCHES: " +
+                                 std::to_string(mismatches));
+  }
+  return os.str();
+}
+
+SoakReport run_soak(const SoakConfig& config, BatchRunner& runner,
+                    obs::Observability* session) {
+  SPECTRA_REQUIRE(config.plans > 0, "soak needs at least one plan");
+  SPECTRA_REQUIRE(config.ops_per_plan > 0,
+                  "soak needs at least one op per plan");
+  SoakReport report;
+  report.config = config;
+  // Build (or fetch) the shared template before fanning out so workers
+  // clone instead of racing to train.
+  std::shared_ptr<const World> tmpl = soak_template(config);
+  report.plans = runner.map_runs(
+      session, static_cast<std::size_t>(config.plans),
+      [&](std::size_t i, obs::Observability* run_obs) {
+        const std::uint64_t seed =
+            config.base_seed + static_cast<std::uint64_t>(i) * 7919;
+        SoakPlanResult result = run_plan(config, *tmpl, seed, run_obs);
+        if (config.replay_check) {
+          const SoakPlanResult replay =
+              run_plan(config, *tmpl, seed, nullptr);
+          result.replay_identical =
+              replay.fingerprint == result.fingerprint;
+          if (!result.replay_identical) {
+            result.violations.push_back(
+                "replay fingerprint mismatch (run vs replay clone)");
+          }
+        }
+        return result;
+      });
+  return report;
+}
+
+}  // namespace spectra::scenario

@@ -273,5 +273,87 @@ TEST(FailureTest, DirtyFilesSurviveFailedRemoteAttempt) {
   EXPECT_TRUE(w->coda(kClient).is_dirty("latex/small/main.tex"));
 }
 
+// ---- health-aware failover (ISSUE 4) ------------------------------------
+
+TEST(FailureTest, RepeatedPollFailuresTripTheBreaker) {
+  // Regression: failed status polls must be routed into the health tracker
+  // so a server that silently stops answering polls eventually trips its
+  // circuit breaker, not just goes stale.
+  auto w = trained_itsy();
+  FaultEvent down = event(0.0, FaultKind::kLinkDown, kClient, kServerT20);
+  down.duration = 60.0;
+  w->arm_faults(single(down));
+  w->settle(0.1);
+  auto& db = w->spectra().server_db();
+  auto& health = w->spectra().health();
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(db.poll(kServerT20));
+  EXPECT_EQ(health.state(kServerT20), core::BreakerState::kOpen);
+  EXPECT_FALSE(health.allows(kServerT20));
+  EXPECT_TRUE(db.available_servers().empty());
+
+  // After the link heals and the cooldown elapses, the half-open probe
+  // poll closes the breaker and the server is a candidate again.
+  w->network().set_link_up(kClient, kServerT20, true);
+  w->settle(40.0);  // cooldown (<= 6 s jittered) + periodic polls
+  EXPECT_EQ(health.state(kServerT20), core::BreakerState::kClosed);
+  EXPECT_FALSE(db.available_servers().empty());
+}
+
+TEST(FailureTest, MidOpFailoverResolvesToSurvivingServer) {
+  // With two live remotes, losing the chosen one mid-operation must
+  // re-run the solver and fail over to the survivor, not collapse to the
+  // local plan like the old fixed ladder did.
+  LatexExperiment::Config cfg;
+  cfg.seed = 1000;
+  auto w = LatexExperiment(cfg).trained_world();
+  auto& spectra = w->spectra();
+  const auto choice = spectra.begin_fidelity_op(LatexApp::kOperation, {},
+                                                "small");
+  ASSERT_TRUE(choice.ok);
+  const MachineId chosen = choice.alternative.server;
+  ASSERT_GE(chosen, 0);  // baseline latex runs remotely
+  const MachineId survivor = chosen == kServerA ? kServerB : kServerA;
+  // Crash at +0 s: the event fires as the remote call's first transfer
+  // advances time, so the attempt fails mid-operation. (Latex has no local
+  // front-end phase, so a later crash would miss the RPC window.)
+  // The crash outlives the whole retry ladder (3 attempts x 60 s), so no
+  // late retry can sneak through after a restart.
+  FaultEvent crash = event(0.0, FaultKind::kServerCrash, chosen);
+  crash.duration = 600.0;
+  w->arm_faults(single(crash));
+  w->latex().execute(spectra, "small");
+  EXPECT_TRUE(spectra.current_choice().degraded);
+  EXPECT_EQ(spectra.current_choice().alternative.server, survivor);
+  const auto usage = spectra.end_fidelity_op();
+  EXPECT_GE(usage.rpc_failures, 1);
+  // The failed attempt's transport demand was charged to the models.
+  EXPECT_GE(spectra.model(LatexApp::kOperation).failure_observations(), 1u);
+  // And the dead server's breaker is open.
+  EXPECT_FALSE(spectra.health().allows(chosen));
+}
+
+TEST(FailureTest, LegacyLadderStillAvailableWhenFailoverDisabled) {
+  LatexExperiment::Config cfg;
+  cfg.seed = 1000;
+  cfg.spectra_overrides = [](core::SpectraClientConfig& c) {
+    c.resolve_on_failover = false;
+  };
+  auto w = LatexExperiment(cfg).trained_world();
+  auto& spectra = w->spectra();
+  const auto choice = spectra.begin_fidelity_op(LatexApp::kOperation, {},
+                                                "small");
+  ASSERT_TRUE(choice.ok);
+  ASSERT_GE(choice.alternative.server, 0);
+  FaultEvent crash = event(0.0, FaultKind::kServerCrash,
+                           choice.alternative.server);
+  crash.duration = 600.0;
+  w->arm_faults(single(crash));
+  // The ladder still completes the operation (alternative rung or local).
+  w->latex().execute(spectra, "small");
+  EXPECT_TRUE(spectra.current_choice().degraded);
+  const auto usage = spectra.end_fidelity_op();
+  EXPECT_GE(usage.rpc_failures, 1);
+}
+
 }  // namespace
 }  // namespace spectra::scenario

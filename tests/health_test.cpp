@@ -1,0 +1,231 @@
+// ServerHealthTracker: the circuit breaker and suspicion model behind
+// health-aware placement. These tests drive the tracker directly with a
+// bare engine — breaker transitions, EWMA failure rates, phi-accrual
+// suspicion, pause/resume semantics, and clone determinism.
+#include <gtest/gtest.h>
+
+#include "core/server_health.h"
+#include "rpc/rpc.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace spectra::core {
+namespace {
+
+using rpc::ErrorKind;
+
+constexpr MachineId kServer = 1;
+
+ServerHealthTracker make_tracker(sim::Engine& engine,
+                                 ServerHealthConfig cfg = {},
+                                 std::uint64_t seed = 42) {
+  ServerHealthTracker t(engine, util::Rng(seed), cfg);
+  t.add_server(kServer);
+  return t;
+}
+
+TEST(HealthTest, StartsClosedAndHealthy) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  EXPECT_EQ(t.state(kServer), BreakerState::kClosed);
+  EXPECT_TRUE(t.allows(kServer));
+  EXPECT_DOUBLE_EQ(t.failure_rate(kServer), 0.0);
+  EXPECT_DOUBLE_EQ(t.suspicion(kServer), 0.0);
+  EXPECT_DOUBLE_EQ(t.penalty_factor(kServer), 1.0);
+}
+
+TEST(HealthTest, ConsecutiveFailuresOpenBreaker) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  t.record_failure(kServer, ErrorKind::kTimeout);
+  t.record_failure(kServer, ErrorKind::kTimeout);
+  EXPECT_EQ(t.state(kServer), BreakerState::kClosed);
+  t.record_failure(kServer, ErrorKind::kTimeout);
+  EXPECT_EQ(t.state(kServer), BreakerState::kOpen);
+  EXPECT_FALSE(t.allows(kServer));
+}
+
+TEST(HealthTest, FailureRateAloneOpensBreaker) {
+  sim::Engine engine;
+  ServerHealthConfig cfg;
+  cfg.open_after_failures = 100;  // force the rate path
+  auto t = make_tracker(engine, cfg);
+  // Alternating failures and successes never reach 100 consecutive, but the
+  // EWMA rate climbs past the threshold.
+  for (int i = 0; i < 20; ++i) {
+    t.record_failure(kServer, ErrorKind::kUnreachable);
+    t.record_failure(kServer, ErrorKind::kUnreachable);
+    if (t.state(kServer) == BreakerState::kOpen) break;
+    t.record_success(kServer);
+  }
+  EXPECT_EQ(t.state(kServer), BreakerState::kOpen);
+}
+
+TEST(HealthTest, ApplicationErrorsNeverCount) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  for (int i = 0; i < 10; ++i) {
+    t.record_failure(kServer, ErrorKind::kApplication);
+    t.record_failure(kServer, ErrorKind::kNone);
+  }
+  EXPECT_EQ(t.state(kServer), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(t.failure_rate(kServer), 0.0);
+  EXPECT_DOUBLE_EQ(t.penalty_factor(kServer), 1.0);
+}
+
+TEST(HealthTest, CooldownLeadsToHalfOpenThenSuccessCloses) {
+  sim::Engine engine;
+  ServerHealthConfig cfg;
+  cfg.probe_jitter = 0.0;  // deterministic cooldown for the assertion
+  auto t = make_tracker(engine, cfg);
+  for (int i = 0; i < cfg.open_after_failures; ++i) {
+    t.record_failure(kServer, ErrorKind::kServerDown);
+  }
+  ASSERT_EQ(t.state(kServer), BreakerState::kOpen);
+  engine.advance(cfg.open_cooldown + 0.1);
+  EXPECT_EQ(t.state(kServer), BreakerState::kHalfOpen);
+  EXPECT_TRUE(t.allows(kServer));
+  t.record_success(kServer);
+  EXPECT_EQ(t.state(kServer), BreakerState::kClosed);
+}
+
+TEST(HealthTest, HalfOpenFailureReopensWithLongerCooldown) {
+  sim::Engine engine;
+  ServerHealthConfig cfg;
+  cfg.probe_jitter = 0.0;
+  auto t = make_tracker(engine, cfg);
+  for (int i = 0; i < cfg.open_after_failures; ++i) {
+    t.record_failure(kServer, ErrorKind::kServerDown);
+  }
+  engine.advance(cfg.open_cooldown + 0.1);
+  ASSERT_EQ(t.state(kServer), BreakerState::kHalfOpen);
+  // The probe fails: reopen with an escalated cooldown.
+  t.record_failure(kServer, ErrorKind::kServerDown);
+  EXPECT_EQ(t.state(kServer), BreakerState::kOpen);
+  // The first cooldown would have elapsed; the escalated one has not.
+  engine.advance(cfg.open_cooldown + 0.1);
+  EXPECT_EQ(t.state(kServer), BreakerState::kOpen);
+  engine.advance(cfg.open_cooldown * (cfg.cooldown_backoff - 1.0) + 0.1);
+  EXPECT_EQ(t.state(kServer), BreakerState::kHalfOpen);
+}
+
+TEST(HealthTest, SuspicionGrowsWhenHeartbeatsStop) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  // Regular 1 s heartbeats establish the interval.
+  for (int i = 0; i < 10; ++i) {
+    engine.advance(1.0);
+    t.record_success(kServer);
+  }
+  EXPECT_LT(t.suspicion(kServer), 1.0);
+  EXPECT_DOUBLE_EQ(t.penalty_factor(kServer), 1.0);
+  // Silence: suspicion is the gap in heartbeat intervals.
+  engine.advance(5.0);
+  EXPECT_GT(t.suspicion(kServer), 4.0);
+  EXPECT_GT(t.penalty_factor(kServer), 1.0);
+  // Capped by penalty_max.
+  engine.advance(500.0);
+  EXPECT_DOUBLE_EQ(t.penalty_factor(kServer),
+                   t.config().penalty_max);
+}
+
+TEST(HealthTest, PauseFreezesSuspicion) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  for (int i = 0; i < 10; ++i) {
+    engine.advance(1.0);
+    t.record_success(kServer);
+  }
+  t.pause(engine.now());
+  const double before = t.suspicion(kServer);
+  engine.advance(30.0);  // a long operation with polls suppressed
+  EXPECT_DOUBLE_EQ(t.suspicion(kServer), before);
+  t.resume(engine.now());
+  // After resume, the silent window is forgiven: suspicion resumes from
+  // roughly where it was, not from a 30 s gap.
+  EXPECT_LT(t.suspicion(kServer), 2.0);
+}
+
+TEST(HealthTest, OperationSuccessesDoNotCorruptHeartbeatInterval) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  for (int i = 0; i < 10; ++i) {
+    engine.advance(1.0);
+    t.record_success(kServer);
+  }
+  // A burst of op-RPC successes in quick succession (heartbeat = false).
+  for (int i = 0; i < 20; ++i) {
+    engine.advance(0.01);
+    t.record_success(kServer, /*heartbeat=*/false);
+  }
+  // The heartbeat interval estimate is still ~1 s: 2 s of silence is not
+  // yet suspicious.
+  engine.advance(2.0);
+  EXPECT_LT(t.suspicion(kServer), 3.0);
+}
+
+TEST(HealthTest, DisabledTrackerIsInert) {
+  sim::Engine engine;
+  ServerHealthConfig cfg;
+  cfg.enabled = false;
+  auto t = make_tracker(engine, cfg);
+  for (int i = 0; i < 10; ++i) {
+    t.record_failure(kServer, ErrorKind::kServerDown);
+  }
+  EXPECT_EQ(t.state(kServer), BreakerState::kClosed);
+  EXPECT_TRUE(t.allows(kServer));
+  EXPECT_DOUBLE_EQ(t.penalty_factor(kServer), 1.0);
+}
+
+TEST(HealthTest, CopyStateReproducesProbeSchedule) {
+  // Clone determinism: copying the tracker state (including its RNG) means
+  // identical subsequent failure sequences produce identical jittered probe
+  // deadlines.
+  sim::Engine engine_a;
+  sim::Engine engine_b;
+  auto a = make_tracker(engine_a);
+  auto b = make_tracker(engine_b, {}, /*seed=*/999);  // different RNG state
+  // One open/close cycle on `a` advances its RNG.
+  for (int i = 0; i < 3; ++i) a.record_failure(kServer, ErrorKind::kTimeout);
+  engine_a.advance(20.0);
+  ASSERT_EQ(a.state(kServer), BreakerState::kHalfOpen);
+  a.record_success(kServer);
+  engine_b.advance(20.0);
+  b.copy_state_from(a);
+  EXPECT_EQ(b.state(kServer), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(b.failure_rate(kServer), a.failure_rate(kServer));
+  // From the copied state, the same failures yield the same jittered
+  // schedule on both trackers.
+  for (int i = 0; i < 3; ++i) {
+    a.record_failure(kServer, ErrorKind::kTimeout);
+    b.record_failure(kServer, ErrorKind::kTimeout);
+  }
+  ASSERT_EQ(a.state(kServer), BreakerState::kOpen);
+  ASSERT_EQ(b.state(kServer), BreakerState::kOpen);
+  for (double dt : {1.0, 2.0, 3.0, 4.0, 6.0}) {
+    engine_a.advance(dt);
+    engine_b.advance(dt);
+    EXPECT_EQ(a.state(kServer), b.state(kServer)) << "after +" << dt;
+  }
+}
+
+TEST(HealthTest, BatchedFailuresCountIndividually) {
+  sim::Engine engine;
+  auto t = make_tracker(engine);
+  // One exhausted call with three transport failures trips the breaker in
+  // a single report.
+  t.record_failure(kServer, ErrorKind::kUnreachable, /*failures=*/3);
+  EXPECT_EQ(t.state(kServer), BreakerState::kOpen);
+}
+
+TEST(HealthTest, UntrackedServerIsAlwaysHealthy) {
+  sim::Engine engine;
+  ServerHealthTracker t(engine, util::Rng(1), {});
+  EXPECT_FALSE(t.tracks(7));
+  EXPECT_TRUE(t.allows(7));
+  EXPECT_DOUBLE_EQ(t.penalty_factor(7), 1.0);
+  EXPECT_DOUBLE_EQ(t.suspicion(7), 0.0);
+}
+
+}  // namespace
+}  // namespace spectra::core

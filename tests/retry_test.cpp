@@ -4,9 +4,12 @@
 // advance virtual time so scheduled recoveries can fire mid-backoff.
 #include <gtest/gtest.h>
 
+#include "apps/janus.h"
+#include "fault/fault_plan.h"
 #include "hw/machine.h"
 #include "net/network.h"
 #include "rpc/rpc.h"
+#include "scenario/experiment.h"
 #include "sim/engine.h"
 #include "util/assert.h"
 #include "util/units.h"
@@ -235,6 +238,59 @@ TEST(RetryTest, JitterScheduleIsDeterministicAcrossRuns) {
   const Seconds second = run();
   EXPECT_DOUBLE_EQ(first, second);
   EXPECT_GT(first, 0.0);
+}
+
+TEST(RetryTest, JitterStateTravelsWithCopyStateFrom) {
+  // Regression: retry_rng_ is part of the endpoint state copied by
+  // copy_state_from. An endpoint that adopts another's state must draw the
+  // same jitter on its next retried call.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Fixture a;
+  a.net.set_link_up(kClient, kServer, false);
+  CallStats warmup;
+  a.client_ep.call(a.server_ep, "echo", Request{}, &warmup, policy);
+
+  Fixture b;  // fresh endpoint, virgin jitter stream
+  b.net.set_link_up(kClient, kServer, false);
+  b.client_ep.copy_state_from(a.client_ep);
+
+  CallStats sa, sb;
+  a.client_ep.call(a.server_ep, "echo", Request{}, &sa, policy);
+  b.client_ep.call(b.server_ep, "echo", Request{}, &sb, policy);
+  EXPECT_EQ(sa.elapsed, sb.elapsed);  // bit-identical, not just close
+  EXPECT_GT(sa.elapsed, 0.0);
+}
+
+TEST(RetryTest, RetryPathIdenticalAcrossWorldClones) {
+  // World::clone must reproduce the retry jitter stream: two clones of the
+  // same trained world, each arming the same server-crash plan and running
+  // the same operation, burn bit-identical virtual time through the
+  // retry/failover path.
+  namespace sc = spectra::scenario;
+  sc::SpeechExperiment::Config cfg;
+  cfg.seed = 1000;
+  const auto tmpl = sc::SpeechExperiment(cfg).trained_world();
+  const auto run_once = [](sc::World& w) {
+    fault::FaultPlan plan;
+    fault::FaultEvent ev;
+    ev.at = 0.01;
+    ev.kind = fault::FaultKind::kServerCrash;
+    ev.a = sc::kServerT20;
+    ev.duration = 30.0;
+    plan.scheduled.push_back(ev);
+    w.arm_faults(plan);
+    w.spectra().begin_fidelity_op(spectra::apps::JanusApp::kOperation,
+                                  {{"utt_len", 2.0}});
+    w.janus().execute(w.spectra(), 2.0);
+    return w.spectra().end_fidelity_op();
+  };
+  const auto c1 = tmpl->clone(nullptr);
+  const auto c2 = tmpl->clone(nullptr);
+  const auto u1 = run_once(*c1);
+  const auto u2 = run_once(*c2);
+  EXPECT_EQ(u1.elapsed, u2.elapsed);
+  EXPECT_EQ(u1.rpc_failures, u2.rpc_failures);
 }
 
 }  // namespace

@@ -222,5 +222,117 @@ TEST(RpcTest, RequestArgsArriveAtHandler) {
   EXPECT_EQ(tag, "doc1");
 }
 
+// ---- ErrorKind classification: one staged failure per kind --------------
+
+TEST(ErrorKindTest, RetryableCoversExactlyTheTransportKinds) {
+  EXPECT_FALSE(retryable(ErrorKind::kNone));
+  EXPECT_TRUE(retryable(ErrorKind::kUnreachable));
+  EXPECT_TRUE(retryable(ErrorKind::kLinkLost));
+  EXPECT_TRUE(retryable(ErrorKind::kServerDown));
+  EXPECT_TRUE(retryable(ErrorKind::kTimeout));
+  EXPECT_FALSE(retryable(ErrorKind::kApplication));
+}
+
+TEST(ErrorKindTest, ToStringNamesEveryKind) {
+  for (ErrorKind k :
+       {ErrorKind::kNone, ErrorKind::kUnreachable, ErrorKind::kLinkLost,
+        ErrorKind::kServerDown, ErrorKind::kTimeout,
+        ErrorKind::kApplication}) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+}
+
+TEST(ErrorKindTest, SuccessIsKindNone) {
+  Fixture f;
+  f.server_ep.register_handler("ok", [](const Request&) {
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  const Response resp = f.client_ep.call(f.server_ep, "ok", Request{});
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.error_kind, ErrorKind::kNone);
+}
+
+TEST(ErrorKindTest, NoRouteIsUnreachable) {
+  Fixture f;
+  f.server_ep.register_handler("echo", [](const Request&) {
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  f.net.set_link_up(kClient, kServer, false);
+  const Response resp = f.client_ep.call(f.server_ep, "echo", Request{});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_kind, ErrorKind::kUnreachable);
+}
+
+TEST(ErrorKindTest, PartitionMidTransferIsLinkLost) {
+  Fixture f;
+  f.server_ep.register_handler("echo2", [](const Request& req) {
+    Response r;
+    r.ok = true;
+    r.payload = req.payload;
+    return r;
+  });
+  // 250 KB/s link, 250 KB payload: the cut at 0.3 s lands mid-transfer.
+  f.engine.schedule_after(0.3, [&] {
+    f.net.set_link_up(kClient, kServer, false);
+  });
+  Request req;
+  req.payload = 250000.0;
+  const Response resp = f.client_ep.call(f.server_ep, "echo2", req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_kind, ErrorKind::kLinkLost);
+}
+
+TEST(ErrorKindTest, CrashedEndpointIsServerDown) {
+  Fixture f;
+  f.server_ep.register_handler("echo", [](const Request&) {
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  f.server_ep.set_up(false);
+  const Response resp = f.client_ep.call(f.server_ep, "echo", Request{});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_kind, ErrorKind::kServerDown);
+}
+
+TEST(ErrorKindTest, SlowHandlerIsTimeout) {
+  Fixture f;
+  f.server_ep.register_handler("slow", [&f](const Request&) {
+    f.server.run_cycles(933e6 * 3.0);  // ~3 server-seconds of work
+    Response r;
+    r.ok = true;
+    return r;
+  });
+  RetryPolicy policy;
+  policy.timeout = 0.5;
+  const Response resp =
+      f.client_ep.call(f.server_ep, "slow", Request{}, nullptr, policy);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_kind, ErrorKind::kTimeout);
+}
+
+TEST(ErrorKindTest, HandlerFailureIsApplication) {
+  Fixture f;
+  f.server_ep.register_handler("bad", [](const Request&) {
+    Response r;
+    r.ok = false;
+    r.error = "malformed input";
+    return r;
+  });
+  CallStats stats;
+  RetryPolicy policy;
+  policy.max_attempts = 4;  // retries allowed, but application errors final
+  const Response resp =
+      f.client_ep.call(f.server_ep, "bad", Request{}, &stats, policy);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_kind, ErrorKind::kApplication);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.transport_failures, 0);
+}
+
 }  // namespace
 }  // namespace spectra::rpc
