@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     std::cout << "server " << id << ": cpu=" << sa.cpu_hz / 1e6
               << "MHz bw=" << sa.bandwidth / 1024
               << "KB/s lat=" << sa.latency
-              << " cached=" << sa.cached_files.size()
+              << " cached=" << sa.cached_files->size()
               << " fetch=" << sa.fetch_rate / 1024 << "KB/s\n";
   }
 

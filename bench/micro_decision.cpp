@@ -1,0 +1,288 @@
+// micro_decision: decision hot-path microbenchmark.
+//
+// Measures the real wall-clock cost of begin_fidelity_op — the snapshot →
+// demand prediction → solver search → utility evaluation pipeline — on
+// three trained worlds of increasing decision-space size:
+//
+//   * nullop_1srv — the fig10 overhead testbed with one candidate server
+//     (2 plans x 2 fidelity levels); this is the number scripts/check.sh's
+//     perf smoke guards against regression.
+//   * speech     — the trained Janus world (6 alternatives, 1 server).
+//   * pangloss   — the trained Pangloss world (~97 alternatives, 2
+//     servers), the space that dominates the fig08/fig09 benches.
+//
+// Per scenario: decisions/sec, p50/p95/mean decision latency, and the
+// per-stage breakdown the client reports (file-cache prediction, choosing
+// the alternative, remaining snapshot/bookkeeping time). Means are
+// best-of-`reps` to shed scheduler noise, which only ever adds time;
+// latency percentiles come from the best rep's samples.
+//
+// Usage: micro_decision [--json=FILE] [--decisions=N] [--reps=N]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "apps/janus.h"
+#include "apps/pangloss.h"
+#include "scenario/experiment.h"
+#include "scenario/world.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace spectra;            // NOLINT
+using namespace spectra::scenario;  // NOLINT
+
+namespace {
+
+double wall_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One measured decision cycle: time begin_fidelity_op, then run the
+// operation and close it so the world stays in a valid steady state.
+struct DecisionSample {
+  double begin_ms = 0.0;
+  double cache_ms = 0.0;
+  double choose_ms = 0.0;
+  std::size_t evaluations = 0;
+  std::size_t memo_hits = 0;
+  std::size_t candidate_servers = 0;
+};
+
+struct RepResult {
+  std::vector<double> latencies_ms;  // one per decision
+  double mean_ms = 0.0;
+  double cache_ms = 0.0;   // mean per decision
+  double choose_ms = 0.0;  // mean per decision
+  double other_ms = 0.0;
+  double evaluations = 0.0;  // mean per decision
+  double memo_hits = 0.0;
+  std::size_t candidate_servers = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t decisions = 0;
+  RepResult best;  // rep with the smallest mean latency
+  double decisions_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+template <typename DecideFn>
+ScenarioResult run_scenario(const std::string& name, int decisions, int reps,
+                            DecideFn&& decide) {
+  ScenarioResult out;
+  out.name = name;
+  out.decisions = static_cast<std::size_t>(decisions);
+  // Warm-up: fault in lazily-built state (allocator arenas, model bins).
+  for (int i = 0; i < 8; ++i) decide();
+  for (int rep = 0; rep < reps; ++rep) {
+    RepResult r;
+    r.latencies_ms.reserve(decisions);
+    double cache = 0, choose = 0, evals = 0, hits = 0;
+    for (int i = 0; i < decisions; ++i) {
+      const DecisionSample s = decide();
+      r.latencies_ms.push_back(s.begin_ms);
+      cache += s.cache_ms;
+      choose += s.choose_ms;
+      evals += static_cast<double>(s.evaluations);
+      hits += static_cast<double>(s.memo_hits);
+      r.candidate_servers = s.candidate_servers;
+    }
+    const double n = static_cast<double>(decisions);
+    r.mean_ms = std::accumulate(r.latencies_ms.begin(), r.latencies_ms.end(),
+                                0.0) /
+                n;
+    r.cache_ms = cache / n;
+    r.choose_ms = choose / n;
+    r.other_ms = r.mean_ms - r.cache_ms - r.choose_ms;
+    r.evaluations = evals / n;
+    r.memo_hits = hits / n;
+    if (rep == 0 || r.mean_ms < out.best.mean_ms) out.best = std::move(r);
+  }
+  out.decisions_per_sec =
+      out.best.mean_ms > 0.0 ? 1000.0 / out.best.mean_ms : 0.0;
+  out.p50_ms = util::percentile_value(out.best.latencies_ms, 50.0);
+  out.p95_ms = util::percentile_value(out.best.latencies_ms, 95.0);
+  return out;
+}
+
+// ---------------------------------------------------------------- nullop
+
+constexpr const char* kNullOp = "null.op";
+
+void install_null_service(core::SpectraServer& server) {
+  server.register_service(kNullOp, [](const rpc::Request&) {
+    rpc::Response r;
+    r.ok = true;
+    r.payload = 64.0;
+    return r;
+  });
+}
+
+std::unique_ptr<World> nullop_world(std::size_t servers) {
+  WorldConfig wc;
+  wc.testbed = Testbed::kOverhead;
+  wc.seed = 1;
+  wc.overhead_servers = servers;
+  auto world = std::make_unique<World>(wc);
+  for (MachineId id : world->server_ids()) {
+    install_null_service(world->server(id));
+  }
+  install_null_service(world->spectra().local_server());
+  core::OperationDesc desc;
+  desc.name = kNullOp;
+  desc.plans = {{"local", false}, {"remote", true}};
+  desc.fidelities = {{"level", {0.0, 1.0}}};
+  desc.latency_fn = solver::inverse_latency();
+  desc.fidelity_fn = [](const std::map<std::string, double>&) { return 1.0; };
+  world->spectra().register_fidelity(std::move(desc));
+  world->settle(6.0);
+  // Train past the exploration phase so measured decisions run the full
+  // model + solver path.
+  for (int i = 0; i < 16; ++i) {
+    solver::Alternative local;
+    local.plan = 0;
+    local.fidelity["level"] = 1.0;
+    world->spectra().begin_fidelity_op_forced(kNullOp, {}, "", local);
+    rpc::Request req;
+    req.op_type = kNullOp;
+    req.payload = 64.0;
+    world->spectra().do_local_op(kNullOp, req);
+    world->spectra().end_fidelity_op();
+  }
+  return world;
+}
+
+DecisionSample sample_from(const core::OperationChoice& choice, double t0,
+                           double t1) {
+  DecisionSample s;
+  s.begin_ms = t1 - t0;
+  s.cache_ms = choice.wall_cache_prediction * 1000.0;
+  s.choose_ms = choice.wall_choosing * 1000.0;
+  s.evaluations = choice.evaluations;
+  s.memo_hits = choice.memo_hits;
+  s.candidate_servers = choice.candidate_servers;
+  return s;
+}
+
+// ----------------------------------------------------------------- main
+
+std::string json_scenario(const ScenarioResult& r) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "    {\"name\": \"" << r.name << "\", "
+     << "\"decisions\": " << r.decisions << ", "
+     << "\"decisions_per_sec\": " << r.decisions_per_sec << ", "
+     << "\"mean_ms\": " << r.best.mean_ms << ", "
+     << "\"p50_ms\": " << r.p50_ms << ", "
+     << "\"p95_ms\": " << r.p95_ms << ", "
+     << "\"stages_ms\": {\"cache_prediction\": " << r.best.cache_ms
+     << ", \"choosing\": " << r.best.choose_ms
+     << ", \"snapshot_other\": " << r.best.other_ms << "}, "
+     << "\"solver\": {\"evaluations\": " << r.best.evaluations
+     << ", \"memo_hits\": " << r.best.memo_hits
+     << ", \"candidate_servers\": " << r.best.candidate_servers << "}}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int decisions = 300;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg.rfind("--decisions=", 0) == 0)
+      decisions = std::atoi(arg.c_str() + 12);
+    if (arg.rfind("--reps=", 0) == 0) reps = std::atoi(arg.c_str() + 7);
+  }
+  std::vector<ScenarioResult> results;
+
+  {
+    auto world = nullop_world(1);
+    results.push_back(run_scenario("nullop_1srv", decisions, reps, [&] {
+      const double t0 = wall_ms();
+      const auto choice = world->spectra().begin_fidelity_op(kNullOp, {});
+      const double t1 = wall_ms();
+      rpc::Request req;
+      req.op_type = kNullOp;
+      req.payload = 64.0;
+      world->spectra().do_local_op(kNullOp, req);
+      world->spectra().end_fidelity_op();
+      return sample_from(choice, t0, t1);
+    }));
+  }
+
+  {
+    SpeechExperiment::Config cfg;
+    cfg.seed = 1;
+    SpeechExperiment exp(cfg);
+    auto world = exp.trained_world();
+    results.push_back(run_scenario("speech", decisions, reps, [&] {
+      const double t0 = wall_ms();
+      const auto choice = world->spectra().begin_fidelity_op(
+          apps::JanusApp::kOperation, {{"utt_len", 2.0}});
+      const double t1 = wall_ms();
+      world->janus().execute(world->spectra(), 2.0);
+      world->spectra().end_fidelity_op();
+      return sample_from(choice, t0, t1);
+    }));
+  }
+
+  {
+    PanglossExperiment::Config cfg;
+    cfg.seed = 1;
+    PanglossExperiment exp(cfg);
+    auto world = exp.trained_world();
+    results.push_back(run_scenario("pangloss", decisions, reps, [&] {
+      const double t0 = wall_ms();
+      const auto choice = world->spectra().begin_fidelity_op(
+          apps::PanglossApp::kOperation, {{"words", 12.0}});
+      const double t1 = wall_ms();
+      world->pangloss().execute(world->spectra(), 12);
+      world->spectra().end_fidelity_op();
+      return sample_from(choice, t0, t1);
+    }));
+  }
+
+  util::Table table("micro_decision: begin_fidelity_op hot path (wall-clock)");
+  table.set_header({"scenario", "decisions/s", "mean ms", "p50 ms", "p95 ms",
+                    "cache ms", "choose ms", "other ms", "evals", "memo"});
+  for (const auto& r : results) {
+    table.add_row({r.name, util::Table::num(r.decisions_per_sec, 0),
+                   util::Table::num(r.best.mean_ms, 4),
+                   util::Table::num(r.p50_ms, 4),
+                   util::Table::num(r.p95_ms, 4),
+                   util::Table::num(r.best.cache_ms, 4),
+                   util::Table::num(r.best.choose_ms, 4),
+                   util::Table::num(r.best.other_ms, 4),
+                   util::Table::num(r.best.evaluations, 1),
+                   util::Table::num(r.best.memo_hits, 1)});
+  }
+  std::cout << table.to_string();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n  \"harness\": \"bench/micro_decision\",\n"
+        << "  \"decisions\": " << decisions << ",\n  \"reps\": " << reps
+        << ",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out << json_scenario(results[i]) << (i + 1 < results.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -82,6 +82,33 @@ $rows
 EOF
 echo "wrote $OUT"
 
+# Decision hot-path numbers: the micro_decision bench times begin/end
+# fidelity-op round trips (no simulated execution between them) across three
+# scenarios and reports decisions/sec, latency percentiles, and the
+# per-stage wall breakdown. The result is joined against the pre-overhaul
+# numbers recorded in scripts/perf_baseline.json to get a speedup per
+# scenario, and written to BENCH_decision.json.
+DECISION_OUT="BENCH_decision.json"
+"$BUILD/bench/micro_decision" --json="$TMP/decision.json" > "$TMP/decision.txt"
+cat "$TMP/decision.txt"
+python3 - "$TMP/decision.json" "$DECISION_OUT" <<'PYEOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open('scripts/perf_baseline.json'))
+seed = {s['name']: s for s in base['seed_scenarios']}
+for s in cur['scenarios']:
+    ref = seed.get(s['name'])
+    if ref:
+        s['seed_decisions_per_sec'] = ref['decisions_per_sec']
+        s['speedup'] = round(s['decisions_per_sec'] / ref['decisions_per_sec'], 2)
+cur['harness'] = 'scripts/bench.sh'
+cur['baseline'] = 'scripts/perf_baseline.json (seed_scenarios)'
+json.dump(cur, open(sys.argv[2], 'w'), indent=2)
+print('wrote', sys.argv[2], '--',
+      ', '.join(f"{s['name']} {s['speedup']}x" for s in cur['scenarios']
+                if 'speedup' in s))
+PYEOF
+
 # Resilience numbers: a seeded chaos soak across all three applications
 # (invariant violations or replay divergence fail the run) and the
 # mid-operation recovery bench (ladder vs health-aware failover).

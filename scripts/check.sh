@@ -55,4 +55,27 @@ echo "== chaos soak =="
 # invariant violation or replay divergence.
 "$BUILD/src/cli/spectra" chaos --app=all --plans=9 --jobs="$(nproc)" >/dev/null
 
+echo "== perf smoke: decision hot path =="
+# Decision-overhead regression gate (the paper's fig10 measurement): the
+# micro_decision bench must not fall more than 10% below the throughput
+# floors recorded in scripts/perf_baseline.json. Floors are conservative
+# (minimum observed across runs), so a trip means a real hot-path
+# regression, not scheduler noise.
+"$BUILD/bench/micro_decision" --json="$BUILD/decision_smoke.json" >/dev/null
+python3 - "$BUILD/decision_smoke.json" <<'PYEOF'
+import json, sys
+cur = {s['name']: s for s in json.load(open(sys.argv[1]))['scenarios']}
+base = json.load(open('scripts/perf_baseline.json'))
+failed = False
+for floor in base['floor_scenarios']:
+    name = floor['name']
+    got = cur[name]['decisions_per_sec']
+    limit = floor['decisions_per_sec'] * 0.9
+    status = 'ok' if got >= limit else 'REGRESSION'
+    if got < limit:
+        failed = True
+    print(f"  {name}: {got:.0f} decisions/s (floor*0.9 = {limit:.0f}) {status}")
+sys.exit(1 if failed else 0)
+PYEOF
+
 echo "OK"

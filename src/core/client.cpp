@@ -190,10 +190,15 @@ predict::FeatureVector SpectraClient::make_features(
   if (desc.feature_fn != nullptr) {
     return desc.feature_fn(alt, params, data_tag);
   }
+  // Interned once per process; candidate evaluation re-enters this per
+  // alternative, so the names must not round-trip through the interner's
+  // hash table every time.
+  static const util::Symbol kPlan("plan");
+  static const util::Symbol kServer("server");
   predict::FeatureVector f;
-  f.discrete["plan"] = static_cast<double>(alt.plan);
-  if (alt.server >= 0) f.discrete["server"] = static_cast<double>(alt.server);
-  for (const auto& [k, v] : alt.fidelity) f.discrete[k] = v;
+  f.discrete[kPlan] = static_cast<double>(alt.plan);
+  if (alt.server >= 0) f.discrete[kServer] = static_cast<double>(alt.server);
+  for (const auto& [k, v] : alt.fidelity) f.discrete[util::Symbol(k)] = v;
   f.continuous = params;
   f.data_tag = data_tag;
   return f;
@@ -284,10 +289,17 @@ OperationChoice SpectraClient::choose(
 
   solver::UserMetrics best_metrics;
   solver::TimeBreakdown best_breakdown;
+  demand_cache_.clear();
+  const auto cached_demand =
+      [&](const predict::FeatureVector& f) -> const predict::DemandEstimate& {
+    auto [it, miss] = demand_cache_.try_emplace(f);
+    if (miss) it->second = op.model.predict(f);
+    return it->second;
+  };
   const auto eval = [&](const solver::Alternative& alt) {
     const predict::FeatureVector f =
         make_features(op.desc, alt, params, data_tag);
-    const predict::DemandEstimate demand = op.model.predict(f);
+    const predict::DemandEstimate& demand = cached_demand(f);
     solver::TimeBreakdown tb;
     auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
     // Health feedback into the placement decision: a suspected or failing
@@ -342,10 +354,11 @@ OperationChoice SpectraClient::choose(
     choice.log_utility = result.log_utility;
     choice.evaluations = result.evaluations;
     choice.memo_hits = result.memo_hits;
-    // Recompute the winner's metrics for reporting.
+    // Recompute the winner's metrics for reporting (the demand comes from
+    // the per-solve cache — the solver already priced this alternative).
     const predict::FeatureVector f =
         make_features(op.desc, result.best, params, data_tag);
-    const predict::DemandEstimate demand = op.model.predict(f);
+    const predict::DemandEstimate& demand = cached_demand(f);
     const auto metrics =
         estimator_.estimate(inputs, space, result.best, demand,
                             &best_breakdown);
@@ -633,12 +646,17 @@ std::vector<MachineId> SpectraClient::rank_failover_candidates(
   solver::AlternativeSpace space{op.desc.plans, survivors,
                                  op.desc.fidelities};
   std::vector<std::pair<double, MachineId>> scored;
+  // Fresh per-solve demand cache: the model may have trained since the
+  // original decision, so stale entries must not leak in.
+  demand_cache_.clear();
   for (MachineId sid : survivors) {
     solver::Alternative alt = active_->choice.alternative;
     alt.server = sid;
     const predict::FeatureVector f =
         make_features(op.desc, alt, active_->params, active_->data_tag);
-    const predict::DemandEstimate demand = op.model.predict(f);
+    auto [demand_it, demand_miss] = demand_cache_.try_emplace(f);
+    if (demand_miss) demand_it->second = op.model.predict(f);
+    const predict::DemandEstimate& demand = demand_it->second;
     solver::TimeBreakdown tb;
     auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
     double lu = solver::kInfeasible;

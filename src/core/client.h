@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/consistency.h"
@@ -354,6 +355,13 @@ class SpectraClient {
   ConsistencyManager consistency_;
   solver::ExecutionEstimator estimator_;
   solver::HeuristicSolver solver_;
+  // Per-solve demand cache: one model prediction per distinct feature
+  // vector within a single decision (the winner's recompute and any
+  // repeated candidate evaluations hit it). Cleared at the start of every
+  // solve; a member so its buckets are reused across decisions.
+  std::unordered_map<predict::FeatureVector, predict::DemandEstimate,
+                     predict::FeatureVectorHash>
+      demand_cache_;
 
   std::map<std::string, RegisteredOp> ops_;
   std::optional<ActiveOp> active_;

@@ -1,30 +1,39 @@
 #include "core/consistency.h"
 
 #include <set>
+#include <unordered_set>
 
 namespace spectra::core {
 
 std::vector<solver::DirtyFileInfo> ConsistencyManager::dirty_files() const {
   std::vector<solver::DirtyFileInfo> out;
   for (const auto& info : coda_.dirty_files()) {
-    out.push_back(solver::DirtyFileInfo{info.path, info.size, info.volume});
+    out.push_back(solver::DirtyFileInfo{util::Symbol(info.path), info.size,
+                                        util::Symbol(info.volume)});
   }
   return out;
 }
 
 util::Seconds ConsistencyManager::ensure_consistency(
     const std::vector<predict::FilePrediction>& files) {
-  std::set<std::string> volumes_to_push;
+  // Threshold once, probe per dirty file (same join as the estimator's
+  // consistency term — see solver/estimator.cpp).
+  std::unordered_set<util::Symbol> predicted;
+  predicted.reserve(files.size());
+  for (const auto& fp : files) {
+    if (fp.likelihood >= threshold_) predicted.insert(fp.path);
+  }
+  // Name order: reintegration order feeds virtual time, and symbol ids vary
+  // run to run. Symbol's operator< compares views, so a std::set of Symbols
+  // iterates volumes lexicographically, as the std::set<std::string> did.
+  std::set<util::Symbol> volumes_to_push;
   for (const auto& df : dirty_files()) {
-    for (const auto& fp : files) {
-      if (fp.path == df.path && fp.likelihood >= threshold_) {
-        volumes_to_push.insert(df.volume);
-        break;
-      }
-    }
+    if (predicted.count(df.path) > 0) volumes_to_push.insert(df.volume);
   }
   util::Seconds total = 0.0;
-  for (const auto& v : volumes_to_push) total += coda_.reintegrate_volume(v);
+  for (const auto& v : volumes_to_push) {
+    total += coda_.reintegrate_volume(v.str());
+  }
   return total;
 }
 

@@ -33,9 +33,11 @@ monitor::ServerStatusReport SpectraServer::status() {
   report.run_queue = queue_est_.value();
   report.cpu_hz = machine_.spec().cpu_hz;
   if (coda_ != nullptr) {
+    auto view = std::make_shared<monitor::CachedFileView>();
     for (const auto& info : coda_->dump_cache_state()) {
-      report.cached_files.emplace(info.path, info.size);
+      view->emplace(util::Symbol(info.path), info.size);
     }
+    report.cached_files = std::move(view);
     report.fetch_rate = coda_->estimated_fetch_rate();
   }
   return report;

@@ -16,15 +16,17 @@ void FileCacheMonitor::predict_avail(ResourceSnapshot& snapshot) {
       }
       if (delta.full_resync) mirror_->clear();
       for (const auto& info : delta.added_or_updated) {
-        (*mirror_)[info.path] = info.size;
+        (*mirror_)[util::Symbol(info.path)] = info.size;
       }
-      for (const auto& path : delta.removed) mirror_->erase(path);
+      for (const auto& path : delta.removed) {
+        mirror_->erase(util::Symbol(path));
+      }
     }
     snapshot.local_cached_files = mirror_;  // O(1) share
   } else {
     auto view = std::make_shared<CachedFileView>();
     for (const auto& info : coda_.dump_cache_state()) {
-      view->emplace(info.path, info.size);
+      view->emplace(util::Symbol(info.path), info.size);
     }
     snapshot.local_cached_files = std::move(view);
   }

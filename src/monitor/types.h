@@ -12,10 +12,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fs/coda.h"
 #include "hw/machine.h"
+#include "util/interner.h"
 #include "util/units.h"
 
 namespace spectra::monitor {
@@ -28,25 +30,36 @@ using util::Hertz;
 using util::Joules;
 using util::Seconds;
 
+// Immutable view of a machine's cached files (interned path -> size).
+// Snapshots share these by pointer: the file-cache monitor maintains the
+// view copy-on-write and remote proxies share the view from the last status
+// report, so taking a snapshot costs O(1) regardless of cache size (the
+// point of the incremental cache interface, see fs::CodaClient). Keys are
+// interned symbols so the estimator's membership probes are integer-hash
+// lookups with no string compares.
+using CachedFileView = std::unordered_map<util::Symbol, Bytes>;
+
+inline const CachedFileView& empty_cached_file_view() {
+  static const CachedFileView empty;
+  return empty;
+}
+
 // Availability of one candidate remote server, as predicted by the remote
 // proxy monitors (from polled status) and the network monitor (from passive
 // observation).
 struct ServerAvailability {
   MachineId id = -1;
   bool reachable = false;
-  Hertz cpu_hz = 0.0;                        // cycles/sec an op would receive
-  BytesPerSec bandwidth = 0.0;               // estimated, to this server
-  Seconds latency = 0.0;                     // estimated one-way latency
-  std::map<std::string, Bytes> cached_files; // server's file cache contents
-  BytesPerSec fetch_rate = 0.0;              // server's Coda fetch rate
-  Seconds status_age = 0.0;                  // how stale the polled status is
+  Hertz cpu_hz = 0.0;           // cycles/sec an op would receive
+  BytesPerSec bandwidth = 0.0;  // estimated, to this server
+  Seconds latency = 0.0;        // estimated one-way latency
+  // Server's file cache contents, shared from its last status report
+  // (never null after the proxy fills the entry in).
+  std::shared_ptr<const CachedFileView> cached_files =
+      std::make_shared<CachedFileView>();
+  BytesPerSec fetch_rate = 0.0;  // server's Coda fetch rate
+  Seconds status_age = 0.0;      // how stale the polled status is
 };
-
-// Immutable view of a machine's cached files (path -> size). Snapshots
-// share these by pointer: the file-cache monitor maintains the view
-// copy-on-write, so taking a snapshot costs O(1) regardless of cache size
-// (the point of the incremental cache interface, see fs::CodaClient).
-using CachedFileView = std::map<std::string, Bytes>;
 
 struct ResourceSnapshot {
   Seconds taken_at = 0.0;
@@ -99,12 +112,16 @@ struct ServerStatusReport {
   Seconds generated_at = 0.0;
   double run_queue = 0.0;   // smoothed competing-process count
   Hertz cpu_hz = 0.0;       // nominal processor speed
-  std::map<std::string, Bytes> cached_files;
+  // Built once by the server per poll and shared by reference through the
+  // proxy into every subsequent snapshot (never null).
+  std::shared_ptr<const CachedFileView> cached_files =
+      std::make_shared<CachedFileView>();
   BytesPerSec fetch_rate = 0.0;
 
   // Wire size of the serialized report (the cache list dominates).
   Bytes wire_size() const {
-    return 128.0 + 48.0 * static_cast<double>(cached_files.size());
+    const std::size_t n = cached_files ? cached_files->size() : 0;
+    return 128.0 + 48.0 * static_cast<double>(n);
   }
 };
 

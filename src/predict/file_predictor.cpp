@@ -1,44 +1,72 @@
 #include "predict/file_predictor.h"
 
+#include <algorithm>
+
 namespace spectra::predict {
 
 FileAccessPredictor::FileAccessPredictor(FilePredictorConfig config)
     : config_(config), per_data_(config.data_lru_capacity) {}
 
 void FileAccessPredictor::update_bin(
-    Bin& bin, const FeatureVector& /*f*/,
-    const std::map<std::string, util::Bytes>& accessed) {
+    Bin& bin,
+    const std::vector<std::pair<util::Symbol, util::Bytes>>& accessed) {
   // Every file the bin knows about gets a 1/0 sample; files seen for the
-  // first time join the universe with their first sample.
-  for (auto& [path, stat] : bin.files) {
-    auto it = accessed.find(path);
-    if (it != accessed.end()) {
-      stat.likelihood.add(1.0);
-      stat.last_size = it->second;
+  // first time join the universe with their first sample. Both sides are
+  // sorted by path name, so this is one merge pass.
+  std::vector<FileEntry> merged;
+  merged.reserve(bin.files.size() + accessed.size());
+  std::size_t i = 0, j = 0;
+  while (i < bin.files.size() || j < accessed.size()) {
+    if (j >= accessed.size() ||
+        (i < bin.files.size() &&
+         bin.files[i].path.view() < accessed[j].first.view())) {
+      bin.files[i].stat.likelihood.add(0.0);
+      merged.push_back(std::move(bin.files[i]));
+      ++i;
+    } else if (i >= bin.files.size() ||
+               accessed[j].first.view() < bin.files[i].path.view()) {
+      FileEntry e{accessed[j].first, FileStat(config_.decay)};
+      e.stat.likelihood.add(1.0);
+      e.stat.last_size = accessed[j].second;
+      merged.push_back(std::move(e));
+      ++j;
     } else {
-      stat.likelihood.add(0.0);
+      bin.files[i].stat.likelihood.add(1.0);
+      bin.files[i].stat.last_size = accessed[j].second;
+      merged.push_back(std::move(bin.files[i]));
+      ++i;
+      ++j;
     }
   }
-  for (const auto& [path, size] : accessed) {
-    if (bin.files.count(path) > 0) continue;
-    auto [it, inserted] = bin.files.emplace(path, FileStat(config_.decay));
-    (void)inserted;
-    it->second.likelihood.add(1.0);
-    it->second.last_size = size;
-  }
+  bin.files = std::move(merged);
   bin.updates += 1.0;
 }
 
 void FileAccessPredictor::add(const FeatureVector& f,
                               const std::vector<fs::Access>& accesses) {
-  std::map<std::string, util::Bytes> accessed;
+  // Dedup to max size per path, sorted by path name (the merge order).
+  std::vector<std::pair<util::Symbol, util::Bytes>> accessed;
+  accessed.reserve(accesses.size());
   for (const auto& a : accesses) {
-    auto [it, inserted] = accessed.emplace(a.path, a.size);
-    if (!inserted) it->second = std::max(it->second, a.size);
+    accessed.emplace_back(util::Symbol(a.path), a.size);
   }
+  std::sort(accessed.begin(), accessed.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.view() < b.first.view();
+            });
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < accessed.size(); ++k) {
+    if (n > 0 && accessed[n - 1].first == accessed[k].first) {
+      accessed[n - 1].second =
+          std::max(accessed[n - 1].second, accessed[k].second);
+    } else {
+      accessed[n++] = accessed[k];
+    }
+  }
+  accessed.resize(n);
   auto touch = [&](BinSet& set) {
-    update_bin(set.bins[f.bin_key()], f, accessed);
-    update_bin(set.generic, f, accessed);
+    update_bin(set.bins[f.discrete], accessed);
+    update_bin(set.generic, accessed);
   };
   touch(global_);
   if (!f.data_tag.empty()) {
@@ -49,7 +77,7 @@ void FileAccessPredictor::add(const FeatureVector& f,
 const FileAccessPredictor::Bin* FileAccessPredictor::lookup(
     const FeatureVector& f) const {
   auto pick = [&](const BinSet& set) -> const Bin* {
-    auto it = set.bins.find(f.bin_key());
+    auto it = set.bins.find(f.discrete);
     if (it != set.bins.end() && it->second.updates >= config_.min_bin_updates) {
       return &it->second;
     }
@@ -66,11 +94,11 @@ const FileAccessPredictor::Bin* FileAccessPredictor::lookup(
 
 std::vector<FilePrediction> FileAccessPredictor::render(const Bin& bin) const {
   std::vector<FilePrediction> out;
-  for (const auto& [path, stat] : bin.files) {
-    const double p =
-        stat.likelihood.empty() ? 0.0 : stat.likelihood.value();
+  out.reserve(bin.files.size());
+  for (const auto& e : bin.files) {  // path order: deterministic
+    const double p = e.stat.likelihood.empty() ? 0.0 : e.stat.likelihood.value();
     if (p < config_.min_likelihood) continue;
-    out.push_back(FilePrediction{path, stat.last_size, p});
+    out.push_back(FilePrediction{e.path, e.stat.last_size, p});
   }
   return out;
 }
@@ -83,12 +111,15 @@ std::vector<FilePrediction> FileAccessPredictor::predict(
 }
 
 double FileAccessPredictor::likelihood(const FeatureVector& f,
-                                       const std::string& path) const {
+                                       util::Symbol path) const {
   const Bin* bin = lookup(f);
   if (bin == nullptr) return 0.0;
-  auto it = bin->files.find(path);
-  if (it == bin->files.end() || it->second.likelihood.empty()) return 0.0;
-  return it->second.likelihood.value();
+  for (const auto& e : bin->files) {
+    if (e.path == path) {
+      return e.stat.likelihood.empty() ? 0.0 : e.stat.likelihood.value();
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace spectra::predict

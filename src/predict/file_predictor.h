@@ -13,6 +13,11 @@
 // Spectra uses the resulting ⟨file, size, likelihood⟩ list to estimate
 // cache-miss cost (expected bytes to fetch / fetch rate) and to decide
 // which dirty volumes must be reintegrated before remote execution.
+//
+// Paths are interned symbols and each bin's file table is a flat vector
+// kept in path order, so training updates are a single sorted merge and
+// render order (which feeds floating-point sums downstream) is the same
+// path-lexicographic order as the std::map representation it replaced.
 #pragma once
 
 #include <map>
@@ -22,13 +27,14 @@
 #include "fs/coda.h"
 #include "predict/features.h"
 #include "predict/lru.h"
+#include "util/interner.h"
 #include "util/stats.h"
 #include "util/units.h"
 
 namespace spectra::predict {
 
 struct FilePrediction {
-  std::string path;
+  util::Symbol path;
   util::Bytes size = 0.0;
   double likelihood = 0.0;
 };
@@ -52,7 +58,7 @@ class FileAccessPredictor {
   std::vector<FilePrediction> predict(const FeatureVector& f) const;
 
   // Likelihood for one specific file (0 when unknown).
-  double likelihood(const FeatureVector& f, const std::string& path) const;
+  double likelihood(const FeatureVector& f, util::Symbol path) const;
 
  private:
   struct FileStat {
@@ -60,17 +66,22 @@ class FileAccessPredictor {
     util::DecayingMean likelihood;
     util::Bytes last_size = 0.0;
   };
+  struct FileEntry {
+    util::Symbol path;
+    FileStat stat;
+  };
   struct Bin {
-    std::map<std::string, FileStat> files;
+    std::vector<FileEntry> files;  // sorted by path name
     double updates = 0.0;
   };
   struct BinSet {
-    std::map<std::string, Bin> bins;
+    std::unordered_map<FeatureMap, Bin, FeatureMapHash> bins;
     Bin generic;
   };
 
-  void update_bin(Bin& bin, const FeatureVector& f,
-                  const std::map<std::string, util::Bytes>& accessed);
+  void update_bin(Bin& bin,
+                  const std::vector<std::pair<util::Symbol, util::Bytes>>&
+                      accessed);
   const Bin* lookup(const FeatureVector& f) const;
   std::vector<FilePrediction> render(const Bin& bin) const;
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 
 #include "util/assert.h"
 
@@ -12,21 +11,19 @@ RecencyLinear::RecencyLinear(double decay) : decay_(decay) {
   SPECTRA_REQUIRE(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
 }
 
-std::vector<double> RecencyLinear::to_x(
-    const std::map<std::string, double>& continuous) const {
-  std::vector<double> x(names_.size() + 1, 0.0);
+void RecencyLinear::to_x(const FeatureMap& continuous,
+                         std::vector<double>& x) const {
+  x.assign(names_.size() + 1, 0.0);
   x[0] = 1.0;
   for (std::size_t i = 0; i < names_.size(); ++i) {
-    auto it = continuous.find(names_[i]);
     // A missing feature contributes zero; this lets callers predict with a
     // subset of the features seen in training.
-    x[i + 1] = it != continuous.end() ? it->second : 0.0;
+    const double* v = continuous.find(names_[i]);
+    x[i + 1] = v != nullptr ? *v : 0.0;
   }
-  return x;
 }
 
-void RecencyLinear::add(const std::map<std::string, double>& continuous,
-                        double y) {
+void RecencyLinear::add(const FeatureMap& continuous, double y) {
   if (xtx_.empty()) {
     xtx_.assign(1, std::vector<double>(1, 0.0));
     xty_.assign(1, 0.0);
@@ -34,16 +31,18 @@ void RecencyLinear::add(const std::map<std::string, double>& continuous,
   // Samples may carry different feature subsets (a missing feature means
   // zero); grow the sufficient statistics when a new feature appears —
   // zero-padding is exact because every earlier sample had value 0 for it.
-  for (const auto& [k, v] : continuous) {
-    (void)v;
-    if (std::find(names_.begin(), names_.end(), k) == names_.end()) {
-      names_.push_back(k);
+  // Iteration is in name order, so names_ keeps the same first-seen order
+  // as with the old std::map representation.
+  for (const auto& e : continuous) {
+    if (std::find(names_.begin(), names_.end(), e.name) == names_.end()) {
+      names_.push_back(e.name);
       for (auto& row : xtx_) row.push_back(0.0);
       xtx_.push_back(std::vector<double>(names_.size() + 1, 0.0));
       xty_.push_back(0.0);
     }
   }
-  const std::vector<double> x = to_x(continuous);
+  std::vector<double> x;
+  to_x(continuous, x);
   const std::size_t d = x.size();
   for (std::size_t i = 0; i < d; ++i) {
     for (std::size_t j = 0; j < d; ++j) {
@@ -54,6 +53,7 @@ void RecencyLinear::add(const std::map<std::string, double>& continuous,
   weight_ = decay_ * weight_ + 1.0;
   ++samples_;
   mean_num_ = decay_ * mean_num_ + y;
+  solve_cache_ = SolveCache::kStale;
 }
 
 bool RecencyLinear::solve(std::vector<double>& beta) const {
@@ -92,14 +92,22 @@ bool RecencyLinear::solve(std::vector<double>& beta) const {
   return true;
 }
 
-double RecencyLinear::predict(
-    const std::map<std::string, double>& continuous) const {
+bool RecencyLinear::solved_beta(const std::vector<double>** beta) const {
+  if (solve_cache_ == SolveCache::kStale) {
+    solve_cache_ = solve(beta_) ? SolveCache::kSolved : SolveCache::kFailed;
+  }
+  *beta = &beta_;
+  return solve_cache_ == SolveCache::kSolved;
+}
+
+double RecencyLinear::predict(const FeatureMap& continuous) const {
   SPECTRA_REQUIRE(!empty(), "predict on an untrained model");
-  std::vector<double> beta;
-  if (!names_.empty() && solve(beta)) {
-    const std::vector<double> x = to_x(continuous);
+  const std::vector<double>* beta = nullptr;
+  if (!names_.empty() && solved_beta(&beta)) {
+    std::vector<double> x;
+    to_x(continuous, x);
     double y = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) y += beta[i] * x[i];
+    for (std::size_t i = 0; i < x.size(); ++i) y += (*beta)[i] * x[i];
     if (std::isfinite(y)) return std::max(0.0, y);
   }
   return std::max(0.0, mean_num_ / weight_);

@@ -7,11 +7,10 @@
 // which is exactly the paper's behaviour for parameter-free operations.
 #pragma once
 
-#include <map>
-#include <string>
 #include <vector>
 
 #include "predict/features.h"
+#include "util/interner.h"
 
 namespace spectra::predict {
 
@@ -20,12 +19,12 @@ class RecencyLinear {
   // `decay` is the per-sample weight multiplier applied to history.
   explicit RecencyLinear(double decay = 0.95);
 
-  void add(const std::map<std::string, double>& continuous, double y);
+  void add(const FeatureMap& continuous, double y);
 
   // Prediction for the given continuous features; falls back to the
   // weighted mean when the regression is not identifiable. Clamped to >= 0
   // (resource demands are non-negative).
-  double predict(const std::map<std::string, double>& continuous) const;
+  double predict(const FeatureMap& continuous) const;
 
   double total_weight() const { return weight_; }
   std::size_t sample_count() const { return samples_; }
@@ -39,18 +38,26 @@ class RecencyLinear {
   }
 
  private:
-  std::vector<double> to_x(
-      const std::map<std::string, double>& continuous) const;
+  void to_x(const FeatureMap& continuous, std::vector<double>& x) const;
   bool solve(std::vector<double>& beta) const;
+  // solve() is a pure function of the sufficient statistics, which change
+  // only in add() — memoize the solved coefficients across the many
+  // predictions between samples (the decision hot path re-predicts demand
+  // per candidate).
+  bool solved_beta(const std::vector<double>** beta) const;
 
   double decay_;
-  std::vector<std::string> names_;  // fixed at first sample
+  std::vector<util::Symbol> names_;  // fixed at first sample, name order
   // Sufficient statistics over x = [1, features...]:
   std::vector<std::vector<double>> xtx_;  // Σ w·x·xᵀ
   std::vector<double> xty_;               // Σ w·x·y
   double weight_ = 0.0;
   std::size_t samples_ = 0;
   double mean_num_ = 0.0;  // Σ w·y, for the fallback mean
+
+  enum class SolveCache { kStale, kSolved, kFailed };
+  mutable SolveCache solve_cache_ = SolveCache::kStale;
+  mutable std::vector<double> beta_;
 };
 
 }  // namespace spectra::predict

@@ -1,18 +1,19 @@
 // Small LRU map used for data-specific models: the default predictor keeps
 // models for the most recently used data objects (§3.4) and falls back to
-// the data-independent model for everything else.
+// the data-independent model for everything else. Keys are interned
+// symbols, so lookups hash an integer id instead of a string.
 #pragma once
 
 #include <list>
-#include <map>
-#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "util/assert.h"
+#include "util/interner.h"
 
 namespace spectra::predict {
 
-template <typename V>
+template <typename V, typename K = util::Symbol>
 class LruMap {
  public:
   explicit LruMap(std::size_t capacity) : capacity_(capacity) {
@@ -38,7 +39,7 @@ class LruMap {
   // Returns the value for `key`, creating it with `make()` (and possibly
   // evicting the least recently used entry) if absent. Touches the entry.
   template <typename F>
-  V& get_or_create(const std::string& key, F&& make) {
+  V& get_or_create(const K& key, F&& make) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       order_.erase(it->second.order_it);
@@ -47,7 +48,7 @@ class LruMap {
       return it->second.value;
     }
     if (entries_.size() >= capacity_) {
-      const std::string victim = order_.back();
+      const K victim = order_.back();
       order_.pop_back();
       entries_.erase(victim);
     }
@@ -57,26 +58,24 @@ class LruMap {
     return nit->second.value;
   }
 
-  V& get_or_create(const std::string& key) {
+  V& get_or_create(const K& key) {
     return get_or_create(key, [] { return V{}; });
   }
 
   // Lookup without creating or touching; null when absent.
-  const V* find(const std::string& key) const {
+  const V* find(const K& key) const {
     auto it = entries_.find(key);
     return it != entries_.end() ? &it->second.value : nullptr;
   }
 
-  bool contains(const std::string& key) const {
-    return entries_.count(key) > 0;
-  }
+  bool contains(const K& key) const { return entries_.count(key) > 0; }
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
 
  private:
   struct Entry {
     V value;
-    std::list<std::string>::iterator order_it;
+    typename std::list<K>::iterator order_it;
   };
 
   void adopt(const LruMap& other) {
@@ -88,8 +87,8 @@ class LruMap {
   }
 
   std::size_t capacity_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> order_;  // front = most recent
+  std::unordered_map<K, Entry> entries_;
+  std::list<K> order_;  // front = most recent
 };
 
 }  // namespace spectra::predict

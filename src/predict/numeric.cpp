@@ -10,11 +10,10 @@ NumericPredictor::NumericPredictor(NumericPredictorConfig config)
       per_data_(config.data_lru_capacity) {}
 
 void NumericPredictor::ModelSet::add(const FeatureVector& f, double y) {
-  const std::string key = f.bin_key();
-  if (!key.empty()) {
-    auto it = bins.find(key);
+  if (!f.discrete.empty()) {
+    auto it = bins.find(f.discrete);
     if (it == bins.end()) {
-      it = bins.emplace(key, RecencyLinear(decay)).first;
+      it = bins.emplace(f.discrete, RecencyLinear(decay)).first;
     }
     it->second.add(f.continuous, y);
   }
@@ -23,9 +22,8 @@ void NumericPredictor::ModelSet::add(const FeatureVector& f, double y) {
 
 const RecencyLinear* NumericPredictor::ModelSet::lookup(
     const FeatureVector& f) const {
-  const std::string key = f.bin_key();
-  if (!key.empty()) {
-    auto it = bins.find(key);
+  if (!f.discrete.empty()) {
+    auto it = bins.find(f.discrete);
     if (it != bins.end() && it->second.total_weight() >= min_weight) {
       // Use the bin unless its regression is under-identified while the
       // generic model's is not — a generic model whose slopes are fitted
@@ -68,7 +66,7 @@ double NumericPredictor::predict(const FeatureVector& f) const {
 }
 
 bool NumericPredictor::has_bin(const FeatureVector& f) const {
-  auto it = global_.bins.find(f.bin_key());
+  auto it = global_.bins.find(f.discrete);
   return it != global_.bins.end() &&
          it->second.total_weight() >= config_.min_bin_weight;
 }

@@ -9,9 +9,8 @@
 //     (e.g. per Latex document), consulted before the data-independent set.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <string>
+#include <unordered_map>
 
 #include "predict/features.h"
 #include "predict/linear.h"
@@ -59,7 +58,10 @@ class NumericPredictor {
 
     double decay;
     double min_weight;
-    std::map<std::string, RecencyLinear> bins;
+    // Keyed by the discrete feature combination itself: integer-id
+    // equality and a memoized hash — no bin-key string is ever built on
+    // the lookup path.
+    std::unordered_map<FeatureMap, RecencyLinear, FeatureMapHash> bins;
     RecencyLinear generic;
   };
 

@@ -21,20 +21,20 @@ void check_token(const std::string& s) {
                   "token contains a reserved separator: " + s);
 }
 
-std::string join_map(const std::map<std::string, double>& m) {
+std::string join_map(const FeatureMap& m) {
   std::ostringstream os;
   bool first = true;
-  for (const auto& [k, v] : m) {
-    check_token(k);
+  for (const auto& e : m) {  // name order: byte-stable
+    check_token(e.name.str());
     if (!first) os << ',';
-    os << k << '=' << v;
+    os << e.name << '=' << e.value;
     first = false;
   }
   return os.str();
 }
 
 std::map<std::string, double> parse_map(const std::string& s) {
-  std::map<std::string, double> out;
+  std::map<std::string, double> out;  // sorted: FeatureMap assignment keeps order
   std::istringstream is(s);
   std::string item;
   while (std::getline(is, item, ',')) {
@@ -92,7 +92,7 @@ std::vector<UsageRecord> UsageLog::for_operation(
 
 std::string UsageLog::serialize(const UsageRecord& r) {
   check_token(r.operation);
-  check_token(r.features.data_tag);
+  check_token(r.features.data_tag.str());
   std::ostringstream os;
   os.precision(17);
   os << r.operation << '\t' << join_map(r.features.discrete) << '\t'

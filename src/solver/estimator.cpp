@@ -1,6 +1,7 @@
 #include "solver/estimator.h"
 
-#include <set>
+#include <algorithm>
+#include <unordered_set>
 
 #include "util/assert.h"
 
@@ -44,8 +45,12 @@ std::optional<UserMetrics> ExecutionEstimator::estimate(
   // Cache misses, charged against the cache of the machine that will read
   // the files (the remote server for remote/hybrid plans, the client for
   // local plans).
-  const auto& cache =
-      remote ? server->cached_files : *snap.local_cached_files;
+  const auto& cache = remote ? (server->cached_files
+                                    ? *server->cached_files
+                                    : monitor::empty_cached_file_view())
+                             : (snap.local_cached_files
+                                    ? *snap.local_cached_files
+                                    : monitor::empty_cached_file_view());
   const double fetch_rate =
       remote ? server->fetch_rate : snap.local_fetch_rate;
   util::Bytes expected_fetch = 0.0;
@@ -61,19 +66,32 @@ std::optional<UserMetrics> ExecutionEstimator::estimate(
   // Data consistency: before remote execution, every dirty volume holding a
   // file with non-zero predicted access likelihood must be reintegrated.
   if (remote && !inputs.dirty_files.empty()) {
-    std::set<std::string> volumes;
-    for (const auto& df : inputs.dirty_files) {
-      for (const auto& fp : demand.files) {
-        if (fp.path == df.path &&
-            fp.likelihood >= inputs.reintegration_threshold) {
-          volumes.insert(df.volume);
-          break;
-        }
+    // Build the likelihood-thresholded set of predicted paths once, then
+    // probe it per dirty file. The old code rescanned the whole prediction
+    // list for every dirty file: O(|files| x |dirty|) string compares.
+    std::unordered_set<util::Symbol> predicted;
+    predicted.reserve(demand.files.size());
+    for (const auto& fp : demand.files) {
+      if (fp.likelihood >= inputs.reintegration_threshold) {
+        predicted.insert(fp.path);
       }
     }
-    util::Bytes reint_bytes = 0.0;
+    // Dirty volumes holding a predicted file — a handful at most, so a flat
+    // vector beats a node-based set.
+    std::vector<util::Symbol> volumes;
     for (const auto& df : inputs.dirty_files) {
-      if (volumes.count(df.volume) > 0) reint_bytes += df.size;
+      if (predicted.count(df.path) == 0) continue;
+      if (std::find(volumes.begin(), volumes.end(), df.volume) ==
+          volumes.end()) {
+        volumes.push_back(df.volume);
+      }
+    }
+    util::Bytes reint_bytes = 0.0;  // summed in dirty-file order, as before
+    for (const auto& df : inputs.dirty_files) {
+      if (std::find(volumes.begin(), volumes.end(), df.volume) !=
+          volumes.end()) {
+        reint_bytes += df.size;
+      }
     }
     if (reint_bytes > 0.0) {
       if (inputs.fileserver_bandwidth <= 0.0) return std::nullopt;

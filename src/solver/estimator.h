@@ -26,13 +26,14 @@
 #include "monitor/types.h"
 #include "predict/operation_model.h"
 #include "solver/types.h"
+#include "util/interner.h"
 
 namespace spectra::solver {
 
 struct DirtyFileInfo {
-  std::string path;
+  util::Symbol path;
   util::Bytes size = 0.0;
-  std::string volume;
+  util::Symbol volume;
 };
 
 struct EstimatorInputs {

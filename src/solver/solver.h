@@ -13,9 +13,52 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
 
 #include "solver/types.h"
 #include "util/rng.h"
+
+namespace spectra::solver::detail {
+
+// Open-addressing memo table for the heuristic solver, keyed by an
+// alternative's coordinates packed into one uint64 (see KeyPacker in
+// solver.cpp). Packed keys carry a tag bit above the payload, so they are
+// never zero and zero can mark an empty slot. Linear probing, power-of-two
+// capacity; reset() reuses the slot array, so steady-state solves do not
+// allocate.
+class PackedMemo {
+ public:
+  // Clear the table, sized for about `expected` insertions.
+  void reset(std::size_t expected);
+
+  // Value for `key`, or nullptr when absent. The pointer is invalidated by
+  // the next insert().
+  const double* find(std::uint64_t key) const;
+
+  void insert(std::uint64_t key, double value);
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;  // 0 = empty
+    double value = 0.0;
+  };
+
+  std::size_t bucket(std::uint64_t key) const {
+    // Fibonacci hash folded to the table size.
+    return static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ull) & mask_;
+  }
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace spectra::solver::detail
 
 namespace spectra::solver {
 
@@ -61,6 +104,14 @@ class HeuristicSolver : public Solver {
  private:
   util::Rng rng_;
   HeuristicSolverConfig config_;
+
+  // Per-solve scratch, hoisted into the solver so steady-state solves are
+  // allocation-free. `memo_` serves spaces whose coordinates pack into 63
+  // bits (all of them, in practice); `wide_memo_` is the correctness
+  // fallback for wider spaces, keyed by the unpacked coordinate vector.
+  detail::PackedMemo memo_;
+  std::map<std::vector<int>, double> wide_memo_;
+  std::vector<int> wide_key_;
 };
 
 }  // namespace spectra::solver

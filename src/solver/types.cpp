@@ -14,6 +14,21 @@ std::string Alternative::describe() const {
   return os.str();
 }
 
+std::size_t AlternativeSpace::count() const {
+  SPECTRA_REQUIRE(!plans.empty(), "alternative space needs at least one plan");
+  std::size_t fid_combos = 1;
+  for (const auto& dim : fidelities) {
+    SPECTRA_REQUIRE(!dim.values.empty(),
+                    "fidelity dimension has no values: " + dim.name);
+    fid_combos *= dim.values.size();
+  }
+  std::size_t plan_slots = 0;
+  for (const auto& p : plans) {
+    plan_slots += p.uses_remote ? servers.size() : 1;
+  }
+  return plan_slots * fid_combos;
+}
+
 std::vector<Alternative> AlternativeSpace::enumerate() const {
   SPECTRA_REQUIRE(!plans.empty(), "alternative space needs at least one plan");
   // Cartesian product over fidelity dimensions.

@@ -64,7 +64,9 @@ struct AlternativeSpace {
   // with remote plans but no servers yields only the local plans.
   std::vector<Alternative> enumerate() const;
 
-  std::size_t count() const { return enumerate().size(); }
+  // Size of enumerate() without materializing it — the heuristic solver
+  // consults this on every solve to pick exhaustive vs climbing search.
+  std::size_t count() const;
 };
 
 // Evaluation callback: log-utility of an alternative (higher is better).

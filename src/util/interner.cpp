@@ -1,0 +1,42 @@
+#include "util/interner.h"
+
+#include <mutex>
+
+namespace spectra::util {
+
+Interner& Interner::instance() {
+  static Interner interner;
+  return interner;
+}
+
+Interner::Interner() {
+  // Reserve id 0 for the empty string so a default Symbol and an interned
+  // "" are the same value.
+  storage_.emplace_back();
+  index_.emplace(std::string_view(storage_.back()), 0u);
+}
+
+Symbol Interner::intern(std::string_view s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return Symbol(it->first, it->second);
+  }
+  std::unique_lock lock(mu_);
+  auto it = index_.find(s);  // racing interner may have won
+  if (it != index_.end()) return Symbol(it->first, it->second);
+  storage_.emplace_back(s);
+  const auto id = static_cast<InternId>(storage_.size() - 1);
+  const std::string_view stored(storage_.back());
+  index_.emplace(stored, id);
+  return Symbol(stored, id);
+}
+
+std::size_t Interner::size() const {
+  std::shared_lock lock(mu_);
+  return storage_.size();
+}
+
+Symbol::Symbol(std::string_view s) : Symbol(intern(s)) {}
+
+}  // namespace spectra::util

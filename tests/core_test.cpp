@@ -117,7 +117,7 @@ TEST(SpectraServerTest, StatusReportsResources) {
   EXPECT_EQ(report.server, kServer1);
   EXPECT_DOUBLE_EQ(report.cpu_hz, 400e6);
   EXPECT_NEAR(report.run_queue, 1.0, 0.2);
-  EXPECT_EQ(report.cached_files.count("data/input"), 1u);
+  EXPECT_EQ(report.cached_files->count("data/input"), 1u);
   EXPECT_GT(report.fetch_rate, 0.0);
 }
 
@@ -218,7 +218,7 @@ TEST(ServerDatabaseTest, PollingFeedsRemoteProxies) {
   const auto snap = rig.spectra->monitors().build_snapshot(
       {kServer1}, rig.engine.now());
   EXPECT_GT(snap.servers.at(kServer1).cpu_hz, 0.0);
-  EXPECT_EQ(snap.servers.at(kServer1).cached_files.count("data/input"), 1u);
+  EXPECT_EQ(snap.servers.at(kServer1).cached_files->count("data/input"), 1u);
 }
 
 TEST(ServerDatabaseTest, SuppressionSkipsPeriodicPolls) {

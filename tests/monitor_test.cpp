@@ -469,7 +469,9 @@ ServerStatusReport make_report(MachineId id, double queue, Hertz hz) {
   r.generated_at = 0.0;
   r.run_queue = queue;
   r.cpu_hz = hz;
-  r.cached_files["x"] = 100.0;
+  auto files = std::make_shared<CachedFileView>();
+  (*files)[util::Symbol("x")] = 100.0;
+  r.cached_files = std::move(files);
   r.fetch_rate = 5000.0;
   return r;
 }
@@ -516,7 +518,7 @@ TEST(RemoteCacheProxyTest, PredictsCacheContents) {
   ResourceSnapshot snap;
   snap.servers.emplace(kServer, ServerAvailability{});
   proxy.predict_avail(snap);
-  EXPECT_EQ(snap.servers.at(kServer).cached_files.count("x"), 1u);
+  EXPECT_EQ(snap.servers.at(kServer).cached_files->count("x"), 1u);
   EXPECT_DOUBLE_EQ(snap.servers.at(kServer).fetch_rate, 5000.0);
 }
 
@@ -570,9 +572,11 @@ TEST(MonitorSetTest, NullMonitorRejected) {
 TEST(StatusReportTest, WireSizeGrowsWithCacheList) {
   ServerStatusReport small = make_report(kServer, 0, 1e6);
   ServerStatusReport big = small;
+  auto big_files = std::make_shared<CachedFileView>(*big.cached_files);
   for (int i = 0; i < 100; ++i) {
-    big.cached_files["f" + std::to_string(i)] = 1.0;
+    (*big_files)[util::Symbol("f" + std::to_string(i))] = 1.0;
   }
+  big.cached_files = std::move(big_files);
   EXPECT_GT(big.wire_size(), small.wire_size() + 4000.0);
 }
 

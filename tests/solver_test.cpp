@@ -221,7 +221,9 @@ monitor::ResourceSnapshot snapshot_with_server() {
   sa.bandwidth = 100000.0;
   sa.latency = 0.01;
   sa.fetch_rate = 200000.0;
-  sa.cached_files["cached_remote"] = 1000.0;
+  auto remote_files = std::make_shared<monitor::CachedFileView>();
+  (*remote_files)[util::Symbol("cached_remote")] = 1000.0;
+  sa.cached_files = std::move(remote_files);
   snap.servers.emplace(1, sa);
   return snap;
 }
@@ -551,6 +553,205 @@ TEST(HeuristicSolverTest, MemoHitsDeterministicForSameSeed) {
   HeuristicSolver s1{util::Rng(5)}, s2{util::Rng(5)};
   EXPECT_EQ(s1.solve(big_space(), eval).memo_hits,
             s2.solve(big_space(), eval).memo_hits);
+}
+
+// Straight port of the pre-packed-memo heuristic solver: std::map keyed by
+// the coordinate vector, materialized neighbour lists. The production
+// solver must draw the same RNG sequence, evaluate in the same order, and
+// hit the memo on exactly the same revisits — so every counter and the
+// chosen alternative must match this reference bit for bit.
+SolveResult reference_heuristic_solve(util::Rng rng,
+                                      const HeuristicSolverConfig& config,
+                                      const AlternativeSpace& space,
+                                      const EvalFn& eval) {
+  if (space.count() <= config.exhaustive_threshold) {
+    ExhaustiveSolver exhaustive;
+    return exhaustive.solve(space, eval);
+  }
+
+  struct Coords {
+    int plan = 0;
+    int server_idx = -1;
+    std::vector<int> fid;
+  };
+  const auto to_alternative = [&](const Coords& c) {
+    Alternative a;
+    a.plan = c.plan;
+    a.server = c.server_idx >= 0 ? space.servers[c.server_idx] : -1;
+    for (std::size_t i = 0; i < space.fidelities.size(); ++i) {
+      a.fidelity[space.fidelities[i].name] =
+          space.fidelities[i].values[c.fid[i]];
+    }
+    return a;
+  };
+
+  SolveResult result;
+  std::map<std::vector<int>, double> memo;
+  std::vector<int> key;
+
+  auto evaluate = [&](const Coords& c) {
+    key.clear();
+    key.push_back(c.plan);
+    key.push_back(c.server_idx);
+    key.insert(key.end(), c.fid.begin(), c.fid.end());
+    auto it = memo.find(key);
+    if (it != memo.end()) {
+      ++result.memo_hits;
+      return it->second;
+    }
+    Alternative alt = to_alternative(c);
+    const double lu = eval(alt);
+    ++result.evaluations;
+    memo.emplace(key, lu);
+    if (lu > kInfeasible && (lu > result.log_utility || !result.found)) {
+      result.found = true;
+      result.best = std::move(alt);
+      result.log_utility = lu;
+    }
+    return lu;
+  };
+
+  auto random_coords = [&] {
+    Coords c;
+    c.plan = static_cast<int>(
+        rng.uniform_int(0, static_cast<int>(space.plans.size()) - 1));
+    c.server_idx = space.plans[c.plan].uses_remote && !space.servers.empty()
+                       ? static_cast<int>(rng.uniform_int(
+                             0, static_cast<int>(space.servers.size()) - 1))
+                       : -1;
+    for (const auto& dim : space.fidelities) {
+      c.fid.push_back(static_cast<int>(
+          rng.uniform_int(0, static_cast<int>(dim.values.size()) - 1)));
+    }
+    return c;
+  };
+
+  auto neighbours = [&](const Coords& c) {
+    std::vector<Coords> out;
+    for (int p = 0; p < static_cast<int>(space.plans.size()); ++p) {
+      if (p == c.plan) continue;
+      Coords n = c;
+      n.plan = p;
+      if (!space.plans[p].uses_remote) {
+        n.server_idx = -1;
+        out.push_back(n);
+      } else if (!space.servers.empty()) {
+        for (int s = 0; s < static_cast<int>(space.servers.size()); ++s) {
+          Coords ns = n;
+          ns.server_idx = s;
+          out.push_back(ns);
+        }
+      }
+    }
+    if (space.plans[c.plan].uses_remote) {
+      for (int s = 0; s < static_cast<int>(space.servers.size()); ++s) {
+        if (s == c.server_idx) continue;
+        Coords n = c;
+        n.server_idx = s;
+        out.push_back(n);
+      }
+    }
+    for (std::size_t d = 0; d < space.fidelities.size(); ++d) {
+      for (int delta : {-1, +1}) {
+        const int v = c.fid[d] + delta;
+        if (v < 0 || v >= static_cast<int>(space.fidelities[d].values.size()))
+          continue;
+        Coords n = c;
+        n.fid[d] = v;
+        out.push_back(n);
+      }
+    }
+    return out;
+  };
+
+  for (std::size_t r = 0; r < config.restarts; ++r) {
+    Coords current = random_coords();
+    double current_lu = evaluate(current);
+    bool improved = true;
+    while (improved && result.evaluations < config.max_evaluations) {
+      improved = false;
+      Coords best_neighbour = current;
+      double best_lu = current_lu;
+      for (const Coords& n : neighbours(current)) {
+        if (result.evaluations >= config.max_evaluations) break;
+        const double lu = evaluate(n);
+        if (lu > best_lu) {
+          best_lu = lu;
+          best_neighbour = n;
+        }
+      }
+      if (best_lu > current_lu) {
+        current = best_neighbour;
+        current_lu = best_lu;
+        improved = true;
+      }
+    }
+    if (result.evaluations >= config.max_evaluations) break;
+  }
+  return result;
+}
+
+class PackedMemoEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedMemoEquivalenceTest, MatchesReferenceImplementation) {
+  const int seed = GetParam();
+  util::Rng landscape(static_cast<std::uint64_t>(1000 + seed));
+  const double wp = landscape.uniform(-1.0, 1.0);
+  const double ws = landscape.uniform(-1.0, 1.0);
+  const double wa = landscape.uniform(0.0, 2.0);
+  const double wb = landscape.uniform(0.0, 2.0);
+  const auto eval = [&](const Alternative& a) {
+    if (seed % 3 == 0 && a.plan % 5 == 2) return kInfeasible;
+    return wp * a.plan + ws * a.server + wa * a.fidelity.at("a") +
+           wb * a.fidelity.at("b") - a.fidelity.at("c");
+  };
+
+  const auto space = big_space();
+  HeuristicSolverConfig cfg;
+  HeuristicSolver solver{util::Rng(static_cast<std::uint64_t>(seed)), cfg};
+  const auto got = solver.solve(space, eval);
+  const auto want = reference_heuristic_solve(
+      util::Rng(static_cast<std::uint64_t>(seed)), cfg, space, eval);
+
+  EXPECT_EQ(got.found, want.found);
+  EXPECT_EQ(got.evaluations, want.evaluations);
+  EXPECT_EQ(got.memo_hits, want.memo_hits);
+  EXPECT_TRUE(got.best == want.best);
+  EXPECT_DOUBLE_EQ(got.log_utility, want.log_utility);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedMemoEquivalenceTest,
+                         ::testing::Range(0, 10));
+
+TEST(PackedMemoTest, InsertFindAndGrow) {
+  detail::PackedMemo memo;
+  memo.reset(4);
+  // Force growth well past the initial capacity; keys carry the tag bit
+  // like real packed coordinates.
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint64_t key = (1ull << 32) | i;
+    EXPECT_EQ(memo.find(key), nullptr);
+    memo.insert(key, static_cast<double>(i) * 0.5);
+  }
+  EXPECT_EQ(memo.size(), 500u);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint64_t key = (1ull << 32) | i;
+    const double* v = memo.find(key);
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(*v, static_cast<double>(i) * 0.5);
+  }
+  memo.reset(4);
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_EQ(memo.find((1ull << 32) | 7), nullptr);
+}
+
+TEST(AlternativeSpaceTest, CountMatchesEnumerateSize) {
+  EXPECT_EQ(small_space().count(), small_space().enumerate().size());
+  EXPECT_EQ(big_space().count(), big_space().enumerate().size());
+  AlternativeSpace no_servers;
+  no_servers.plans = {{"local", false}, {"remote", true}};
+  no_servers.fidelities = {{"f", {0.0, 0.5, 1.0}}};
+  EXPECT_EQ(no_servers.count(), no_servers.enumerate().size());
 }
 
 TEST(HeuristicSolverTest, ConfigValidation) {
