@@ -1,0 +1,149 @@
+// fleet_scale: fleet-world scaling bench.
+//
+// Runs the FleetScenario/FleetWorld stack at increasing client counts
+// against a shared server pool and reports, per scale:
+//
+//   * deterministic outcomes — ops completed, remote share, rejections,
+//     p50/p99 end-to-end latency (virtual time), mean server utilization,
+//     aggregate energy, Jain's fairness index, and the state fingerprint
+//     (the stdout table carries only these, so its bytes are identical for
+//     any --jobs);
+//   * wall-clock throughput — decisions/sec and decision-latency
+//     percentiles, reported only in the --json output's "wall" sections.
+//
+// Usage: fleet_scale [--json=FILE] [--jobs=N] [--clients=N] [--policy=wfq]
+//        fleet_scale --detect-concurrency
+//
+// --clients=N runs a single scale of N clients (servers scale as N/125,
+// min 2) instead of the default ladder. --detect-concurrency prints the
+// hardware concurrency the thread pool actually sees (used by
+// scripts/bench.sh to annotate results honestly on constrained hosts).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/admission.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+#include "scenario/fleet.h"
+#include "util/table.h"
+
+using namespace spectra;            // NOLINT
+using namespace spectra::scenario;  // NOLINT
+
+namespace {
+
+struct Scale {
+  std::size_t clients;
+  std::size_t servers;
+};
+
+FleetConfig config_for(const Scale& scale, core::AdmissionPolicy policy) {
+  FleetConfig cfg;
+  cfg.clients = scale.clients;
+  cfg.servers = scale.servers;
+  cfg.seed = 42;
+  cfg.horizon = 120.0;
+  cfg.admission.policy = policy;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::size_t single_clients = 0;
+  core::AdmissionPolicy policy = core::AdmissionPolicy::kWeightedFair;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--detect-concurrency") {
+      // What the pool would actually use for --jobs=0: one worker per
+      // hardware thread (floor 1). bench.sh records both numbers.
+      const std::size_t hw = exec::ThreadPool::hardware_concurrency();
+      exec::ThreadPool pool(scenario::resolve_jobs(0));
+      std::cout << "hardware_concurrency " << hw << "\n"
+                << "pool_workers " << pool.size() << "\n";
+      return 0;
+    }
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    if (arg.rfind("--clients=", 0) == 0) {
+      single_clients = static_cast<std::size_t>(
+          std::atol(arg.c_str() + 10));
+    }
+    if (arg == "--policy=fifo") policy = core::AdmissionPolicy::kFifo;
+  }
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
+
+  std::vector<Scale> scales;
+  if (single_clients > 0) {
+    scales.push_back({single_clients,
+                      std::max<std::size_t>(2, single_clients / 125)});
+  } else {
+    scales = {{64, 2}, {256, 4}, {1000, 8}};
+  }
+
+  util::Table table("fleet scaling (policy=" +
+                    std::string(core::to_string(policy)) +
+                    ", jobs=" + std::to_string(jobs) + ")");
+  table.set_header({"clients", "servers", "ops", "remote%", "rejected",
+                    "p50 s", "p99 s", "util", "energy kJ", "jain",
+                    "fingerprint"});
+
+  std::vector<FleetReport> reports;
+  for (const Scale& scale : scales) {
+    const FleetConfig cfg = config_for(scale, policy);
+    const FleetReport r = run_fleet(cfg, jobs, nullptr);
+    reports.push_back(r);
+    const double remote_pct =
+        r.ops_completed > 0
+            ? 100.0 * static_cast<double>(r.ops_remote) /
+                  static_cast<double>(r.ops_completed)
+            : 0.0;
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    table.add_row({std::to_string(r.clients), std::to_string(r.servers),
+                   std::to_string(r.ops_completed),
+                   util::Table::num(remote_pct, 1),
+                   std::to_string(r.ops_rejected),
+                   util::Table::num(r.latency_p50_s, 3),
+                   util::Table::num(r.latency_p99_s, 3),
+                   util::Table::num(r.server_utilization_mean, 3),
+                   util::Table::num(r.aggregate_energy_j / 1e3, 2),
+                   util::Table::num(r.jain_fairness, 4), fp});
+  }
+  table.render(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"bench\": \"fleet_scale\",\n";
+    out << "  \"policy\": \"" << core::to_string(policy) << "\",\n";
+    out << "  \"jobs\": " << jobs << ",\n";
+    out << "  \"scales\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      // FleetReport::to_json is a pretty-printed object; indent it into
+      // the array.
+      std::string body = reports[i].to_json();
+      std::string indented = "    ";
+      for (char c : body) {
+        indented.push_back(c);
+        if (c == '\n') indented += "    ";
+      }
+      while (!indented.empty() &&
+             (indented.back() == ' ' || indented.back() == '\n')) {
+        indented.pop_back();
+      }
+      out << indented << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+  return 0;
+}

@@ -4,7 +4,10 @@
 # reuse disabled (SPECTRA_REUSE=0, the retrain-per-run baseline), verifies
 # that parallel output is byte-identical to sequential, and writes the
 # machine-readable BENCH_parallel.json. A resilience pass then runs the
-# chaos soak and the fault-recovery bench into BENCH_chaos.json.
+# chaos soak and the fault-recovery bench into BENCH_chaos.json, and a
+# fleet-scale pass runs the fleet_scale ladder (shared-server admission,
+# 64-1000 clients) into BENCH_fleet.json, failing if --jobs changes a byte
+# of the deterministic output.
 #
 # Usage: scripts/bench.sh [build-dir] [jobs]
 #   build-dir  default: build
@@ -22,6 +25,19 @@ TRIALS="${SPECTRA_TRIALS:-5}"
 OUT="BENCH_parallel.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
+
+# Concurrency as the thread pool actually sees it (std::thread::
+# hardware_concurrency via fleet_scale --detect-concurrency), not nproc —
+# container CPU limits can make the two disagree, and recording the wrong
+# one turns ~1.0x "speedups" into silent mysteries.
+HW_DETECTED=$("$BUILD/bench/fleet_scale" --detect-concurrency \
+              | awk '/hardware_concurrency/ { print $2 }')
+POOL_WORKERS=$("$BUILD/bench/fleet_scale" --detect-concurrency \
+               | awk '/pool_workers/ { print $2 }')
+if [ "$HW_DETECTED" -le 1 ]; then
+  echo "WARNING: only $HW_DETECTED hardware thread detected -- parallel" \
+       "speedups below are bounded at ~1.0x and are NOT regressions" >&2
+fi
 
 FIGS=(fig03_speech_time fig04_speech_energy fig05_latex_small
       fig06_latex_large fig07_latex_energy fig08_pangloss_accuracy
@@ -74,7 +90,9 @@ cat > "$OUT" <<EOF
   "build_dir": "$BUILD",
   "jobs": $JOBS,
   "trials": $TRIALS,
-  "hardware_concurrency": $(nproc),
+  "hardware_concurrency_detected": $HW_DETECTED,
+  "pool_workers_at_jobs0": $POOL_WORKERS,
+  "single_core_host": $([ "$HW_DETECTED" -le 1 ] && echo true || echo false),
   "figures": [
 $rows
   ]
@@ -128,3 +146,41 @@ grep -E "speedup" "$TMP/recovery.txt"
   printf '}\n'
 } > "$CHAOS_OUT"
 echo "wrote $CHAOS_OUT"
+
+# Fleet-scale numbers: the fleet_scale ladder (64/256/1000 clients against
+# shared admission-controlled server pools) with per-scale p50/p99 latency,
+# server utilization, aggregate energy, Jain's fairness, and wall-clock
+# decision throughput. The deterministic table body must be byte-identical
+# between --jobs=1 and --jobs=N; the run fails loudly if it is not.
+FLEET_OUT="BENCH_fleet.json"
+"$BUILD/bench/fleet_scale" --jobs=1 --json="$TMP/fleet_seq.json" \
+    > "$TMP/fleet_seq.txt"
+"$BUILD/bench/fleet_scale" --jobs="$JOBS" --json="$TMP/fleet_par.json" \
+    > "$TMP/fleet_par.txt"
+# First line carries the jobs label by design; everything below it is
+# deterministic output.
+if cmp -s <(tail -n +2 "$TMP/fleet_seq.txt") <(tail -n +2 "$TMP/fleet_par.txt"); then
+  fleet_identical=true
+else
+  fleet_identical=false
+  echo "ERROR: fleet output differs between --jobs=1 and --jobs=$JOBS" >&2
+  diff <(tail -n +2 "$TMP/fleet_seq.txt") <(tail -n +2 "$TMP/fleet_par.txt") >&2 || true
+  exit 1
+fi
+cat "$TMP/fleet_par.txt"
+python3 - "$TMP/fleet_seq.json" "$TMP/fleet_par.json" "$FLEET_OUT" <<PYEOF
+import json, sys
+seq = json.load(open(sys.argv[1]))
+par = json.load(open(sys.argv[2]))
+out = {
+    'harness': 'scripts/bench.sh',
+    'jobs': $JOBS,
+    'hardware_concurrency_detected': $HW_DETECTED,
+    'single_core_host': $([ "$HW_DETECTED" -le 1 ] && echo True || echo False),
+    'jobs_identical': True,  # the cmp gate above exits 1 otherwise
+    'scales': par['scales'],
+    'seq_wall': [s['wall'] for s in seq['scales']],
+}
+json.dump(out, open(sys.argv[3], 'w'), indent=2)
+print('wrote', sys.argv[3])
+PYEOF

@@ -24,10 +24,14 @@ echo "== tier-1: ctest =="
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
 echo "== sanitize smoke (address) =="
+# obs_test covers the trace/metrics hot paths; fleet_test drives the
+# admission queue, load board, and the parallel fleet tick pipeline (its
+# determinism suites run --jobs=8 worlds) under ASan.
 SMOKE="$BUILD-asan"
 cmake -B "$SMOKE" -S . -DSPECTRA_SANITIZE=address >/dev/null
-cmake --build "$SMOKE" -j "$(nproc)" --target obs_test spectra
+cmake --build "$SMOKE" -j "$(nproc)" --target obs_test fleet_test spectra
 "$SMOKE/tests/obs_test"
+"$SMOKE/tests/fleet_test"
 "$SMOKE/src/cli/spectra" scenarios >/dev/null
 
 echo "== sanitize smoke (thread) =="
@@ -76,6 +80,23 @@ for floor in base['floor_scenarios']:
         failed = True
     print(f"  {name}: {got:.0f} decisions/s (floor*0.9 = {limit:.0f}) {status}")
 sys.exit(1 if failed else 0)
+PYEOF
+
+echo "== perf smoke: fleet decisions =="
+# Whole-fleet throughput gate: the 1000-client fleet world must not fall
+# more than 10% below the (deliberately loose) fleet_floor in
+# scripts/perf_baseline.json.
+"$BUILD/bench/fleet_scale" --clients=1000 --jobs=1 \
+    --json="$BUILD/fleet_smoke.json" >/dev/null
+python3 - "$BUILD/fleet_smoke.json" <<'PYEOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))['scales'][0]
+floor = json.load(open('scripts/perf_baseline.json'))['fleet_floor']
+got = cur['wall']['decisions_per_sec']
+limit = floor['decisions_per_sec'] * 0.9
+status = 'ok' if got >= limit else 'REGRESSION'
+print(f"  fleet_1000: {got:.0f} decisions/s (floor*0.9 = {limit:.0f}) {status}")
+sys.exit(0 if got >= limit else 1)
 PYEOF
 
 echo "OK"

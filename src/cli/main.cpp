@@ -12,6 +12,7 @@
 // choice. `explain` prints the decision trace — what Spectra predicted for
 // every alternative and why the winner won. Use --verbose for component
 // logs (or set SPECTRA_LOG=info|debug).
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,7 @@
 #include "obs/obs.h"
 #include "scenario/batch.h"
 #include "scenario/experiment.h"
+#include "scenario/fleet.h"
 #include "scenario/soak.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -55,6 +57,10 @@ usage:
   spectra explain (speech|latex|pangloss) [--scenario=S] [--utterance=SECS]
                   [--doc=D] [--words=N] [--seed=N] [--trace=FILE]
                   [--metrics=FILE]
+  spectra fleet    [--clients=N] [--servers=N] [--seed=N] [--horizon=SECS]
+                   [--policy=fifo|wfq] [--queue-bound=N] [--slots=N]
+                   [--jobs=N] [--fault-plan=FILE] [--json=FILE]
+                   [--trace=FILE] [--metrics=FILE]
   spectra faults   --plan=FILE   (validate a fault plan, print canonical form)
   spectra scenarios
 
@@ -75,6 +81,12 @@ failure handling: --health=off disables server health tracking (suspicion
   recovery to the fixed degradation ladder instead of re-running the solver
   over surviving servers. Defaults: on / resolve. See DESIGN.md "Failure
   handling".
+fleet worlds (`spectra fleet`): instantiates N clients (heterogeneous device
+  mix, diurnal arrival waves, flash crowds) against a shared server pool
+  with admission control (--policy=fifo|wfq), and reports fleet metrics:
+  p50/p99 op latency, server utilization, aggregate energy, Jain's fairness
+  index. The stdout table and any trace/metrics are byte-identical for any
+  --jobs; wall-clock throughput lives only in the --json report.
 chaos soak (`spectra chaos`): runs N seeded random fault plans per app on
   cloned trained worlds, asserts liveness/consistency invariants, and
   replays every plan to confirm bit-identical outcomes. Exit status is
@@ -527,6 +539,61 @@ int cmd_chaos(const Args& args) {
   return clean ? 0 : 1;
 }
 
+int cmd_fleet(const Args& args) {
+  FleetConfig cfg;
+  cfg.clients = static_cast<std::size_t>(args.get_int("clients", 1000));
+  cfg.servers = static_cast<std::size_t>(args.get_int("servers", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.horizon = args.get_double("horizon", 300.0);
+  const std::string policy = args.get("policy", "wfq");
+  SPECTRA_REQUIRE(policy == "fifo" || policy == "wfq",
+                  "--policy must be fifo or wfq");
+  cfg.admission.policy = policy == "fifo" ? core::AdmissionPolicy::kFifo
+                                          : core::AdmissionPolicy::kWeightedFair;
+  cfg.admission.queue_bound =
+      static_cast<std::size_t>(args.get_int("queue-bound", 64));
+  cfg.admission.service_slots =
+      static_cast<std::size_t>(args.get_int("slots", 4));
+  cfg.fault_plan = fault_plan_arg(args);
+
+  CliObs obs = obs_args(args);
+  const FleetReport r = run_fleet(cfg, jobs_arg(args), obs.ptr());
+
+  // Deterministic table only — no jobs count, no wall numbers — so stdout
+  // is byte-identical for any --jobs (the determinism tests diff it).
+  util::Table table("fleet: " + std::to_string(r.clients) + " clients, " +
+                    std::to_string(r.servers) + " servers, policy=" +
+                    core::to_string(r.policy));
+  table.set_header({"metric", "value"});
+  table.add_row({"decisions", std::to_string(r.decisions)});
+  table.add_row({"ops completed", std::to_string(r.ops_completed)});
+  table.add_row({"ops local", std::to_string(r.ops_local)});
+  table.add_row({"ops remote", std::to_string(r.ops_remote)});
+  table.add_row({"admission rejections", std::to_string(r.ops_rejected)});
+  table.add_row({"crash reruns", std::to_string(r.ops_aborted)});
+  table.add_row({"p50 latency (s)", util::Table::num(r.latency_p50_s, 3)});
+  table.add_row({"p99 latency (s)", util::Table::num(r.latency_p99_s, 3)});
+  table.add_row(
+      {"server utilization", util::Table::num(r.server_utilization_mean, 3)});
+  table.add_row(
+      {"aggregate energy (kJ)", util::Table::num(r.aggregate_energy_j / 1e3, 2)});
+  table.add_row({"Jain fairness", util::Table::num(r.jain_fairness, 4)});
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(r.fingerprint));
+  table.add_row({"fingerprint", fp});
+  std::cout << table.to_string();
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    SPECTRA_REQUIRE(out.good(), "cannot write " + json_path);
+    out << r.to_json();
+  }
+  obs.finish();
+  return 0;
+}
+
 int cmd_faults(const Args& args) {
   const std::string path = args.get("plan", args.get("fault-plan", ""));
   SPECTRA_REQUIRE(!path.empty(), "faults needs --plan=FILE");
@@ -576,6 +643,7 @@ int run(int argc, const char* const* argv) {
   if (cmd == "overhead") return cmd_overhead(args);
   if (cmd == "explain") return cmd_explain(args);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "fleet") return cmd_fleet(args);
   if (cmd == "faults") return cmd_faults(args);
   if (cmd == "scenarios") return cmd_scenarios();
   std::cerr << "unknown command: " << cmd << "\n\n";

@@ -1,0 +1,155 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace spectra::core {
+namespace {
+
+// Completion threshold for processor-sharing arithmetic: a job whose
+// remaining work drops below this fraction of one cycle is done. Relative
+// residue from the piecewise advance is far smaller than this.
+constexpr double kCycleEps = 1e-6;
+
+}  // namespace
+
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifo: return "fifo";
+    case AdmissionPolicy::kWeightedFair: return "wfq";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+  SPECTRA_REQUIRE(config_.service_slots >= 1,
+                  "admission queue needs at least one service slot");
+}
+
+std::optional<std::uint64_t> AdmissionQueue::submit(int tenant, double weight,
+                                                    util::Cycles cycles,
+                                                    util::Seconds now) {
+  SPECTRA_REQUIRE(tenant >= 0, "tenant index must be non-negative");
+  SPECTRA_REQUIRE(weight > 0.0, "tenant weight must be positive");
+  SPECTRA_REQUIRE(cycles > 0.0, "job must carry work");
+  ++submitted_;
+  // Free service slots admit directly; only the wait queue is bounded.
+  if (service_.size() >= config_.service_slots &&
+      queue_.size() >= config_.queue_bound) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  AdmissionJob job;
+  job.id = next_id_++;
+  job.tenant = tenant;
+  job.weight = weight;
+  job.cycles = cycles;
+  job.remaining = cycles;
+  job.submitted_at = now;
+  if (static_cast<std::size_t>(tenant) >= tenant_tag_.size()) {
+    tenant_tag_.resize(static_cast<std::size_t>(tenant) + 1, 0.0);
+  }
+  // Start-time fair queueing: a tenant's next tag continues from its last
+  // one while backlogged, but never lags the virtual clock (an idle tenant
+  // is not owed the service it never asked for).
+  const double start = std::max(virtual_clock_, tenant_tag_[tenant]);
+  job.finish_tag = start + cycles / weight;
+  tenant_tag_[tenant] = job.finish_tag;
+  ++admitted_;
+  queue_.push_back(job);
+  dispatch(now);
+  return job.id;
+}
+
+std::size_t AdmissionQueue::pick_next() const {
+  if (config_.policy == AdmissionPolicy::kFifo) return 0;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    // Smallest finish tag wins; submit order (queue position) breaks ties,
+    // so dispatch is a deterministic function of the submit sequence.
+    if (queue_[i].finish_tag < queue_[best].finish_tag) best = i;
+  }
+  return best;
+}
+
+void AdmissionQueue::dispatch(util::Seconds now) {
+  while (service_.size() < config_.service_slots && !queue_.empty()) {
+    const std::size_t i = pick_next();
+    AdmissionJob job = queue_[i];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    job.started_at = now;
+    virtual_clock_ = std::max(virtual_clock_, job.finish_tag - job.cycles /
+                                                                   job.weight);
+    service_.push_back(job);
+  }
+}
+
+void AdmissionQueue::advance(util::Seconds now, util::Seconds dt,
+                             util::Hertz hz,
+                             std::vector<AdmissionCompletion>* out) {
+  SPECTRA_REQUIRE(dt >= 0.0, "cannot advance backwards");
+  SPECTRA_REQUIRE(hz > 0.0, "server capacity must be positive");
+  util::Seconds cur = now;
+  util::Seconds left = dt;
+  dispatch(cur);
+  while (left > 0.0 && !service_.empty()) {
+    const double share =
+        hz / static_cast<double>(service_.size());  // processor sharing
+    // Step to the earliest completion among in-service jobs, or to the end
+    // of the window, whichever comes first.
+    util::Seconds step = left;
+    for (const AdmissionJob& job : service_) {
+      step = std::min(step, job.remaining / share);
+    }
+    for (AdmissionJob& job : service_) {
+      job.remaining -= share * step;
+    }
+    cur += step;
+    left -= step;
+    busy_time_ += step;
+    // Collect completions in service order (deterministic; simultaneous
+    // finishes resolve by dispatch order).
+    for (std::size_t i = 0; i < service_.size();) {
+      if (service_[i].remaining <= kCycleEps) {
+        AdmissionCompletion done;
+        done.job = service_[i];
+        done.job.remaining = 0.0;
+        done.finished_at = cur;
+        ++completed_;
+        if (out != nullptr) out->push_back(done);
+        service_.erase(service_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    dispatch(cur);
+  }
+}
+
+void AdmissionQueue::abort_all(std::vector<AdmissionJob>* out) {
+  for (const AdmissionJob& job : queue_) {
+    ++aborted_;
+    if (out != nullptr) out->push_back(job);
+  }
+  for (const AdmissionJob& job : service_) {
+    ++aborted_;
+    if (out != nullptr) out->push_back(job);
+  }
+  queue_.clear();
+  service_.clear();
+}
+
+void AdmissionQueue::check_invariants() const {
+  SPECTRA_REQUIRE(queue_.size() <= config_.queue_bound,
+                  "admission wait queue exceeded its bound");
+  SPECTRA_REQUIRE(service_.size() <= config_.service_slots,
+                  "more jobs in service than slots");
+  SPECTRA_REQUIRE(submitted_ == admitted_ + rejected_,
+                  "admission accounting: submitted != admitted + rejected");
+  SPECTRA_REQUIRE(
+      admitted_ == completed_ + aborted_ + in_flight(),
+      "admission conservation: admitted != completed + aborted + in-flight");
+}
+
+}  // namespace spectra::core

@@ -1,0 +1,130 @@
+// Server-side admission control and queueing for fleet-scale worlds.
+//
+// Every shared server owns one AdmissionQueue: a bounded wait queue feeding
+// a small set of service slots that share the server CPU (processor
+// sharing, the same fair-share model hw::Machine uses for background load).
+// Jobs past the bound are rejected at submit time, so clients see genuine
+// back-pressure from other tenants rather than a scripted background-load
+// factor. Two dispatch policies:
+//
+//   * kFifo         — global arrival order (submit sequence);
+//   * kWeightedFair — start-time fair queueing: each job is tagged with a
+//     per-tenant virtual finish time (previous tag + cycles/weight, floored
+//     at the queue's virtual clock), and the queued job with the smallest
+//     tag dispatches first. Tenants receive service proportional to their
+//     weight under backlog, and no tenant starves: the virtual clock
+//     advances past any queued tag in bounded time.
+//
+// Everything is a pure function of the submit/advance call sequence, so a
+// fleet tick processed in a fixed order replays bit-identically regardless
+// of how many worker threads computed the decisions that fed it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/units.h"
+
+namespace spectra::core {
+
+enum class AdmissionPolicy { kFifo, kWeightedFair };
+
+const char* to_string(AdmissionPolicy policy);
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  // Jobs allowed to wait for a slot; submissions beyond this are rejected.
+  std::size_t queue_bound = 64;
+  // Jobs served concurrently; they share the server CPU equally.
+  std::size_t service_slots = 4;
+};
+
+struct AdmissionJob {
+  std::uint64_t id = 0;   // submit sequence, 1-based
+  int tenant = -1;        // client index
+  double weight = 1.0;    // weighted-fair share
+  util::Cycles cycles = 0.0;        // total work
+  util::Cycles remaining = 0.0;     // work left
+  double finish_tag = 0.0;          // weighted-fair virtual finish time
+  util::Seconds submitted_at = 0.0;
+  util::Seconds started_at = -1.0;  // dispatch time; -1 while queued
+};
+
+struct AdmissionCompletion {
+  AdmissionJob job;
+  util::Seconds finished_at = 0.0;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config = {});
+
+  const AdmissionConfig& config() const { return config_; }
+
+  // Enqueue one job, returning its id, or nullopt (and a rejected count)
+  // when the wait queue is at its bound. Tenants and weights are the
+  // caller's notion of client identity; weight must be positive.
+  std::optional<std::uint64_t> submit(int tenant, double weight,
+                                      util::Cycles cycles, util::Seconds now);
+
+  // Serve `dt` seconds at capacity `hz`: dispatch queued jobs into free
+  // slots per policy, advance the processor-sharing service piecewise to
+  // each completion, and append finished jobs to `out` in completion order.
+  void advance(util::Seconds now, util::Seconds dt, util::Hertz hz,
+               std::vector<AdmissionCompletion>* out);
+
+  // Drop everything in flight (server crash). Aborted jobs append to `out`
+  // (queued first, then in-service, each in queue order) so the caller can
+  // fail them back to their tenants.
+  void abort_all(std::vector<AdmissionJob>* out);
+
+  std::size_t queued() const { return queue_.size(); }
+  std::size_t in_service() const { return service_.size(); }
+  std::size_t in_flight() const { return queued() + in_service(); }
+  // What a load monitor samples: jobs holding or waiting for the CPU.
+  double run_queue() const { return static_cast<double>(in_flight()); }
+
+  // ---- conservation counters ---------------------------------------------
+  // submitted == admitted + rejected, and
+  // admitted  == completed + aborted + in_flight, always.
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t aborted() const { return aborted_; }
+
+  // Seconds with at least one job in service, across all advance() calls.
+  util::Seconds busy_time() const { return busy_time_; }
+
+  // Throws util::ContractError if a structural invariant is violated
+  // (bound exceeded, conservation identity broken). Tests call this after
+  // every mutation.
+  void check_invariants() const;
+
+ private:
+  // Move queued jobs into free service slots according to the policy.
+  void dispatch(util::Seconds now);
+  // Index (into queue_) of the next job to dispatch.
+  std::size_t pick_next() const;
+
+  AdmissionConfig config_;
+  std::vector<AdmissionJob> queue_;    // waiting, in submit order
+  std::vector<AdmissionJob> service_;  // in service, in dispatch order
+  std::uint64_t next_id_ = 1;
+  // Weighted-fair state: the queue's virtual clock (start tag of the most
+  // recent dispatch) and each tenant's last finish tag. Tenant tags only
+  // grow while the tenant has jobs in flight; an idle tenant re-anchors at
+  // the virtual clock, which is what makes the policy starvation-free.
+  double virtual_clock_ = 0.0;
+  std::vector<double> tenant_tag_;  // indexed by tenant, grown on demand
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+  util::Seconds busy_time_ = 0.0;
+};
+
+}  // namespace spectra::core

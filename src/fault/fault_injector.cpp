@@ -1,11 +1,9 @@
 #include "fault/fault_injector.h"
 
-#include <cmath>
 #include <sstream>
 
 #include "util/assert.h"
 #include "util/log.h"
-#include "util/rng.h"
 
 namespace spectra::fault {
 
@@ -37,55 +35,11 @@ void FaultInjector::schedule(Seconds at_offset, const FaultEvent& e) {
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {
-  plan.validate();
-  for (const auto& e : plan.scheduled) {
-    if (e.kind == FaultKind::kLinkFlap) {
-      // Expand into alternating down/up toggles, starting with down; a flap
-      // with an even count leaves the link as it found it.
-      for (int i = 0; i < e.count; ++i) {
-        FaultEvent toggle = e;
-        toggle.kind = (i % 2 == 0) ? FaultKind::kLinkDown : FaultKind::kLinkUp;
-        toggle.count = 0;
-        toggle.period = 0.0;
-        toggle.duration = 0.0;
-        schedule(e.at + e.period * i, toggle);
-      }
-      continue;
-    }
-    schedule(e.at, e);
-    if (e.duration > 0.0 && !is_healing(e.kind) &&
-        e.kind != FaultKind::kBatteryCliff) {
-      FaultEvent heal = e;
-      heal.kind = healing_kind(e.kind);
-      heal.duration = 0.0;
-      schedule(e.at + e.duration, heal);
-    }
-  }
-  // Probabilistic faults: expand Poisson arrivals over [0, horizon) from the
-  // plan's seed, in declaration order, so the concrete schedule depends only
-  // on the plan.
-  if (!plan.probabilistic.empty()) {
-    util::Rng rng(plan.seed ^ 0xfa017fa017ULL);
-    for (const auto& p : plan.probabilistic) {
-      Seconds t = 0.0;
-      while (true) {
-        t += -std::log(1.0 - rng.uniform()) / p.rate_per_s;
-        if (t >= plan.horizon) break;
-        FaultEvent e;
-        e.at = t;
-        e.kind = p.kind;
-        e.a = p.a;
-        e.b = p.b;
-        e.magnitude = p.magnitude;
-        schedule(t, e);
-        if (p.duration > 0.0 && p.kind != FaultKind::kBatteryCliff) {
-          FaultEvent heal = e;
-          heal.kind = healing_kind(p.kind);
-          schedule(t + p.duration, heal);
-        }
-      }
-    }
-  }
+  // expand_plan emits events in the injector's historical scheduling order
+  // (validated; flaps unrolled, heals after their cause, probabilistic
+  // occurrences drawn from the plan seed), so the engine's tie-break by
+  // insertion sequence matches armings of the unexpanded plan exactly.
+  for (const auto& e : expand_plan(plan)) schedule(e.at, e);
 }
 
 void FaultInjector::apply(const FaultEvent& e) {

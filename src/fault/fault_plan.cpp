@@ -1,10 +1,12 @@
 #include "fault/fault_plan.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "util/assert.h"
+#include "util/rng.h"
 
 namespace spectra::fault {
 
@@ -313,6 +315,63 @@ void FaultPlan::validate() const {
   }
   SPECTRA_REQUIRE(probabilistic.empty() || horizon > 0.0,
                   "probabilistic faults need a positive horizon");
+}
+
+std::vector<FaultEvent> expand_plan(const FaultPlan& plan) {
+  plan.validate();
+  std::vector<FaultEvent> out;
+  for (const auto& e : plan.scheduled) {
+    if (e.kind == FaultKind::kLinkFlap) {
+      // Alternating down/up toggles, starting with down; a flap with an
+      // even count leaves the link as it found it.
+      for (int i = 0; i < e.count; ++i) {
+        FaultEvent toggle = e;
+        toggle.kind = (i % 2 == 0) ? FaultKind::kLinkDown : FaultKind::kLinkUp;
+        toggle.count = 0;
+        toggle.period = 0.0;
+        toggle.duration = 0.0;
+        toggle.at = e.at + e.period * i;
+        out.push_back(toggle);
+      }
+      continue;
+    }
+    out.push_back(e);
+    if (e.duration > 0.0 && !is_healing(e.kind) &&
+        e.kind != FaultKind::kBatteryCliff) {
+      FaultEvent heal = e;
+      heal.kind = healing_kind(e.kind);
+      heal.duration = 0.0;
+      heal.at = e.at + e.duration;
+      out.push_back(heal);
+    }
+  }
+  // Probabilistic faults: Poisson arrivals over [0, horizon) from the
+  // plan's seed, in declaration order, so the concrete schedule depends
+  // only on the plan.
+  if (!plan.probabilistic.empty()) {
+    util::Rng rng(plan.seed ^ 0xfa017fa017ULL);
+    for (const auto& p : plan.probabilistic) {
+      Seconds t = 0.0;
+      while (true) {
+        t += -std::log(1.0 - rng.uniform()) / p.rate_per_s;
+        if (t >= plan.horizon) break;
+        FaultEvent e;
+        e.at = t;
+        e.kind = p.kind;
+        e.a = p.a;
+        e.b = p.b;
+        e.magnitude = p.magnitude;
+        out.push_back(e);
+        if (p.duration > 0.0 && p.kind != FaultKind::kBatteryCliff) {
+          FaultEvent heal = e;
+          heal.kind = healing_kind(p.kind);
+          heal.at = t + p.duration;
+          out.push_back(heal);
+        }
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace spectra::fault

@@ -97,4 +97,14 @@ struct FaultPlan {
   void validate() const;
 };
 
+// Expand a plan into concrete one-shot events: flaps unrolled into
+// alternating toggles, `duration`s turned into explicit healing events, and
+// probabilistic faults drawn into Poisson occurrences from the plan's seed.
+// Each returned event carries its absolute offset in `at`; the order is the
+// injector's historical scheduling order (declaration order, heals directly
+// after their cause), NOT time-sorted. Validates the plan first. Shared by
+// FaultInjector::arm and the fleet world, so both interpret a plan
+// identically.
+std::vector<FaultEvent> expand_plan(const FaultPlan& plan);
+
 }  // namespace spectra::fault

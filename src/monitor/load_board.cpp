@@ -1,0 +1,31 @@
+#include "monitor/load_board.h"
+
+#include "util/assert.h"
+
+namespace spectra::monitor {
+
+LoadBoard::LoadBoard(std::size_t servers, double smoothing_alpha) {
+  SPECTRA_REQUIRE(servers >= 1, "load board needs at least one server");
+  slots_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) slots_.emplace_back(smoothing_alpha);
+}
+
+void LoadBoard::publish(std::size_t server, double run_queue,
+                        double utilization, bool up) {
+  SPECTRA_REQUIRE(server < slots_.size(), "publish to unknown server");
+  Slot& slot = slots_[server];
+  slot.back_queue = run_queue;
+  slot.back_util = utilization;
+  slot.back_up = up;
+}
+
+void LoadBoard::flip() {
+  for (Slot& slot : slots_) {
+    slot.queue_est.add(slot.back_queue);
+    slot.front.run_queue = slot.queue_est.value();
+    slot.front.utilization = slot.back_util;
+    slot.front.up = slot.back_up;
+  }
+}
+
+}  // namespace spectra::monitor

@@ -1,0 +1,66 @@
+// Shared-server load observation for fleet-scale worlds.
+//
+// In the single-client testbeds the remote-CPU monitor learns server load
+// from status-poll RPCs. At fleet scale thousands of clients share a server
+// pool, and the contention they observe must come from each other — so each
+// pool server publishes one ground-truth load sample per tick (run-queue
+// length from its admission queue, utilization, up/down), and the board
+// smooths it with the same EWMA the server status path applies to sampled
+// run queues.
+//
+// The board is double-buffered around the tick barrier: publish() writes
+// the back buffer, flip() folds it into the front views, and every client
+// in the next decision stage reads the identical front view — concurrently,
+// without locks, and independent of evaluation order or --jobs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace spectra::monitor {
+
+// What a fleet client sees about one pool server at decision time.
+struct ServerLoadView {
+  double run_queue = 0.0;    // smoothed jobs holding or waiting for the CPU
+  double utilization = 0.0;  // busy fraction over the last tick
+  bool up = true;            // accepting work
+};
+
+class LoadBoard {
+ public:
+  explicit LoadBoard(std::size_t servers, double smoothing_alpha = 0.4);
+
+  std::size_t servers() const { return slots_.size(); }
+
+  // Server side, between decision stages: record this tick's ground truth.
+  void publish(std::size_t server, double run_queue, double utilization,
+               bool up);
+
+  // Tick barrier: make every published sample visible through view().
+  void flip();
+
+  // Client side, during the decision stage. Const and contention-free, so
+  // pool workers may call it concurrently.
+  const ServerLoadView& view(std::size_t server) const {
+    return slots_[server].front;
+  }
+
+  // Copy observation state from the same board in another world.
+  void copy_state_from(const LoadBoard& src) { slots_ = src.slots_; }
+
+ private:
+  struct Slot {
+    util::Ewma queue_est;
+    ServerLoadView front;
+    double back_queue = 0.0;
+    double back_util = 0.0;
+    bool back_up = true;
+    Slot(double alpha) : queue_est(alpha) {}
+  };
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace spectra::monitor

@@ -1,0 +1,781 @@
+#include "scenario/fleet.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace spectra::scenario {
+
+using namespace util;  // NOLINT: unit literals (_KB, _MB)
+
+namespace {
+
+// Clients are processed in fixed chunks of this many per pool task, so the
+// work partition (and thus every per-client artifact) is independent of the
+// worker count.
+constexpr std::size_t kClientChunk = 64;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, double v) {
+  return fnv_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+double wall_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- scenario
+
+const char* to_string(DeviceClass device) {
+  switch (device) {
+    case DeviceClass::kItsy: return "itsy";
+    case DeviceClass::kThinkpad: return "thinkpad";
+    case DeviceClass::kModern: return "modern";
+  }
+  return "unknown";
+}
+
+FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
+  SPECTRA_REQUIRE(config_.clients >= 1, "fleet needs at least one client");
+  SPECTRA_REQUIRE(config_.servers >= 1, "fleet needs at least one server");
+  SPECTRA_REQUIRE(config_.tick > 0.0, "fleet tick must be positive");
+  SPECTRA_REQUIRE(config_.horizon > 0.0, "fleet horizon must be positive");
+  SPECTRA_REQUIRE(config_.bandwidth > 0.0, "fleet bandwidth must be positive");
+  SPECTRA_REQUIRE(config_.itsy_fraction >= 0.0 &&
+                      config_.thinkpad_fraction >= 0.0 &&
+                      config_.itsy_fraction + config_.thinkpad_fraction <= 1.0,
+                  "device mix fractions must be a sub-probability");
+
+  // Pool servers alternate the paper's two server classes (400 MHz vs
+  // 933 MHz), so placement has a real speed/contention trade to make.
+  servers_.reserve(config_.servers);
+  for (std::size_t s = 0; s < config_.servers; ++s) {
+    FleetServerSpec spec;
+    std::ostringstream name;
+    name << "server-" << s;
+    spec.name = util::intern(name.str());
+    if (s % 2 == 0) {
+      spec.cpu_hz = 400e6;
+      spec.power = hw::PowerModel{20.0, 10.0, 2.0};
+    } else {
+      spec.cpu_hz = 933e6;
+      spec.power = hw::PowerModel{25.0, 15.0, 2.0};
+    }
+    servers_.push_back(spec);
+  }
+
+  util::Rng rng(config_.seed);
+
+  // Flash crowds: seeded windows in the middle of the run where the arrival
+  // rate multiplies fleet-wide. Drawn before the per-client streams so the
+  // windows are a function of (seed, flash config) alone.
+  for (int k = 0; k < config_.flash_crowds; ++k) {
+    const util::Seconds start =
+        rng.uniform(0.1, 0.8) * config_.horizon;
+    flash_windows_.emplace_back(start, start + config_.flash_duration);
+  }
+
+  profiles_.reserve(config_.clients);
+  schedules_.reserve(config_.clients);
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    // Each client gets a forked stream: its profile and schedule are
+    // independent of how many draws any other client consumed.
+    util::Rng crng = rng.fork();
+
+    FleetClientProfile profile;
+    const double mix = crng.uniform();
+    std::ostringstream name;
+    if (mix < config_.itsy_fraction) {
+      // Itsy-class handheld: slow, software floating point, tiny battery —
+      // remote execution is its lifeline, so it gets the largest fair-share
+      // weight and cares most about energy.
+      profile.device = DeviceClass::kItsy;
+      profile.cpu_hz = 206e6;
+      profile.fp_penalty = 3.0;
+      profile.power = hw::PowerModel{0.15, 1.55, 0.35};
+      profile.weight = 2.0;
+      profile.on_battery = true;
+      profile.energy_importance = 0.8;
+    } else if (mix < config_.itsy_fraction + config_.thinkpad_fraction) {
+      profile.device = DeviceClass::kThinkpad;
+      profile.cpu_hz = 233e6;
+      profile.fp_penalty = 1.0;
+      profile.power = hw::PowerModel{7.0, 6.0, 2.0};
+      profile.weight = 1.0;
+      profile.on_battery = true;
+      profile.energy_importance = 0.1;
+    } else {
+      // Modern wall-powered box: fast enough that remote mostly loses.
+      profile.device = DeviceClass::kModern;
+      profile.cpu_hz = 700e6;
+      profile.fp_penalty = 1.0;
+      profile.power = hw::PowerModel{7.0, 8.0, 2.0};
+      profile.weight = 0.5;
+      profile.on_battery = false;
+      profile.energy_importance = 0.0;
+    }
+    name << to_string(profile.device) << "-" << i;
+    profile.name = util::intern(name.str());
+    profile.rate_scale = crng.noise_factor(0.3);
+    profiles_.push_back(profile);
+
+    // Thinned (non-homogeneous) Poisson arrivals: draw at the peak rate,
+    // keep each with probability rate(t)/peak — exact for any bounded
+    // modulation, and each client's schedule is one pass over its stream.
+    const double base = config_.ops_per_client_hz * profile.rate_scale;
+    double peak_mult = 1.0 + config_.diurnal_amplitude;
+    if (!flash_windows_.empty()) peak_mult *= config_.flash_multiplier;
+    const double peak = base * peak_mult;
+    std::vector<FleetOp> ops;
+    util::Seconds t = 0.0;
+    while (true) {
+      t += -std::log(1.0 - crng.uniform()) / peak;
+      if (t >= config_.horizon) break;
+      const double rate = base * rate_multiplier(t);
+      if (crng.uniform() * peak >= rate) continue;
+      FleetOp op;
+      op.at = t;
+      op.cycles = crng.uniform(30e6, 150e6);
+      op.bytes = crng.uniform(20.0_KB, 150.0_KB);
+      op.fp_heavy = crng.bernoulli(0.3);
+      ops.push_back(op);
+    }
+    schedules_.push_back(std::move(ops));
+  }
+}
+
+double FleetScenario::rate_multiplier(util::Seconds t) const {
+  double m = 1.0 + config_.diurnal_amplitude *
+                       std::sin(2.0 * std::numbers::pi * t /
+                                config_.diurnal_period);
+  for (const auto& [start, end] : flash_windows_) {
+    if (t >= start && t < end) m *= config_.flash_multiplier;
+  }
+  return std::max(m, 0.0);
+}
+
+std::size_t FleetScenario::total_ops() const {
+  std::size_t n = 0;
+  for (const auto& s : schedules_) n += s.size();
+  return n;
+}
+
+// -------------------------------------------------------------------- world
+
+FleetWorld::FleetWorld(std::shared_ptr<const FleetScenario> scenario,
+                       obs::Observability* session)
+    : scenario_(std::move(scenario)),
+      session_(session),
+      board_(scenario_->servers().size()) {
+  const FleetConfig& cfg = scenario_->config();
+  clients_.resize(cfg.clients);
+  decision_scratch_.resize(cfg.clients);
+  servers_.reserve(cfg.servers);
+  for (std::size_t s = 0; s < cfg.servers; ++s) {
+    servers_.emplace_back(cfg.admission);
+  }
+  trace_on_ = session_ != nullptr && session_->tracing();
+  if (cfg.fault_plan.has_value()) {
+    fault_events_ = fault::expand_plan(*cfg.fault_plan);
+    // Stable by time: simultaneous events keep the plan's emission order,
+    // the same tie-break the engine-backed injector applies.
+    std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                     [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                       return a.at < b.at;
+                     });
+  }
+}
+
+void FleetWorld::trace_event(std::string* buf, const obs::TraceEvent& event) {
+  buf->append(event.to_json());
+  buf->push_back('\n');
+}
+
+double FleetWorld::ideal_time(std::uint32_t client, const FleetOp& op) const {
+  const FleetClientProfile& p = scenario_->profiles()[client];
+  const double pen = op.fp_heavy ? p.fp_penalty : 1.0;
+  const double local = op.cycles * pen / p.cpu_hz;
+  double best_hz = 0.0;
+  for (const auto& s : scenario_->servers()) best_hz = std::max(best_hz, s.cpu_hz);
+  const double remote = op.bytes / scenario_->config().bandwidth +
+                        scenario_->config().rtt + op.cycles / best_hz;
+  return std::min(local, remote);
+}
+
+void FleetWorld::run_local(std::uint32_t client, const FleetOp& op,
+                           util::Seconds from, bool fallback) {
+  ClientState& st = clients_[client];
+  const FleetClientProfile& p = scenario_->profiles()[client];
+  const double pen = op.fp_heavy ? p.fp_penalty : 1.0;
+  const util::Seconds exec = op.cycles * pen / p.cpu_hz;
+  const util::Seconds start = std::max(st.local_free_at, from);
+  LocalRun run;
+  run.arrived = op.at;
+  run.finish = start + exec;
+  run.energy = exec * (p.power.idle_w + p.power.cpu_w) +
+               (run.finish - exec - op.at) * p.power.idle_w;
+  run.ideal = ideal_time(client, op);
+  run.fallback = fallback;
+  st.local_free_at = run.finish;
+  st.local_runs.push_back(run);
+}
+
+void FleetWorld::complete_local(std::uint32_t client, util::Seconds t1) {
+  ClientState& st = clients_[client];
+  std::size_t done = 0;
+  while (done < st.local_runs.size() && st.local_runs[done].finish <= t1) {
+    const LocalRun& run = st.local_runs[done];
+    credit_completion(client, run.arrived, run.finish, run.energy, run.ideal,
+                      run.fallback ? -2 : -1);
+    ++done;
+  }
+  if (done > 0) {
+    st.local_runs.erase(st.local_runs.begin(),
+                        st.local_runs.begin() + static_cast<std::ptrdiff_t>(done));
+  }
+}
+
+void FleetWorld::credit_completion(std::uint32_t client, util::Seconds arrived,
+                                   util::Seconds finished, util::Joules energy,
+                                   util::Seconds ideal, int server) {
+  ClientState& st = clients_[client];
+  const bool remote = server >= 0;
+  const double latency = finished - arrived;
+  ++st.completed;
+  if (remote) {
+    ++st.completed_remote;
+  } else {
+    ++st.completed_local;
+  }
+  st.latency_sum_s += latency;
+  st.latencies_s.push_back(latency);
+  // Slowdown in (0, 1]: best unloaded placement time over achieved time.
+  st.slowdown_sum += latency > 0.0 ? std::min(ideal / latency, 1.0) : 1.0;
+  st.energy_j += energy;
+  if (trace_on_) {
+    obs::TraceEvent ev("fleet_op", finished);
+    ev.field("client", static_cast<std::int64_t>(client))
+        .field("mode", remote          ? "remote"
+                       : server == -2 ? "fallback"
+                                      : "local")
+        .field("latency", latency);
+    if (remote) ev.field("server", server);
+    trace_event(&st.trace, ev);
+  }
+}
+
+void FleetWorld::apply_faults(util::Seconds t0, util::Seconds t1) {
+  const std::size_t servers = servers_.size();
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].at < t1) {
+    const fault::FaultEvent& e = fault_events_[next_fault_++];
+    // Faults quantize to the start of the tick containing them.
+    switch (e.kind) {
+      case fault::FaultKind::kServerCrash: {
+        const auto s = static_cast<std::size_t>(e.a);
+        if (s >= servers || !servers_[s].up) break;
+        servers_[s].up = false;
+        tick_aborted_.clear();
+        servers_[s].queue.abort_all(&tick_aborted_);
+        // Fail aborted jobs back to their tenants (queue order), which
+        // rerun them locally from the crash tick.
+        for (const core::AdmissionJob& job : tick_aborted_) {
+          const RemoteMeta& meta = servers_[s].meta[job.id - 1];
+          ClientState& st = clients_[meta.client];
+          ++st.aborted;
+          FleetOp op;
+          op.at = meta.arrived;
+          op.cycles = meta.cycles;
+          op.bytes = meta.bytes;
+          op.fp_heavy = meta.fp_heavy;
+          run_local(meta.client, op, t0, /*fallback=*/true);
+        }
+        break;
+      }
+      case fault::FaultKind::kServerRestart: {
+        const auto s = static_cast<std::size_t>(e.a);
+        if (s < servers) servers_[s].up = true;
+        break;
+      }
+      case fault::FaultKind::kLatencySpike:
+        rtt_factor_ = e.magnitude;
+        break;
+      case fault::FaultKind::kLatencyRestore:
+        rtt_factor_ = 1.0;
+        break;
+      case fault::FaultKind::kBandwidthDrop:
+        bandwidth_factor_ = e.magnitude;
+        break;
+      case fault::FaultKind::kBandwidthRestore:
+        bandwidth_factor_ = 1.0;
+        break;
+      case fault::FaultKind::kLinkDown:
+        medium_up_ = false;
+        break;
+      case fault::FaultKind::kLinkUp:
+        medium_up_ = true;
+        break;
+      case fault::FaultKind::kLinkFlap:
+        SPECTRA_REQUIRE(false, "link_flap must be expanded before apply");
+        break;
+      case fault::FaultKind::kBatteryCliff:
+        // The fleet models energy in aggregate, not per-battery charge;
+        // cliffs change nothing here by design (see DESIGN.md).
+        break;
+    }
+    if (trace_on_ && e.kind != fault::FaultKind::kBatteryCliff) {
+      obs::TraceEvent ev("fleet_fault", t0);
+      ev.field("kind", fault::to_token(e.kind)).field("a", e.a);
+      if (e.magnitude != 0.0) ev.field("magnitude", e.magnitude);
+      trace_event(&fleet_trace_, ev);
+    }
+  }
+}
+
+void FleetWorld::serve_servers(util::Seconds t0, util::Seconds t1) {
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerState& server = servers_[s];
+    if (!server.up) continue;
+    tick_completions_.clear();
+    server.queue.advance(t0, t1 - t0, scenario_->servers()[s].cpu_hz,
+                         &tick_completions_);
+    for (const core::AdmissionCompletion& done : tick_completions_) {
+      const RemoteMeta& meta = server.meta[done.job.id - 1];
+      const FleetClientProfile& p = scenario_->profiles()[meta.client];
+      const double wait = done.finished_at - meta.arrived - meta.net_time;
+      const util::Joules energy =
+          meta.net_time * (p.power.idle_w + p.power.net_w) +
+          std::max(wait, 0.0) * p.power.idle_w;
+      FleetOp op;
+      op.at = meta.arrived;
+      op.cycles = meta.cycles;
+      op.bytes = meta.bytes;
+      op.fp_heavy = meta.fp_heavy;
+      credit_completion(meta.client, meta.arrived, done.finished_at, energy,
+                        ideal_time(meta.client, op), static_cast<int>(s));
+    }
+  }
+}
+
+FleetWorld::Decision FleetWorld::decide(std::uint32_t client,
+                                        const FleetOp& op) {
+  const FleetClientProfile& p = scenario_->profiles()[client];
+  const ClientState& st = clients_[client];
+  const FleetConfig& cfg = scenario_->config();
+
+  Decision d;
+  d.client = client;
+  d.op = op;
+
+  // Local alternative: wait for the local CPU, then execute (with the
+  // floating-point penalty when the op is FP-heavy and the device lacks an
+  // FPU worth the name).
+  const double pen = op.fp_heavy ? p.fp_penalty : 1.0;
+  const double local_wait = std::max(st.local_free_at - op.at, 0.0);
+  const double local_exec = op.cycles * pen / p.cpu_hz;
+  const double local_time = local_wait + local_exec;
+  const double local_energy =
+      local_exec * (p.power.idle_w + p.power.cpu_w) +
+      local_wait * p.power.idle_w;
+  double best_cost = local_time + p.energy_importance * local_energy;
+  d.server = -1;
+  d.predicted_s = local_time;
+
+  if (medium_up_) {
+    // Shared-medium contention: the EWMA of concurrent transfers divides
+    // the nominal bandwidth. Every client reads the same frozen estimate
+    // during a decision stage.
+    const double sharers =
+        std::max(medium_est_.empty() ? 1.0 : medium_est_.value(), 1.0);
+    const double bw = cfg.bandwidth * bandwidth_factor_ / sharers;
+    const double net_time = op.bytes / bw + cfg.rtt * rtt_factor_;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      const monitor::ServerLoadView& view = board_.view(s);
+      if (!view.up) continue;
+      const double hz = scenario_->servers()[s].cpu_hz;
+      // Processor sharing: this job would share the CPU with the smoothed
+      // run queue the server last published.
+      const double exec = op.cycles * (1.0 + view.run_queue) / hz;
+      const double time = net_time + exec;
+      const double energy =
+          net_time * (p.power.idle_w + p.power.net_w) +
+          exec * p.power.idle_w;
+      const double cost = time + p.energy_importance * energy;
+      if (cost < best_cost) {
+        best_cost = cost;
+        d.server = static_cast<int>(s);
+        d.predicted_s = time;
+        d.net_time_s = net_time;
+      }
+    }
+  }
+  return d;
+}
+
+void FleetWorld::decision_stage(util::Seconds t0, util::Seconds t1,
+                                exec::ThreadPool* pool) {
+  (void)t0;
+  const std::size_t n = clients_.size();
+  const std::size_t chunks = (n + kClientChunk - 1) / kClientChunk;
+  exec::parallel_for(pool, chunks, [&](std::size_t chunk) {
+    const std::size_t lo = chunk * kClientChunk;
+    const std::size_t hi = std::min(lo + kClientChunk, n);
+    for (std::size_t c = lo; c < hi; ++c) {
+      const auto client = static_cast<std::uint32_t>(c);
+      ClientState& st = clients_[c];
+      complete_local(client, t1);
+      const std::vector<FleetOp>& sched = scenario_->schedules()[c];
+      while (st.next_op < sched.size() && sched[st.next_op].at <= t1) {
+        const FleetOp& op = sched[st.next_op++];
+        const double w0 = wall_now_ms();
+        Decision d = decide(client, op);
+        st.decision_wall_ms.push_back(wall_now_ms() - w0);
+        ++st.decisions;
+        if (trace_on_) {
+          obs::TraceEvent ev("fleet_decision", op.at);
+          ev.field("client", static_cast<std::int64_t>(c))
+              .field("target",
+                     d.server < 0 ? std::string("local")
+                                  : scenario_->servers()[d.server].name.str())
+              .field("predicted", d.predicted_s);
+          trace_event(&st.trace, ev);
+        }
+        if (d.server < 0) {
+          run_local(client, op, op.at, /*fallback=*/false);
+        } else {
+          decision_scratch_[c].push_back(d);
+        }
+      }
+    }
+  });
+}
+
+void FleetWorld::submit_stage(util::Seconds t1) {
+  (void)t1;
+  tick_decisions_.clear();
+  for (auto& pending : decision_scratch_) {
+    tick_decisions_.insert(tick_decisions_.end(), pending.begin(),
+                           pending.end());
+    pending.clear();
+  }
+  // Global admission order: arrival time, ties by client index (stable —
+  // the scratch was concatenated in client order).
+  std::stable_sort(tick_decisions_.begin(), tick_decisions_.end(),
+                   [](const Decision& a, const Decision& b) {
+                     return a.op.at < b.op.at;
+                   });
+  std::size_t transfers = 0;
+  for (const Decision& d : tick_decisions_) {
+    const auto s = static_cast<std::size_t>(d.server);
+    ClientState& st = clients_[d.client];
+    if (!medium_up_ || !servers_[s].up) {
+      // The world changed between decision and submission (fault applied
+      // this tick): fall back to local execution.
+      ++st.rejected;
+      run_local(d.client, d.op, d.op.at, /*fallback=*/true);
+      continue;
+    }
+    const FleetClientProfile& p = scenario_->profiles()[d.client];
+    const auto id = servers_[s].queue.submit(
+        static_cast<int>(d.client), p.weight, d.op.cycles, d.op.at);
+    if (!id.has_value()) {
+      ++st.rejected;
+      run_local(d.client, d.op, d.op.at, /*fallback=*/true);
+      continue;
+    }
+    ++transfers;
+    RemoteMeta meta;
+    meta.client = d.client;
+    meta.arrived = d.op.at;
+    meta.bytes = d.op.bytes;
+    meta.net_time = d.net_time_s;
+    meta.cycles = d.op.cycles;
+    meta.fp_heavy = d.op.fp_heavy;
+    SPECTRA_REQUIRE(*id == servers_[s].meta.size() + 1,
+                    "admission ids must stay dense");
+    servers_[s].meta.push_back(meta);
+  }
+  remote_submissions_last_tick_ = transfers;
+}
+
+void FleetWorld::publish_loads(util::Seconds t0, util::Seconds t1) {
+  const double dt = t1 - t0;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerState& server = servers_[s];
+    const double busy = server.queue.busy_time();
+    const double util = dt > 0.0 ? (busy - server.busy_last) / dt : 0.0;
+    server.busy_last = busy;
+    board_.publish(s, server.queue.run_queue(), util, server.up);
+  }
+  board_.flip();
+  medium_est_.add(static_cast<double>(remote_submissions_last_tick_));
+}
+
+void FleetWorld::run_until(util::Seconds until, exec::ThreadPool* pool) {
+  const FleetConfig& cfg = scenario_->config();
+  until = std::min(until, cfg.horizon);
+  const double w0 = wall_now_ms();
+  while (now_ + 1e-9 < until) {
+    const util::Seconds t0 = now_;
+    const util::Seconds t1 = std::min(t0 + cfg.tick, until);
+    apply_faults(t0, t1);
+    serve_servers(t0, t1);
+    decision_stage(t0, t1, pool);
+    submit_stage(t1);
+    publish_loads(t0, t1);
+    now_ = t1;
+  }
+  wall_seconds_ += (wall_now_ms() - w0) / 1e3;
+}
+
+std::uint64_t FleetWorld::state_fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  for (const ClientState& st : clients_) {
+    h = fnv_mix(h, st.decisions);
+    h = fnv_mix(h, st.completed);
+    h = fnv_mix(h, st.completed_local);
+    h = fnv_mix(h, st.completed_remote);
+    h = fnv_mix(h, st.rejected);
+    h = fnv_mix(h, st.aborted);
+    h = fnv_mix(h, static_cast<std::uint64_t>(st.next_op));
+    h = fnv_mix(h, st.latency_sum_s);
+    h = fnv_mix(h, st.slowdown_sum);
+    h = fnv_mix(h, st.energy_j);
+    h = fnv_mix(h, st.local_free_at);
+    h = fnv_mix(h, static_cast<std::uint64_t>(st.local_runs.size()));
+  }
+  for (const ServerState& server : servers_) {
+    h = fnv_mix(h, server.queue.submitted());
+    h = fnv_mix(h, server.queue.admitted());
+    h = fnv_mix(h, server.queue.rejected());
+    h = fnv_mix(h, server.queue.completed());
+    h = fnv_mix(h, server.queue.aborted());
+    h = fnv_mix(h, static_cast<std::uint64_t>(server.queue.in_flight()));
+    h = fnv_mix(h, server.queue.busy_time());
+    h = fnv_mix(h, static_cast<std::uint64_t>(server.up ? 1 : 0));
+  }
+  h = fnv_mix(h, now_);
+  h = fnv_mix(h, medium_est_.empty() ? -1.0 : medium_est_.value());
+  return h;
+}
+
+std::unique_ptr<FleetWorld> FleetWorld::clone(obs::Observability* obs) const {
+  auto copy = std::make_unique<FleetWorld>(scenario_, obs);
+  copy->clients_ = clients_;
+  copy->servers_ = servers_;
+  copy->board_.copy_state_from(board_);
+  copy->medium_est_ = medium_est_;
+  copy->medium_up_ = medium_up_;
+  copy->rtt_factor_ = rtt_factor_;
+  copy->bandwidth_factor_ = bandwidth_factor_;
+  copy->next_fault_ = next_fault_;
+  copy->remote_submissions_last_tick_ = remote_submissions_last_tick_;
+  copy->now_ = now_;
+  copy->fleet_trace_ = fleet_trace_;
+  // Tracing follows the new session, but the shard buffers carry over, so
+  // the clone's merged trace equals an uncloned full run's.
+  if (!copy->trace_on_) {
+    copy->fleet_trace_.clear();
+    for (ClientState& st : copy->clients_) st.trace.clear();
+  }
+  return copy;
+}
+
+FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
+  if (finished_) return report_;
+  const FleetConfig& cfg = scenario_->config();
+  run_until(cfg.horizon, pool);
+  finished_ = true;
+
+  FleetReport r;
+  r.clients = cfg.clients;
+  r.servers = cfg.servers;
+  r.policy = cfg.admission.policy;
+  r.horizon = cfg.horizon;
+  r.virtual_end = now_;
+
+  std::vector<double> latencies;
+  std::vector<double> slowdowns;
+  std::vector<double> wall_ms;
+  for (const ClientState& st : clients_) {
+    r.decisions += st.decisions;
+    r.ops_completed += st.completed;
+    r.ops_local += st.completed_local;
+    r.ops_remote += st.completed_remote;
+    r.ops_rejected += st.rejected;
+    r.ops_aborted += st.aborted;
+    r.aggregate_energy_j += st.energy_j;
+    latencies.insert(latencies.end(), st.latencies_s.begin(),
+                     st.latencies_s.end());
+    wall_ms.insert(wall_ms.end(), st.decision_wall_ms.begin(),
+                   st.decision_wall_ms.end());
+    if (st.completed > 0) {
+      slowdowns.push_back(st.slowdown_sum /
+                          static_cast<double>(st.completed));
+    }
+  }
+  if (!latencies.empty()) {
+    r.latency_mean_s = util::mean_of(latencies);
+    r.latency_p50_s = util::percentile_value(latencies, 50.0);
+    r.latency_p99_s = util::percentile_value(latencies, 99.0);
+  }
+  // Jain's fairness index over per-client mean slowdown: 1.0 when every
+  // client gets the same relative service, 1/n when one client gets it all.
+  if (!slowdowns.empty()) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (double x : slowdowns) {
+      sum += x;
+      sq += x * x;
+    }
+    r.jain_fairness =
+        sq > 0.0 ? (sum * sum) / (static_cast<double>(slowdowns.size()) * sq)
+                 : 0.0;
+  }
+  double util_sum = 0.0;
+  double util_min = 1.0;
+  double util_max = 0.0;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const FleetServerSpec& spec = scenario_->servers()[s];
+    const double busy = servers_[s].queue.busy_time();
+    const double busy_frac = now_ > 0.0 ? busy / now_ : 0.0;
+    util_sum += busy_frac;
+    util_min = std::min(util_min, busy_frac);
+    util_max = std::max(util_max, busy_frac);
+    r.aggregate_energy_j +=
+        busy * (spec.power.idle_w + spec.power.cpu_w) +
+        (now_ - busy) * spec.power.idle_w;
+  }
+  r.server_utilization_mean = util_sum / static_cast<double>(servers_.size());
+  r.server_utilization_min = util_min;
+  r.server_utilization_max = util_max;
+  r.fingerprint = state_fingerprint();
+
+  r.wall_seconds = wall_seconds_;
+  if (!wall_ms.empty()) {
+    r.decision_wall_p50_ms = util::percentile_value(wall_ms, 50.0);
+    r.decision_wall_p99_ms = util::percentile_value(wall_ms, 99.0);
+  }
+  if (wall_seconds_ > 0.0) {
+    r.decisions_per_wall_sec =
+        static_cast<double>(r.decisions) / wall_seconds_;
+  }
+
+  if (session_ != nullptr) {
+    obs::MetricsRegistry& m = session_->metrics();
+    m.counter("fleet.decisions").add(static_cast<double>(r.decisions));
+    m.counter("fleet.ops.completed").add(static_cast<double>(r.ops_completed));
+    m.counter("fleet.ops.local").add(static_cast<double>(r.ops_local));
+    m.counter("fleet.ops.remote").add(static_cast<double>(r.ops_remote));
+    m.counter("fleet.ops.rejected").add(static_cast<double>(r.ops_rejected));
+    m.counter("fleet.ops.aborted").add(static_cast<double>(r.ops_aborted));
+    m.counter("fleet.energy_j").add(r.aggregate_energy_j);
+    m.counter("fleet.jain_fairness").add(r.jain_fairness);
+    obs::Histogram& lat = m.histogram("fleet.op.latency_s");
+    for (double x : latencies) lat.observe(x);
+    obs::Histogram& util_hist = m.histogram("fleet.server.utilization");
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      util_hist.observe(now_ > 0.0 ? servers_[s].queue.busy_time() / now_
+                                   : 0.0);
+    }
+    // Wall-clock metrics carry the ".wall_ms" suffix so determinism checks
+    // and goldens can strip them.
+    obs::Histogram& wall = m.histogram("fleet.decision.wall_ms");
+    for (double x : wall_ms) wall.observe(x);
+    m.histogram("fleet.run.wall_ms").observe(wall_seconds_ * 1e3);
+    if (session_->tracing()) {
+      // Fleet-level events first, then per-client shards in index order —
+      // the same deterministic merge discipline BatchRunner uses.
+      session_->trace()->write_raw(fleet_trace_);
+      for (const ClientState& st : clients_) {
+        session_->trace()->write_raw(st.trace);
+      }
+      obs::TraceEvent summary("fleet_summary", now_);
+      summary.field("clients", static_cast<std::int64_t>(r.clients))
+          .field("completed", static_cast<std::int64_t>(r.ops_completed))
+          .field("remote", static_cast<std::int64_t>(r.ops_remote))
+          .field("rejected", static_cast<std::int64_t>(r.ops_rejected))
+          .field("p99_latency", r.latency_p99_s)
+          .field("jain", r.jain_fairness);
+      session_->trace()->emit(summary);
+    }
+  }
+
+  report_ = r;
+  return report_;
+}
+
+// ------------------------------------------------------------------- report
+
+std::string FleetReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"clients\": " << clients << ",\n";
+  os << "  \"servers\": " << servers << ",\n";
+  os << "  \"policy\": \"" << core::to_string(policy) << "\",\n";
+  os << "  \"horizon_s\": " << obs::format_double(horizon) << ",\n";
+  os << "  \"decisions\": " << decisions << ",\n";
+  os << "  \"ops_completed\": " << ops_completed << ",\n";
+  os << "  \"ops_local\": " << ops_local << ",\n";
+  os << "  \"ops_remote\": " << ops_remote << ",\n";
+  os << "  \"ops_rejected\": " << ops_rejected << ",\n";
+  os << "  \"ops_aborted\": " << ops_aborted << ",\n";
+  os << "  \"latency_p50_s\": " << obs::format_double(latency_p50_s) << ",\n";
+  os << "  \"latency_p99_s\": " << obs::format_double(latency_p99_s) << ",\n";
+  os << "  \"latency_mean_s\": " << obs::format_double(latency_mean_s)
+     << ",\n";
+  os << "  \"server_utilization_mean\": "
+     << obs::format_double(server_utilization_mean) << ",\n";
+  os << "  \"server_utilization_min\": "
+     << obs::format_double(server_utilization_min) << ",\n";
+  os << "  \"server_utilization_max\": "
+     << obs::format_double(server_utilization_max) << ",\n";
+  os << "  \"aggregate_energy_j\": "
+     << obs::format_double(aggregate_energy_j) << ",\n";
+  os << "  \"jain_fairness\": " << obs::format_double(jain_fairness) << ",\n";
+  os << "  \"virtual_end_s\": " << obs::format_double(virtual_end) << ",\n";
+  os << "  \"fingerprint\": \"" << std::hex << fingerprint << std::dec
+     << "\",\n";
+  os << "  \"wall\": {\n";
+  os << "    \"seconds\": " << obs::format_double(wall_seconds) << ",\n";
+  os << "    \"decision_p50_ms\": "
+     << obs::format_double(decision_wall_p50_ms) << ",\n";
+  os << "    \"decision_p99_ms\": "
+     << obs::format_double(decision_wall_p99_ms) << ",\n";
+  os << "    \"decisions_per_sec\": "
+     << obs::format_double(decisions_per_wall_sec) << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+FleetReport run_fleet(const FleetConfig& config, std::size_t jobs,
+                      obs::Observability* session) {
+  auto scenario = std::make_shared<FleetScenario>(config);
+  FleetWorld world(std::move(scenario), session);
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<exec::ThreadPool>(jobs);
+  return world.finish(pool.get());
+}
+
+}  // namespace spectra::scenario

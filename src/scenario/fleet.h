@@ -1,0 +1,335 @@
+// Fleet-scale worlds: N Spectra clients against a shared server pool.
+//
+// The paper's testbeds are one client and a couple of servers; the fleet
+// layer scales the world model to thousands of concurrent clients whose
+// remote-execution decisions contend for the same pool. Three pieces:
+//
+//   * FleetScenario — a seeded generator that turns a FleetConfig into a
+//     heterogeneous device mix (Itsy-class handhelds, ThinkPad-class
+//     laptops, modern wall-powered boxes), per-client arrival schedules
+//     (thinned-Poisson processes modulated by a diurnal wave and seeded
+//     flash crowds), and a pool of shared servers. Everything is a pure
+//     function of the seed.
+//
+//   * FleetWorld — a tick-based simulator over that scenario. Each tick:
+//     fault events apply, servers serve their admission queues
+//     (core::AdmissionQueue — bounded run queue, FIFO or weighted-fair),
+//     remote completions are credited back, then every client with due
+//     arrivals runs its decision pipeline against the last tick's published
+//     load views (monitor::LoadBoard) — this stage fans out across the
+//     exec::ThreadPool in fixed client chunks — and finally the accepted
+//     decisions are submitted to the pool in deterministic (arrival time,
+//     client) order. Server load observed by clients is therefore genuine
+//     multi-tenant contention, not a scripted background factor.
+//
+//   * FleetReport — fleet-level metrics: p50/p99 end-to-end operation
+//     latency (virtual, deterministic), wall-clock decision latency
+//     percentiles (real, metrics-only), server utilization, aggregate
+//     energy, and Jain's fairness index across clients.
+//
+// Determinism: decisions are pure functions of (client state, board view),
+// per-client observability shards merge into the session in client index
+// order, and every cross-client interaction happens in a sequential stage
+// with a fixed order — so traces, metrics, and reports are byte-identical
+// for any --jobs, and a cloned world replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/admission.h"
+#include "exec/thread_pool.h"
+#include "fault/fault_plan.h"
+#include "hw/power.h"
+#include "monitor/load_board.h"
+#include "obs/obs.h"
+#include "util/interner.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace spectra::scenario {
+
+// ----------------------------------------------------------------- scenario
+
+enum class DeviceClass { kItsy, kThinkpad, kModern };
+
+const char* to_string(DeviceClass device);
+
+struct FleetClientProfile {
+  DeviceClass device = DeviceClass::kThinkpad;
+  util::Symbol name;  // interned, e.g. "itsy-0042"
+  util::Hertz cpu_hz = 0.0;
+  double fp_penalty = 1.0;
+  hw::PowerModel power;
+  // Admission weight under the weighted-fair policy.
+  double weight = 1.0;
+  bool on_battery = false;
+  // Energy-conservation importance c in the decision's utility product.
+  double energy_importance = 0.0;
+  // Per-client arrival-rate multiplier (some users are chattier).
+  double rate_scale = 1.0;
+};
+
+// One operation arrival: the client must run `cycles` of work, shipping
+// `bytes` over the shared medium if it executes remotely.
+struct FleetOp {
+  util::Seconds at = 0.0;
+  util::Cycles cycles = 0.0;
+  util::Bytes bytes = 0.0;
+  bool fp_heavy = false;
+};
+
+struct FleetServerSpec {
+  util::Symbol name;
+  util::Hertz cpu_hz = 0.0;
+  hw::PowerModel power;
+};
+
+struct FleetConfig {
+  std::size_t clients = 1000;
+  std::size_t servers = 8;
+  std::uint64_t seed = 1;
+  util::Seconds horizon = 300.0;
+  util::Seconds tick = 0.5;
+  core::AdmissionConfig admission;
+
+  // Arrival process: per-client base rate, modulated by a diurnal sine wave
+  // and flash crowds (seeded windows where the rate multiplies).
+  double ops_per_client_hz = 0.04;
+  double diurnal_amplitude = 0.6;       // rate *= 1 + A*sin(2*pi*t/period)
+  util::Seconds diurnal_period = 120.0;
+  int flash_crowds = 1;
+  double flash_multiplier = 6.0;
+  util::Seconds flash_duration = 10.0;
+
+  // Device mix fractions (remainder is kModern).
+  double itsy_fraction = 0.4;
+  double thinkpad_fraction = 0.4;
+
+  // Shared wireless medium (paper-shaped 2 Mb/s) and its base round trip.
+  util::BytesPerSec bandwidth = 250e3;
+  util::Seconds rtt = 0.02;
+
+  // Optional fault plan: server_crash/server_restart address pool servers
+  // by index, latency/bandwidth faults scale the shared medium, link faults
+  // partition the medium outright. Battery cliffs are ignored (they change
+  // decisions, not liveness, and the fleet models energy in aggregate).
+  std::optional<fault::FaultPlan> fault_plan;
+};
+
+class FleetScenario {
+ public:
+  explicit FleetScenario(FleetConfig config);
+
+  const FleetConfig& config() const { return config_; }
+  const std::vector<FleetClientProfile>& profiles() const { return profiles_; }
+  const std::vector<FleetServerSpec>& servers() const { return servers_; }
+  // Per-client arrival schedules, each sorted by time.
+  const std::vector<std::vector<FleetOp>>& schedules() const {
+    return schedules_;
+  }
+  const std::vector<std::pair<util::Seconds, util::Seconds>>& flash_windows()
+      const {
+    return flash_windows_;
+  }
+
+  // Arrival-rate multiplier at time t (diurnal wave x flash crowds), before
+  // the per-client rate scale. Exposed for tests.
+  double rate_multiplier(util::Seconds t) const;
+
+  std::size_t total_ops() const;
+
+ private:
+  FleetConfig config_;
+  std::vector<FleetClientProfile> profiles_;
+  std::vector<FleetServerSpec> servers_;
+  std::vector<std::vector<FleetOp>> schedules_;
+  std::vector<std::pair<util::Seconds, util::Seconds>> flash_windows_;
+};
+
+// ------------------------------------------------------------------- report
+
+struct FleetReport {
+  // Shape echo.
+  std::size_t clients = 0;
+  std::size_t servers = 0;
+  core::AdmissionPolicy policy = core::AdmissionPolicy::kFifo;
+  util::Seconds horizon = 0.0;
+
+  // Deterministic aggregates (safe for goldens and --jobs identity).
+  std::uint64_t decisions = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_local = 0;     // completed locally (chosen or fallback)
+  std::uint64_t ops_remote = 0;    // completed on a pool server
+  std::uint64_t ops_rejected = 0;  // admission rejections (fell back local)
+  std::uint64_t ops_aborted = 0;   // lost to a server crash, rerun locally
+  double latency_p50_s = 0.0;      // end-to-end, virtual time
+  double latency_p99_s = 0.0;
+  double latency_mean_s = 0.0;
+  double server_utilization_mean = 0.0;
+  double server_utilization_min = 0.0;
+  double server_utilization_max = 0.0;
+  util::Joules aggregate_energy_j = 0.0;
+  double jain_fairness = 0.0;  // over per-client mean slowdown, in (0, 1]
+  util::Seconds virtual_end = 0.0;
+  // FNV-1a over per-client and per-server outcome state; equal fingerprints
+  // mean bit-identical fleet execution.
+  std::uint64_t fingerprint = 0;
+
+  // Wall-clock measurements (real time; never in goldens or stdout tables).
+  double wall_seconds = 0.0;
+  double decision_wall_p50_ms = 0.0;
+  double decision_wall_p99_ms = 0.0;
+  double decisions_per_wall_sec = 0.0;
+
+  // Machine-readable form: deterministic fields first, wall-clock fields
+  // under a "wall" object so consumers can strip them for identity checks.
+  std::string to_json() const;
+};
+
+// -------------------------------------------------------------------- world
+
+class FleetWorld {
+ public:
+  // `session` (nullable) receives merged per-client metrics and traces when
+  // the run finishes. Tracing must be enabled before run_until is called.
+  FleetWorld(std::shared_ptr<const FleetScenario> scenario,
+             obs::Observability* session);
+
+  const FleetScenario& scenario() const { return *scenario_; }
+  util::Seconds now() const { return now_; }
+  bool finished() const { return finished_; }
+
+  // Advance whole ticks until virtual time reaches `until` (clamped to the
+  // horizon). The per-tick decision stage fans out across `pool` (null runs
+  // inline — the sequential reference path).
+  void run_until(util::Seconds until, exec::ThreadPool* pool);
+
+  // Run to the horizon, merge per-client shards into the session bundle (in
+  // client index order), and build the report. Idempotent.
+  FleetReport finish(exec::ThreadPool* pool);
+
+  // Deep-copy mid-run state into a fresh world reporting to `obs`. The
+  // clone continues bit-identically to this world: same decisions, same
+  // admissions, same completions, same trace bytes from the start of the
+  // run (per-client shard buffers are carried over).
+  std::unique_ptr<FleetWorld> clone(obs::Observability* obs) const;
+
+  // FNV-1a over mutable outcome state; exposed for clone/replay tests.
+  std::uint64_t state_fingerprint() const;
+
+ private:
+  struct LocalRun {
+    util::Seconds finish = 0.0;
+    util::Seconds arrived = 0.0;
+    util::Joules energy = 0.0;
+    util::Seconds ideal = 0.0;  // best unloaded placement time for the op
+    bool fallback = false;      // admission rejection or crash rerun
+  };
+
+  // Everything one client mutates; workers touch only their own clients.
+  struct ClientState {
+    std::size_t next_op = 0;         // cursor into the arrival schedule
+    util::Seconds local_free_at = 0.0;
+    std::vector<LocalRun> local_runs;  // FIFO, completion-ordered
+    // Outcome accounting (drives the report and the fingerprint).
+    std::uint64_t decisions = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t completed_local = 0;
+    std::uint64_t completed_remote = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t aborted = 0;
+    double latency_sum_s = 0.0;
+    double slowdown_sum = 0.0;  // ideal/actual per completed op
+    util::Joules energy_j = 0.0;
+    std::vector<double> latencies_s;     // per completed op, virtual
+    std::vector<double> decision_wall_ms;  // real; metrics only
+    std::string trace;  // per-client JSONL shard, merged at finish
+  };
+
+  struct RemoteMeta {
+    std::uint32_t client = 0;
+    util::Seconds arrived = 0.0;
+    util::Bytes bytes = 0.0;
+    util::Seconds net_time = 0.0;  // uplink time already spent
+    util::Cycles cycles = 0.0;
+    bool fp_heavy = false;
+  };
+
+  struct ServerState {
+    core::AdmissionQueue queue;
+    bool up = true;
+    // Job metadata by (id - 1); AdmissionQueue ids are sequential.
+    std::vector<RemoteMeta> meta;
+    util::Seconds busy_last = 0.0;  // busy_time() at the last publish
+    ServerState(const core::AdmissionConfig& cfg) : queue(cfg) {}
+  };
+
+  // One decision produced by the parallel stage, applied sequentially.
+  struct Decision {
+    std::uint32_t client = 0;
+    FleetOp op;
+    int server = -1;  // -1 = local
+    double predicted_s = 0.0;
+    double net_time_s = 0.0;  // predicted uplink time, charged on admit
+  };
+
+  void apply_faults(util::Seconds t0, util::Seconds t1);
+  void serve_servers(util::Seconds t0, util::Seconds t1);
+  void decision_stage(util::Seconds t0, util::Seconds t1,
+                      exec::ThreadPool* pool);
+  void submit_stage(util::Seconds t1);
+  void publish_loads(util::Seconds t0, util::Seconds t1);
+  // Client-side pipeline pieces (called from pool workers; touch only the
+  // client's own state plus read-only shared views).
+  void complete_local(std::uint32_t client, util::Seconds t1);
+  Decision decide(std::uint32_t client, const FleetOp& op);
+  void run_local(std::uint32_t client, const FleetOp& op, util::Seconds from,
+                 bool fallback);
+  // `server` is the pool index for remote completions, -1 for plain local,
+  // -2 for a local fallback (rejection or crash rerun).
+  void credit_completion(std::uint32_t client, util::Seconds arrived,
+                         util::Seconds finished, util::Joules energy,
+                         util::Seconds ideal, int server);
+  double ideal_time(std::uint32_t client, const FleetOp& op) const;
+  void trace_event(std::string* buf, const obs::TraceEvent& event);
+
+  std::shared_ptr<const FleetScenario> scenario_;
+  obs::Observability* session_;
+  std::vector<ClientState> clients_;
+  std::vector<ServerState> servers_;
+  monitor::LoadBoard board_;
+  // Shared-medium congestion estimate: EWMA of concurrent remote transfers
+  // per tick; all clients read the same value during a decision stage.
+  util::Ewma medium_est_{0.4};
+  bool medium_up_ = true;
+  double rtt_factor_ = 1.0;
+  double bandwidth_factor_ = 1.0;
+  // Expanded fault events (absolute time, stable order) and a cursor.
+  std::vector<fault::FaultEvent> fault_events_;
+  std::size_t next_fault_ = 0;
+  std::size_t remote_submissions_last_tick_ = 0;
+  util::Seconds now_ = 0.0;
+  bool finished_ = false;
+  std::string fleet_trace_;  // world-level events (faults), merged first
+  bool trace_on_ = false;
+  // Scratch reused across ticks. decision_scratch_[client] receives the
+  // client's remote picks during the parallel stage (own slot only).
+  std::vector<std::vector<Decision>> decision_scratch_;
+  std::vector<Decision> tick_decisions_;
+  std::vector<core::AdmissionCompletion> tick_completions_;
+  std::vector<core::AdmissionJob> tick_aborted_;
+  double wall_seconds_ = 0.0;
+  FleetReport report_;  // cached by finish()
+};
+
+// Convenience: build scenario + world, run to the horizon with `jobs`
+// workers, and return the report (the `spectra fleet` entry point).
+FleetReport run_fleet(const FleetConfig& config, std::size_t jobs,
+                      obs::Observability* session);
+
+}  // namespace spectra::scenario

@@ -1,0 +1,478 @@
+// Fleet-scale world tests (ISSUE 6): admission-queue properties, scenario
+// generator determinism, and whole-fleet determinism under parallelism,
+// cloning, and chaos.
+//
+//   * AdmissionQueue property tests — FIFO ordering, weighted-fair shares
+//     and starvation freedom, the queue bound, and conservation
+//     (submitted == admitted + rejected; admitted == completed + aborted +
+//     in-flight) under randomized arrival/advance/abort sequences.
+//   * FleetScenario — pure function of the seed; diurnal waves and flash
+//     crowds actually modulate arrivals; the device mix matches the
+//     configured fractions.
+//   * FleetWorld — a 64-client fleet is byte-identical (trace, metrics
+//     CSV, fingerprint) for --jobs=1 vs --jobs=8, with and without a chaos
+//     fault plan; a mid-run clone replays bit-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "exec/thread_pool.h"
+#include "fault/chaos.h"
+#include "monitor/load_board.h"
+#include "obs/obs.h"
+#include "scenario/fleet.h"
+#include "util/rng.h"
+
+namespace spectra {
+namespace {
+
+using core::AdmissionCompletion;
+using core::AdmissionConfig;
+using core::AdmissionJob;
+using core::AdmissionPolicy;
+using core::AdmissionQueue;
+using scenario::DeviceClass;
+using scenario::FleetConfig;
+using scenario::FleetReport;
+using scenario::FleetScenario;
+using scenario::FleetWorld;
+
+// ---------------------------------------------------------------- admission
+
+TEST(AdmissionQueue, FifoSingleSlotCompletesInSubmitOrder) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicy::kFifo;
+  cfg.service_slots = 1;
+  AdmissionQueue q(cfg);
+  util::Rng rng(7);
+  std::vector<std::uint64_t> submitted;
+  for (int i = 0; i < 20; ++i) {
+    auto id = q.submit(i % 5, 1.0, rng.uniform(1e6, 9e6), 0.0);
+    ASSERT_TRUE(id.has_value());
+    submitted.push_back(*id);
+  }
+  std::vector<AdmissionCompletion> done;
+  q.advance(0.0, 1e6, 1e6, &done);
+  q.check_invariants();
+  ASSERT_EQ(done.size(), submitted.size());
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].job.id, submitted[i]) << "FIFO order broken at " << i;
+  }
+}
+
+TEST(AdmissionQueue, FifoDispatchOrderMatchesSubmitOrderWithSlots) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicy::kFifo;
+  cfg.service_slots = 3;
+  AdmissionQueue q(cfg);
+  for (int i = 0; i < 12; ++i) q.submit(0, 1.0, 5e6, 0.0);
+  std::vector<AdmissionCompletion> done;
+  q.advance(0.0, 100.0, 1e6, &done);
+  ASSERT_EQ(done.size(), 12u);
+  // Equal-size jobs through fair-shared slots: completion order is dispatch
+  // order is submit order.
+  for (std::size_t i = 1; i < done.size(); ++i) {
+    EXPECT_LE(done[i - 1].job.started_at, done[i].job.started_at);
+    EXPECT_LE(done[i - 1].finished_at, done[i].finished_at);
+  }
+}
+
+TEST(AdmissionQueue, WeightedFairSharesServiceByWeight) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicy::kWeightedFair;
+  cfg.service_slots = 1;
+  cfg.queue_bound = 1000;
+  AdmissionQueue q(cfg);
+  // Two backlogged tenants, weight 2 vs 1, equal-size jobs.
+  for (int i = 0; i < 60; ++i) {
+    q.submit(0, 2.0, 1e6, 0.0);
+    q.submit(1, 1.0, 1e6, 0.0);
+  }
+  std::vector<AdmissionCompletion> done;
+  // Serve exactly 30 jobs' worth of cycles.
+  q.advance(0.0, 30.0, 1e6, &done);
+  q.check_invariants();
+  int tenant0 = 0;
+  for (const auto& d : done) tenant0 += d.job.tenant == 0 ? 1 : 0;
+  // Weight-2 tenant should get about two thirds of the service.
+  EXPECT_NEAR(static_cast<double>(tenant0) / static_cast<double>(done.size()),
+              2.0 / 3.0, 0.1);
+}
+
+TEST(AdmissionQueue, WeightedFairNeverStarvesLightTenant) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicy::kWeightedFair;
+  cfg.service_slots = 2;
+  cfg.queue_bound = 500;
+  AdmissionQueue q(cfg);
+  std::vector<AdmissionCompletion> done;
+  // A heavy tenant floods every step; a light (weight 0.1) tenant submits
+  // one job per step. If the virtual clock did not advance, the light
+  // tenant's early tags would still win eventually — starvation-freedom
+  // means every light job completes within the run.
+  std::set<std::uint64_t> light_jobs;
+  double t = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    for (int i = 0; i < 3; ++i) q.submit(0, 10.0, 2e6, t);
+    auto id = q.submit(1, 0.1, 2e6, t);
+    if (id.has_value()) light_jobs.insert(*id);
+    q.advance(t, 1.0, 10e6, &done);
+    q.check_invariants();
+    t += 1.0;
+  }
+  q.advance(t, 1e6, 10e6, &done);  // drain
+  ASSERT_FALSE(light_jobs.empty());
+  std::set<std::uint64_t> completed;
+  for (const auto& d : done) completed.insert(d.job.id);
+  for (std::uint64_t id : light_jobs) {
+    EXPECT_TRUE(completed.count(id) > 0)
+        << "light-tenant job " << id << " starved";
+  }
+}
+
+TEST(AdmissionQueue, QueueBoundNeverExceededUnderRandomArrivals) {
+  for (const auto policy :
+       {AdmissionPolicy::kFifo, AdmissionPolicy::kWeightedFair}) {
+    AdmissionConfig cfg;
+    cfg.policy = policy;
+    cfg.queue_bound = 8;
+    cfg.service_slots = 2;
+    AdmissionQueue q(cfg);
+    util::Rng rng(99);
+    std::vector<AdmissionCompletion> done;
+    double t = 0.0;
+    std::uint64_t rejected_seen = 0;
+    for (int step = 0; step < 2000; ++step) {
+      const int burst = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < burst; ++i) {
+        q.submit(static_cast<int>(rng.uniform_int(0, 9)),
+                 rng.uniform(0.5, 4.0), rng.uniform(1e5, 5e6), t);
+        q.check_invariants();
+        EXPECT_LE(q.queued(), cfg.queue_bound);
+      }
+      const double dt = rng.uniform(0.0, 0.2);
+      q.advance(t, dt, 2e6, &done);
+      q.check_invariants();
+      t += dt;
+      rejected_seen = q.rejected();
+    }
+    // The bound must actually bite in this load regime, or the test is
+    // vacuous.
+    EXPECT_GT(rejected_seen, 0u) << core::to_string(policy);
+  }
+}
+
+TEST(AdmissionQueue, ConservationUnderRandomizedLifecycle) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    AdmissionConfig cfg;
+    cfg.policy = trial % 2 == 0 ? AdmissionPolicy::kFifo
+                                : AdmissionPolicy::kWeightedFair;
+    cfg.queue_bound = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    cfg.service_slots = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    AdmissionQueue q(cfg);
+    std::vector<AdmissionCompletion> done;
+    std::vector<AdmissionJob> aborted;
+    double t = 0.0;
+    for (int step = 0; step < 300; ++step) {
+      const double action = rng.uniform();
+      if (action < 0.6) {
+        q.submit(static_cast<int>(rng.uniform_int(0, 5)),
+                 rng.uniform(0.5, 3.0), rng.uniform(1e5, 1e7), t);
+      } else if (action < 0.95) {
+        const double dt = rng.uniform(0.0, 1.0);
+        q.advance(t, dt, 3e6, &done);
+        t += dt;
+      } else {
+        q.abort_all(&aborted);  // server crash
+      }
+      q.check_invariants();
+    }
+    EXPECT_EQ(q.submitted(), q.admitted() + q.rejected());
+    EXPECT_EQ(q.admitted(),
+              q.completed() + q.aborted() + q.in_flight());
+    EXPECT_EQ(q.completed(), done.size());
+    EXPECT_EQ(q.aborted(), aborted.size());
+  }
+}
+
+// --------------------------------------------------------------- load board
+
+TEST(LoadBoard, PublishIsInvisibleUntilFlip) {
+  monitor::LoadBoard board(2, /*smoothing_alpha=*/1.0);
+  board.publish(0, 5.0, 0.8, false);
+  EXPECT_EQ(board.view(0).run_queue, 0.0);
+  EXPECT_TRUE(board.view(0).up);
+  board.flip();
+  EXPECT_EQ(board.view(0).run_queue, 5.0);
+  EXPECT_EQ(board.view(0).utilization, 0.8);
+  EXPECT_FALSE(board.view(0).up);
+}
+
+TEST(LoadBoard, SmoothsRunQueueAcrossFlips) {
+  monitor::LoadBoard board(1, /*smoothing_alpha=*/0.5);
+  board.publish(0, 4.0, 0.0, true);
+  board.flip();
+  board.publish(0, 0.0, 0.0, true);
+  board.flip();
+  EXPECT_NEAR(board.view(0).run_queue, 2.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- scenario
+
+FleetConfig small_config() {
+  FleetConfig cfg;
+  cfg.clients = 64;
+  cfg.servers = 3;
+  cfg.seed = 11;
+  cfg.horizon = 60.0;
+  cfg.admission.policy = AdmissionPolicy::kWeightedFair;
+  return cfg;
+}
+
+TEST(FleetScenario, IsAPureFunctionOfTheSeed) {
+  const FleetScenario a(small_config());
+  const FleetScenario b(small_config());
+  ASSERT_EQ(a.schedules().size(), b.schedules().size());
+  ASSERT_EQ(a.total_ops(), b.total_ops());
+  for (std::size_t c = 0; c < a.schedules().size(); ++c) {
+    ASSERT_EQ(a.schedules()[c].size(), b.schedules()[c].size());
+    for (std::size_t i = 0; i < a.schedules()[c].size(); ++i) {
+      EXPECT_EQ(a.schedules()[c][i].at, b.schedules()[c][i].at);
+      EXPECT_EQ(a.schedules()[c][i].cycles, b.schedules()[c][i].cycles);
+    }
+    EXPECT_EQ(a.profiles()[c].device, b.profiles()[c].device);
+  }
+  FleetConfig other = small_config();
+  other.seed = 12;
+  const FleetScenario c(other);
+  EXPECT_NE(a.total_ops(), c.total_ops());
+}
+
+TEST(FleetScenario, FlashCrowdsConcentrateArrivals) {
+  FleetConfig cfg = small_config();
+  cfg.clients = 200;
+  cfg.flash_crowds = 1;
+  cfg.flash_multiplier = 8.0;
+  cfg.flash_duration = 6.0;
+  const FleetScenario scenario(cfg);
+  ASSERT_EQ(scenario.flash_windows().size(), 1u);
+  const auto [start, end] = scenario.flash_windows()[0];
+  EXPECT_GT(scenario.rate_multiplier((start + end) / 2.0),
+            4.0 * scenario.rate_multiplier(end + 1.0));
+  // Arrival density inside the window beats the run-wide average.
+  std::size_t in_window = 0;
+  for (const auto& sched : scenario.schedules()) {
+    for (const auto& op : sched) {
+      in_window += (op.at >= start && op.at < end) ? 1 : 0;
+    }
+  }
+  const double window_rate =
+      static_cast<double>(in_window) / (end - start);
+  const double overall_rate =
+      static_cast<double>(scenario.total_ops()) / cfg.horizon;
+  EXPECT_GT(window_rate, 2.0 * overall_rate);
+}
+
+TEST(FleetScenario, DiurnalWaveModulatesRate) {
+  FleetConfig cfg = small_config();
+  cfg.flash_crowds = 0;
+  cfg.diurnal_amplitude = 0.6;
+  cfg.diurnal_period = 120.0;
+  const FleetScenario scenario(cfg);
+  EXPECT_NEAR(scenario.rate_multiplier(30.0), 1.6, 1e-9);   // sin peak
+  EXPECT_NEAR(scenario.rate_multiplier(90.0), 0.4, 1e-9);   // sin trough
+  EXPECT_NEAR(scenario.rate_multiplier(0.0), 1.0, 1e-9);
+}
+
+TEST(FleetScenario, DeviceMixMatchesConfiguredFractions) {
+  FleetConfig cfg = small_config();
+  cfg.clients = 2000;
+  cfg.itsy_fraction = 0.4;
+  cfg.thinkpad_fraction = 0.4;
+  const FleetScenario scenario(cfg);
+  std::size_t itsy = 0;
+  std::size_t thinkpad = 0;
+  std::size_t modern = 0;
+  for (const auto& p : scenario.profiles()) {
+    switch (p.device) {
+      case DeviceClass::kItsy: ++itsy; break;
+      case DeviceClass::kThinkpad: ++thinkpad; break;
+      case DeviceClass::kModern: ++modern; break;
+    }
+  }
+  const auto frac = [&](std::size_t n) {
+    return static_cast<double>(n) / static_cast<double>(cfg.clients);
+  };
+  EXPECT_NEAR(frac(itsy), 0.4, 0.05);
+  EXPECT_NEAR(frac(thinkpad), 0.4, 0.05);
+  EXPECT_NEAR(frac(modern), 0.2, 0.05);
+}
+
+// ------------------------------------------------------------- determinism
+
+struct FleetRun {
+  std::string trace;
+  std::string metrics_csv;
+  FleetReport report;
+};
+
+FleetRun run_with_jobs(const FleetConfig& cfg, std::size_t jobs) {
+  FleetRun out;
+  std::ostringstream trace;
+  obs::Observability session;
+  session.trace_to(trace);
+  out.report = scenario::run_fleet(cfg, jobs, &session);
+  out.trace = trace.str();
+  std::ostringstream csv;
+  session.metrics().export_csv(csv);
+  out.metrics_csv = csv.str();
+  return out;
+}
+
+// Strip metric rows whose name carries the ".wall_ms" suffix — real time,
+// legitimately different between runs.
+std::string drop_wall_rows(const std::string& csv) {
+  std::istringstream in(csv);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string name = line.substr(0, line.find(','));
+    if (name.size() >= 8 &&
+        name.compare(name.size() - 8, 8, ".wall_ms") == 0) {
+      continue;
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(FleetDeterminism, SixtyFourClientsByteIdenticalAcrossJobs) {
+  const FleetConfig cfg = small_config();
+  const FleetRun seq = run_with_jobs(cfg, 1);
+  const FleetRun par = run_with_jobs(cfg, 8);
+  EXPECT_GT(seq.report.ops_completed, 0u);
+  EXPECT_GT(seq.report.ops_remote, 0u) << "fleet never went remote; the "
+                                          "contention model is not exercised";
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(drop_wall_rows(seq.metrics_csv), drop_wall_rows(par.metrics_csv));
+  EXPECT_EQ(seq.report.fingerprint, par.report.fingerprint);
+  EXPECT_EQ(seq.report.ops_completed, par.report.ops_completed);
+  EXPECT_EQ(seq.report.latency_p99_s, par.report.latency_p99_s);
+  EXPECT_EQ(seq.report.aggregate_energy_j, par.report.aggregate_energy_j);
+  EXPECT_EQ(seq.report.jain_fairness, par.report.jain_fairness);
+}
+
+TEST(FleetDeterminism, ByteIdenticalAcrossJobsUnderChaos) {
+  FleetConfig cfg = small_config();
+  fault::ChaosTopology topo;
+  topo.links = {{0, 1}};
+  topo.servers = {0, 1, 2};
+  fault::ChaosConfig chaos;
+  chaos.horizon = cfg.horizon;
+  chaos.intensity = 2.0;
+  cfg.fault_plan = fault::make_chaos_plan(21, topo, chaos);
+  const FleetRun seq = run_with_jobs(cfg, 1);
+  const FleetRun par = run_with_jobs(cfg, 8);
+  EXPECT_GT(seq.report.ops_completed, 0u);
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(drop_wall_rows(seq.metrics_csv), drop_wall_rows(par.metrics_csv));
+  EXPECT_EQ(seq.report.fingerprint, par.report.fingerprint);
+}
+
+TEST(FleetDeterminism, CloneReplaysBitIdentically) {
+  FleetConfig cfg = small_config();
+  fault::ChaosTopology topo;
+  topo.links = {{0, 1}};
+  topo.servers = {0};
+  fault::ChaosConfig chaos;
+  chaos.horizon = cfg.horizon;
+  cfg.fault_plan = fault::make_chaos_plan(33, topo, chaos);
+  auto scenario_ptr = std::make_shared<const FleetScenario>(cfg);
+
+  std::ostringstream trace_a;
+  obs::Observability session_a;
+  session_a.trace_to(trace_a);
+  FleetWorld world(scenario_ptr, &session_a);
+  world.run_until(cfg.horizon / 2.0, nullptr);
+
+  std::ostringstream trace_b;
+  obs::Observability session_b;
+  session_b.trace_to(trace_b);
+  auto clone = world.clone(&session_b);
+  EXPECT_EQ(world.state_fingerprint(), clone->state_fingerprint());
+
+  exec::ThreadPool pool(4);
+  const FleetReport ra = world.finish(nullptr);
+  const FleetReport rb = clone->finish(&pool);  // parallel, to boot
+  EXPECT_EQ(ra.fingerprint, rb.fingerprint);
+  EXPECT_EQ(ra.ops_completed, rb.ops_completed);
+  EXPECT_EQ(ra.latency_p99_s, rb.latency_p99_s);
+  EXPECT_EQ(ra.jain_fairness, rb.jain_fairness);
+  // The clone carried the first half's trace shards, so the merged traces
+  // are byte-identical end to end.
+  EXPECT_EQ(trace_a.str(), trace_b.str());
+}
+
+TEST(FleetDeterminism, FinishIsIdempotent) {
+  const FleetConfig cfg = small_config();
+  auto scenario_ptr = std::make_shared<const FleetScenario>(cfg);
+  FleetWorld world(scenario_ptr, nullptr);
+  const FleetReport a = world.finish(nullptr);
+  const FleetReport b = world.finish(nullptr);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.ops_completed, b.ops_completed);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(FleetReport, SingleClientHasPerfectFairness) {
+  FleetConfig cfg;
+  cfg.clients = 1;
+  cfg.servers = 1;
+  cfg.seed = 3;
+  cfg.horizon = 60.0;
+  cfg.ops_per_client_hz = 0.2;
+  const FleetReport r = scenario::run_fleet(cfg, 1, nullptr);
+  ASSERT_GT(r.ops_completed, 0u);
+  EXPECT_DOUBLE_EQ(r.jain_fairness, 1.0);
+}
+
+TEST(FleetReport, FairnessStaysHighUnderWeightedFair) {
+  const FleetConfig cfg = small_config();
+  const FleetReport r = scenario::run_fleet(cfg, 1, nullptr);
+  EXPECT_GT(r.jain_fairness, 0.8);
+  EXPECT_LE(r.jain_fairness, 1.0 + 1e-12);
+}
+
+TEST(FleetReport, ConservationAcrossTheWholeFleet) {
+  FleetConfig cfg = small_config();
+  cfg.horizon = 90.0;
+  const FleetReport r = scenario::run_fleet(cfg, 1, nullptr);
+  // Every completed op is local or remote; decisions cover at least the
+  // completed ops (in-flight ops at the horizon have decided but not
+  // finished).
+  EXPECT_EQ(r.ops_completed, r.ops_local + r.ops_remote);
+  EXPECT_GE(r.decisions, r.ops_completed);
+}
+
+TEST(FleetReport, JsonCarriesWallSectionSeparately) {
+  FleetConfig cfg = small_config();
+  cfg.clients = 8;
+  cfg.horizon = 10.0;
+  const FleetReport r = scenario::run_fleet(cfg, 1, nullptr);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall\""), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\""), std::string::npos);
+  // The deterministic block precedes the wall block.
+  EXPECT_LT(json.find("\"jain_fairness\""), json.find("\"wall\""));
+}
+
+}  // namespace
+}  // namespace spectra

@@ -28,6 +28,7 @@
 #include "obs/obs.h"
 #include "scenario/batch.h"
 #include "scenario/experiment.h"
+#include "scenario/fleet.h"
 
 namespace spectra {
 namespace {
@@ -237,6 +238,39 @@ TEST(GoldenTraceTest, BatchTraceIsByteIdenticalAcrossJobs) {
   const std::string t8 = traced_batch(8);
   EXPECT_EQ(t1, t8) << "--jobs=8 changed merged trace bytes";
   expect_golden("speech_batch_trace.jsonl.golden", t1);
+}
+
+// ----------------------------------------------------------------- fleet
+
+// A small traced fleet (12 clients, 2 servers, weighted-fair admission):
+// decision trace plus fleet metrics CSV, locked against goldens, and the
+// same bytes must come out of a --jobs=8 run.
+std::pair<std::string, std::string> fleet_run(std::size_t jobs) {
+  std::ostringstream trace;
+  obs::Observability session;
+  session.trace_to(trace);
+  scenario::FleetConfig cfg;
+  cfg.clients = 12;
+  cfg.servers = 2;
+  cfg.seed = 5;
+  cfg.horizon = 40.0;
+  cfg.ops_per_client_hz = 0.1;
+  cfg.admission.policy = core::AdmissionPolicy::kWeightedFair;
+  scenario::run_fleet(cfg, jobs, &session);
+  std::ostringstream csv;
+  session.metrics().export_csv(csv);
+  return {trace.str(), drop_wall_rows(csv.str())};
+}
+
+TEST(GoldenTraceTest, FleetTraceAndMetricsAreByteIdentical) {
+  const auto [trace, csv] = fleet_run(1);
+  EXPECT_FALSE(trace.empty());
+  expect_golden("fleet_trace.jsonl.golden", trace);
+  expect_golden("fleet_metrics.csv.golden", csv);
+
+  const auto [trace8, csv8] = fleet_run(8);
+  EXPECT_EQ(trace, trace8) << "--jobs=8 changed fleet trace bytes";
+  EXPECT_EQ(csv, csv8) << "--jobs=8 changed fleet metrics bytes";
 }
 
 }  // namespace
