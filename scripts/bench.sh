@@ -184,3 +184,35 @@ out = {
 json.dump(out, open(sys.argv[3], 'w'), indent=2)
 print('wrote', sys.argv[3])
 PYEOF
+
+# Daemon numbers: a loopback serve daemon under `spectra loadgen` — 64
+# concurrent sessions of begin/end round trips through the socket loop
+# and the decision path. Requests/sec and p50/p99 latency are wall-clock
+# (they measure the daemon), so they live here and never in traces or
+# goldens. scripts/check.sh gates requests_per_sec against serve_floor
+# in scripts/perf_baseline.json.
+SERVE_OUT="BENCH_serve.json"
+"$BUILD/src/cli/spectra" serve --port=0 > "$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$TMP/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+SERVE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/serve.log")
+[ -n "$SERVE_PORT" ] || { echo "serve daemon failed to start" >&2
+                          cat "$TMP/serve.log" >&2; exit 1; }
+"$BUILD/src/cli/spectra" loadgen --port="$SERVE_PORT" --clients=64 --ops=32 \
+    --json="$TMP/loadgen.json" > "$TMP/loadgen.txt"
+cat "$TMP/loadgen.txt"
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || true
+python3 - "$TMP/loadgen.json" "$SERVE_OUT" <<'PYEOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+floor = json.load(open('scripts/perf_baseline.json'))['serve_floor']
+cur['harness'] = 'scripts/bench.sh'
+cur['floor_requests_per_sec'] = floor['requests_per_sec']
+json.dump(cur, open(sys.argv[2], 'w'), indent=2)
+print('wrote', sys.argv[2], '--',
+      f"{cur['requests_per_sec']:.0f} req/s, p99 {cur['p99_ms']:.2f} ms")
+PYEOF

@@ -23,6 +23,45 @@ cmake --build "$BUILD" -j "$(nproc)"
 echo "== tier-1: ctest =="
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
+echo "== serve smoke =="
+# A real daemon on loopback: 64 concurrent loadgen sessions, a recorded
+# trace replayed byte-identically both over the wire and in-process, a
+# clean SIGINT shutdown (sinks flushed, exit 130), and a throughput gate
+# against serve_floor in scripts/perf_baseline.json.
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+"$BUILD/src/cli/spectra" serve --port=0 --record="$SERVE_TMP/rec.jsonl" \
+    > "$SERVE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVE_TMP/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/serve.log")
+[ -n "$PORT" ] || { echo "serve daemon failed to start" >&2
+                    cat "$SERVE_TMP/serve.log" >&2; exit 1; }
+"$BUILD/src/cli/spectra" loadgen --port="$PORT" --clients=64 --ops=4 \
+    --json="$SERVE_TMP/loadgen.json" >/dev/null
+cp "$SERVE_TMP/rec.jsonl" "$SERVE_TMP/rec_snapshot.jsonl"
+"$BUILD/src/cli/spectra" replay "$SERVE_TMP/rec_snapshot.jsonl" --port="$PORT" >/dev/null
+kill -INT "$SERVE_PID"
+SERVE_RC=0; wait "$SERVE_PID" || SERVE_RC=$?
+[ "$SERVE_RC" -eq 130 ] || { echo "serve daemon exit $SERVE_RC != 130 on SIGINT" >&2
+                             cat "$SERVE_TMP/serve.log" >&2; exit 1; }
+grep -q "shut down (signal)" "$SERVE_TMP/serve.log" || {
+  echo "serve daemon did not report signal shutdown" >&2; exit 1; }
+"$BUILD/src/cli/spectra" replay "$SERVE_TMP/rec_snapshot.jsonl" >/dev/null
+python3 - "$SERVE_TMP/loadgen.json" <<'PYEOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+floor = json.load(open('scripts/perf_baseline.json'))['serve_floor']
+got = cur['requests_per_sec']
+limit = floor['requests_per_sec'] * 0.9
+status = 'ok' if got >= limit else 'REGRESSION'
+print(f"  serve_64: {got:.0f} requests/s (floor*0.9 = {limit:.0f}) {status}")
+sys.exit(0 if got >= limit else 1)
+PYEOF
+
 echo "== sanitize smoke (address) =="
 # obs_test covers the trace/metrics hot paths; fleet_test drives the
 # admission queue, load board, and the parallel fleet tick pipeline (its

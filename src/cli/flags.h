@@ -1,0 +1,27 @@
+// Per-command flag validation for the spectra CLI.
+//
+// Historically the CLI looked options up by name and silently ignored
+// anything else, so `spectra fleet --polcy=wfq` ran a default-policy fleet
+// without a word. Every command now declares its accepted option/flag
+// names; the driver rejects the first unknown one with usage and a
+// non-zero exit before any work starts.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "cli/args.h"
+
+namespace spectra::cli {
+
+// The option/flag names `command` accepts, or nullptr for an unknown
+// command (the driver reports those separately).
+const std::set<std::string>* allowed_flags(const std::string& command);
+
+// The first (alphabetically) option/flag in `args` that `command` does not
+// accept; nullopt when all are valid or the command itself is unknown.
+std::optional<std::string> unknown_flag(const std::string& command,
+                                        const Args& args);
+
+}  // namespace spectra::cli

@@ -20,14 +20,20 @@
 #include <memory>
 
 #include "cli/args.h"
+#include "cli/flags.h"
 #include "fault/fault_plan.h"
 #include "obs/obs.h"
+#include "scenario/app_service.h"
 #include "scenario/batch.h"
 #include "scenario/experiment.h"
 #include "scenario/fleet.h"
 #include "scenario/soak.h"
+#include "serve/loadgen.h"
+#include "serve/replay.h"
+#include "serve/server.h"
 #include "util/assert.h"
 #include "util/log.h"
+#include "util/shutdown.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -62,6 +68,11 @@ usage:
                    [--jobs=N] [--fault-plan=FILE] [--json=FILE]
                    [--trace=FILE] [--metrics=FILE]
   spectra faults   --plan=FILE   (validate a fault plan, print canonical form)
+  spectra serve    [--port=N] [--host=ADDR] [--record=FILE] [--max-conns=N]
+  spectra replay   <record> [--host=ADDR] [--port=N]
+  spectra loadgen  --port=N [--host=ADDR] [--clients=N] [--ops=N]
+                   [--app=nullop|speech|latex|pangloss] [--scenario=S]
+                   [--seed=N] [--json=FILE]
   spectra scenarios
 
 flags: --verbose (component logs; SPECTRA_LOG=debug for more)
@@ -91,6 +102,15 @@ chaos soak (`spectra chaos`): runs N seeded random fault plans per app on
   cloned trained worlds, asserts liveness/consistency invariants, and
   replays every plan to confirm bit-identical outcomes. Exit status is
   non-zero on any violation. --json=FILE writes a machine-readable report.
+daemon (`spectra serve`): a non-blocking loopback socket server driving the
+  decision pipeline for remote clients (hello, register_app, begin/end
+  fidelity op, status, shutdown over a length-prefixed binary protocol).
+  --port=0 picks an ephemeral port (printed on stdout). --record=FILE
+  appends every decision/result as deterministic JSONL; `spectra replay`
+  re-runs a record (in-process, or against a daemon with --port) and exits
+  non-zero unless decisions match byte-for-byte. `spectra loadgen` floods a
+  daemon with concurrent loopback clients and reports throughput/latency.
+  SIGINT/SIGTERM shut the daemon down cleanly (record flushed).
 scenarios:
   speech:   baseline energy network cpu file-cache
   latex:    baseline file-cache reintegrate energy
@@ -510,6 +530,8 @@ int cmd_chaos(const Args& args) {
   std::ostringstream json;
   json << "[\n";
   for (std::size_t i = 0; i < apps_to_soak.size(); ++i) {
+    if (util::shutdown_requested()) break;  // flush what we have so far
+    if (i > 0) json << ",\n";
     SoakConfig cfg;
     cfg.app = apps_to_soak[i];
     cfg.plans = static_cast<int>(args.get_int("plans", 25));
@@ -527,7 +549,6 @@ int cmd_chaos(const Args& args) {
     for (const auto& p : report.plans) replays_ok &= p.replay_identical;
     clean = clean && report.clean() && replays_ok;
     json << report.to_json();
-    if (i + 1 < apps_to_soak.size()) json << ",\n";
   }
   json << "]\n";
   if (!json_path.empty()) {
@@ -571,6 +592,7 @@ int cmd_fleet(const Args& args) {
   table.add_row({"ops remote", std::to_string(r.ops_remote)});
   table.add_row({"admission rejections", std::to_string(r.ops_rejected)});
   table.add_row({"crash reruns", std::to_string(r.ops_aborted)});
+  table.add_row({"battery cliffs", std::to_string(r.battery_cliffs)});
   table.add_row({"p50 latency (s)", util::Table::num(r.latency_p50_s, 3)});
   table.add_row({"p99 latency (s)", util::Table::num(r.latency_p99_s, 3)});
   table.add_row(
@@ -610,6 +632,106 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  serve::ServeConfig cfg;
+  cfg.host = args.get("host", "127.0.0.1");
+  const long port = args.get_int("port", 0);
+  SPECTRA_REQUIRE(port >= 0 && port <= 65535, "--port must be 0..65535");
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.record_path = args.get("record", "");
+  cfg.max_connections =
+      static_cast<std::size_t>(args.get_int("max-conns", 256));
+  SPECTRA_REQUIRE(cfg.max_connections >= 1, "--max-conns must be >= 1");
+
+  serve::Server server(cfg, app_service_factory());
+  const std::uint16_t bound = server.bind();
+  // Parsed by scripts and tests; keep the format stable.
+  std::cout << "spectra serve: listening on " << cfg.host << ":" << bound
+            << "\n"
+            << std::flush;
+  const serve::Server::Stats stats = server.run();
+  std::cout << "spectra serve: shut down ("
+            << (stats.shutdown_frame ? "shutdown frame" : "signal") << "), "
+            << stats.connections << " connection(s), " << stats.ops
+            << " op(s) served\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  SPECTRA_REQUIRE(!args.positionals().empty(),
+                  "replay needs a record file: spectra replay <record>");
+  serve::ReplayConfig cfg;
+  cfg.record_path = args.positionals()[0];
+  cfg.host = args.get("host", "127.0.0.1");
+  cfg.port = static_cast<int>(args.get_int("port", -1));
+  const serve::ReplayResult r = serve::run_replay(cfg, app_service_factory());
+
+  util::Table table("replay: " + cfg.record_path);
+  table.set_header({"metric", "value"});
+  table.add_row({"mode", cfg.port < 0 ? "in-process"
+                                      : cfg.host + ":" +
+                                            std::to_string(cfg.port)});
+  table.add_row({"sessions", std::to_string(r.sessions)});
+  table.add_row({"operations", std::to_string(r.ops)});
+  table.add_row({"decisions identical", r.identical ? "yes" : "NO"});
+  std::cout << table.to_string();
+  if (!r.identical) {
+    std::cout << "first divergence (canonical line " << r.mismatch_line
+              << "):\n  recorded: " << r.expected_line
+              << "\n  replayed: " << r.actual_line << "\n";
+  }
+  return r.identical ? 0 : 1;
+}
+
+int cmd_loadgen(const Args& args) {
+  serve::LoadgenConfig cfg;
+  cfg.host = args.get("host", "127.0.0.1");
+  const long port = args.get_int("port", 0);
+  SPECTRA_REQUIRE(port >= 1 && port <= 65535,
+                  "loadgen needs --port=N of a running daemon");
+  cfg.port = static_cast<std::uint16_t>(port);
+  cfg.clients = static_cast<std::size_t>(args.get_int("clients", 8));
+  SPECTRA_REQUIRE(cfg.clients >= 1, "--clients must be >= 1");
+  cfg.ops_per_client = static_cast<std::size_t>(args.get_int("ops", 16));
+  cfg.app = args.get("app", "nullop");
+  cfg.scenario = args.get("scenario", "");
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const serve::LoadgenStats s = serve::run_loadgen(cfg);
+  util::Table table("loadgen: " + std::to_string(cfg.clients) +
+                    " client(s) x " + std::to_string(cfg.ops_per_client) +
+                    " op(s), app=" + cfg.app);
+  table.set_header({"metric", "value"});
+  table.add_row({"ops completed", std::to_string(s.ops)});
+  table.add_row({"client errors", std::to_string(s.errors)});
+  table.add_row({"wall (s)", util::Table::num(s.wall_s, 3)});
+  table.add_row({"requests/sec", util::Table::num(s.rps, 1)});
+  table.add_row({"p50 latency (ms)", util::Table::num(s.p50_ms, 3)});
+  table.add_row({"p99 latency (ms)", util::Table::num(s.p99_ms, 3)});
+  std::cout << table.to_string();
+  if (s.errors > 0) {
+    std::cerr << "loadgen: first error: " << s.first_error << "\n";
+  }
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    SPECTRA_REQUIRE(out.good(), "cannot write " + json_path);
+    out << "{\n"
+        << "  \"clients\": " << cfg.clients << ",\n"
+        << "  \"ops_per_client\": " << cfg.ops_per_client << ",\n"
+        << "  \"app\": \"" << cfg.app << "\",\n"
+        << "  \"ops\": " << s.ops << ",\n"
+        << "  \"errors\": " << s.errors << ",\n"
+        << "  \"wall_s\": " << s.wall_s << ",\n"
+        << "  \"requests_per_sec\": " << s.rps << ",\n"
+        << "  \"p50_ms\": " << s.p50_ms << ",\n"
+        << "  \"p99_ms\": " << s.p99_ms << "\n"
+        << "}\n";
+  }
+  return s.errors == 0 ? 0 : 1;
+}
+
 int cmd_scenarios() {
   util::Table table("Scenarios (from the paper's evaluation, §4)");
   table.set_header({"application", "scenario", "varies"});
@@ -632,10 +754,20 @@ int cmd_scenarios() {
 
 int run(int argc, const char* const* argv) {
   const Args args = Args::parse(argc, argv);
+  const std::string& cmd = args.command();
+  // A misspelled option used to be silently ignored (a default-policy run
+  // looked exactly like the requested one); reject it up front.
+  if (const auto bad = unknown_flag(cmd, args)) {
+    std::cerr << "unknown option for '" << cmd << "': --" << *bad << "\n\n";
+    usage();
+    return 2;
+  }
   if (args.has_flag("verbose")) {
     util::Logger::instance().set_level(util::LogLevel::kInfo);
   }
-  const std::string& cmd = args.command();
+  // Every command flushes sinks through normal unwind; the handler only
+  // flags the request so long-running loops can break between work units.
+  util::install_signal_handlers();
   if (cmd.empty() || cmd == "help") return usage();
   if (cmd == "speech") return cmd_speech(args);
   if (cmd == "latex") return cmd_latex(args);
@@ -645,6 +777,9 @@ int run(int argc, const char* const* argv) {
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "fleet") return cmd_fleet(args);
   if (cmd == "faults") return cmd_faults(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "loadgen") return cmd_loadgen(args);
   if (cmd == "scenarios") return cmd_scenarios();
   std::cerr << "unknown command: " << cmd << "\n\n";
   usage();
@@ -656,7 +791,14 @@ int run(int argc, const char* const* argv) {
 
 int main(int argc, char** argv) {
   try {
-    return spectra::cli::run(argc, argv);
+    const int rc = spectra::cli::run(argc, argv);
+    // By the time a signal-interrupted command returns here its sinks are
+    // flushed (normal unwind); report the interruption in the exit status.
+    if (spectra::util::shutdown_requested()) {
+      std::cerr << "spectra: interrupted, partial results flushed\n";
+      return 130;
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -892,6 +892,11 @@ const predict::OperationModel& SpectraClient::model(
   return registered(op).model;
 }
 
+const OperationDesc& SpectraClient::operation_desc(
+    const std::string& op) const {
+  return registered(op).desc;
+}
+
 predict::DemandEstimate SpectraClient::predict_demand(
     const std::string& op, const std::map<std::string, double>& params,
     const std::string& data_tag, const solver::Alternative& alt) const {

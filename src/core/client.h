@@ -248,6 +248,9 @@ class SpectraClient {
   bool is_registered(const std::string& op) const {
     return ops_.count(op) > 0;
   }
+  // The registration record of `op` (plan/fidelity names — the
+  // DecisionService boundary renders decisions from it).
+  const OperationDesc& operation_desc(const std::string& op) const;
   const predict::OperationModel& model(const std::string& op) const;
   predict::DemandEstimate predict_demand(
       const std::string& op, const std::map<std::string, double>& params,

@@ -1,0 +1,98 @@
+// DecisionService: the deployment boundary around the decision pipeline.
+//
+// The snapshot→predict→solve→commit path lives in SpectraClient, which is
+// wired into a simulated World (engine, machines, network, Coda). The
+// serve daemon must drive that same path for remote clients at operation
+// granularity — hello/register_app, begin_fidelity_op, end_fidelity_op —
+// without knowing anything about worlds or experiments. DecisionService is
+// that seam:
+//
+//   * everything session-scoped lives behind the interface: the trained
+//     models, monitors, solver state, and the (simulated) execution
+//     substrate the operation runs on;
+//   * everything transport-scoped stays outside: sockets, frames, record
+//     files, and session multiplexing belong to src/serve.
+//
+// Replies are plain serializable structs keyed by deterministic virtual
+// time, so a daemon session recorded to JSONL replays bit-identically for
+// the same (app, scenario, seed) — the record/replay contract.
+//
+// Implementations are built by a ServiceFactory; the CLI wires the
+// simulator-backed factory from src/scenario (scenario::app_service_factory)
+// so src/serve never links the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace spectra::core {
+
+// One begin_fidelity_op request as it crosses the wire: the operation
+// name, its continuous input parameters, and the data tag (e.g. the Latex
+// document identity) the file predictors key on.
+struct ServiceBeginRequest {
+  std::string op;
+  std::map<std::string, double> params;
+  std::string data_tag;
+};
+
+// The decision begin_fidelity_op produced, flattened for serialization.
+struct ServiceDecision {
+  bool ok = false;
+  bool from_model = false;  // false while the client is still exploring
+  std::string plan;         // execution-plan label, e.g. "hybrid"
+  std::string placement;    // "local" or the chosen server's label
+  std::map<std::string, double> fidelity;
+  double predicted_time_s = 0.0;
+  double predicted_energy_j = 0.0;
+  double log_utility = 0.0;
+  double t = 0.0;  // virtual time the decision was taken at
+};
+
+// What end_fidelity_op observed for the operation that just ran.
+struct ServiceOpResult {
+  bool ok = false;
+  std::uint64_t seq = 0;  // 1-based operation sequence within the session
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double t = 0.0;  // virtual time the operation completed at
+};
+
+struct ServiceStatus {
+  std::string app;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::string op;  // the registered operation's name
+  std::uint64_t ops_begun = 0;
+  std::uint64_t ops_completed = 0;
+  bool op_in_progress = false;
+  double virtual_now = 0.0;
+};
+
+class DecisionService {
+ public:
+  virtual ~DecisionService() = default;
+
+  virtual ServiceStatus status() const = 0;
+
+  // Run the full decision path for one operation. Throws
+  // util::ContractError when an operation is already in progress or the
+  // request is malformed; transport layers map that to an error reply.
+  virtual ServiceDecision begin_op(const ServiceBeginRequest& request) = 0;
+
+  // Execute the pending operation to completion (on the simulated
+  // substrate) and report observed usage. Throws when no operation is
+  // pending.
+  virtual ServiceOpResult end_op() = 0;
+};
+
+// Builds a service session for (app, scenario, seed); throws
+// util::ContractError on unknown app or scenario. Factories must be safe
+// to call repeatedly — the daemon creates one session per connection.
+using ServiceFactory = std::function<std::unique_ptr<DecisionService>(
+    const std::string& app, const std::string& scenario, std::uint64_t seed)>;
+
+}  // namespace spectra::core

@@ -90,6 +90,13 @@ class SpeechExperiment {
   }
   std::unique_ptr<World> trained_world(obs::Observability* obs) const;
 
+  // Trained world for one daemon session (scenario::app_service_factory):
+  // a clone of the shared template when reuse is on, a fresh retrain
+  // otherwise — exactly what each measured run gets.
+  std::unique_ptr<World> session_world() const {
+    return measurement_world(nullptr);
+  }
+
  private:
   std::unique_ptr<World> measurement_world(obs::Observability* run_obs) const;
   std::shared_ptr<const World> template_world() const;
@@ -132,6 +139,13 @@ class LatexExperiment {
     return trained_world(config_.obs);
   }
   std::unique_ptr<World> trained_world(obs::Observability* obs) const;
+
+  // Trained world for one daemon session (scenario::app_service_factory):
+  // a clone of the shared template when reuse is on, a fresh retrain
+  // otherwise — exactly what each measured run gets.
+  std::unique_ptr<World> session_world() const {
+    return measurement_world(nullptr);
+  }
 
  private:
   std::unique_ptr<World> measurement_world(obs::Observability* run_obs) const;
@@ -181,6 +195,11 @@ class PanglossExperiment {
   // wall-powered, so c = 0 and energy does not contribute).
   static double achieved_utility(const MeasuredRun& run,
                                  const solver::Alternative& alt);
+
+  // See SpeechExperiment::session_world.
+  std::unique_ptr<World> session_world() const {
+    return measurement_world(nullptr);
+  }
 
  private:
   std::unique_ptr<World> measurement_world(obs::Observability* run_obs) const;

@@ -9,6 +9,7 @@
 
 #include "util/assert.h"
 #include "util/rng.h"
+#include "util/shutdown.h"
 
 namespace spectra::scenario {
 
@@ -338,10 +339,27 @@ void FleetWorld::apply_faults(util::Seconds t0, util::Seconds t1) {
       case fault::FaultKind::kLinkFlap:
         SPECTRA_REQUIRE(false, "link_flap must be expanded before apply");
         break;
-      case fault::FaultKind::kBatteryCliff:
-        // The fleet models energy in aggregate, not per-battery charge;
-        // cliffs change nothing here by design (see DESIGN.md).
+      case fault::FaultKind::kBatteryCliff: {
+        // Charge collapsed on client (a mod clients): the radio goes dark
+        // and every decision is forced local until the cliff heals (no
+        // duration = the rest of the run).
+        if (clients_.empty()) break;
+        const std::size_t c =
+            static_cast<std::size_t>(e.a) % clients_.size();
+        ClientState& st = clients_[c];
+        st.forced_local_until = e.duration > 0.0
+                                    ? t0 + e.duration
+                                    : scenario_->config().horizon + 1.0;
+        ++st.battery_cliffs;
+        if (trace_on_) {
+          obs::TraceEvent ev("fleet_fault", t0);
+          ev.field("kind", fault::to_token(e.kind))
+              .field("client", static_cast<std::int64_t>(c))
+              .field("until", st.forced_local_until);
+          trace_event(&fleet_trace_, ev);
+        }
         break;
+      }
     }
     if (trace_on_ && e.kind != fault::FaultKind::kBatteryCliff) {
       obs::TraceEvent ev("fleet_fault", t0);
@@ -401,7 +419,8 @@ FleetWorld::Decision FleetWorld::decide(std::uint32_t client,
   d.server = -1;
   d.predicted_s = local_time;
 
-  if (medium_up_) {
+  // A battery-cliffed client keeps its radio dark until the cliff heals.
+  if (medium_up_ && st.forced_local_until <= op.at) {
     // Shared-medium contention: the EWMA of concurrent transfers divides
     // the nominal bandwidth. Every client reads the same frozen estimate
     // during a decision stage.
@@ -536,6 +555,7 @@ void FleetWorld::run_until(util::Seconds until, exec::ThreadPool* pool) {
   until = std::min(until, cfg.horizon);
   const double w0 = wall_now_ms();
   while (now_ + 1e-9 < until) {
+    if (util::shutdown_requested()) break;  // finish() flushes what we have
     const util::Seconds t0 = now_;
     const util::Seconds t1 = std::min(t0 + cfg.tick, until);
     apply_faults(t0, t1);
@@ -557,6 +577,8 @@ std::uint64_t FleetWorld::state_fingerprint() const {
     h = fnv_mix(h, st.completed_remote);
     h = fnv_mix(h, st.rejected);
     h = fnv_mix(h, st.aborted);
+    h = fnv_mix(h, st.battery_cliffs);
+    h = fnv_mix(h, st.forced_local_until);
     h = fnv_mix(h, static_cast<std::uint64_t>(st.next_op));
     h = fnv_mix(h, st.latency_sum_s);
     h = fnv_mix(h, st.slowdown_sum);
@@ -624,6 +646,7 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
     r.ops_remote += st.completed_remote;
     r.ops_rejected += st.rejected;
     r.ops_aborted += st.aborted;
+    r.battery_cliffs += st.battery_cliffs;
     r.aggregate_energy_j += st.energy_j;
     latencies.insert(latencies.end(), st.latencies_s.begin(),
                      st.latencies_s.end());
@@ -689,6 +712,11 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
     m.counter("fleet.ops.remote").add(static_cast<double>(r.ops_remote));
     m.counter("fleet.ops.rejected").add(static_cast<double>(r.ops_rejected));
     m.counter("fleet.ops.aborted").add(static_cast<double>(r.ops_aborted));
+    // Conditional so cliff-free runs keep their metrics goldens.
+    if (r.battery_cliffs > 0) {
+      m.counter("fleet.battery_cliffs")
+          .add(static_cast<double>(r.battery_cliffs));
+    }
     m.counter("fleet.energy_j").add(r.aggregate_energy_j);
     m.counter("fleet.jain_fairness").add(r.jain_fairness);
     obs::Histogram& lat = m.histogram("fleet.op.latency_s");
@@ -740,6 +768,7 @@ std::string FleetReport::to_json() const {
   os << "  \"ops_remote\": " << ops_remote << ",\n";
   os << "  \"ops_rejected\": " << ops_rejected << ",\n";
   os << "  \"ops_aborted\": " << ops_aborted << ",\n";
+  os << "  \"battery_cliffs\": " << battery_cliffs << ",\n";
   os << "  \"latency_p50_s\": " << obs::format_double(latency_p50_s) << ",\n";
   os << "  \"latency_p99_s\": " << obs::format_double(latency_p99_s) << ",\n";
   os << "  \"latency_mean_s\": " << obs::format_double(latency_mean_s)

@@ -116,8 +116,10 @@ struct FleetConfig {
 
   // Optional fault plan: server_crash/server_restart address pool servers
   // by index, latency/bandwidth faults scale the shared medium, link faults
-  // partition the medium outright. Battery cliffs are ignored (they change
-  // decisions, not liveness, and the fleet models energy in aggregate).
+  // partition the medium outright. A battery_cliff addresses client
+  // (a mod clients): its charge collapsed, so the radio goes dark and every
+  // decision is forced local until the cliff's `duration` elapses (no
+  // duration = the rest of the run).
   std::optional<fault::FaultPlan> fault_plan;
 };
 
@@ -167,6 +169,7 @@ struct FleetReport {
   std::uint64_t ops_remote = 0;    // completed on a pool server
   std::uint64_t ops_rejected = 0;  // admission rejections (fell back local)
   std::uint64_t ops_aborted = 0;   // lost to a server crash, rerun locally
+  std::uint64_t battery_cliffs = 0;  // cliff events applied to clients
   double latency_p50_s = 0.0;      // end-to-end, virtual time
   double latency_p99_s = 0.0;
   double latency_mean_s = 0.0;
@@ -243,6 +246,10 @@ class FleetWorld {
     std::uint64_t completed_remote = 0;
     std::uint64_t rejected = 0;
     std::uint64_t aborted = 0;
+    // Battery-cliff degradation: decisions for ops arriving before
+    // `forced_local_until` skip every remote alternative (radio dark).
+    std::uint64_t battery_cliffs = 0;
+    util::Seconds forced_local_until = 0.0;
     double latency_sum_s = 0.0;
     double slowdown_sum = 0.0;  // ideal/actual per completed op
     util::Joules energy_j = 0.0;

@@ -330,10 +330,13 @@ void World::settle(util::Seconds duration) {
   engine_.run_until(engine_.now() + duration);
 }
 
-std::unique_ptr<World> World::clone(obs::Observability* obs) const {
+std::unique_ptr<World> World::clone(
+    obs::Observability* obs,
+    const std::function<void(World&)>& prepare) const {
   WorldConfig cfg = config_;
   cfg.spectra.obs = obs;
   auto w = std::make_unique<World>(cfg);
+  if (prepare) prepare(*w);
   // Re-arming registers the same fault.N event tags the source holds; the
   // events the clone just scheduled are discarded by adopt_schedule below,
   // which rebinds the source's pending occurrences to the clone's callbacks.

@@ -16,6 +16,7 @@
 // scenario from an identical starting state (fresh world per alternative).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -101,7 +102,16 @@ class World {
   // world's exact virtual time and randomness, so measuring an alternative
   // on a clone is bit-identical to retraining a fresh world and measuring
   // there. Requires a quiescent world (no foreground operation in flight).
-  std::unique_ptr<World> clone(obs::Observability* obs) const;
+  //
+  // `prepare` runs on the fresh world after construction but before any
+  // state is copied. Worlds whose setup happens outside the constructor
+  // (service installs, operation registration — e.g. the kOverhead nullop
+  // testbed) must redo that setup here: copy_state_from requires the
+  // clone's registered operations to match the source, and RPC handlers
+  // are never copied.
+  std::unique_ptr<World> clone(
+      obs::Observability* obs,
+      const std::function<void(World&)>& prepare = {}) const;
 
   // ---- setup helpers ------------------------------------------------------
   // Cache every application file on every machine, and the background files

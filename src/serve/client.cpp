@@ -1,0 +1,128 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace spectra::serve {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  SPECTRA_REQUIRE(fd_ >= 0,
+                  "socket() failed: " + std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  SPECTRA_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "bad address: " + host);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    SPECTRA_REQUIRE(false, "connect(" + host + ":" + std::to_string(port) +
+                               ") failed: " + err);
+  }
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void BlockingClient::send_raw(std::string_view bytes) {
+  SPECTRA_REQUIRE(fd_ >= 0, "client is closed");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SPECTRA_REQUIRE(false,
+                      "write() failed: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Frame BlockingClient::read_frame() {
+  SPECTRA_REQUIRE(fd_ >= 0, "client is closed");
+  for (;;) {
+    if (auto frame = reader_.next()) return *frame;
+    char buf[65536];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SPECTRA_REQUIRE(false,
+                      "read() failed: " + std::string(std::strerror(errno)));
+    }
+    SPECTRA_REQUIRE(n > 0, "daemon closed the connection mid-reply");
+    reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+Frame BlockingClient::call(const std::string& frame_bytes, MsgType expect) {
+  send_raw(frame_bytes);
+  const Frame reply = read_frame();
+  if (reply.type == MsgType::kError) {
+    throw ProtocolError(decode_error(reply.payload).message);
+  }
+  if (reply.type != expect) {
+    throw ProtocolError(std::string("expected ") + to_token(expect) +
+                        ", daemon sent " + to_token(reply.type));
+  }
+  return reply;
+}
+
+HelloOkMsg BlockingClient::hello(const std::string& client_name) {
+  HelloMsg m;
+  m.client_name = client_name;
+  const Frame reply = call(encode_hello(m), MsgType::kHelloOk);
+  return decode_hello_ok(reply.payload);
+}
+
+RegisterOkMsg BlockingClient::register_app(const std::string& app,
+                                           const std::string& scenario,
+                                           std::uint64_t seed) {
+  RegisterAppMsg m;
+  m.app = app;
+  m.scenario = scenario;
+  m.seed = seed;
+  const Frame reply = call(encode_register_app(m), MsgType::kRegisterOk);
+  return decode_register_ok(reply.payload);
+}
+
+core::ServiceDecision BlockingClient::begin_op(const BeginOpMsg& msg) {
+  const Frame reply = call(encode_begin_op(msg), MsgType::kBeginOk);
+  return decode_begin_ok(reply.payload);
+}
+
+core::ServiceOpResult BlockingClient::end_op() {
+  const Frame reply = call(encode_end_op(), MsgType::kEndOk);
+  return decode_end_ok(reply.payload);
+}
+
+StatusOkMsg BlockingClient::status() {
+  const Frame reply = call(encode_status(), MsgType::kStatusOk);
+  return decode_status_ok(reply.payload);
+}
+
+void BlockingClient::shutdown_server() {
+  const Frame reply = call(encode_shutdown(), MsgType::kShutdownOk);
+  decode_empty(reply.payload, reply.type);
+}
+
+}  // namespace spectra::serve

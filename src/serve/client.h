@@ -1,0 +1,51 @@
+// A small blocking client for the serve daemon's wire protocol.
+//
+// Used by `spectra loadgen`, `spectra replay`, and the serve tests. One
+// request in flight at a time: call() writes a frame (looping over partial
+// writes) and reads until the matching reply frame arrives. A kError reply
+// is surfaced as ProtocolError carrying the daemon's message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/decision_service.h"
+#include "serve/protocol.h"
+
+namespace spectra::serve {
+
+class BlockingClient {
+ public:
+  // Connect to host:port; throws util::ContractError on failure.
+  BlockingClient(const std::string& host, std::uint16_t port);
+  ~BlockingClient();
+
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&&) = delete;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  HelloOkMsg hello(const std::string& client_name);
+  RegisterOkMsg register_app(const std::string& app,
+                             const std::string& scenario, std::uint64_t seed);
+  core::ServiceDecision begin_op(const BeginOpMsg& msg);
+  core::ServiceOpResult end_op();
+  StatusOkMsg status();
+  // Ask the daemon to stop; waits for the acknowledgement.
+  void shutdown_server();
+
+  // Raw access for protocol tests: send arbitrary bytes, read one frame.
+  void send_raw(std::string_view bytes);
+  Frame read_frame();
+
+  void close();
+  int fd() const { return fd_; }
+
+ private:
+  Frame call(const std::string& frame_bytes, MsgType expect);
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace spectra::serve

@@ -1,0 +1,78 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace spectra::serve {
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LoadgenStats run_loadgen(const LoadgenConfig& config) {
+  using Clock = std::chrono::steady_clock;
+
+  std::vector<std::vector<double>> latencies(config.clients);
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::mutex error_mu;
+  std::string first_error;
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        BlockingClient client(config.host, config.port);
+        client.hello("loadgen-" + std::to_string(i));
+        client.register_app(config.app, config.scenario, config.seed);
+        latencies[i].reserve(config.ops_per_client);
+        for (std::size_t k = 0; k < config.ops_per_client; ++k) {
+          const auto start = Clock::now();
+          client.begin_op(BeginOpMsg{});
+          client.end_op();
+          const auto end = Clock::now();
+          latencies[i].push_back(
+              std::chrono::duration<double, std::milli>(end - start).count());
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception& e) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.empty()) first_error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  LoadgenStats stats;
+  stats.ops = ops.load();
+  stats.errors = errors.load();
+  stats.first_error = first_error;
+  stats.wall_s = wall;
+  stats.rps = wall > 0 ? static_cast<double>(stats.ops) / wall : 0.0;
+  stats.p50_ms = percentile(all, 0.50);
+  stats.p99_ms = percentile(all, 0.99);
+  return stats;
+}
+
+}  // namespace spectra::serve

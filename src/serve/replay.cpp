@@ -1,0 +1,119 @@
+#include "serve/replay.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/record.h"
+#include "util/assert.h"
+
+namespace spectra::serve {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPECTRA_REQUIRE(in.good(), "cannot read record: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string replay_in_process(const std::vector<ReplaySession>& sessions,
+                              const core::ServiceFactory& factory) {
+  std::string out;
+  for (const ReplaySession& sess : sessions) {
+    auto svc = factory(sess.app, sess.scenario, sess.seed);
+    const core::ServiceStatus st = svc->status();
+    out += render_session_line(sess.sid, st.virtual_now, st) + "\n";
+    for (const ReplayOp& op : sess.ops) {
+      const core::ServiceDecision d = svc->begin_op(op.request);
+      out += render_begin_line(sess.sid, op.seq, op.request, d) + "\n";
+      if (op.has_end) {
+        const core::ServiceOpResult r = svc->end_op();
+        out += render_end_line(sess.sid, r.seq, r) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string replay_over_wire(const std::vector<ReplaySession>& sessions,
+                             const std::string& host, std::uint16_t port) {
+  std::string out;
+  for (const ReplaySession& sess : sessions) {
+    BlockingClient client(host, port);
+    client.hello("replay");
+    client.register_app(sess.app, sess.scenario, sess.seed);
+    const StatusOkMsg st = client.status();
+    out += render_session_line(sess.sid, st.session.virtual_now, st.session) +
+           "\n";
+    for (const ReplayOp& op : sess.ops) {
+      BeginOpMsg msg;
+      msg.op = op.request.op;
+      msg.data_tag = op.request.data_tag;
+      msg.params = op.request.params;
+      const core::ServiceDecision d = client.begin_op(msg);
+      out += render_begin_line(sess.sid, op.seq, op.request, d) + "\n";
+      if (op.has_end) {
+        const core::ServiceOpResult r = client.end_op();
+        out += render_end_line(sess.sid, r.seq, r) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+ReplayResult run_replay(const ReplayConfig& config,
+                        const core::ServiceFactory& factory) {
+  const std::string expected_raw = read_file(config.record_path);
+  const std::vector<ReplaySession> sessions = parse_record(expected_raw);
+
+  ReplayResult result;
+  result.sessions = sessions.size();
+  for (const ReplaySession& sess : sessions) result.ops += sess.ops.size();
+
+  const std::string actual_raw =
+      config.port < 0
+          ? replay_in_process(sessions, factory)
+          : replay_over_wire(sessions, config.host,
+                             static_cast<std::uint16_t>(config.port));
+
+  const std::string expected = canonicalize_record(expected_raw);
+  const std::string actual = canonicalize_record(actual_raw);
+  if (expected == actual) {
+    result.identical = true;
+    return result;
+  }
+  const std::vector<std::string> exp_lines = lines_of(expected);
+  const std::vector<std::string> act_lines = lines_of(actual);
+  const std::size_t n = std::max(exp_lines.size(), act_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& e = i < exp_lines.size() ? exp_lines[i] : std::string();
+    const std::string& a = i < act_lines.size() ? act_lines[i] : std::string();
+    if (e != a) {
+      result.mismatch_line = i + 1;
+      result.expected_line = e;
+      result.actual_line = a;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace spectra::serve

@@ -1,0 +1,375 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <list>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/record.h"
+#include "util/assert.h"
+#include "util/shutdown.h"
+
+namespace spectra::serve {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  SPECTRA_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                  "fcntl(O_NONBLOCK) failed: " +
+                      std::string(std::strerror(errno)));
+}
+
+// One client connection's state machine.
+struct Connection {
+  int fd = -1;
+  std::uint64_t sid = 0;
+  bool greeted = false;
+  bool closing = false;  // close once outbuf drains
+  FrameReader reader;
+  std::string outbuf;
+  std::size_t outpos = 0;  // bytes of outbuf already written
+  std::unique_ptr<core::DecisionService> session;
+  std::uint64_t seq_begun = 0;
+
+  void enqueue(std::string bytes) {
+    if (outpos == outbuf.size()) {
+      outbuf = std::move(bytes);
+      outpos = 0;
+    } else {
+      outbuf.append(bytes);
+    }
+  }
+
+  bool drained() const { return outpos == outbuf.size(); }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServeConfig config;
+  core::ServiceFactory factory;
+  int listen_fd = -1;
+  int wake_read = -1;   // request_stop() self-pipe
+  int wake_write = -1;
+  std::list<Connection> connections;
+  std::unique_ptr<obs::TraceSink> record;
+  Stats stats;
+  std::atomic<bool> stopping{false};  // request_stop() writes cross-thread
+  std::uint64_t next_sid = 0;
+
+  ~Impl() {
+    for (Connection& c : connections) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+  }
+
+  void record_line(const std::string& line) {
+    if (record) record->write_raw(line + "\n");
+  }
+
+  // Dispatch one complete frame; replies are queued on the connection.
+  // ProtocolError → error reply and connection teardown; ContractError and
+  // other std::exception → error reply, connection stays usable.
+  void dispatch(Connection& c, const Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kHello: {
+        const HelloMsg m = decode_hello(frame.payload);
+        if (m.version != kProtocolVersion) {
+          throw ProtocolError("protocol version mismatch: daemon speaks " +
+                              std::to_string(kProtocolVersion) + ", client " +
+                              std::to_string(m.version));
+        }
+        c.greeted = true;
+        HelloOkMsg ok;
+        ok.session_id = c.sid;
+        c.enqueue(encode_hello_ok(ok));
+        return;
+      }
+      case MsgType::kRegisterApp: {
+        const RegisterAppMsg m = decode_register_app(frame.payload);
+        SPECTRA_REQUIRE(c.greeted, "register_app before hello");
+        SPECTRA_REQUIRE(!c.session, "session already registered");
+        c.session = factory(m.app, m.scenario, m.seed);
+        const core::ServiceStatus st = c.session->status();
+        record_line(render_session_line(c.sid, st.virtual_now, st));
+        RegisterOkMsg ok;
+        ok.op = st.op;
+        c.enqueue(encode_register_ok(ok));
+        return;
+      }
+      case MsgType::kBeginOp: {
+        const BeginOpMsg m = decode_begin_op(frame.payload);
+        SPECTRA_REQUIRE(c.session, "begin_op before register_app");
+        core::ServiceBeginRequest req;
+        req.op = m.op;
+        req.data_tag = m.data_tag;
+        req.params = m.params;
+        const core::ServiceDecision d = c.session->begin_op(req);
+        ++c.seq_begun;
+        // Record the request with the operation name resolved, so replay
+        // renders the identical line from its own register_ok.
+        core::ServiceBeginRequest recorded = req;
+        if (recorded.op.empty()) recorded.op = c.session->status().op;
+        record_line(render_begin_line(c.sid, c.seq_begun, recorded, d));
+        c.enqueue(encode_begin_ok(d));
+        return;
+      }
+      case MsgType::kEndOp: {
+        decode_empty(frame.payload, frame.type);
+        SPECTRA_REQUIRE(c.session, "end_op before register_app");
+        const core::ServiceOpResult r = c.session->end_op();
+        record_line(render_end_line(c.sid, r.seq, r));
+        ++stats.ops;
+        c.enqueue(encode_end_ok(r));
+        return;
+      }
+      case MsgType::kStatus: {
+        decode_empty(frame.payload, frame.type);
+        StatusOkMsg ok;
+        if (c.session) ok.session = c.session->status();
+        for (const Connection& other : connections) {
+          if (other.session) ++ok.sessions_active;
+        }
+        ok.ops_served = stats.ops;
+        c.enqueue(encode_status_ok(ok));
+        return;
+      }
+      case MsgType::kShutdown: {
+        decode_empty(frame.payload, frame.type);
+        stats.shutdown_frame = true;
+        stopping = true;
+        c.enqueue(encode_shutdown_ok());
+        return;
+      }
+      default:
+        // Response types arriving at the server are a protocol violation.
+        throw ProtocolError(std::string("unexpected message: ") +
+                            to_token(frame.type));
+    }
+  }
+
+  // Returns false when the connection should be torn down immediately.
+  bool on_readable(Connection& c) {
+    char buf[65536];
+    std::size_t cap = sizeof(buf);
+    if (config.max_read_chunk > 0 && config.max_read_chunk < cap) {
+      cap = config.max_read_chunk;
+    }
+    const ssize_t n = ::read(c.fd, buf, cap);
+    if (n == 0) return false;  // orderly or abrupt disconnect
+    if (n < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+    }
+    try {
+      c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      while (auto frame = c.reader.next()) {
+        try {
+          dispatch(c, *frame);
+        } catch (const ProtocolError& e) {
+          c.enqueue(encode_error(ErrorMsg{e.what()}));
+          c.closing = true;
+          return true;
+        } catch (const std::exception& e) {
+          c.enqueue(encode_error(ErrorMsg{e.what()}));
+        }
+        if (c.closing || stopping) break;
+      }
+    } catch (const ProtocolError& e) {
+      // Malformed framing: the byte stream is unrecoverable.
+      c.enqueue(encode_error(ErrorMsg{e.what()}));
+      c.closing = true;
+    }
+    return true;
+  }
+
+  bool on_writable(Connection& c) {
+    while (!c.drained()) {
+      std::size_t len = c.outbuf.size() - c.outpos;
+      if (config.max_write_chunk > 0 && config.max_write_chunk < len) {
+        len = config.max_write_chunk;
+      }
+      const ssize_t n = ::write(c.fd, c.outbuf.data() + c.outpos, len);
+      if (n < 0) {
+        return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+      }
+      c.outpos += static_cast<std::size_t>(n);
+      if (config.max_write_chunk > 0) break;  // one capped chunk per wakeup
+    }
+    if (c.drained()) {
+      c.outbuf.clear();
+      c.outpos = 0;
+      if (c.closing) return false;
+    }
+    return true;
+  }
+
+  void accept_new() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN, or transient accept failure
+      if (connections.size() >= config.max_connections) {
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      Connection c;
+      c.fd = fd;
+      c.sid = ++next_sid;
+      connections.push_back(std::move(c));
+      ++stats.connections;
+    }
+  }
+};
+
+Server::Server(ServeConfig config, core::ServiceFactory factory)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = std::move(config);
+  impl_->factory = std::move(factory);
+  int pipefd[2];
+  SPECTRA_REQUIRE(::pipe(pipefd) == 0, "pipe() failed: " +
+                                           std::string(std::strerror(errno)));
+  impl_->wake_read = pipefd[0];
+  impl_->wake_write = pipefd[1];
+  set_nonblocking(impl_->wake_read);
+  set_nonblocking(impl_->wake_write);
+}
+
+Server::~Server() = default;
+
+std::uint16_t Server::bind() {
+  Impl& s = *impl_;
+  SPECTRA_REQUIRE(s.listen_fd < 0, "bind() called twice");
+  s.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  SPECTRA_REQUIRE(s.listen_fd >= 0, "socket() failed: " +
+                                        std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(s.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  set_nonblocking(s.listen_fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(s.config.port);
+  SPECTRA_REQUIRE(
+      ::inet_pton(AF_INET, s.config.host.c_str(), &addr.sin_addr) == 1,
+      "bad listen address: " + s.config.host);
+  SPECTRA_REQUIRE(::bind(s.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind(" + s.config.host + ":" +
+                      std::to_string(s.config.port) +
+                      ") failed: " + std::string(std::strerror(errno)));
+  SPECTRA_REQUIRE(::listen(s.listen_fd, 128) == 0,
+                  "listen() failed: " + std::string(std::strerror(errno)));
+
+  socklen_t len = sizeof(addr);
+  SPECTRA_REQUIRE(::getsockname(s.listen_fd,
+                                reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                  "getsockname() failed");
+  if (!s.config.record_path.empty()) {
+    s.record = obs::TraceSink::open(s.config.record_path);
+  }
+  return ntohs(addr.sin_port);
+}
+
+Server::Stats Server::run() {
+  Impl& s = *impl_;
+  SPECTRA_REQUIRE(s.listen_fd >= 0, "run() before bind()");
+
+  // Once stopping, give pending replies a bounded number of flush rounds
+  // instead of waiting on slow clients forever.
+  int drain_rounds = 0;
+  constexpr int kMaxDrainRounds = 20;  // x 50 ms poll timeout = ~1 s
+
+  for (;;) {
+    if (util::shutdown_requested()) s.stopping = true;
+    if (s.stopping) {
+      bool pending = false;
+      for (const Connection& c : s.connections) {
+        if (!c.drained()) pending = true;
+      }
+      if (!pending || ++drain_rounds > kMaxDrainRounds) break;
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(s.connections.size() + 3);
+    fds.push_back({s.wake_read, POLLIN, 0});
+    const int shutdown_fd = util::shutdown_fd();
+    if (shutdown_fd >= 0) fds.push_back({shutdown_fd, POLLIN, 0});
+    if (!s.stopping) fds.push_back({s.listen_fd, POLLIN, 0});
+    const std::size_t first_conn = fds.size();
+    for (const Connection& c : s.connections) {
+      short events = 0;
+      if (!s.stopping && !c.closing) events |= POLLIN;
+      if (!c.drained()) events |= POLLOUT;
+      fds.push_back({c.fd, events, 0});
+    }
+
+    const int timeout_ms = s.stopping ? 50 : 500;
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      SPECTRA_REQUIRE(false,
+                      "poll() failed: " + std::string(std::strerror(errno)));
+    }
+
+    if (!s.stopping && (fds[first_conn - 1].revents & POLLIN) &&
+        fds[first_conn - 1].fd == s.listen_fd) {
+      s.accept_new();
+    }
+
+    // accept_new() may have appended connections that have no pollfd entry
+    // this round; stop at fds.size() so they are not judged on garbage
+    // revents (they get polled next iteration).
+    std::size_t i = first_conn;
+    for (auto it = s.connections.begin();
+         it != s.connections.end() && i < fds.size(); ++i) {
+      Connection& c = *it;
+      const short rev = fds[i].revents;
+      bool alive = true;
+      if (rev & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (rev & (POLLIN | POLLHUP))) alive = s.on_readable(c);
+      if (alive && (rev & POLLOUT)) alive = s.on_writable(c);
+      // A connection whose entire reply fit the socket buffer at enqueue
+      // time never polls POLLOUT; try an eager flush instead of waiting.
+      if (alive && !c.drained() && !(rev & POLLOUT)) {
+        alive = s.on_writable(c);
+      }
+      if (!alive) {
+        ::close(c.fd);
+        it = s.connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (Connection& c : s.connections) {
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  s.connections.clear();
+  ::close(s.listen_fd);
+  s.listen_fd = -1;
+  s.record.reset();  // flush the operation-trace record
+  return s.stats;
+}
+
+void Server::request_stop() {
+  impl_->stopping = true;
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(impl_->wake_write, &byte, 1);
+}
+
+}  // namespace spectra::serve

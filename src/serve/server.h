@@ -1,0 +1,73 @@
+// The spectra serve daemon: a single-threaded, non-blocking socket server.
+//
+// One poll() loop multiplexes the listening socket, every client
+// connection, and the process shutdown pipe (util::shutdown_fd). Each
+// connection owns a small state machine: a FrameReader accumulating
+// partial reads, an output buffer drained on POLLOUT (partial writes
+// resume where they left off), and at most one DecisionService session
+// created by register_app. No thread is ever blocked on a slow client.
+//
+// Shutdown is cooperative and responsive from three directions:
+//   * a kShutdown frame from any client (acknowledged, then drained),
+//   * SIGINT/SIGTERM via the self-pipe (util::install_signal_handlers),
+//   * request_stop() from a controlling thread (tests).
+// All three end the loop the same way: stop accepting, flush pending
+// replies briefly, close everything, and return — so sinks flush through
+// normal unwind.
+//
+// When `record_path` is set, every session registration, decision, and
+// operation result is appended as a deterministic JSONL line in
+// socket-arrival order (see serve/record.h for the canonical form).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/decision_service.h"
+
+namespace spectra::serve {
+
+struct ServeConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;       // 0 = ephemeral; bind() returns the choice
+  std::string record_path;      // empty = no operation-trace record
+  std::size_t max_connections = 256;
+  // Test hooks: cap bytes moved per syscall to force partial reads/writes
+  // through the state machines (0 = unlimited).
+  std::size_t max_read_chunk = 0;
+  std::size_t max_write_chunk = 0;
+};
+
+class Server {
+ public:
+  Server(ServeConfig config, core::ServiceFactory factory);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Create, bind, and listen on the configured address. Returns the bound
+  // port (the kernel's pick when config.port == 0). Throws
+  // util::ContractError on socket errors.
+  std::uint16_t bind();
+
+  struct Stats {
+    std::uint64_t connections = 0;  // total accepted
+    std::uint64_t ops = 0;          // completed operations
+    bool shutdown_frame = false;    // a client asked us to stop
+  };
+
+  // The poll loop; blocks until shutdown. bind() must have been called.
+  Stats run();
+
+  // Thread-safe: wake the loop and make it wind down (same path as a
+  // kShutdown frame). Usable from another thread while run() is blocked.
+  void request_stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace spectra::serve

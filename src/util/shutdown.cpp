@@ -1,0 +1,72 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace spectra::util {
+namespace {
+
+// The handler may only touch async-signal-safe state: a volatile flag and
+// a write(2) on a pre-opened pipe.
+volatile std::sig_atomic_t g_requested = 0;
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+std::atomic<bool> g_installed{false};
+
+extern "C" void on_signal(int) {
+  g_requested = 1;
+  if (g_pipe_write >= 0) {
+    const char byte = 1;
+    // Best effort; a full pipe still leaves the flag set.
+    [[maybe_unused]] ssize_t rc = ::write(g_pipe_write, &byte, 1);
+  }
+}
+
+void set_nonblocking_cloexec(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    set_nonblocking_cloexec(fds[0]);
+    set_nonblocking_cloexec(fds[1]);
+    g_pipe_read = fds[0];
+    g_pipe_write = fds[1];
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  // SA_RESTART keeps unrelated syscalls (file writes, waits) from failing
+  // with EINTR; loops observe the flag or the pipe instead.
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() { return g_requested != 0; }
+
+int shutdown_fd() { return g_pipe_read; }
+
+void request_shutdown() { on_signal(0); }
+
+void reset_shutdown_for_tests() {
+  g_requested = 0;
+  if (g_pipe_read >= 0) {
+    char buf[16];
+    while (::read(g_pipe_read, buf, sizeof(buf)) > 0) {
+    }
+  }
+}
+
+}  // namespace spectra::util

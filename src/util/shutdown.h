@@ -1,0 +1,40 @@
+// Cooperative shutdown: SIGINT/SIGTERM → flag + self-pipe.
+//
+// Long-running commands (chaos soaks, fleet runs, the serve daemon) must
+// not die mid-write: trace and metrics sinks have to flush before exit.
+// Signal handlers cannot flush streams safely, so the handler only sets a
+// sig_atomic_t flag and writes one byte to a self-pipe:
+//
+//   * computation loops poll shutdown_requested() between units of work
+//     (plans, ticks, requests) and unwind normally, flushing their sinks
+//     on the way out;
+//   * poll()/select() loops add shutdown_fd() to their read set, so a
+//     blocked daemon wakes immediately — the classic self-pipe trick.
+//
+// install_signal_handlers() is idempotent and must be called from the main
+// thread before any loop that wants to observe it. request_shutdown() lets
+// tests (and the daemon's shutdown frame) trigger the same path without a
+// signal.
+#pragma once
+
+namespace spectra::util {
+
+// Install SIGINT/SIGTERM handlers (once per process; later calls no-op).
+void install_signal_handlers();
+
+// True once a signal arrived or request_shutdown() was called.
+bool shutdown_requested();
+
+// Read end of the self-pipe: becomes readable on the first shutdown
+// request. Never read from it directly (leave the byte so every poller
+// wakes); poll for readability only. -1 until install_signal_handlers().
+int shutdown_fd();
+
+// Programmatic shutdown request (same flag + pipe write as a signal).
+void request_shutdown();
+
+// Clear the flag and drain the pipe so tests can run multiple
+// shutdown cycles in one process. Not for production code paths.
+void reset_shutdown_for_tests();
+
+}  // namespace spectra::util

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cli/args.h"
+#include "cli/flags.h"
 #include "util/assert.h"
 #include "util/log.h"
 
@@ -63,6 +64,47 @@ TEST(ArgsTest, GivenListsEverything) {
 TEST(ArgsTest, LastOptionWins) {
   const auto args = Args::parse({"cmd", "--k=1", "--k=2"});
   EXPECT_EQ(args.get("k", ""), "2");
+}
+
+// ---------------------------------------------------------- flag validation
+
+TEST(FlagsTest, EveryCommandDeclaresItsFlags) {
+  for (const char* cmd :
+       {"speech", "latex", "pangloss", "overhead", "explain", "chaos",
+        "fleet", "faults", "scenarios", "serve", "replay", "loadgen",
+        "help"}) {
+    EXPECT_NE(allowed_flags(cmd), nullptr) << cmd;
+  }
+  EXPECT_EQ(allowed_flags("no-such-command"), nullptr);
+}
+
+TEST(FlagsTest, MisspelledOptionDetected) {
+  // The historical failure mode: `--polcy=wfq` silently ran the default
+  // policy. It must now be caught before any work starts.
+  const auto args = Args::parse({"fleet", "--clients=4", "--polcy=wfq"});
+  const auto bad = unknown_flag("fleet", args);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, "polcy");
+}
+
+TEST(FlagsTest, ValidOptionsAccepted) {
+  const auto args =
+      Args::parse({"speech", "--scenario=energy", "--trials=2", "--verbose"});
+  EXPECT_FALSE(unknown_flag("speech", args).has_value());
+}
+
+TEST(FlagsTest, UnknownCommandIsNotAFlagError) {
+  // Unknown commands are reported separately by the driver; the flag
+  // validator stays quiet so the message names the command, not a flag.
+  const auto args = Args::parse({"bogus", "--whatever=1"});
+  EXPECT_FALSE(unknown_flag("bogus", args).has_value());
+}
+
+TEST(FlagsTest, FirstUnknownAlphabetically) {
+  const auto args = Args::parse({"serve", "--zzz", "--aaa=1", "--port=9"});
+  const auto bad = unknown_flag("serve", args);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, "aaa");
 }
 
 // ------------------------------------------------------------------ logger

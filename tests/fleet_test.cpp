@@ -474,5 +474,82 @@ TEST(FleetReport, JsonCarriesWallSectionSeparately) {
   EXPECT_LT(json.find("\"jain_fairness\""), json.find("\"wall\""));
 }
 
+// --------------------------------------------------------- battery cliffs
+
+fault::FaultPlan cliff_plan(hw::MachineId a, double at, double duration) {
+  fault::FaultPlan plan;
+  fault::FaultEvent e;
+  e.at = at;
+  e.kind = fault::FaultKind::kBatteryCliff;
+  e.a = a;
+  e.magnitude = 0.05;
+  e.duration = duration;
+  plan.scheduled.push_back(e);
+  return plan;
+}
+
+TEST(FleetBatteryCliff, PermanentCliffForcesTheClientLocal) {
+  FleetConfig cfg;
+  cfg.clients = 1;
+  cfg.servers = 1;
+  cfg.seed = 17;
+  cfg.horizon = 60.0;
+  const FleetRun base = run_with_jobs(cfg, 1);
+  ASSERT_GT(base.report.ops_remote, 0u)
+      << "baseline never went remote; the cliff has nothing to suppress";
+
+  // The cliff lands before the first decision and never heals, so every
+  // op of the (only) client is forced local for the whole run.
+  cfg.fault_plan = cliff_plan(0, 0.0, 0.0);
+  const FleetRun cliffed = run_with_jobs(cfg, 1);
+  EXPECT_EQ(cliffed.report.battery_cliffs, 1u);
+  EXPECT_EQ(cliffed.report.ops_remote, 0u);
+  EXPECT_GT(cliffed.report.ops_completed, 0u);
+}
+
+TEST(FleetBatteryCliff, HealedCliffRestoresRemotePlacement) {
+  FleetConfig cfg;
+  cfg.clients = 1;
+  cfg.servers = 1;
+  cfg.seed = 17;
+  cfg.horizon = 60.0;
+  cfg.fault_plan = cliff_plan(0, 0.0, 5.0);  // dark for the first 5 s only
+  const FleetRun r = run_with_jobs(cfg, 1);
+  EXPECT_EQ(r.report.battery_cliffs, 1u);
+  EXPECT_GT(r.report.ops_remote, 0u)
+      << "client stayed local after the cliff healed";
+}
+
+TEST(FleetBatteryCliff, CliffIsCountedTracedAndMetered) {
+  FleetConfig cfg = small_config();
+  cfg.clients = 8;
+  cfg.fault_plan = cliff_plan(3, 10.0, 0.0);
+  const FleetRun r = run_with_jobs(cfg, 1);
+  EXPECT_EQ(r.report.battery_cliffs, 1u);
+  EXPECT_NE(r.trace.find("\"type\":\"fleet_fault\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"kind\":\"battery_cliff\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"client\":3"), std::string::npos);
+  EXPECT_NE(r.metrics_csv.find("fleet.battery_cliffs"), std::string::npos);
+  EXPECT_NE(r.report.to_json().find("\"battery_cliffs\": 1"),
+            std::string::npos);
+  // The counter only exists when a cliff fired: cliff-free runs keep
+  // their historical metrics byte-identical.
+  const FleetConfig clean = small_config();
+  const FleetRun no_cliff = run_with_jobs(clean, 1);
+  EXPECT_EQ(no_cliff.metrics_csv.find("fleet.battery_cliffs"),
+            std::string::npos);
+}
+
+TEST(FleetBatteryCliff, ByteIdenticalAcrossJobsWithCliffs) {
+  FleetConfig cfg = small_config();
+  cfg.fault_plan = cliff_plan(5, 20.0, 15.0);
+  const FleetRun seq = run_with_jobs(cfg, 1);
+  const FleetRun par = run_with_jobs(cfg, 8);
+  EXPECT_EQ(seq.report.battery_cliffs, 1u);
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(drop_wall_rows(seq.metrics_csv), drop_wall_rows(par.metrics_csv));
+  EXPECT_EQ(seq.report.fingerprint, par.report.fingerprint);
+}
+
 }  // namespace
 }  // namespace spectra

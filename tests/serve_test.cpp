@@ -1,0 +1,508 @@
+// Serve daemon suite: wire protocol, operation-trace records, and the
+// non-blocking socket server end to end over loopback.
+//
+// The protocol tests feed the incremental FrameReader one byte at a time
+// and throw malformed frames at every decoder. The server tests run the
+// real poll loop on a background thread against BlockingClient sessions:
+// partial reads/writes (via the byte-capped test hooks), 64-way concurrent
+// clients, abrupt disconnects, in-band errors, and all three shutdown
+// paths. The golden test records a scripted session and locks its
+// canonical bytes against tests/golden/serve_record.jsonl.golden, then
+// replays the golden and asserts byte-identical decisions.
+//
+// Regenerate the golden (a reviewed event, never an accident) with
+//   SPECTRA_UPDATE_GOLDEN=1 ./build/tests/serve_test
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/app_service.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/record.h"
+#include "serve/replay.h"
+#include "serve/server.h"
+#include "util/assert.h"
+#include "util/shutdown.h"
+
+namespace spectra::serve {
+namespace {
+
+#ifndef SPECTRA_GOLDEN_DIR
+#error "SPECTRA_GOLDEN_DIR must be defined by the build"
+#endif
+
+// ---- protocol: framing ---------------------------------------------------
+
+TEST(FrameReaderTest, ByteAtATimeYieldsIdenticalFrames) {
+  HelloMsg hello;
+  hello.client_name = "one-byte-at-a-time";
+  BeginOpMsg begin;
+  begin.op = "null.op";
+  begin.data_tag = "small";
+  begin.params = {{"utt_len", 2.5}, {"words", 10.0}};
+  const std::string stream = encode_hello(hello) + encode_begin_op(begin) +
+                             encode_status() + encode_end_op();
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char byte : stream) {
+    reader.feed(std::string_view(&byte, 1));
+    while (auto f = reader.next()) frames.push_back(std::move(*f));
+  }
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+
+  EXPECT_EQ(frames[0].type, MsgType::kHello);
+  const HelloMsg h = decode_hello(frames[0].payload);
+  EXPECT_EQ(h.client_name, "one-byte-at-a-time");
+  EXPECT_EQ(h.version, kProtocolVersion);
+
+  EXPECT_EQ(frames[1].type, MsgType::kBeginOp);
+  const BeginOpMsg b = decode_begin_op(frames[1].payload);
+  EXPECT_EQ(b.op, "null.op");
+  EXPECT_EQ(b.data_tag, "small");
+  EXPECT_EQ(b.params, begin.params);
+
+  EXPECT_EQ(frames[2].type, MsgType::kStatus);
+  EXPECT_EQ(frames[3].type, MsgType::kEndOp);
+}
+
+TEST(FrameReaderTest, OversizedPayloadLengthRejectedAtHeaderTime) {
+  // Header only: length kMaxPayload+1, type kHello. The reader must throw
+  // as soon as the 5 header bytes are in — before any payload arrives.
+  const std::uint32_t len = kMaxPayload + 1;
+  std::string header;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  header.push_back(static_cast<char>(MsgType::kHello));
+
+  FrameReader reader;
+  reader.feed(header.substr(0, 4));  // incomplete header: fine
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_THROW(reader.feed(header.substr(4)), ProtocolError);
+}
+
+TEST(FrameReaderTest, UnknownTypeByteRejected) {
+  std::string header(4, '\0');  // zero-length payload
+  header.push_back(static_cast<char>(0x42));
+  FrameReader reader;
+  EXPECT_THROW(reader.feed(header), ProtocolError);
+}
+
+TEST(FrameReaderTest, PartialFrameStaysPending) {
+  const std::string frame = encode_status();
+  FrameReader reader;
+  reader.feed(std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.pending_bytes(), frame.size() - 1);
+}
+
+// ---- protocol: payload decoding ------------------------------------------
+
+TEST(PayloadTest, TruncatedPayloadRejected) {
+  const std::string good = encode_hello(HelloMsg{kProtocolVersion, "x"});
+  // Strip the frame header, then truncate the payload.
+  const std::string payload = good.substr(kFrameHeader);
+  EXPECT_THROW(decode_hello(payload.substr(0, payload.size() - 1)),
+               ProtocolError);
+}
+
+TEST(PayloadTest, TrailingBytesRejected) {
+  const std::string payload =
+      encode_hello(HelloMsg{kProtocolVersion, "x"}).substr(kFrameHeader);
+  EXPECT_THROW(decode_hello(payload + "extra"), ProtocolError);
+}
+
+TEST(PayloadTest, OversizedStringRejected) {
+  PayloadWriter w;
+  w.put_u32(kProtocolVersion);
+  w.put_u32(kMaxString + 1);  // string length prefix over the cap
+  EXPECT_THROW(decode_hello(w.str()), ProtocolError);
+}
+
+TEST(PayloadTest, MapCountOverflowRejected) {
+  // A count far larger than the remaining bytes could hold.
+  PayloadWriter w;
+  w.put_u32(0xFFFFFFFFu);
+  PayloadReader r(w.str());
+  EXPECT_THROW(r.get_map(), ProtocolError);
+}
+
+TEST(PayloadTest, NonEmptyPayloadForEmptyMessageRejected) {
+  EXPECT_THROW(decode_empty("x", MsgType::kEndOp), ProtocolError);
+}
+
+TEST(PayloadTest, DecisionAndResultRoundTrip) {
+  core::ServiceDecision d;
+  d.ok = true;
+  d.from_model = true;
+  d.plan = "remote";
+  d.placement = "s2";
+  d.fidelity = {{"level", 1.0}, {"zoom", 0.25}};
+  d.predicted_time_s = 0.125;
+  d.predicted_energy_j = 3.5;
+  d.log_utility = -1.75;
+  d.t = 42.5;
+  const core::ServiceDecision d2 =
+      decode_begin_ok(encode_begin_ok(d).substr(kFrameHeader));
+  EXPECT_EQ(d2.ok, d.ok);
+  EXPECT_EQ(d2.from_model, d.from_model);
+  EXPECT_EQ(d2.plan, d.plan);
+  EXPECT_EQ(d2.placement, d.placement);
+  EXPECT_EQ(d2.fidelity, d.fidelity);
+  EXPECT_DOUBLE_EQ(d2.predicted_time_s, d.predicted_time_s);
+  EXPECT_DOUBLE_EQ(d2.predicted_energy_j, d.predicted_energy_j);
+  EXPECT_DOUBLE_EQ(d2.log_utility, d.log_utility);
+  EXPECT_DOUBLE_EQ(d2.t, d.t);
+
+  core::ServiceOpResult r;
+  r.ok = true;
+  r.seq = 7;
+  r.time_s = 0.5;
+  r.energy_j = 1.25;
+  r.t = 43.0;
+  const core::ServiceOpResult r2 =
+      decode_end_ok(encode_end_ok(r).substr(kFrameHeader));
+  EXPECT_EQ(r2.seq, r.seq);
+  EXPECT_DOUBLE_EQ(r2.time_s, r.time_s);
+  EXPECT_DOUBLE_EQ(r2.energy_j, r.energy_j);
+  EXPECT_DOUBLE_EQ(r2.t, r.t);
+}
+
+// ---- records -------------------------------------------------------------
+
+core::ServiceStatus fake_status(std::uint64_t seed) {
+  core::ServiceStatus st;
+  st.app = "nullop";
+  st.scenario = "baseline";
+  st.seed = seed;
+  st.op = "null.op";
+  return st;
+}
+
+core::ServiceDecision fake_decision(double t) {
+  core::ServiceDecision d;
+  d.ok = true;
+  d.from_model = true;
+  d.plan = "local";
+  d.placement = "local";
+  d.fidelity = {{"level", 1.0}};
+  d.predicted_time_s = 0.001;
+  d.predicted_energy_j = 0.01;
+  d.log_utility = 1.5;
+  d.t = t;
+  return d;
+}
+
+core::ServiceOpResult fake_result(std::uint64_t seq, double t) {
+  core::ServiceOpResult r;
+  r.ok = true;
+  r.seq = seq;
+  r.time_s = 0.002;
+  r.energy_j = 0.02;
+  r.t = t;
+  return r;
+}
+
+TEST(RecordTest, CanonicalFormIsInterleavingInvariant) {
+  core::ServiceBeginRequest req;
+  req.op = "null.op";
+  req.params = {{"x", 1.5}};
+
+  const std::string s1 = render_session_line(1, 8.0, fake_status(1));
+  const std::string b11 = render_begin_line(1, 1, req, fake_decision(8.1));
+  const std::string e11 = render_end_line(1, 1, fake_result(1, 8.2));
+  const std::string s2 = render_session_line(2, 8.0, fake_status(2));
+  const std::string b21 = render_begin_line(2, 1, req, fake_decision(8.3));
+  const std::string e21 = render_end_line(2, 1, fake_result(1, 8.4));
+
+  auto join = [](std::initializer_list<std::string> lines) {
+    std::string out;
+    for (const auto& l : lines) out += l + "\n";
+    return out;
+  };
+  const std::string ordered = join({s1, b11, e11, s2, b21, e21});
+  const std::string interleaved = join({s1, s2, b11, b21, e21, e11});
+  EXPECT_EQ(canonicalize_record(ordered), canonicalize_record(interleaved));
+  EXPECT_EQ(canonicalize_record(ordered), ordered);  // already canonical
+}
+
+TEST(RecordTest, ParseRecoversSessionsAndRequests) {
+  core::ServiceBeginRequest req;
+  req.op = "null.op";
+  req.data_tag = "small";
+  req.params = {{"utt_len", 2.5}};
+  const std::string text =
+      render_session_line(3, 8.0, fake_status(9)) + "\n" +
+      render_begin_line(3, 1, req, fake_decision(8.1)) + "\n" +
+      render_end_line(3, 1, fake_result(1, 8.2)) + "\n" +
+      render_begin_line(3, 2, req, fake_decision(8.3)) + "\n";
+
+  const auto sessions = parse_record(text);
+  ASSERT_EQ(sessions.size(), 1u);
+  const ReplaySession& s = sessions[0];
+  EXPECT_EQ(s.sid, 3u);
+  EXPECT_EQ(s.app, "nullop");
+  EXPECT_EQ(s.scenario, "baseline");
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.op, "null.op");
+  ASSERT_EQ(s.ops.size(), 2u);
+  EXPECT_EQ(s.ops[0].seq, 1u);
+  EXPECT_TRUE(s.ops[0].has_end);
+  EXPECT_EQ(s.ops[0].request.data_tag, "small");
+  EXPECT_EQ(s.ops[0].request.params, req.params);
+  EXPECT_EQ(s.ops[1].seq, 2u);
+  EXPECT_FALSE(s.ops[1].has_end);  // truncated record: no end line
+}
+
+TEST(RecordTest, MalformedLineRejected) {
+  EXPECT_THROW(canonicalize_record("{\"type\":\"bogus\"}\n"),
+               util::ContractError);
+  EXPECT_THROW(parse_record("not json at all\n"), util::ContractError);
+}
+
+// ---- the server over loopback --------------------------------------------
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServeConfig config = {}) {
+    server_ = std::make_unique<Server>(std::move(config),
+                                       scenario::app_service_factory());
+    port_ = server_->bind();
+    thread_ = std::thread([this] { stats_ = server_->run(); });
+  }
+
+  ~ServerFixture() { stop(); }
+
+  std::uint16_t port() const { return port_; }
+  Server& server() { return *server_; }
+
+  Server::Stats stop() {
+    if (thread_.joinable()) {
+      server_->request_stop();
+      thread_.join();
+    }
+    return stats_;
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  Server::Stats stats_;
+};
+
+TEST(ServerTest, ServesASessionEndToEnd) {
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  const HelloOkMsg hello = client.hello("serve-test");
+  EXPECT_EQ(hello.version, kProtocolVersion);
+  EXPECT_GE(hello.session_id, 1u);
+
+  const RegisterOkMsg reg = client.register_app("nullop", "baseline", 1);
+  EXPECT_EQ(reg.op, "null.op");
+
+  for (int i = 1; i <= 3; ++i) {
+    const core::ServiceDecision d = client.begin_op(BeginOpMsg{});
+    EXPECT_TRUE(d.ok);
+    EXPECT_TRUE(d.plan == "local" || d.plan == "remote");
+    const core::ServiceOpResult r = client.end_op();
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.seq, static_cast<std::uint64_t>(i));
+    EXPECT_GT(r.time_s, 0.0);
+  }
+
+  const StatusOkMsg st = client.status();
+  EXPECT_EQ(st.session.app, "nullop");
+  EXPECT_EQ(st.session.ops_completed, 3u);
+  EXPECT_EQ(st.sessions_active, 1u);
+  EXPECT_EQ(st.ops_served, 3u);
+
+  const Server::Stats stats = fx.stop();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.ops, 3u);
+  EXPECT_FALSE(stats.shutdown_frame);
+}
+
+TEST(ServerTest, PartialReadsAndWritesAreReassembled) {
+  ServeConfig cfg;
+  cfg.max_read_chunk = 1;   // the poll loop sees one byte per wakeup
+  cfg.max_write_chunk = 1;  // and dribbles replies out one byte at a time
+  ServerFixture fx(std::move(cfg));
+  BlockingClient client("127.0.0.1", fx.port());
+  client.hello("dribble");
+  EXPECT_EQ(client.register_app("nullop", "baseline", 1).op, "null.op");
+  const core::ServiceDecision d = client.begin_op(BeginOpMsg{});
+  EXPECT_TRUE(d.ok);
+  EXPECT_TRUE(client.end_op().ok);
+}
+
+TEST(ServerTest, SixtyFourConcurrentClients) {
+  ServerFixture fx;
+  LoadgenConfig cfg;
+  cfg.port = fx.port();
+  cfg.clients = 64;
+  cfg.ops_per_client = 2;
+  const LoadgenStats stats = run_loadgen(cfg);
+  EXPECT_EQ(stats.errors, 0u) << stats.first_error;
+  EXPECT_EQ(stats.ops, 128u);
+  const Server::Stats server_stats = fx.stop();
+  EXPECT_EQ(server_stats.connections, 64u);
+  EXPECT_EQ(server_stats.ops, 128u);
+}
+
+TEST(ServerTest, AbruptDisconnectDoesNotKillTheServer) {
+  ServerFixture fx;
+  {
+    // Half a frame, then vanish.
+    BlockingClient rude("127.0.0.1", fx.port());
+    const std::string frame = encode_hello(HelloMsg{kProtocolVersion, "rude"});
+    rude.send_raw(std::string_view(frame).substr(0, 3));
+    rude.close();
+  }
+  {
+    // A session mid-operation, then vanish.
+    BlockingClient rude("127.0.0.1", fx.port());
+    rude.hello("rude2");
+    rude.register_app("nullop", "baseline", 1);
+    rude.begin_op(BeginOpMsg{});
+    rude.close();
+  }
+  BlockingClient polite("127.0.0.1", fx.port());
+  polite.hello("polite");
+  EXPECT_EQ(polite.register_app("nullop", "baseline", 1).op, "null.op");
+  EXPECT_TRUE(polite.begin_op(BeginOpMsg{}).ok);
+  EXPECT_TRUE(polite.end_op().ok);
+}
+
+TEST(ServerTest, MalformedFrameGetsErrorReplyAndClose) {
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  // A header announcing a 2 MiB payload: framing violation.
+  const std::uint32_t len = kMaxPayload + 1;
+  std::string header;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  header.push_back(static_cast<char>(MsgType::kHello));
+  client.send_raw(header);
+  const Frame reply = client.read_frame();
+  EXPECT_EQ(reply.type, MsgType::kError);
+  // The daemon then drops the connection...
+  EXPECT_THROW(client.read_frame(), util::ContractError);
+  client.close();
+  // ...but keeps serving everyone else.
+  BlockingClient next("127.0.0.1", fx.port());
+  EXPECT_EQ(next.hello("next").version, kProtocolVersion);
+}
+
+TEST(ServerTest, InBandErrorKeepsConnectionUsable) {
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  client.hello("err");
+  // Unknown app: an in-band error (kError reply), not a framing violation.
+  EXPECT_THROW(client.register_app("no-such-app", "", 1), ProtocolError);
+  // Same connection still works.
+  EXPECT_EQ(client.register_app("nullop", "baseline", 1).op, "null.op");
+  EXPECT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+  EXPECT_TRUE(client.end_op().ok);
+}
+
+TEST(ServerTest, ShutdownFrameStopsTheLoop) {
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  client.hello("stopper");
+  client.shutdown_server();
+  const Server::Stats stats = fx.stop();  // joins; run() already returning
+  EXPECT_TRUE(stats.shutdown_frame);
+}
+
+TEST(ServerTest, ProcessShutdownRequestStopsTheLoop) {
+  util::install_signal_handlers();
+  util::reset_shutdown_for_tests();
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  client.hello("signal");
+  util::request_shutdown();  // same flag + self-pipe as SIGINT/SIGTERM
+  const Server::Stats stats = fx.stop();
+  EXPECT_FALSE(stats.shutdown_frame);
+  util::reset_shutdown_for_tests();
+}
+
+// ---- record → replay golden ----------------------------------------------
+
+std::string golden_path() {
+  return std::string(SPECTRA_GOLDEN_DIR) + "/serve_record.jsonl.golden";
+}
+
+bool update_mode() {
+  const char* v = std::getenv("SPECTRA_UPDATE_GOLDEN");
+  return v != nullptr && std::string(v) == "1";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path
+                         << " (regenerate with SPECTRA_UPDATE_GOLDEN=1)";
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ReplayGoldenTest, ScriptedSessionMatchesGoldenAndReplaysIdentically) {
+  const std::string record_path =
+      ::testing::TempDir() + "/serve_record_golden.jsonl";
+  std::remove(record_path.c_str());
+
+  {
+    ServeConfig cfg;
+    cfg.record_path = record_path;
+    ServerFixture fx(std::move(cfg));
+    BlockingClient client("127.0.0.1", fx.port());
+    client.hello("golden");
+    client.register_app("nullop", "baseline", 7);
+    for (int i = 0; i < 3; ++i) {
+      BeginOpMsg begin;
+      if (i == 2) begin.params = {{"x", 1.5}};  // exercise map rendering
+      ASSERT_TRUE(client.begin_op(begin).ok);
+      ASSERT_TRUE(client.end_op().ok);
+    }
+    client.close();
+    fx.stop();
+  }
+
+  const std::string recorded = canonicalize_record(read_file(record_path));
+  ASSERT_FALSE(recorded.empty());
+
+  if (update_mode()) {
+    std::ofstream out(golden_path(), std::ios::binary | std::ios::trunc);
+    out << recorded;
+    ASSERT_TRUE(out.good());
+  }
+  EXPECT_EQ(recorded, read_file(golden_path()))
+      << "serve record diverged from golden";
+
+  // The committed golden must replay byte-identically in-process.
+  ReplayConfig rc;
+  rc.record_path = golden_path();
+  const ReplayResult result =
+      run_replay(rc, scenario::app_service_factory());
+  EXPECT_TRUE(result.identical)
+      << "first divergence at canonical line " << result.mismatch_line
+      << "\n  expected: " << result.expected_line
+      << "\n  actual:   " << result.actual_line;
+  EXPECT_EQ(result.sessions, 1u);
+  EXPECT_EQ(result.ops, 3u);
+}
+
+}  // namespace
+}  // namespace spectra::serve
