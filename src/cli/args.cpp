@@ -68,6 +68,15 @@ double Args::get_double(const std::string& name, double def) const {
   return out;
 }
 
+std::size_t Args::get_count(const std::string& name, long def,
+                            long cap) const {
+  const long v = get_int(name, def);
+  SPECTRA_REQUIRE(v >= 1 && v <= cap,
+                  "--" + name + " must be in [1, " + std::to_string(cap) +
+                      "], got " + std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
 std::set<std::string> Args::given() const {
   std::set<std::string> out = flags_;
   for (const auto& [k, v] : options_) {

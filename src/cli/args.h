@@ -4,6 +4,7 @@
 // Unknown options are errors; typed accessors validate and convert.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <set>
@@ -29,6 +30,12 @@ class Args {
   std::string get(const std::string& name, const std::string& def) const;
   long get_int(const std::string& name, long def) const;
   double get_double(const std::string& name, double def) const;
+
+  // Positive count option (--clients=N, --ops=N, ...): validates
+  // 1 <= N <= cap on the SIGNED value before converting, so a negative
+  // like --clients=-1 cannot wrap to ~2^64 through a size_t cast and
+  // sail past a later >= 1 check.
+  std::size_t get_count(const std::string& name, long def, long cap) const;
 
   // Names of every option/flag present (for unknown-option checking).
   std::set<std::string> given() const;

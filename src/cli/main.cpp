@@ -562,8 +562,8 @@ int cmd_chaos(const Args& args) {
 
 int cmd_fleet(const Args& args) {
   FleetConfig cfg;
-  cfg.clients = static_cast<std::size_t>(args.get_int("clients", 1000));
-  cfg.servers = static_cast<std::size_t>(args.get_int("servers", 8));
+  cfg.clients = args.get_count("clients", 1000, 1'000'000);
+  cfg.servers = args.get_count("servers", 8, 10'000);
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   cfg.horizon = args.get_double("horizon", 300.0);
   const std::string policy = args.get("policy", "wfq");
@@ -639,9 +639,7 @@ int cmd_serve(const Args& args) {
   SPECTRA_REQUIRE(port >= 0 && port <= 65535, "--port must be 0..65535");
   cfg.port = static_cast<std::uint16_t>(port);
   cfg.record_path = args.get("record", "");
-  cfg.max_connections =
-      static_cast<std::size_t>(args.get_int("max-conns", 256));
-  SPECTRA_REQUIRE(cfg.max_connections >= 1, "--max-conns must be >= 1");
+  cfg.max_connections = args.get_count("max-conns", 256, 65536);
 
   serve::Server server(cfg, app_service_factory());
   const std::uint16_t bound = server.bind();
@@ -690,9 +688,10 @@ int cmd_loadgen(const Args& args) {
   SPECTRA_REQUIRE(port >= 1 && port <= 65535,
                   "loadgen needs --port=N of a running daemon");
   cfg.port = static_cast<std::uint16_t>(port);
-  cfg.clients = static_cast<std::size_t>(args.get_int("clients", 8));
-  SPECTRA_REQUIRE(cfg.clients >= 1, "--clients must be >= 1");
-  cfg.ops_per_client = static_cast<std::size_t>(args.get_int("ops", 16));
+  // One thread per client: cap well below anything that could exhaust the
+  // host if a huge (or wrapped-negative) value slips in.
+  cfg.clients = args.get_count("clients", 8, 4096);
+  cfg.ops_per_client = args.get_count("ops", 16, 1'000'000);
   cfg.app = args.get("app", "nullop");
   cfg.scenario = args.get("scenario", "");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

@@ -249,7 +249,21 @@ class WorldDecisionService : public core::DecisionService {
                     "no operation in progress in this session");
     auto run = std::move(pending_);
     pending_ = nullptr;
-    run();
+    try {
+      run();
+    } catch (...) {
+      // Abort the in-flight fidelity op so the session returns to a usable
+      // idle state; otherwise op_in_progress stays true with pending_ gone
+      // and every later begin_op/end_op on this session fails forever.
+      try {
+        if (world_->spectra().op_in_progress()) {
+          world_->spectra().end_fidelity_op();
+        }
+      } catch (...) {
+        // Best effort — surface the original execution failure.
+      }
+      throw;
+    }
     const monitor::OperationUsage usage = world_->spectra().end_fidelity_op();
     ++ops_completed_;
     core::ServiceOpResult r;

@@ -48,7 +48,10 @@ void BlockingClient::send_raw(std::string_view bytes) {
   SPECTRA_REQUIRE(fd_ >= 0, "client is closed");
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a daemon that died mid-session surfaces as EPIPE (a
+    // ContractError below), not a process-killing SIGPIPE in loadgen/replay.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       SPECTRA_REQUIRE(false,

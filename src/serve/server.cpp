@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <list>
 #include <vector>
@@ -201,7 +202,11 @@ struct Server::Impl {
       if (config.max_write_chunk > 0 && config.max_write_chunk < len) {
         len = config.max_write_chunk;
       }
-      const ssize_t n = ::write(c.fd, c.outbuf.data() + c.outpos, len);
+      // MSG_NOSIGNAL: a client that vanished with unread data (RST) makes
+      // this fail with EPIPE instead of raising SIGPIPE and killing the
+      // whole daemon; the error path below tears the connection down.
+      const ssize_t n =
+          ::send(c.fd, c.outbuf.data() + c.outpos, len, MSG_NOSIGNAL);
       if (n < 0) {
         return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
       }
@@ -302,12 +307,23 @@ Server::Stats Server::run() {
       if (!pending || ++drain_rounds > kMaxDrainRounds) break;
     }
 
+    // The wake pipe, shutdown self-pipe, and listener matter only until a
+    // stop is requested. Once stopping they stay out of the poll set: the
+    // shutdown self-pipe is never drained (by contract — every poller must
+    // see it), so polling it here would fire POLLIN forever and collapse
+    // the 50 ms drain timeout to a busy spin.
     std::vector<pollfd> fds;
     fds.reserve(s.connections.size() + 3);
-    fds.push_back({s.wake_read, POLLIN, 0});
-    const int shutdown_fd = util::shutdown_fd();
-    if (shutdown_fd >= 0) fds.push_back({shutdown_fd, POLLIN, 0});
-    if (!s.stopping) fds.push_back({s.listen_fd, POLLIN, 0});
+    std::size_t wake_idx = SIZE_MAX;
+    std::size_t listen_idx = SIZE_MAX;
+    if (!s.stopping) {
+      wake_idx = fds.size();
+      fds.push_back({s.wake_read, POLLIN, 0});
+      const int shutdown_fd = util::shutdown_fd();
+      if (shutdown_fd >= 0) fds.push_back({shutdown_fd, POLLIN, 0});
+      listen_idx = fds.size();
+      fds.push_back({s.listen_fd, POLLIN, 0});
+    }
     const std::size_t first_conn = fds.size();
     for (const Connection& c : s.connections) {
       short events = 0;
@@ -324,8 +340,14 @@ Server::Stats Server::run() {
                       "poll() failed: " + std::string(std::strerror(errno)));
     }
 
-    if (!s.stopping && (fds[first_conn - 1].revents & POLLIN) &&
-        fds[first_conn - 1].fd == s.listen_fd) {
+    if (wake_idx != SIZE_MAX && (fds[wake_idx].revents & POLLIN)) {
+      // Drain our own wake pipe (private to this server, unlike the
+      // shutdown self-pipe) so stale bytes never re-wake a later poll.
+      char buf[64];
+      while (::read(s.wake_read, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (listen_idx != SIZE_MAX && (fds[listen_idx].revents & POLLIN)) {
       s.accept_new();
     }
 

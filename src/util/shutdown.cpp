@@ -52,6 +52,16 @@ void install_signal_handlers() {
   sa.sa_flags = SA_RESTART;
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+
+  // A peer that disconnected with unread data turns the next socket write
+  // into SIGPIPE, whose default action kills the process — one rude client
+  // would take down the daemon. Ignore it; writes then fail with EPIPE and
+  // the socket error paths tear the connection down cleanly. (The serve
+  // paths also pass MSG_NOSIGNAL; this covers any other fd writes.)
+  struct sigaction ign = {};
+  ign.sa_handler = SIG_IGN;
+  ::sigemptyset(&ign.sa_mask);
+  ::sigaction(SIGPIPE, &ign, nullptr);
 }
 
 bool shutdown_requested() { return g_requested != 0; }

@@ -19,7 +19,10 @@
 
 namespace spectra::util {
 
-// Install SIGINT/SIGTERM handlers (once per process; later calls no-op).
+// Install SIGINT/SIGTERM handlers and ignore SIGPIPE (once per process;
+// later calls no-op). SIGPIPE is ignored so a peer that disconnects with
+// unread data makes socket writes fail with EPIPE instead of killing the
+// process.
 void install_signal_handlers();
 
 // True once a signal arrived or request_shutdown() was called.

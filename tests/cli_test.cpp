@@ -43,6 +43,18 @@ TEST(ArgsTest, TypedAccessorsValidate) {
   EXPECT_THROW(args.get_double("n", 0.0), util::ContractError);
 }
 
+TEST(ArgsTest, CountsRejectNegativeZeroAndOversized) {
+  // Regression: --clients=-1 etc. used to wrap to ~2^64 through a size_t
+  // cast before any >= 1 check could fire.
+  const auto args = Args::parse(
+      {"loadgen", "--clients=-1", "--ops=0", "--max-conns=100000"});
+  EXPECT_THROW(args.get_count("clients", 8, 4096), util::ContractError);
+  EXPECT_THROW(args.get_count("ops", 16, 1'000'000), util::ContractError);
+  EXPECT_THROW(args.get_count("max-conns", 256, 65536), util::ContractError);
+  EXPECT_EQ(args.get_count("absent", 8, 4096), 8u);     // default passes
+  EXPECT_EQ(args.get_count("max-conns", 1, 100000), 100000u);  // at cap
+}
+
 TEST(ArgsTest, MalformedOptionsRejected) {
   EXPECT_THROW(Args::parse({"cmd", "--"}), util::ContractError);
   EXPECT_THROW(Args::parse({"cmd", "--=v"}), util::ContractError);

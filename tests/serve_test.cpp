@@ -14,6 +14,8 @@
 //   SPECTRA_UPDATE_GOLDEN=1 ./build/tests/serve_test
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -377,6 +379,34 @@ TEST(ServerTest, AbruptDisconnectDoesNotKillTheServer) {
     rude.begin_op(BeginOpMsg{});
     rude.close();
   }
+  BlockingClient polite("127.0.0.1", fx.port());
+  polite.hello("polite");
+  EXPECT_EQ(polite.register_app("nullop", "baseline", 1).op, "null.op");
+  EXPECT_TRUE(polite.begin_op(BeginOpMsg{}).ok);
+  EXPECT_TRUE(polite.end_op().ok);
+}
+
+TEST(ServerTest, RstDisconnectDuringReplyDoesNotKillTheServer) {
+  // SIGPIPE regression: a client that resets the connection (SO_LINGER 0 →
+  // RST on close) with replies still unread makes the daemon's next write
+  // hit a dead socket. Without MSG_NOSIGNAL that raises SIGPIPE, whose
+  // default action would kill this whole test process, server included.
+  ServerFixture fx;
+  for (int round = 0; round < 8; ++round) {
+    BlockingClient rude("127.0.0.1", fx.port());
+    rude.hello("rst");
+    rude.register_app("nullop", "baseline", 1);
+    std::string burst;
+    for (int i = 0; i < 4; ++i) {
+      burst += encode_begin_op(BeginOpMsg{});
+      burst += encode_end_op();
+    }
+    rude.send_raw(burst);
+    const struct linger lg = {1, 0};
+    ::setsockopt(rude.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    rude.close();
+  }
+  // The daemon survived every reset and still serves politely.
   BlockingClient polite("127.0.0.1", fx.port());
   polite.hello("polite");
   EXPECT_EQ(polite.register_app("nullop", "baseline", 1).op, "null.op");
