@@ -12,10 +12,14 @@
 //     percentiles, reported only in the --json output's "wall" sections.
 //
 // Usage: fleet_scale [--json=FILE] [--jobs=N] [--clients=N] [--policy=wfq]
+//                    [--islands=N] [--lookahead=SECS] [--workload=speech]
 //        fleet_scale --detect-concurrency
 //
 // --clients=N runs a single scale of N clients (servers scale as N/125,
-// min 2) instead of the default ladder. --detect-concurrency prints the
+// min 2) instead of the default ladder. --islands/--lookahead/--workload
+// forward to FleetConfig (islands=0 = auto shard; the scaling-curve stage
+// of scripts/bench.sh sweeps --jobs at fixed islands and reads the
+// events_per_sec field from the JSON). --detect-concurrency prints the
 // hardware concurrency the thread pool actually sees (used by
 // scripts/bench.sh to annotate results honestly on constrained hosts).
 #include <cstdio>
@@ -42,13 +46,23 @@ struct Scale {
   std::size_t servers;
 };
 
-FleetConfig config_for(const Scale& scale, core::AdmissionPolicy policy) {
+struct Knobs {
+  std::size_t islands = 0;
+  double lookahead = 0.0;
+  FleetWorkload workload = FleetWorkload::kMixed;
+};
+
+FleetConfig config_for(const Scale& scale, core::AdmissionPolicy policy,
+                       const Knobs& knobs) {
   FleetConfig cfg;
   cfg.clients = scale.clients;
   cfg.servers = scale.servers;
   cfg.seed = 42;
   cfg.horizon = 120.0;
   cfg.admission.policy = policy;
+  cfg.islands = knobs.islands;
+  cfg.lookahead = knobs.lookahead;
+  cfg.workload = knobs.workload;
   return cfg;
 }
 
@@ -58,6 +72,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::size_t single_clients = 0;
   core::AdmissionPolicy policy = core::AdmissionPolicy::kWeightedFair;
+  Knobs knobs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--detect-concurrency") {
@@ -75,6 +90,13 @@ int main(int argc, char** argv) {
           std::atol(arg.c_str() + 10));
     }
     if (arg == "--policy=fifo") policy = core::AdmissionPolicy::kFifo;
+    if (arg.rfind("--islands=", 0) == 0) {
+      knobs.islands = static_cast<std::size_t>(std::atol(arg.c_str() + 10));
+    }
+    if (arg.rfind("--lookahead=", 0) == 0) {
+      knobs.lookahead = std::atof(arg.c_str() + 12);
+    }
+    if (arg == "--workload=speech") knobs.workload = FleetWorkload::kSpeech;
   }
   const std::size_t jobs = bench::jobs_from_args(argc, argv);
 
@@ -89,13 +111,13 @@ int main(int argc, char** argv) {
   util::Table table("fleet scaling (policy=" +
                     std::string(core::to_string(policy)) +
                     ", jobs=" + std::to_string(jobs) + ")");
-  table.set_header({"clients", "servers", "ops", "remote%", "rejected",
-                    "p50 s", "p99 s", "util", "energy kJ", "jain",
-                    "fingerprint"});
+  table.set_header({"clients", "servers", "isl", "ops", "remote%", "xisl",
+                    "rejected", "p50 s", "p99 s", "util", "energy kJ",
+                    "jain", "fingerprint"});
 
   std::vector<FleetReport> reports;
   for (const Scale& scale : scales) {
-    const FleetConfig cfg = config_for(scale, policy);
+    const FleetConfig cfg = config_for(scale, policy, knobs);
     const FleetReport r = run_fleet(cfg, jobs, nullptr);
     reports.push_back(r);
     const double remote_pct =
@@ -107,8 +129,10 @@ int main(int argc, char** argv) {
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(r.fingerprint));
     table.add_row({std::to_string(r.clients), std::to_string(r.servers),
+                   std::to_string(r.islands),
                    std::to_string(r.ops_completed),
                    util::Table::num(remote_pct, 1),
+                   std::to_string(r.ops_cross_island),
                    std::to_string(r.ops_rejected),
                    util::Table::num(r.latency_p50_s, 3),
                    util::Table::num(r.latency_p99_s, 3),

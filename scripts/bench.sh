@@ -6,8 +6,10 @@
 # machine-readable BENCH_parallel.json. A resilience pass then runs the
 # chaos soak and the fault-recovery bench into BENCH_chaos.json, and a
 # fleet-scale pass runs the fleet_scale ladder (shared-server admission,
-# 64-1000 clients) into BENCH_fleet.json, failing if --jobs changes a byte
-# of the deterministic output.
+# 64-1000 clients; the 1000-client scale auto-shards into 4 islands) into
+# BENCH_fleet.json, failing if --jobs changes a byte of the deterministic
+# output. An island scaling-curve stage sweeps the sharded fleet across
+# --jobs=1/2/4 and appends events/sec-vs-workers to BENCH_parallel.json.
 #
 # Usage: scripts/bench.sh [build-dir] [jobs]
 #   build-dir  default: build
@@ -75,12 +77,22 @@ for fig in "${FIGS[@]}"; do
   par_speedup=$(ratio "$seq_s" "$par_s")
   reuse_speedup=$(ratio "$retrain_s" "$seq_s")
 
-  echo "$fig: seq ${seq_s}s, jobs=$JOBS ${par_s}s (${par_speedup}x)," \
+  # On a single hardware thread the seq-vs-par comparison measures pool
+  # overhead, not parallelism: annotate it per figure so nobody reads the
+  # ~1.0x numbers as regressions (the JSON carries the same flag).
+  if [ "$HW_DETECTED" -le 1 ]; then
+    par_note=" [1 hw thread: speedup not meaningful]"
+    bounded=true
+  else
+    par_note=""
+    bounded=false
+  fi
+  echo "$fig: seq ${seq_s}s, jobs=$JOBS ${par_s}s (${par_speedup}x)${par_note}," \
        "retrain ${retrain_s}s (reuse ${reuse_speedup}x), identical=$identical"
 
-  row=$(printf '    {"name": "%s", "seq_s": %s, "par_s": %s, "parallel_speedup": %s, "retrain_s": %s, "reuse_speedup": %s, "identical": %s}' \
-        "$fig" "$seq_s" "$par_s" "$par_speedup" "$retrain_s" \
-        "$reuse_speedup" "$identical")
+  row=$(printf '    {"name": "%s", "seq_s": %s, "par_s": %s, "parallel_speedup": %s, "speedup_bounded_by_host": %s, "hardware_concurrency_detected": %s, "retrain_s": %s, "reuse_speedup": %s, "identical": %s}' \
+        "$fig" "$seq_s" "$par_s" "$par_speedup" "$bounded" "$HW_DETECTED" \
+        "$retrain_s" "$reuse_speedup" "$identical")
   rows="${rows:+$rows,$'\n'}$row"
 done
 
@@ -99,6 +111,62 @@ $rows
 }
 EOF
 echo "wrote $OUT"
+
+# Island scaling curve: the 1000-client sharded fleet (auto = 4 islands)
+# at --jobs=1/2/4, plus the heavier speech workload at the same shard
+# count — events/sec (decisions + completions per wall second) vs worker
+# count. Every sweep point must print the same deterministic table body;
+# the curve is appended to BENCH_parallel.json as "scaling_curve" and
+# scripts/check.sh gates the --jobs=1 point against island_floor. On a
+# 1-core host the jobs>1 points measure barrier overhead, not scaling —
+# single_core_host in the JSON flags that.
+SCALE_JOBS=(1 2 4)
+scaling_rows=""
+for j in "${SCALE_JOBS[@]}"; do
+  "$BUILD/bench/fleet_scale" --clients=1000 --jobs="$j" \
+      --json="$TMP/scale_$j.json" > "$TMP/scale_$j.txt"
+  if [ "$j" != "1" ] && ! cmp -s <(tail -n +2 "$TMP/scale_1.txt") \
+                               <(tail -n +2 "$TMP/scale_$j.txt"); then
+    echo "ERROR: island fleet output differs between --jobs=1 and --jobs=$j" >&2
+    diff <(tail -n +2 "$TMP/scale_1.txt") <(tail -n +2 "$TMP/scale_$j.txt") >&2 || true
+    exit 1
+  fi
+done
+"$BUILD/bench/fleet_scale" --clients=1000 --workload=speech --jobs="$JOBS" \
+    --json="$TMP/scale_speech.json" > "$TMP/scale_speech.txt"
+python3 - "$TMP" "$OUT" "${SCALE_JOBS[@]}" <<PYEOF
+import json, sys
+tmp, out_path, jobs = sys.argv[1], sys.argv[2], sys.argv[3:]
+points = []
+for j in jobs:
+    s = json.load(open(f'{tmp}/scale_{j}.json'))['scales'][0]
+    points.append({'jobs': int(j), 'islands': s['islands'],
+                   'clients': s['clients'],
+                   'events_per_sec': s['wall']['events_per_sec'],
+                   'fingerprint': s['fingerprint']})
+assert len({p['fingerprint'] for p in points}) == 1, 'jobs changed outcomes'
+base = points[0]['events_per_sec']
+for p in points:
+    p['speedup_vs_jobs1'] = round(p['events_per_sec'] / base, 2) if base else 0
+speech = json.load(open(f'{tmp}/scale_speech.json'))['scales'][0]
+doc = json.load(open(out_path))
+doc['scaling_curve'] = {
+    'bench': 'fleet_scale --clients=1000 (islands auto = 4)',
+    'metric': 'events_per_sec (decisions + op completions per wall second)',
+    'single_core_host': doc['single_core_host'],
+    'points': points,
+    'speech_workload': {'jobs': $JOBS, 'islands': speech['islands'],
+                        'events_per_sec': speech['wall']['events_per_sec'],
+                        'fingerprint': speech['fingerprint']},
+}
+json.dump(doc, open(out_path, 'w'), indent=2)
+curve = ', '.join(f"jobs={p['jobs']} {p['events_per_sec']:.0f} ev/s "
+                  f"({p['speedup_vs_jobs1']}x)" for p in points)
+note = ' [1 hw thread: curve is overhead, not scaling]' \
+    if doc['single_core_host'] else ''
+print(f'scaling curve: {curve}{note}')
+print('updated', out_path, 'with scaling_curve')
+PYEOF
 
 # Decision hot-path numbers: the micro_decision bench times begin/end
 # fidelity-op round trips (no simulated execution between them) across three

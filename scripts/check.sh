@@ -4,8 +4,10 @@
 # `spectra scenarios` smoke run, catching memory bugs in the trace/metrics
 # hot paths that the plain build would miss — and a TSan smoke of the batch
 # runner: the exec suite (thread pool, concurrent logging, metrics merge,
-# batch determinism) plus a multi-worker CLI run, catching data races in
-# the parallel fan-out that neither the plain nor the ASan build can see.
+# batch determinism), the island-executor suite, and multi-worker CLI runs
+# including a multi-island fleet (3 islands on 4 workers), catching data
+# races in the parallel fan-out and the island barrier protocol that
+# neither the plain nor the ASan build can see.
 # A UBSan smoke then drives the fault paths (chaos + journal suites and a
 # small CLI soak), and a ~25-plan chaos soak across all three applications
 # closes the run.
@@ -76,9 +78,15 @@ cmake --build "$SMOKE" -j "$(nproc)" --target obs_test fleet_test spectra
 echo "== sanitize smoke (thread) =="
 TSMOKE="$BUILD-tsan"
 cmake -B "$TSMOKE" -S . -DSPECTRA_SANITIZE=thread >/dev/null
-cmake --build "$TSMOKE" -j "$(nproc)" --target exec_test spectra
+cmake --build "$TSMOKE" -j "$(nproc)" --target exec_test island_test spectra
 "$TSMOKE/tests/exec_test"
+"$TSMOKE/tests/island_test"
 SPECTRA_TRIALS=2 "$TSMOKE/src/cli/spectra" speech --trials=2 --jobs=4 >/dev/null
+# Island-parallel fleet under TSan: a multi-island world (600 clients, 3
+# islands) advancing on 4 workers. Any cross-island write that escapes the
+# barrier protocol is a data race here, not just a determinism bug.
+"$TSMOKE/src/cli/spectra" fleet --clients=600 --servers=6 --islands=3 \
+    --horizon=30 --jobs=4 >/dev/null
 
 echo "== sanitize smoke (undefined) =="
 # UB in the failure paths (journal replay, breaker arithmetic, fingerprint
@@ -130,12 +138,30 @@ echo "== perf smoke: fleet decisions =="
 python3 - "$BUILD/fleet_smoke.json" <<'PYEOF'
 import json, sys
 cur = json.load(open(sys.argv[1]))['scales'][0]
-floor = json.load(open('scripts/perf_baseline.json'))['fleet_floor']
+base = json.load(open('scripts/perf_baseline.json'))
+failed = False
+
+floor = base['fleet_floor']
 got = cur['wall']['decisions_per_sec']
 limit = floor['decisions_per_sec'] * 0.9
 status = 'ok' if got >= limit else 'REGRESSION'
+failed |= got < limit
 print(f"  fleet_1000: {got:.0f} decisions/s (floor*0.9 = {limit:.0f}) {status}")
-sys.exit(0 if got >= limit else 1)
+
+# Island pipeline gate: the same 1000-client run auto-shards into islands;
+# events/sec (decisions + completions per wall second) must hold the
+# island_floor even at --jobs=1, so barrier/mail overhead cannot creep in
+# unnoticed on hosts where parallel speedup is unmeasurable.
+ifloor = base['island_floor']
+assert cur['islands'] == ifloor['islands'], \
+    f"shard planner changed: {cur['islands']} islands vs {ifloor['islands']}"
+got = cur['wall']['events_per_sec']
+limit = ifloor['events_per_sec'] * 0.9
+status = 'ok' if got >= limit else 'REGRESSION'
+failed |= got < limit
+print(f"  fleet_1000 islands={cur['islands']}: {got:.0f} events/s "
+      f"(floor*0.9 = {limit:.0f}) {status}")
+sys.exit(1 if failed else 0)
 PYEOF
 
 echo "OK"

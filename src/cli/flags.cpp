@@ -26,8 +26,8 @@ const std::map<std::string, std::set<std::string>>& command_table() {
         "no-replay", "json", "trace", "metrics", "verbose"}},
       {"fleet",
        {"clients", "servers", "seed", "horizon", "policy", "queue-bound",
-        "slots", "jobs", "fault-plan", "json", "trace", "metrics",
-        "verbose"}},
+        "slots", "islands", "lookahead", "workload", "jobs", "fault-plan",
+        "json", "trace", "metrics", "verbose"}},
       {"faults", {"plan", "fault-plan", "verbose"}},
       {"scenarios", {"verbose"}},
       {"serve", {"host", "port", "record", "max-conns", "verbose"}},

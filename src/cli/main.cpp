@@ -65,6 +65,7 @@ usage:
                   [--metrics=FILE]
   spectra fleet    [--clients=N] [--servers=N] [--seed=N] [--horizon=SECS]
                    [--policy=fifo|wfq] [--queue-bound=N] [--slots=N]
+                   [--islands=N] [--lookahead=SECS] [--workload=mixed|speech]
                    [--jobs=N] [--fault-plan=FILE] [--json=FILE]
                    [--trace=FILE] [--metrics=FILE]
   spectra faults   --plan=FILE   (validate a fault plan, print canonical form)
@@ -98,6 +99,12 @@ fleet worlds (`spectra fleet`): instantiates N clients (heterogeneous device
   p50/p99 op latency, server utilization, aggregate energy, Jain's fairness
   index. The stdout table and any trace/metrics are byte-identical for any
   --jobs; wall-clock throughput lives only in the --json report.
+  Large worlds shard into islands (--islands=N, 0 = auto from the
+  client/server counts) that advance in parallel under --jobs and exchange
+  cross-island effects at a conservative lookahead barrier (--lookahead=SECS,
+  default: the 5 s status-poll interval). --workload=speech swaps the op mix
+  for heavier recognition-shaped work. Sharding changes results (islands
+  price cross-island placement conservatively) but never varies with --jobs.
 chaos soak (`spectra chaos`): runs N seeded random fault plans per app on
   cloned trained worlds, asserts liveness/consistency invariants, and
   replays every plan to confirm bit-identical outcomes. Exit status is
@@ -575,6 +582,13 @@ int cmd_fleet(const Args& args) {
       static_cast<std::size_t>(args.get_int("queue-bound", 64));
   cfg.admission.service_slots =
       static_cast<std::size_t>(args.get_int("slots", 4));
+  cfg.islands = static_cast<std::size_t>(args.get_int("islands", 0));
+  cfg.lookahead = args.get_double("lookahead", 0.0);
+  const std::string workload = args.get("workload", "mixed");
+  SPECTRA_REQUIRE(workload == "mixed" || workload == "speech",
+                  "--workload must be mixed or speech");
+  cfg.workload = workload == "speech" ? FleetWorkload::kSpeech
+                                      : FleetWorkload::kMixed;
   cfg.fault_plan = fault_plan_arg(args);
 
   CliObs obs = obs_args(args);
@@ -586,10 +600,12 @@ int cmd_fleet(const Args& args) {
                     std::to_string(r.servers) + " servers, policy=" +
                     core::to_string(r.policy));
   table.set_header({"metric", "value"});
+  table.add_row({"islands", std::to_string(r.islands)});
   table.add_row({"decisions", std::to_string(r.decisions)});
   table.add_row({"ops completed", std::to_string(r.ops_completed)});
   table.add_row({"ops local", std::to_string(r.ops_local)});
   table.add_row({"ops remote", std::to_string(r.ops_remote)});
+  table.add_row({"ops cross-island", std::to_string(r.ops_cross_island)});
   table.add_row({"admission rejections", std::to_string(r.ops_rejected)});
   table.add_row({"crash reruns", std::to_string(r.ops_aborted)});
   table.add_row({"battery cliffs", std::to_string(r.battery_cliffs)});

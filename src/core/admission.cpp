@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.h"
+#include "util/fnv.h"
 
 namespace spectra::core {
 namespace {
@@ -150,6 +151,17 @@ void AdmissionQueue::check_invariants() const {
   SPECTRA_REQUIRE(
       admitted_ == completed_ + aborted_ + in_flight(),
       "admission conservation: admitted != completed + aborted + in-flight");
+}
+
+std::uint64_t AdmissionQueue::fingerprint(std::uint64_t h) const {
+  h = util::fnv_mix(h, submitted_);
+  h = util::fnv_mix(h, admitted_);
+  h = util::fnv_mix(h, rejected_);
+  h = util::fnv_mix(h, completed_);
+  h = util::fnv_mix(h, aborted_);
+  h = util::fnv_mix(h, static_cast<std::uint64_t>(in_flight()));
+  h = util::fnv_mix(h, busy_time_);
+  return h;
 }
 
 }  // namespace spectra::core

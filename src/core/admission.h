@@ -97,6 +97,11 @@ class AdmissionQueue {
   // Seconds with at least one job in service, across all advance() calls.
   util::Seconds busy_time() const { return busy_time_; }
 
+  // Fold the queue's outcome state (conservation counters, in-flight count,
+  // busy time) into an FNV-1a accumulator. The field order is part of the
+  // fingerprint contract fleet worlds rely on for clone/replay identity.
+  std::uint64_t fingerprint(std::uint64_t h) const;
+
   // Throws util::ContractError if a structural invariant is violated
   // (bound exceeded, conservation identity broken). Tests call this after
   // every mutation.

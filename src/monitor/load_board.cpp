@@ -19,6 +19,15 @@ void LoadBoard::publish(std::size_t server, double run_queue,
   slot.back_up = up;
 }
 
+void LoadBoard::snapshot_into(std::vector<ServerLoadView>& out,
+                              std::size_t base) const {
+  SPECTRA_REQUIRE(base + slots_.size() <= out.size(),
+                  "snapshot target does not span this board");
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    out[base + i] = slots_[i].front;
+  }
+}
+
 void LoadBoard::flip() {
   for (Slot& slot : slots_) {
     slot.queue_est.add(slot.back_queue);

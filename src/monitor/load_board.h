@@ -47,6 +47,12 @@ class LoadBoard {
     return slots_[server].front;
   }
 
+  // Barrier freeze for island-parallel worlds: copy every front view into
+  // `out` starting at index `base` (out must already span base+servers()).
+  // The frozen copies stay stable while this board keeps publishing and
+  // flipping, so cross-island readers never observe a mid-step update.
+  void snapshot_into(std::vector<ServerLoadView>& out, std::size_t base) const;
+
   // Copy observation state from the same board in another world.
   void copy_state_from(const LoadBoard& src) { slots_ = src.slots_; }
 

@@ -55,6 +55,27 @@ class TraceEvent {
   std::string body_;  // "{"type":...,"t":...,..." without the closing brace
 };
 
+// A private JSONL buffer for one deterministic trace shard. Parallel code
+// paths (per-client pipelines, island fault streams) render events into
+// their own shard — single writer, no locks — and the shards are spliced
+// into the session TraceSink in a fixed index order once the parallel
+// phase is over, so the merged byte stream is independent of --jobs.
+class TraceShard {
+ public:
+  void emit(const TraceEvent& event) {
+    buf_ += event.to_json();
+    buf_ += '\n';
+  }
+
+  bool empty() const { return buf_.empty(); }
+  // The rendered newline-terminated lines, for splicing or inspection.
+  const std::string& bytes() const { return buf_; }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
 class TraceSink {
  public:
   // Non-owning: events append to `out`, which must outlive the sink.

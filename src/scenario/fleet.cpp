@@ -1,13 +1,13 @@
 #include "scenario/fleet.h"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
 #include <cmath>
 #include <numbers>
 #include <sstream>
 
 #include "util/assert.h"
+#include "util/fnv.h"
 #include "util/rng.h"
 #include "util/shutdown.h"
 
@@ -21,21 +21,6 @@ namespace {
 // work partition (and thus every per-client artifact) is independent of the
 // worker count.
 constexpr std::size_t kClientChunk = 64;
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xffu;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t fnv_mix(std::uint64_t h, double v) {
-  return fnv_mix(h, std::bit_cast<std::uint64_t>(v));
-}
 
 double wall_now_ms() {
   return std::chrono::duration<double, std::milli>(
@@ -56,12 +41,22 @@ const char* to_string(DeviceClass device) {
   return "unknown";
 }
 
+const char* to_string(FleetWorkload workload) {
+  switch (workload) {
+    case FleetWorkload::kMixed: return "mixed";
+    case FleetWorkload::kSpeech: return "speech";
+  }
+  return "unknown";
+}
+
 FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
   SPECTRA_REQUIRE(config_.clients >= 1, "fleet needs at least one client");
   SPECTRA_REQUIRE(config_.servers >= 1, "fleet needs at least one server");
   SPECTRA_REQUIRE(config_.tick > 0.0, "fleet tick must be positive");
   SPECTRA_REQUIRE(config_.horizon > 0.0, "fleet horizon must be positive");
   SPECTRA_REQUIRE(config_.bandwidth > 0.0, "fleet bandwidth must be positive");
+  SPECTRA_REQUIRE(config_.lookahead >= 0.0,
+                  "fleet lookahead must be non-negative");
   SPECTRA_REQUIRE(config_.itsy_fraction >= 0.0 &&
                       config_.thinkpad_fraction >= 0.0 &&
                       config_.itsy_fraction + config_.thinkpad_fraction <= 1.0,
@@ -156,9 +151,16 @@ FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
       if (crng.uniform() * peak >= rate) continue;
       FleetOp op;
       op.at = t;
-      op.cycles = crng.uniform(30e6, 150e6);
-      op.bytes = crng.uniform(20.0_KB, 150.0_KB);
-      op.fp_heavy = crng.bernoulli(0.3);
+      if (config_.workload == FleetWorkload::kSpeech) {
+        // Janus-recognition-shaped: heavier, FP-dominated, larger uploads.
+        op.cycles = crng.uniform(150e6, 600e6);
+        op.bytes = crng.uniform(40.0_KB, 200.0_KB);
+        op.fp_heavy = crng.bernoulli(0.8);
+      } else {
+        op.cycles = crng.uniform(30e6, 150e6);
+        op.bytes = crng.uniform(20.0_KB, 150.0_KB);
+        op.fp_heavy = crng.bernoulli(0.3);
+      }
       ops.push_back(op);
     }
     schedules_.push_back(std::move(ops));
@@ -187,7 +189,13 @@ FleetWorld::FleetWorld(std::shared_ptr<const FleetScenario> scenario,
                        obs::Observability* session)
     : scenario_(std::move(scenario)),
       session_(session),
-      board_(scenario_->servers().size()) {
+      plan_(plan_islands(*scenario_)),
+      exec_(plan_.islands, plan_.lookahead,
+            sim::IslandExecutor::Hooks{
+                [this](std::size_t island, util::Seconds target) {
+                  island_advance(island, target);
+                },
+                [this](util::Seconds t) { exchange(t); }}) {
   const FleetConfig& cfg = scenario_->config();
   clients_.resize(cfg.clients);
   decision_scratch_.resize(cfg.clients);
@@ -195,6 +203,11 @@ FleetWorld::FleetWorld(std::shared_ptr<const FleetScenario> scenario,
   for (std::size_t s = 0; s < cfg.servers; ++s) {
     servers_.emplace_back(cfg.admission);
   }
+  islands_.reserve(plan_.islands);
+  for (std::size_t i = 0; i < plan_.islands; ++i) {
+    islands_.emplace_back(plan_.servers[i].size());
+  }
+  frozen_views_.resize(cfg.servers);
   trace_on_ = session_ != nullptr && session_->tracing();
   if (cfg.fault_plan.has_value()) {
     fault_events_ = fault::expand_plan(*cfg.fault_plan);
@@ -207,9 +220,13 @@ FleetWorld::FleetWorld(std::shared_ptr<const FleetScenario> scenario,
   }
 }
 
-void FleetWorld::trace_event(std::string* buf, const obs::TraceEvent& event) {
-  buf->append(event.to_json());
-  buf->push_back('\n');
+FleetOp FleetWorld::meta_op(const RemoteMeta& meta) {
+  FleetOp op;
+  op.at = meta.arrived;
+  op.cycles = meta.cycles;
+  op.bytes = meta.bytes;
+  op.fp_heavy = meta.fp_heavy;
+  return op;
 }
 
 double FleetWorld::ideal_time(std::uint32_t client, const FleetOp& op) const {
@@ -281,60 +298,69 @@ void FleetWorld::credit_completion(std::uint32_t client, util::Seconds arrived,
                                       : "local")
         .field("latency", latency);
     if (remote) ev.field("server", server);
-    trace_event(&st.trace, ev);
+    st.trace.emit(ev);
   }
 }
 
-void FleetWorld::apply_faults(util::Seconds t0, util::Seconds t1) {
+void FleetWorld::apply_island_faults(std::size_t island, util::Seconds t0,
+                                     util::Seconds t1) {
+  IslandState& is = islands_[island];
   const std::size_t servers = servers_.size();
-  while (next_fault_ < fault_events_.size() &&
-         fault_events_[next_fault_].at < t1) {
-    const fault::FaultEvent& e = fault_events_[next_fault_++];
+  while (is.next_fault < fault_events_.size() &&
+         fault_events_[is.next_fault].at < t1) {
+    const fault::FaultEvent& e = fault_events_[is.next_fault++];
+    // Every island walks the same expanded stream with its own cursor:
+    // medium events replicate (identical factors at identical ticks);
+    // server/client events apply — and trace — only on the owning island.
     // Faults quantize to the start of the tick containing them.
+    bool owned = island == 0;  // medium-wide events trace on island 0
     switch (e.kind) {
       case fault::FaultKind::kServerCrash: {
         const auto s = static_cast<std::size_t>(e.a);
+        if (s < servers) owned = plan_.island_of_server[s] == island;
+        if (!owned) break;
         if (s >= servers || !servers_[s].up) break;
         servers_[s].up = false;
-        tick_aborted_.clear();
-        servers_[s].queue.abort_all(&tick_aborted_);
-        // Fail aborted jobs back to their tenants (queue order), which
-        // rerun them locally from the crash tick.
-        for (const core::AdmissionJob& job : tick_aborted_) {
+        is.aborted_scratch.clear();
+        servers_[s].queue.abort_all(&is.aborted_scratch);
+        // Fail aborted jobs back to their tenants (queue order): own-island
+        // tenants rerun locally from the crash tick, remote tenants learn
+        // at the next barrier.
+        for (const core::AdmissionJob& job : is.aborted_scratch) {
           const RemoteMeta& meta = servers_[s].meta[job.id - 1];
-          ClientState& st = clients_[meta.client];
-          ++st.aborted;
-          FleetOp op;
-          op.at = meta.arrived;
-          op.cycles = meta.cycles;
-          op.bytes = meta.bytes;
-          op.fp_heavy = meta.fp_heavy;
-          run_local(meta.client, op, t0, /*fallback=*/true);
+          if (plan_.island_of_client[meta.client] == island) {
+            ClientState& st = clients_[meta.client];
+            ++st.aborted;
+            run_local(meta.client, meta_op(meta), t0, /*fallback=*/true);
+          } else {
+            is.out_aborts.push_back({meta.client, meta_op(meta)});
+          }
         }
         break;
       }
       case fault::FaultKind::kServerRestart: {
         const auto s = static_cast<std::size_t>(e.a);
-        if (s < servers) servers_[s].up = true;
+        if (s < servers) owned = plan_.island_of_server[s] == island;
+        if (owned && s < servers) servers_[s].up = true;
         break;
       }
       case fault::FaultKind::kLatencySpike:
-        rtt_factor_ = e.magnitude;
+        is.rtt_factor = e.magnitude;
         break;
       case fault::FaultKind::kLatencyRestore:
-        rtt_factor_ = 1.0;
+        is.rtt_factor = 1.0;
         break;
       case fault::FaultKind::kBandwidthDrop:
-        bandwidth_factor_ = e.magnitude;
+        is.bandwidth_factor = e.magnitude;
         break;
       case fault::FaultKind::kBandwidthRestore:
-        bandwidth_factor_ = 1.0;
+        is.bandwidth_factor = 1.0;
         break;
       case fault::FaultKind::kLinkDown:
-        medium_up_ = false;
+        is.medium_up = false;
         break;
       case fault::FaultKind::kLinkUp:
-        medium_up_ = true;
+        is.medium_up = true;
         break;
       case fault::FaultKind::kLinkFlap:
         SPECTRA_REQUIRE(false, "link_flap must be expanded before apply");
@@ -342,10 +368,12 @@ void FleetWorld::apply_faults(util::Seconds t0, util::Seconds t1) {
       case fault::FaultKind::kBatteryCliff: {
         // Charge collapsed on client (a mod clients): the radio goes dark
         // and every decision is forced local until the cliff heals (no
-        // duration = the rest of the run).
+        // duration = the rest of the run). Owned by the client's island.
         if (clients_.empty()) break;
         const std::size_t c =
             static_cast<std::size_t>(e.a) % clients_.size();
+        owned = plan_.island_of_client[c] == island;
+        if (!owned) break;
         ClientState& st = clients_[c];
         st.forced_local_until = e.duration > 0.0
                                     ? t0 + e.duration
@@ -356,50 +384,61 @@ void FleetWorld::apply_faults(util::Seconds t0, util::Seconds t1) {
           ev.field("kind", fault::to_token(e.kind))
               .field("client", static_cast<std::int64_t>(c))
               .field("until", st.forced_local_until);
-          trace_event(&fleet_trace_, ev);
+          is.fault_trace.emit(ev);
         }
         break;
       }
     }
-    if (trace_on_ && e.kind != fault::FaultKind::kBatteryCliff) {
+    if (trace_on_ && owned && e.kind != fault::FaultKind::kBatteryCliff) {
       obs::TraceEvent ev("fleet_fault", t0);
       ev.field("kind", fault::to_token(e.kind)).field("a", e.a);
       if (e.magnitude != 0.0) ev.field("magnitude", e.magnitude);
-      trace_event(&fleet_trace_, ev);
+      is.fault_trace.emit(ev);
     }
   }
 }
 
-void FleetWorld::serve_servers(util::Seconds t0, util::Seconds t1) {
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    ServerState& server = servers_[s];
+void FleetWorld::serve_island(std::size_t island, util::Seconds t0,
+                              util::Seconds t1) {
+  IslandState& is = islands_[island];
+  for (const std::uint32_t sidx : plan_.servers[island]) {
+    ServerState& server = servers_[sidx];
     if (!server.up) continue;
-    tick_completions_.clear();
-    server.queue.advance(t0, t1 - t0, scenario_->servers()[s].cpu_hz,
-                         &tick_completions_);
-    for (const core::AdmissionCompletion& done : tick_completions_) {
+    is.completions_scratch.clear();
+    server.queue.advance(t0, t1 - t0, scenario_->servers()[sidx].cpu_hz,
+                         &is.completions_scratch);
+    for (const core::AdmissionCompletion& done : is.completions_scratch) {
       const RemoteMeta& meta = server.meta[done.job.id - 1];
       const FleetClientProfile& p = scenario_->profiles()[meta.client];
       const double wait = done.finished_at - meta.arrived - meta.net_time;
       const util::Joules energy =
           meta.net_time * (p.power.idle_w + p.power.net_w) +
           std::max(wait, 0.0) * p.power.idle_w;
-      FleetOp op;
-      op.at = meta.arrived;
-      op.cycles = meta.cycles;
-      op.bytes = meta.bytes;
-      op.fp_heavy = meta.fp_heavy;
-      credit_completion(meta.client, meta.arrived, done.finished_at, energy,
-                        ideal_time(meta.client, op), static_cast<int>(s));
+      const FleetOp op = meta_op(meta);
+      const util::Seconds ideal = ideal_time(meta.client, op);
+      if (plan_.island_of_client[meta.client] == island) {
+        credit_completion(meta.client, meta.arrived, done.finished_at, energy,
+                          ideal, static_cast<int>(sidx));
+      } else {
+        // Another island's tenant: the credit (pure accounting — remote
+        // completions never feed back into that client's decisions) ferries
+        // to the barrier.
+        is.out_completions.push_back({meta.client, meta.arrived,
+                                      done.finished_at, energy, ideal,
+                                      static_cast<int>(sidx)});
+      }
     }
   }
 }
 
-FleetWorld::Decision FleetWorld::decide(std::uint32_t client,
-                                        const FleetOp& op) {
+FleetWorld::Decision FleetWorld::decide(std::size_t island,
+                                        std::uint32_t client,
+                                        const FleetOp& op,
+                                        util::Seconds step_end) {
   const FleetClientProfile& p = scenario_->profiles()[client];
   const ClientState& st = clients_[client];
   const FleetConfig& cfg = scenario_->config();
+  const IslandState& is = islands_[island];
 
   Decision d;
   d.client = client;
@@ -420,25 +459,40 @@ FleetWorld::Decision FleetWorld::decide(std::uint32_t client,
   d.predicted_s = local_time;
 
   // A battery-cliffed client keeps its radio dark until the cliff heals.
-  if (medium_up_ && st.forced_local_until <= op.at) {
+  if (is.medium_up && st.forced_local_until <= op.at) {
     // Shared-medium contention: the EWMA of concurrent transfers divides
     // the nominal bandwidth. Every client reads the same frozen estimate
-    // during a decision stage.
+    // between barriers.
     const double sharers =
         std::max(medium_est_.empty() ? 1.0 : medium_est_.value(), 1.0);
-    const double bw = cfg.bandwidth * bandwidth_factor_ / sharers;
-    const double net_time = op.bytes / bw + cfg.rtt * rtt_factor_;
+    const double bw = cfg.bandwidth * is.bandwidth_factor / sharers;
+    const double net_time = op.bytes / bw + cfg.rtt * is.rtt_factor;
+    const std::uint32_t sbase = plan_.servers[island].front();
+    const std::size_t scount = plan_.servers[island].size();
     for (std::size_t s = 0; s < servers_.size(); ++s) {
-      const monitor::ServerLoadView& view = board_.view(s);
+      const bool own = s >= sbase && s < sbase + scount;
+      // Own servers: the island's per-tick published view (the legacy
+      // freshness). Remote islands' servers: the view frozen at the last
+      // barrier — conservatively stale by at most the lookahead horizon,
+      // exactly the staleness a real status poll would carry.
+      const monitor::ServerLoadView& view =
+          own ? is.board.view(s - sbase) : frozen_views_[s];
       if (!view.up) continue;
       const double hz = scenario_->servers()[s].cpu_hz;
       // Processor sharing: this job would share the CPU with the smoothed
       // run queue the server last published.
       const double exec = op.cycles * (1.0 + view.run_queue) / hz;
-      const double time = net_time + exec;
+      double time = net_time + exec;
+      if (!own) {
+        // A cross-island job ships at the next barrier; the uplink
+        // transfer overlaps the ferry wait, so the job is priced at
+        // whichever dominates plus the remote execution.
+        const double ferry = std::max(step_end - op.at, 0.0);
+        time = std::max(net_time, ferry) + exec;
+      }
       const double energy =
           net_time * (p.power.idle_w + p.power.net_w) +
-          exec * p.power.idle_w;
+          (time - net_time) * p.power.idle_w;
       const double cost = time + p.energy_importance * energy;
       if (cost < best_cost) {
         best_cost = cost;
@@ -451,153 +505,257 @@ FleetWorld::Decision FleetWorld::decide(std::uint32_t client,
   return d;
 }
 
-void FleetWorld::decision_stage(util::Seconds t0, util::Seconds t1,
-                                exec::ThreadPool* pool) {
-  (void)t0;
-  const std::size_t n = clients_.size();
-  const std::size_t chunks = (n + kClientChunk - 1) / kClientChunk;
-  exec::parallel_for(pool, chunks, [&](std::size_t chunk) {
-    const std::size_t lo = chunk * kClientChunk;
-    const std::size_t hi = std::min(lo + kClientChunk, n);
-    for (std::size_t c = lo; c < hi; ++c) {
-      const auto client = static_cast<std::uint32_t>(c);
-      ClientState& st = clients_[c];
-      complete_local(client, t1);
-      const std::vector<FleetOp>& sched = scenario_->schedules()[c];
-      while (st.next_op < sched.size() && sched[st.next_op].at <= t1) {
-        const FleetOp& op = sched[st.next_op++];
-        const double w0 = wall_now_ms();
-        Decision d = decide(client, op);
-        st.decision_wall_ms.push_back(wall_now_ms() - w0);
-        ++st.decisions;
-        if (trace_on_) {
-          obs::TraceEvent ev("fleet_decision", op.at);
-          ev.field("client", static_cast<std::int64_t>(c))
-              .field("target",
-                     d.server < 0 ? std::string("local")
-                                  : scenario_->servers()[d.server].name.str())
-              .field("predicted", d.predicted_s);
-          trace_event(&st.trace, ev);
+void FleetWorld::island_decisions(std::size_t island, util::Seconds t1) {
+  const std::vector<std::uint32_t>& members = plan_.clients[island];
+  const util::Seconds step_end = exec_.next_barrier();
+  // With one island the islands themselves offer no parallelism, so the
+  // decision stage fans out across the pool in fixed client chunks (the
+  // legacy shape); with many islands the island is the parallel unit and
+  // this stage runs inline on its worker.
+  exec::ThreadPool* pool = plan_.islands == 1 ? stage_pool_ : nullptr;
+  exec::parallel_for_chunked(
+      pool, members.size(), kClientChunk, [&](std::size_t idx) {
+        const std::uint32_t client = members[idx];
+        ClientState& st = clients_[client];
+        complete_local(client, t1);
+        const std::vector<FleetOp>& sched = scenario_->schedules()[client];
+        while (st.next_op < sched.size() && sched[st.next_op].at <= t1) {
+          const FleetOp& op = sched[st.next_op++];
+          const double w0 = wall_now_ms();
+          Decision d = decide(island, client, op, step_end);
+          st.decision_wall_ms.push_back(wall_now_ms() - w0);
+          ++st.decisions;
+          if (trace_on_) {
+            obs::TraceEvent ev("fleet_decision", op.at);
+            ev.field("client", static_cast<std::int64_t>(client))
+                .field("target",
+                       d.server < 0
+                           ? std::string("local")
+                           : scenario_->servers()[d.server].name.str())
+                .field("predicted", d.predicted_s);
+            st.trace.emit(ev);
+          }
+          if (d.server < 0) {
+            run_local(client, op, op.at, /*fallback=*/false);
+          } else {
+            decision_scratch_[client].push_back(d);
+          }
         }
-        if (d.server < 0) {
-          run_local(client, op, op.at, /*fallback=*/false);
-        } else {
-          decision_scratch_[c].push_back(d);
-        }
-      }
-    }
-  });
+      });
 }
 
-void FleetWorld::submit_stage(util::Seconds t1) {
-  (void)t1;
-  tick_decisions_.clear();
-  for (auto& pending : decision_scratch_) {
-    tick_decisions_.insert(tick_decisions_.end(), pending.begin(),
-                           pending.end());
+bool FleetWorld::submit_remote(std::uint32_t client, std::size_t server,
+                               const FleetOp& op, double net_time_s,
+                               util::Seconds reject_from) {
+  ClientState& st = clients_[client];
+  const FleetClientProfile& p = scenario_->profiles()[client];
+  const auto id = servers_[server].queue.submit(static_cast<int>(client),
+                                                p.weight, op.cycles, op.at);
+  if (!id.has_value()) {
+    ++st.rejected;
+    run_local(client, op, reject_from, /*fallback=*/true);
+    return false;
+  }
+  RemoteMeta meta;
+  meta.client = client;
+  meta.arrived = op.at;
+  meta.bytes = op.bytes;
+  meta.net_time = net_time_s;
+  meta.cycles = op.cycles;
+  meta.fp_heavy = op.fp_heavy;
+  SPECTRA_REQUIRE(*id == servers_[server].meta.size() + 1,
+                  "admission ids must stay dense");
+  servers_[server].meta.push_back(meta);
+  return true;
+}
+
+void FleetWorld::island_submit(std::size_t island) {
+  IslandState& is = islands_[island];
+  is.tick_decisions.clear();
+  for (const std::uint32_t c : plan_.clients[island]) {
+    std::vector<Decision>& pending = decision_scratch_[c];
+    is.tick_decisions.insert(is.tick_decisions.end(), pending.begin(),
+                             pending.end());
     pending.clear();
   }
-  // Global admission order: arrival time, ties by client index (stable —
+  // Island admission order: arrival time, ties by client index (stable —
   // the scratch was concatenated in client order).
-  std::stable_sort(tick_decisions_.begin(), tick_decisions_.end(),
+  std::stable_sort(is.tick_decisions.begin(), is.tick_decisions.end(),
                    [](const Decision& a, const Decision& b) {
                      return a.op.at < b.op.at;
                    });
   std::size_t transfers = 0;
-  for (const Decision& d : tick_decisions_) {
+  for (const Decision& d : is.tick_decisions) {
     const auto s = static_cast<std::size_t>(d.server);
+    if (plan_.island_of_server[s] != static_cast<std::uint32_t>(island)) {
+      // Cross-island pick: the uplink transfer starts now (it counts
+      // against the shared medium this tick) and the job ferries to the
+      // barrier, where the sequential exchange admits it.
+      ++transfers;
+      is.out_submissions.push_back(
+          {d.client, static_cast<std::uint32_t>(s), d.op, d.net_time_s});
+      continue;
+    }
     ClientState& st = clients_[d.client];
-    if (!medium_up_ || !servers_[s].up) {
+    if (!is.medium_up || !servers_[s].up) {
       // The world changed between decision and submission (fault applied
       // this tick): fall back to local execution.
       ++st.rejected;
       run_local(d.client, d.op, d.op.at, /*fallback=*/true);
       continue;
     }
-    const FleetClientProfile& p = scenario_->profiles()[d.client];
-    const auto id = servers_[s].queue.submit(
-        static_cast<int>(d.client), p.weight, d.op.cycles, d.op.at);
-    if (!id.has_value()) {
-      ++st.rejected;
-      run_local(d.client, d.op, d.op.at, /*fallback=*/true);
-      continue;
-    }
-    ++transfers;
-    RemoteMeta meta;
-    meta.client = d.client;
-    meta.arrived = d.op.at;
-    meta.bytes = d.op.bytes;
-    meta.net_time = d.net_time_s;
-    meta.cycles = d.op.cycles;
-    meta.fp_heavy = d.op.fp_heavy;
-    SPECTRA_REQUIRE(*id == servers_[s].meta.size() + 1,
-                    "admission ids must stay dense");
-    servers_[s].meta.push_back(meta);
+    if (submit_remote(d.client, s, d.op, d.net_time_s, d.op.at)) ++transfers;
   }
-  remote_submissions_last_tick_ = transfers;
+  is.tick_transfers.push_back(transfers);
 }
 
-void FleetWorld::publish_loads(util::Seconds t0, util::Seconds t1) {
+void FleetWorld::publish_island(std::size_t island, util::Seconds t0,
+                                util::Seconds t1) {
+  IslandState& is = islands_[island];
   const double dt = t1 - t0;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    ServerState& server = servers_[s];
+  const std::vector<std::uint32_t>& members = plan_.servers[island];
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    ServerState& server = servers_[members[j]];
     const double busy = server.queue.busy_time();
     const double util = dt > 0.0 ? (busy - server.busy_last) / dt : 0.0;
     server.busy_last = busy;
-    board_.publish(s, server.queue.run_queue(), util, server.up);
+    is.board.publish(j, server.queue.run_queue(), util, server.up);
   }
-  board_.flip();
-  medium_est_.add(static_cast<double>(remote_submissions_last_tick_));
+  is.board.flip();
+}
+
+void FleetWorld::island_tick(std::size_t island, util::Seconds t0,
+                             util::Seconds t1) {
+  apply_island_faults(island, t0, t1);
+  serve_island(island, t0, t1);
+  island_decisions(island, t1);
+  island_submit(island);
+  publish_island(island, t0, t1);
+}
+
+void FleetWorld::island_advance(std::size_t island, util::Seconds target) {
+  const util::Seconds tick = scenario_->config().tick;
+  IslandState& is = islands_[island];
+  while (is.now + 1e-9 < target) {
+    const util::Seconds t0 = is.now;
+    const util::Seconds t1 = std::min(t0 + tick, target);
+    island_tick(island, t0, t1);
+    is.now = t1;
+  }
+}
+
+void FleetWorld::fold_medium() {
+  const std::size_t ticks =
+      islands_.empty() ? 0 : islands_[0].tick_transfers.size();
+  for (const IslandState& is : islands_) {
+    SPECTRA_REQUIRE(is.tick_transfers.size() == ticks,
+                    "islands lost tick lockstep before a barrier fold");
+  }
+  // Position-wise sum across islands, in tick order: the EWMA sees exactly
+  // the per-tick fleet-wide transfer counts a sequential run would feed it.
+  for (std::size_t j = 0; j < ticks; ++j) {
+    std::size_t total = 0;
+    for (const IslandState& is : islands_) total += is.tick_transfers[j];
+    medium_est_.add(static_cast<double>(total));
+  }
+  for (IslandState& is : islands_) is.tick_transfers.clear();
+}
+
+void FleetWorld::deliver_mail(util::Seconds t) {
+  // Completions first (pure accounting), then crash aborts (rerun locally
+  // from the barrier), then ferried submissions — each class drained in
+  // island index order, submissions globally re-sorted by (arrival,
+  // client) so admission order stays a pure function of the scenario.
+  for (IslandState& is : islands_) {
+    for (const CrossCompletion& cc : is.out_completions) {
+      credit_completion(cc.client, cc.arrived, cc.finished, cc.energy,
+                        cc.ideal, cc.server);
+    }
+    is.out_completions.clear();
+  }
+  for (IslandState& is : islands_) {
+    for (const CrossAbort& ca : is.out_aborts) {
+      ++clients_[ca.client].aborted;
+      run_local(ca.client, ca.op, t, /*fallback=*/true);
+    }
+    is.out_aborts.clear();
+  }
+  mail_submissions_.clear();
+  for (IslandState& is : islands_) {
+    mail_submissions_.insert(mail_submissions_.end(),
+                             is.out_submissions.begin(),
+                             is.out_submissions.end());
+    is.out_submissions.clear();
+  }
+  std::sort(mail_submissions_.begin(), mail_submissions_.end(),
+            [](const CrossSubmission& a, const CrossSubmission& b) {
+              return a.op.at != b.op.at ? a.op.at < b.op.at
+                                        : a.client < b.client;
+            });
+  cross_submissions_ += mail_submissions_.size();
+  for (const CrossSubmission& cs : mail_submissions_) {
+    ClientState& st = clients_[cs.client];
+    if (!barrier_medium_up_ || !servers_[cs.server].up) {
+      // The medium partitioned or the target crashed while the job was on
+      // the wire: fall back to local execution from the barrier.
+      ++st.rejected;
+      run_local(cs.client, cs.op, t, /*fallback=*/true);
+      continue;
+    }
+    submit_remote(cs.client, cs.server, cs.op, cs.net_time_s, t);
+  }
+}
+
+void FleetWorld::exchange(util::Seconds t) {
+  fold_medium();
+  // World-level medium availability at barrier time, for admitting ferried
+  // submissions (its own cursor over the same expanded link events).
+  while (barrier_fault_cursor_ < fault_events_.size() &&
+         fault_events_[barrier_fault_cursor_].at < t) {
+    const fault::FaultEvent& e = fault_events_[barrier_fault_cursor_++];
+    if (e.kind == fault::FaultKind::kLinkDown) barrier_medium_up_ = false;
+    if (e.kind == fault::FaultKind::kLinkUp) barrier_medium_up_ = true;
+  }
+  deliver_mail(t);
+  // Refreeze cross-island load views for the next super-step.
+  for (std::size_t i = 0; i < islands_.size(); ++i) {
+    islands_[i].board.snapshot_into(frozen_views_, plan_.servers[i].front());
+  }
 }
 
 void FleetWorld::run_until(util::Seconds until, exec::ThreadPool* pool) {
-  const FleetConfig& cfg = scenario_->config();
-  until = std::min(until, cfg.horizon);
+  until = std::min(until, scenario_->config().horizon);
+  stage_pool_ = pool;
   const double w0 = wall_now_ms();
-  while (now_ + 1e-9 < until) {
-    if (util::shutdown_requested()) break;  // finish() flushes what we have
-    const util::Seconds t0 = now_;
-    const util::Seconds t1 = std::min(t0 + cfg.tick, until);
-    apply_faults(t0, t1);
-    serve_servers(t0, t1);
-    decision_stage(t0, t1, pool);
-    submit_stage(t1);
-    publish_loads(t0, t1);
-    now_ = t1;
-  }
+  exec_.run_until(until, pool);
   wall_seconds_ += (wall_now_ms() - w0) / 1e3;
+  stage_pool_ = nullptr;
 }
 
 std::uint64_t FleetWorld::state_fingerprint() const {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = util::kFnvOffset;
   for (const ClientState& st : clients_) {
-    h = fnv_mix(h, st.decisions);
-    h = fnv_mix(h, st.completed);
-    h = fnv_mix(h, st.completed_local);
-    h = fnv_mix(h, st.completed_remote);
-    h = fnv_mix(h, st.rejected);
-    h = fnv_mix(h, st.aborted);
-    h = fnv_mix(h, st.battery_cliffs);
-    h = fnv_mix(h, st.forced_local_until);
-    h = fnv_mix(h, static_cast<std::uint64_t>(st.next_op));
-    h = fnv_mix(h, st.latency_sum_s);
-    h = fnv_mix(h, st.slowdown_sum);
-    h = fnv_mix(h, st.energy_j);
-    h = fnv_mix(h, st.local_free_at);
-    h = fnv_mix(h, static_cast<std::uint64_t>(st.local_runs.size()));
+    h = util::fnv_mix(h, st.decisions);
+    h = util::fnv_mix(h, st.completed);
+    h = util::fnv_mix(h, st.completed_local);
+    h = util::fnv_mix(h, st.completed_remote);
+    h = util::fnv_mix(h, st.rejected);
+    h = util::fnv_mix(h, st.aborted);
+    h = util::fnv_mix(h, st.battery_cliffs);
+    h = util::fnv_mix(h, st.forced_local_until);
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(st.next_op));
+    h = util::fnv_mix(h, st.latency_sum_s);
+    h = util::fnv_mix(h, st.slowdown_sum);
+    h = util::fnv_mix(h, st.energy_j);
+    h = util::fnv_mix(h, st.local_free_at);
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(st.local_runs.size()));
   }
   for (const ServerState& server : servers_) {
-    h = fnv_mix(h, server.queue.submitted());
-    h = fnv_mix(h, server.queue.admitted());
-    h = fnv_mix(h, server.queue.rejected());
-    h = fnv_mix(h, server.queue.completed());
-    h = fnv_mix(h, server.queue.aborted());
-    h = fnv_mix(h, static_cast<std::uint64_t>(server.queue.in_flight()));
-    h = fnv_mix(h, server.queue.busy_time());
-    h = fnv_mix(h, static_cast<std::uint64_t>(server.up ? 1 : 0));
+    h = server.queue.fingerprint(h);
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(server.up ? 1 : 0));
   }
-  h = fnv_mix(h, now_);
-  h = fnv_mix(h, medium_est_.empty() ? -1.0 : medium_est_.value());
+  h = util::fnv_mix(h, exec_.now());
+  h = util::fnv_mix(h, medium_est_.empty() ? -1.0 : medium_est_.value());
   return h;
 }
 
@@ -605,19 +763,17 @@ std::unique_ptr<FleetWorld> FleetWorld::clone(obs::Observability* obs) const {
   auto copy = std::make_unique<FleetWorld>(scenario_, obs);
   copy->clients_ = clients_;
   copy->servers_ = servers_;
-  copy->board_.copy_state_from(board_);
+  copy->islands_ = islands_;
+  copy->frozen_views_ = frozen_views_;
   copy->medium_est_ = medium_est_;
-  copy->medium_up_ = medium_up_;
-  copy->rtt_factor_ = rtt_factor_;
-  copy->bandwidth_factor_ = bandwidth_factor_;
-  copy->next_fault_ = next_fault_;
-  copy->remote_submissions_last_tick_ = remote_submissions_last_tick_;
-  copy->now_ = now_;
-  copy->fleet_trace_ = fleet_trace_;
+  copy->barrier_medium_up_ = barrier_medium_up_;
+  copy->barrier_fault_cursor_ = barrier_fault_cursor_;
+  copy->cross_submissions_ = cross_submissions_;
+  copy->exec_.copy_state_from(exec_);
   // Tracing follows the new session, but the shard buffers carry over, so
   // the clone's merged trace equals an uncloned full run's.
   if (!copy->trace_on_) {
-    copy->fleet_trace_.clear();
+    for (IslandState& is : copy->islands_) is.fault_trace.clear();
     for (ClientState& st : copy->clients_) st.trace.clear();
   }
   return copy;
@@ -627,6 +783,19 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
   if (finished_) return report_;
   const FleetConfig& cfg = scenario_->config();
   run_until(cfg.horizon, pool);
+  // Horizon settlement: fold the trailing ticks' medium counts and deliver
+  // the outstanding cross-island mail — completions that finished before
+  // the horizon are credited, crash aborts rerun locally, and ferried
+  // submissions land in their queue (and stay in flight, matching the
+  // treatment of jobs queued at the horizon).
+  fold_medium();
+  while (barrier_fault_cursor_ < fault_events_.size() &&
+         fault_events_[barrier_fault_cursor_].at < exec_.now()) {
+    const fault::FaultEvent& e = fault_events_[barrier_fault_cursor_++];
+    if (e.kind == fault::FaultKind::kLinkDown) barrier_medium_up_ = false;
+    if (e.kind == fault::FaultKind::kLinkUp) barrier_medium_up_ = true;
+  }
+  deliver_mail(exec_.now());
   finished_ = true;
 
   FleetReport r;
@@ -634,7 +803,10 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
   r.servers = cfg.servers;
   r.policy = cfg.admission.policy;
   r.horizon = cfg.horizon;
-  r.virtual_end = now_;
+  r.islands = plan_.islands;
+  r.lookahead_s = plan_.lookahead;
+  r.virtual_end = exec_.now();
+  r.ops_cross_island = cross_submissions_;
 
   std::vector<double> latencies;
   std::vector<double> slowdowns;
@@ -678,16 +850,17 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
   double util_sum = 0.0;
   double util_min = 1.0;
   double util_max = 0.0;
+  const util::Seconds now = exec_.now();
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     const FleetServerSpec& spec = scenario_->servers()[s];
     const double busy = servers_[s].queue.busy_time();
-    const double busy_frac = now_ > 0.0 ? busy / now_ : 0.0;
+    const double busy_frac = now > 0.0 ? busy / now : 0.0;
     util_sum += busy_frac;
     util_min = std::min(util_min, busy_frac);
     util_max = std::max(util_max, busy_frac);
     r.aggregate_energy_j +=
         busy * (spec.power.idle_w + spec.power.cpu_w) +
-        (now_ - busy) * spec.power.idle_w;
+        (now - busy) * spec.power.idle_w;
   }
   r.server_utilization_mean = util_sum / static_cast<double>(servers_.size());
   r.server_utilization_min = util_min;
@@ -702,6 +875,8 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
   if (wall_seconds_ > 0.0) {
     r.decisions_per_wall_sec =
         static_cast<double>(r.decisions) / wall_seconds_;
+    r.events_per_wall_sec =
+        static_cast<double>(r.decisions + r.ops_completed) / wall_seconds_;
   }
 
   if (session_ != nullptr) {
@@ -712,10 +887,15 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
     m.counter("fleet.ops.remote").add(static_cast<double>(r.ops_remote));
     m.counter("fleet.ops.rejected").add(static_cast<double>(r.ops_rejected));
     m.counter("fleet.ops.aborted").add(static_cast<double>(r.ops_aborted));
-    // Conditional so cliff-free runs keep their metrics goldens.
+    // Conditional so cliff-free / single-island runs keep their metrics
+    // goldens byte-identical.
     if (r.battery_cliffs > 0) {
       m.counter("fleet.battery_cliffs")
           .add(static_cast<double>(r.battery_cliffs));
+    }
+    if (r.ops_cross_island > 0) {
+      m.counter("fleet.ops.cross_island")
+          .add(static_cast<double>(r.ops_cross_island));
     }
     m.counter("fleet.energy_j").add(r.aggregate_energy_j);
     m.counter("fleet.jain_fairness").add(r.jain_fairness);
@@ -723,8 +903,8 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
     for (double x : latencies) lat.observe(x);
     obs::Histogram& util_hist = m.histogram("fleet.server.utilization");
     for (std::size_t s = 0; s < servers_.size(); ++s) {
-      util_hist.observe(now_ > 0.0 ? servers_[s].queue.busy_time() / now_
-                                   : 0.0);
+      util_hist.observe(now > 0.0 ? servers_[s].queue.busy_time() / now
+                                  : 0.0);
     }
     // Wall-clock metrics carry the ".wall_ms" suffix so determinism checks
     // and goldens can strip them.
@@ -732,13 +912,23 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
     for (double x : wall_ms) wall.observe(x);
     m.histogram("fleet.run.wall_ms").observe(wall_seconds_ * 1e3);
     if (session_->tracing()) {
-      // Fleet-level events first, then per-client shards in index order —
-      // the same deterministic merge discipline BatchRunner uses.
-      session_->trace()->write_raw(fleet_trace_);
-      for (const ClientState& st : clients_) {
-        session_->trace()->write_raw(st.trace);
+      // Island decomposition header (multi-island runs only, so legacy
+      // single-island goldens keep their bytes), then per-island fault
+      // shards and per-client shards in index order — the same
+      // deterministic merge discipline BatchRunner uses.
+      if (plan_.islands > 1) {
+        obs::TraceEvent header("fleet_islands", 0.0);
+        header.field("islands", static_cast<std::int64_t>(plan_.islands))
+            .field("lookahead", plan_.lookahead);
+        session_->trace()->emit(header);
       }
-      obs::TraceEvent summary("fleet_summary", now_);
+      for (const IslandState& is : islands_) {
+        session_->trace()->write_raw(is.fault_trace.bytes());
+      }
+      for (const ClientState& st : clients_) {
+        session_->trace()->write_raw(st.trace.bytes());
+      }
+      obs::TraceEvent summary("fleet_summary", now);
       summary.field("clients", static_cast<std::int64_t>(r.clients))
           .field("completed", static_cast<std::int64_t>(r.ops_completed))
           .field("remote", static_cast<std::int64_t>(r.ops_remote))
@@ -760,6 +950,8 @@ std::string FleetReport::to_json() const {
   os << "{\n";
   os << "  \"clients\": " << clients << ",\n";
   os << "  \"servers\": " << servers << ",\n";
+  os << "  \"islands\": " << islands << ",\n";
+  os << "  \"lookahead_s\": " << obs::format_double(lookahead_s) << ",\n";
   os << "  \"policy\": \"" << core::to_string(policy) << "\",\n";
   os << "  \"horizon_s\": " << obs::format_double(horizon) << ",\n";
   os << "  \"decisions\": " << decisions << ",\n";
@@ -768,6 +960,7 @@ std::string FleetReport::to_json() const {
   os << "  \"ops_remote\": " << ops_remote << ",\n";
   os << "  \"ops_rejected\": " << ops_rejected << ",\n";
   os << "  \"ops_aborted\": " << ops_aborted << ",\n";
+  os << "  \"ops_cross_island\": " << ops_cross_island << ",\n";
   os << "  \"battery_cliffs\": " << battery_cliffs << ",\n";
   os << "  \"latency_p50_s\": " << obs::format_double(latency_p50_s) << ",\n";
   os << "  \"latency_p99_s\": " << obs::format_double(latency_p99_s) << ",\n";
@@ -792,7 +985,9 @@ std::string FleetReport::to_json() const {
   os << "    \"decision_p99_ms\": "
      << obs::format_double(decision_wall_p99_ms) << ",\n";
   os << "    \"decisions_per_sec\": "
-     << obs::format_double(decisions_per_wall_sec) << "\n";
+     << obs::format_double(decisions_per_wall_sec) << ",\n";
+  os << "    \"events_per_sec\": "
+     << obs::format_double(events_per_wall_sec) << "\n";
   os << "  }\n";
   os << "}\n";
   return os.str();

@@ -11,27 +11,36 @@
 //     flash crowds), and a pool of shared servers. Everything is a pure
 //     function of the seed.
 //
-//   * FleetWorld — a tick-based simulator over that scenario. Each tick:
-//     fault events apply, servers serve their admission queues
+//   * FleetWorld — a tick-based simulator over that scenario, sharded into
+//     islands (scenario::plan_islands) that advance independently on
+//     sim::IslandExecutor / exec::ThreadPool workers and synchronize at a
+//     conservative lookahead horizon. Each island tick: the island's slice
+//     of the fault stream applies, its servers serve their admission queues
 //     (core::AdmissionQueue — bounded run queue, FIFO or weighted-fair),
-//     remote completions are credited back, then every client with due
-//     arrivals runs its decision pipeline against the last tick's published
-//     load views (monitor::LoadBoard) — this stage fans out across the
-//     exec::ThreadPool in fixed client chunks — and finally the accepted
-//     decisions are submitted to the pool in deterministic (arrival time,
-//     client) order. Server load observed by clients is therefore genuine
-//     multi-tenant contention, not a scripted background factor.
+//     completions are credited back, every island client with due arrivals
+//     runs its decision pipeline against the last tick's published views of
+//     its own servers (monitor::LoadBoard) plus barrier-frozen views of
+//     remote islands' servers, and accepted island-local decisions are
+//     submitted in deterministic (arrival time, client) order. Cross-island
+//     effects — submissions to remote servers, completions/crash aborts of
+//     remote clients' jobs — ride outboxes that the sequential barrier
+//     exchange delivers in island index order. Server load observed by
+//     clients is therefore genuine multi-tenant contention, not a scripted
+//     background factor.
 //
 //   * FleetReport — fleet-level metrics: p50/p99 end-to-end operation
 //     latency (virtual, deterministic), wall-clock decision latency
 //     percentiles (real, metrics-only), server utilization, aggregate
 //     energy, and Jain's fairness index across clients.
 //
-// Determinism: decisions are pure functions of (client state, board view),
-// per-client observability shards merge into the session in client index
-// order, and every cross-client interaction happens in a sequential stage
-// with a fixed order — so traces, metrics, and reports are byte-identical
-// for any --jobs, and a cloned world replays bit-identically.
+// Determinism: the island partition and lookahead are pure functions of the
+// scenario (never of --jobs), decisions are pure functions of (client
+// state, frozen views), per-island and per-client observability shards
+// merge into the session in fixed index order, and every cross-island
+// interaction happens in the sequential barrier with a fixed order — so
+// traces, metrics, and reports are byte-identical for any --jobs, and a
+// cloned world replays bit-identically. With a single island the pipeline
+// reduces exactly (byte for byte) to the sequential tick pipeline.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +56,8 @@
 #include "hw/power.h"
 #include "monitor/load_board.h"
 #include "obs/obs.h"
+#include "scenario/islands.h"
+#include "sim/island_exec.h"
 #include "util/interner.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -58,6 +69,14 @@ namespace spectra::scenario {
 enum class DeviceClass { kItsy, kThinkpad, kModern };
 
 const char* to_string(DeviceClass device);
+
+// Operation shape the generator draws: kMixed is the interactive blend the
+// fleet ladder has always used; kSpeech draws Janus-recognition-shaped ops
+// (heavier, FP-dominated, larger uploads) so a figure-scale workload can be
+// run at fleet scale.
+enum class FleetWorkload { kMixed, kSpeech };
+
+const char* to_string(FleetWorkload workload);
 
 struct FleetClientProfile {
   DeviceClass device = DeviceClass::kThinkpad;
@@ -96,6 +115,17 @@ struct FleetConfig {
   util::Seconds horizon = 300.0;
   util::Seconds tick = 0.5;
   core::AdmissionConfig admission;
+
+  // Island-parallel execution: number of islands (0 = auto, see
+  // auto_island_count) and the conservative lookahead horizon between
+  // island barriers (0 = auto, see derive_lookahead). Both are pure
+  // functions of the scenario/config — never of --jobs — so any worker
+  // count produces byte-identical output.
+  std::size_t islands = 0;
+  util::Seconds lookahead = 0.0;
+
+  // Operation shape drawn by the generator.
+  FleetWorkload workload = FleetWorkload::kMixed;
 
   // Arrival process: per-client base rate, modulated by a diurnal sine wave
   // and flash crowds (seeded windows where the rate multiplies).
@@ -161,6 +191,8 @@ struct FleetReport {
   std::size_t servers = 0;
   core::AdmissionPolicy policy = core::AdmissionPolicy::kFifo;
   util::Seconds horizon = 0.0;
+  std::size_t islands = 0;
+  util::Seconds lookahead_s = 0.0;
 
   // Deterministic aggregates (safe for goldens and --jobs identity).
   std::uint64_t decisions = 0;
@@ -169,6 +201,7 @@ struct FleetReport {
   std::uint64_t ops_remote = 0;    // completed on a pool server
   std::uint64_t ops_rejected = 0;  // admission rejections (fell back local)
   std::uint64_t ops_aborted = 0;   // lost to a server crash, rerun locally
+  std::uint64_t ops_cross_island = 0;  // submitted to another island's server
   std::uint64_t battery_cliffs = 0;  // cliff events applied to clients
   double latency_p50_s = 0.0;      // end-to-end, virtual time
   double latency_p99_s = 0.0;
@@ -188,6 +221,9 @@ struct FleetReport {
   double decision_wall_p50_ms = 0.0;
   double decision_wall_p99_ms = 0.0;
   double decisions_per_wall_sec = 0.0;
+  // Simulation throughput: (decisions + completions) per wall second — the
+  // scaling-curve metric events/sec-vs-cores benches track.
+  double events_per_wall_sec = 0.0;
 
   // Machine-readable form: deterministic fields first, wall-clock fields
   // under a "wall" object so consumers can strip them for identity checks.
@@ -204,16 +240,20 @@ class FleetWorld {
              obs::Observability* session);
 
   const FleetScenario& scenario() const { return *scenario_; }
-  util::Seconds now() const { return now_; }
+  const IslandPlan& plan() const { return plan_; }
+  util::Seconds now() const { return exec_.now(); }
   bool finished() const { return finished_; }
 
-  // Advance whole ticks until virtual time reaches `until` (clamped to the
-  // horizon). The per-tick decision stage fans out across `pool` (null runs
-  // inline — the sequential reference path).
+  // Advance every island until virtual time reaches `until` (clamped to
+  // the horizon), synchronizing at each lookahead barrier. With multiple
+  // islands the islands fan out across `pool`; with one island the per-tick
+  // decision stage fans out instead (null pool runs everything inline — the
+  // sequential reference path).
   void run_until(util::Seconds until, exec::ThreadPool* pool);
 
-  // Run to the horizon, merge per-client shards into the session bundle (in
-  // client index order), and build the report. Idempotent.
+  // Run to the horizon, settle outstanding cross-island mail, merge
+  // per-island and per-client shards into the session bundle (in index
+  // order), and build the report. Idempotent.
   FleetReport finish(exec::ThreadPool* pool);
 
   // Deep-copy mid-run state into a fresh world reporting to `obs`. The
@@ -255,7 +295,7 @@ class FleetWorld {
     util::Joules energy_j = 0.0;
     std::vector<double> latencies_s;     // per completed op, virtual
     std::vector<double> decision_wall_ms;  // real; metrics only
-    std::string trace;  // per-client JSONL shard, merged at finish
+    obs::TraceShard trace;  // per-client JSONL shard, merged at finish
   };
 
   struct RemoteMeta {
@@ -285,16 +325,84 @@ class FleetWorld {
     double net_time_s = 0.0;  // predicted uplink time, charged on admit
   };
 
-  void apply_faults(util::Seconds t0, util::Seconds t1);
-  void serve_servers(util::Seconds t0, util::Seconds t1);
-  void decision_stage(util::Seconds t0, util::Seconds t1,
-                      exec::ThreadPool* pool);
-  void submit_stage(util::Seconds t1);
-  void publish_loads(util::Seconds t0, util::Seconds t1);
-  // Client-side pipeline pieces (called from pool workers; touch only the
-  // client's own state plus read-only shared views).
+  // Cross-island mail, accumulated in per-island outboxes during a step
+  // and delivered by the sequential barrier exchange.
+  struct CrossSubmission {
+    std::uint32_t client = 0;   // origin client (another island)
+    std::uint32_t server = 0;   // target server (this mail's destination)
+    FleetOp op;
+    double net_time_s = 0.0;
+  };
+  struct CrossCompletion {
+    std::uint32_t client = 0;
+    util::Seconds arrived = 0.0;
+    util::Seconds finished = 0.0;
+    util::Joules energy = 0.0;
+    util::Seconds ideal = 0.0;
+    int server = -1;
+  };
+  struct CrossAbort {
+    std::uint32_t client = 0;
+    FleetOp op;
+  };
+
+  // Everything one island owns between barriers. Workers touch only their
+  // own island (plus the disjoint client/server slices it owns).
+  struct IslandState {
+    explicit IslandState(std::size_t nservers) : board(nservers) {}
+
+    util::Seconds now = 0.0;
+    // Published views of this island's own servers (island-local index).
+    monitor::LoadBoard board;
+    // Replicated medium state: every island applies the same link/latency/
+    // bandwidth events from the shared expanded stream via its own cursor,
+    // so the factors agree at identical ticks without any sharing.
+    bool medium_up = true;
+    double rtt_factor = 1.0;
+    double bandwidth_factor = 1.0;
+    std::size_t next_fault = 0;  // cursor into fault_events_
+    // Successful remote submissions per tick since the last barrier fold
+    // (position-wise summed across islands into the shared-medium EWMA).
+    std::vector<std::size_t> tick_transfers;
+    // Fault events this island owns the trace line for.
+    obs::TraceShard fault_trace;
+    // Outboxes, drained at the next barrier.
+    std::vector<CrossSubmission> out_submissions;
+    std::vector<CrossCompletion> out_completions;
+    std::vector<CrossAbort> out_aborts;
+    // Scratch reused across ticks.
+    std::vector<Decision> tick_decisions;
+    std::vector<core::AdmissionCompletion> completions_scratch;
+    std::vector<core::AdmissionJob> aborted_scratch;
+  };
+
+  // ---- island step (parallel; touches only island-owned state) ----------
+  void island_advance(std::size_t island, util::Seconds target);
+  void island_tick(std::size_t island, util::Seconds t0, util::Seconds t1);
+  void apply_island_faults(std::size_t island, util::Seconds t0,
+                           util::Seconds t1);
+  void serve_island(std::size_t island, util::Seconds t0, util::Seconds t1);
+  void island_decisions(std::size_t island, util::Seconds t1);
+  void island_submit(std::size_t island);
+  void publish_island(std::size_t island, util::Seconds t0,
+                      util::Seconds t1);
+
+  // ---- barrier exchange (sequential) ------------------------------------
+  void exchange(util::Seconds t);
+  void fold_medium();
+  void deliver_mail(util::Seconds t);
+  // Submit to `server` (must be up) with the old-path bookkeeping; falls
+  // back to local execution from `reject_from` on queue rejection. Returns
+  // whether the job was admitted (counts as a medium transfer).
+  bool submit_remote(std::uint32_t client, std::size_t server,
+                     const FleetOp& op, double net_time_s,
+                     util::Seconds reject_from);
+
+  // ---- client-side pieces (called from island steps; touch only the
+  // client's own state plus read-only frozen views) -----------------------
   void complete_local(std::uint32_t client, util::Seconds t1);
-  Decision decide(std::uint32_t client, const FleetOp& op);
+  Decision decide(std::size_t island, std::uint32_t client, const FleetOp& op,
+                  util::Seconds step_end);
   void run_local(std::uint32_t client, const FleetOp& op, util::Seconds from,
                  bool fallback);
   // `server` is the pool index for remote completions, -1 for plain local,
@@ -303,35 +411,39 @@ class FleetWorld {
                          util::Seconds finished, util::Joules energy,
                          util::Seconds ideal, int server);
   double ideal_time(std::uint32_t client, const FleetOp& op) const;
-  void trace_event(std::string* buf, const obs::TraceEvent& event);
+  static FleetOp meta_op(const RemoteMeta& meta);
 
   std::shared_ptr<const FleetScenario> scenario_;
   obs::Observability* session_;
+  IslandPlan plan_;
   std::vector<ClientState> clients_;
   std::vector<ServerState> servers_;
-  monitor::LoadBoard board_;
+  std::vector<IslandState> islands_;
+  // Barrier-frozen views of every server, for cross-island decisions (own
+  // servers read the island board instead). Rebuilt at each exchange.
+  std::vector<monitor::ServerLoadView> frozen_views_;
   // Shared-medium congestion estimate: EWMA of concurrent remote transfers
-  // per tick; all clients read the same value during a decision stage.
+  // per tick, folded position-wise across islands at each barrier; islands
+  // read the same frozen value between barriers.
   util::Ewma medium_est_{0.4};
-  bool medium_up_ = true;
-  double rtt_factor_ = 1.0;
-  double bandwidth_factor_ = 1.0;
-  // Expanded fault events (absolute time, stable order) and a cursor.
+  // World-level medium availability at barrier time (its own cursor over
+  // the link events), for admitting ferried cross-island submissions.
+  bool barrier_medium_up_ = true;
+  std::size_t barrier_fault_cursor_ = 0;
+  // Expanded fault events (absolute time, stable order).
   std::vector<fault::FaultEvent> fault_events_;
-  std::size_t next_fault_ = 0;
-  std::size_t remote_submissions_last_tick_ = 0;
-  util::Seconds now_ = 0.0;
+  std::uint64_t cross_submissions_ = 0;
   bool finished_ = false;
-  std::string fleet_trace_;  // world-level events (faults), merged first
   bool trace_on_ = false;
   // Scratch reused across ticks. decision_scratch_[client] receives the
   // client's remote picks during the parallel stage (own slot only).
   std::vector<std::vector<Decision>> decision_scratch_;
-  std::vector<Decision> tick_decisions_;
-  std::vector<core::AdmissionCompletion> tick_completions_;
-  std::vector<core::AdmissionJob> tick_aborted_;
+  std::vector<CrossSubmission> mail_submissions_;  // barrier scratch
+  // Pool for the single-island chunked decision stage; set by run_until.
+  exec::ThreadPool* stage_pool_ = nullptr;
   double wall_seconds_ = 0.0;
   FleetReport report_;  // cached by finish()
+  sim::IslandExecutor exec_;  // last: hooks bind to *this
 };
 
 // Convenience: build scenario + world, run to the horizon with `jobs`

@@ -1,0 +1,83 @@
+#include "scenario/islands.h"
+
+#include <algorithm>
+
+#include "scenario/fleet.h"
+#include "util/assert.h"
+
+namespace spectra::scenario {
+
+std::size_t auto_island_count(std::size_t clients, std::size_t servers) {
+  if (servers < 2) return 1;
+  const std::size_t by_clients = clients / 250;
+  const std::size_t by_servers = servers / 2;
+  const std::size_t k = std::min(by_clients, by_servers);
+  return std::clamp<std::size_t>(k, 1, servers);
+}
+
+util::Seconds derive_lookahead(const FleetConfig& config,
+                               std::size_t islands) {
+  if (islands <= 1) return config.tick;
+  const util::Seconds base =
+      config.lookahead > 0.0 ? config.lookahead : kCrossIslandPollInterval;
+  return std::max(config.tick, base);
+}
+
+IslandPlan plan_islands(const FleetScenario& scenario) {
+  const FleetConfig& cfg = scenario.config();
+  const std::size_t nclients = scenario.profiles().size();
+  const std::size_t nservers = scenario.servers().size();
+
+  IslandPlan plan;
+  plan.islands = cfg.islands != 0 ? cfg.islands
+                                  : auto_island_count(nclients, nservers);
+  SPECTRA_REQUIRE(plan.islands <= nservers,
+                  "more islands than servers: every island needs at least "
+                  "one pool server");
+  plan.lookahead = derive_lookahead(cfg, plan.islands);
+
+  const std::size_t k = plan.islands;
+  plan.clients.resize(k);
+  plan.servers.resize(k);
+  plan.demand.assign(k, 0.0);
+  plan.capacity.assign(k, 0.0);
+  plan.island_of_client.resize(nclients);
+  plan.island_of_server.resize(nservers);
+
+  // Servers: contiguous near-equal blocks, island i owning
+  // [i*S/K, (i+1)*S/K). Contiguity keeps the island-local index a simple
+  // offset and, with the alternating server classes, gives every >=2-server
+  // island both CPU speeds to place against.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t lo = i * nservers / k;
+    const std::size_t hi = (i + 1) * nservers / k;
+    for (std::size_t s = lo; s < hi; ++s) {
+      plan.island_of_server[s] = static_cast<std::uint32_t>(i);
+      plan.servers[i].push_back(static_cast<std::uint32_t>(s));
+      plan.capacity[i] += scenario.servers()[s].cpu_hz;
+    }
+  }
+
+  // Clients: greedy balance in index order. Each client's offered demand is
+  // its arrival-rate scale; it joins the island where demand-per-capacity
+  // stays lowest (ties break to the lowest index), so chatty clients spread
+  // across the pool instead of piling onto one shard.
+  for (std::size_t c = 0; c < nclients; ++c) {
+    const double demand = scenario.profiles()[c].rate_scale;
+    std::size_t best = 0;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ratio = (plan.demand[i] + demand) / plan.capacity[i];
+      if (i == 0 || ratio < best_ratio) {
+        best = i;
+        best_ratio = ratio;
+      }
+    }
+    plan.island_of_client[c] = static_cast<std::uint32_t>(best);
+    plan.clients[best].push_back(static_cast<std::uint32_t>(c));
+    plan.demand[best] += demand;
+  }
+  return plan;
+}
+
+}  // namespace spectra::scenario

@@ -1,0 +1,69 @@
+// Shard planner for island-parallel fleet worlds.
+//
+// Partitions a FleetScenario's clients and servers into K islands so that
+// most events stay island-local: each island owns a contiguous block of
+// pool servers (the alternating 400/933 MHz classes mean any block of >= 2
+// contains both speeds, so placement rarely needs to leave the island), and
+// clients are assigned greedily to balance offered demand against island
+// compute capacity — the compute-vs-communication balance the "Algorithmic
+// Time, Energy, and Power" framing asks shard boundaries to respect.
+//
+// The plan and the lookahead horizon are pure functions of the scenario —
+// never of --jobs — which is the root of the byte-identity guarantee: every
+// worker count executes the same K island tasks over the same windows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace spectra::scenario {
+
+class FleetScenario;
+struct FleetConfig;
+
+// The cross-island interaction cadence, and therefore the natural
+// conservative lookahead: an island cannot react to another island's load
+// faster than a client learns about remote load at all, and the status-poll
+// interval (core::SpectraClientConfig::poll_period) bounds that from below.
+// The link round trip (FleetConfig::rtt, ~20 ms) is a far smaller bound and
+// never binds at fleet tick sizes.
+inline constexpr util::Seconds kCrossIslandPollInterval = 5.0;
+
+struct IslandPlan {
+  std::size_t islands = 1;
+  // Barrier spacing H for sim::IslandExecutor.
+  util::Seconds lookahead = 0.0;
+  std::vector<std::uint32_t> island_of_client;
+  std::vector<std::uint32_t> island_of_server;
+  // Members per island: clients ascending, servers a contiguous ascending
+  // block (so global index - servers[i].front() is the island-local index).
+  std::vector<std::vector<std::uint32_t>> clients;
+  std::vector<std::vector<std::uint32_t>> servers;
+  // Balance diagnostics: per-island offered demand (sum of client arrival
+  // rate scales) and compute capacity (sum of server Hz).
+  std::vector<double> demand;
+  std::vector<double> capacity;
+};
+
+// Default island count: one island per ~250 clients, but never fewer than
+// two servers per island (both server classes stay island-local) and never
+// more islands than servers. Small worlds — every committed golden config,
+// the 64-client test ladder — resolve to 1, where the island pipeline
+// reduces exactly to the sequential tick pipeline.
+std::size_t auto_island_count(std::size_t clients, std::size_t servers);
+
+// The conservative lookahead horizon H for `islands` islands: the
+// configured override when set, else kCrossIslandPollInterval, floored at
+// one tick. A single island needs no cross-island conservatism and runs
+// barrier-per-tick (H = tick), which preserves the legacy cadence exactly.
+util::Seconds derive_lookahead(const FleetConfig& config, std::size_t islands);
+
+// Build the plan for `scenario` (island count from config.islands, 0 =
+// auto_island_count). Throws util::ContractError when config.islands
+// exceeds the server count.
+IslandPlan plan_islands(const FleetScenario& scenario);
+
+}  // namespace spectra::scenario

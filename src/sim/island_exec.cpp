@@ -1,0 +1,53 @@
+#include "sim/island_exec.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/shutdown.h"
+
+namespace spectra::sim {
+
+namespace {
+// Virtual-time comparisons tolerate accumulated floating-point drift from
+// repeated `next_barrier_ += lookahead_` steps.
+constexpr double kTimeEps = 1e-9;
+}  // namespace
+
+IslandExecutor::IslandExecutor(std::size_t islands, util::Seconds lookahead,
+                               Hooks hooks)
+    : islands_(islands), lookahead_(lookahead), hooks_(std::move(hooks)) {
+  SPECTRA_REQUIRE(islands_ >= 1, "island executor needs at least one island");
+  SPECTRA_REQUIRE(lookahead_ > 0.0, "lookahead horizon must be positive");
+  SPECTRA_REQUIRE(hooks_.advance != nullptr && hooks_.exchange != nullptr,
+                  "island executor needs both hooks");
+}
+
+void IslandExecutor::run_until(util::Seconds until, exec::ThreadPool* pool) {
+  while (now_ + kTimeEps < until) {
+    // Shutdown is only honoured between steps, so the islands always stop
+    // aligned on a common time and the caller can still flush consistently.
+    if (util::shutdown_requested()) break;
+    if (now_ + kTimeEps >= next_barrier_) {
+      hooks_.exchange(next_barrier_);
+      next_barrier_ += lookahead_;
+    }
+    const util::Seconds target = std::min(until, next_barrier_);
+    if (islands_ == 1) {
+      hooks_.advance(0, target);
+    } else {
+      exec::parallel_for(pool, islands_, [this, target](std::size_t island) {
+        hooks_.advance(island, target);
+      });
+    }
+    now_ = target;
+  }
+}
+
+void IslandExecutor::copy_state_from(const IslandExecutor& src) {
+  SPECTRA_REQUIRE(islands_ == src.islands_ && lookahead_ == src.lookahead_,
+                  "island executor clone shape mismatch");
+  now_ = src.now_;
+  next_barrier_ = src.next_barrier_;
+}
+
+}  // namespace spectra::sim

@@ -1,0 +1,79 @@
+// Conservative island-parallel execution over a work-stealing pool.
+//
+// A large world is partitioned into K islands that advance independently on
+// exec::ThreadPool workers and synchronize at a fixed lookahead horizon H:
+// the classic conservative PDES super-step. Between barriers an island may
+// only read state frozen at the last barrier (cross-island load views, the
+// shared-medium estimate) and write state it owns, so the step needs no
+// locks; every cross-island effect is mailed through the sequential
+// exchange hook that runs at each barrier. H must be a lower bound on the
+// cross-island reaction latency — for Spectra worlds the server status-poll
+// interval / link round trip (see scenario::derive_lookahead) — which is
+// what makes the barrier placement conservative rather than speculative.
+//
+// Determinism: the island partition and H are pure functions of the
+// scenario, never of the worker count. The executor always runs the same K
+// advance calls over the same [barrier, barrier+H) windows and the same
+// sequential exchanges in between; the pool only decides which worker
+// executes each fixed call. A world whose advance hook touches only
+// island-owned state is therefore byte-identical for any --jobs, including
+// --jobs=1 (advance calls run inline, in island index order).
+//
+// The hooks typically wrap a per-island sim::Engine or tick loop; the
+// executor itself only owns the clock and the barrier cadence, so it
+// layers over either without caring which.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/thread_pool.h"
+#include "util/units.h"
+
+namespace spectra::sim {
+
+class IslandExecutor {
+ public:
+  struct Hooks {
+    // Advance island `island` from its current time to `target`. Runs on a
+    // pool worker (or inline); must touch only island-owned state plus
+    // barrier-frozen read-only views.
+    std::function<void(std::size_t island, util::Seconds target)> advance;
+    // Sequential barrier at time `t`: deliver cross-island mail, fold
+    // shared estimates, refreeze cross-island views. Runs before the
+    // islands advance into [t, t + lookahead).
+    std::function<void(util::Seconds t)> exchange;
+  };
+
+  // `lookahead` is the barrier spacing H (> 0). Barriers fire at 0, H, 2H,
+  // ... regardless of how run_until calls chop up the timeline.
+  IslandExecutor(std::size_t islands, util::Seconds lookahead, Hooks hooks);
+
+  std::size_t islands() const { return islands_; }
+  util::Seconds lookahead() const { return lookahead_; }
+  util::Seconds now() const { return now_; }
+  // End of the super-step currently in flight (== the next barrier time
+  // once the pending exchange has run). Stable during advance calls, so
+  // hooks may read it to price cross-island ferry delays.
+  util::Seconds next_barrier() const { return next_barrier_; }
+
+  // Advance every island to `until`, running the exchange hook at each
+  // barrier on the way. Stops early (at a step boundary, all islands
+  // aligned) when a shutdown is requested. `pool` may be null: advance
+  // calls then run inline in island index order — the sequential reference
+  // path whose output parallel runs must reproduce byte for byte.
+  void run_until(util::Seconds until, exec::ThreadPool* pool);
+
+  // Adopt the clock/barrier position from another executor over the same
+  // island decomposition (clone support; hooks stay bound to this world).
+  void copy_state_from(const IslandExecutor& src);
+
+ private:
+  std::size_t islands_;
+  util::Seconds lookahead_;
+  Hooks hooks_;
+  util::Seconds now_ = 0.0;
+  util::Seconds next_barrier_ = 0.0;  // first barrier is at t = 0
+};
+
+}  // namespace spectra::sim

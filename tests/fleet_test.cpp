@@ -26,6 +26,8 @@
 #include "monitor/load_board.h"
 #include "obs/obs.h"
 #include "scenario/fleet.h"
+#include "scenario/islands.h"
+#include "util/assert.h"
 #include "util/rng.h"
 
 namespace spectra {
@@ -549,6 +551,191 @@ TEST(FleetBatteryCliff, ByteIdenticalAcrossJobsWithCliffs) {
   EXPECT_EQ(seq.trace, par.trace);
   EXPECT_EQ(drop_wall_rows(seq.metrics_csv), drop_wall_rows(par.metrics_csv));
   EXPECT_EQ(seq.report.fingerprint, par.report.fingerprint);
+}
+
+// ---------------------------------------------------------------- islands
+
+// Big enough that three islands each own two servers and ~200 clients;
+// small enough to run in milliseconds.
+FleetConfig sharded_config() {
+  FleetConfig cfg;
+  cfg.clients = 600;
+  cfg.servers = 6;
+  cfg.islands = 3;
+  cfg.seed = 17;
+  cfg.horizon = 60.0;
+  cfg.admission.policy = AdmissionPolicy::kWeightedFair;
+  return cfg;
+}
+
+TEST(IslandPlan, PartitionsEveryClientAndServerExactlyOnce) {
+  const auto scenario =
+      std::make_shared<const FleetScenario>(sharded_config());
+  const scenario::IslandPlan plan = scenario::plan_islands(*scenario);
+  ASSERT_EQ(plan.islands, 3u);
+  std::set<std::uint32_t> seen_clients;
+  std::set<std::uint32_t> seen_servers;
+  for (std::size_t i = 0; i < plan.islands; ++i) {
+    for (std::uint32_t c : plan.clients[i]) {
+      EXPECT_TRUE(seen_clients.insert(c).second) << "client " << c << " dup";
+      EXPECT_EQ(plan.island_of_client[c], i);
+    }
+    ASSERT_FALSE(plan.servers[i].empty()) << "island " << i << " serverless";
+    for (std::size_t j = 0; j < plan.servers[i].size(); ++j) {
+      const std::uint32_t s = plan.servers[i][j];
+      EXPECT_TRUE(seen_servers.insert(s).second) << "server " << s << " dup";
+      EXPECT_EQ(plan.island_of_server[s], i);
+      // Contiguous ascending block: global index == front + local index.
+      EXPECT_EQ(s, plan.servers[i].front() + j);
+    }
+  }
+  EXPECT_EQ(seen_clients.size(), 600u);
+  EXPECT_EQ(seen_servers.size(), 6u);
+  // Greedy balance: no island holds more than half the total demand.
+  double total = 0.0;
+  for (double d : plan.demand) total += d;
+  for (double d : plan.demand) EXPECT_LT(d, 0.5 * total);
+}
+
+TEST(IslandPlan, AutoCountScalesWithClientsAndCapsAtServers) {
+  EXPECT_EQ(scenario::auto_island_count(12, 2), 1u);
+  EXPECT_EQ(scenario::auto_island_count(64, 3), 1u);
+  EXPECT_EQ(scenario::auto_island_count(256, 4), 1u);
+  EXPECT_EQ(scenario::auto_island_count(1000, 8), 4u);
+  EXPECT_EQ(scenario::auto_island_count(10000, 8), 4u);
+  EXPECT_EQ(scenario::auto_island_count(10000, 100), 40u);
+  EXPECT_EQ(scenario::auto_island_count(1000, 1), 1u);
+}
+
+TEST(IslandPlan, LookaheadFloorsAtTickAndDefaultsToPollInterval) {
+  FleetConfig cfg;
+  EXPECT_EQ(scenario::derive_lookahead(cfg, 1), cfg.tick);
+  EXPECT_EQ(scenario::derive_lookahead(cfg, 4),
+            scenario::kCrossIslandPollInterval);
+  cfg.lookahead = 2.0;
+  EXPECT_EQ(scenario::derive_lookahead(cfg, 4), 2.0);
+  cfg.lookahead = cfg.tick / 4.0;  // below one tick: floored
+  EXPECT_EQ(scenario::derive_lookahead(cfg, 4), cfg.tick);
+}
+
+TEST(IslandPlan, MoreIslandsThanServersIsRejected) {
+  FleetConfig cfg = sharded_config();
+  cfg.islands = 7;  // 6 servers
+  const auto scenario = std::make_shared<const FleetScenario>(cfg);
+  EXPECT_THROW(scenario::plan_islands(*scenario), util::ContractError);
+}
+
+TEST(IslandDeterminism, ShardedWorldByteIdenticalAcrossJobs) {
+  const FleetConfig cfg = sharded_config();
+  const FleetRun one = run_with_jobs(cfg, 1);
+  const FleetRun two = run_with_jobs(cfg, 2);
+  const FleetRun eight = run_with_jobs(cfg, 8);
+  EXPECT_GT(one.report.ops_completed, 0u);
+  EXPECT_EQ(one.report.islands, 3u);
+  EXPECT_GT(one.report.ops_remote, 0u);
+  EXPECT_EQ(one.trace, two.trace);
+  EXPECT_EQ(one.trace, eight.trace);
+  EXPECT_EQ(drop_wall_rows(one.metrics_csv), drop_wall_rows(two.metrics_csv));
+  EXPECT_EQ(drop_wall_rows(one.metrics_csv),
+            drop_wall_rows(eight.metrics_csv));
+  EXPECT_EQ(one.report.fingerprint, two.report.fingerprint);
+  EXPECT_EQ(one.report.fingerprint, eight.report.fingerprint);
+  EXPECT_EQ(one.report.aggregate_energy_j, eight.report.aggregate_energy_j);
+  EXPECT_EQ(one.report.jain_fairness, eight.report.jain_fairness);
+}
+
+TEST(IslandDeterminism, ShardedWorldByteIdenticalUnderChaos) {
+  FleetConfig cfg = sharded_config();
+  fault::ChaosTopology topo;
+  topo.links = {{0, 1}};
+  topo.servers = {0, 1, 2, 3, 4, 5};
+  fault::ChaosConfig chaos;
+  chaos.horizon = cfg.horizon;
+  chaos.intensity = 2.0;
+  cfg.fault_plan = fault::make_chaos_plan(29, topo, chaos);
+  const FleetRun seq = run_with_jobs(cfg, 1);
+  const FleetRun par = run_with_jobs(cfg, 8);
+  EXPECT_GT(seq.report.ops_completed, 0u);
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(drop_wall_rows(seq.metrics_csv), drop_wall_rows(par.metrics_csv));
+  EXPECT_EQ(seq.report.fingerprint, par.report.fingerprint);
+}
+
+TEST(IslandDeterminism, ShardedCloneReplaysBitIdentically) {
+  FleetConfig cfg = sharded_config();
+  fault::ChaosTopology topo;
+  topo.links = {{0, 1}};
+  topo.servers = {0, 3};
+  fault::ChaosConfig chaos;
+  chaos.horizon = cfg.horizon;
+  cfg.fault_plan = fault::make_chaos_plan(37, topo, chaos);
+  auto scenario_ptr = std::make_shared<const FleetScenario>(cfg);
+
+  std::ostringstream trace_a;
+  obs::Observability session_a;
+  session_a.trace_to(trace_a);
+  FleetWorld world(scenario_ptr, &session_a);
+  // Stop mid-super-step (not on a barrier) so the clone carries pending
+  // outboxes and partial tick_transfers.
+  world.run_until(cfg.horizon / 2.0 + 1.3, nullptr);
+
+  std::ostringstream trace_b;
+  obs::Observability session_b;
+  session_b.trace_to(trace_b);
+  auto clone = world.clone(&session_b);
+  EXPECT_EQ(world.state_fingerprint(), clone->state_fingerprint());
+
+  exec::ThreadPool pool(4);
+  const FleetReport ra = world.finish(nullptr);
+  const FleetReport rb = clone->finish(&pool);
+  EXPECT_EQ(ra.fingerprint, rb.fingerprint);
+  EXPECT_EQ(ra.ops_completed, rb.ops_completed);
+  EXPECT_EQ(ra.ops_cross_island, rb.ops_cross_island);
+  EXPECT_EQ(trace_a.str(), trace_b.str());
+}
+
+TEST(IslandDeterminism, AffinityKeepsMostPlacementsIslandLocal) {
+  const FleetConfig cfg = sharded_config();
+  const FleetRun r = run_with_jobs(cfg, 2);
+  // The ferry penalty prices cross-island placement conservatively, so it
+  // should be the exception: well under the island-local remote traffic.
+  EXPECT_GT(r.report.ops_remote, 0u);
+  EXPECT_LT(r.report.ops_cross_island, r.report.ops_remote);
+  // And the trace announces the decomposition.
+  EXPECT_NE(r.trace.find("\"type\":\"fleet_islands\""), std::string::npos);
+  EXPECT_NE(r.trace.find("\"islands\":3"), std::string::npos);
+}
+
+TEST(IslandDeterminism, SingleIslandMatchesLegacyPipelineExactly) {
+  // islands=1 must be the identity refactor: explicitly requesting one
+  // island produces the same bytes as the (auto = 1) legacy-shaped run.
+  FleetConfig auto_cfg = small_config();
+  FleetConfig one_cfg = small_config();
+  one_cfg.islands = 1;
+  const FleetRun a = run_with_jobs(auto_cfg, 1);
+  const FleetRun b = run_with_jobs(one_cfg, 8);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(drop_wall_rows(a.metrics_csv), drop_wall_rows(b.metrics_csv));
+  EXPECT_EQ(a.report.fingerprint, b.report.fingerprint);
+}
+
+TEST(IslandDeterminism, SpeechWorkloadShiftsTheMixRemote) {
+  FleetConfig mixed = sharded_config();
+  FleetConfig speech = sharded_config();
+  speech.workload = scenario::FleetWorkload::kSpeech;
+  const FleetRun a = run_with_jobs(mixed, 2);
+  const FleetRun b = run_with_jobs(speech, 2);
+  ASSERT_GT(b.report.ops_completed, 0u);
+  // Recognition-shaped ops carry 4-5x the cycles: latency and energy rise
+  // fleet-wide, and the workload knob changes outcomes (distinct
+  // fingerprints) while arrival times stay seed-determined.
+  EXPECT_GT(b.report.latency_mean_s, a.report.latency_mean_s);
+  EXPECT_GT(b.report.aggregate_energy_j, a.report.aggregate_energy_j);
+  EXPECT_NE(a.report.fingerprint, b.report.fingerprint);
+  // Speech runs stay jobs-deterministic too.
+  const FleetRun b8 = run_with_jobs(speech, 8);
+  EXPECT_EQ(b.trace, b8.trace);
+  EXPECT_EQ(b.report.fingerprint, b8.report.fingerprint);
 }
 
 }  // namespace

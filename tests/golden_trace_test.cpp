@@ -273,5 +273,39 @@ TEST(GoldenTraceTest, FleetTraceAndMetricsAreByteIdentical) {
   EXPECT_EQ(csv, csv8) << "--jobs=8 changed fleet metrics bytes";
 }
 
+// A sharded fleet (120 clients across 2 islands of 2 servers each): the
+// island pipeline's merged trace — fleet_islands header, per-island fault
+// shards, per-client shards, summary — locked against goldens, and the
+// same bytes must come out of a --jobs=8 run.
+std::pair<std::string, std::string> island_fleet_run(std::size_t jobs) {
+  std::ostringstream trace;
+  obs::Observability session;
+  session.trace_to(trace);
+  scenario::FleetConfig cfg;
+  cfg.clients = 120;
+  cfg.servers = 4;
+  cfg.islands = 2;
+  cfg.seed = 9;
+  cfg.horizon = 40.0;
+  cfg.ops_per_client_hz = 0.1;
+  cfg.admission.policy = core::AdmissionPolicy::kWeightedFair;
+  scenario::run_fleet(cfg, jobs, &session);
+  std::ostringstream csv;
+  session.metrics().export_csv(csv);
+  return {trace.str(), drop_wall_rows(csv.str())};
+}
+
+TEST(GoldenTraceTest, IslandFleetTraceAndMetricsAreByteIdentical) {
+  const auto [trace, csv] = island_fleet_run(1);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_NE(trace.find("\"type\":\"fleet_islands\""), std::string::npos);
+  expect_golden("island_fleet_trace.jsonl.golden", trace);
+  expect_golden("island_fleet_metrics.csv.golden", csv);
+
+  const auto [trace8, csv8] = island_fleet_run(8);
+  EXPECT_EQ(trace, trace8) << "--jobs=8 changed island fleet trace bytes";
+  EXPECT_EQ(csv, csv8) << "--jobs=8 changed island fleet metrics bytes";
+}
+
 }  // namespace
 }  // namespace spectra

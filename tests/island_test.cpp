@@ -1,0 +1,172 @@
+// sim::IslandExecutor unit tests: the barrier cadence and call sequence are
+// pure functions of (islands, lookahead, until) — never of the pool — and
+// resuming from an arbitrary stop point continues the same schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "sim/island_exec.h"
+#include "util/assert.h"
+
+namespace spectra {
+namespace {
+
+// Serializes the hook call stream. Advance calls within one super-step are
+// unordered under a pool, so they are canonicalized (sorted) per window;
+// exchanges are sequential and must interleave exactly.
+struct CallLog {
+  std::mutex mu;
+  std::vector<std::string> steps;     // one entry per window or barrier
+  std::vector<std::string> pending;   // advance calls in the open window
+
+  void advance(std::size_t island, util::Seconds target) {
+    std::ostringstream os;
+    os << "a" << island << "@" << target;
+    std::lock_guard<std::mutex> lock(mu);
+    pending.push_back(os.str());
+  }
+  void exchange(util::Seconds t) {
+    std::lock_guard<std::mutex> lock(mu);
+    flush();
+    std::ostringstream os;
+    os << "x@" << t;
+    steps.push_back(os.str());
+  }
+  std::vector<std::string> finish() {
+    std::lock_guard<std::mutex> lock(mu);
+    flush();
+    return steps;
+  }
+
+ private:
+  void flush() {
+    std::sort(pending.begin(), pending.end());
+    for (auto& s : pending) steps.push_back(std::move(s));
+    pending.clear();
+  }
+};
+
+sim::IslandExecutor::Hooks hooks_for(CallLog& log) {
+  return {[&log](std::size_t i, util::Seconds t) { log.advance(i, t); },
+          [&log](util::Seconds t) { log.exchange(t); }};
+}
+
+TEST(IslandExecutor, BarriersFireAtMultiplesOfTheLookahead) {
+  CallLog log;
+  sim::IslandExecutor exec(2, 5.0, hooks_for(log));
+  exec.run_until(12.0, nullptr);
+  EXPECT_DOUBLE_EQ(exec.now(), 12.0);
+  // Exchange at 0 opens [0,5), at 5 opens [5,10), at 10 opens [10,15);
+  // the last window is truncated at until=12.
+  const std::vector<std::string> want = {
+      "x@0",  "a0@5",  "a1@5",
+      "x@5",  "a0@10", "a1@10",
+      "x@10", "a0@12", "a1@12",
+  };
+  EXPECT_EQ(log.finish(), want);
+}
+
+TEST(IslandExecutor, ResumeContinuesTheSameBarrierSchedule) {
+  CallLog whole;
+  sim::IslandExecutor a(3, 4.0, hooks_for(whole));
+  a.run_until(10.0, nullptr);
+
+  CallLog split;
+  sim::IslandExecutor b(3, 4.0, hooks_for(split));
+  b.run_until(3.0, nullptr);   // mid-window stop
+  b.run_until(8.0, nullptr);   // crosses the barrier at 4
+  b.run_until(10.0, nullptr);
+  EXPECT_DOUBLE_EQ(a.now(), b.now());
+  // The split run chops windows at 3 and 8, so advance targets differ, but
+  // the barrier times must be identical.
+  const auto barriers = [](const std::vector<std::string>& steps) {
+    std::vector<std::string> out;
+    for (const auto& s : steps) {
+      if (!s.empty() && s[0] == 'x') out.push_back(s);
+    }
+    return out;
+  };
+  EXPECT_EQ(barriers(whole.finish()), barriers(split.finish()));
+}
+
+TEST(IslandExecutor, PoolAndInlineProduceTheSameCanonicalSequence) {
+  CallLog seq;
+  sim::IslandExecutor a(4, 2.5, hooks_for(seq));
+  a.run_until(9.0, nullptr);
+
+  CallLog par;
+  sim::IslandExecutor b(4, 2.5, hooks_for(par));
+  exec::ThreadPool pool(4);
+  b.run_until(9.0, &pool);
+
+  EXPECT_EQ(seq.finish(), par.finish());
+}
+
+TEST(IslandExecutor, SingleIslandRunsBarrierPerWindowInline) {
+  CallLog log;
+  sim::IslandExecutor exec(1, 1.0, hooks_for(log));
+  exec::ThreadPool pool(2);
+  exec.run_until(3.0, &pool);
+  const std::vector<std::string> want = {
+      "x@0", "a0@1", "x@1", "a0@2", "x@2", "a0@3",
+  };
+  EXPECT_EQ(log.finish(), want);
+}
+
+TEST(IslandExecutor, RunUntilPastNowIsANoOp) {
+  CallLog log;
+  sim::IslandExecutor exec(2, 5.0, hooks_for(log));
+  exec.run_until(10.0, nullptr);
+  const auto before = log.finish();
+  exec.run_until(10.0, nullptr);  // already there
+  exec.run_until(9.0, nullptr);   // in the past
+  EXPECT_EQ(log.finish(), before);
+  EXPECT_DOUBLE_EQ(exec.now(), 10.0);
+}
+
+TEST(IslandExecutor, CopyStateAdoptsClockAndBarrierPosition) {
+  CallLog log_a;
+  sim::IslandExecutor a(2, 4.0, hooks_for(log_a));
+  a.run_until(6.0, nullptr);
+  // Close a's open [4,8) window in the log so the canonicalized tail below
+  // lines up window-by-window with b's.
+  (void)log_a.finish();
+
+  CallLog log_b;
+  sim::IslandExecutor b(2, 4.0, hooks_for(log_b));
+  b.copy_state_from(a);
+  EXPECT_DOUBLE_EQ(b.now(), a.now());
+  EXPECT_DOUBLE_EQ(b.next_barrier(), a.next_barrier());
+  b.run_until(10.0, nullptr);
+  a.run_until(10.0, nullptr);
+  // Continuations see the same schedule (b missed the pre-copy calls).
+  const auto tail = [](std::vector<std::string> v, std::size_t n) {
+    return std::vector<std::string>(v.end() - static_cast<std::ptrdiff_t>(n),
+                                    v.end());
+  };
+  const auto sa = log_a.finish();
+  const auto sb = log_b.finish();
+  ASSERT_GE(sa.size(), sb.size());
+  EXPECT_EQ(tail(sa, sb.size()), sb);
+}
+
+TEST(IslandExecutor, RejectsDegenerateShapes) {
+  sim::IslandExecutor::Hooks hooks{
+      [](std::size_t, util::Seconds) {}, [](util::Seconds) {}};
+  EXPECT_THROW(sim::IslandExecutor(0, 1.0, hooks), util::ContractError);
+  EXPECT_THROW(sim::IslandExecutor(2, 0.0, hooks), util::ContractError);
+  EXPECT_THROW(sim::IslandExecutor(2, -1.0, hooks), util::ContractError);
+  sim::IslandExecutor::Hooks no_advance{nullptr, [](util::Seconds) {}};
+  EXPECT_THROW(sim::IslandExecutor(2, 1.0, no_advance), util::ContractError);
+  sim::IslandExecutor a(2, 1.0, hooks);
+  sim::IslandExecutor b(3, 1.0, hooks);
+  EXPECT_THROW(b.copy_state_from(a), util::ContractError);
+}
+
+}  // namespace
+}  // namespace spectra
