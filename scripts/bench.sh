@@ -255,12 +255,17 @@ PYEOF
 
 # Daemon numbers: a loopback serve daemon under `spectra loadgen` — 64
 # concurrent sessions of begin/end round trips through the socket loop
-# and the decision path. Requests/sec and p50/p99 latency are wall-clock
-# (they measure the daemon), so they live here and never in traces or
-# goldens. scripts/check.sh gates requests_per_sec against serve_floor
-# in scripts/perf_baseline.json.
+# and the decision path, followed by a chaos pass (self-healing clients
+# mangling their own frames) against the same daemon. Requests/sec and
+# p50/p99 latency are wall-clock (they measure the daemon), so they live
+# here and never in traces or goldens. scripts/check.sh gates
+# requests_per_sec against serve_floor in scripts/perf_baseline.json.
+# The daemon's shed/timeout/drop/recovery counters are folded into
+# BENCH_serve.json alongside the client-side fault/reconnect/resume
+# numbers, so survivability regressions show up in the bench record.
 SERVE_OUT="BENCH_serve.json"
-"$BUILD/src/cli/spectra" serve --port=0 > "$TMP/serve.log" 2>&1 &
+"$BUILD/src/cli/spectra" serve --port=0 \
+    --stats-json="$TMP/serve_stats.json" > "$TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   grep -q "listening on" "$TMP/serve.log" 2>/dev/null && break
@@ -272,15 +277,32 @@ SERVE_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/serv
 "$BUILD/src/cli/spectra" loadgen --port="$SERVE_PORT" --clients=64 --ops=32 \
     --json="$TMP/loadgen.json" > "$TMP/loadgen.txt"
 cat "$TMP/loadgen.txt"
+"$BUILD/src/cli/spectra" loadgen --port="$SERVE_PORT" --clients=8 --ops=8 \
+    --seed=17 --chaos=1.0 --json="$TMP/loadgen_chaos.json" \
+    > "$TMP/loadgen_chaos.txt"
+cat "$TMP/loadgen_chaos.txt"
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID" || true
-python3 - "$TMP/loadgen.json" "$SERVE_OUT" <<'PYEOF'
+python3 - "$TMP/loadgen.json" "$TMP/loadgen_chaos.json" \
+          "$TMP/serve_stats.json" "$SERVE_OUT" <<'PYEOF'
 import json, sys
 cur = json.load(open(sys.argv[1]))
+chaos = json.load(open(sys.argv[2]))
+daemon = json.load(open(sys.argv[3]))
 floor = json.load(open('scripts/perf_baseline.json'))['serve_floor']
 cur['harness'] = 'scripts/bench.sh'
 cur['floor_requests_per_sec'] = floor['requests_per_sec']
-json.dump(cur, open(sys.argv[2], 'w'), indent=2)
-print('wrote', sys.argv[2], '--',
-      f"{cur['requests_per_sec']:.0f} req/s, p99 {cur['p99_ms']:.2f} ms")
+cur['chaos'] = {k: chaos[k] for k in
+                ('clients', 'ops_per_client', 'ops', 'errors', 'wall_s',
+                 'requests_per_sec', 'p50_ms', 'p99_ms', 'chaos_intensity',
+                 'faults_injected', 'reconnects', 'resumes', 'reissues',
+                 'retries')}
+cur['daemon'] = daemon
+json.dump(cur, open(sys.argv[4], 'w'), indent=2)
+print('wrote', sys.argv[4], '--',
+      f"{cur['requests_per_sec']:.0f} req/s clean (p99 {cur['p99_ms']:.2f} ms), "
+      f"{chaos['requests_per_sec']:.0f} req/s under chaos "
+      f"({chaos['faults_injected']} faults, {chaos['reconnects']} reconnects, "
+      f"{chaos['resumes']} resumes; daemon sheds={daemon['sheds']}, "
+      f"timeouts={daemon['idle_timeouts'] + daemon['frame_timeouts']})")
 PYEOF

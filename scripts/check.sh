@@ -8,9 +8,13 @@
 # including a multi-island fleet (3 islands on 4 workers), catching data
 # races in the parallel fan-out and the island barrier protocol that
 # neither the plain nor the ASan build can see.
-# A UBSan smoke then drives the fault paths (chaos + journal suites and a
-# small CLI soak), and a ~25-plan chaos soak across all three applications
-# closes the run.
+# A serve-chaos stage then gates the daemon's survivability: a wire-chaos
+# soak with self-healing clients (every shed/timeout/drop must reconcile
+# between stats JSON and trace lines), and a kill -9 → --resume crash
+# recovery whose combined record must be byte-identical to an
+# uninterrupted run. A UBSan smoke then drives the fault paths (chaos +
+# journal suites and a small CLI soak), and a ~25-plan chaos soak across
+# all three applications closes the run.
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -62,6 +66,172 @@ limit = floor['requests_per_sec'] * 0.9
 status = 'ok' if got >= limit else 'REGRESSION'
 print(f"  serve_64: {got:.0f} requests/s (floor*0.9 = {limit:.0f}) {status}")
 sys.exit(0 if got >= limit else 1)
+PYEOF
+
+echo "== serve chaos + crash recovery =="
+# Survivability gates for the daemon. First a chaos soak: self-healing
+# loadgen clients mangle their own frames (delays, splits, slowloris
+# stalls, corrupt headers, RST aborts) against a daemon with deadlines
+# armed — every op must complete exactly once, the daemon must exit
+# cleanly on SIGINT, and every shed/timeout/close/drop it performed must
+# be accounted in both its stats JSON and the lifecycle trace lines.
+"$BUILD/src/cli/spectra" serve --port=0 --record="$SERVE_TMP/chaos_wal.jsonl" \
+    --idle-timeout=1.5 --frame-timeout=1.0 \
+    --stats-json="$SERVE_TMP/chaos_stats.json" \
+    > "$SERVE_TMP/chaos_serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVE_TMP/chaos_serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/chaos_serve.log")
+[ -n "$PORT" ] || { echo "chaos serve daemon failed to start" >&2
+                    cat "$SERVE_TMP/chaos_serve.log" >&2; exit 1; }
+"$BUILD/src/cli/spectra" loadgen --port="$PORT" --clients=6 --ops=8 \
+    --seed=31 --chaos=1.5 --json="$SERVE_TMP/chaos_loadgen.json" \
+    > "$SERVE_TMP/chaos_loadgen.txt" \
+  || { echo "chaos loadgen failed:" >&2
+       cat "$SERVE_TMP/chaos_loadgen.txt" >&2; exit 1; }
+# Provoke one frame timeout the soak may not have: a slowloris that sends
+# three header bytes and stalls past --frame-timeout.
+python3 - "$PORT" <<'PYEOF'
+import socket, sys, time
+s = socket.create_connection(('127.0.0.1', int(sys.argv[1])))
+s.sendall(b'\x10\x00\x00')  # 3 of 5 header bytes, then silence
+deadline = time.time() + 10
+s.settimeout(10)
+while time.time() < deadline:
+    if s.recv(4096) == b'':  # daemon cut us loose
+        sys.exit(0)
+print('slowloris connection was never closed', file=sys.stderr)
+sys.exit(1)
+PYEOF
+kill -INT "$SERVE_PID"
+SERVE_RC=0; wait "$SERVE_PID" || SERVE_RC=$?
+[ "$SERVE_RC" -eq 130 ] || { echo "chaos daemon exit $SERVE_RC != 130 on SIGINT" >&2
+                             cat "$SERVE_TMP/chaos_serve.log" >&2; exit 1; }
+python3 - "$SERVE_TMP/chaos_stats.json" "$SERVE_TMP/chaos_wal.jsonl" \
+          "$SERVE_TMP/chaos_loadgen.json" <<'PYEOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+events = {}
+drop_frames = 0
+slow_closes = 0
+for line in open(sys.argv[2]):
+    rec = json.loads(line)
+    t = rec.get('type', '')
+    if not t.startswith('serve.'):
+        continue
+    events[t] = events.get(t, 0) + 1
+    if t == 'serve.drop':
+        drop_frames += rec['frames']
+    if t == 'serve.close' and rec.get('reason') == 'slow_consumer':
+        slow_closes += 1
+checks = [
+    ('sheds', stats['sheds'], events.get('serve.shed', 0)),
+    ('timeouts', stats['idle_timeouts'] + stats['frame_timeouts'],
+     events.get('serve.timeout', 0)),
+    ('dropped_frames', stats['dropped_frames'], drop_frames),
+    ('slow_consumer_closes', stats['slow_consumer_closes'], slow_closes),
+]
+failed = False
+for name, in_stats, in_trace in checks:
+    ok = in_stats == in_trace
+    failed |= not ok
+    print(f"  {name}: stats={in_stats} trace={in_trace} "
+          f"{'ok' if ok else 'MISMATCH'}")
+assert stats['frame_timeouts'] >= 1, 'slowloris was not timed out'
+lg = json.load(open(sys.argv[3]))
+assert lg['errors'] == 0, f"chaos loadgen saw {lg['errors']} client errors"
+assert lg['ops'] == 48, f"chaos loadgen completed {lg['ops']} of 48 ops"
+assert lg['faults_injected'] > 0, 'chaos injected no faults'
+print(f"  chaos soak: {lg['ops']} ops, {lg['faults_injected']} faults, "
+      f"{lg['reconnects']} reconnects, {lg['resumes']} resumes")
+sys.exit(1 if failed else 0)
+PYEOF
+
+# Then the crash-recovery gate: kill -9 a recording daemon mid-loadgen,
+# restart it on the same port with --resume pointing at its own record
+# (the write-ahead log), and require (a) the surviving resilient client
+# finishes every op, (b) the combined pre+post-crash record replays
+# byte-identically in-process, and (c) it is byte-identical (in canonical
+# form, lifecycle lines excluded) to a run that never crashed.
+WAL="$SERVE_TMP/kill_wal.jsonl"
+REF="$SERVE_TMP/kill_ref.jsonl"
+"$BUILD/src/cli/spectra" serve --port=0 --record="$WAL" \
+    > "$SERVE_TMP/kill_serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVE_TMP/kill_serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/kill_serve.log")
+[ -n "$PORT" ] || { echo "kill-test daemon failed to start" >&2; exit 1; }
+# Chaos slows the client enough that the kill lands mid-run; corruption
+# is header-only by design, so the WAL bytes stay clean.
+"$BUILD/src/cli/spectra" loadgen --port="$PORT" --clients=1 --ops=40 \
+    --seed=77 --chaos=1.0 --json="$SERVE_TMP/kill_loadgen.json" \
+    > "$SERVE_TMP/kill_loadgen.txt" 2>&1 &
+LOADGEN_PID=$!
+sleep 1
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+"$BUILD/src/cli/spectra" serve --port="$PORT" --record="$WAL" --resume="$WAL" \
+    > "$SERVE_TMP/kill_serve2.log" 2>&1 &
+SERVE_PID=$!
+LOADGEN_RC=0; wait "$LOADGEN_PID" || LOADGEN_RC=$?
+[ "$LOADGEN_RC" -eq 0 ] || { echo "loadgen did not survive the kill/restart:" >&2
+                             cat "$SERVE_TMP/kill_loadgen.txt" >&2
+                             cat "$SERVE_TMP/kill_serve2.log" >&2; exit 1; }
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || true
+# The client must actually have seen the crash (reconnected at least
+# once), or the kill landed after the run finished and proved nothing.
+python3 - "$SERVE_TMP/kill_loadgen.json" <<'PYEOF'
+import json, sys
+lg = json.load(open(sys.argv[1]))
+assert lg['reconnects'] >= 1, \
+    'kill -9 landed outside the run: client never reconnected'
+assert lg['resumes'] >= 1, 'client reconnected without resuming its session'
+PYEOF
+# Reference run: same seed, same ops, no crash.
+"$BUILD/src/cli/spectra" serve --port=0 --record="$REF" \
+    > "$SERVE_TMP/kill_ref.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SERVE_TMP/kill_ref.log" 2>/dev/null && break
+  sleep 0.1
+done
+REF_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/kill_ref.log")
+"$BUILD/src/cli/spectra" loadgen --port="$REF_PORT" --clients=1 --ops=40 \
+    --seed=77 >/dev/null
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || true
+"$BUILD/src/cli/spectra" replay "$WAL" >/dev/null || {
+  echo "combined crash+resume record does not replay identically" >&2; exit 1; }
+python3 - "$WAL" "$REF" <<'PYEOF'
+import json, sys
+# Only lifecycle lines (shed/timeout/close/drop/resume/recovered) may
+# differ between the crash run and the reference; the op record
+# (serve.session/serve.begin/serve.end) must match byte for byte.
+LIFECYCLE = {'serve.shed', 'serve.timeout', 'serve.close', 'serve.drop',
+             'serve.resume', 'serve.recovered'}
+def canonical(path):
+    return [l for l in open(path)
+            if json.loads(l).get('type', '') not in LIFECYCLE]
+wal, ref = canonical(sys.argv[1]), canonical(sys.argv[2])
+assert wal, 'crash+resume record has no op lines — gate would be vacuous'
+if wal != ref:
+    print('crash+resume record diverged from the uninterrupted run',
+          file=sys.stderr)
+    for a, b in zip(wal, ref):
+        if a != b:
+            print(f'  crash run: {a!r}\n  reference: {b!r}', file=sys.stderr)
+            break
+    print(f'  ({len(wal)} vs {len(ref)} canonical lines)', file=sys.stderr)
+    sys.exit(1)
+print(f"  kill -9 + --resume: {len(wal)} canonical lines, byte-identical "
+      f"to the uninterrupted run")
 PYEOF
 
 echo "== sanitize smoke (address) =="

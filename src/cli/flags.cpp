@@ -30,11 +30,13 @@ const std::map<std::string, std::set<std::string>>& command_table() {
         "json", "trace", "metrics", "verbose"}},
       {"faults", {"plan", "fault-plan", "verbose"}},
       {"scenarios", {"verbose"}},
-      {"serve", {"host", "port", "record", "max-conns", "verbose"}},
+      {"serve",
+       {"host", "port", "record", "resume", "max-conns", "max-sessions",
+        "idle-timeout", "frame-timeout", "stats-json", "verbose"}},
       {"replay", {"host", "port", "verbose"}},
       {"loadgen",
-       {"host", "port", "clients", "ops", "app", "scenario", "seed", "json",
-        "verbose"}},
+       {"host", "port", "clients", "ops", "app", "scenario", "seed", "chaos",
+        "chaos-seed", "resilient", "json", "verbose"}},
       {"help", {"verbose"}},
   };
   return table;

@@ -69,11 +69,14 @@ usage:
                    [--jobs=N] [--fault-plan=FILE] [--json=FILE]
                    [--trace=FILE] [--metrics=FILE]
   spectra faults   --plan=FILE   (validate a fault plan, print canonical form)
-  spectra serve    [--port=N] [--host=ADDR] [--record=FILE] [--max-conns=N]
+  spectra serve    [--port=N] [--host=ADDR] [--record=FILE] [--resume=FILE]
+                   [--max-conns=N] [--max-sessions=N] [--idle-timeout=SECS]
+                   [--frame-timeout=SECS] [--stats-json=FILE]
   spectra replay   <record> [--host=ADDR] [--port=N]
   spectra loadgen  --port=N [--host=ADDR] [--clients=N] [--ops=N]
                    [--app=nullop|speech|latex|pangloss] [--scenario=S]
-                   [--seed=N] [--json=FILE]
+                   [--seed=N] [--chaos=X] [--chaos-seed=N] [--resilient]
+                   [--json=FILE]
   spectra scenarios
 
 flags: --verbose (component logs; SPECTRA_LOG=debug for more)
@@ -111,12 +114,21 @@ chaos soak (`spectra chaos`): runs N seeded random fault plans per app on
   non-zero on any violation. --json=FILE writes a machine-readable report.
 daemon (`spectra serve`): a non-blocking loopback socket server driving the
   decision pipeline for remote clients (hello, register_app, begin/end
-  fidelity op, status, shutdown over a length-prefixed binary protocol).
-  --port=0 picks an ephemeral port (printed on stdout). --record=FILE
-  appends every decision/result as deterministic JSONL; `spectra replay`
-  re-runs a record (in-process, or against a daemon with --port) and exits
-  non-zero unless decisions match byte-for-byte. `spectra loadgen` floods a
-  daemon with concurrent loopback clients and reports throughput/latency.
+  fidelity op, resume, status, shutdown over a length-prefixed binary
+  protocol). --port=0 picks an ephemeral port (printed on stdout).
+  --record=FILE appends every decision/result as deterministic JSONL and
+  doubles as a write-ahead log: after a crash, --resume=FILE rebuilds every
+  session before accepting traffic (--resume may equal --record to continue
+  the same log in place). `spectra replay` re-runs a record (in-process, or
+  against a daemon with --port) and exits non-zero unless decisions match
+  byte-for-byte. Self-protection: --max-sessions / --max-conns shed excess
+  load with a retryable error, --idle-timeout / --frame-timeout close
+  stalled or slowloris connections (0 disables). `spectra loadgen` floods a
+  daemon with concurrent loopback clients and reports throughput/latency;
+  --chaos=X injects seeded wire faults (delays, fragmented frames, stalls,
+  corrupt headers, RST aborts; X scales the fault rate) through
+  self-healing clients that reconnect, resume their sessions, and re-issue
+  idempotently — --resilient uses the same clients with clean sends.
   SIGINT/SIGTERM shut the daemon down cleanly (record flushed).
 scenarios:
   speech:   baseline energy network cpu file-cache
@@ -655,7 +667,13 @@ int cmd_serve(const Args& args) {
   SPECTRA_REQUIRE(port >= 0 && port <= 65535, "--port must be 0..65535");
   cfg.port = static_cast<std::uint16_t>(port);
   cfg.record_path = args.get("record", "");
+  cfg.resume_path = args.get("resume", "");
   cfg.max_connections = args.get_count("max-conns", 256, 65536);
+  cfg.max_sessions = args.get_count("max-sessions", 256, 65536);
+  cfg.idle_timeout_s = args.get_double("idle-timeout", cfg.idle_timeout_s);
+  cfg.frame_timeout_s = args.get_double("frame-timeout", cfg.frame_timeout_s);
+  SPECTRA_REQUIRE(cfg.idle_timeout_s >= 0.0 && cfg.frame_timeout_s >= 0.0,
+                  "timeouts must be >= 0 (0 disables)");
 
   serve::Server server(cfg, app_service_factory());
   const std::uint16_t bound = server.bind();
@@ -663,11 +681,59 @@ int cmd_serve(const Args& args) {
   std::cout << "spectra serve: listening on " << cfg.host << ":" << bound
             << "\n"
             << std::flush;
+  if (!cfg.resume_path.empty()) {
+    const serve::Server::Stats& s = server.stats();
+    std::cout << "spectra serve: recovered " << s.wal_sessions
+              << " session(s), " << s.wal_ops << " op(s) from WAL";
+    if (s.wal_truncated_bytes > 0) {
+      std::cout << " (" << s.wal_truncated_bytes
+                << " partial tail byte(s) discarded)";
+    }
+    std::cout << "\n" << std::flush;
+  }
   const serve::Server::Stats stats = server.run();
   std::cout << "spectra serve: shut down ("
             << (stats.shutdown_frame ? "shutdown frame" : "signal") << "), "
             << stats.connections << " connection(s), " << stats.ops
             << " op(s) served\n";
+  // Self-protection ledger: every refused/closed/dropped unit of work is
+  // accounted somewhere below (and mirrored as serve.* trace lines).
+  std::cout << "spectra serve: shed=" << stats.sheds
+            << " idle_timeouts=" << stats.idle_timeouts
+            << " frame_timeouts=" << stats.frame_timeouts
+            << " slow_consumer_closes=" << stats.slow_consumer_closes
+            << " protocol_errors=" << stats.protocol_errors
+            << " dropped_frames=" << stats.dropped_frames
+            << " dropped_bytes=" << stats.dropped_bytes << "\n";
+  std::cout << "spectra serve: parked=" << stats.parked
+            << " resumed=" << stats.resumed
+            << " replayed_cached=" << stats.replayed_cached
+            << " wal_sessions=" << stats.wal_sessions
+            << " wal_ops=" << stats.wal_ops << "\n";
+
+  const std::string json_path = args.get("stats-json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    SPECTRA_REQUIRE(out.good(), "cannot write " + json_path);
+    out << "{\n"
+        << "  \"connections\": " << stats.connections << ",\n"
+        << "  \"ops\": " << stats.ops << ",\n"
+        << "  \"sheds\": " << stats.sheds << ",\n"
+        << "  \"idle_timeouts\": " << stats.idle_timeouts << ",\n"
+        << "  \"frame_timeouts\": " << stats.frame_timeouts << ",\n"
+        << "  \"slow_consumer_closes\": " << stats.slow_consumer_closes
+        << ",\n"
+        << "  \"protocol_errors\": " << stats.protocol_errors << ",\n"
+        << "  \"dropped_frames\": " << stats.dropped_frames << ",\n"
+        << "  \"dropped_bytes\": " << stats.dropped_bytes << ",\n"
+        << "  \"parked\": " << stats.parked << ",\n"
+        << "  \"resumed\": " << stats.resumed << ",\n"
+        << "  \"replayed_cached\": " << stats.replayed_cached << ",\n"
+        << "  \"wal_sessions\": " << stats.wal_sessions << ",\n"
+        << "  \"wal_ops\": " << stats.wal_ops << ",\n"
+        << "  \"wal_truncated_bytes\": " << stats.wal_truncated_bytes << "\n"
+        << "}\n";
+  }
   return 0;
 }
 
@@ -711,6 +777,10 @@ int cmd_loadgen(const Args& args) {
   cfg.app = args.get("app", "nullop");
   cfg.scenario = args.get("scenario", "");
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.chaos_intensity = args.get_double("chaos", 0.0);
+  SPECTRA_REQUIRE(cfg.chaos_intensity >= 0.0, "--chaos must be >= 0");
+  cfg.chaos_seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+  cfg.resilient = args.has_flag("resilient") || cfg.chaos_intensity > 0.0;
 
   const serve::LoadgenStats s = serve::run_loadgen(cfg);
   util::Table table("loadgen: " + std::to_string(cfg.clients) +
@@ -723,6 +793,13 @@ int cmd_loadgen(const Args& args) {
   table.add_row({"requests/sec", util::Table::num(s.rps, 1)});
   table.add_row({"p50 latency (ms)", util::Table::num(s.p50_ms, 3)});
   table.add_row({"p99 latency (ms)", util::Table::num(s.p99_ms, 3)});
+  if (cfg.resilient) {
+    table.add_row({"faults injected", std::to_string(s.faults_injected)});
+    table.add_row({"reconnects", std::to_string(s.reconnects)});
+    table.add_row({"session resumes", std::to_string(s.resumes)});
+    table.add_row({"re-issued requests", std::to_string(s.reissues)});
+    table.add_row({"backoff waits", std::to_string(s.retries)});
+  }
   std::cout << table.to_string();
   if (s.errors > 0) {
     std::cerr << "loadgen: first error: " << s.first_error << "\n";
@@ -741,7 +818,13 @@ int cmd_loadgen(const Args& args) {
         << "  \"wall_s\": " << s.wall_s << ",\n"
         << "  \"requests_per_sec\": " << s.rps << ",\n"
         << "  \"p50_ms\": " << s.p50_ms << ",\n"
-        << "  \"p99_ms\": " << s.p99_ms << "\n"
+        << "  \"p99_ms\": " << s.p99_ms << ",\n"
+        << "  \"chaos_intensity\": " << cfg.chaos_intensity << ",\n"
+        << "  \"faults_injected\": " << s.faults_injected << ",\n"
+        << "  \"reconnects\": " << s.reconnects << ",\n"
+        << "  \"resumes\": " << s.resumes << ",\n"
+        << "  \"reissues\": " << s.reissues << ",\n"
+        << "  \"retries\": " << s.retries << "\n"
         << "}\n";
   }
   return s.errors == 0 ? 0 : 1;

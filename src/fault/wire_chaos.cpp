@@ -1,0 +1,133 @@
+#include "fault/wire_chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace spectra::fault {
+
+const char* to_token(WireFaultKind kind) {
+  switch (kind) {
+    case WireFaultKind::kNone:
+      return "none";
+    case WireFaultKind::kDelay:
+      return "delay";
+    case WireFaultKind::kSplit:
+      return "split";
+    case WireFaultKind::kStall:
+      return "stall";
+    case WireFaultKind::kCorrupt:
+      return "corrupt";
+    case WireFaultKind::kRst:
+      return "rst";
+  }
+  return "unknown";
+}
+
+WireFaultPlan::WireFaultPlan(std::uint64_t seed, WireFaultConfig config)
+    : seed_(seed), config_(config) {
+  SPECTRA_REQUIRE(config_.fault_rate >= 0.0 && config_.fault_rate <= 1.0,
+                  "fault_rate must be in [0,1]");
+  const double wsum = config_.w_delay + config_.w_split + config_.w_stall +
+                      config_.w_corrupt + config_.w_rst;
+  SPECTRA_REQUIRE(wsum > 0.0, "fault kind weights must not all be zero");
+}
+
+WireAction WireFaultPlan::action(std::uint64_t client,
+                                 std::uint64_t request) const {
+  // One private stream per (client, request): the splitmix-style mix
+  // keeps neighbouring keys uncorrelated, and reseeding per request makes
+  // the decision independent of draw order elsewhere.
+  std::uint64_t key = seed_;
+  key ^= (client + 1) * 0x9e3779b97f4a7c15ULL;
+  key ^= (request + 1) * 0xbf58476d1ce4e5b9ULL;
+  util::Rng rng(key);
+
+  WireAction a;
+  if (!rng.bernoulli(config_.fault_rate)) return a;
+  const double wsum = config_.w_delay + config_.w_split + config_.w_stall +
+                      config_.w_corrupt + config_.w_rst;
+  double pick = rng.uniform() * wsum;
+  if ((pick -= config_.w_delay) < 0.0) {
+    a.kind = WireFaultKind::kDelay;
+    a.delay_s = rng.uniform(0.0, config_.max_delay_s);
+    if (a.delay_s <= 0.0) a.delay_s = config_.max_delay_s * 0.5;
+    return a;
+  }
+  if ((pick -= config_.w_split) < 0.0) {
+    a.kind = WireFaultKind::kSplit;
+    a.split_chunk = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    return a;
+  }
+  if ((pick -= config_.w_stall) < 0.0) {
+    a.kind = WireFaultKind::kStall;
+    a.stall_s = config_.stall_s;
+    return a;
+  }
+  if ((pick -= config_.w_corrupt) < 0.0) {
+    a.kind = WireFaultKind::kCorrupt;
+    return a;
+  }
+  a.kind = WireFaultKind::kRst;
+  return a;
+}
+
+void WireFaultPlan::scale_rate(double intensity) {
+  SPECTRA_REQUIRE(intensity >= 0.0, "chaos intensity must be >= 0");
+  config_.fault_rate = std::min(1.0, config_.fault_rate * intensity);
+}
+
+std::string WireFaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "# wire fault plan\n";
+  out << "seed " << seed_ << "\n";
+  out << "rate " << config_.fault_rate << "\n";
+  out << "max_delay_s " << config_.max_delay_s << "\n";
+  out << "stall_s " << config_.stall_s << "\n";
+  out << "weights " << config_.w_delay << " " << config_.w_split << " "
+      << config_.w_stall << " " << config_.w_corrupt << " " << config_.w_rst
+      << "\n";
+  return out.str();
+}
+
+WireFaultPlan WireFaultPlan::parse(const std::string& text) {
+  std::uint64_t seed = 1;
+  WireFaultConfig cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    const std::string where =
+        "wire plan line " + std::to_string(lineno) + ": ";
+    if (key == "seed") {
+      SPECTRA_REQUIRE(static_cast<bool>(ls >> seed), where + "bad seed");
+    } else if (key == "rate") {
+      SPECTRA_REQUIRE(static_cast<bool>(ls >> cfg.fault_rate),
+                      where + "bad rate");
+    } else if (key == "max_delay_s") {
+      SPECTRA_REQUIRE(static_cast<bool>(ls >> cfg.max_delay_s),
+                      where + "bad max_delay_s");
+    } else if (key == "stall_s") {
+      SPECTRA_REQUIRE(static_cast<bool>(ls >> cfg.stall_s),
+                      where + "bad stall_s");
+    } else if (key == "weights") {
+      SPECTRA_REQUIRE(
+          static_cast<bool>(ls >> cfg.w_delay >> cfg.w_split >> cfg.w_stall >>
+                            cfg.w_corrupt >> cfg.w_rst),
+          where + "weights needs five numbers");
+    } else {
+      SPECTRA_REQUIRE(false, where + "unknown key " + key);
+    }
+  }
+  return WireFaultPlan(seed, cfg);
+}
+
+}  // namespace spectra::fault

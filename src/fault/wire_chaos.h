@@ -1,0 +1,93 @@
+// Wire-level fault injection for the serve daemon's real sockets.
+//
+// The simulated network already has a fault-plan DSL (fault_plan.h); this
+// is its counterpart for the wire layer, extending the same discipline —
+// seeded, declarative, replayable — from virtual links to actual TCP.
+// A WireFaultPlan decides, per (client, request), whether and how to
+// mangle the outgoing frame:
+//
+//   * delay    — sleep before sending (latency spike);
+//   * split    — dribble the frame in small chunks (fragmentation);
+//   * stall    — send a partial frame then hang (slowloris) until the
+//                server's half-frame deadline kills the connection;
+//   * corrupt  — flip the frame header to a guaranteed-invalid value
+//                (length beyond kMaxPayload), forcing the server's
+//                framing-violation path. Corruption is confined to the
+//                header on purpose: a flipped payload byte could decode
+//                into a *different valid request*, poisoning the
+//                write-ahead log that replay byte-identity depends on;
+//   * rst      — abort the connection (SO_LINGER 0) mid-frame.
+//
+// action() is a pure function of (seed, client, request): chaos soaks
+// replay bit-identically, and two processes holding the same plan agree
+// on every injection without coordination. Plans serialize to the same
+// line-oriented text format as FaultPlan ("# comment", "key value"), so
+// soak configurations can live in files next to fault plans.
+//
+// This header deliberately depends only on util (not the simulator
+// stack), so the serve layer can link it while staying simulator-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spectra::fault {
+
+enum class WireFaultKind {
+  kNone,
+  kDelay,
+  kSplit,
+  kStall,
+  kCorrupt,
+  kRst,
+};
+
+// Token used in logs and stats ("delay", "stall", ...).
+const char* to_token(WireFaultKind kind);
+
+// What to do to one outgoing frame.
+struct WireAction {
+  WireFaultKind kind = WireFaultKind::kNone;
+  double delay_s = 0.0;         // kDelay: sleep before the send
+  std::size_t split_chunk = 0;  // kSplit: bytes per dribbled chunk
+  double stall_s = 0.0;         // kStall: hang after a partial send
+};
+
+struct WireFaultConfig {
+  double fault_rate = 0.25;    // per-request probability of any fault
+  double max_delay_s = 0.030;  // kDelay sleeps uniform in (0, max]
+  double stall_s = 0.250;      // kStall hang duration
+  // Relative weights of each kind once a fault fires.
+  double w_delay = 0.30;
+  double w_split = 0.30;
+  double w_stall = 0.15;
+  double w_corrupt = 0.10;
+  double w_rst = 0.15;
+};
+
+class WireFaultPlan {
+ public:
+  explicit WireFaultPlan(std::uint64_t seed, WireFaultConfig config = {});
+
+  // The fault (or kNone) for request number `request` on client number
+  // `client`. Pure: same (seed, client, request) → same action, always.
+  WireAction action(std::uint64_t client, std::uint64_t request) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const WireFaultConfig& config() const { return config_; }
+
+  // Canonical text form; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+  static WireFaultPlan parse(const std::string& text);
+
+  // Scale fault_rate by `intensity` (clamped to [0, 1] after scaling);
+  // the CLI maps `--chaos=X` through this.
+  void scale_rate(double intensity);
+
+ private:
+  std::uint64_t seed_ = 1;
+  WireFaultConfig config_;
+};
+
+}  // namespace spectra::fault

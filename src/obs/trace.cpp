@@ -143,8 +143,10 @@ std::string TraceEvent::to_json() const { return body_ + "}"; }
 
 TraceSink::TraceSink(std::ostream& out) : out_(&out) {}
 
-std::unique_ptr<TraceSink> TraceSink::open(const std::string& path) {
-  auto file = std::make_unique<std::ofstream>(path);
+std::unique_ptr<TraceSink> TraceSink::open(const std::string& path,
+                                           bool append) {
+  const auto mode = append ? (std::ios::out | std::ios::app) : std::ios::out;
+  auto file = std::make_unique<std::ofstream>(path, mode);
   SPECTRA_REQUIRE(file->good(), "cannot open trace file: " + path);
   auto sink = std::unique_ptr<TraceSink>(new TraceSink());
   sink->out_ = file.get();
@@ -174,5 +176,7 @@ void TraceSink::write_raw(std::string_view jsonl) {
     if (c == '\n') ++events_;
   }
 }
+
+void TraceSink::flush() { out_->flush(); }
 
 }  // namespace spectra::obs

@@ -81,8 +81,12 @@ class TraceSink {
   // Non-owning: events append to `out`, which must outlive the sink.
   explicit TraceSink(std::ostream& out);
   // Owning: opens `path` for writing (truncates); throws
-  // util::ContractError when the file cannot be opened.
-  static std::unique_ptr<TraceSink> open(const std::string& path);
+  // util::ContractError when the file cannot be opened. With `append`
+  // existing contents are preserved and new lines glue onto the end —
+  // the serve daemon uses this to continue a write-ahead log across a
+  // crash/restart without losing the replayed history.
+  static std::unique_ptr<TraceSink> open(const std::string& path,
+                                         bool append = false);
   ~TraceSink();
 
   TraceSink(const TraceSink&) = delete;
@@ -95,6 +99,11 @@ class TraceSink {
   // Used by the batch runner to splice per-run trace buffers into the
   // session trace in deterministic run order.
   void write_raw(std::string_view jsonl);
+
+  // Push buffered bytes to the underlying stream. Write-ahead-log users
+  // flush after every committed line so a SIGKILL loses at most the line
+  // being written, never an acknowledged one.
+  void flush();
 
   std::size_t events() const { return events_; }
 

@@ -1,0 +1,86 @@
+// Error classification and retry/backoff primitives, shared across layers.
+//
+// Historically these lived inside rpc/rpc.h, but the taxonomy is not
+// specific to the simulated RPC substrate: the serve daemon's self-healing
+// wire client classifies real socket failures with the same kinds and
+// derives its reconnect backoff from the same RetryPolicy schedule. This
+// header is deliberately lightweight (no hw/net/fs includes) so transport
+// layers can reuse the taxonomy without linking the simulator stack;
+// rpc/rpc.h re-exports everything, so existing callers are unaffected.
+#pragma once
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/units.h"
+
+namespace spectra::rpc {
+
+using util::Seconds;
+
+// Why a call failed, as observed by the caller. Transport kinds describe a
+// delivery failure where retrying may help; kApplication means the handler
+// itself returned an error and a retry would just repeat it.
+enum class ErrorKind {
+  kNone,         // call succeeded
+  kUnreachable,  // no route to the target when the call started
+  kLinkLost,     // link partitioned while a message was in flight
+  kServerDown,   // target endpoint is crashed; no reply will ever come
+  kTimeout,      // attempt exceeded the per-attempt timeout
+  kApplication,  // handler-level failure
+};
+
+inline const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kUnreachable: return "unreachable";
+    case ErrorKind::kLinkLost: return "link_lost";
+    case ErrorKind::kServerDown: return "server_down";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kApplication: return "application";
+  }
+  return "unknown";
+}
+
+// True for the transport kinds a RetryPolicy is allowed to retry.
+inline bool retryable(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kUnreachable:
+    case ErrorKind::kLinkLost:
+    case ErrorKind::kServerDown:
+    case ErrorKind::kTimeout:
+      return true;
+    case ErrorKind::kNone:
+    case ErrorKind::kApplication:
+      return false;
+  }
+  return false;
+}
+
+// Retry behaviour for one logical call. The default is a single attempt
+// with no timeout — exactly the pre-retry fail-fast semantics.
+struct RetryPolicy {
+  int max_attempts = 1;           // total attempts, including the first
+  Seconds timeout = 0.0;          // per-attempt; 0 = wait forever
+  Seconds backoff_initial = 0.1;  // delay before the second attempt
+  double backoff_multiplier = 2.0;
+  Seconds backoff_max = 5.0;      // cap on the un-jittered delay
+  double jitter = 0.1;            // ± fraction applied to each delay
+
+  // Delay to wait after `attempt` failed attempts (1-based), given a
+  // uniform draw `u` in [0,1). Pure function so tests can verify the
+  // schedule without a network: base * multiplier^(attempt-1), capped at
+  // backoff_max, then scaled by 1 + jitter*(2u-1).
+  Seconds backoff_delay(int attempt, double u) const {
+    SPECTRA_REQUIRE(attempt >= 1, "backoff follows at least one attempt");
+    SPECTRA_REQUIRE(u >= 0.0 && u < 1.0, "jitter draw must be in [0,1)");
+    SPECTRA_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter fraction in [0,1)");
+    Seconds base = backoff_initial;
+    for (int i = 1; i < attempt; ++i) base *= backoff_multiplier;
+    base = std::min(base, backoff_max);
+    // Symmetric jitter de-synchronises retry storms across callers.
+    return base * (1.0 + jitter * (2.0 * u - 1.0));
+  }
+};
+
+}  // namespace spectra::rpc

@@ -6,43 +6,6 @@
 
 namespace spectra::rpc {
 
-const char* to_string(ErrorKind kind) {
-  switch (kind) {
-    case ErrorKind::kNone: return "none";
-    case ErrorKind::kUnreachable: return "unreachable";
-    case ErrorKind::kLinkLost: return "link_lost";
-    case ErrorKind::kServerDown: return "server_down";
-    case ErrorKind::kTimeout: return "timeout";
-    case ErrorKind::kApplication: return "application";
-  }
-  return "unknown";
-}
-
-bool retryable(ErrorKind kind) {
-  switch (kind) {
-    case ErrorKind::kUnreachable:
-    case ErrorKind::kLinkLost:
-    case ErrorKind::kServerDown:
-    case ErrorKind::kTimeout:
-      return true;
-    case ErrorKind::kNone:
-    case ErrorKind::kApplication:
-      return false;
-  }
-  return false;
-}
-
-Seconds RetryPolicy::backoff_delay(int attempt, double u) const {
-  SPECTRA_REQUIRE(attempt >= 1, "backoff follows at least one attempt");
-  SPECTRA_REQUIRE(u >= 0.0 && u < 1.0, "jitter draw must be in [0,1)");
-  SPECTRA_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter fraction in [0,1)");
-  Seconds base = backoff_initial;
-  for (int i = 1; i < attempt; ++i) base *= backoff_multiplier;
-  base = std::min(base, backoff_max);
-  // Symmetric jitter de-synchronises retry storms across callers.
-  return base * (1.0 + jitter * (2.0 * u - 1.0));
-}
-
 RpcEndpoint::RpcEndpoint(MachineId id, hw::Machine& machine,
                          net::Network& network, fs::CodaClient* coda,
                          RpcCosts costs)

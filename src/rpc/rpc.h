@@ -31,6 +31,7 @@
 #include "hw/machine.h"
 #include "net/network.h"
 #include "obs/obs.h"
+#include "rpc/retry.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -41,39 +42,9 @@ using util::Bytes;
 using util::Cycles;
 using util::Seconds;
 
-// Why a call failed, as observed by the caller. Transport kinds describe a
-// delivery failure where retrying may help; kApplication means the handler
-// itself returned an error and a retry would just repeat it.
-enum class ErrorKind {
-  kNone,         // call succeeded
-  kUnreachable,  // no route to the target when the call started
-  kLinkLost,     // link partitioned while a message was in flight
-  kServerDown,   // target endpoint is crashed; no reply will ever come
-  kTimeout,      // attempt exceeded the per-attempt timeout
-  kApplication,  // handler-level failure
-};
-
-const char* to_string(ErrorKind kind);
-
-// True for the transport kinds a RetryPolicy is allowed to retry.
-bool retryable(ErrorKind kind);
-
-// Retry behaviour for one logical call. The default is a single attempt
-// with no timeout — exactly the pre-retry fail-fast semantics.
-struct RetryPolicy {
-  int max_attempts = 1;           // total attempts, including the first
-  Seconds timeout = 0.0;          // per-attempt; 0 = wait forever
-  Seconds backoff_initial = 0.1;  // delay before the second attempt
-  double backoff_multiplier = 2.0;
-  Seconds backoff_max = 5.0;      // cap on the un-jittered delay
-  double jitter = 0.1;            // ± fraction applied to each delay
-
-  // Delay to wait after `attempt` failed attempts (1-based), given a
-  // uniform draw `u` in [0,1). Pure function so tests can verify the
-  // schedule without a network: base * multiplier^(attempt-1), capped at
-  // backoff_max, then scaled by 1 + jitter*(2u-1).
-  Seconds backoff_delay(int attempt, double u) const;
-};
+// ErrorKind, retryable(), and RetryPolicy live in rpc/retry.h so that real
+// transport layers (the serve daemon's wire client) can share the taxonomy
+// without linking the simulator stack.
 
 // Resource consumption measured on the server for one RPC.
 struct UsageReport {

@@ -6,11 +6,31 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "util/assert.h"
 
 namespace spectra::serve {
+
+namespace {
+
+rpc::ErrorKind classify_connect_errno(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+      return rpc::ErrorKind::kServerDown;
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+      return rpc::ErrorKind::kUnreachable;
+    case ETIMEDOUT:
+      return rpc::ErrorKind::kTimeout;
+    default:
+      return rpc::ErrorKind::kUnreachable;
+  }
+}
+
+}  // namespace
 
 BlockingClient::BlockingClient(const std::string& host, std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -22,11 +42,12 @@ BlockingClient::BlockingClient(const std::string& host, std::uint16_t port) {
   SPECTRA_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
                   "bad address: " + host);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
+    const int err = errno;
     ::close(fd_);
     fd_ = -1;
-    SPECTRA_REQUIRE(false, "connect(" + host + ":" + std::to_string(port) +
-                               ") failed: " + err);
+    throw TransportError(classify_connect_errno(err),
+                         "connect(" + host + ":" + std::to_string(port) +
+                             ") failed: " + std::strerror(err));
   }
 }
 
@@ -44,18 +65,29 @@ void BlockingClient::close() {
   }
 }
 
+void BlockingClient::close_with_rst() {
+  if (fd_ < 0) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+}
+
 void BlockingClient::send_raw(std::string_view bytes) {
   SPECTRA_REQUIRE(fd_ >= 0, "client is closed");
   std::size_t off = 0;
   while (off < bytes.size()) {
     // MSG_NOSIGNAL: a daemon that died mid-session surfaces as EPIPE (a
-    // ContractError below), not a process-killing SIGPIPE in loadgen/replay.
+    // TransportError below), not a process-killing SIGPIPE in loadgen/replay.
     const ssize_t n =
         ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      SPECTRA_REQUIRE(false,
-                      "write() failed: " + std::string(std::strerror(errno)));
+      throw TransportError(rpc::ErrorKind::kLinkLost,
+                           "write() failed: " +
+                               std::string(std::strerror(errno)));
     }
     off += static_cast<std::size_t>(n);
   }
@@ -69,10 +101,14 @@ Frame BlockingClient::read_frame() {
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
-      SPECTRA_REQUIRE(false,
-                      "read() failed: " + std::string(std::strerror(errno)));
+      throw TransportError(rpc::ErrorKind::kLinkLost,
+                           "read() failed: " +
+                               std::string(std::strerror(errno)));
     }
-    SPECTRA_REQUIRE(n > 0, "daemon closed the connection mid-reply");
+    if (n == 0) {
+      throw TransportError(rpc::ErrorKind::kLinkLost,
+                           "daemon closed the connection mid-reply");
+    }
     reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
   }
 }
@@ -81,7 +117,8 @@ Frame BlockingClient::call(const std::string& frame_bytes, MsgType expect) {
   send_raw(frame_bytes);
   const Frame reply = read_frame();
   if (reply.type == MsgType::kError) {
-    throw ProtocolError(decode_error(reply.payload).message);
+    const ErrorMsg e = decode_error(reply.payload);
+    throw ServerError(e.code, e.message);
   }
   if (reply.type != expect) {
     throw ProtocolError(std::string("expected ") + to_token(expect) +
@@ -113,9 +150,16 @@ core::ServiceDecision BlockingClient::begin_op(const BeginOpMsg& msg) {
   return decode_begin_ok(reply.payload);
 }
 
-core::ServiceOpResult BlockingClient::end_op() {
-  const Frame reply = call(encode_end_op(), MsgType::kEndOk);
+core::ServiceOpResult BlockingClient::end_op(std::uint64_t seq) {
+  const Frame reply = call(encode_end_op(seq), MsgType::kEndOk);
   return decode_end_ok(reply.payload);
+}
+
+ResumeOkMsg BlockingClient::resume(std::uint64_t session_id) {
+  ResumeMsg m;
+  m.session_id = session_id;
+  const Frame reply = call(encode_resume(m), MsgType::kResumeOk);
+  return decode_resume_ok(reply.payload);
 }
 
 StatusOkMsg BlockingClient::status() {
@@ -126,6 +170,160 @@ StatusOkMsg BlockingClient::status() {
 void BlockingClient::shutdown_server() {
   const Frame reply = call(encode_shutdown(), MsgType::kShutdownOk);
   decode_empty(reply.payload, reply.type);
+}
+
+// ---- ResilientClient -----------------------------------------------------
+
+ResilientClient::ResilientClient(ResilientConfig config)
+    : config_(std::move(config)), jitter_(config_.seed) {}
+
+void ResilientClient::close() { client_.reset(); }
+
+void ResilientClient::backoff(int attempt) {
+  ++stats_.retries;
+  const double delay =
+      config_.retry.backoff_delay(attempt, jitter_.uniform());
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+template <typename Fn>
+auto ResilientClient::with_retry(Fn&& fn) -> decltype(fn()) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (attempt > 1) ++stats_.reissues;
+      return fn();
+    } catch (const TransportError&) {
+      // The connection is gone; reconnect + resume on the next attempt.
+      client_.reset();
+      if (attempt >= config_.retry.max_attempts) throw;
+    } catch (const ServerError& e) {
+      if (e.code() == ErrorCode::kProtocol) {
+        // The daemon is about to drop this connection.
+        client_.reset();
+      } else if (e.code() == ErrorCode::kShuttingDown) {
+        client_.reset();
+      } else if (!retryable(e.code())) {
+        throw;
+      }
+      if (attempt >= config_.retry.max_attempts) throw;
+    } catch (const ProtocolError&) {
+      // Reply-stream desync (unexpected type): the frames are unreliable;
+      // reconnect and lean on idempotent re-issue.
+      client_.reset();
+      if (attempt >= config_.retry.max_attempts) throw;
+    }
+    backoff(attempt);
+  }
+}
+
+void ResilientClient::ensure_session() {
+  if (client_) return;
+  client_.emplace(config_.host, config_.port);
+  ++stats_.connects;
+  if (stats_.connects > 1) ++stats_.reconnects;
+  const HelloOkMsg h = client_->hello(config_.client_name);
+  const std::uint64_t fresh_sid = h.session_id;
+  if (sid_ != 0) {
+    // We had (or may have had) a session under sid_; try to re-attach.
+    // The server finds it parked, on a zombie connection, or rebuilt from
+    // its write-ahead log after a restart.
+    try {
+      const ResumeOkMsg r = client_->resume(sid_);
+      registered_ = true;
+      op_ = r.op;
+      ++stats_.resumes;
+      return;
+    } catch (const ServerError& e) {
+      if (e.code() != ErrorCode::kUnknownSession || registered_) throw;
+      // Registration was sent but never acknowledged and the server has
+      // no trace of it — it never executed. Start fresh below.
+      sid_ = 0;
+    }
+  }
+  sid_ = fresh_sid;
+  if (!app_.empty()) {
+    const RegisterOkMsg ok =
+        client_->register_app(app_, scenario_, app_seed_);
+    registered_ = true;
+    op_ = ok.op;
+  }
+}
+
+RegisterOkMsg ResilientClient::register_app(const std::string& app,
+                                            const std::string& scenario,
+                                            std::uint64_t seed) {
+  SPECTRA_REQUIRE(app_.empty() || app_ == app,
+                  "one session registers one app");
+  app_ = app;
+  scenario_ = scenario;
+  app_seed_ = seed;
+  return with_retry([&] {
+    ensure_session();
+    RegisterOkMsg ok;
+    ok.op = op_;
+    return ok;
+  });
+}
+
+core::ServiceDecision ResilientClient::begin_op(BeginOpMsg msg) {
+  SPECTRA_REQUIRE(registered_ || !app_.empty(),
+                  "begin_op before register_app");
+  // Claim the seq up front: every re-issue of this logical op carries the
+  // same key, so the server can answer a duplicate from its cache.
+  const std::uint64_t seq = seq_begun_ + 1;
+  msg.seq = seq;
+  return with_retry([&] {
+    ensure_session();
+    const std::string bytes = encode_begin_op(msg);
+    if (send_hook_) {
+      send_hook_(*client_, bytes);
+    } else {
+      client_->send_raw(bytes);
+    }
+    const Frame reply = client_->read_frame();
+    if (reply.type == MsgType::kError) {
+      const ErrorMsg e = decode_error(reply.payload);
+      throw ServerError(e.code, e.message);
+    }
+    if (reply.type != MsgType::kBeginOk) {
+      throw ProtocolError(std::string("expected begin_ok, daemon sent ") +
+                          to_token(reply.type));
+    }
+    seq_begun_ = seq;
+    return decode_begin_ok(reply.payload);
+  });
+}
+
+core::ServiceOpResult ResilientClient::end_op() {
+  SPECTRA_REQUIRE(seq_begun_ > seq_completed_, "end_op without a begun op");
+  const std::uint64_t seq = seq_begun_;
+  return with_retry([&] {
+    ensure_session();
+    const std::string bytes = encode_end_op(seq);
+    if (send_hook_) {
+      send_hook_(*client_, bytes);
+    } else {
+      client_->send_raw(bytes);
+    }
+    const Frame reply = client_->read_frame();
+    if (reply.type == MsgType::kError) {
+      const ErrorMsg e = decode_error(reply.payload);
+      throw ServerError(e.code, e.message);
+    }
+    if (reply.type != MsgType::kEndOk) {
+      throw ProtocolError(std::string("expected end_ok, daemon sent ") +
+                          to_token(reply.type));
+    }
+    seq_completed_ = seq;
+    return decode_end_ok(reply.payload);
+  });
+}
+
+StatusOkMsg ResilientClient::status() {
+  return with_retry([&] {
+    ensure_session();
+    return client_->status();
+  });
 }
 
 }  // namespace spectra::serve

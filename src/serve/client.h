@@ -2,21 +2,66 @@
 //
 // Used by `spectra loadgen`, `spectra replay`, and the serve tests. One
 // request in flight at a time: call() writes a frame (looping over partial
-// writes) and reads until the matching reply frame arrives. A kError reply
-// is surfaced as ProtocolError carrying the daemon's message.
+// writes) and reads until the matching reply frame arrives.
+//
+// Failures surface as a two-level taxonomy mirroring rpc::ErrorKind:
+//   * TransportError — the connection itself failed (connect refused,
+//     reset, EOF mid-reply). Carries the rpc::ErrorKind classification;
+//     derives from util::ContractError for compatibility with callers
+//     that treat any client failure as fatal.
+//   * ServerError — the daemon answered kError. Carries the wire
+//     ErrorCode so callers can tell retryable refusals (overload,
+//     shutdown) from fatal ones; derives from ProtocolError.
+//
+// ResilientClient wraps BlockingClient with reconnect + capped
+// exponential backoff (seeded jitter) and idempotent re-issue keyed by
+// (sid, seq): after any transport failure it reconnects, re-attaches its
+// session with kResume (sessions survive on the server parked or
+// WAL-replayed), and re-sends the request with the same seq — the server
+// answers re-issues from its reply cache, so an op is never run twice.
+// This is what lets loadgen ride out a daemon kill/restart mid-run.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/decision_service.h"
+#include "rpc/retry.h"
 #include "serve/protocol.h"
+#include "util/assert.h"
+#include "util/rng.h"
 
 namespace spectra::serve {
 
+// The connection failed; `kind` classifies how (kServerDown = connect
+// refused, kLinkLost = reset/EOF mid-stream, kUnreachable = no route).
+class TransportError : public util::ContractError {
+ public:
+  TransportError(rpc::ErrorKind kind, const std::string& what)
+      : util::ContractError(what), kind_(kind) {}
+  rpc::ErrorKind kind() const { return kind_; }
+
+ private:
+  rpc::ErrorKind kind_;
+};
+
+// The daemon answered kError with `code`.
+class ServerError : public ProtocolError {
+ public:
+  ServerError(ErrorCode code, const std::string& what)
+      : ProtocolError(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
 class BlockingClient {
  public:
-  // Connect to host:port; throws util::ContractError on failure.
+  // Connect to host:port; throws TransportError on failure.
   BlockingClient(const std::string& host, std::uint16_t port);
   ~BlockingClient();
 
@@ -29,7 +74,9 @@ class BlockingClient {
   RegisterOkMsg register_app(const std::string& app,
                              const std::string& scenario, std::uint64_t seed);
   core::ServiceDecision begin_op(const BeginOpMsg& msg);
-  core::ServiceOpResult end_op();
+  // `seq` = 0 ends the pending op; a nonzero seq is the idempotency key.
+  core::ServiceOpResult end_op(std::uint64_t seq = 0);
+  ResumeOkMsg resume(std::uint64_t session_id);
   StatusOkMsg status();
   // Ask the daemon to stop; waits for the acknowledgement.
   void shutdown_server();
@@ -39,6 +86,9 @@ class BlockingClient {
   Frame read_frame();
 
   void close();
+  // Abort: close with SO_LINGER 0 so the peer sees RST, not FIN. Used by
+  // the wire chaos injector to simulate clients that vanish rudely.
+  void close_with_rst();
   int fd() const { return fd_; }
 
  private:
@@ -46,6 +96,75 @@ class BlockingClient {
 
   int fd_ = -1;
   FrameReader reader_;
+};
+
+// ---- self-healing client -------------------------------------------------
+
+struct ResilientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string client_name = "resilient";
+  // Reconnect/backoff schedule; defaults tuned for a daemon restart
+  // taking up to a few seconds.
+  rpc::RetryPolicy retry{.max_attempts = 10,
+                         .timeout = 0.0,
+                         .backoff_initial = 0.05,
+                         .backoff_multiplier = 2.0,
+                         .backoff_max = 1.0,
+                         .jitter = 0.2};
+  std::uint64_t seed = 1;  // jitter stream
+};
+
+struct ResilientStats {
+  std::uint64_t connects = 0;    // successful TCP connects
+  std::uint64_t reconnects = 0;  // connects after the first
+  std::uint64_t resumes = 0;     // sessions re-attached via kResume
+  std::uint64_t reissues = 0;    // requests re-sent with a prior seq
+  std::uint64_t retries = 0;     // backoff waits taken
+};
+
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilientConfig config);
+
+  // Mirror of the BlockingClient session API; each call retries through
+  // reconnect/resume/re-issue until it succeeds or the retry budget is
+  // exhausted (the last error is rethrown).
+  RegisterOkMsg register_app(const std::string& app,
+                             const std::string& scenario, std::uint64_t seed);
+  core::ServiceDecision begin_op(BeginOpMsg msg);
+  core::ServiceOpResult end_op();
+  StatusOkMsg status();
+
+  std::uint64_t session_id() const { return sid_; }
+  const ResilientStats& stats() const { return stats_; }
+
+  // Injected before each frame send by loadgen --chaos (null = none).
+  // The hook may throw TransportError to simulate a failed send.
+  using SendHook = std::function<void(BlockingClient&, const std::string&)>;
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
+  void close();
+
+ private:
+  // Connect + hello + (resume | re-register) until the session is live.
+  void ensure_session();
+  void backoff(int attempt);
+  template <typename Fn>
+  auto with_retry(Fn&& fn) -> decltype(fn());
+
+  ResilientConfig config_;
+  std::optional<BlockingClient> client_;
+  std::uint64_t sid_ = 0;         // sticky across reconnects once known
+  bool registered_ = false;       // a register_ok or resume_ok was seen
+  std::string app_, scenario_;    // for re-register when resume misses
+  std::string op_;                // the session's registered operation
+  std::uint64_t app_seed_ = 1;
+  std::uint64_t seq_begun_ = 0;     // client-side idempotency keys
+  std::uint64_t seq_completed_ = 0;
+  util::Rng jitter_;
+  ResilientStats stats_;
+  SendHook send_hook_;
 };
 
 }  // namespace spectra::serve

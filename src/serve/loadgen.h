@@ -7,6 +7,15 @@
 // session is a clone — the measurement exercises the socket loop and
 // decision path, not world training.
 //
+// With `chaos_intensity > 0` (loadgen --chaos) each client switches to a
+// ResilientClient and mangles its own outgoing frames through a seeded
+// fault::WireFaultPlan — delays, fragmented sends, slowloris stalls,
+// header corruption, RST aborts — and must still finish every operation
+// exactly once by reconnecting, resuming its session, and re-issuing
+// idempotently. `resilient` alone (no chaos) uses the self-healing client
+// with clean sends, which is what lets a soak survive a daemon
+// kill/restart mid-run.
+//
 // Latency here is wall-clock (it measures the daemon), so it belongs in
 // BENCH output and never in traces or goldens.
 #pragma once
@@ -24,6 +33,12 @@ struct LoadgenConfig {
   std::string app = "nullop";
   std::string scenario;  // empty = the app's baseline
   std::uint64_t seed = 1;
+  // Wire chaos: 0 = off; otherwise scales WireFaultConfig's base
+  // fault_rate (1.0 = the default 25% per-request rate).
+  double chaos_intensity = 0.0;
+  std::uint64_t chaos_seed = 0;  // 0 = derive from `seed`
+  // Use ResilientClient even without chaos (survives daemon restarts).
+  bool resilient = false;
 };
 
 struct LoadgenStats {
@@ -34,6 +49,12 @@ struct LoadgenStats {
   double rps = 0.0;     // ops per wall-clock second
   double p50_ms = 0.0;  // per-op (begin+end round trips) latency
   double p99_ms = 0.0;
+  // Recovery counters (resilient/chaos mode), summed over clients.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t reissues = 0;
+  std::uint64_t retries = 0;
 };
 
 LoadgenStats run_loadgen(const LoadgenConfig& config);

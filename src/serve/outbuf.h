@@ -1,0 +1,93 @@
+// Per-connection outbound byte queue for the serve daemon.
+//
+// Extracted from Server's internal Connection so the coalescing and
+// partial-write bookkeeping are unit-testable. The buffer holds whole
+// wire frames; a frame boundary never matters to the socket writes, but
+// the queue tracks how many enqueued frames remain undelivered so that a
+// forced close (slow consumer, shutdown drain) can report exactly how
+// many reply frames and bytes were dropped instead of losing them
+// silently.
+//
+// Invariants:
+//   * pos() ≤ size(); bytes [pos(), size()) are pending on the wire.
+//   * pending_frames() counts frames with at least one undelivered byte.
+//   * enqueue() takes its argument by value and moves it — the common
+//     drained case adopts the frame's allocation outright; the append
+//     path compacts the consumed prefix first so a partially-written
+//     frame resumes at the same wire position after coalescing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace spectra::serve {
+
+class OutBuffer {
+ public:
+  // Queue one complete frame for delivery.
+  void enqueue(std::string frame) {
+    if (frame.empty()) return;
+    frames_.push_back(frame.size());
+    if (pos_ == buf_.size()) {
+      // Fully drained: adopt the frame's storage, no copy.
+      buf_ = std::move(frame);
+      pos_ = 0;
+      return;
+    }
+    if (pos_ > 0) {
+      // Drop the consumed prefix before growing, so the buffer never
+      // accumulates dead bytes while a slow consumer trickles reads.
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    buf_ += frame;
+  }
+
+  // Bytes ready for the next send().
+  const char* data() const { return buf_.data() + pos_; }
+  std::size_t pending_bytes() const { return buf_.size() - pos_; }
+  bool drained() const { return pos_ == buf_.size(); }
+
+  // Record that `n` bytes were accepted by the socket.
+  void advance(std::size_t n) {
+    SPECTRA_REQUIRE(n <= pending_bytes(), "advance past pending bytes");
+    pos_ += n;
+    // Retire fully-delivered frames from the accounting queue.
+    while (n > 0 && !frames_.empty()) {
+      const std::size_t take = n < frames_.front() ? n : frames_.front();
+      frames_.front() -= take;
+      n -= take;
+      if (frames_.front() == 0) {
+        frames_.pop_front();
+        ++delivered_;
+      }
+    }
+    if (drained()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+  }
+
+  // Frames with at least one undelivered byte (for drop accounting).
+  std::size_t pending_frames() const { return frames_.size(); }
+  // Frames fully handed to the socket over this buffer's lifetime.
+  std::uint64_t frames_delivered() const { return delivered_; }
+
+  // Position of the write cursor inside the backing storage; exposed for
+  // the coalescing micro-test (partial writes must resume here).
+  std::size_t pos() const { return pos_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::deque<std::size_t> frames_;  // undelivered byte count per frame
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace spectra::serve

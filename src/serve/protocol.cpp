@@ -19,6 +19,8 @@ const char* to_token(MsgType type) {
       return "status";
     case MsgType::kShutdown:
       return "shutdown";
+    case MsgType::kResume:
+      return "resume";
     case MsgType::kHelloOk:
       return "hello_ok";
     case MsgType::kRegisterOk:
@@ -31,10 +33,44 @@ const char* to_token(MsgType type) {
       return "status_ok";
     case MsgType::kShutdownOk:
       return "shutdown_ok";
+    case MsgType::kResumeOk:
+      return "resume_ok";
     case MsgType::kError:
       return "error";
   }
   return "unknown";
+}
+
+const char* to_token(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric:
+      return "generic";
+    case ErrorCode::kProtocol:
+      return "protocol";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kUnknownSession:
+      return "unknown_session";
+    case ErrorCode::kBadSeq:
+      return "bad_seq";
+  }
+  return "unknown";
+}
+
+bool retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kShuttingDown:
+      return true;
+    case ErrorCode::kGeneric:
+    case ErrorCode::kProtocol:
+    case ErrorCode::kUnknownSession:
+    case ErrorCode::kBadSeq:
+      return false;
+  }
+  return false;
 }
 
 bool is_known_type(std::uint8_t type) {
@@ -45,12 +81,14 @@ bool is_known_type(std::uint8_t type) {
     case MsgType::kEndOp:
     case MsgType::kStatus:
     case MsgType::kShutdown:
+    case MsgType::kResume:
     case MsgType::kHelloOk:
     case MsgType::kRegisterOk:
     case MsgType::kBeginOk:
     case MsgType::kEndOk:
     case MsgType::kStatusOk:
     case MsgType::kShutdownOk:
+    case MsgType::kResumeOk:
     case MsgType::kError:
       return true;
   }
@@ -304,6 +342,7 @@ std::string encode_begin_op(const BeginOpMsg& m) {
   w.put_string(m.op);
   w.put_string(m.data_tag);
   w.put_map(m.params);
+  w.put_u64(m.seq);
   return encode_frame(MsgType::kBeginOp, w.str());
 }
 
@@ -313,6 +352,7 @@ BeginOpMsg decode_begin_op(std::string_view payload) {
   m.op = r.get_string();
   m.data_tag = r.get_string();
   m.params = r.get_map();
+  m.seq = r.get_u64();
   r.expect_done();
   return m;
 }
@@ -347,7 +387,21 @@ core::ServiceDecision decode_begin_ok(std::string_view payload) {
   return m;
 }
 
-std::string encode_end_op() { return encode_frame(MsgType::kEndOp, ""); }
+std::string encode_end_op(std::uint64_t seq) {
+  PayloadWriter w;
+  w.put_u64(seq);
+  return encode_frame(MsgType::kEndOp, w.str());
+}
+
+std::uint64_t decode_end_op(std::string_view payload) {
+  // An empty payload is the version-1 form, kept decodable so hand-rolled
+  // clients (and the tests' minimal frames) still mean "end the pending op".
+  if (payload.empty()) return 0;
+  PayloadReader r(payload);
+  const std::uint64_t seq = r.get_u64();
+  r.expect_done();
+  return seq;
+}
 
 std::string encode_end_ok(const core::ServiceOpResult& m) {
   PayloadWriter w;
@@ -411,8 +465,41 @@ std::string encode_shutdown_ok() {
   return encode_frame(MsgType::kShutdownOk, "");
 }
 
+std::string encode_resume(const ResumeMsg& m) {
+  PayloadWriter w;
+  w.put_u64(m.session_id);
+  return encode_frame(MsgType::kResume, w.str());
+}
+
+ResumeMsg decode_resume(std::string_view payload) {
+  PayloadReader r(payload);
+  ResumeMsg m;
+  m.session_id = r.get_u64();
+  r.expect_done();
+  return m;
+}
+
+std::string encode_resume_ok(const ResumeOkMsg& m) {
+  PayloadWriter w;
+  w.put_string(m.op);
+  w.put_u64(m.seq_begun);
+  w.put_u64(m.seq_completed);
+  return encode_frame(MsgType::kResumeOk, w.str());
+}
+
+ResumeOkMsg decode_resume_ok(std::string_view payload) {
+  PayloadReader r(payload);
+  ResumeOkMsg m;
+  m.op = r.get_string();
+  m.seq_begun = r.get_u64();
+  m.seq_completed = r.get_u64();
+  r.expect_done();
+  return m;
+}
+
 std::string encode_error(const ErrorMsg& m) {
   PayloadWriter w;
+  w.put_u8(static_cast<std::uint8_t>(m.code));
   w.put_string(m.message);
   return encode_frame(MsgType::kError, w.str());
 }
@@ -420,6 +507,7 @@ std::string encode_error(const ErrorMsg& m) {
 ErrorMsg decode_error(std::string_view payload) {
   PayloadReader r(payload);
   ErrorMsg m;
+  m.code = static_cast<ErrorCode>(r.get_u8());
   m.message = r.get_string();
   r.expect_done();
   return m;

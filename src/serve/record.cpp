@@ -206,6 +206,25 @@ std::vector<std::string> split_lines(const std::string& text) {
 
 }  // namespace
 
+// ---- lifecycle events ----------------------------------------------------
+
+bool is_lifecycle_event(const std::string& type) {
+  return type == "serve.shed" || type == "serve.timeout" ||
+         type == "serve.close" || type == "serve.drop" ||
+         type == "serve.resume" || type == "serve.recovered";
+}
+
+// ---- write-ahead-log hygiene ---------------------------------------------
+
+std::size_t strip_partial_tail(std::string& text) {
+  if (text.empty() || text.back() == '\n') return 0;
+  const std::size_t cut = text.find_last_of('\n');
+  const std::size_t keep = cut == std::string::npos ? 0 : cut + 1;
+  const std::size_t dropped = text.size() - keep;
+  text.resize(keep);
+  return dropped;
+}
+
 // ---- rendering -----------------------------------------------------------
 
 std::string render_session_line(std::uint64_t sid, double t,
@@ -265,6 +284,7 @@ std::string canonicalize_record(const std::string& text) {
     ++lineno;
     LineScanner s(line, lineno);
     const std::string& type = s.str("type");
+    if (is_lifecycle_event(type)) continue;
     Keyed k{s.uint("sid"), 0, &line};
     if (type == "serve.session") {
       k.order = 0;
@@ -302,6 +322,7 @@ std::vector<ReplaySession> parse_record(const std::string& text) {
     ++lineno;
     LineScanner s(line, lineno);
     const std::string& type = s.str("type");
+    if (is_lifecycle_event(type)) continue;
     const std::uint64_t sid = s.uint("sid");
     const std::string where = "record line " + std::to_string(lineno) + ": ";
     if (type == "serve.session") {

@@ -42,12 +42,32 @@ std::string render_begin_line(std::uint64_t sid, std::uint64_t seq,
 std::string render_end_line(std::uint64_t sid, std::uint64_t seq,
                             const core::ServiceOpResult& result);
 
+// ---- lifecycle events ----------------------------------------------------
+
+// Besides the three core record events above, the daemon writes
+// operational lifecycle lines (sheds, timeouts, forced closes, dropped
+// replies, resumes) into the same log so its self-protection actions are
+// observable next to the traffic they affected. These are metadata: the
+// canonical form and the replay parser skip them, because session replay
+// is a pure function of the core lines alone. The set is closed — an
+// unknown "serve.*" type is still a hard error, so corruption cannot hide
+// behind the skip rule.
+bool is_lifecycle_event(const std::string& type);
+
+// ---- write-ahead-log hygiene ---------------------------------------------
+
+// A SIGKILL can leave a partial final line in the log. Drops any trailing
+// bytes after the last newline (in place) and returns how many were
+// removed, so `--resume` can parse the intact prefix and truncate the
+// file before appending to it.
+std::size_t strip_partial_tail(std::string& text);
+
 // ---- canonical form ------------------------------------------------------
 
 // Stable-sorts the record's lines by (sid, operation order) so two records
 // of the same logical session set compare byte-for-byte regardless of how
-// socket arrivals interleaved. Throws util::ContractError on lines that do
-// not parse as record events.
+// socket arrivals interleaved. Lifecycle lines are skipped. Throws
+// util::ContractError on lines that do not parse as record events.
 std::string canonicalize_record(const std::string& text);
 
 // ---- parsing (the replay read path) --------------------------------------
@@ -67,8 +87,9 @@ struct ReplaySession {
   std::vector<ReplayOp> ops;  // ordered by seq
 };
 
-// Parses a record into its sessions (ordered by sid). Throws
-// util::ContractError on malformed lines or inconsistent sequences.
+// Parses a record into its sessions (ordered by sid). Lifecycle lines are
+// skipped. Throws util::ContractError on malformed lines or inconsistent
+// sequences.
 std::vector<ReplaySession> parse_record(const std::string& text);
 
 }  // namespace spectra::serve

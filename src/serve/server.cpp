@@ -9,12 +9,19 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
 #include <list>
+#include <map>
+#include <sstream>
 #include <vector>
 
 #include "obs/trace.h"
+#include "serve/outbuf.h"
 #include "serve/protocol.h"
 #include "serve/record.h"
 #include "util/assert.h"
@@ -23,12 +30,28 @@
 namespace spectra::serve {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   SPECTRA_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
                   "fcntl(O_NONBLOCK) failed: " +
                       std::string(std::strerror(errno)));
 }
+
+// One registered session, decoupled from any particular connection so it
+// can be parked across disconnects and resumed. The cached wire replies
+// make begin/end idempotent on their seq key: a re-issued request whose
+// reply was lost is answered from the cache without re-executing (and
+// without re-recording), so a retrying client can never double-run an op.
+struct SessionState {
+  std::uint64_t sid = 0;
+  std::unique_ptr<core::DecisionService> session;
+  std::uint64_t seq_begun = 0;
+  std::uint64_t seq_completed = 0;
+  std::string begin_reply;  // encoded kBeginOk for seq_begun
+  std::string end_reply;    // encoded kEndOk for seq_completed
+};
 
 // One client connection's state machine.
 struct Connection {
@@ -37,22 +60,19 @@ struct Connection {
   bool greeted = false;
   bool closing = false;  // close once outbuf drains
   FrameReader reader;
-  std::string outbuf;
-  std::size_t outpos = 0;  // bytes of outbuf already written
-  std::unique_ptr<core::DecisionService> session;
-  std::uint64_t seq_begun = 0;
+  OutBuffer out;
+  std::unique_ptr<SessionState> state;
+  Clock::time_point last_activity;      // last byte moved either direction
+  Clock::time_point partial_since;      // when the pending half-frame began
+  bool partial_pending = false;
 
-  void enqueue(std::string bytes) {
-    if (outpos == outbuf.size()) {
-      outbuf = std::move(bytes);
-      outpos = 0;
-    } else {
-      outbuf.append(bytes);
-    }
-  }
-
-  bool drained() const { return outpos == outbuf.size(); }
+  void enqueue(std::string bytes) { out.enqueue(std::move(bytes)); }
+  bool drained() const { return out.drained(); }
 };
+
+// Accepts past max_connections get an in-band kOverloaded refusal; only a
+// flood this far past the limit is dropped without the courtesy reply.
+constexpr std::size_t kShedHeadroom = 64;
 
 }  // namespace
 
@@ -63,6 +83,9 @@ struct Server::Impl {
   int wake_read = -1;   // request_stop() self-pipe
   int wake_write = -1;
   std::list<Connection> connections;
+  // Sessions whose connection died, keyed by sid, resumable via kResume.
+  std::map<std::uint64_t, SessionState> parked;
+  std::deque<std::uint64_t> park_order;  // FIFO eviction past max_parked
   std::unique_ptr<obs::TraceSink> record;
   Stats stats;
   std::atomic<bool> stopping{false};  // request_stop() writes cross-thread
@@ -77,13 +100,93 @@ struct Server::Impl {
     if (wake_write >= 0) ::close(wake_write);
   }
 
+  // Write one line to the record and flush it: the record doubles as a
+  // write-ahead log, so a line must be durable in the kernel before the
+  // reply that acknowledges it can reach the client.
   void record_line(const std::string& line) {
-    if (record) record->write_raw(line + "\n");
+    if (!record) return;
+    record->write_raw(line + "\n");
+    record->flush();
+  }
+
+  void record_lifecycle(const obs::TraceEvent& event) {
+    if (!record) return;
+    record->write_raw(event.to_json() + "\n");
+    record->flush();
+  }
+
+  std::size_t live_sessions() const {
+    std::size_t n = 0;
+    for (const Connection& c : connections) {
+      if (c.state) ++n;
+    }
+    return n;
+  }
+
+  // Move a dying connection's session into the parked map so a later
+  // kResume can re-attach it. Bounded: the oldest parked session is
+  // evicted past max_parked (its history stays in the WAL, so a daemon
+  // restarted with --resume can still reconstruct it).
+  void park_session(Connection& c) {
+    if (!c.state) return;
+    if (config.max_parked == 0) {
+      c.state.reset();
+      return;
+    }
+    const std::uint64_t sid = c.state->sid;
+    parked.insert_or_assign(sid, std::move(*c.state));
+    c.state.reset();
+    park_order.push_back(sid);
+    ++stats.parked;
+    while (parked.size() > config.max_parked && !park_order.empty()) {
+      const std::uint64_t victim = park_order.front();
+      park_order.pop_front();
+      auto it = parked.find(victim);
+      if (it == parked.end()) continue;  // already resumed
+      parked.erase(it);
+      record_lifecycle(obs::TraceEvent("serve.close", 0.0)
+                           .field("sid", static_cast<std::size_t>(victim))
+                           .field("reason", "park_evicted"));
+    }
+  }
+
+  // Count undelivered replies before the socket closes under this
+  // connection; shutdown-drain and forced closes both go through here so
+  // data loss is observable instead of silent.
+  void account_drops(const Connection& c) {
+    const std::size_t frames = c.out.pending_frames();
+    if (frames == 0) return;
+    const std::size_t bytes = c.out.pending_bytes();
+    stats.dropped_frames += frames;
+    stats.dropped_bytes += bytes;
+    record_lifecycle(obs::TraceEvent("serve.drop", 0.0)
+                         .field("sid", static_cast<std::size_t>(c.sid))
+                         .field("frames", frames)
+                         .field("bytes", bytes));
+  }
+
+  // Close and erase one connection, parking its session.
+  std::list<Connection>::iterator destroy(
+      std::list<Connection>::iterator it) {
+    Connection& c = *it;
+    account_drops(c);
+    park_session(c);
+    ::close(c.fd);
+    return connections.erase(it);
+  }
+
+  void shed(Connection& c, const char* scope, const std::string& detail) {
+    ++stats.sheds;
+    record_lifecycle(obs::TraceEvent("serve.shed", 0.0)
+                         .field("sid", static_cast<std::size_t>(c.sid))
+                         .field("scope", scope));
+    throw ServeError(ErrorCode::kOverloaded, detail);
   }
 
   // Dispatch one complete frame; replies are queued on the connection.
-  // ProtocolError → error reply and connection teardown; ContractError and
-  // other std::exception → error reply, connection stays usable.
+  // ProtocolError → error reply and connection teardown; ServeError →
+  // coded error reply, connection stays usable; ContractError and other
+  // std::exception → generic error reply, connection stays usable.
   void dispatch(Connection& c, const Frame& frame) {
     switch (frame.type) {
       case MsgType::kHello: {
@@ -102,48 +205,131 @@ struct Server::Impl {
       case MsgType::kRegisterApp: {
         const RegisterAppMsg m = decode_register_app(frame.payload);
         SPECTRA_REQUIRE(c.greeted, "register_app before hello");
-        SPECTRA_REQUIRE(!c.session, "session already registered");
-        c.session = factory(m.app, m.scenario, m.seed);
-        const core::ServiceStatus st = c.session->status();
-        record_line(render_session_line(c.sid, st.virtual_now, st));
+        SPECTRA_REQUIRE(!c.state, "session already registered");
+        if (live_sessions() >= config.max_sessions) {
+          shed(c, "sessions",
+               "session limit reached (" +
+                   std::to_string(config.max_sessions) + "); retry later");
+        }
+        auto st = std::make_unique<SessionState>();
+        st->sid = c.sid;
+        st->session = factory(m.app, m.scenario, m.seed);
+        const core::ServiceStatus status = st->session->status();
+        record_line(render_session_line(c.sid, status.virtual_now, status));
+        c.state = std::move(st);
         RegisterOkMsg ok;
-        ok.op = st.op;
+        ok.op = status.op;
         c.enqueue(encode_register_ok(ok));
+        return;
+      }
+      case MsgType::kResume: {
+        const ResumeMsg m = decode_resume(frame.payload);
+        SPECTRA_REQUIRE(c.greeted, "resume before hello");
+        SPECTRA_REQUIRE(!c.state, "session already registered");
+        auto it = parked.find(m.session_id);
+        if (it != parked.end()) {
+          c.state = std::make_unique<SessionState>(std::move(it->second));
+          parked.erase(it);
+        } else {
+          // The previous connection may still look alive to us (the
+          // client saw a failure we have not noticed yet). Steal the
+          // session; the zombie connection drains and closes.
+          for (Connection& other : connections) {
+            if (&other != &c && other.state &&
+                other.state->sid == m.session_id) {
+              c.state = std::move(other.state);
+              other.closing = true;
+              break;
+            }
+          }
+        }
+        if (!c.state) {
+          throw ServeError(ErrorCode::kUnknownSession,
+                           "no session " + std::to_string(m.session_id) +
+                               " to resume");
+        }
+        c.sid = c.state->sid;
+        ++stats.resumed;
+        record_lifecycle(obs::TraceEvent("serve.resume", 0.0)
+                             .field("sid", static_cast<std::size_t>(c.sid))
+                             .field("seq_begun",
+                                    static_cast<std::size_t>(
+                                        c.state->seq_begun))
+                             .field("seq_completed",
+                                    static_cast<std::size_t>(
+                                        c.state->seq_completed)));
+        ResumeOkMsg ok;
+        ok.op = c.state->session->status().op;
+        ok.seq_begun = c.state->seq_begun;
+        ok.seq_completed = c.state->seq_completed;
+        c.enqueue(encode_resume_ok(ok));
         return;
       }
       case MsgType::kBeginOp: {
         const BeginOpMsg m = decode_begin_op(frame.payload);
-        SPECTRA_REQUIRE(c.session, "begin_op before register_app");
+        SPECTRA_REQUIRE(c.state, "begin_op before register_app");
+        SessionState& st = *c.state;
+        const std::uint64_t seq = m.seq == 0 ? st.seq_begun + 1 : m.seq;
+        if (seq == st.seq_begun && seq > 0) {
+          // Idempotent re-issue of the op we already began: answer from
+          // the cache, do not re-execute or re-record.
+          ++stats.replayed_cached;
+          c.enqueue(st.begin_reply);
+          return;
+        }
+        if (seq != st.seq_begun + 1) {
+          throw ServeError(ErrorCode::kBadSeq,
+                           "begin seq " + std::to_string(seq) +
+                               " is neither cached (" +
+                               std::to_string(st.seq_begun) + ") nor next (" +
+                               std::to_string(st.seq_begun + 1) + ")");
+        }
         core::ServiceBeginRequest req;
         req.op = m.op;
         req.data_tag = m.data_tag;
         req.params = m.params;
-        const core::ServiceDecision d = c.session->begin_op(req);
-        ++c.seq_begun;
+        const core::ServiceDecision d = st.session->begin_op(req);
+        st.seq_begun = seq;
         // Record the request with the operation name resolved, so replay
         // renders the identical line from its own register_ok.
         core::ServiceBeginRequest recorded = req;
-        if (recorded.op.empty()) recorded.op = c.session->status().op;
-        record_line(render_begin_line(c.sid, c.seq_begun, recorded, d));
-        c.enqueue(encode_begin_ok(d));
+        if (recorded.op.empty()) recorded.op = st.session->status().op;
+        record_line(render_begin_line(c.sid, st.seq_begun, recorded, d));
+        st.begin_reply = encode_begin_ok(d);
+        c.enqueue(st.begin_reply);
         return;
       }
       case MsgType::kEndOp: {
-        decode_empty(frame.payload, frame.type);
-        SPECTRA_REQUIRE(c.session, "end_op before register_app");
-        const core::ServiceOpResult r = c.session->end_op();
+        const std::uint64_t requested = decode_end_op(frame.payload);
+        SPECTRA_REQUIRE(c.state, "end_op before register_app");
+        SessionState& st = *c.state;
+        const std::uint64_t seq = requested == 0 ? st.seq_begun : requested;
+        if (seq == st.seq_completed && seq > 0) {
+          ++stats.replayed_cached;
+          c.enqueue(st.end_reply);
+          return;
+        }
+        if (seq != st.seq_completed + 1) {
+          throw ServeError(ErrorCode::kBadSeq,
+                           "end seq " + std::to_string(seq) +
+                               " is neither cached (" +
+                               std::to_string(st.seq_completed) +
+                               ") nor next (" +
+                               std::to_string(st.seq_completed + 1) + ")");
+        }
+        const core::ServiceOpResult r = st.session->end_op();
+        st.seq_completed = r.seq;
         record_line(render_end_line(c.sid, r.seq, r));
         ++stats.ops;
-        c.enqueue(encode_end_ok(r));
+        st.end_reply = encode_end_ok(r);
+        c.enqueue(st.end_reply);
         return;
       }
       case MsgType::kStatus: {
         decode_empty(frame.payload, frame.type);
         StatusOkMsg ok;
-        if (c.session) ok.session = c.session->status();
-        for (const Connection& other : connections) {
-          if (other.session) ++ok.sessions_active;
-        }
+        if (c.state) ok.session = c.state->session->status();
+        ok.sessions_active = live_sessions();
         ok.ops_served = stats.ops;
         c.enqueue(encode_status_ok(ok));
         return;
@@ -174,50 +360,72 @@ struct Server::Impl {
     if (n < 0) {
       return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
     }
+    c.last_activity = Clock::now();
     try {
       c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
       while (auto frame = c.reader.next()) {
         try {
           dispatch(c, *frame);
         } catch (const ProtocolError& e) {
-          c.enqueue(encode_error(ErrorMsg{e.what()}));
+          ++stats.protocol_errors;
+          c.enqueue(encode_error(ErrorMsg{ErrorCode::kProtocol, e.what()}));
           c.closing = true;
-          return true;
+          break;
+        } catch (const ServeError& e) {
+          c.enqueue(encode_error(ErrorMsg{e.code(), e.what()}));
         } catch (const std::exception& e) {
-          c.enqueue(encode_error(ErrorMsg{e.what()}));
+          c.enqueue(encode_error(ErrorMsg{ErrorCode::kGeneric, e.what()}));
         }
         if (c.closing || stopping) break;
       }
     } catch (const ProtocolError& e) {
       // Malformed framing: the byte stream is unrecoverable.
-      c.enqueue(encode_error(ErrorMsg{e.what()}));
+      ++stats.protocol_errors;
+      c.enqueue(encode_error(ErrorMsg{ErrorCode::kProtocol, e.what()}));
       c.closing = true;
+    }
+    // Half-frame deadline bookkeeping: remember when the oldest byte of
+    // an incomplete frame arrived.
+    if (c.reader.pending_bytes() > 0) {
+      if (!c.partial_pending) {
+        c.partial_pending = true;
+        c.partial_since = c.last_activity;
+      }
+    } else {
+      c.partial_pending = false;
+    }
+    // A consumer that lets replies pile past the cap is disconnected:
+    // unread replies are its own loss, unbounded memory would be ours.
+    if (config.max_outbuf_bytes > 0 &&
+        c.out.pending_bytes() > config.max_outbuf_bytes) {
+      ++stats.slow_consumer_closes;
+      record_lifecycle(obs::TraceEvent("serve.close", 0.0)
+                           .field("sid", static_cast<std::size_t>(c.sid))
+                           .field("reason", "slow_consumer")
+                           .field("bytes", c.out.pending_bytes()));
+      return false;
     }
     return true;
   }
 
   bool on_writable(Connection& c) {
-    while (!c.drained()) {
-      std::size_t len = c.outbuf.size() - c.outpos;
+    while (!c.out.drained()) {
+      std::size_t len = c.out.pending_bytes();
       if (config.max_write_chunk > 0 && config.max_write_chunk < len) {
         len = config.max_write_chunk;
       }
       // MSG_NOSIGNAL: a client that vanished with unread data (RST) makes
       // this fail with EPIPE instead of raising SIGPIPE and killing the
       // whole daemon; the error path below tears the connection down.
-      const ssize_t n =
-          ::send(c.fd, c.outbuf.data() + c.outpos, len, MSG_NOSIGNAL);
+      const ssize_t n = ::send(c.fd, c.out.data(), len, MSG_NOSIGNAL);
       if (n < 0) {
         return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
       }
-      c.outpos += static_cast<std::size_t>(n);
+      if (n > 0) c.last_activity = Clock::now();
+      c.out.advance(static_cast<std::size_t>(n));
       if (config.max_write_chunk > 0) break;  // one capped chunk per wakeup
     }
-    if (c.drained()) {
-      c.outbuf.clear();
-      c.outpos = 0;
-      if (c.closing) return false;
-    }
+    if (c.out.drained() && c.closing) return false;
     return true;
   }
 
@@ -226,15 +434,116 @@ struct Server::Impl {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) return;  // EAGAIN, or transient accept failure
       if (connections.size() >= config.max_connections) {
-        ::close(fd);
+        if (connections.size() >= config.max_connections + kShedHeadroom) {
+          // Far past the limit: drop without the courtesy error so a
+          // flood cannot make us allocate per-victim state.
+          ::close(fd);
+          continue;
+        }
+        // Shed with an in-band retryable refusal instead of a silent
+        // close, so well-behaved clients back off instead of guessing.
+        set_nonblocking(fd);
+        Connection c;
+        c.fd = fd;
+        c.closing = true;
+        c.last_activity = Clock::now();
+        c.enqueue(encode_error(
+            ErrorMsg{ErrorCode::kOverloaded,
+                     "connection limit reached (" +
+                         std::to_string(config.max_connections) +
+                         "); retry later"}));
+        ++stats.sheds;
+        record_lifecycle(obs::TraceEvent("serve.shed", 0.0)
+                             .field("sid", std::size_t{0})
+                             .field("scope", "connections"));
+        connections.push_back(std::move(c));
         continue;
       }
       set_nonblocking(fd);
       Connection c;
       c.fd = fd;
       c.sid = ++next_sid;
+      c.last_activity = Clock::now();
       connections.push_back(std::move(c));
       ++stats.connections;
+    }
+  }
+
+  // Close connections that blew an idle or half-frame deadline.
+  void sweep_deadlines() {
+    if (config.idle_timeout_s <= 0.0 && config.frame_timeout_s <= 0.0) {
+      return;
+    }
+    const Clock::time_point now = Clock::now();
+    for (auto it = connections.begin(); it != connections.end();) {
+      Connection& c = *it;
+      const double idle_s =
+          std::chrono::duration<double>(now - c.last_activity).count();
+      const double partial_s =
+          c.partial_pending
+              ? std::chrono::duration<double>(now - c.partial_since).count()
+              : 0.0;
+      if (config.frame_timeout_s > 0.0 &&
+          partial_s > config.frame_timeout_s) {
+        ++stats.frame_timeouts;
+        record_lifecycle(obs::TraceEvent("serve.timeout", 0.0)
+                             .field("sid", static_cast<std::size_t>(c.sid))
+                             .field("kind", "frame")
+                             .field("stalled_s", partial_s));
+        it = destroy(it);
+        continue;
+      }
+      if (config.idle_timeout_s > 0.0 && idle_s > config.idle_timeout_s) {
+        ++stats.idle_timeouts;
+        record_lifecycle(obs::TraceEvent("serve.timeout", 0.0)
+                             .field("sid", static_cast<std::size_t>(c.sid))
+                             .field("kind", "idle")
+                             .field("idle_s", idle_s));
+        it = destroy(it);
+        continue;
+      }
+      ++it;
+    }
+  }
+
+  // Rebuild every session recorded in the write-ahead log as a parked
+  // session, replaying its (sid, seq) history through a fresh
+  // DecisionService. Sessions are pure functions of (app, scenario, seed,
+  // request sequence), so the reconstructed state — including the cached
+  // idempotent replies — is byte-identical to the pre-crash daemon's.
+  void replay_wal() {
+    std::ifstream in(config.resume_path, std::ios::binary);
+    SPECTRA_REQUIRE(in.good(),
+                    "cannot open resume log: " + config.resume_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    in.close();
+    // A SIGKILL mid-line leaves a partial tail; parse the intact prefix
+    // and cut the file so appended lines glue onto a clean boundary.
+    stats.wal_truncated_bytes = strip_partial_tail(text);
+    if (stats.wal_truncated_bytes > 0) {
+      std::filesystem::resize_file(config.resume_path, text.size());
+    }
+    for (ReplaySession& sess : parse_record(text)) {
+      SessionState st;
+      st.sid = sess.sid;
+      st.session = factory(sess.app, sess.scenario, sess.seed);
+      for (const ReplayOp& op : sess.ops) {
+        const core::ServiceDecision d = st.session->begin_op(op.request);
+        st.seq_begun = op.seq;
+        st.begin_reply = encode_begin_ok(d);
+        ++stats.wal_ops;
+        if (op.has_end) {
+          const core::ServiceOpResult r = st.session->end_op();
+          st.seq_completed = r.seq;
+          st.end_reply = encode_end_ok(r);
+        }
+      }
+      if (sess.sid > next_sid) next_sid = sess.sid;
+      park_order.push_back(sess.sid);
+      parked.insert_or_assign(sess.sid, std::move(st));
+      ++stats.wal_sessions;
     }
   }
 };
@@ -282,8 +591,20 @@ std::uint16_t Server::bind() {
   SPECTRA_REQUIRE(::getsockname(s.listen_fd,
                                 reinterpret_cast<sockaddr*>(&addr), &len) == 0,
                   "getsockname() failed");
+  if (!s.config.resume_path.empty()) s.replay_wal();
   if (!s.config.record_path.empty()) {
-    s.record = obs::TraceSink::open(s.config.record_path);
+    // When continuing the log we replayed from, append; a fresh record
+    // path truncates as before.
+    const bool append = s.config.record_path == s.config.resume_path;
+    s.record = obs::TraceSink::open(s.config.record_path, append);
+  }
+  if (!s.config.resume_path.empty()) {
+    s.record_lifecycle(
+        obs::TraceEvent("serve.recovered", 0.0)
+            .field("sessions", static_cast<std::size_t>(s.stats.wal_sessions))
+            .field("ops", static_cast<std::size_t>(s.stats.wal_ops))
+            .field("truncated_bytes",
+                   static_cast<std::size_t>(s.stats.wal_truncated_bytes)));
   }
   return ntohs(addr.sin_port);
 }
@@ -305,6 +626,19 @@ Server::Stats Server::run() {
         if (!c.drained()) pending = true;
       }
       if (!pending || ++drain_rounds > kMaxDrainRounds) break;
+    } else {
+      s.sweep_deadlines();
+    }
+
+    // A connection that finished draining after being marked closing (or
+    // was marked with nothing pending, e.g. its session was stolen by a
+    // resume) would otherwise poll no events and linger forever.
+    for (auto it = s.connections.begin(); it != s.connections.end();) {
+      if (it->closing && it->drained()) {
+        it = s.destroy(it);
+      } else {
+        ++it;
+      }
     }
 
     // The wake pipe, shutdown self-pipe, and listener matter only until a
@@ -332,7 +666,13 @@ Server::Stats Server::run() {
       fds.push_back({c.fd, events, 0});
     }
 
-    const int timeout_ms = s.stopping ? 50 : 500;
+    int timeout_ms = s.stopping ? 50 : 500;
+    // Deadline sweeps need the loop to tick while connections sit idle;
+    // 50 ms granularity bounds how late a timeout can fire.
+    if (!s.stopping && !s.connections.empty() &&
+        (s.config.idle_timeout_s > 0.0 || s.config.frame_timeout_s > 0.0)) {
+      timeout_ms = 50;
+    }
     const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
@@ -369,24 +709,23 @@ Server::Stats Server::run() {
         alive = s.on_writable(c);
       }
       if (!alive) {
-        ::close(c.fd);
-        it = s.connections.erase(it);
+        it = s.destroy(it);
       } else {
         ++it;
       }
     }
   }
 
-  for (Connection& c : s.connections) {
-    ::close(c.fd);
-    c.fd = -1;
+  for (auto it = s.connections.begin(); it != s.connections.end();) {
+    it = s.destroy(it);
   }
-  s.connections.clear();
   ::close(s.listen_fd);
   s.listen_fd = -1;
   s.record.reset();  // flush the operation-trace record
   return s.stats;
 }
+
+const Server::Stats& Server::stats() const { return impl_->stats; }
 
 void Server::request_stop() {
   impl_->stopping = true;

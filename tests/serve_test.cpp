@@ -24,14 +24,17 @@
 #include <thread>
 #include <vector>
 
+#include "fault/wire_chaos.h"
 #include "scenario/app_service.h"
 #include "serve/client.h"
 #include "serve/loadgen.h"
+#include "serve/outbuf.h"
 #include "serve/protocol.h"
 #include "serve/record.h"
 #include "serve/replay.h"
 #include "serve/server.h"
 #include "util/assert.h"
+#include "util/rng.h"
 #include "util/shutdown.h"
 
 namespace spectra::serve {
@@ -466,6 +469,605 @@ TEST(ServerTest, ProcessShutdownRequestStopsTheLoop) {
   const Server::Stats stats = fx.stop();
   EXPECT_FALSE(stats.shutdown_frame);
   util::reset_shutdown_for_tests();
+}
+
+std::string read_file(const std::string& path);  // defined with the golden
+
+// ---- outbuf: partial-write coalescing ------------------------------------
+
+TEST(OutBufferTest, CoalescingResumesPartialWritesAtOutpos) {
+  OutBuffer out;
+  out.enqueue("abcdef");
+  EXPECT_EQ(out.pending_bytes(), 6u);
+  out.advance(4);  // "abcd" went out; "ef" remains
+  EXPECT_EQ(out.pending_bytes(), 2u);
+  EXPECT_EQ(std::string(out.data(), 2), "ef");
+
+  // Appending while a partial write is outstanding must NOT rewind the
+  // cursor: the next write starts at the unsent tail, never resending
+  // bytes the peer already has.
+  out.enqueue("123");
+  EXPECT_EQ(out.pending_bytes(), 5u);
+  EXPECT_EQ(std::string(out.data(), 5), "ef123");
+  EXPECT_EQ(out.pending_frames(), 2u);
+
+  out.advance(2);  // first frame fully delivered
+  EXPECT_EQ(out.frames_delivered(), 1u);
+  EXPECT_EQ(out.pending_frames(), 1u);
+  EXPECT_EQ(std::string(out.data(), 3), "123");
+  out.advance(3);
+  EXPECT_TRUE(out.drained());
+  EXPECT_EQ(out.frames_delivered(), 2u);
+  EXPECT_EQ(out.pending_bytes(), 0u);
+
+  // Enqueue-after-drain reuses the buffer without stale-prefix bleed.
+  out.enqueue("xyz");
+  EXPECT_EQ(std::string(out.data(), 3), "xyz");
+  out.advance(3);
+  EXPECT_TRUE(out.drained());
+
+  EXPECT_THROW(out.advance(1), util::ContractError);  // past pending
+}
+
+// ---- framing: fuzz under randomized splits and corrupt headers -----------
+
+TEST(FrameReaderTest, RandomizedSplitPointsNeverChangeDecodedFrames) {
+  // Property: however the byte stream is fragmented, the reader yields the
+  // identical frame sequence. 100 seeded trials over a mixed stream.
+  BeginOpMsg begin;
+  begin.op = "null.op";
+  begin.params = {{"a", 1.0}, {"b", -2.5}};
+  begin.seq = 3;
+  const std::string stream =
+      encode_hello(HelloMsg{kProtocolVersion, "fuzz"}) +
+      encode_begin_op(begin) + encode_status() + encode_end_op(3) +
+      encode_resume(ResumeMsg{42}) + encode_shutdown();
+
+  FrameReader reference;
+  std::vector<Frame> expected;
+  reference.feed(stream);
+  while (auto f = reference.next()) expected.push_back(std::move(*f));
+  ASSERT_EQ(expected.size(), 6u);
+
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 100; ++trial) {
+    FrameReader reader;
+    std::vector<Frame> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<long>(stream.size() - off)));
+      reader.feed(std::string_view(stream).substr(off, n));
+      off += n;
+      while (auto f = reader.next()) got.push_back(std::move(*f));
+    }
+    ASSERT_EQ(got.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].type, expected[i].type) << "trial " << trial;
+      EXPECT_EQ(got[i].payload, expected[i].payload) << "trial " << trial;
+    }
+    EXPECT_EQ(reader.pending_bytes(), 0u);
+  }
+}
+
+TEST(FrameReaderTest, CorruptHeadersAlwaysRejectedAtHeaderBoundary) {
+  // Property: a header carrying an oversized length or an unknown type
+  // byte throws ProtocolError — the framing taxonomy is "violation ⇒
+  // connection drop", never a silent resync. Seeded over 200 corruptions.
+  util::Rng rng(97);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string header;
+    const bool oversized = rng.bernoulli(0.5);
+    std::uint32_t len;
+    if (oversized) {
+      len = kMaxPayload + 1 +
+            static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    } else {
+      len = static_cast<std::uint32_t>(rng.uniform_int(0, 64));
+    }
+    for (int i = 0; i < 4; ++i) {
+      header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+    }
+    std::uint8_t type = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (!oversized) {
+      // Force an unknown type; known request/response bytes are valid.
+      while (is_known_type(type)) {
+        type = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+    }
+    header.push_back(static_cast<char>(type));
+
+    FrameReader reader;
+    bool threw = false;
+    // Feed in random fragments: the throw may come on any fragment, but
+    // must come no later than the header's 5th byte.
+    try {
+      std::size_t off = 0;
+      while (off < header.size()) {
+        const std::size_t n = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<long>(header.size() - off)));
+        reader.feed(std::string_view(header).substr(off, n));
+        off += n;
+      }
+    } catch (const ProtocolError&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "trial " << trial << " len=" << len
+                       << " type=" << static_cast<int>(type);
+  }
+}
+
+// ---- protocol: error codes and idempotency keys --------------------------
+
+TEST(ProtocolTest, ErrorCodeTaxonomy) {
+  EXPECT_TRUE(retryable(ErrorCode::kOverloaded));
+  EXPECT_TRUE(retryable(ErrorCode::kShuttingDown));
+  EXPECT_FALSE(retryable(ErrorCode::kGeneric));
+  EXPECT_FALSE(retryable(ErrorCode::kProtocol));
+  EXPECT_FALSE(retryable(ErrorCode::kUnknownSession));
+  EXPECT_FALSE(retryable(ErrorCode::kBadSeq));
+
+  const std::string coded =
+      encode_error(ErrorMsg{ErrorCode::kOverloaded, "busy"});
+  const ErrorMsg e = decode_error(coded.substr(kFrameHeader));
+  EXPECT_EQ(e.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(e.message, "busy");
+}
+
+TEST(ProtocolTest, BeginAndEndCarrySeqKeys) {
+  BeginOpMsg b;
+  b.op = "null.op";
+  b.seq = 9;
+  const BeginOpMsg b2 =
+      decode_begin_op(encode_begin_op(b).substr(kFrameHeader));
+  EXPECT_EQ(b2.seq, 9u);
+
+  EXPECT_EQ(decode_end_op(encode_end_op(7).substr(kFrameHeader)), 7u);
+  EXPECT_EQ(decode_end_op(encode_end_op().substr(kFrameHeader)), 0u);
+
+  ResumeOkMsg r;
+  r.op = "null.op";
+  r.seq_begun = 4;
+  r.seq_completed = 3;
+  const ResumeOkMsg r2 =
+      decode_resume_ok(encode_resume_ok(r).substr(kFrameHeader));
+  EXPECT_EQ(r2.op, "null.op");
+  EXPECT_EQ(r2.seq_begun, 4u);
+  EXPECT_EQ(r2.seq_completed, 3u);
+}
+
+// ---- records: WAL plumbing -----------------------------------------------
+
+TEST(RecordTest, LifecycleLinesAreSkippedNotRejected) {
+  const std::string text =
+      std::string("{\"type\":\"serve.shed\",\"scope\":\"sessions\"}\n") +
+      render_session_line(1, 8.0, fake_status(1)) + "\n" +
+      "{\"type\":\"serve.timeout\",\"kind\":\"idle\"}\n" +
+      "{\"type\":\"serve.recovered\",\"sessions\":1}\n";
+  // Canonical form contains only the session line.
+  EXPECT_EQ(canonicalize_record(text),
+            render_session_line(1, 8.0, fake_status(1)) + "\n");
+  EXPECT_EQ(parse_record(text).size(), 1u);
+  // The skip list is closed: unknown types still hard-error.
+  EXPECT_THROW(canonicalize_record("{\"type\":\"serve.bogus\"}\n"),
+               util::ContractError);
+}
+
+TEST(RecordTest, StripPartialTailCutsAtLastNewline) {
+  std::string text = "line one\nline two\npartial tai";
+  EXPECT_EQ(strip_partial_tail(text), 11u);
+  EXPECT_EQ(text, "line one\nline two\n");
+  std::string clean = "a\nb\n";
+  EXPECT_EQ(strip_partial_tail(clean), 0u);
+  std::string all_partial = "never-finished";
+  EXPECT_EQ(strip_partial_tail(all_partial), 14u);
+  EXPECT_EQ(all_partial, "");
+}
+
+// ---- server: self-protection ---------------------------------------------
+
+TEST(ServerTest, SessionOverloadShedsWithRetryableError) {
+  ServeConfig cfg;
+  cfg.max_sessions = 1;
+  ServerFixture fx(std::move(cfg));
+
+  BlockingClient first("127.0.0.1", fx.port());
+  first.hello("first");
+  ASSERT_EQ(first.register_app("nullop", "baseline", 1).op, "null.op");
+
+  BlockingClient second("127.0.0.1", fx.port());
+  second.hello("second");
+  try {
+    second.register_app("nullop", "baseline", 1);
+    FAIL() << "expected an overload refusal";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+    EXPECT_TRUE(retryable(e.code()));
+  }
+  // The refusal is in-band: the connection is still usable...
+  EXPECT_EQ(second.status().sessions_active, 1u);
+  // ...and capacity freed by the first client can be claimed.
+  first.close();
+  // The server notices the close asynchronously; retry briefly.
+  for (int i = 0; i < 100; ++i) {
+    try {
+      ASSERT_EQ(second.register_app("nullop", "baseline", 1).op, "null.op");
+      break;
+    } catch (const ServerError& e) {
+      ASSERT_EQ(e.code(), ErrorCode::kOverloaded);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(second.begin_op(BeginOpMsg{}).ok);
+  EXPECT_TRUE(second.end_op().ok);
+  second.close();
+  const Server::Stats stats = fx.stop();
+  EXPECT_GE(stats.sheds, 1u);
+}
+
+TEST(ServerTest, ConnectionOverloadShedsWithErrorThenClose) {
+  ServeConfig cfg;
+  cfg.max_connections = 1;
+  ServerFixture fx(std::move(cfg));
+
+  BlockingClient occupant("127.0.0.1", fx.port());
+  occupant.hello("occupant");
+
+  BlockingClient shed_me("127.0.0.1", fx.port());
+  const Frame reply = shed_me.read_frame();  // refusal arrives unprompted
+  ASSERT_EQ(reply.type, MsgType::kError);
+  const ErrorMsg e = decode_error(reply.payload);
+  EXPECT_EQ(e.code, ErrorCode::kOverloaded);
+  // Then the daemon closes the shed connection.
+  EXPECT_THROW(shed_me.read_frame(), util::ContractError);
+  shed_me.close();
+
+  // The occupant is unaffected.
+  EXPECT_EQ(occupant.register_app("nullop", "baseline", 1).op, "null.op");
+  occupant.close();
+  const Server::Stats stats = fx.stop();
+  EXPECT_GE(stats.sheds, 1u);
+  EXPECT_EQ(stats.connections, 1u);  // shed connections are not counted
+}
+
+TEST(ServerTest, IdleConnectionTimedOutAndCounted) {
+  ServeConfig cfg;
+  cfg.idle_timeout_s = 0.15;
+  ServerFixture fx(std::move(cfg));
+  BlockingClient idler("127.0.0.1", fx.port());
+  idler.hello("idler");
+  // Send nothing; the daemon must cut us loose.
+  EXPECT_THROW({
+    for (int i = 0; i < 100; ++i) idler.read_frame();
+  }, util::ContractError);
+  idler.close();
+  const Server::Stats stats = fx.stop();
+  EXPECT_GE(stats.idle_timeouts, 1u);
+}
+
+TEST(ServerTest, StalledHalfFrameTimedOutAndCounted) {
+  ServeConfig cfg;
+  cfg.frame_timeout_s = 0.15;
+  cfg.idle_timeout_s = 60.0;  // the frame deadline must fire first
+  ServerFixture fx(std::move(cfg));
+  BlockingClient slowloris("127.0.0.1", fx.port());
+  const std::string frame =
+      encode_hello(HelloMsg{kProtocolVersion, "slowloris"});
+  slowloris.send_raw(std::string_view(frame).substr(0, 3));
+  // Never send the rest: a slowloris holding a half-read frame.
+  EXPECT_THROW({
+    for (int i = 0; i < 100; ++i) slowloris.read_frame();
+  }, util::ContractError);
+  slowloris.close();
+  const Server::Stats stats = fx.stop();
+  EXPECT_GE(stats.frame_timeouts, 1u);
+  EXPECT_EQ(stats.idle_timeouts, 0u);
+}
+
+TEST(ServerTest, SlowConsumerDisconnectedWhenOutbufOverflows) {
+  ServeConfig cfg;
+  cfg.max_outbuf_bytes = 64;  // far below one burst of replies
+  ServerFixture fx(std::move(cfg));
+  BlockingClient hog("127.0.0.1", fx.port());
+  // A burst of requests whose replies overflow the bounded outbuf before
+  // we read any of them.
+  std::string burst;
+  for (int i = 0; i < 64; ++i) burst += encode_status();
+  hog.send_raw(encode_hello(HelloMsg{kProtocolVersion, "hog"}) + burst);
+  EXPECT_THROW({
+    for (int i = 0; i < 1000; ++i) hog.read_frame();
+  }, util::ContractError);
+  hog.close();
+  const Server::Stats stats = fx.stop();
+  EXPECT_GE(stats.slow_consumer_closes, 1u);
+  EXPECT_GT(stats.dropped_frames, 0u);  // undelivered replies accounted
+  EXPECT_GT(stats.dropped_bytes, 0u);
+}
+
+// ---- server: session parking, resume, idempotent re-issue ----------------
+
+TEST(ServerTest, SessionSurvivesDisconnectAndResumes) {
+  ServerFixture fx;
+  std::uint64_t sid = 0;
+  {
+    BlockingClient client("127.0.0.1", fx.port());
+    sid = client.hello("disconnector").session_id;
+    client.register_app("nullop", "baseline", 5);
+    ASSERT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+    ASSERT_TRUE(client.end_op().ok);
+    client.close();
+  }
+  // Give the poll loop a moment to notice the close and park the session.
+  BlockingClient back("127.0.0.1", fx.port());
+  back.hello("back");
+  ResumeOkMsg ok;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      ok = back.resume(sid);
+      break;
+    } catch (const ServerError& e) {
+      ASSERT_EQ(e.code(), ErrorCode::kUnknownSession);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(ok.op, "null.op");
+  EXPECT_EQ(ok.seq_begun, 1u);
+  EXPECT_EQ(ok.seq_completed, 1u);
+  // The resumed session continues its history: next op is seq 2.
+  ASSERT_TRUE(back.begin_op(BeginOpMsg{}).ok);
+  EXPECT_EQ(back.end_op().seq, 2u);
+  back.close();
+
+  const Server::Stats stats = fx.stop();
+  EXPECT_GE(stats.parked, 1u);
+  EXPECT_EQ(stats.resumed, 1u);
+}
+
+TEST(ServerTest, ResumeOfUnknownSessionIsCleanInBandError) {
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  client.hello("guesser");
+  try {
+    client.resume(424242);
+    FAIL() << "expected kUnknownSession";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownSession);
+  }
+  // In-band: the connection can still register normally.
+  EXPECT_EQ(client.register_app("nullop", "baseline", 1).op, "null.op");
+}
+
+TEST(ServerTest, ReissuedSeqAnsweredFromCacheWithoutReExecution) {
+  ServerFixture fx;
+  BlockingClient client("127.0.0.1", fx.port());
+  client.hello("reissue");
+  client.register_app("nullop", "baseline", 3);
+
+  BeginOpMsg begin;
+  begin.seq = 1;
+  const core::ServiceDecision d1 = client.begin_op(begin);
+  // Re-issue the same key: byte-identical cached reply, no re-execution.
+  const core::ServiceDecision d2 = client.begin_op(begin);
+  EXPECT_EQ(d2.plan, d1.plan);
+  EXPECT_EQ(d2.placement, d1.placement);
+  EXPECT_DOUBLE_EQ(d2.t, d1.t);
+  EXPECT_DOUBLE_EQ(d2.log_utility, d1.log_utility);
+
+  const core::ServiceOpResult r1 = client.end_op(1);
+  const core::ServiceOpResult r2 = client.end_op(1);
+  EXPECT_EQ(r1.seq, 1u);
+  EXPECT_EQ(r2.seq, 1u);
+  EXPECT_DOUBLE_EQ(r2.t, r1.t);
+
+  // A seq that is neither cached nor next is rejected, in-band.
+  BeginOpMsg bad;
+  bad.seq = 7;
+  try {
+    client.begin_op(bad);
+    FAIL() << "expected kBadSeq";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadSeq);
+  }
+  // Still usable: the next in-order op proceeds.
+  BeginOpMsg next;
+  next.seq = 2;
+  EXPECT_TRUE(client.begin_op(next).ok);
+  EXPECT_EQ(client.end_op(2).seq, 2u);
+  client.close();
+
+  const Server::Stats stats = fx.stop();
+  EXPECT_EQ(stats.replayed_cached, 2u);
+  EXPECT_EQ(stats.ops, 2u);  // the re-issues did not re-run anything
+}
+
+// ---- server: crash recovery from the write-ahead log ---------------------
+
+TEST(ServerTest, WalResumeContinuesRecordByteIdentically) {
+  const std::string wal = ::testing::TempDir() + "/serve_wal_resume.jsonl";
+  const std::string reference =
+      ::testing::TempDir() + "/serve_wal_reference.jsonl";
+  std::remove(wal.c_str());
+  std::remove(reference.c_str());
+
+  std::uint64_t sid = 0;
+  {
+    // Phase 1: a session does two ops, then the daemon "dies".
+    ServeConfig cfg;
+    cfg.record_path = wal;
+    ServerFixture fx(std::move(cfg));
+    BlockingClient client("127.0.0.1", fx.port());
+    sid = client.hello("phase1").session_id;
+    client.register_app("nullop", "baseline", 11);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+      ASSERT_TRUE(client.end_op().ok);
+    }
+    client.close();
+    fx.stop();
+  }
+  // Simulate a SIGKILL mid-line: a partial tail glued onto the log.
+  {
+    std::ofstream out(wal, std::ios::binary | std::ios::app);
+    out << "{\"type\":\"begin\",\"sid\":1,\"se";  // cut mid-write
+  }
+  {
+    // Phase 2: restart with --resume on the same log, re-attach, continue.
+    ServeConfig cfg;
+    cfg.record_path = wal;
+    cfg.resume_path = wal;
+    ServerFixture fx(std::move(cfg));
+    BlockingClient client("127.0.0.1", fx.port());
+    client.hello("phase2");
+    const ResumeOkMsg ok = client.resume(sid);
+    EXPECT_EQ(ok.seq_begun, 2u);
+    EXPECT_EQ(ok.seq_completed, 2u);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+      ASSERT_TRUE(client.end_op().ok);
+    }
+    client.close();
+    const Server::Stats stats = fx.stop();
+    EXPECT_EQ(stats.wal_sessions, 1u);
+    EXPECT_EQ(stats.wal_ops, 2u);
+    EXPECT_GT(stats.wal_truncated_bytes, 0u);
+    EXPECT_EQ(stats.resumed, 1u);
+  }
+  {
+    // Reference: the same four ops with no crash in between.
+    ServeConfig cfg;
+    cfg.record_path = reference;
+    ServerFixture fx(std::move(cfg));
+    BlockingClient client("127.0.0.1", fx.port());
+    client.hello("reference");
+    client.register_app("nullop", "baseline", 11);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+      ASSERT_TRUE(client.end_op().ok);
+    }
+    client.close();
+    fx.stop();
+  }
+
+  // The combined crash+resume record is byte-identical to the
+  // uninterrupted run (lifecycle lines are excluded from canonical form).
+  EXPECT_EQ(canonicalize_record(read_file(wal)),
+            canonicalize_record(read_file(reference)))
+      << "crash + --resume diverged from the uninterrupted run";
+}
+
+// ---- the self-healing client ---------------------------------------------
+
+TEST(ResilientClientTest, SurvivesDaemonKillAndRestart) {
+  const std::string wal = ::testing::TempDir() + "/resilient_wal.jsonl";
+  std::remove(wal.c_str());
+
+  ServeConfig cfg;
+  cfg.record_path = wal;
+  auto fx = std::make_unique<ServerFixture>(cfg);
+  const std::uint16_t port = fx->port();
+
+  ResilientConfig rc;
+  rc.port = port;
+  rc.client_name = "survivor";
+  ResilientClient client(rc);
+  ASSERT_EQ(client.register_app("nullop", "baseline", 13).op, "null.op");
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+    ASSERT_TRUE(client.end_op().ok);
+  }
+
+  // Kill the daemon out from under the client, then restart it on the
+  // same port from the write-ahead log.
+  fx->stop();
+  fx.reset();
+  ServeConfig cfg2;
+  cfg2.port = port;
+  cfg2.record_path = wal;
+  cfg2.resume_path = wal;
+  ServerFixture fx2(std::move(cfg2));
+
+  // The client's next calls ride reconnect → resume → re-issue.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.begin_op(BeginOpMsg{}).ok);
+    const core::ServiceOpResult r = client.end_op();
+    ASSERT_TRUE(r.ok);
+    if (i == 1) {
+      EXPECT_EQ(r.seq, 4u);  // history continued, not restarted
+    }
+  }
+  const ResilientStats& cs = client.stats();
+  EXPECT_GE(cs.reconnects, 1u);
+  EXPECT_GE(cs.resumes, 1u);
+  client.close();
+  const Server::Stats stats = fx2.stop();
+  EXPECT_EQ(stats.wal_sessions, 1u);
+  EXPECT_EQ(stats.wal_ops, 2u);
+}
+
+// ---- wire chaos ----------------------------------------------------------
+
+TEST(WireChaosTest, PlanIsDeterministicAndOrderIndependent) {
+  const fault::WireFaultPlan plan(42);
+  const fault::WireFaultPlan same(42);
+  const fault::WireFaultPlan other(43);
+  bool any_fault = false;
+  bool any_difference = false;
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    for (std::uint64_t r = 0; r < 64; ++r) {
+      const fault::WireAction a = plan.action(c, r);
+      const fault::WireAction b = same.action(c, r);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_DOUBLE_EQ(a.delay_s, b.delay_s);
+      EXPECT_EQ(a.split_chunk, b.split_chunk);
+      if (a.kind != fault::WireFaultKind::kNone) any_fault = true;
+      if (a.kind != other.action(c, r).kind) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_fault);       // the default 25% rate fires somewhere
+  EXPECT_TRUE(any_difference);  // and the seed matters
+  // Querying (2, 7) is the same whether or not other keys were queried
+  // first — the plan is a pure function, safe across threads.
+  EXPECT_EQ(plan.action(2, 7).kind, fault::WireFaultPlan(42).action(2, 7).kind);
+}
+
+TEST(WireChaosTest, TextFormRoundTrips) {
+  fault::WireFaultConfig cfg;
+  cfg.fault_rate = 0.5;
+  cfg.max_delay_s = 0.01;
+  cfg.stall_s = 0.1;
+  cfg.w_rst = 0.0;  // asymmetric weights to catch field swaps
+  const fault::WireFaultPlan plan(7, cfg);
+  const fault::WireFaultPlan reparsed =
+      fault::WireFaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+  for (std::uint64_t r = 0; r < 32; ++r) {
+    EXPECT_EQ(reparsed.action(0, r).kind, plan.action(0, r).kind);
+  }
+  EXPECT_THROW(fault::WireFaultPlan::parse("bogus_key 1\n"),
+               util::ContractError);
+}
+
+TEST(WireChaosTest, ChaosSoakCompletesEveryOpExactlyOnce) {
+  // The acceptance gate in miniature: chaos-mangled clients against a
+  // daemon with deadlines armed. Every op must complete exactly once and
+  // the daemon must stay up throughout.
+  ServeConfig cfg;
+  cfg.frame_timeout_s = 2.0;  // longer than the 0.25 s stall fault
+  ServerFixture fx(std::move(cfg));
+
+  LoadgenConfig lg;
+  lg.port = fx.port();
+  lg.clients = 4;
+  lg.ops_per_client = 6;
+  lg.seed = 99;
+  lg.chaos_intensity = 1.5;
+  const LoadgenStats stats = run_loadgen(lg);
+  EXPECT_EQ(stats.errors, 0u) << stats.first_error;
+  EXPECT_EQ(stats.ops, 24u);
+  EXPECT_GT(stats.faults_injected, 0u);
+
+  const Server::Stats server_stats = fx.stop();
+  EXPECT_EQ(server_stats.ops, 24u);  // exactly once, despite re-issues
 }
 
 // ---- record → replay golden ----------------------------------------------
