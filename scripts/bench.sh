@@ -6,9 +6,11 @@
 # machine-readable BENCH_parallel.json. A resilience pass then runs the
 # chaos soak and the fault-recovery bench into BENCH_chaos.json, and a
 # fleet-scale pass runs the fleet_scale ladder (shared-server admission,
-# 64-1000 clients; the 1000-client scale auto-shards into 4 islands) into
+# 64-100k clients; scales past 256 auto-shard into islands) into
 # BENCH_fleet.json, failing if --jobs changes a byte of the deterministic
-# output. An island scaling-curve stage sweeps the sharded fleet across
+# output; a memory ladder then re-runs each scale in its own process to
+# record per-scale peak RSS and bytes-per-client against the pre-diet
+# baselines. An island scaling-curve stage sweeps the sharded fleet across
 # --jobs=1/2/4 and appends events/sec-vs-workers to BENCH_parallel.json.
 #
 # Usage: scripts/bench.sh [build-dir] [jobs]
@@ -215,11 +217,15 @@ grep -E "speedup" "$TMP/recovery.txt"
 } > "$CHAOS_OUT"
 echo "wrote $CHAOS_OUT"
 
-# Fleet-scale numbers: the fleet_scale ladder (64/256/1000 clients against
-# shared admission-controlled server pools) with per-scale p50/p99 latency,
-# server utilization, aggregate energy, Jain's fairness, and wall-clock
-# decision throughput. The deterministic table body must be byte-identical
-# between --jobs=1 and --jobs=N; the run fails loudly if it is not.
+# Fleet-scale numbers: the fleet_scale ladder (64/256/1000/10k/100k
+# clients against shared admission-controlled server pools) with per-scale
+# p50/p99 latency, server utilization, aggregate energy, Jain's fairness,
+# and wall-clock decision throughput. The deterministic table body must be
+# byte-identical between --jobs=1 and --jobs=N; the run fails loudly if it
+# is not. A memory ladder then re-runs each scale in its own process (peak
+# RSS is process-global and monotonic, so per-scale numbers need per-scale
+# processes) and records peak RSS, allocator high-water, and
+# bytes-per-client against the pre-diet seed baselines.
 FLEET_OUT="BENCH_fleet.json"
 "$BUILD/bench/fleet_scale" --jobs=1 --json="$TMP/fleet_seq.json" \
     > "$TMP/fleet_seq.txt"
@@ -236,10 +242,37 @@ else
   exit 1
 fi
 cat "$TMP/fleet_par.txt"
-python3 - "$TMP/fleet_seq.json" "$TMP/fleet_par.json" "$FLEET_OUT" <<PYEOF
+MEM_SCALES=(64 256 1000 10000 100000)
+for n in "${MEM_SCALES[@]}"; do
+  "$BUILD/bench/fleet_scale" --clients="$n" --jobs="$JOBS" \
+      --json="$TMP/fleet_mem_$n.json" > /dev/null
+done
+python3 - "$TMP" "$FLEET_OUT" "${MEM_SCALES[@]}" <<PYEOF
 import json, sys
-seq = json.load(open(sys.argv[1]))
-par = json.load(open(sys.argv[2]))
+tmp, out_path, scales = sys.argv[1], sys.argv[2], sys.argv[3:]
+seq = json.load(open(f'{tmp}/fleet_seq.json'))
+par = json.load(open(f'{tmp}/fleet_par.json'))
+# Pre-diet seed baselines: peak RSS of the single-scale run before the
+# memory-lean client-state work (scattered per-client heap objects, dense
+# per-tenant admission arrays), measured on the reference host. Only rungs
+# where the working set dwarfs the ~5 MB process baseline are listed —
+# smaller rungs would compare fixed overhead, not per-client state.
+PRE_DIET_RSS_KB = {10000: 23084, 100000: 809076}
+mem = []
+for n in scales:
+    doc = json.load(open(f'{tmp}/fleet_mem_{n}.json'))
+    m, n = doc['mem'], int(n)
+    row = {'clients': n,
+           'peak_rss_bytes': m['peak_rss_bytes'],
+           'peak_live_bytes': m['peak_live_bytes'],
+           'bytes_per_client': m['bytes_per_client'],
+           'events_per_sec': doc['scales'][0]['wall']['events_per_sec']}
+    if n in PRE_DIET_RSS_KB:
+        pre = PRE_DIET_RSS_KB[n] * 1024
+        row['pre_diet_peak_rss_bytes'] = pre
+        row['pre_diet_bytes_per_client'] = pre // n
+        row['rss_reduction'] = round(pre / m['peak_rss_bytes'], 2)
+    mem.append(row)
 out = {
     'harness': 'scripts/bench.sh',
     'jobs': $JOBS,
@@ -248,9 +281,22 @@ out = {
     'jobs_identical': True,  # the cmp gate above exits 1 otherwise
     'scales': par['scales'],
     'seq_wall': [s['wall'] for s in seq['scales']],
+    'mem': {
+        'note': 'one process per scale; peak_rss_bytes is the OS high-water '
+                '(getrusage), peak_live_bytes the tracking-allocator '
+                'high-water, pre_diet_* the seed baselines recorded before '
+                'the memory-lean client-state work',
+        'scales': mem,
+    },
 }
-json.dump(out, open(sys.argv[3], 'w'), indent=2)
-print('wrote', sys.argv[3])
+json.dump(out, open(out_path, 'w'), indent=2)
+for row in mem:
+    red = (f", {row['rss_reduction']}x smaller than pre-diet"
+           if 'rss_reduction' in row else '')
+    print(f"  mem {row['clients']}: peak RSS "
+          f"{row['peak_rss_bytes'] / 1048576:.1f} MiB "
+          f"({row['bytes_per_client']} B/client){red}")
+print('wrote', out_path)
 PYEOF
 
 # Daemon numbers: a loopback serve daemon under `spectra loadgen` — 64

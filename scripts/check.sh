@@ -14,7 +14,10 @@
 # recovery whose combined record must be byte-identical to an
 # uninterrupted run. A UBSan smoke then drives the fault paths (chaos +
 # journal suites and a small CLI soak), and a ~25-plan chaos soak across
-# all three applications closes the run.
+# all three applications follows. Perf smokes gate the decision hot path
+# and fleet throughput against scripts/perf_baseline.json floors, and a
+# memory smoke gates the 100k-client world's peak RSS against the
+# fleet_mem_ceiling bytes-per-client ceiling.
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -244,6 +247,11 @@ cmake --build "$SMOKE" -j "$(nproc)" --target obs_test fleet_test spectra
 "$SMOKE/tests/obs_test"
 "$SMOKE/tests/fleet_test"
 "$SMOKE/src/cli/spectra" scenarios >/dev/null
+# 10k-client multi-island fleet under ASan: the SoA client store, the
+# per-island tick arenas, and the admission cookie/metadata slot reuse at
+# scale — exactly the structures the memory diet rebuilt.
+"$SMOKE/src/cli/spectra" fleet --clients=10000 --servers=80 --islands=8 \
+    --horizon=30 --jobs=4 >/dev/null
 
 echo "== sanitize smoke (thread) =="
 TSMOKE="$BUILD-tsan"
@@ -257,6 +265,11 @@ SPECTRA_TRIALS=2 "$TSMOKE/src/cli/spectra" speech --trials=2 --jobs=4 >/dev/null
 # barrier protocol is a data race here, not just a determinism bug.
 "$TSMOKE/src/cli/spectra" fleet --clients=600 --servers=6 --islands=3 \
     --horizon=30 --jobs=4 >/dev/null
+# And at 10k clients on 8 islands: pool-granular latency buffers and arena
+# resets cross worker threads here, so a misattributed write is a reported
+# race, not a silent fingerprint flake.
+"$TSMOKE/src/cli/spectra" fleet --clients=10000 --servers=80 --islands=8 \
+    --horizon=15 --jobs=4 >/dev/null
 
 echo "== sanitize smoke (undefined) =="
 # UB in the failure paths (journal replay, breaker arithmetic, fingerprint
@@ -332,6 +345,28 @@ failed |= got < limit
 print(f"  fleet_1000 islands={cur['islands']}: {got:.0f} events/s "
       f"(floor*0.9 = {limit:.0f}) {status}")
 sys.exit(1 if failed else 0)
+PYEOF
+
+echo "== mem smoke: fleet at 100k clients =="
+# Memory ceiling gate: the 100k-client world must stay under the
+# bytes-per-client ceiling in scripts/perf_baseline.json (fleet_mem_ceiling).
+# The pre-diet seed sat at ~8.3 KB/client; the diet landed ~1.6 KB/client;
+# the ceiling splits the difference so scattered per-client heap state
+# cannot creep back in without tripping here.
+"$BUILD/bench/fleet_scale" --clients=100000 --jobs="$(nproc)" \
+    --json="$BUILD/fleet_mem_smoke.json" >/dev/null
+python3 - "$BUILD/fleet_mem_smoke.json" <<'PYEOF'
+import json, sys
+mem = json.load(open(sys.argv[1]))['mem']
+gate = json.load(open('scripts/perf_baseline.json'))['fleet_mem_ceiling']
+assert mem['max_clients'] == gate['clients'], \
+    f"mem smoke ran {mem['max_clients']} clients, gate expects {gate['clients']}"
+got = mem['bytes_per_client']
+limit = gate['bytes_per_client_ceiling']
+status = 'ok' if got <= limit else 'REGRESSION'
+print(f"  fleet_100k: {got} bytes/client peak RSS "
+      f"(ceiling {limit}) {status}")
+sys.exit(0 if got <= limit else 1)
 PYEOF
 
 echo "OK"

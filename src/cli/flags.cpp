@@ -28,6 +28,11 @@ const std::map<std::string, std::set<std::string>>& command_table() {
        {"clients", "servers", "seed", "horizon", "policy", "queue-bound",
         "slots", "islands", "lookahead", "workload", "jobs", "fault-plan",
         "json", "trace", "metrics", "verbose"}},
+      // Shared with the bench/fleet_scale binary, which parses itself as
+      // this command so scale typos die with usage instead of OOMing.
+      {"fleet_scale",
+       {"json", "jobs", "clients", "servers", "policy", "islands",
+        "lookahead", "workload", "detect-concurrency", "verbose"}},
       {"faults", {"plan", "fault-plan", "verbose"}},
       {"scenarios", {"verbose"}},
       {"serve",

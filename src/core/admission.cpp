@@ -26,11 +26,40 @@ const char* to_string(AdmissionPolicy policy) {
 AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
   SPECTRA_REQUIRE(config_.service_slots >= 1,
                   "admission queue needs at least one service slot");
+  // Live tags track tenants whose finish tag is still ahead of the virtual
+  // clock — in practice those with work in flight, plus a short tail of
+  // recent finishers the clock has not overtaken yet. Reserving the
+  // structural bound up front (a few hundred bytes per server) keeps
+  // steady-state inserts allocation-free, which FleetAllocationFree
+  // asserts for the whole tick pipeline.
+  tenant_tag_.reserve(config_.queue_bound + 2 * config_.service_slots);
+  queue_.reserve(config_.queue_bound);
+  service_.reserve(config_.service_slots);
+}
+
+double AdmissionQueue::tenant_tag(int tenant) const {
+  const auto it = std::lower_bound(
+      tenant_tag_.begin(), tenant_tag_.end(), tenant,
+      [](const std::pair<int, double>& e, int t) { return e.first < t; });
+  if (it != tenant_tag_.end() && it->first == tenant) return it->second;
+  return 0.0;
+}
+
+void AdmissionQueue::set_tenant_tag(int tenant, double tag) {
+  const auto it = std::lower_bound(
+      tenant_tag_.begin(), tenant_tag_.end(), tenant,
+      [](const std::pair<int, double>& e, int t) { return e.first < t; });
+  if (it != tenant_tag_.end() && it->first == tenant) {
+    it->second = tag;
+  } else {
+    tenant_tag_.insert(it, {tenant, tag});
+  }
 }
 
 std::optional<std::uint64_t> AdmissionQueue::submit(int tenant, double weight,
                                                     util::Cycles cycles,
-                                                    util::Seconds now) {
+                                                    util::Seconds now,
+                                                    std::uint32_t cookie) {
   SPECTRA_REQUIRE(tenant >= 0, "tenant index must be non-negative");
   SPECTRA_REQUIRE(weight > 0.0, "tenant weight must be positive");
   SPECTRA_REQUIRE(cycles > 0.0, "job must carry work");
@@ -41,6 +70,12 @@ std::optional<std::uint64_t> AdmissionQueue::submit(int tenant, double weight,
     ++rejected_;
     return std::nullopt;
   }
+  // Drop tags the virtual clock has overtaken: max(clock, tag) == clock for
+  // them, exactly what a missing entry yields, so pruning cannot change any
+  // tag computation. Keeps the map at backlogged-tenant size.
+  std::erase_if(tenant_tag_, [this](const std::pair<int, double>& e) {
+    return e.second <= virtual_clock_;
+  });
   AdmissionJob job;
   job.id = next_id_++;
   job.tenant = tenant;
@@ -48,15 +83,13 @@ std::optional<std::uint64_t> AdmissionQueue::submit(int tenant, double weight,
   job.cycles = cycles;
   job.remaining = cycles;
   job.submitted_at = now;
-  if (static_cast<std::size_t>(tenant) >= tenant_tag_.size()) {
-    tenant_tag_.resize(static_cast<std::size_t>(tenant) + 1, 0.0);
-  }
+  job.cookie = cookie;
   // Start-time fair queueing: a tenant's next tag continues from its last
   // one while backlogged, but never lags the virtual clock (an idle tenant
   // is not owed the service it never asked for).
-  const double start = std::max(virtual_clock_, tenant_tag_[tenant]);
+  const double start = std::max(virtual_clock_, tenant_tag(tenant));
   job.finish_tag = start + cycles / weight;
-  tenant_tag_[tenant] = job.finish_tag;
+  set_tenant_tag(tenant, job.finish_tag);
   ++admitted_;
   queue_.push_back(job);
   dispatch(now);
@@ -88,7 +121,7 @@ void AdmissionQueue::dispatch(util::Seconds now) {
 
 void AdmissionQueue::advance(util::Seconds now, util::Seconds dt,
                              util::Hertz hz,
-                             std::vector<AdmissionCompletion>* out) {
+                             std::pmr::vector<AdmissionCompletion>* out) {
   SPECTRA_REQUIRE(dt >= 0.0, "cannot advance backwards");
   SPECTRA_REQUIRE(hz > 0.0, "server capacity must be positive");
   util::Seconds cur = now;
@@ -128,7 +161,7 @@ void AdmissionQueue::advance(util::Seconds now, util::Seconds dt,
   }
 }
 
-void AdmissionQueue::abort_all(std::vector<AdmissionJob>* out) {
+void AdmissionQueue::abort_all(std::pmr::vector<AdmissionJob>* out) {
   for (const AdmissionJob& job : queue_) {
     ++aborted_;
     if (out != nullptr) out->push_back(job);

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "util/units.h"
@@ -49,6 +51,11 @@ struct AdmissionJob {
   double finish_tag = 0.0;          // weighted-fair virtual finish time
   util::Seconds submitted_at = 0.0;
   util::Seconds started_at = -1.0;  // dispatch time; -1 while queued
+  // Opaque caller tag carried through completion/abort. The fleet world
+  // uses it as a reusable metadata slot index, so per-server bookkeeping
+  // is bounded by concurrent jobs instead of growing with every job ever
+  // admitted.
+  std::uint32_t cookie = 0;
 };
 
 struct AdmissionCompletion {
@@ -64,20 +71,23 @@ class AdmissionQueue {
 
   // Enqueue one job, returning its id, or nullopt (and a rejected count)
   // when the wait queue is at its bound. Tenants and weights are the
-  // caller's notion of client identity; weight must be positive.
+  // caller's notion of client identity; weight must be positive. `cookie`
+  // rides the job unchanged (see AdmissionJob::cookie).
   std::optional<std::uint64_t> submit(int tenant, double weight,
-                                      util::Cycles cycles, util::Seconds now);
+                                      util::Cycles cycles, util::Seconds now,
+                                      std::uint32_t cookie = 0);
 
   // Serve `dt` seconds at capacity `hz`: dispatch queued jobs into free
   // slots per policy, advance the processor-sharing service piecewise to
   // each completion, and append finished jobs to `out` in completion order.
+  // `out` is pmr so tick-scoped callers can back it with a util::Arena.
   void advance(util::Seconds now, util::Seconds dt, util::Hertz hz,
-               std::vector<AdmissionCompletion>* out);
+               std::pmr::vector<AdmissionCompletion>* out);
 
   // Drop everything in flight (server crash). Aborted jobs append to `out`
   // (queued first, then in-service, each in queue order) so the caller can
   // fail them back to their tenants.
-  void abort_all(std::vector<AdmissionJob>* out);
+  void abort_all(std::pmr::vector<AdmissionJob>* out);
 
   std::size_t queued() const { return queue_.size(); }
   std::size_t in_service() const { return service_.size(); }
@@ -121,8 +131,16 @@ class AdmissionQueue {
   // recent dispatch) and each tenant's last finish tag. Tenant tags only
   // grow while the tenant has jobs in flight; an idle tenant re-anchors at
   // the virtual clock, which is what makes the policy starvation-free.
+  // That re-anchoring is also why the tags live in a sorted flat vector
+  // pruned as the clock overtakes them: an overtaken tag behaves exactly
+  // like an absent one, so state stays proportional to concurrently
+  // backlogged tenants. (The previous dense per-tenant-index array made
+  // every queue's footprint scale with the fleet's client count — at 100k
+  // clients it was most of the world's resident set.)
   double virtual_clock_ = 0.0;
-  std::vector<double> tenant_tag_;  // indexed by tenant, grown on demand
+  std::vector<std::pair<int, double>> tenant_tag_;  // sorted by tenant
+  double tenant_tag(int tenant) const;
+  void set_tenant_tag(int tenant, double tag);
 
   std::uint64_t submitted_ = 0;
   std::uint64_t admitted_ = 0;

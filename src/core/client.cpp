@@ -204,6 +204,22 @@ predict::FeatureVector SpectraClient::make_features(
   return f;
 }
 
+const predict::DemandEstimate& SpectraClient::cached_demand(
+    const predict::OperationModel& model, const predict::FeatureVector& f) {
+  const std::size_t h = f.hash();
+  // Sorted by hash; the equal-hash run (almost always one entry) is
+  // scanned with structural equality, so a hash collision costs a compare,
+  // never a wrong estimate.
+  auto it = std::lower_bound(
+      demand_cache_.begin(), demand_cache_.end(), h,
+      [](const DemandCacheEntry& e, std::size_t key) { return e.hash < key; });
+  for (; it != demand_cache_.end() && it->hash == h; ++it) {
+    if (it->features == f) return it->demand;
+  }
+  it = demand_cache_.insert(it, DemandCacheEntry{h, f, model.predict(f)});
+  return it->demand;
+}
+
 OperationChoice SpectraClient::choose(
     RegisteredOp& op, const std::map<std::string, double>& params,
     const std::string& data_tag) {
@@ -290,16 +306,10 @@ OperationChoice SpectraClient::choose(
   solver::UserMetrics best_metrics;
   solver::TimeBreakdown best_breakdown;
   demand_cache_.clear();
-  const auto cached_demand =
-      [&](const predict::FeatureVector& f) -> const predict::DemandEstimate& {
-    auto [it, miss] = demand_cache_.try_emplace(f);
-    if (miss) it->second = op.model.predict(f);
-    return it->second;
-  };
   const auto eval = [&](const solver::Alternative& alt) {
     const predict::FeatureVector f =
         make_features(op.desc, alt, params, data_tag);
-    const predict::DemandEstimate& demand = cached_demand(f);
+    const predict::DemandEstimate& demand = cached_demand(op.model, f);
     solver::TimeBreakdown tb;
     auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
     // Health feedback into the placement decision: a suspected or failing
@@ -358,7 +368,7 @@ OperationChoice SpectraClient::choose(
     // the per-solve cache — the solver already priced this alternative).
     const predict::FeatureVector f =
         make_features(op.desc, result.best, params, data_tag);
-    const predict::DemandEstimate& demand = cached_demand(f);
+    const predict::DemandEstimate& demand = cached_demand(op.model, f);
     const auto metrics =
         estimator_.estimate(inputs, space, result.best, demand,
                             &best_breakdown);
@@ -654,9 +664,7 @@ std::vector<MachineId> SpectraClient::rank_failover_candidates(
     alt.server = sid;
     const predict::FeatureVector f =
         make_features(op.desc, alt, active_->params, active_->data_tag);
-    auto [demand_it, demand_miss] = demand_cache_.try_emplace(f);
-    if (demand_miss) demand_it->second = op.model.predict(f);
-    const predict::DemandEstimate& demand = demand_it->second;
+    const predict::DemandEstimate& demand = cached_demand(op.model, f);
     solver::TimeBreakdown tb;
     auto metrics = estimator_.estimate(inputs, space, alt, demand, &tb);
     double lu = solver::kInfeasible;

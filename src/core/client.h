@@ -24,7 +24,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/consistency.h"
@@ -361,10 +360,23 @@ class SpectraClient {
   // Per-solve demand cache: one model prediction per distinct feature
   // vector within a single decision (the winner's recompute and any
   // repeated candidate evaluations hit it). Cleared at the start of every
-  // solve; a member so its buckets are reused across decisions.
-  std::unordered_map<predict::FeatureVector, predict::DemandEstimate,
-                     predict::FeatureVectorHash>
-      demand_cache_;
+  // solve; a member so its storage is reused across decisions. A flat
+  // vector sorted by feature hash (structural equality breaks the rare
+  // hash tie) instead of an unordered_map: a solve sees a handful of
+  // distinct vectors, so the map's bucket array was pure per-client
+  // resident overhead at fleet scale.
+  struct DemandCacheEntry {
+    std::size_t hash = 0;
+    predict::FeatureVector features;
+    predict::DemandEstimate demand;
+  };
+  std::vector<DemandCacheEntry> demand_cache_;
+  // Lookup-or-insert into demand_cache_: predicts via `model` on first
+  // sight of `f`, returns the cached estimate otherwise. The reference is
+  // valid until the next insertion.
+  const predict::DemandEstimate& cached_demand(
+      const predict::OperationModel& model,
+      const predict::FeatureVector& f);
 
   std::map<std::string, RegisteredOp> ops_;
   std::optional<ActiveOp> active_;

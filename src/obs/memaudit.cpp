@@ -1,0 +1,244 @@
+#include "obs/memaudit.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace spectra::obs {
+namespace {
+
+constexpr unsigned kScopes = static_cast<unsigned>(MemScopeId::kCount);
+
+// Zero-initialized PODs: safe to touch from any allocation, including ones
+// made before static constructors run.
+std::atomic<long long> g_live[kScopes];
+std::atomic<unsigned long long> g_allocs[kScopes];
+std::atomic<unsigned long long> g_frees[kScopes];
+std::atomic<long long> g_live_total;
+std::atomic<unsigned long long> g_peak_live;
+
+// Scope active on this thread. Plain integral thread_local: constant
+// initialization, so reading it never allocates.
+thread_local unsigned t_scope = 0;
+
+#if defined(SPECTRA_MEMAUDIT)
+
+// Every tracked block carries this header immediately before the payload.
+// 16 bytes, max_align_t-aligned, so payload alignment is preserved for
+// ordinary (non-overaligned) allocations; overaligned requests pad further
+// and record the payload-to-raw offset.
+struct alignas(std::max_align_t) Header {
+  std::uint64_t size;    // requested bytes, scope packed in the top byte
+  std::uint32_t offset;  // payload minus raw malloc pointer
+  std::uint32_t magic;
+};
+static_assert(sizeof(Header) == 16, "audit header must stay 16 bytes");
+
+constexpr std::uint32_t kMagic = 0x53414d41u;
+constexpr std::uint64_t kSizeMask = (1ull << 56) - 1;
+
+void track(unsigned scope, std::size_t bytes) {
+  g_live[scope].fetch_add(static_cast<long long>(bytes),
+                          std::memory_order_relaxed);
+  g_allocs[scope].fetch_add(1, std::memory_order_relaxed);
+  const long long total =
+      g_live_total.fetch_add(static_cast<long long>(bytes),
+                             std::memory_order_relaxed) +
+      static_cast<long long>(bytes);
+  unsigned long long peak = g_peak_live.load(std::memory_order_relaxed);
+  while (total > 0 && static_cast<unsigned long long>(total) > peak &&
+         !g_peak_live.compare_exchange_weak(
+             peak, static_cast<unsigned long long>(total),
+             std::memory_order_relaxed)) {
+  }
+}
+
+void untrack(unsigned scope, std::size_t bytes) {
+  g_live[scope].fetch_sub(static_cast<long long>(bytes),
+                          std::memory_order_relaxed);
+  g_frees[scope].fetch_add(1, std::memory_order_relaxed);
+  g_live_total.fetch_sub(static_cast<long long>(bytes),
+                         std::memory_order_relaxed);
+}
+
+void* audit_alloc(std::size_t bytes, std::size_t align) noexcept {
+  if (align < alignof(std::max_align_t)) align = alignof(std::max_align_t);
+  // Room for the header plus worst-case alignment padding.
+  void* raw = std::malloc(bytes + align + sizeof(Header));
+  if (raw == nullptr) return nullptr;
+  const auto base = reinterpret_cast<std::uintptr_t>(raw);
+  const std::uintptr_t payload =
+      (base + sizeof(Header) + align - 1) & ~(align - 1);
+  auto* hdr = reinterpret_cast<Header*>(payload - sizeof(Header));
+  const unsigned scope = t_scope < kScopes ? t_scope : 0;
+  hdr->size = (static_cast<std::uint64_t>(bytes) & kSizeMask) |
+              (static_cast<std::uint64_t>(scope) << 56);
+  hdr->offset = static_cast<std::uint32_t>(payload - base);
+  hdr->magic = kMagic;
+  track(scope, bytes);
+  return reinterpret_cast<void*>(payload);
+}
+
+void audit_free(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* hdr = reinterpret_cast<Header*>(static_cast<std::byte*>(p) -
+                                        sizeof(Header));
+  if (hdr->magic != kMagic) {
+    // Not one of ours (malloc'd memory fed to delete — already UB, but
+    // match the behavior the default operator delete would have had).
+    std::free(p);
+    return;
+  }
+  hdr->magic = 0;
+  untrack(static_cast<unsigned>(hdr->size >> 56),
+          static_cast<std::size_t>(hdr->size & kSizeMask));
+  std::free(static_cast<std::byte*>(p) - hdr->offset);
+}
+
+void* audit_alloc_or_throw(std::size_t bytes, std::size_t align) {
+  void* p = audit_alloc(bytes, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+#endif  // SPECTRA_MEMAUDIT
+
+}  // namespace
+
+const char* to_string(MemScopeId scope) {
+  switch (scope) {
+    case MemScopeId::kOther: return "other";
+    case MemScopeId::kScenario: return "scenario";
+    case MemScopeId::kFleetWorld: return "fleet_world";
+    case MemScopeId::kFleetTick: return "fleet_tick";
+    case MemScopeId::kCount: break;
+  }
+  return "unknown";
+}
+
+bool memaudit_enabled() {
+#if defined(SPECTRA_MEMAUDIT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+MemCounters memaudit_scope(MemScopeId scope) {
+  const auto i = static_cast<unsigned>(scope);
+  if (i >= kScopes) return {};
+  MemCounters c;
+  c.live_bytes = g_live[i].load(std::memory_order_relaxed);
+  c.allocs = g_allocs[i].load(std::memory_order_relaxed);
+  c.frees = g_frees[i].load(std::memory_order_relaxed);
+  return c;
+}
+
+MemCounters memaudit_total() {
+  MemCounters c;
+  for (unsigned i = 0; i < kScopes; ++i) {
+    c.live_bytes += g_live[i].load(std::memory_order_relaxed);
+    c.allocs += g_allocs[i].load(std::memory_order_relaxed);
+    c.frees += g_frees[i].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+long long memaudit_live_bytes() {
+  return g_live_total.load(std::memory_order_relaxed);
+}
+
+unsigned long long memaudit_peak_live_bytes() {
+  return g_peak_live.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+MemScope::MemScope(MemScopeId scope) : prev_(t_scope) {
+  t_scope = static_cast<unsigned>(scope);
+}
+
+MemScope::~MemScope() { t_scope = prev_; }
+
+}  // namespace spectra::obs
+
+#if defined(SPECTRA_MEMAUDIT)
+
+// Replacement global allocation functions. Defining any of these in a
+// program replaces the library versions for the whole binary (every TU),
+// so new/delete pairs always agree about the header. They live in this TU
+// next to the counters they feed; any binary that links a memaudit symbol
+// pulls them in.
+
+void* operator new(std::size_t n) {
+  return spectra::obs::audit_alloc_or_throw(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n) {
+  return spectra::obs::audit_alloc_or_throw(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return spectra::obs::audit_alloc_or_throw(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return spectra::obs::audit_alloc_or_throw(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return spectra::obs::audit_alloc(n, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return spectra::obs::audit_alloc(n, alignof(std::max_align_t));
+}
+void* operator new(std::size_t n, std::align_val_t a,
+                   const std::nothrow_t&) noexcept {
+  return spectra::obs::audit_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a,
+                     const std::nothrow_t&) noexcept {
+  return spectra::obs::audit_alloc(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { spectra::obs::audit_free(p); }
+void operator delete[](void* p) noexcept { spectra::obs::audit_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  spectra::obs::audit_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  spectra::obs::audit_free(p);
+}
+
+#endif  // SPECTRA_MEMAUDIT

@@ -82,6 +82,21 @@ std::shared_ptr<const World> acquire_template(
   return slot;
 }
 
+// Clone a trained template for one measurement run, recording what the
+// reuse path actually costs as phase.clone.wall_ms. Wall-only on purpose:
+// a clone advances no virtual time, and wall-suffixed metrics stay out of
+// goldens and replay checks, so the counter cannot perturb determinism.
+std::unique_ptr<World> clone_template(const World& tmpl,
+                                      obs::Observability* run_obs) {
+  const double t0 = wall_ms();
+  auto world = tmpl.clone(run_obs);
+  if (run_obs != nullptr) {
+    run_obs->metrics().histogram("phase.clone.wall_ms")
+        .observe(wall_ms() - t0);
+  }
+  return world;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------ speech
@@ -152,7 +167,9 @@ std::shared_ptr<const World> SpeechExperiment::template_world() const {
 
 std::unique_ptr<World> SpeechExperiment::measurement_world(
     obs::Observability* run_obs) const {
-  if (config_.reuse_trained_world) return template_world()->clone(run_obs);
+  if (config_.reuse_trained_world) {
+    return clone_template(*template_world(), run_obs);
+  }
   return trained_world(run_obs);
 }
 
@@ -243,7 +260,9 @@ std::shared_ptr<const World> LatexExperiment::template_world() const {
 
 std::unique_ptr<World> LatexExperiment::measurement_world(
     obs::Observability* run_obs) const {
-  if (config_.reuse_trained_world) return template_world()->clone(run_obs);
+  if (config_.reuse_trained_world) {
+    return clone_template(*template_world(), run_obs);
+  }
   return trained_world(run_obs);
 }
 
@@ -361,7 +380,9 @@ std::shared_ptr<const World> PanglossExperiment::template_world() const {
 
 std::unique_ptr<World> PanglossExperiment::measurement_world(
     obs::Observability* run_obs) const {
-  if (config_.reuse_trained_world) return template_world()->clone(run_obs);
+  if (config_.reuse_trained_world) {
+    return clone_template(*template_world(), run_obs);
+  }
   return trained_world(run_obs);
 }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory_resource>
 #include <numbers>
 #include <sstream>
 
+#include "obs/memaudit.h"
 #include "util/assert.h"
 #include "util/fnv.h"
 #include "util/rng.h"
@@ -50,6 +52,7 @@ const char* to_string(FleetWorkload workload) {
 }
 
 FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
+  const obs::MemScope mem_scope(obs::MemScopeId::kScenario);
   SPECTRA_REQUIRE(config_.clients >= 1, "fleet needs at least one client");
   SPECTRA_REQUIRE(config_.servers >= 1, "fleet needs at least one server");
   SPECTRA_REQUIRE(config_.tick > 0.0, "fleet tick must be positive");
@@ -92,7 +95,8 @@ FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
   }
 
   profiles_.reserve(config_.clients);
-  schedules_.reserve(config_.clients);
+  schedule_off_.reserve(config_.clients + 1);
+  schedule_off_.push_back(0);
   for (std::size_t i = 0; i < config_.clients; ++i) {
     // Each client gets a forked stream: its profile and schedule are
     // independent of how many draws any other client consumed.
@@ -142,7 +146,6 @@ FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
     double peak_mult = 1.0 + config_.diurnal_amplitude;
     if (!flash_windows_.empty()) peak_mult *= config_.flash_multiplier;
     const double peak = base * peak_mult;
-    std::vector<FleetOp> ops;
     util::Seconds t = 0.0;
     while (true) {
       t += -std::log(1.0 - crng.uniform()) / peak;
@@ -161,9 +164,9 @@ FleetScenario::FleetScenario(FleetConfig config) : config_(config) {
         op.bytes = crng.uniform(20.0_KB, 150.0_KB);
         op.fp_heavy = crng.bernoulli(0.3);
       }
-      ops.push_back(op);
+      schedule_ops_.push_back(op);
     }
-    schedules_.push_back(std::move(ops));
+    schedule_off_.push_back(static_cast<std::uint32_t>(schedule_ops_.size()));
   }
 }
 
@@ -177,13 +180,27 @@ double FleetScenario::rate_multiplier(util::Seconds t) const {
   return std::max(m, 0.0);
 }
 
-std::size_t FleetScenario::total_ops() const {
-  std::size_t n = 0;
-  for (const auto& s : schedules_) n += s.size();
-  return n;
-}
+std::size_t FleetScenario::total_ops() const { return schedule_ops_.size(); }
 
 // -------------------------------------------------------------------- world
+
+void FleetWorld::ClientStore::resize(std::size_t n) {
+  next_op.resize(n, 0);
+  local_free_at.resize(n, 0.0);
+  forced_local_until.resize(n, 0.0);
+  run_head.resize(n, -1);
+  run_tail.resize(n, -1);
+  decisions.resize(n, 0);
+  completed.resize(n, 0);
+  completed_local.resize(n, 0);
+  completed_remote.resize(n, 0);
+  rejected.resize(n, 0);
+  aborted.resize(n, 0);
+  battery_cliffs.resize(n, 0);
+  latency_sum_s.resize(n, 0.0);
+  slowdown_sum.resize(n, 0.0);
+  energy_j.resize(n, 0.0);
+}
 
 FleetWorld::FleetWorld(std::shared_ptr<const FleetScenario> scenario,
                        obs::Observability* session)
@@ -196,19 +213,61 @@ FleetWorld::FleetWorld(std::shared_ptr<const FleetScenario> scenario,
                   island_advance(island, target);
                 },
                 [this](util::Seconds t) { exchange(t); }}) {
+  const obs::MemScope mem_scope(obs::MemScopeId::kFleetWorld);
   const FleetConfig& cfg = scenario_->config();
-  clients_.resize(cfg.clients);
-  decision_scratch_.resize(cfg.clients);
+  store_.resize(cfg.clients);
+
+  // Pool partition: one pool per island, or one per client chunk when a
+  // single island fans its decision stage out across chunks. Both are pure
+  // functions of the scenario, so every per-pool artifact (and the order
+  // pools are drained in) is byte-identical for any --jobs.
+  pool_of_.resize(cfg.clients);
+  std::size_t npools;
+  if (plan_.islands > 1) {
+    npools = plan_.islands;
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      pool_of_[c] = plan_.island_of_client[c];
+    }
+  } else {
+    npools = (cfg.clients + kClientChunk - 1) / kClientChunk;
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      // Single-island membership is the identity order, so the chunk of
+      // member index c is the chunk of client c.
+      pool_of_[c] = static_cast<std::uint32_t>(c / kClientChunk);
+    }
+  }
+  pools_.resize(npools);
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    pools_[pool_of_[c]].op_bound += scenario_->schedule(c).size();
+  }
+  for (PoolStore& pool : pools_) pool.reserve_bound();
+
+  // In-flight jobs per server are bounded by the admission queue's shape,
+  // so the metadata slot table (and its free list) never reallocates.
+  const std::size_t meta_bound =
+      cfg.admission.queue_bound + cfg.admission.service_slots;
   servers_.reserve(cfg.servers);
   for (std::size_t s = 0; s < cfg.servers; ++s) {
     servers_.emplace_back(cfg.admission);
+    servers_.back().meta.reserve(meta_bound);
+    servers_.back().free_meta.reserve(meta_bound);
   }
+  for (const FleetServerSpec& spec : scenario_->servers()) {
+    best_server_hz_ = std::max(best_server_hz_, spec.cpu_hz);
+  }
+
+  const std::size_t ticks_per_step =
+      static_cast<std::size_t>(plan_.lookahead / cfg.tick) + 2;
   islands_.reserve(plan_.islands);
+  arenas_.reserve(plan_.islands);
   for (std::size_t i = 0; i < plan_.islands; ++i) {
     islands_.emplace_back(plan_.servers[i].size());
+    islands_.back().tick_transfers.reserve(ticks_per_step);
+    arenas_.push_back(std::make_unique<util::Arena>(1 << 16));
   }
   frozen_views_.resize(cfg.servers);
   trace_on_ = session_ != nullptr && session_->tracing();
+  if (trace_on_) traces_.resize(cfg.clients);
   if (cfg.fault_plan.has_value()) {
     fault_events_ = fault::expand_plan(*cfg.fault_plan);
     // Stable by time: simultaneous events keep the plan's emission order,
@@ -233,20 +292,17 @@ double FleetWorld::ideal_time(std::uint32_t client, const FleetOp& op) const {
   const FleetClientProfile& p = scenario_->profiles()[client];
   const double pen = op.fp_heavy ? p.fp_penalty : 1.0;
   const double local = op.cycles * pen / p.cpu_hz;
-  double best_hz = 0.0;
-  for (const auto& s : scenario_->servers()) best_hz = std::max(best_hz, s.cpu_hz);
   const double remote = op.bytes / scenario_->config().bandwidth +
-                        scenario_->config().rtt + op.cycles / best_hz;
+                        scenario_->config().rtt + op.cycles / best_server_hz_;
   return std::min(local, remote);
 }
 
 void FleetWorld::run_local(std::uint32_t client, const FleetOp& op,
                            util::Seconds from, bool fallback) {
-  ClientState& st = clients_[client];
   const FleetClientProfile& p = scenario_->profiles()[client];
   const double pen = op.fp_heavy ? p.fp_penalty : 1.0;
   const util::Seconds exec = op.cycles * pen / p.cpu_hz;
-  const util::Seconds start = std::max(st.local_free_at, from);
+  const util::Seconds start = std::max(store_.local_free_at[client], from);
   LocalRun run;
   run.arrived = op.at;
   run.finish = start + exec;
@@ -254,42 +310,56 @@ void FleetWorld::run_local(std::uint32_t client, const FleetOp& op,
                (run.finish - exec - op.at) * p.power.idle_w;
   run.ideal = ideal_time(client, op);
   run.fallback = fallback;
-  st.local_free_at = run.finish;
-  st.local_runs.push_back(run);
+  store_.local_free_at[client] = run.finish;
+  PoolStore& pool = pools_[pool_of_[client]];
+  const std::int32_t node = pool.alloc_run();
+  pool.run_nodes[static_cast<std::size_t>(node)] = {run, -1};
+  if (store_.run_tail[client] >= 0) {
+    pool.run_nodes[static_cast<std::size_t>(store_.run_tail[client])].next =
+        node;
+  } else {
+    store_.run_head[client] = node;
+  }
+  store_.run_tail[client] = node;
 }
 
 void FleetWorld::complete_local(std::uint32_t client, util::Seconds t1) {
-  ClientState& st = clients_[client];
-  std::size_t done = 0;
-  while (done < st.local_runs.size() && st.local_runs[done].finish <= t1) {
-    const LocalRun& run = st.local_runs[done];
+  std::int32_t n = store_.run_head[client];
+  if (n < 0) return;
+  PoolStore& pool = pools_[pool_of_[client]];
+  // Finishes are monotone along the FIFO (local_free_at never runs
+  // backwards), so draining the prefix <= t1 is complete.
+  while (n >= 0 && pool.run_nodes[static_cast<std::size_t>(n)].run.finish <=
+                       t1) {
+    const LocalRun run = pool.run_nodes[static_cast<std::size_t>(n)].run;
+    const std::int32_t next =
+        pool.run_nodes[static_cast<std::size_t>(n)].next;
+    pool.free_run(n);
     credit_completion(client, run.arrived, run.finish, run.energy, run.ideal,
                       run.fallback ? -2 : -1);
-    ++done;
+    n = next;
   }
-  if (done > 0) {
-    st.local_runs.erase(st.local_runs.begin(),
-                        st.local_runs.begin() + static_cast<std::ptrdiff_t>(done));
-  }
+  store_.run_head[client] = n;
+  if (n < 0) store_.run_tail[client] = -1;
 }
 
 void FleetWorld::credit_completion(std::uint32_t client, util::Seconds arrived,
                                    util::Seconds finished, util::Joules energy,
                                    util::Seconds ideal, int server) {
-  ClientState& st = clients_[client];
   const bool remote = server >= 0;
   const double latency = finished - arrived;
-  ++st.completed;
+  ++store_.completed[client];
   if (remote) {
-    ++st.completed_remote;
+    ++store_.completed_remote[client];
   } else {
-    ++st.completed_local;
+    ++store_.completed_local[client];
   }
-  st.latency_sum_s += latency;
-  st.latencies_s.push_back(latency);
+  store_.latency_sum_s[client] += latency;
+  pools_[pool_of_[client]].latencies.push_back({client, latency});
   // Slowdown in (0, 1]: best unloaded placement time over achieved time.
-  st.slowdown_sum += latency > 0.0 ? std::min(ideal / latency, 1.0) : 1.0;
-  st.energy_j += energy;
+  store_.slowdown_sum[client] +=
+      latency > 0.0 ? std::min(ideal / latency, 1.0) : 1.0;
+  store_.energy_j[client] += energy;
   if (trace_on_) {
     obs::TraceEvent ev("fleet_op", finished);
     ev.field("client", static_cast<std::int64_t>(client))
@@ -298,7 +368,7 @@ void FleetWorld::credit_completion(std::uint32_t client, util::Seconds arrived,
                                       : "local")
         .field("latency", latency);
     if (remote) ev.field("server", server);
-    st.trace.emit(ev);
+    traces_[client].emit(ev);
   }
 }
 
@@ -321,16 +391,16 @@ void FleetWorld::apply_island_faults(std::size_t island, util::Seconds t0,
         if (!owned) break;
         if (s >= servers || !servers_[s].up) break;
         servers_[s].up = false;
-        is.aborted_scratch.clear();
-        servers_[s].queue.abort_all(&is.aborted_scratch);
+        std::pmr::vector<core::AdmissionJob> aborted(arenas_[island].get());
+        servers_[s].queue.abort_all(&aborted);
         // Fail aborted jobs back to their tenants (queue order): own-island
         // tenants rerun locally from the crash tick, remote tenants learn
         // at the next barrier.
-        for (const core::AdmissionJob& job : is.aborted_scratch) {
-          const RemoteMeta& meta = servers_[s].meta[job.id - 1];
+        for (const core::AdmissionJob& job : aborted) {
+          const RemoteMeta meta = servers_[s].meta[job.cookie];
+          servers_[s].free_meta.push_back(job.cookie);
           if (plan_.island_of_client[meta.client] == island) {
-            ClientState& st = clients_[meta.client];
-            ++st.aborted;
+            ++store_.aborted[meta.client];
             run_local(meta.client, meta_op(meta), t0, /*fallback=*/true);
           } else {
             is.out_aborts.push_back({meta.client, meta_op(meta)});
@@ -369,21 +439,20 @@ void FleetWorld::apply_island_faults(std::size_t island, util::Seconds t0,
         // Charge collapsed on client (a mod clients): the radio goes dark
         // and every decision is forced local until the cliff heals (no
         // duration = the rest of the run). Owned by the client's island.
-        if (clients_.empty()) break;
+        if (store_.next_op.empty()) break;
         const std::size_t c =
-            static_cast<std::size_t>(e.a) % clients_.size();
+            static_cast<std::size_t>(e.a) % store_.next_op.size();
         owned = plan_.island_of_client[c] == island;
         if (!owned) break;
-        ClientState& st = clients_[c];
-        st.forced_local_until = e.duration > 0.0
-                                    ? t0 + e.duration
-                                    : scenario_->config().horizon + 1.0;
-        ++st.battery_cliffs;
+        store_.forced_local_until[c] = e.duration > 0.0
+                                           ? t0 + e.duration
+                                           : scenario_->config().horizon + 1.0;
+        ++store_.battery_cliffs[c];
         if (trace_on_) {
           obs::TraceEvent ev("fleet_fault", t0);
           ev.field("kind", fault::to_token(e.kind))
               .field("client", static_cast<std::int64_t>(c))
-              .field("until", st.forced_local_until);
+              .field("until", store_.forced_local_until[c]);
           is.fault_trace.emit(ev);
         }
         break;
@@ -401,14 +470,17 @@ void FleetWorld::apply_island_faults(std::size_t island, util::Seconds t0,
 void FleetWorld::serve_island(std::size_t island, util::Seconds t0,
                               util::Seconds t1) {
   IslandState& is = islands_[island];
+  std::pmr::vector<core::AdmissionCompletion> done_scratch(
+      arenas_[island].get());
   for (const std::uint32_t sidx : plan_.servers[island]) {
     ServerState& server = servers_[sidx];
     if (!server.up) continue;
-    is.completions_scratch.clear();
+    done_scratch.clear();
     server.queue.advance(t0, t1 - t0, scenario_->servers()[sidx].cpu_hz,
-                         &is.completions_scratch);
-    for (const core::AdmissionCompletion& done : is.completions_scratch) {
-      const RemoteMeta& meta = server.meta[done.job.id - 1];
+                         &done_scratch);
+    for (const core::AdmissionCompletion& done : done_scratch) {
+      const RemoteMeta meta = server.meta[done.job.cookie];
+      server.free_meta.push_back(done.job.cookie);
       const FleetClientProfile& p = scenario_->profiles()[meta.client];
       const double wait = done.finished_at - meta.arrived - meta.net_time;
       const util::Joules energy =
@@ -436,7 +508,6 @@ FleetWorld::Decision FleetWorld::decide(std::size_t island,
                                         const FleetOp& op,
                                         util::Seconds step_end) {
   const FleetClientProfile& p = scenario_->profiles()[client];
-  const ClientState& st = clients_[client];
   const FleetConfig& cfg = scenario_->config();
   const IslandState& is = islands_[island];
 
@@ -448,7 +519,8 @@ FleetWorld::Decision FleetWorld::decide(std::size_t island,
   // floating-point penalty when the op is FP-heavy and the device lacks an
   // FPU worth the name).
   const double pen = op.fp_heavy ? p.fp_penalty : 1.0;
-  const double local_wait = std::max(st.local_free_at - op.at, 0.0);
+  const double local_wait =
+      std::max(store_.local_free_at[client] - op.at, 0.0);
   const double local_exec = op.cycles * pen / p.cpu_hz;
   const double local_time = local_wait + local_exec;
   const double local_energy =
@@ -459,7 +531,7 @@ FleetWorld::Decision FleetWorld::decide(std::size_t island,
   d.predicted_s = local_time;
 
   // A battery-cliffed client keeps its radio dark until the cliff heals.
-  if (is.medium_up && st.forced_local_until <= op.at) {
+  if (is.medium_up && store_.forced_local_until[client] <= op.at) {
     // Shared-medium contention: the EWMA of concurrent transfers divides
     // the nominal bandwidth. Every client reads the same frozen estimate
     // between barriers.
@@ -516,15 +588,16 @@ void FleetWorld::island_decisions(std::size_t island, util::Seconds t1) {
   exec::parallel_for_chunked(
       pool, members.size(), kClientChunk, [&](std::size_t idx) {
         const std::uint32_t client = members[idx];
-        ClientState& st = clients_[client];
+        PoolStore& ps = pools_[pool_of_[client]];
         complete_local(client, t1);
-        const std::vector<FleetOp>& sched = scenario_->schedules()[client];
-        while (st.next_op < sched.size() && sched[st.next_op].at <= t1) {
-          const FleetOp& op = sched[st.next_op++];
+        const std::span<const FleetOp> sched = scenario_->schedule(client);
+        std::uint32_t& cursor = store_.next_op[client];
+        while (cursor < sched.size() && sched[cursor].at <= t1) {
+          const FleetOp& op = sched[cursor++];
           const double w0 = wall_now_ms();
           Decision d = decide(island, client, op, step_end);
-          st.decision_wall_ms.push_back(wall_now_ms() - w0);
-          ++st.decisions;
+          ps.wall_ms.push_back(wall_now_ms() - w0);
+          ++store_.decisions[client];
           if (trace_on_) {
             obs::TraceEvent ev("fleet_decision", op.at);
             ev.field("client", static_cast<std::int64_t>(client))
@@ -533,12 +606,12 @@ void FleetWorld::island_decisions(std::size_t island, util::Seconds t1) {
                            ? std::string("local")
                            : scenario_->servers()[d.server].name.str())
                 .field("predicted", d.predicted_s);
-            st.trace.emit(ev);
+            traces_[client].emit(ev);
           }
           if (d.server < 0) {
             run_local(client, op, op.at, /*fallback=*/false);
           } else {
-            decision_scratch_[client].push_back(d);
+            ps.decisions.push_back(d);
           }
         }
       });
@@ -547,12 +620,17 @@ void FleetWorld::island_decisions(std::size_t island, util::Seconds t1) {
 bool FleetWorld::submit_remote(std::uint32_t client, std::size_t server,
                                const FleetOp& op, double net_time_s,
                                util::Seconds reject_from) {
-  ClientState& st = clients_[client];
   const FleetClientProfile& p = scenario_->profiles()[client];
-  const auto id = servers_[server].queue.submit(static_cast<int>(client),
-                                                p.weight, op.cycles, op.at);
+  ServerState& ss = servers_[server];
+  // Pick the metadata slot the job will carry as its cookie; commit it only
+  // if the queue admits (rejected submissions must not leak slots).
+  const std::uint32_t slot =
+      ss.free_meta.empty() ? static_cast<std::uint32_t>(ss.meta.size())
+                           : ss.free_meta.back();
+  const auto id = ss.queue.submit(static_cast<int>(client), p.weight,
+                                  op.cycles, op.at, slot);
   if (!id.has_value()) {
-    ++st.rejected;
+    ++store_.rejected[client];
     run_local(client, op, reject_from, /*fallback=*/true);
     return false;
   }
@@ -563,29 +641,48 @@ bool FleetWorld::submit_remote(std::uint32_t client, std::size_t server,
   meta.net_time = net_time_s;
   meta.cycles = op.cycles;
   meta.fp_heavy = op.fp_heavy;
-  SPECTRA_REQUIRE(*id == servers_[server].meta.size() + 1,
-                  "admission ids must stay dense");
-  servers_[server].meta.push_back(meta);
+  if (ss.free_meta.empty()) {
+    ss.meta.push_back(meta);
+  } else {
+    ss.free_meta.pop_back();
+    ss.meta[slot] = meta;
+  }
   return true;
 }
 
 void FleetWorld::island_submit(std::size_t island) {
   IslandState& is = islands_[island];
-  is.tick_decisions.clear();
-  for (const std::uint32_t c : plan_.clients[island]) {
-    std::vector<Decision>& pending = decision_scratch_[c];
-    is.tick_decisions.insert(is.tick_decisions.end(), pending.begin(),
-                             pending.end());
-    pending.clear();
+  util::Arena* arena = arenas_[island].get();
+  // Gather this island's pool buffers: one pool (the island's own) in the
+  // multi-island world, every chunk pool in the single-island one. Either
+  // way the concatenation order is ascending client index — the same order
+  // the per-client scratch used to be drained in.
+  const std::size_t pool_lo = plan_.islands == 1 ? 0 : island;
+  const std::size_t pool_hi = plan_.islands == 1 ? pools_.size() : island + 1;
+  std::size_t total = 0;
+  for (std::size_t p = pool_lo; p < pool_hi; ++p) {
+    total += pools_[p].decisions.size();
   }
-  // Island admission order: arrival time, ties by client index (stable —
-  // the scratch was concatenated in client order).
-  std::stable_sort(is.tick_decisions.begin(), is.tick_decisions.end(),
-                   [](const Decision& a, const Decision& b) {
-                     return a.op.at < b.op.at;
-                   });
+  std::pmr::vector<const Decision*> gathered(arena);
+  gathered.reserve(total);
+  for (std::size_t p = pool_lo; p < pool_hi; ++p) {
+    for (const Decision& d : pools_[p].decisions) gathered.push_back(&d);
+  }
+  // Island admission order: arrival time, ties by gather position — an
+  // index sort, so it reproduces the stable sort the old per-tick copy ran
+  // without the allocation std::stable_sort makes per call.
+  std::pmr::vector<std::uint32_t> order(arena);
+  order.resize(total);
+  for (std::uint32_t i = 0; i < total; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&gathered](std::uint32_t a, std::uint32_t b) {
+              const double at_a = gathered[a]->op.at;
+              const double at_b = gathered[b]->op.at;
+              return at_a != at_b ? at_a < at_b : a < b;
+            });
   std::size_t transfers = 0;
-  for (const Decision& d : is.tick_decisions) {
+  for (const std::uint32_t i : order) {
+    const Decision& d = *gathered[i];
     const auto s = static_cast<std::size_t>(d.server);
     if (plan_.island_of_server[s] != static_cast<std::uint32_t>(island)) {
       // Cross-island pick: the uplink transfer starts now (it counts
@@ -596,15 +693,17 @@ void FleetWorld::island_submit(std::size_t island) {
           {d.client, static_cast<std::uint32_t>(s), d.op, d.net_time_s});
       continue;
     }
-    ClientState& st = clients_[d.client];
     if (!is.medium_up || !servers_[s].up) {
       // The world changed between decision and submission (fault applied
       // this tick): fall back to local execution.
-      ++st.rejected;
+      ++store_.rejected[d.client];
       run_local(d.client, d.op, d.op.at, /*fallback=*/true);
       continue;
     }
     if (submit_remote(d.client, s, d.op, d.net_time_s, d.op.at)) ++transfers;
+  }
+  for (std::size_t p = pool_lo; p < pool_hi; ++p) {
+    pools_[p].decisions.clear();
   }
   is.tick_transfers.push_back(transfers);
 }
@@ -634,6 +733,7 @@ void FleetWorld::island_tick(std::size_t island, util::Seconds t0,
 }
 
 void FleetWorld::island_advance(std::size_t island, util::Seconds target) {
+  const obs::MemScope mem_scope(obs::MemScopeId::kFleetTick);
   const util::Seconds tick = scenario_->config().tick;
   IslandState& is = islands_[island];
   while (is.now + 1e-9 < target) {
@@ -641,6 +741,9 @@ void FleetWorld::island_advance(std::size_t island, util::Seconds target) {
     const util::Seconds t1 = std::min(t0 + tick, target);
     island_tick(island, t0, t1);
     is.now = t1;
+    // Recycle the tick's arena scratch. Once warm this is O(1) and
+    // heap-free, which is what keeps steady-state ticks allocation-free.
+    arenas_[island]->reset();
   }
 }
 
@@ -666,6 +769,7 @@ void FleetWorld::deliver_mail(util::Seconds t) {
   // from the barrier), then ferried submissions — each class drained in
   // island index order, submissions globally re-sorted by (arrival,
   // client) so admission order stays a pure function of the scenario.
+  barrier_arena_.reset();
   for (IslandState& is : islands_) {
     for (const CrossCompletion& cc : is.out_completions) {
       credit_completion(cc.client, cc.arrived, cc.finished, cc.energy,
@@ -675,30 +779,31 @@ void FleetWorld::deliver_mail(util::Seconds t) {
   }
   for (IslandState& is : islands_) {
     for (const CrossAbort& ca : is.out_aborts) {
-      ++clients_[ca.client].aborted;
+      ++store_.aborted[ca.client];
       run_local(ca.client, ca.op, t, /*fallback=*/true);
     }
     is.out_aborts.clear();
   }
-  mail_submissions_.clear();
+  std::size_t total = 0;
+  for (const IslandState& is : islands_) total += is.out_submissions.size();
+  std::pmr::vector<CrossSubmission> mail(&barrier_arena_);
+  mail.reserve(total);
   for (IslandState& is : islands_) {
-    mail_submissions_.insert(mail_submissions_.end(),
-                             is.out_submissions.begin(),
-                             is.out_submissions.end());
+    mail.insert(mail.end(), is.out_submissions.begin(),
+                is.out_submissions.end());
     is.out_submissions.clear();
   }
-  std::sort(mail_submissions_.begin(), mail_submissions_.end(),
+  std::sort(mail.begin(), mail.end(),
             [](const CrossSubmission& a, const CrossSubmission& b) {
               return a.op.at != b.op.at ? a.op.at < b.op.at
                                         : a.client < b.client;
             });
-  cross_submissions_ += mail_submissions_.size();
-  for (const CrossSubmission& cs : mail_submissions_) {
-    ClientState& st = clients_[cs.client];
+  cross_submissions_ += mail.size();
+  for (const CrossSubmission& cs : mail) {
     if (!barrier_medium_up_ || !servers_[cs.server].up) {
       // The medium partitioned or the target crashed while the job was on
       // the wire: fall back to local execution from the barrier.
-      ++st.rejected;
+      ++store_.rejected[cs.client];
       run_local(cs.client, cs.op, t, /*fallback=*/true);
       continue;
     }
@@ -707,6 +812,7 @@ void FleetWorld::deliver_mail(util::Seconds t) {
 }
 
 void FleetWorld::exchange(util::Seconds t) {
+  const obs::MemScope mem_scope(obs::MemScopeId::kFleetTick);
   fold_medium();
   // World-level medium availability at barrier time, for admitting ferried
   // submissions (its own cursor over the same expanded link events).
@@ -734,21 +840,32 @@ void FleetWorld::run_until(util::Seconds until, exec::ThreadPool* pool) {
 
 std::uint64_t FleetWorld::state_fingerprint() const {
   std::uint64_t h = util::kFnvOffset;
-  for (const ClientState& st : clients_) {
-    h = util::fnv_mix(h, st.decisions);
-    h = util::fnv_mix(h, st.completed);
-    h = util::fnv_mix(h, st.completed_local);
-    h = util::fnv_mix(h, st.completed_remote);
-    h = util::fnv_mix(h, st.rejected);
-    h = util::fnv_mix(h, st.aborted);
-    h = util::fnv_mix(h, st.battery_cliffs);
-    h = util::fnv_mix(h, st.forced_local_until);
-    h = util::fnv_mix(h, static_cast<std::uint64_t>(st.next_op));
-    h = util::fnv_mix(h, st.latency_sum_s);
-    h = util::fnv_mix(h, st.slowdown_sum);
-    h = util::fnv_mix(h, st.energy_j);
-    h = util::fnv_mix(h, st.local_free_at);
-    h = util::fnv_mix(h, static_cast<std::uint64_t>(st.local_runs.size()));
+  const std::size_t nclients = store_.next_op.size();
+  for (std::size_t c = 0; c < nclients; ++c) {
+    // Field order is the fingerprint contract; the 32-bit counters widen
+    // back to the 64-bit values the old per-client structs folded.
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(store_.decisions[c]));
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(store_.completed[c]));
+    h = util::fnv_mix(h,
+                      static_cast<std::uint64_t>(store_.completed_local[c]));
+    h = util::fnv_mix(h,
+                      static_cast<std::uint64_t>(store_.completed_remote[c]));
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(store_.rejected[c]));
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(store_.aborted[c]));
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(store_.battery_cliffs[c]));
+    h = util::fnv_mix(h, store_.forced_local_until[c]);
+    h = util::fnv_mix(h, static_cast<std::uint64_t>(store_.next_op[c]));
+    h = util::fnv_mix(h, store_.latency_sum_s[c]);
+    h = util::fnv_mix(h, store_.slowdown_sum[c]);
+    h = util::fnv_mix(h, store_.energy_j[c]);
+    h = util::fnv_mix(h, store_.local_free_at[c]);
+    std::uint64_t queued = 0;
+    const PoolStore& pool = pools_[pool_of_[c]];
+    for (std::int32_t n = store_.run_head[c]; n >= 0;
+         n = pool.run_nodes[static_cast<std::size_t>(n)].next) {
+      ++queued;
+    }
+    h = util::fnv_mix(h, queued);
   }
   for (const ServerState& server : servers_) {
     h = server.queue.fingerprint(h);
@@ -761,8 +878,19 @@ std::uint64_t FleetWorld::state_fingerprint() const {
 
 std::unique_ptr<FleetWorld> FleetWorld::clone(obs::Observability* obs) const {
   auto copy = std::make_unique<FleetWorld>(scenario_, obs);
-  copy->clients_ = clients_;
+  const obs::MemScope mem_scope(obs::MemScopeId::kFleetWorld);
+  copy->store_ = store_;
+  copy->pools_ = pools_;
+  // Vector copies keep contents but not spare capacity; re-reserve so the
+  // clone's steady-state ticks stay allocation-free too.
+  for (PoolStore& pool : copy->pools_) pool.reserve_bound();
   copy->servers_ = servers_;
+  const core::AdmissionConfig& adm = scenario_->config().admission;
+  const std::size_t meta_bound = adm.queue_bound + adm.service_slots;
+  for (ServerState& server : copy->servers_) {
+    server.meta.reserve(meta_bound);
+    server.free_meta.reserve(meta_bound);
+  }
   copy->islands_ = islands_;
   copy->frozen_views_ = frozen_views_;
   copy->medium_est_ = medium_est_;
@@ -771,10 +899,14 @@ std::unique_ptr<FleetWorld> FleetWorld::clone(obs::Observability* obs) const {
   copy->cross_submissions_ = cross_submissions_;
   copy->exec_.copy_state_from(exec_);
   // Tracing follows the new session, but the shard buffers carry over, so
-  // the clone's merged trace equals an uncloned full run's.
+  // the clone's merged trace equals an uncloned full run's. (A tracing
+  // clone of a non-tracing world keeps the fresh empty shards its
+  // constructor sized.)
+  if (copy->trace_on_ && !traces_.empty()) {
+    copy->traces_ = traces_;
+  }
   if (!copy->trace_on_) {
     for (IslandState& is : copy->islands_) is.fault_trace.clear();
-    for (ClientState& st : copy->clients_) st.trace.clear();
   }
   return copy;
 }
@@ -808,26 +940,45 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
   r.virtual_end = exec_.now();
   r.ops_cross_island = cross_submissions_;
 
-  std::vector<double> latencies;
+  const std::size_t nclients = store_.next_op.size();
   std::vector<double> slowdowns;
   std::vector<double> wall_ms;
-  for (const ClientState& st : clients_) {
-    r.decisions += st.decisions;
-    r.ops_completed += st.completed;
-    r.ops_local += st.completed_local;
-    r.ops_remote += st.completed_remote;
-    r.ops_rejected += st.rejected;
-    r.ops_aborted += st.aborted;
-    r.battery_cliffs += st.battery_cliffs;
-    r.aggregate_energy_j += st.energy_j;
-    latencies.insert(latencies.end(), st.latencies_s.begin(),
-                     st.latencies_s.end());
-    wall_ms.insert(wall_ms.end(), st.decision_wall_ms.begin(),
-                   st.decision_wall_ms.end());
-    if (st.completed > 0) {
-      slowdowns.push_back(st.slowdown_sum /
-                          static_cast<double>(st.completed));
+  for (std::size_t c = 0; c < nclients; ++c) {
+    r.decisions += store_.decisions[c];
+    r.ops_completed += store_.completed[c];
+    r.ops_local += store_.completed_local[c];
+    r.ops_remote += store_.completed_remote[c];
+    r.ops_rejected += store_.rejected[c];
+    r.ops_aborted += store_.aborted[c];
+    r.battery_cliffs += store_.battery_cliffs[c];
+    r.aggregate_energy_j += store_.energy_j[c];
+    if (store_.completed[c] > 0) {
+      slowdowns.push_back(store_.slowdown_sum[c] /
+                          static_cast<double>(store_.completed[c]));
     }
+  }
+  // Rebuild the global latency stream in per-client, per-client-
+  // chronological order — the order the per-client vectors used to
+  // concatenate in, so means, percentiles, and histogram folds are
+  // byte-identical. Each client's samples live in one pool in credit
+  // (chronological) order; a stable sort by client is exactly that merge.
+  std::vector<LatSample> samples;
+  std::size_t nsamples = 0;
+  for (const PoolStore& pool : pools_) nsamples += pool.latencies.size();
+  samples.reserve(nsamples);
+  for (const PoolStore& pool : pools_) {
+    samples.insert(samples.end(), pool.latencies.begin(),
+                   pool.latencies.end());
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const LatSample& a, const LatSample& b) {
+                     return a.client < b.client;
+                   });
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  for (const LatSample& s : samples) latencies.push_back(s.latency_s);
+  for (const PoolStore& pool : pools_) {
+    wall_ms.insert(wall_ms.end(), pool.wall_ms.begin(), pool.wall_ms.end());
   }
   if (!latencies.empty()) {
     r.latency_mean_s = util::mean_of(latencies);
@@ -925,8 +1076,8 @@ FleetReport FleetWorld::finish(exec::ThreadPool* pool) {
       for (const IslandState& is : islands_) {
         session_->trace()->write_raw(is.fault_trace.bytes());
       }
-      for (const ClientState& st : clients_) {
-        session_->trace()->write_raw(st.trace.bytes());
+      for (const obs::TraceShard& shard : traces_) {
+        session_->trace()->write_raw(shard.bytes());
       }
       obs::TraceEvent summary("fleet_summary", now);
       summary.field("clients", static_cast<std::int64_t>(r.clients))

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,7 @@
 #include "obs/obs.h"
 #include "scenario/islands.h"
 #include "sim/island_exec.h"
+#include "util/arena.h"
 #include "util/interner.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -160,9 +162,13 @@ class FleetScenario {
   const FleetConfig& config() const { return config_; }
   const std::vector<FleetClientProfile>& profiles() const { return profiles_; }
   const std::vector<FleetServerSpec>& servers() const { return servers_; }
-  // Per-client arrival schedules, each sorted by time.
-  const std::vector<std::vector<FleetOp>>& schedules() const {
-    return schedules_;
+  // Client `c`'s arrival schedule, sorted by time. All schedules live in
+  // one flat array sliced by offset — at 100k clients the former
+  // vector-of-vectors layout cost a heap block and 24-byte header per
+  // client and scattered the ops the tick loop walks.
+  std::span<const FleetOp> schedule(std::size_t client) const {
+    return {schedule_ops_.data() + schedule_off_[client],
+            schedule_off_[client + 1] - schedule_off_[client]};
   }
   const std::vector<std::pair<util::Seconds, util::Seconds>>& flash_windows()
       const {
@@ -179,7 +185,10 @@ class FleetScenario {
   FleetConfig config_;
   std::vector<FleetClientProfile> profiles_;
   std::vector<FleetServerSpec> servers_;
-  std::vector<std::vector<FleetOp>> schedules_;
+  // Flat arrival storage: client c's ops occupy
+  // [schedule_off_[c], schedule_off_[c+1]).
+  std::vector<FleetOp> schedule_ops_;
+  std::vector<std::uint32_t> schedule_off_;
   std::vector<std::pair<util::Seconds, util::Seconds>> flash_windows_;
 };
 
@@ -274,28 +283,93 @@ class FleetWorld {
     bool fallback = false;      // admission rejection or crash rerun
   };
 
-  // Everything one client mutates; workers touch only their own clients.
-  struct ClientState {
-    std::size_t next_op = 0;         // cursor into the arrival schedule
-    util::Seconds local_free_at = 0.0;
-    std::vector<LocalRun> local_runs;  // FIFO, completion-ordered
-    // Outcome accounting (drives the report and the fingerprint).
-    std::uint64_t decisions = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t completed_local = 0;
-    std::uint64_t completed_remote = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t aborted = 0;
+  // A queued local run, linked into its client's FIFO through the owning
+  // pool's node store (see PoolStore::run_nodes).
+  struct RunNode {
+    LocalRun run;
+    std::int32_t next = -1;
+  };
+
+  // Per-client mutable state, struct-of-arrays: every field is a flat
+  // vector indexed by client. The former per-client struct scattered three
+  // heap vectors and a trace shard per client — at 100k clients most of the
+  // resident set was headers and fragmentation, and the tick loop walked
+  // pointers instead of rows. Counters are 32-bit (a client cannot complete
+  // more ops than its schedule holds, and fingerprints widen to 64-bit at
+  // mix time, so the folded values are unchanged). Workers touch only rows
+  // of clients they own.
+  struct ClientStore {
+    std::vector<std::uint32_t> next_op;  // cursor into the arrival schedule
+    std::vector<double> local_free_at;
     // Battery-cliff degradation: decisions for ops arriving before
     // `forced_local_until` skip every remote alternative (radio dark).
-    std::uint64_t battery_cliffs = 0;
-    util::Seconds forced_local_until = 0.0;
-    double latency_sum_s = 0.0;
-    double slowdown_sum = 0.0;  // ideal/actual per completed op
-    util::Joules energy_j = 0.0;
-    std::vector<double> latencies_s;     // per completed op, virtual
-    std::vector<double> decision_wall_ms;  // real; metrics only
-    obs::TraceShard trace;  // per-client JSONL shard, merged at finish
+    std::vector<double> forced_local_until;
+    // Head/tail of the client's local-run FIFO in its pool's node store
+    // (-1 = empty).
+    std::vector<std::int32_t> run_head;
+    std::vector<std::int32_t> run_tail;
+    // Outcome accounting (drives the report and the fingerprint).
+    std::vector<std::uint32_t> decisions;
+    std::vector<std::uint32_t> completed;
+    std::vector<std::uint32_t> completed_local;
+    std::vector<std::uint32_t> completed_remote;
+    std::vector<std::uint32_t> rejected;
+    std::vector<std::uint32_t> aborted;
+    std::vector<std::uint32_t> battery_cliffs;
+    std::vector<double> latency_sum_s;
+    std::vector<double> slowdown_sum;  // ideal/actual per completed op
+    std::vector<double> energy_j;
+
+    void resize(std::size_t n);
+  };
+
+  // One completed-op latency sample. Samples accumulate per pool in credit
+  // order and are re-sorted by client at finish(), which reproduces the
+  // exact per-client-then-chronological stream the per-client vectors used
+  // to yield (each client lives in exactly one pool, and a stable sort by
+  // client preserves its chronological pool order).
+  struct LatSample {
+    std::uint32_t client = 0;
+    double latency_s = 0.0;
+  };
+
+  struct Decision;
+
+  // Per-pool append buffers and the local-run node store. A "pool" is the
+  // unit of parallel execution in the decision stage: one per island when
+  // islands shard the world, one per kClientChunk-clients chunk in the
+  // single-island chunked stage. Either way a pool is written by exactly
+  // one worker at a time, and the pool partition is a pure function of the
+  // scenario — never of --jobs. Buffers are reserved up front to their op
+  // bound (one entry per scheduled op at most), so steady-state ticks never
+  // touch the allocator.
+  struct PoolStore {
+    std::vector<RunNode> run_nodes;  // arena of queued local runs
+    std::int32_t run_free = -1;      // free-list head into run_nodes
+    std::vector<Decision> decisions;     // remote picks, drained every tick
+    std::vector<LatSample> latencies;    // per completed op, virtual time
+    std::vector<double> wall_ms;         // per decision, real; metrics only
+    std::size_t op_bound = 0;  // total scheduled ops over member clients
+
+    std::int32_t alloc_run() {
+      if (run_free >= 0) {
+        const std::int32_t n = run_free;
+        run_free = run_nodes[static_cast<std::size_t>(n)].next;
+        return n;
+      }
+      run_nodes.emplace_back();
+      return static_cast<std::int32_t>(run_nodes.size() - 1);
+    }
+    void free_run(std::int32_t n) {
+      run_nodes[static_cast<std::size_t>(n)].next = run_free;
+      run_free = n;
+    }
+    void reserve_bound() {
+      run_nodes.reserve(op_bound);
+      decisions.reserve(op_bound);
+      latencies.reserve(op_bound);
+      wall_ms.reserve(op_bound);
+    }
   };
 
   struct RemoteMeta {
@@ -310,8 +384,12 @@ class FleetWorld {
   struct ServerState {
     core::AdmissionQueue queue;
     bool up = true;
-    // Job metadata by (id - 1); AdmissionQueue ids are sequential.
+    // Job metadata by slot (AdmissionJob::cookie). Slots recycle through
+    // `free_meta` as jobs finish, so the table is bounded by concurrent
+    // in-flight jobs (queue bound + service slots) instead of growing with
+    // every job ever admitted.
     std::vector<RemoteMeta> meta;
+    std::vector<std::uint32_t> free_meta;
     util::Seconds busy_last = 0.0;  // busy_time() at the last publish
     ServerState(const core::AdmissionConfig& cfg) : queue(cfg) {}
   };
@@ -347,7 +425,9 @@ class FleetWorld {
   };
 
   // Everything one island owns between barriers. Workers touch only their
-  // own island (plus the disjoint client/server slices it owns).
+  // own island (plus the disjoint client/server slices it owns). Tick-
+  // lifetime scratch lives on the island's arena instead, so this struct
+  // stays copyable for clone().
   struct IslandState {
     explicit IslandState(std::size_t nservers) : board(nservers) {}
 
@@ -370,10 +450,6 @@ class FleetWorld {
     std::vector<CrossSubmission> out_submissions;
     std::vector<CrossCompletion> out_completions;
     std::vector<CrossAbort> out_aborts;
-    // Scratch reused across ticks.
-    std::vector<Decision> tick_decisions;
-    std::vector<core::AdmissionCompletion> completions_scratch;
-    std::vector<core::AdmissionJob> aborted_scratch;
   };
 
   // ---- island step (parallel; touches only island-owned state) ----------
@@ -416,9 +492,25 @@ class FleetWorld {
   std::shared_ptr<const FleetScenario> scenario_;
   obs::Observability* session_;
   IslandPlan plan_;
-  std::vector<ClientState> clients_;
+  ClientStore store_;
+  // Per-client trace shards, sized only when tracing is on (an empty
+  // vector otherwise — 100k clients must not pay for shards they never
+  // write). Merged into the session at finish() in client index order.
+  std::vector<obs::TraceShard> traces_;
+  // Execution-unit append buffers; pool_of_[c] is fixed at construction
+  // (island index, or client chunk when there is one island).
+  std::vector<PoolStore> pools_;
+  std::vector<std::uint32_t> pool_of_;
   std::vector<ServerState> servers_;
   std::vector<IslandState> islands_;
+  // Tick-lifetime scratch arenas: one per island (reset after every tick)
+  // plus one for the sequential barrier exchange. Outside IslandState so
+  // island state stays copyable; arenas hold no live data between ticks.
+  std::vector<std::unique_ptr<util::Arena>> arenas_;
+  util::Arena barrier_arena_;
+  // Fastest pool server, precomputed: ideal_time() is on the completion
+  // path and must not rescan the pool per op.
+  double best_server_hz_ = 0.0;
   // Barrier-frozen views of every server, for cross-island decisions (own
   // servers read the island board instead). Rebuilt at each exchange.
   std::vector<monitor::ServerLoadView> frozen_views_;
@@ -435,10 +527,6 @@ class FleetWorld {
   std::uint64_t cross_submissions_ = 0;
   bool finished_ = false;
   bool trace_on_ = false;
-  // Scratch reused across ticks. decision_scratch_[client] receives the
-  // client's remote picks during the parallel stage (own slot only).
-  std::vector<std::vector<Decision>> decision_scratch_;
-  std::vector<CrossSubmission> mail_submissions_;  // barrier scratch
   // Pool for the single-island chunked decision stage; set by run_until.
   exec::ThreadPool* stage_pool_ = nullptr;
   double wall_seconds_ = 0.0;

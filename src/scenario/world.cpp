@@ -62,8 +62,15 @@ hw::MachineSpec file_server_spec() {
 
 }  // namespace
 
-World::World(WorldConfig config)
-    : config_(config), rng_(config.seed ^ 0x5a5a5a5aULL) {
+World::World(WorldConfig config) : World(std::move(config), true) {}
+
+World::World(WorldConfig config, SkipFilePopulation)
+    : World(std::move(config), false) {}
+
+World::World(WorldConfig config, bool populate_files)
+    : populate_files_(populate_files),
+      config_(config),
+      rng_(config.seed ^ 0x5a5a5a5aULL) {
   network_ = std::make_unique<net::Network>(engine_, rng_.fork());
   file_server_ = std::make_unique<fs::FileServer>(kFileServer);
   switch (config_.testbed) {
@@ -135,8 +142,10 @@ void World::build_itsy() {
                                    codas_.at(kServerT20).get()));
 
   janus_ = std::make_unique<apps::JanusApp>();
-  janus_->install_files(*file_server_);
-  file_server_->create({kProbePath, kProbeSize, "probe"});
+  if (populate_files_) {
+    janus_->install_files(*file_server_);
+    file_server_->create({kProbePath, kProbeSize, "probe"});
+  }
   janus_->install_services(spectra_->local_server(), rng_.fork());
   janus_->install_services(*servers_.at(kServerT20), rng_.fork());
   janus_->register_op(*spectra_);
@@ -185,9 +194,11 @@ void World::build_thinkpad() {
 
   latex_ = std::make_unique<apps::LatexApp>();
   pangloss_ = std::make_unique<apps::PanglossApp>();
-  latex_->install_files(*file_server_);
-  pangloss_->install_files(*file_server_);
-  file_server_->create({kProbePath, kProbeSize, "probe"});
+  if (populate_files_) {
+    latex_->install_files(*file_server_);
+    pangloss_->install_files(*file_server_);
+    file_server_->create({kProbePath, kProbeSize, "probe"});
+  }
   for (auto& [id, server] : servers_) {
     (void)id;
     latex_->install_services(*server, rng_.fork());
@@ -212,7 +223,9 @@ void World::build_overhead() {
   fs::CodaClientConfig client_coda;
   client_coda.cache_capacity = 256.0 * 1024 * 1024;
   add_coda(kClient, client_coda);
-  file_server_->create({kProbePath, kProbeSize, "probe"});
+  if (populate_files_) {
+    file_server_->create({kProbePath, kProbeSize, "probe"});
+  }
 
   auto driver = std::make_unique<hw::MultimeterDriver>(
       machines_.at(kClient)->meter());
@@ -238,6 +251,7 @@ void World::build_overhead() {
 }
 
 void World::create_background_files() {
+  if (!populate_files_) return;
   for (std::size_t i = 0; i < config_.background_files; ++i) {
     file_server_->create({"bg/f" + std::to_string(i),
                           rng_.uniform(8.0, 64.0) * 1024, "bg"});
@@ -335,7 +349,7 @@ std::unique_ptr<World> World::clone(
     const std::function<void(World&)>& prepare) const {
   WorldConfig cfg = config_;
   cfg.spectra.obs = obs;
-  auto w = std::make_unique<World>(cfg);
+  auto w = std::unique_ptr<World>(new World(cfg, SkipFilePopulation{}));
   if (prepare) prepare(*w);
   // Re-arming registers the same fault.N event tags the source holds; the
   // events the clone just scheduled are discarded by adopt_schedule below,

@@ -124,6 +124,17 @@ class World {
   void settle(util::Seconds duration);
 
  private:
+  // Clone fast path: build the same structure but skip file-server
+  // population (app installs, probe file, background files) — clone()
+  // copies the source's file server and Coda caches wholesale right after
+  // construction, so populating them first is pure waste. Skipping is
+  // rng-safe: the only population step that draws randomness
+  // (create_background_files) runs after every fork in build_*, and
+  // clone() overwrites rng_ with the source's stream anyway.
+  struct SkipFilePopulation {};
+  World(WorldConfig config, SkipFilePopulation);
+  World(WorldConfig config, bool populate_files);
+
   void build_itsy();
   void build_thinkpad();
   void build_overhead();
@@ -131,6 +142,7 @@ class World {
   void add_coda(MachineId id, fs::CodaClientConfig cfg);
   void create_background_files();
 
+  const bool populate_files_ = true;
   WorldConfig config_;
   sim::Engine engine_;
   util::Rng rng_;

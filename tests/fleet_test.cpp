@@ -15,15 +15,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <memory_resource>
 #include <vector>
 
 #include "core/admission.h"
 #include "exec/thread_pool.h"
 #include "fault/chaos.h"
 #include "monitor/load_board.h"
+#include "obs/memaudit.h"
 #include "obs/obs.h"
 #include "scenario/fleet.h"
 #include "scenario/islands.h"
@@ -58,7 +62,7 @@ TEST(AdmissionQueue, FifoSingleSlotCompletesInSubmitOrder) {
     ASSERT_TRUE(id.has_value());
     submitted.push_back(*id);
   }
-  std::vector<AdmissionCompletion> done;
+  std::pmr::vector<AdmissionCompletion> done;
   q.advance(0.0, 1e6, 1e6, &done);
   q.check_invariants();
   ASSERT_EQ(done.size(), submitted.size());
@@ -73,7 +77,7 @@ TEST(AdmissionQueue, FifoDispatchOrderMatchesSubmitOrderWithSlots) {
   cfg.service_slots = 3;
   AdmissionQueue q(cfg);
   for (int i = 0; i < 12; ++i) q.submit(0, 1.0, 5e6, 0.0);
-  std::vector<AdmissionCompletion> done;
+  std::pmr::vector<AdmissionCompletion> done;
   q.advance(0.0, 100.0, 1e6, &done);
   ASSERT_EQ(done.size(), 12u);
   // Equal-size jobs through fair-shared slots: completion order is dispatch
@@ -95,7 +99,7 @@ TEST(AdmissionQueue, WeightedFairSharesServiceByWeight) {
     q.submit(0, 2.0, 1e6, 0.0);
     q.submit(1, 1.0, 1e6, 0.0);
   }
-  std::vector<AdmissionCompletion> done;
+  std::pmr::vector<AdmissionCompletion> done;
   // Serve exactly 30 jobs' worth of cycles.
   q.advance(0.0, 30.0, 1e6, &done);
   q.check_invariants();
@@ -112,7 +116,7 @@ TEST(AdmissionQueue, WeightedFairNeverStarvesLightTenant) {
   cfg.service_slots = 2;
   cfg.queue_bound = 500;
   AdmissionQueue q(cfg);
-  std::vector<AdmissionCompletion> done;
+  std::pmr::vector<AdmissionCompletion> done;
   // A heavy tenant floods every step; a light (weight 0.1) tenant submits
   // one job per step. If the virtual clock did not advance, the light
   // tenant's early tags would still win eventually — starvation-freedom
@@ -146,7 +150,7 @@ TEST(AdmissionQueue, QueueBoundNeverExceededUnderRandomArrivals) {
     cfg.service_slots = 2;
     AdmissionQueue q(cfg);
     util::Rng rng(99);
-    std::vector<AdmissionCompletion> done;
+    std::pmr::vector<AdmissionCompletion> done;
     double t = 0.0;
     std::uint64_t rejected_seen = 0;
     for (int step = 0; step < 2000; ++step) {
@@ -178,8 +182,8 @@ TEST(AdmissionQueue, ConservationUnderRandomizedLifecycle) {
     cfg.queue_bound = static_cast<std::size_t>(rng.uniform_int(1, 16));
     cfg.service_slots = static_cast<std::size_t>(rng.uniform_int(1, 4));
     AdmissionQueue q(cfg);
-    std::vector<AdmissionCompletion> done;
-    std::vector<AdmissionJob> aborted;
+    std::pmr::vector<AdmissionCompletion> done;
+    std::pmr::vector<AdmissionJob> aborted;
     double t = 0.0;
     for (int step = 0; step < 300; ++step) {
       const double action = rng.uniform();
@@ -200,6 +204,116 @@ TEST(AdmissionQueue, ConservationUnderRandomizedLifecycle) {
               q.completed() + q.aborted() + q.in_flight());
     EXPECT_EQ(q.completed(), done.size());
     EXPECT_EQ(q.aborted(), aborted.size());
+  }
+}
+
+TEST(AdmissionQueue, CookieRidesUnchangedThroughCompletionAndAbort) {
+  // The fleet world threads a reusable metadata-slot index through each
+  // job's cookie; a queue that dropped or reordered cookies would corrupt
+  // per-server bookkeeping silently. Every admitted job must surface its
+  // cookie exactly once, at completion or at abort.
+  for (const auto policy :
+       {AdmissionPolicy::kFifo, AdmissionPolicy::kWeightedFair}) {
+    AdmissionConfig cfg;
+    cfg.policy = policy;
+    cfg.service_slots = 2;
+    cfg.queue_bound = 16;
+    AdmissionQueue q(cfg);
+    util::Rng rng(5);
+    std::map<std::uint64_t, std::uint32_t> expected;
+    std::pmr::vector<AdmissionCompletion> done;
+    std::pmr::vector<AdmissionJob> aborted;
+    double t = 0.0;
+    std::uint32_t next_cookie = 100;
+    for (int step = 0; step < 200; ++step) {
+      const std::uint32_t cookie = next_cookie++;
+      const auto id = q.submit(static_cast<int>(rng.uniform_int(0, 5)),
+                               rng.uniform(0.5, 2.0), rng.uniform(1e5, 3e6),
+                               t, cookie);
+      if (id.has_value()) expected[*id] = cookie;
+      const double dt = rng.uniform(0.0, 0.4);
+      q.advance(t, dt, 2e6, &done);
+      t += dt;
+      if (step % 60 == 59) q.abort_all(&aborted);  // crash mid-backlog
+      q.check_invariants();
+    }
+    q.advance(t, 1e6, 2e6, &done);  // drain
+    ASSERT_FALSE(done.empty()) << core::to_string(policy);
+    ASSERT_FALSE(aborted.empty()) << core::to_string(policy);
+    for (const auto& d : done) {
+      ASSERT_TRUE(expected.count(d.job.id) > 0);
+      EXPECT_EQ(d.job.cookie, expected[d.job.id])
+          << "completion of job " << d.job.id;
+    }
+    for (const auto& j : aborted) {
+      ASSERT_TRUE(expected.count(j.id) > 0);
+      EXPECT_EQ(j.cookie, expected[j.id]) << "abort of job " << j.id;
+    }
+    // Exactly once: completions plus aborts cover every admitted job.
+    EXPECT_EQ(done.size() + aborted.size(), expected.size());
+  }
+}
+
+TEST(AdmissionQueue, IdleTenantReanchorsLikeAFreshTenant) {
+  // The flat tag store prunes tags the virtual clock has overtaken. That
+  // is only sound if an overtaken tag behaves exactly like an absent one:
+  // a tenant that went idle long enough must compete exactly like a tenant
+  // the queue has never seen, job for job and timestamp for timestamp.
+  const auto make = [] {
+    AdmissionConfig cfg;
+    cfg.policy = AdmissionPolicy::kWeightedFair;
+    cfg.service_slots = 1;
+    cfg.queue_bound = 100;
+    return AdmissionQueue(cfg);
+  };
+  AdmissionQueue reused = make();
+  AdmissionQueue fresh = make();
+  std::pmr::vector<AdmissionCompletion> done_reused;
+  std::pmr::vector<AdmissionCompletion> done_fresh;
+  // Phase 1: tenants 0 and 1 backlog both queues identically, then drain.
+  for (int i = 0; i < 10; ++i) {
+    reused.submit(0, 1.0, 2e6, 0.0);
+    reused.submit(1, 1.0, 2e6, 0.0);
+    fresh.submit(0, 1.0, 2e6, 0.0);
+    fresh.submit(1, 1.0, 2e6, 0.0);
+  }
+  reused.advance(0.0, 100.0, 1e6, &done_reused);
+  fresh.advance(0.0, 100.0, 1e6, &done_fresh);
+  // Phase 2: tenant 1 runs solo long enough that each dispatch drags the
+  // virtual clock past tenant 0's stale finish tag.
+  for (int i = 0; i < 15; ++i) {
+    reused.submit(1, 1.0, 2e6, 100.0);
+    fresh.submit(1, 1.0, 2e6, 100.0);
+  }
+  reused.advance(100.0, 100.0, 1e6, &done_reused);
+  fresh.advance(100.0, 100.0, 1e6, &done_fresh);
+  done_reused.clear();
+  done_fresh.clear();
+  // Phase 3: the contender against tenant 1 is long-idle tenant 0 in one
+  // queue and never-seen tenant 7 in the other. Interleaving must match.
+  double t = 200.0;
+  for (int step = 0; step < 30; ++step) {
+    reused.submit(1, 1.0, 3e6, t);
+    fresh.submit(1, 1.0, 3e6, t);
+    reused.submit(0, 2.0, 1e6, t);
+    fresh.submit(7, 2.0, 1e6, t);
+    reused.advance(t, 1.0, 4e6, &done_reused);
+    fresh.advance(t, 1.0, 4e6, &done_fresh);
+    reused.check_invariants();
+    fresh.check_invariants();
+    t += 1.0;
+  }
+  reused.advance(t, 100.0, 4e6, &done_reused);
+  fresh.advance(t, 100.0, 4e6, &done_fresh);
+  ASSERT_EQ(done_reused.size(), done_fresh.size());
+  ASSERT_FALSE(done_reused.empty());
+  for (std::size_t i = 0; i < done_reused.size(); ++i) {
+    const int a = done_reused[i].job.tenant;
+    const int raw = done_fresh[i].job.tenant;
+    const int b = raw == 7 ? 0 : raw;  // map the stand-in back
+    EXPECT_EQ(a, b) << "divergence at completion " << i;
+    EXPECT_EQ(done_reused[i].finished_at, done_fresh[i].finished_at)
+        << "timing divergence at completion " << i;
   }
 }
 
@@ -225,6 +339,33 @@ TEST(LoadBoard, SmoothsRunQueueAcrossFlips) {
   EXPECT_NEAR(board.view(0).run_queue, 2.0, 1e-12);
 }
 
+TEST(LoadBoard, SnapshotIntoFreezesViewsInAPresizedBuffer) {
+  monitor::LoadBoard board(3, /*smoothing_alpha=*/1.0);
+  board.publish(0, 1.0, 0.1, true);
+  board.publish(1, 2.0, 0.2, false);
+  board.publish(2, 3.0, 0.3, true);
+  board.flip();
+  // The barrier pre-sizes one world-wide buffer and every board writes its
+  // own span; snapshot_into must fill [base, base+servers) in place without
+  // reallocating or touching neighbors.
+  std::vector<monitor::ServerLoadView> out(5);
+  const monitor::ServerLoadView* data = out.data();
+  board.snapshot_into(out, /*base=*/1);
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[1].run_queue, 1.0);
+  EXPECT_EQ(out[2].run_queue, 2.0);
+  EXPECT_FALSE(out[2].up);
+  EXPECT_EQ(out[3].utilization, 0.3);
+  EXPECT_EQ(out[0].run_queue, 0.0);  // outside the span: untouched
+  EXPECT_EQ(out[4].run_queue, 0.0);
+  // Frozen: later publish/flip cycles must not disturb the copies.
+  board.publish(0, 9.0, 0.9, true);
+  board.flip();
+  EXPECT_EQ(out[1].run_queue, 1.0);
+  EXPECT_EQ(board.view(0).run_queue, 9.0);
+}
+
 // ----------------------------------------------------------------- scenario
 
 FleetConfig small_config() {
@@ -240,13 +381,13 @@ FleetConfig small_config() {
 TEST(FleetScenario, IsAPureFunctionOfTheSeed) {
   const FleetScenario a(small_config());
   const FleetScenario b(small_config());
-  ASSERT_EQ(a.schedules().size(), b.schedules().size());
+  ASSERT_EQ(a.profiles().size(), b.profiles().size());
   ASSERT_EQ(a.total_ops(), b.total_ops());
-  for (std::size_t c = 0; c < a.schedules().size(); ++c) {
-    ASSERT_EQ(a.schedules()[c].size(), b.schedules()[c].size());
-    for (std::size_t i = 0; i < a.schedules()[c].size(); ++i) {
-      EXPECT_EQ(a.schedules()[c][i].at, b.schedules()[c][i].at);
-      EXPECT_EQ(a.schedules()[c][i].cycles, b.schedules()[c][i].cycles);
+  for (std::size_t c = 0; c < a.profiles().size(); ++c) {
+    ASSERT_EQ(a.schedule(c).size(), b.schedule(c).size());
+    for (std::size_t i = 0; i < a.schedule(c).size(); ++i) {
+      EXPECT_EQ(a.schedule(c)[i].at, b.schedule(c)[i].at);
+      EXPECT_EQ(a.schedule(c)[i].cycles, b.schedule(c)[i].cycles);
     }
     EXPECT_EQ(a.profiles()[c].device, b.profiles()[c].device);
   }
@@ -269,8 +410,8 @@ TEST(FleetScenario, FlashCrowdsConcentrateArrivals) {
             4.0 * scenario.rate_multiplier(end + 1.0));
   // Arrival density inside the window beats the run-wide average.
   std::size_t in_window = 0;
-  for (const auto& sched : scenario.schedules()) {
-    for (const auto& op : sched) {
+  for (std::size_t c = 0; c < scenario.profiles().size(); ++c) {
+    for (const auto& op : scenario.schedule(c)) {
       in_window += (op.at >= start && op.at < end) ? 1 : 0;
     }
   }
@@ -385,6 +526,74 @@ TEST(FleetDeterminism, ByteIdenticalAcrossJobsUnderChaos) {
   EXPECT_EQ(seq.trace, par.trace);
   EXPECT_EQ(drop_wall_rows(seq.metrics_csv), drop_wall_rows(par.metrics_csv));
   EXPECT_EQ(seq.report.fingerprint, par.report.fingerprint);
+}
+
+TEST(FleetDeterminism, TenThousandClientsFingerprintStableAcrossJobsUnderChaos) {
+  // The bench ladder proves 10k/100k identity offline; this keeps a scaled
+  // multi-island run with server crashes and link chaos in the unit suite,
+  // where sharding, ferry buffers, and the SoA store all engage (the
+  // 64-client world fits one island, so it cannot catch cross-island
+  // nondeterminism). Trace capture is skipped to keep the test fast; the
+  // fingerprint folds every queue's conservation counters, so divergence
+  // anywhere in the pipeline shows up here.
+  FleetConfig cfg;
+  cfg.clients = 10'000;
+  cfg.servers = 80;
+  cfg.seed = 42;
+  cfg.horizon = 30.0;
+  cfg.admission.policy = AdmissionPolicy::kWeightedFair;
+  fault::ChaosTopology topo;
+  topo.links = {{0, 1}};
+  topo.servers = {0, 3, 17, 42};
+  fault::ChaosConfig chaos;
+  chaos.horizon = cfg.horizon;
+  chaos.intensity = 2.0;
+  cfg.fault_plan = fault::make_chaos_plan(77, topo, chaos);
+  const FleetReport a = scenario::run_fleet(cfg, 1, nullptr);
+  const FleetReport b = scenario::run_fleet(cfg, 2, nullptr);
+  const FleetReport c = scenario::run_fleet(cfg, 8, nullptr);
+  EXPECT_GT(a.ops_completed, 0u);
+  EXPECT_GT(a.islands, 1u) << "10k world did not shard; jobs sweep is vacuous";
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.fingerprint, c.fingerprint);
+  EXPECT_EQ(a.ops_completed, c.ops_completed);
+  EXPECT_EQ(a.ops_rejected, c.ops_rejected);
+  EXPECT_EQ(a.latency_p99_s, c.latency_p99_s);
+  EXPECT_EQ(a.aggregate_energy_j, c.aggregate_energy_j);
+  EXPECT_EQ(a.jain_fairness, c.jain_fairness);
+}
+
+TEST(FleetAllocationFree, SteadyStateTickAllocatesNothing) {
+  if (!obs::memaudit_enabled()) {
+    GTEST_SKIP() << "memaudit compiled out (sanitizer build)";
+  }
+  // The memory-diet contract: once every arena and pre-reserved buffer has
+  // seen its high-water mark, the tick pipeline (decision stage, admission
+  // advance, barrier exchange) performs zero heap allocations. Single
+  // island and a null pool keep execution on this thread, so the
+  // kFleetTick counters attribute exactly.
+  FleetConfig cfg;
+  cfg.clients = 256;
+  cfg.servers = 4;
+  cfg.seed = 11;
+  cfg.horizon = 120.0;
+  cfg.islands = 1;
+  cfg.flash_crowds = 0;  // arrival high-water falls inside the warm-up
+  cfg.admission.policy = AdmissionPolicy::kWeightedFair;
+  auto scenario_ptr = std::make_shared<const scenario::FleetScenario>(cfg);
+  FleetWorld world(scenario_ptr, nullptr);  // trace off: no shard buffers
+  // Warm past the diurnal crest (t = period/4 = 30s) so later ticks never
+  // exceed an arrival volume the arenas have already absorbed.
+  world.run_until(90.0, nullptr);
+  const auto warm = obs::memaudit_scope(obs::MemScopeId::kFleetTick);
+  world.run_until(cfg.horizon, nullptr);
+  const auto steady = obs::memaudit_scope(obs::MemScopeId::kFleetTick);
+  EXPECT_EQ(steady.allocs - warm.allocs, 0u)
+      << "tick stage allocated " << (steady.allocs - warm.allocs)
+      << " times after warm-up (live-byte delta "
+      << (steady.live_bytes - warm.live_bytes) << ")";
+  const FleetReport r = world.finish(nullptr);
+  EXPECT_GT(r.ops_completed, 0u);
 }
 
 TEST(FleetDeterminism, CloneReplaysBitIdentically) {

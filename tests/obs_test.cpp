@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/janus.h"
+#include "obs/memaudit.h"
 #include "obs/obs.h"
 #include "scenario/experiment.h"
 #include "util/assert.h"
@@ -347,6 +350,89 @@ TEST(ObsIntegrationTest, MetricsAloneNeedNoTraceSink) {
   world->spectra().end_fidelity_op();
   EXPECT_DOUBLE_EQ(obs.metrics().find_counter("client.decisions")->value(),
                    1.0);
+}
+
+// --------------------------------------------------------------- memaudit
+
+// The tests call ::operator new directly rather than using new-expressions:
+// the standard lets the compiler elide a new/delete pair from a
+// new-expression even when the allocation functions are replaced, which
+// would make these counters never move. A plain function call cannot be
+// elided.
+
+TEST(MemAuditTest, PeakRssIsReported) {
+  EXPECT_GT(peak_rss_bytes(), 0u);
+}
+
+TEST(MemAuditTest, ScopeAttributesAllocationsAndFrees) {
+  if (!memaudit_enabled()) {
+    GTEST_SKIP() << "memaudit compiled out (sanitizer build)";
+  }
+  const MemCounters before = memaudit_scope(MemScopeId::kFleetTick);
+  void* block = nullptr;
+  MemCounters during;
+  {
+    MemScope scope(MemScopeId::kFleetTick);
+    block = ::operator new(4096);
+    during = memaudit_scope(MemScopeId::kFleetTick);
+  }
+  ::operator delete(block);
+  const MemCounters after = memaudit_scope(MemScopeId::kFleetTick);
+  EXPECT_EQ(during.allocs, before.allocs + 1);
+  EXPECT_EQ(during.live_bytes, before.live_bytes + 4096);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.frees, before.frees + 1);
+}
+
+TEST(MemAuditTest, FreeOutsideTheScopeCreditsTheAllocatingScope) {
+  if (!memaudit_enabled()) {
+    GTEST_SKIP() << "memaudit compiled out (sanitizer build)";
+  }
+  const MemCounters before = memaudit_scope(MemScopeId::kScenario);
+  void* block = nullptr;
+  {
+    MemScope scope(MemScopeId::kScenario);
+    block = ::operator new(512);
+  }
+  // Freed under kOther; the allocation header routes the credit back.
+  ::operator delete(block);
+  const MemCounters after = memaudit_scope(MemScopeId::kScenario);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.allocs, before.allocs + 1);
+  EXPECT_EQ(after.frees, before.frees + 1);
+}
+
+TEST(MemAuditTest, OveralignedAllocationsRoundTrip) {
+  if (!memaudit_enabled()) {
+    GTEST_SKIP() << "memaudit compiled out (sanitizer build)";
+  }
+  const MemCounters before = memaudit_scope(MemScopeId::kFleetWorld);
+  void* block = nullptr;
+  {
+    MemScope scope(MemScopeId::kFleetWorld);
+    block = ::operator new(256, std::align_val_t{128});
+  }
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(block) % 128, 0u);
+  ::operator delete(block, std::align_val_t{128});
+  const MemCounters after = memaudit_scope(MemScopeId::kFleetWorld);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(MemAuditTest, TotalsAndPeakTrackLiveBytes) {
+  if (!memaudit_enabled()) {
+    GTEST_SKIP() << "memaudit compiled out (sanitizer build)";
+  }
+  const auto peak0 = memaudit_peak_live_bytes();
+  const long long live0 = memaudit_live_bytes();
+  void* block = ::operator new(1 << 16);
+  EXPECT_GE(memaudit_live_bytes(), live0 + (1 << 16));
+  const MemCounters total = memaudit_total();
+  EXPECT_EQ(total.live_bytes, memaudit_live_bytes());
+  ::operator delete(block);
+  // Peak is a high-water mark: frees never lower it.
+  EXPECT_GE(memaudit_peak_live_bytes(), peak0);
+  EXPECT_GE(memaudit_peak_live_bytes(),
+            static_cast<unsigned long long>(live0) + (1 << 16));
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory_resource>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/assert.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -337,6 +340,80 @@ TEST(TableTest, CsvWithoutHeader) {
 TEST(TableTest, NumFormatsPrecision) {
   EXPECT_EQ(Table::num(3.14159, 3), "3.142");
   EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+// ------------------------------------------------------------------- arena
+
+TEST(ArenaTest, BumpsWithinOneBlockAndHonorsAlignment) {
+  Arena arena(256);
+  void* a = arena.allocate(24, 8);
+  void* b = arena.allocate(8, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_GT(b, a);  // monotonic bump, same block
+  EXPECT_EQ(arena.blocks(), 1u);
+  EXPECT_EQ(arena.used(), 32u);
+}
+
+TEST(ArenaTest, GrowthChainsBlocksAndResetFusesThem) {
+  Arena arena(64);
+  for (int i = 0; i < 10; ++i) (void)arena.allocate(64, 8);
+  EXPECT_GT(arena.blocks(), 1u) << "workload never outgrew the first block";
+  const std::size_t grown = arena.capacity();
+  arena.reset();
+  // The fused block spans at least the chained total, so the same workload
+  // fits without growing again.
+  EXPECT_EQ(arena.blocks(), 1u);
+  EXPECT_GE(arena.capacity(), grown);
+  EXPECT_EQ(arena.used(), 0u);
+  for (int i = 0; i < 10; ++i) (void)arena.allocate(64, 8);
+  EXPECT_EQ(arena.blocks(), 1u);
+}
+
+TEST(ArenaTest, WarmResetIsCapacityStableOnASteadyWorkload) {
+  Arena arena(64);
+  const auto tick = [&arena] {
+    std::pmr::vector<double> scratch(&arena);
+    for (int i = 0; i < 200; ++i) scratch.push_back(i);
+    arena.reset();
+  };
+  tick();  // warm-up: growth and fusing happen here
+  const std::size_t cap = arena.capacity();
+  for (int i = 0; i < 50; ++i) tick();
+  EXPECT_EQ(arena.blocks(), 1u);
+  EXPECT_EQ(arena.capacity(), cap) << "warm arena grew on a steady workload";
+}
+
+TEST(ArenaTest, DeallocateIsANoOpUntilReset) {
+  Arena arena(128);
+  void* p = arena.allocate(32, 8);
+  arena.deallocate(p, 32, 8);
+  EXPECT_EQ(arena.used(), 32u);  // nothing reclaimed
+  void* q = arena.allocate(32, 8);
+  EXPECT_NE(p, q);  // the freed span is not reused before reset()
+  arena.reset();
+  EXPECT_EQ(arena.allocate(32, 8), p);  // bump pointer rewound to the start
+}
+
+TEST(ArenaTest, ReleaseDropsCapacityButStaysUsable) {
+  Arena arena(64);
+  (void)arena.allocate(1000, 8);
+  EXPECT_GT(arena.capacity(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.blocks(), 0u);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_NE(arena.allocate(16, 8), nullptr);
+}
+
+TEST(ArenaTest, BacksPmrContainersAsAMemoryResource) {
+  Arena arena(1024);
+  std::pmr::vector<int> v(&arena);
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(v[i], i);
+  EXPECT_GE(arena.used(), 100 * sizeof(int));
 }
 
 }  // namespace
